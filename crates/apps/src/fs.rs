@@ -1,0 +1,124 @@
+//! Flexible Sleep (§VII-B1).
+//!
+//! "This iterative synthetic application performs a sleep in each step.
+//! The time of the step depends on the number of processes deployed in
+//! that iteration — assuming perfect linear scalability. Apart from the
+//! sleep that simulates the computation time, the application also
+//! manages an array of doubles, distributed among the ranks", which is
+//! the data dependency redistributed on every reconfiguration.
+
+use std::time::Duration;
+
+use dmr_mpi::Comm;
+use dmr_runtime::dist::BlockDist;
+
+use crate::malleable::MalleableApp;
+
+/// The synthetic flexible-sleep application.
+pub struct FsApp {
+    /// Length of the distributed array of doubles.
+    pub n: usize,
+    /// Iterations.
+    pub steps: u32,
+    /// Sleep per step *per process set of one* — a step at `p` processes
+    /// sleeps `base_sleep / p` (perfect linear scalability).
+    pub base_sleep: Duration,
+}
+
+impl FsApp {
+    pub fn new(n: usize, steps: u32, base_sleep: Duration) -> Self {
+        FsApp {
+            n,
+            steps,
+            base_sleep,
+        }
+    }
+
+    /// Sleep charged to one step at `p` processes.
+    pub fn step_sleep(&self, p: usize) -> Duration {
+        self.base_sleep / p.max(1) as u32
+    }
+}
+
+impl MalleableApp for FsApp {
+    fn name(&self) -> &'static str {
+        "FS"
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn vectors(&self) -> usize {
+        1
+    }
+
+    fn steps(&self) -> u32 {
+        self.steps
+    }
+
+    fn init(&self, dist: &BlockDist, rank: usize) -> Vec<Vec<f64>> {
+        // The array contents are the global indices, so any loss or
+        // misplacement during redistribution is detectable.
+        vec![dist.range(rank).map(|i| i as f64).collect()]
+    }
+
+    fn step(&self, _comm: &mut Comm, _dist: &BlockDist, state: &mut [Vec<f64>], _iter: u32) {
+        std::thread::sleep(self.step_sleep(_dist.parts));
+        // Touch the data so the dependency is genuine: a cheap rolling
+        // update whose final value is checkable.
+        for v in state[0].iter_mut() {
+            *v += 1.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::malleable::run_malleable;
+    use dmr_runtime::dmr::{DmrAction, DmrSpec};
+    use std::sync::Arc;
+
+    #[test]
+    fn sleep_scales_linearly() {
+        let app = FsApp::new(8, 1, Duration::from_millis(80));
+        assert_eq!(app.step_sleep(1), Duration::from_millis(80));
+        assert_eq!(app.step_sleep(4), Duration::from_millis(20));
+        assert_eq!(app.step_sleep(0), Duration::from_millis(80), "clamped");
+    }
+
+    #[test]
+    fn data_survives_expand_and_shrink() {
+        let app = Arc::new(FsApp::new(20, 4, Duration::from_millis(1)));
+        let out = run_malleable(
+            app,
+            2,
+            DmrSpec::new(1, 8),
+            vec![DmrAction::Expand { to: 4 }, DmrAction::Shrink { to: 1 }],
+        );
+        let expect: Vec<f64> = (0..20).map(|i| i as f64 + 4.0).collect();
+        assert_eq!(out.final_state[0], expect);
+        assert_eq!(out.resizes, 2);
+        assert_eq!(out.final_procs, 1);
+    }
+
+    #[test]
+    fn bigger_process_set_finishes_a_step_faster() {
+        // Wall-clock check with margins generous enough to survive a
+        // loaded CI machine: the 1-rank run sleeps 400 ms, the 4-rank run
+        // 100 ms, leaving ~300 ms of headroom for scheduling noise.
+        let base = Duration::from_millis(400);
+        let t0 = std::time::Instant::now();
+        run_malleable(Arc::new(FsApp::new(4, 1, base)), 1, DmrSpec::new(1, 4), vec![]);
+        let serial = t0.elapsed();
+        let t0 = std::time::Instant::now();
+        run_malleable(Arc::new(FsApp::new(4, 1, base)), 4, DmrSpec::new(1, 4), vec![]);
+        let parallel = t0.elapsed();
+        assert!(serial >= base, "1-rank run must sleep the full base");
+        assert!(
+            parallel < serial,
+            "4-rank step ({parallel:?}) should beat 1-rank ({serial:?})"
+        );
+    }
+}

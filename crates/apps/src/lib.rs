@@ -1,0 +1,32 @@
+//! # dmr-apps — the paper's applications
+//!
+//! §VII-B describes one synthetic and three real applications; this crate
+//! implements each twice:
+//!
+//! 1. **As a real malleable kernel** over `dmr-mpi` + `dmr-runtime`:
+//!    Flexible Sleep ([`fs`]), Conjugate Gradient ([`cg`]), Jacobi
+//!    ([`jacobi`]) and N-body ([`nbody`]) all implement
+//!    [`malleable::MalleableApp`] and run under
+//!    [`malleable::run_malleable`], which executes the full Listing-2/3
+//!    loop: compute steps, reconfiguring points, `MPI_Comm_spawn` of the
+//!    new process set, block redistribution of every data dependency,
+//!    offload ACKs, and termination of the old ranks.
+//! 2. **As a calibrated simulation model** for the workload experiments —
+//!    the speedup curves live in `dmr-core` ([`dmr_core::curve_for`]); the
+//!    Table I envelopes in `dmr-workload`.
+//!
+//! The real kernels are verified against sequential references: resizing
+//! mid-solve must not change the numerics (same iteration count, same
+//! result up to exact FP equality where the reduction order is preserved).
+
+pub mod cg;
+pub mod fs;
+pub mod jacobi;
+pub mod malleable;
+pub mod nbody;
+
+pub use cg::CgApp;
+pub use fs::FsApp;
+pub use jacobi::JacobiApp;
+pub use malleable::{run_malleable, MalleableApp, MalleableOutcome};
+pub use nbody::NbodyApp;

@@ -1,0 +1,330 @@
+//! The malleable execution driver — Listing 2 and Listing 3 in Rust.
+//!
+//! An application exposes block-distributed state vectors and a step
+//! function; the driver runs the iterative loop, calls the DMR API at
+//! every reconfiguring point, and on an expand/shrink verdict:
+//!
+//! 1. spawns the new process set (`MPI_Comm_spawn`, §V-B1),
+//! 2. redistributes every state vector from the old block distribution to
+//!    the new one (the `inout` data dependencies of the offload pragma),
+//! 3. waits for the new set's ACKs (the `taskwait` / shrink-ACK workflow,
+//!    §V-B2), and
+//! 4. lets the old processes terminate while the new set continues from
+//!    the same iteration (the time-step travels with the data, Listing 1).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use dmr_mpi::{Comm, Universe};
+use dmr_runtime::dist::BlockDist;
+use dmr_runtime::dmr::{DmrAction, DmrSpec};
+use dmr_runtime::offload;
+use dmr_runtime::redistribute::{recv_blocks, send_blocks};
+use dmr_runtime::rms::{RmsClient, ScriptedRms};
+
+/// An iterative application with block-distributed `f64` state.
+pub trait MalleableApp: Send + Sync + 'static {
+    fn name(&self) -> &'static str;
+    /// Global length of each state vector.
+    fn n(&self) -> usize;
+    /// Number of state vectors (the data dependencies of the offload).
+    fn vectors(&self) -> usize;
+    /// Total iterations.
+    fn steps(&self) -> u32;
+    /// Initial local blocks for `rank` under `dist`.
+    fn init(&self, dist: &BlockDist, rank: usize) -> Vec<Vec<f64>>;
+    /// One iteration: may communicate through `comm`; must keep each
+    /// vector's block length consistent with `dist`.
+    fn step(&self, comm: &mut Comm, dist: &BlockDist, state: &mut [Vec<f64>], iter: u32);
+}
+
+/// What a malleable run produces.
+#[derive(Clone, Debug)]
+pub struct MalleableOutcome {
+    /// Full (gathered) state vectors at completion.
+    pub final_state: Vec<Vec<f64>>,
+    /// Process count at completion.
+    pub final_procs: usize,
+    /// Number of reconfigurations performed.
+    pub resizes: u32,
+}
+
+/// A shared, thread-safe RMS connection (rank 0 of each generation is
+/// the only caller, but generations live on different threads).
+pub type SharedRms = Arc<Mutex<dyn RmsClient + Send>>;
+type ResultSlot = Arc<Mutex<Option<MalleableOutcome>>>;
+
+/// Runs `app` starting on `initial` ranks, consulting a scripted RMS at
+/// every reconfiguring point. Returns the gathered final state.
+///
+/// The script stands in for the live Slurm negotiation so kernels are
+/// testable hermetically; [`run_malleable_with`] accepts any
+/// [`RmsClient`] — the umbrella crate (`dmr`) wires it to the real
+/// `dmr-slurm` policy.
+pub fn run_malleable(
+    app: Arc<dyn MalleableApp>,
+    initial: usize,
+    spec: DmrSpec,
+    script: Vec<DmrAction>,
+) -> MalleableOutcome {
+    run_malleable_with(app, initial, spec, Arc::new(Mutex::new(ScriptedRms::new(script))))
+}
+
+/// [`run_malleable`] with a caller-provided RMS connection.
+pub fn run_malleable_with(
+    app: Arc<dyn MalleableApp>,
+    initial: usize,
+    spec: DmrSpec,
+    rms: SharedRms,
+) -> MalleableOutcome {
+    assert!(initial > 0);
+    let slot: ResultSlot = Arc::new(Mutex::new(None));
+    {
+        let app = Arc::clone(&app);
+        let rms = Arc::clone(&rms);
+        let slot = Arc::clone(&slot);
+        Universe::run(initial, move |comm| {
+            worker(
+                comm,
+                Arc::clone(&app),
+                0,
+                Arc::clone(&rms),
+                Arc::clone(&slot),
+                spec,
+                0,
+            );
+        });
+    }
+    let out = slot.lock().take().expect("final process set stored a result");
+    out
+}
+
+/// The SPMD body: every rank of every process generation runs this.
+fn worker(
+    mut comm: Comm,
+    app: Arc<dyn MalleableApp>,
+    t0: u32,
+    rms: SharedRms,
+    slot: ResultSlot,
+    spec: DmrSpec,
+    resizes: u32,
+) {
+    let me = comm.rank();
+    let size = comm.size();
+    let dist = BlockDist::new(app.n(), size);
+
+    // Children of a reconfiguration receive their blocks from the old
+    // process set; the first generation initialises from scratch
+    // (Listing 1's `MPI_Comm_get_parent` branch).
+    let spawned = comm.parent().is_some();
+    let mut state: Vec<Vec<f64>> = if let Some(parent) = comm.parent() {
+        let from = BlockDist::new(app.n(), parent.remote_size());
+        let vectors = app.vectors();
+        let mut state = Vec::with_capacity(vectors);
+        for round in 0..vectors {
+            state.push(
+                recv_blocks::<f64>(parent, me, &from, &dist, round).expect("redistribution"),
+            );
+        }
+        // ACK: this rank adopted its offloaded task (releases taskwait).
+        offload::ack(parent, 0).expect("ack");
+        state
+    } else {
+        app.init(&dist, me)
+    };
+
+    for t in t0..app.steps() {
+        // Reconfiguring point. A generation created by a resize resumes
+        // compute first — its arrival boundary was already negotiated by
+        // the old set. Rank 0 negotiates with the RMS and broadcasts the
+        // verdict (the runtime acts as one client per job).
+        if spawned && t == t0 {
+            app.step(&mut comm, &dist, &mut state, t);
+            continue;
+        }
+        let mut verdict: Vec<f64> = if me == 0 {
+            match rms.lock().negotiate(size as u32, &spec) {
+                DmrAction::NoAction => vec![0.0, 0.0],
+                DmrAction::Expand { to } => vec![1.0, to as f64],
+                DmrAction::Shrink { to } => vec![1.0, to as f64],
+            }
+        } else {
+            vec![]
+        };
+        comm.bcast(&mut verdict, 0).expect("verdict bcast");
+        let new_n = verdict[1] as usize;
+        if verdict[0] != 0.0 && new_n != size {
+            // Spawn the new process set; the continuation carries the
+            // current time-step (Listing 1 ships `t` with the data).
+            let entry = {
+                let app = Arc::clone(&app);
+                let rms = Arc::clone(&rms);
+                let slot = Arc::clone(&slot);
+                Arc::new(move |child: Comm| {
+                    worker(
+                        child,
+                        Arc::clone(&app),
+                        t,
+                        Arc::clone(&rms),
+                        Arc::clone(&slot),
+                        spec,
+                        resizes + 1,
+                    );
+                })
+            };
+            let mut inter = comm.spawn(new_n, entry).expect("spawn new set");
+            let to = BlockDist::new(app.n(), new_n);
+            for (round, vector) in state.iter().enumerate() {
+                send_blocks(&mut inter, me, vector, &dist, &to, round).expect("redistribution");
+            }
+            // taskwait: collect one ACK per offloaded task target, then
+            // the old processes terminate (Listing 2 line 15, §V-B2).
+            if me == 0 {
+                offload::taskwait(&mut inter, new_n).expect("taskwait");
+            }
+            return;
+        }
+        app.step(&mut comm, &dist, &mut state, t);
+    }
+
+    // Completed: gather the full state on every rank; rank 0 publishes.
+    let mut full = Vec::with_capacity(app.vectors());
+    for vector in &state {
+        full.push(comm.allgather(vector).expect("final gather"));
+    }
+    if me == 0 {
+        *slot.lock() = Some(MalleableOutcome {
+            final_state: full,
+            final_procs: size,
+            resizes,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivially verifiable app: each step adds 1 to every element of a
+    /// single distributed vector.
+    struct CountingApp {
+        n: usize,
+        steps: u32,
+    }
+
+    impl MalleableApp for CountingApp {
+        fn name(&self) -> &'static str {
+            "counting"
+        }
+        fn n(&self) -> usize {
+            self.n
+        }
+        fn vectors(&self) -> usize {
+            1
+        }
+        fn steps(&self) -> u32 {
+            self.steps
+        }
+        fn init(&self, dist: &BlockDist, rank: usize) -> Vec<Vec<f64>> {
+            vec![dist.range(rank).map(|i| i as f64).collect()]
+        }
+        fn step(&self, _comm: &mut Comm, _dist: &BlockDist, state: &mut [Vec<f64>], _iter: u32) {
+            for v in state[0].iter_mut() {
+                *v += 1.0;
+            }
+        }
+    }
+
+    fn expected(n: usize, steps: u32) -> Vec<f64> {
+        (0..n).map(|i| i as f64 + steps as f64).collect()
+    }
+
+    #[test]
+    fn no_resize_matches_reference() {
+        let app = Arc::new(CountingApp { n: 20, steps: 5 });
+        let out = run_malleable(app, 4, DmrSpec::new(1, 8), vec![]);
+        assert_eq!(out.final_state[0], expected(20, 5));
+        assert_eq!(out.final_procs, 4);
+        assert_eq!(out.resizes, 0);
+    }
+
+    #[test]
+    fn expand_preserves_data_and_progress() {
+        let app = Arc::new(CountingApp { n: 24, steps: 6 });
+        let out = run_malleable(
+            app,
+            2,
+            DmrSpec::new(1, 8),
+            vec![
+                DmrAction::NoAction,
+                DmrAction::NoAction,
+                DmrAction::Expand { to: 4 },
+            ],
+        );
+        assert_eq!(out.final_state[0], expected(24, 6));
+        assert_eq!(out.final_procs, 4);
+        assert_eq!(out.resizes, 1);
+    }
+
+    #[test]
+    fn shrink_preserves_data_and_progress() {
+        let app = Arc::new(CountingApp { n: 24, steps: 6 });
+        let out = run_malleable(
+            app,
+            4,
+            DmrSpec::new(1, 8),
+            vec![DmrAction::NoAction, DmrAction::Shrink { to: 2 }],
+        );
+        assert_eq!(out.final_state[0], expected(24, 6));
+        assert_eq!(out.final_procs, 2);
+        assert_eq!(out.resizes, 1);
+    }
+
+    #[test]
+    fn chained_resizes() {
+        let app = Arc::new(CountingApp { n: 30, steps: 8 });
+        let out = run_malleable(
+            app,
+            2,
+            DmrSpec::new(1, 8),
+            vec![
+                DmrAction::Expand { to: 4 },
+                DmrAction::Expand { to: 8 },
+                DmrAction::NoAction,
+                DmrAction::Shrink { to: 2 },
+                DmrAction::Expand { to: 4 },
+            ],
+        );
+        assert_eq!(out.final_state[0], expected(30, 8));
+        assert_eq!(out.final_procs, 4);
+        assert_eq!(out.resizes, 4, "all four feasible script actions apply");
+    }
+
+    #[test]
+    fn uneven_block_sizes_survive_resize() {
+        // 17 elements over 3 -> 5 ranks: remainders on both sides.
+        let app = Arc::new(CountingApp { n: 17, steps: 4 });
+        let out = run_malleable(
+            app,
+            3,
+            DmrSpec::new(1, 8),
+            vec![DmrAction::Expand { to: 5 }],
+        );
+        assert_eq!(out.final_state[0], expected(17, 4));
+        assert_eq!(out.final_procs, 5);
+    }
+
+    #[test]
+    fn resize_to_single_rank() {
+        let app = Arc::new(CountingApp { n: 12, steps: 3 });
+        let out = run_malleable(
+            app,
+            4,
+            DmrSpec::new(1, 8),
+            vec![DmrAction::Shrink { to: 1 }],
+        );
+        assert_eq!(out.final_state[0], expected(12, 3));
+        assert_eq!(out.final_procs, 1);
+    }
+}

@@ -1,0 +1,56 @@
+//! Figure 1 on real executions: the cost of one reconfiguration through
+//! Checkpoint/Restart (file round-trip + full relaunch) versus the DMR
+//! path (in-flight spawn + redistribution), on the data-heavy FS
+//! application. The DMR bar must be decisively lower.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::sync::Arc;
+use std::time::Duration;
+
+use dmr_apps::fs::FsApp;
+use dmr_apps::malleable::run_malleable;
+use dmr_checkpoint::{run_with_checkpoint_restart, CrSchedule, DirStore};
+use dmr_runtime::dmr::{DmrAction, DmrSpec};
+
+/// 16 MiB of state per run: enough that the serialize/write/relaunch/read
+/// round-trip dominates the C/R side while criterion iterations stay
+/// snappy.
+const N: usize = 1 << 21;
+const STEPS: u32 = 4;
+
+fn app() -> Arc<FsApp> {
+    Arc::new(FsApp::new(N, STEPS, Duration::from_micros(100)))
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reconfigure_4_to_2");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes((N * 8) as u64));
+    g.bench_function("dmr_path", |b| {
+        b.iter(|| {
+            run_malleable(
+                app(),
+                4,
+                DmrSpec::new(1, 8),
+                vec![DmrAction::NoAction, DmrAction::Shrink { to: 2 }],
+            )
+        })
+    });
+    g.bench_function("cr_path", |b| {
+        b.iter(|| {
+            let store = Arc::new(DirStore::temp().expect("store"));
+            run_with_checkpoint_restart(
+                app(),
+                &CrSchedule {
+                    phases: vec![(4, 2), (2, STEPS - 2)],
+                },
+                store,
+                "bench",
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

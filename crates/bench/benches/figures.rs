@@ -1,0 +1,43 @@
+//! Scaled-down versions of the paper's figure experiments, one bench per
+//! chart family, so regressions in simulation cost (or policy behaviour
+//! explosions, e.g. reconfiguration thrash) show up in CI timing.
+//!
+//! The full-scale reproduction lives in the `repro` binary; these benches
+//! run the same code paths at reduced job counts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dmr_bench::figures;
+use dmr_bench::SEED;
+
+fn bench_fig3_family(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig3_fs_25jobs", |b| {
+        b.iter(|| black_box(figures::fig3(&[25], SEED)))
+    });
+    g.bench_function("fig7_async_25jobs", |b| {
+        b.iter(|| black_box(figures::fig7(&[25], SEED)))
+    });
+    g.bench_function("fig8_mix_sweep_25jobs", |b| {
+        b.iter(|| black_box(figures::fig8(25, SEED)))
+    });
+    g.bench_function("fig9_inhibitor_sweep_10jobs", |b| {
+        b.iter(|| black_box(figures::fig9(&[10], SEED)))
+    });
+    g.finish();
+}
+
+fn bench_production_family(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures_production");
+    g.sample_size(10);
+    g.bench_function("fig10_table2_25jobs", |b| {
+        b.iter(|| black_box(figures::production_summaries(&[25], SEED)))
+    });
+    g.bench_function("fig1_cost_model", |b| b.iter(|| black_box(figures::fig1())));
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig3_family, bench_production_family);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Redistribution costs: plan computation (pure) and execution over the
+//! thread-backed MPI substrate (real data movement through the spawn
+//! inter-communicator).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use dmr_mpi::{Comm, Universe};
+use dmr_runtime::dist::BlockDist;
+use dmr_runtime::redistribute::{recv_blocks, send_blocks};
+
+fn bench_plans(c: &mut Criterion) {
+    let mut g = c.benchmark_group("plan");
+    for (n, from, to) in [(1usize << 20, 8usize, 16usize), (1 << 20, 48, 12)] {
+        g.bench_function(format!("plan_{n}el_{from}to{to}"), |b| {
+            let a = BlockDist::new(n, from);
+            let t = BlockDist::new(n, to);
+            b.iter(|| black_box(a.plan_to(&t)))
+        });
+    }
+    g.finish();
+}
+
+fn redistribute_once(n: usize, from: usize, to: usize) {
+    Universe::run(from, move |mut comm| {
+        let a = BlockDist::new(n, from);
+        let t = BlockDist::new(n, to);
+        let me = comm.rank();
+        let data: Vec<f64> = a.range(me).map(|i| i as f64).collect();
+        let entry = Arc::new(move |mut child: Comm| {
+            let a = BlockDist::new(n, from);
+            let t = BlockDist::new(n, to);
+            let rank = child.rank();
+            let parent = child.parent().expect("child");
+            let block = recv_blocks::<f64>(parent, rank, &a, &t, 0).expect("recv");
+            black_box(block);
+            parent.send(&[1u8], 0, 9).expect("ack");
+        });
+        let mut inter = comm.spawn(to, entry).expect("spawn");
+        send_blocks(&mut inter, me, &data, &a, &t, 0).expect("send");
+        if me == 0 {
+            for _ in 0..to {
+                inter.recv::<u8>(None, Some(9)).expect("ack");
+            }
+        }
+    });
+}
+
+fn bench_live_redistribution(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mpi_redistribute");
+    g.sample_size(10);
+    for (n, from, to) in [(1usize << 18, 2usize, 4usize), (1 << 18, 4, 2), (1 << 20, 4, 8)] {
+        g.throughput(Throughput::Bytes((n * 8) as u64));
+        g.bench_function(format!("{}MB_{from}to{to}", n * 8 >> 20), |b| {
+            b.iter(|| redistribute_once(n, from, to))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_plans, bench_live_redistribution);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! Usage:
+//! ```text
+//! repro <target> [seed]
+//! targets: fig1 table1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11
+//!          fig12 table2 all quick
+//! ```
+//! `quick` runs a reduced-scale version of everything (CI-friendly);
+//! `all` runs the full paper-scale evaluation.
+
+use dmr_bench::figures as f;
+use dmr_bench::{PRELIM_JOB_COUNTS, PRODUCTION_JOB_COUNTS, SEED};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let target = args.first().map(String::as_str).unwrap_or("quick");
+    let seed: u64 = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(SEED);
+    run(target, seed);
+}
+
+fn run(target: &str, seed: u64) {
+    match target {
+        "fig1" => println!("{}", f::fig1_report()),
+        "table1" => println!("{}", f::table1_report()),
+        "fig3" => println!("{}", f::fig3_report(&PRELIM_JOB_COUNTS, seed)),
+        "fig4" => println!("{}", f::fig4(seed).render(72)),
+        "fig5" => println!("{}", f::fig5(seed).render(72)),
+        "fig6" => println!("{}", f::fig6(seed).render(72)),
+        "fig7" => println!("{}", f::fig7_report(&PRELIM_JOB_COUNTS, seed)),
+        "fig8" => println!("{}", f::fig8_report(100, seed)),
+        "fig9" => println!("{}", f::fig9_report(&[10, 25, 50, 100], seed)),
+        "fig10" | "fig11" | "table2" => {
+            let pairs = f::production_summaries(&PRODUCTION_JOB_COUNTS, seed);
+            match target {
+                "fig10" => println!("{}", f::fig10_report(&pairs)),
+                "fig11" => println!("{}", f::fig11_report(&pairs)),
+                _ => println!("{}", f::table2_report(&pairs)),
+            }
+        }
+        "fig12" => println!("{}", f::fig12(seed).render(72)),
+        "ablations" => println!("{}", f::ablations_report(50, seed)),
+        "all" => {
+            println!("{}", f::fig1_report());
+            println!("{}", f::table1_report());
+            println!("{}", f::fig3_report(&PRELIM_JOB_COUNTS, seed));
+            println!("{}", f::fig4(seed).render(72));
+            println!("{}", f::fig5(seed).render(72));
+            println!("{}", f::fig6(seed).render(72));
+            println!("{}", f::fig7_report(&PRELIM_JOB_COUNTS, seed));
+            println!("{}", f::fig8_report(100, seed));
+            println!("{}", f::fig9_report(&[10, 25, 50, 100], seed));
+            let pairs = f::production_summaries(&PRODUCTION_JOB_COUNTS, seed);
+            println!("{}", f::fig10_report(&pairs));
+            println!("{}", f::fig11_report(&pairs));
+            println!("{}", f::table2_report(&pairs));
+            println!("{}", f::fig12(seed).render(72));
+            println!("{}", f::ablations_report(50, seed));
+        }
+        "quick" => {
+            println!("{}", f::fig1_report());
+            println!("{}", f::table1_report());
+            println!("{}", f::fig3_report(&[10, 25, 50], seed));
+            println!("{}", f::fig8_report(50, seed));
+            let pairs = f::production_summaries(&[50], seed);
+            println!("{}", f::fig10_report(&pairs));
+            println!("{}", f::table2_report(&pairs));
+        }
+        other => {
+            eprintln!("unknown target `{other}`");
+            eprintln!(
+                "targets: fig1 table1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 \
+                 fig10 fig11 fig12 table2 all quick"
+            );
+            std::process::exit(2);
+        }
+    }
+}

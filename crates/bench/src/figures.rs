@@ -1,0 +1,598 @@
+//! One entry point per table/figure of the paper.
+
+use dmr_cluster::{DiskModel, NetworkModel};
+use dmr_core::config::EstimateMode;
+use dmr_core::{compare_fixed_flexible, run_experiment, ExperimentConfig, ExperimentResult, SimJob};
+use dmr_metrics::{csv::sparkline, gain_pct, WorkloadSummary};
+use dmr_workload::{WorkloadConfig, WorkloadGenerator};
+
+use crate::report::{pct, secs, table};
+
+/// A fixed-vs-flexible makespan comparison (Figures 3, 7, 10).
+#[derive(Clone, Debug)]
+pub struct ComparisonRow {
+    pub jobs: u32,
+    pub fixed_s: f64,
+    pub flexible_s: f64,
+    pub gain_pct: f64,
+}
+
+/// Full summaries per workload size (Table II, Figure 11).
+#[derive(Clone, Debug)]
+pub struct SummaryPair {
+    pub jobs: u32,
+    pub fixed: WorkloadSummary,
+    pub flexible: WorkloadSummary,
+}
+
+/// Fixed + flexible evolution traces (Figures 4, 5, 6, 12).
+pub struct Evolution {
+    pub label: String,
+    pub fixed: ExperimentResult,
+    pub flexible: ExperimentResult,
+}
+
+fn fs_workload(jobs: u32, seed: u64) -> Vec<SimJob> {
+    SimJob::from_specs(WorkloadGenerator::new(WorkloadConfig::fs_preliminary(jobs), seed).generate())
+}
+
+fn fs_micro_workload(jobs: u32, seed: u64) -> Vec<SimJob> {
+    SimJob::from_specs(WorkloadGenerator::new(WorkloadConfig::fs_micro_steps(jobs), seed).generate())
+}
+
+fn real_workload(jobs: u32, seed: u64) -> Vec<SimJob> {
+    SimJob::from_specs(WorkloadGenerator::new(WorkloadConfig::real_mix(jobs), seed).generate())
+}
+
+fn compare(cfg: &ExperimentConfig, jobs: &[SimJob], n: u32) -> ComparisonRow {
+    let (fixed, flexible) = compare_fixed_flexible(cfg, jobs);
+    ComparisonRow {
+        jobs: n,
+        fixed_s: fixed.summary.makespan_s,
+        flexible_s: flexible.summary.makespan_s,
+        gain_pct: gain_pct(fixed.summary.makespan_s, flexible.summary.makespan_s),
+    }
+}
+
+fn comparison_table(title: &str, rows: &[ComparisonRow]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.jobs.to_string(),
+                secs(r.fixed_s),
+                secs(r.flexible_s),
+                pct(r.gain_pct),
+            ]
+        })
+        .collect();
+    format!(
+        "{title}\n{}",
+        table(&["jobs", "fixed (s)", "flexible (s)", "gain"], &body)
+    )
+}
+
+// ---------------------------------------------------------------------
+// Figure 1 — C/R vs DMR reconfiguration cost (N-body, 48 -> {12,24,48})
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+pub struct Fig1Row {
+    pub from: u32,
+    pub to: u32,
+    pub dmr_spawn_s: f64,
+    pub cr_spawn_s: f64,
+    pub ratio: f64,
+}
+
+/// Figure 1: time of the non-solving (spawn + data) stage when resizing an
+/// N-body job from 48 processes, under checkpoint/restart vs the DMR API.
+/// The paper's labels are the C/R-to-DMR ratios (31.4×, 63.75×, 77×).
+pub fn fig1() -> Vec<Fig1Row> {
+    let net = NetworkModel::fdr10();
+    let disk = DiskModel::gpfs();
+    // N-body state: particles array; ~1 GiB at 48 ranks (§VII-B4 scale).
+    let data: u64 = 1 << 30;
+    [(48u32, 12u32), (48, 24), (48, 48)]
+        .iter()
+        .map(|&(from, to)| {
+            let dmr = net.dmr_reconfigure_time(data, from, to).as_secs_f64();
+            let cr = disk.cr_reconfigure_time(data, from, to).as_secs_f64();
+            Fig1Row {
+                from,
+                to,
+                dmr_spawn_s: dmr,
+                cr_spawn_s: cr,
+                ratio: cr / dmr,
+            }
+        })
+        .collect()
+}
+
+pub fn fig1_report() -> String {
+    let rows: Vec<Vec<String>> = fig1()
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}-{}", r.from, r.to),
+                format!("{:.2}", r.dmr_spawn_s),
+                format!("{:.2}", r.cr_spawn_s),
+                format!("{:.1}x", r.ratio),
+            ]
+        })
+        .collect();
+    format!(
+        "Figure 1: spawning stage, C/R vs DMR (N-body)\n{}",
+        table(&["procs (init-resized)", "DMR (s)", "C/R (s)", "C/R / DMR"], &rows)
+    )
+}
+
+// ---------------------------------------------------------------------
+// Table I — application configuration (input parameters)
+// ---------------------------------------------------------------------
+
+pub fn table1_report() -> String {
+    use dmr_workload::generator::table1;
+    use dmr_workload::AppClass;
+    let rows: Vec<Vec<String>> = [AppClass::Fs, AppClass::Cg, AppClass::Jacobi, AppClass::Nbody]
+        .iter()
+        .map(|&app| {
+            let (steps, m, data) = table1(app);
+            vec![
+                app.name().to_string(),
+                steps.to_string(),
+                m.min_procs.to_string(),
+                m.max_procs.to_string(),
+                m.preferred.map_or("-".into(), |p| p.to_string()),
+                m.sched_period_s
+                    .map_or("-".into(), |p| format!("{p} seconds")),
+                format!("{:.1} GiB", data as f64 / (1u64 << 30) as f64),
+            ]
+        })
+        .collect();
+    format!(
+        "Table I: configuration parameters for the applications\n{}",
+        table(
+            &["app", "iterations", "min", "max", "preferred", "sched period", "data"],
+            &rows
+        )
+    )
+}
+
+// ---------------------------------------------------------------------
+// Figures 3/7 — FS workloads, synchronous / asynchronous
+// ---------------------------------------------------------------------
+
+/// Figure 3: fixed vs flexible FS workloads (synchronous scheduling).
+pub fn fig3(job_counts: &[u32], seed: u64) -> Vec<ComparisonRow> {
+    let cfg = ExperimentConfig::preliminary();
+    job_counts
+        .iter()
+        .map(|&n| compare(&cfg, &fs_workload(n, seed), n))
+        .collect()
+}
+
+pub fn fig3_report(job_counts: &[u32], seed: u64) -> String {
+    comparison_table(
+        "Figure 3: fixed vs flexible workloads (synchronous)",
+        &fig3(job_counts, seed),
+    )
+}
+
+/// Figure 7: the same comparison under asynchronous action selection.
+pub fn fig7(job_counts: &[u32], seed: u64) -> Vec<ComparisonRow> {
+    let cfg = ExperimentConfig::preliminary().asynchronous();
+    job_counts
+        .iter()
+        .map(|&n| compare(&cfg, &fs_workload(n, seed), n))
+        .collect()
+}
+
+pub fn fig7_report(job_counts: &[u32], seed: u64) -> String {
+    comparison_table(
+        "Figure 7: fixed vs flexible workloads (asynchronous)",
+        &fig7(job_counts, seed),
+    )
+}
+
+// ---------------------------------------------------------------------
+// Figures 4/5/6/12 — evolution traces
+// ---------------------------------------------------------------------
+
+fn evolution(label: &str, cfg: &ExperimentConfig, jobs: &[SimJob]) -> Evolution {
+    let (fixed, flexible) = compare_fixed_flexible(cfg, jobs);
+    Evolution {
+        label: label.to_string(),
+        fixed,
+        flexible,
+    }
+}
+
+/// Figure 4: evolution of the 10-job FS workload.
+pub fn fig4(seed: u64) -> Evolution {
+    evolution(
+        "Figure 4: 10-job workload evolution",
+        &ExperimentConfig::preliminary(),
+        &fs_workload(10, seed),
+    )
+}
+
+/// Figure 5: evolution of the 25-job FS workload.
+pub fn fig5(seed: u64) -> Evolution {
+    evolution(
+        "Figure 5: 25-job workload evolution",
+        &ExperimentConfig::preliminary(),
+        &fs_workload(25, seed),
+    )
+}
+
+/// Figure 6: evolution of the 10-job workload under asynchronous
+/// scheduling (the outdated-decision gaps).
+pub fn fig6(seed: u64) -> Evolution {
+    evolution(
+        "Figure 6: 10-job workload, asynchronous scheduling",
+        &ExperimentConfig::preliminary().asynchronous(),
+        &fs_workload(10, seed),
+    )
+}
+
+/// Figure 12: evolution of the 50-job production workload.
+pub fn fig12(seed: u64) -> Evolution {
+    evolution(
+        "Figure 12: 50-job production workload evolution",
+        &ExperimentConfig::production(),
+        &real_workload(50, seed),
+    )
+}
+
+impl Evolution {
+    /// Terminal rendering: allocation and completed-job sparklines for
+    /// both runs, over each run's own makespan.
+    pub fn render(&self, width: usize) -> String {
+        let mut out = format!("{}\n", self.label);
+        for (name, r) in [("fixed", &self.fixed), ("flexible", &self.flexible)] {
+            out.push_str(&format!(
+                "  {name:8} makespan {:>9.1}s  util {:>5.1}%\n",
+                r.summary.makespan_s,
+                r.summary.utilization * 100.0
+            ));
+            out.push_str(&format!(
+                "    alloc nodes |{}|\n",
+                sparkline(&r.allocation, r.end_time, width)
+            ));
+            out.push_str(&format!(
+                "    running     |{}|\n",
+                sparkline(&r.running, r.end_time, width)
+            ));
+            out.push_str(&format!(
+                "    completed   |{}|\n",
+                sparkline(&r.completed, r.end_time, width)
+            ));
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figure 8 — heterogeneous flexible/fixed mixes
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+pub struct Fig8Row {
+    pub flexible_ratio_pct: u32,
+    pub makespan_s: f64,
+}
+
+/// Figure 8: 100-job FS workloads with 0–100 % flexible jobs.
+pub fn fig8(jobs: u32, seed: u64) -> Vec<Fig8Row> {
+    let cfg = ExperimentConfig::preliminary();
+    [0u32, 25, 50, 75, 100]
+        .iter()
+        .map(|&ratio| {
+            let mut wcfg = WorkloadConfig::fs_preliminary(jobs);
+            wcfg.flexible_ratio = ratio as f64 / 100.0;
+            let jobs_v = SimJob::from_specs(WorkloadGenerator::new(wcfg, seed).generate());
+            let r = run_experiment(&cfg, &jobs_v);
+            Fig8Row {
+                flexible_ratio_pct: ratio,
+                makespan_s: r.summary.makespan_s,
+            }
+        })
+        .collect()
+}
+
+pub fn fig8_report(jobs: u32, seed: u64) -> String {
+    let rows = fig8(jobs, seed);
+    let base = rows[0].makespan_s;
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}%", r.flexible_ratio_pct),
+                secs(r.makespan_s),
+                pct(gain_pct(base, r.makespan_s)),
+            ]
+        })
+        .collect();
+    format!(
+        "Figure 8: execution time vs rate of flexible jobs ({jobs} jobs)\n{}",
+        table(&["flexible", "makespan (s)", "gain vs 0%"], &body)
+    )
+}
+
+// ---------------------------------------------------------------------
+// Figure 9 — checking-inhibitor periods on micro-step workloads
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+pub struct Fig9Row {
+    /// `None` = plain flexible (no inhibitor).
+    pub period_s: Option<f64>,
+    /// Per workload size: (jobs, flexible makespan, gain vs fixed %).
+    pub cells: Vec<(u32, f64, f64)>,
+}
+
+/// Figure 9: micro-step (≈2 s) FS workloads under inhibitor periods
+/// {off, 2, 5, 10, 20} seconds, gains relative to the fixed workload.
+pub fn fig9(job_counts: &[u32], seed: u64) -> Vec<Fig9Row> {
+    let periods: [Option<f64>; 5] = [None, Some(2.0), Some(5.0), Some(10.0), Some(20.0)];
+    // Fixed baselines per size.
+    let fixed_cfg = ExperimentConfig::preliminary().as_fixed();
+    let baselines: Vec<(u32, f64, Vec<SimJob>)> = job_counts
+        .iter()
+        .map(|&n| {
+            let jobs = fs_micro_workload(n, seed);
+            let fixed = run_experiment(&fixed_cfg, &jobs);
+            (n, fixed.summary.makespan_s, jobs)
+        })
+        .collect();
+    periods
+        .iter()
+        .map(|&period| {
+            let cfg = ExperimentConfig::preliminary().with_inhibitor(period);
+            let cells = baselines
+                .iter()
+                .map(|(n, fixed_s, jobs)| {
+                    let r = run_experiment(&cfg, jobs);
+                    (*n, r.summary.makespan_s, gain_pct(*fixed_s, r.summary.makespan_s))
+                })
+                .collect();
+            Fig9Row {
+                period_s: period,
+                cells,
+            }
+        })
+        .collect()
+}
+
+pub fn fig9_report(job_counts: &[u32], seed: u64) -> String {
+    let rows = fig9(job_counts, seed);
+    let mut headers: Vec<String> = vec!["configuration".into()];
+    for n in job_counts {
+        headers.push(format!("{n} jobs"));
+    }
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let mut row = vec![match r.period_s {
+                None => "Flexible".to_string(),
+                Some(p) => format!("Sched {p:.0}"),
+            }];
+            for (_, makespan, gain) in &r.cells {
+                row.push(format!("{} ({})", secs(*makespan), pct(*gain)));
+            }
+            row
+        })
+        .collect();
+    format!(
+        "Figure 9: inhibition periods on micro-step workloads (gain vs fixed)\n{}",
+        table(&headers_ref, &body)
+    )
+}
+
+// ---------------------------------------------------------------------
+// Figures 10/11 + Table II — the production use case
+// ---------------------------------------------------------------------
+
+/// Shared computation for Figures 10, 11 and Table II.
+pub fn production_summaries(job_counts: &[u32], seed: u64) -> Vec<SummaryPair> {
+    let cfg = ExperimentConfig::production();
+    job_counts
+        .iter()
+        .map(|&n| {
+            let jobs = real_workload(n, seed);
+            let (fixed, flexible) = compare_fixed_flexible(&cfg, &jobs);
+            SummaryPair {
+                jobs: n,
+                fixed: fixed.summary,
+                flexible: flexible.summary,
+            }
+        })
+        .collect()
+}
+
+pub fn fig10_report(pairs: &[SummaryPair]) -> String {
+    let body: Vec<Vec<String>> = pairs
+        .iter()
+        .map(|p| {
+            vec![
+                p.jobs.to_string(),
+                secs(p.fixed.makespan_s),
+                secs(p.flexible.makespan_s),
+                pct(gain_pct(p.fixed.makespan_s, p.flexible.makespan_s)),
+            ]
+        })
+        .collect();
+    format!(
+        "Figure 10: production workload execution times\n{}",
+        table(&["jobs", "fixed (s)", "flexible (s)", "gain"], &body)
+    )
+}
+
+pub fn fig11_report(pairs: &[SummaryPair]) -> String {
+    let body: Vec<Vec<String>> = pairs
+        .iter()
+        .map(|p| {
+            vec![
+                p.jobs.to_string(),
+                secs(p.fixed.avg_waiting_s),
+                secs(p.flexible.avg_waiting_s),
+                pct(gain_pct(p.fixed.avg_waiting_s, p.flexible.avg_waiting_s)),
+            ]
+        })
+        .collect();
+    format!(
+        "Figure 11: average job waiting time\n{}",
+        table(&["jobs", "fixed (s)", "flexible (s)", "gain"], &body)
+    )
+}
+
+pub fn table2_report(pairs: &[SummaryPair]) -> String {
+    let mut headers: Vec<String> = vec!["measure".into()];
+    for p in pairs {
+        headers.push(format!("{} fixed", p.jobs));
+        headers.push(format!("{} flex", p.jobs));
+    }
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut row = |name: &str, f: &dyn Fn(&WorkloadSummary) -> String| {
+        let mut r = vec![name.to_string()];
+        for p in pairs {
+            r.push(f(&p.fixed));
+            r.push(f(&p.flexible));
+        }
+        rows.push(r);
+    };
+    row("utilization (%)", &|s| format!("{:.2}", s.utilization * 100.0));
+    row("avg wait (s)", &|s| secs(s.avg_waiting_s));
+    row("avg exec (s)", &|s| secs(s.avg_execution_s));
+    row("avg completion (s)", &|s| secs(s.avg_completion_s));
+    format!(
+        "Table II: summary of measures from all the workloads\n{}",
+        table(&headers_ref, &rows)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_ratios_in_paper_band() {
+        let rows = fig1();
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!(r.ratio > 20.0, "{}-{}: ratio {}", r.from, r.to, r.ratio);
+        }
+        // The paper's ratios grow with the resized process count.
+        assert!(rows[0].ratio < rows[2].ratio);
+    }
+
+    #[test]
+    fn fig3_small_scale_flexible_wins() {
+        let rows = fig3(&[10, 25], crate::SEED);
+        for r in &rows {
+            assert!(r.fixed_s > 0.0 && r.flexible_s > 0.0);
+            assert!(
+                r.gain_pct > 0.0,
+                "{} jobs: gain {} (fixed {}, flex {})",
+                r.jobs,
+                r.gain_pct,
+                r.fixed_s,
+                r.flexible_s
+            );
+        }
+    }
+
+    #[test]
+    fn table1_lists_all_apps() {
+        let t = table1_report();
+        for name in ["FS", "CG", "Jacobi", "N-body"] {
+            assert!(t.contains(name), "missing {name} in:\n{t}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Ablations — the design choices DESIGN.md calls out
+// ---------------------------------------------------------------------
+
+/// One ablation configuration's outcome on the 50-job production mix.
+#[derive(Clone, Debug)]
+pub struct AblationRow {
+    pub name: &'static str,
+    pub makespan_s: f64,
+    pub avg_wait_s: f64,
+    pub utilization: f64,
+}
+
+/// Runs the flexible production workload under each ablated
+/// configuration. The first row is the fixed baseline; the second the
+/// full flexible system; the rest disable one mechanism each.
+pub fn ablations(jobs: u32, seed: u64) -> Vec<AblationRow> {
+    let workload = real_workload(jobs, seed);
+    let base = ExperimentConfig::production();
+    let variants: Vec<(&'static str, ExperimentConfig)> = vec![
+        ("fixed (rigid)", base.as_fixed()),
+        ("flexible (full system)", base),
+        ("flexible, backfill off", {
+            let mut c = base;
+            c.backfill = false;
+            c
+        }),
+        ("flexible, shrink boost off", {
+            let mut c = base;
+            c.shrink_boost = false;
+            c
+        }),
+        ("flexible, oracle estimates", {
+            let mut c = base;
+            c.estimate_mode = EstimateMode::Actual;
+            c
+        }),
+        ("flexible, asynchronous", base.asynchronous()),
+        ("flexible, inhibitor off", base.with_inhibitor(None)),
+        ("flexible, resizer timeout 0s", {
+            let mut c = base.asynchronous();
+            c.resizer_timeout_s = 0.0;
+            c
+        }),
+    ];
+    variants
+        .into_iter()
+        .map(|(name, cfg)| {
+            let r = run_experiment(&cfg, &workload);
+            AblationRow {
+                name,
+                makespan_s: r.summary.makespan_s,
+                avg_wait_s: r.summary.avg_waiting_s,
+                utilization: r.summary.utilization,
+            }
+        })
+        .collect()
+}
+
+pub fn ablations_report(jobs: u32, seed: u64) -> String {
+    let rows = ablations(jobs, seed);
+    let baseline = rows[1].makespan_s;
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                secs(r.makespan_s),
+                pct(gain_pct(baseline, r.makespan_s) * -1.0),
+                secs(r.avg_wait_s),
+                format!("{:.1}%", r.utilization * 100.0),
+            ]
+        })
+        .collect();
+    format!(
+        "Ablations ({jobs}-job production mix; delta vs full flexible system)\n{}",
+        table(
+            &["configuration", "makespan (s)", "vs flexible", "avg wait (s)", "util"],
+            &body
+        )
+    )
+}

@@ -1,0 +1,16 @@
+//! # dmr-bench — the reproduction harness
+//!
+//! One function per table/figure of the paper's evaluation. The `repro`
+//! binary dispatches to these; the criterion benches reuse them at reduced
+//! scale. Every function both *returns* structured rows (for tests and
+//! EXPERIMENTS.md generation) and *prints* a paper-style table.
+
+pub mod figures;
+pub mod report;
+
+/// The workload sizes of Figures 3 and 7.
+pub const PRELIM_JOB_COUNTS: [u32; 6] = [10, 25, 50, 100, 200, 400];
+/// The workload sizes of Figures 10 and 11 / Table II.
+pub const PRODUCTION_JOB_COUNTS: [u32; 4] = [50, 100, 200, 400];
+/// Seed used throughout ("randomly-sorted jobs with a fixed seed", §IX-A).
+pub const SEED: u64 = 20170814;

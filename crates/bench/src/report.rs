@@ -1,0 +1,69 @@
+//! Plain-text table formatting for the `repro` binary.
+
+/// Formats a row-major table with a header, padding columns to width.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&head, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// `42.0` → `"42.0%"` with sign for gains.
+pub fn pct(v: f64) -> String {
+    format!("{v:+.2}%")
+}
+
+/// Seconds with one decimal.
+pub fn secs(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["jobs", "fixed"],
+            &[
+                vec!["10".into(), "123.4".into()],
+                vec!["400".into(), "7.0".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("jobs"));
+        assert!(lines[2].ends_with("123.4"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(41.97), "+41.97%");
+        assert_eq!(pct(-6.8), "-6.80%");
+        assert_eq!(secs(24599.04), "24599.0");
+    }
+}

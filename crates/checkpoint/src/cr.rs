@@ -1,0 +1,263 @@
+//! Checkpoint-and-reconfigure execution (the baseline the paper cites as El Maghraoui et al., §II).
+//!
+//! Instead of spawning the new process set in-flight and redistributing
+//! over the network, the C/R path: (1) every rank serializes its state
+//! blocks and writes a checkpoint image, (2) the whole job tears down,
+//! (3) a new job incarnation launches at the new size, (4) every new rank
+//! reads *all* old images it overlaps and reassembles its block. The
+//! structural overheads — full relaunch and double filesystem traversal —
+//! are exactly what Figure 1 charges against C/R.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use bytes::Bytes;
+use dmr_apps::malleable::{MalleableApp, MalleableOutcome};
+use dmr_mpi::Universe;
+use dmr_runtime::dist::BlockDist;
+
+use crate::image::CheckpointImage;
+use crate::store::CheckpointStore;
+
+/// A pre-computed resize schedule: run `steps` iterations at `procs`,
+/// then reconfigure to the next phase's size (via checkpoint/restart).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CrSchedule {
+    pub phases: Vec<(usize, u32)>,
+}
+
+impl CrSchedule {
+    /// A single fixed-size phase covering every step.
+    pub fn rigid(procs: usize, steps: u32) -> Self {
+        CrSchedule {
+            phases: vec![(procs, steps)],
+        }
+    }
+
+    pub fn total_steps(&self) -> u32 {
+        self.phases.iter().map(|(_, s)| s).sum()
+    }
+}
+
+/// Runs `app` across the schedule using checkpoint/restart between
+/// phases. The job name keys the images in `store`.
+///
+/// Returns the final gathered state, like
+/// [`dmr_apps::malleable::run_malleable`] — the two paths must agree
+/// numerically (asserted by tests), they only differ in cost.
+pub fn run_with_checkpoint_restart(
+    app: Arc<dyn MalleableApp>,
+    schedule: &CrSchedule,
+    store: Arc<dyn CheckpointStore>,
+    job: &str,
+) -> MalleableOutcome {
+    assert!(!schedule.phases.is_empty());
+    assert_eq!(
+        schedule.total_steps(),
+        app.steps(),
+        "schedule must cover the app's iterations"
+    );
+    let mut restarts = 0u32;
+    let mut done = 0u32;
+    let mut result = None;
+    for (phase_idx, &(procs, steps)) in schedule.phases.iter().enumerate() {
+        let is_last = phase_idx + 1 == schedule.phases.len();
+        let t0 = done;
+        let t_end = done + steps;
+        // One job incarnation: a fresh universe (the relaunch).
+        let slot: Arc<Mutex<Option<MalleableOutcome>>> = Arc::new(Mutex::new(None));
+        {
+            let app = Arc::clone(&app);
+            let store = Arc::clone(&store);
+            let slot = Arc::clone(&slot);
+            // Images are keyed per generation so a later, smaller
+            // generation can never pick up stale images of an earlier,
+            // larger one.
+            let read_key = format!("{job}#gen{}", phase_idx.wrapping_sub(1));
+            let write_key = format!("{job}#gen{phase_idx}");
+            let resumed = phase_idx > 0;
+            Universe::run(procs, move |mut comm| {
+                let me = comm.rank();
+                let dist = BlockDist::new(app.n(), comm.size());
+                let mut state: Vec<Vec<f64>> = if resumed {
+                    restore_block(&*store, &read_key, &dist, me, app.vectors())
+                } else {
+                    app.init(&dist, me)
+                };
+                for t in t0..t_end {
+                    app.step(&mut comm, &dist, &mut state, t);
+                }
+                if is_last {
+                    // Final phase: gather and publish.
+                    let mut full = Vec::with_capacity(app.vectors());
+                    for v in &state {
+                        full.push(comm.allgather(v).expect("final gather"));
+                    }
+                    if me == 0 {
+                        *slot.lock() = Some(MalleableOutcome {
+                            final_state: full,
+                            final_procs: comm.size(),
+                            resizes: 0,
+                        });
+                    }
+                } else {
+                    // Checkpoint this rank's blocks, then the incarnation
+                    // dies with the universe.
+                    let image = CheckpointImage {
+                        step: t_end,
+                        procs: comm.size() as u32,
+                        vectors: state,
+                    };
+                    store
+                        .save(&write_key, me, image.encode())
+                        .expect("checkpoint write");
+                }
+            });
+        }
+        if phase_idx > 0 {
+            store.clear(&format!("{job}#gen{}", phase_idx - 1));
+        }
+        if !is_last {
+            restarts += 1;
+        } else {
+            result = slot.lock().take();
+        }
+        done = t_end;
+    }
+    let mut out = result.expect("final incarnation stored a result");
+    out.resizes = restarts;
+    out
+}
+
+/// Restart path: rebuild this rank's blocks under `dist` from the old
+/// generation's images (reading every image that overlaps).
+fn restore_block(
+    store: &dyn CheckpointStore,
+    job: &str,
+    dist: &BlockDist,
+    me: usize,
+    vectors: usize,
+) -> Vec<Vec<f64>> {
+    let old_ranks = store.ranks(job);
+    assert!(!old_ranks.is_empty(), "restart requires checkpoint images");
+    // Old distribution: image count = old process count.
+    let old = BlockDist::new(dist.n, old_ranks.len());
+    let my_range = dist.range(me);
+    let mut state: Vec<Vec<f64>> = (0..vectors).map(|_| vec![0.0; dist.len(me)]).collect();
+    for &src in &old_ranks {
+        let sr = old.range(src);
+        let lo = sr.start.max(my_range.start);
+        let hi = sr.end.min(my_range.end);
+        if lo >= hi {
+            continue; // no overlap: skip the file (real C/R reads less
+                      // only when the format allows seeking; ours does)
+        }
+        let raw: Bytes = store.load(job, src).expect("checkpoint read");
+        let image = CheckpointImage::decode(raw).expect("valid image");
+        assert_eq!(image.vectors.len(), vectors);
+        for (v, src_vec) in state.iter_mut().zip(&image.vectors) {
+            v[lo - my_range.start..hi - my_range.start]
+                .copy_from_slice(&src_vec[lo - sr.start..hi - sr.start]);
+        }
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemStore;
+    use dmr_apps::cg::{cg_sequential, CgApp};
+    use dmr_apps::jacobi::{jacobi_sequential, JacobiApp};
+
+    #[test]
+    fn rigid_schedule_matches_sequential_cg() {
+        let (n, iters) = (48, 30);
+        let out = run_with_checkpoint_restart(
+            Arc::new(CgApp::new(n, iters)),
+            &CrSchedule::rigid(4, iters),
+            Arc::new(MemStore::new()),
+            "cg-rigid",
+        );
+        let (x_ref, _) = cg_sequential(n, iters);
+        for (a, b) in out.final_state[0].iter().zip(&x_ref) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        assert_eq!(out.resizes, 0);
+    }
+
+    #[test]
+    fn resize_via_cr_matches_sequential_jacobi() {
+        let (n, iters) = (40, 24);
+        let out = run_with_checkpoint_restart(
+            Arc::new(JacobiApp::new(n, iters)),
+            &CrSchedule {
+                phases: vec![(4, 8), (2, 8), (5, 8)],
+            },
+            Arc::new(MemStore::new()),
+            "jacobi-cr",
+        );
+        assert_eq!(out.final_state[0], jacobi_sequential(n, iters));
+        assert_eq!(out.resizes, 2);
+        assert_eq!(out.final_procs, 5);
+    }
+
+    #[test]
+    fn cr_and_dmr_paths_agree() {
+        use dmr_apps::malleable::run_malleable;
+        use dmr_runtime::dmr::{DmrAction, DmrSpec};
+        let (n, iters) = (36, 12);
+        let cr = run_with_checkpoint_restart(
+            Arc::new(CgApp::new(n, iters)),
+            &CrSchedule {
+                phases: vec![(2, 3), (4, 9)],
+            },
+            Arc::new(MemStore::new()),
+            "agree",
+        );
+        // DMR path: same effective trajectory — expand 2→4 at t=3. The
+        // reconfiguring point at t=3 is the fourth negotiation (t=0,1,2
+        // answered NoAction).
+        let dmr = run_malleable(
+            Arc::new(CgApp::new(n, iters)),
+            2,
+            DmrSpec::new(1, 8),
+            vec![
+                DmrAction::NoAction,
+                DmrAction::NoAction,
+                DmrAction::NoAction,
+                DmrAction::Expand { to: 4 },
+            ],
+        );
+        for (a, b) in cr.final_state[0].iter().zip(&dmr.final_state[0]) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "schedule must cover")]
+    fn mismatched_schedule_rejected() {
+        run_with_checkpoint_restart(
+            Arc::new(CgApp::new(16, 10)),
+            &CrSchedule::rigid(2, 5),
+            Arc::new(MemStore::new()),
+            "bad",
+        );
+    }
+
+    #[test]
+    fn images_are_cleared_after_completion() {
+        let store = Arc::new(MemStore::new());
+        run_with_checkpoint_restart(
+            Arc::new(JacobiApp::new(20, 6)),
+            &CrSchedule {
+                phases: vec![(2, 3), (3, 3)],
+            },
+            Arc::clone(&store) as Arc<dyn CheckpointStore>,
+            "cleanup",
+        );
+        assert!(store.ranks("cleanup#gen0").is_empty());
+        assert!(store.ranks("cleanup#gen1").is_empty());
+    }
+}

@@ -1,0 +1,121 @@
+//! Checkpoint image format.
+//!
+//! One image holds one rank's share of the application state plus the
+//! restart metadata (iteration counter, generation layout). Encoding is
+//! raw little-endian — checkpointing exists to be fast, not portable
+//! across architectures (same trade-off real C/R libraries like SCR
+//! make for node-local stages).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// A serialized block of application state.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CheckpointImage {
+    /// Iteration to resume from.
+    pub step: u32,
+    /// Process count of the generation that wrote the image.
+    pub procs: u32,
+    /// This rank's block of every state vector.
+    pub vectors: Vec<Vec<f64>>,
+}
+
+impl CheckpointImage {
+    /// Serializes the image.
+    pub fn encode(&self) -> Bytes {
+        let payload: usize = self.vectors.iter().map(|v| 8 + v.len() * 8).sum();
+        let mut out = BytesMut::with_capacity(16 + payload);
+        out.put_u32_le(self.step);
+        out.put_u32_le(self.procs);
+        out.put_u64_le(self.vectors.len() as u64);
+        for v in &self.vectors {
+            out.put_u64_le(v.len() as u64);
+            for &x in v {
+                out.put_f64_le(x);
+            }
+        }
+        out.freeze()
+    }
+
+    /// Deserializes an image; `None` on malformed input.
+    pub fn decode(mut bytes: Bytes) -> Option<Self> {
+        if bytes.remaining() < 16 {
+            return None;
+        }
+        let step = bytes.get_u32_le();
+        let procs = bytes.get_u32_le();
+        let nvec = bytes.get_u64_le() as usize;
+        let mut vectors = Vec::with_capacity(nvec);
+        for _ in 0..nvec {
+            if bytes.remaining() < 8 {
+                return None;
+            }
+            let len = bytes.get_u64_le() as usize;
+            if bytes.remaining() < len * 8 {
+                return None;
+            }
+            let mut v = Vec::with_capacity(len);
+            for _ in 0..len {
+                v.push(bytes.get_f64_le());
+            }
+            vectors.push(v);
+        }
+        Some(CheckpointImage {
+            step,
+            procs,
+            vectors,
+        })
+    }
+
+    /// Payload size in bytes (what travels to the filesystem).
+    pub fn size_bytes(&self) -> usize {
+        16 + self.vectors.iter().map(|v| 8 + v.len() * 8).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CheckpointImage {
+        CheckpointImage {
+            step: 7,
+            procs: 4,
+            vectors: vec![vec![1.0, -2.5, 3.25], vec![], vec![f64::MAX, f64::MIN]],
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let img = sample();
+        let decoded = CheckpointImage::decode(img.encode()).unwrap();
+        assert_eq!(decoded, img);
+    }
+
+    #[test]
+    fn size_matches_encoding() {
+        let img = sample();
+        assert_eq!(img.encode().len(), img.size_bytes());
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let img = sample();
+        let enc = img.encode();
+        for cut in [0, 3, 15, enc.len() - 1] {
+            assert!(
+                CheckpointImage::decode(enc.slice(0..cut)).is_none(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_state() {
+        let img = CheckpointImage {
+            step: 0,
+            procs: 1,
+            vectors: vec![],
+        };
+        assert_eq!(CheckpointImage::decode(img.encode()).unwrap(), img);
+    }
+}

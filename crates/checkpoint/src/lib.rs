@@ -1,0 +1,28 @@
+//! # dmr-checkpoint — the Checkpoint/Restart baseline
+//!
+//! Figure 1 of the paper motivates the DMR API by comparing it against
+//! reconfiguration via Checkpoint/Restart: save all application state to
+//! the (shared) filesystem, tear the job down, relaunch it at the new
+//! size, and reload. "The labels of the spawning bars reveal an important
+//! increment in the cost of spawning processes for C/R with respect to
+//! the DMR API (e.g., for 48–24 processes by a factor 63.75×), because of
+//! the need to save data to disk to be later reloaded."
+//!
+//! This crate provides:
+//!
+//! * [`store`] — checkpoint storage backends: in-memory (hermetic tests)
+//!   and directory-backed (real file I/O for the `cr_vs_dmr` benchmark);
+//! * [`image`] — the checkpoint image format (header + raw little-endian
+//!   vector payloads);
+//! * [`cr`] — [`cr::run_with_checkpoint_restart`]: executes a
+//!   [`dmr_apps::MalleableApp`] across a resize schedule the C/R way,
+//!   with a *full universe teardown and relaunch* between phases — the
+//!   cost structure the DMR path avoids.
+
+pub mod cr;
+pub mod image;
+pub mod store;
+
+pub use cr::{run_with_checkpoint_restart, CrSchedule};
+pub use image::CheckpointImage;
+pub use store::{CheckpointStore, DirStore, MemStore};

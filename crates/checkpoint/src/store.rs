@@ -1,0 +1,178 @@
+//! Checkpoint storage backends.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::path::PathBuf;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+/// Where checkpoint images live. Keys are `(job, rank)`.
+pub trait CheckpointStore: Send + Sync {
+    fn save(&self, job: &str, rank: usize, image: Bytes) -> std::io::Result<()>;
+    fn load(&self, job: &str, rank: usize) -> std::io::Result<Bytes>;
+    /// Ranks with images for `job` (restart needs to know the old
+    /// generation's size).
+    fn ranks(&self, job: &str) -> Vec<usize>;
+    /// Drops all images of a job (after a successful restart).
+    fn clear(&self, job: &str);
+}
+
+/// In-memory store for hermetic tests.
+#[derive(Default)]
+pub struct MemStore {
+    map: Mutex<HashMap<(String, usize), Bytes>>,
+}
+
+impl MemStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl CheckpointStore for MemStore {
+    fn save(&self, job: &str, rank: usize, image: Bytes) -> std::io::Result<()> {
+        self.map.lock().insert((job.to_string(), rank), image);
+        Ok(())
+    }
+
+    fn load(&self, job: &str, rank: usize) -> std::io::Result<Bytes> {
+        self.map
+            .lock()
+            .get(&(job.to_string(), rank))
+            .cloned()
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::NotFound, "no image"))
+    }
+
+    fn ranks(&self, job: &str) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .map
+            .lock()
+            .keys()
+            .filter(|(j, _)| j == job)
+            .map(|(_, r)| *r)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    fn clear(&self, job: &str) {
+        self.map.lock().retain(|(j, _), _| j != job);
+    }
+}
+
+/// Directory-backed store: one file per (job, rank) — the shared-
+/// filesystem path a real C/R stack takes, used by the `cr_vs_dmr`
+/// benchmark to charge genuine I/O.
+pub struct DirStore {
+    dir: PathBuf,
+}
+
+impl DirStore {
+    /// Creates (if needed) and uses `dir`.
+    pub fn new(dir: PathBuf) -> std::io::Result<Self> {
+        std::fs::create_dir_all(&dir)?;
+        Ok(DirStore { dir })
+    }
+
+    /// A store under the system temp directory, unique per call.
+    pub fn temp() -> std::io::Result<Self> {
+        let unique = format!(
+            "dmr-ckpt-{}-{:?}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos())
+                .unwrap_or_default()
+        );
+        DirStore::new(std::env::temp_dir().join(unique))
+    }
+
+    fn path(&self, job: &str, rank: usize) -> PathBuf {
+        self.dir.join(format!("{job}.{rank}.ckpt"))
+    }
+}
+
+impl CheckpointStore for DirStore {
+    fn save(&self, job: &str, rank: usize, image: Bytes) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(self.path(job, rank))?;
+        f.write_all(&image)?;
+        f.sync_all()
+    }
+
+    fn load(&self, job: &str, rank: usize) -> std::io::Result<Bytes> {
+        let mut f = std::fs::File::open(self.path(job, rank))?;
+        let mut buf = Vec::new();
+        f.read_to_end(&mut buf)?;
+        Ok(Bytes::from(buf))
+    }
+
+    fn ranks(&self, job: &str) -> Vec<usize> {
+        let prefix = format!("{job}.");
+        let mut out = Vec::new();
+        if let Ok(entries) = std::fs::read_dir(&self.dir) {
+            for e in entries.flatten() {
+                let name = e.file_name().to_string_lossy().into_owned();
+                if let Some(rest) = name.strip_prefix(&prefix) {
+                    if let Some(rank) = rest.strip_suffix(".ckpt") {
+                        if let Ok(r) = rank.parse() {
+                            out.push(r);
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    fn clear(&self, job: &str) {
+        for rank in self.ranks(job) {
+            let _ = std::fs::remove_file(self.path(job, rank));
+        }
+    }
+}
+
+impl Drop for DirStore {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(store: &dyn CheckpointStore) {
+        assert!(store.ranks("job").is_empty());
+        store.save("job", 0, Bytes::from_static(b"alpha")).unwrap();
+        store.save("job", 2, Bytes::from_static(b"gamma")).unwrap();
+        store.save("other", 0, Bytes::from_static(b"x")).unwrap();
+        assert_eq!(store.ranks("job"), vec![0, 2]);
+        assert_eq!(&store.load("job", 2).unwrap()[..], b"gamma");
+        assert!(store.load("job", 1).is_err());
+        store.clear("job");
+        assert!(store.ranks("job").is_empty());
+        assert_eq!(store.ranks("other"), vec![0], "other jobs untouched");
+    }
+
+    #[test]
+    fn mem_store_contract() {
+        exercise(&MemStore::new());
+    }
+
+    #[test]
+    fn dir_store_contract() {
+        exercise(&DirStore::temp().unwrap());
+    }
+
+    #[test]
+    fn dir_store_cleans_up_on_drop() {
+        let store = DirStore::temp().unwrap();
+        let dir = store.dir.clone();
+        store.save("j", 0, Bytes::from_static(b"d")).unwrap();
+        assert!(dir.exists());
+        drop(store);
+        assert!(!dir.exists());
+    }
+}

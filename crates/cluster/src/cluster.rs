@@ -1,0 +1,372 @@
+//! Node inventory and allocation bookkeeping.
+//!
+//! Allocation is by whole nodes, matching the paper (MPI ranks are placed one
+//! per node; intra-node parallelism belongs to OpenMP/OmpSs and is invisible
+//! to the resource manager). Owners are opaque `u64` tags chosen by the
+//! caller — `dmr-slurm` uses job ids — so this crate stays free of scheduler
+//! concepts.
+
+use std::collections::BTreeMap;
+
+use crate::node::{NodeId, NodeState};
+
+/// Errors from allocation requests.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AllocError {
+    /// Fewer free nodes than requested.
+    Insufficient { requested: u32, free: u32 },
+    /// A specific node was requested but is busy or not up.
+    NodeBusy(NodeId),
+    /// The owner tag is unknown (release/shrink of a non-allocated owner).
+    UnknownOwner(u64),
+    /// Shrink would release more nodes than the owner holds.
+    ShrinkTooLarge { held: u32, release: u32 },
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocError::Insufficient { requested, free } => {
+                write!(f, "requested {requested} nodes but only {free} free")
+            }
+            AllocError::NodeBusy(n) => write!(f, "{n} is busy or unavailable"),
+            AllocError::UnknownOwner(o) => write!(f, "owner {o} holds no allocation"),
+            AllocError::ShrinkTooLarge { held, release } => {
+                write!(f, "cannot release {release} of {held} held nodes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// The cluster: a set of nodes, each either free or owned by exactly one
+/// owner tag.
+///
+/// Node selection is *linear*: the lowest-numbered free nodes are taken
+/// first, mirroring Slurm's `select/linear` plug-in configured in the paper.
+/// This also keeps simulations deterministic.
+#[derive(Clone, Debug)]
+pub struct Cluster {
+    states: Vec<NodeState>,
+    owner: Vec<Option<u64>>,
+    /// Owner -> sorted list of held nodes. BTreeMap keeps iteration (and
+    /// therefore any derived event order) deterministic.
+    held: BTreeMap<u64, Vec<NodeId>>,
+    free_count: u32,
+    cores_per_node: u32,
+}
+
+impl Cluster {
+    /// A cluster of `nodes` identical nodes, all up and free.
+    pub fn new(nodes: u32, cores_per_node: u32) -> Self {
+        Cluster {
+            states: vec![NodeState::Up; nodes as usize],
+            owner: vec![None; nodes as usize],
+            held: BTreeMap::new(),
+            free_count: nodes,
+            cores_per_node,
+        }
+    }
+
+    /// The paper's testbed: 65 nodes × 16 cores.
+    pub fn marenostrum() -> Self {
+        Cluster::new(crate::MARENOSTRUM_NODES, crate::MARENOSTRUM_CORES_PER_NODE)
+    }
+
+    pub fn total_nodes(&self) -> u32 {
+        self.states.len() as u32
+    }
+
+    pub fn cores_per_node(&self) -> u32 {
+        self.cores_per_node
+    }
+
+    /// Nodes currently free *and* accepting work.
+    pub fn free_nodes(&self) -> u32 {
+        self.free_count
+    }
+
+    pub fn allocated_nodes(&self) -> u32 {
+        self.total_nodes() - self.free_count - self.unavailable_nodes()
+    }
+
+    fn unavailable_nodes(&self) -> u32 {
+        self.states
+            .iter()
+            .zip(&self.owner)
+            .filter(|(s, o)| !s.accepts_new_work() && o.is_none())
+            .count() as u32
+    }
+
+    /// Owner of a node, if allocated.
+    pub fn owner_of(&self, node: NodeId) -> Option<u64> {
+        self.owner.get(node.index()).copied().flatten()
+    }
+
+    /// Nodes held by `owner` (sorted ascending), empty if none.
+    pub fn nodes_of(&self, owner: u64) -> &[NodeId] {
+        self.held.get(&owner).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of nodes held by `owner`.
+    pub fn held_by(&self, owner: u64) -> u32 {
+        self.nodes_of(owner).len() as u32
+    }
+
+    /// Whether `n` nodes could be allocated right now.
+    pub fn can_allocate(&self, n: u32) -> bool {
+        n <= self.free_count
+    }
+
+    /// Allocates `n` nodes to `owner` using lowest-id-first (linear)
+    /// selection. An owner may hold several grants; they accumulate.
+    pub fn allocate(&mut self, n: u32, owner: u64) -> Result<Vec<NodeId>, AllocError> {
+        if n > self.free_count {
+            return Err(AllocError::Insufficient {
+                requested: n,
+                free: self.free_count,
+            });
+        }
+        let mut granted = Vec::with_capacity(n as usize);
+        for (i, (state, own)) in self.states.iter().zip(self.owner.iter()).enumerate() {
+            if granted.len() == n as usize {
+                break;
+            }
+            if own.is_none() && state.accepts_new_work() {
+                granted.push(NodeId(i as u32));
+            }
+        }
+        debug_assert_eq!(granted.len(), n as usize);
+        for &node in &granted {
+            self.owner[node.index()] = Some(owner);
+        }
+        self.free_count -= n;
+        let held = self.held.entry(owner).or_default();
+        held.extend_from_slice(&granted);
+        held.sort_unstable();
+        Ok(granted)
+    }
+
+    /// Allocates the exact node set `nodes` to `owner`. Used when the
+    /// scheduler has computed a placement (e.g. reattaching resizer-job
+    /// nodes to the original job).
+    pub fn allocate_specific(&mut self, nodes: &[NodeId], owner: u64) -> Result<(), AllocError> {
+        for &node in nodes {
+            let st = self.states[node.index()];
+            if self.owner[node.index()].is_some() || !st.accepts_new_work() {
+                return Err(AllocError::NodeBusy(node));
+            }
+        }
+        for &node in nodes {
+            self.owner[node.index()] = Some(owner);
+        }
+        self.free_count -= nodes.len() as u32;
+        let held = self.held.entry(owner).or_default();
+        held.extend_from_slice(nodes);
+        held.sort_unstable();
+        Ok(())
+    }
+
+    /// Releases every node held by `owner`, returning them.
+    pub fn release_all(&mut self, owner: u64) -> Result<Vec<NodeId>, AllocError> {
+        let nodes = self.held.remove(&owner).ok_or(AllocError::UnknownOwner(owner))?;
+        for &node in &nodes {
+            self.owner[node.index()] = None;
+        }
+        self.free_count += nodes.len() as u32;
+        Ok(nodes)
+    }
+
+    /// Releases the `n` highest-numbered nodes held by `owner` (a shrink).
+    /// Slurm releases from the tail of the job's node list; keeping the
+    /// lowest nodes means rank 0's node survives every shrink.
+    pub fn release_tail(&mut self, owner: u64, n: u32) -> Result<Vec<NodeId>, AllocError> {
+        let held = self.held.get_mut(&owner).ok_or(AllocError::UnknownOwner(owner))?;
+        if (n as usize) > held.len() {
+            return Err(AllocError::ShrinkTooLarge {
+                held: held.len() as u32,
+                release: n,
+            });
+        }
+        let released: Vec<NodeId> = held.split_off(held.len() - n as usize);
+        if held.is_empty() {
+            self.held.remove(&owner);
+        }
+        for &node in &released {
+            self.owner[node.index()] = None;
+        }
+        self.free_count += n;
+        Ok(released)
+    }
+
+    /// Transfers every node held by `from` to `to` (step 4 of the expansion
+    /// protocol: the resizer job's nodes are reattached to the original
+    /// job).
+    pub fn transfer_all(&mut self, from: u64, to: u64) -> Result<Vec<NodeId>, AllocError> {
+        let nodes = self.held.remove(&from).ok_or(AllocError::UnknownOwner(from))?;
+        for &node in &nodes {
+            self.owner[node.index()] = Some(to);
+        }
+        let held = self.held.entry(to).or_default();
+        held.extend_from_slice(&nodes);
+        held.sort_unstable();
+        Ok(nodes)
+    }
+
+    /// Marks a node's administrative state. Allocated nodes may be drained;
+    /// they are only excluded from *new* placements.
+    pub fn set_state(&mut self, node: NodeId, state: NodeState) {
+        let was_placeable =
+            self.states[node.index()].accepts_new_work() && self.owner[node.index()].is_none();
+        let now_placeable = state.accepts_new_work() && self.owner[node.index()].is_none();
+        self.states[node.index()] = state;
+        match (was_placeable, now_placeable) {
+            (true, false) => self.free_count -= 1,
+            (false, true) => self.free_count += 1,
+            _ => {}
+        }
+    }
+
+    /// Internal-consistency check used by tests and debug assertions.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut counted_free = 0;
+        for (i, (state, own)) in self.states.iter().zip(self.owner.iter()).enumerate() {
+            if own.is_none() && state.accepts_new_work() {
+                counted_free += 1;
+            }
+            if let Some(o) = own {
+                if !self.nodes_of(*o).contains(&NodeId(i as u32)) {
+                    return Err(format!("node n{i} owner {o} not in held list"));
+                }
+            }
+        }
+        if counted_free != self.free_count {
+            return Err(format!(
+                "free_count {} != counted {}",
+                self.free_count, counted_free
+            ));
+        }
+        for (o, nodes) in &self.held {
+            for n in nodes {
+                if self.owner[n.index()] != Some(*o) {
+                    return Err(format!("held list of {o} contains foreign node {n:?}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_allocation_takes_lowest_ids() {
+        let mut c = Cluster::new(8, 16);
+        let got = c.allocate(3, 1).unwrap();
+        assert_eq!(got, vec![NodeId(0), NodeId(1), NodeId(2)]);
+        let got = c.allocate(2, 2).unwrap();
+        assert_eq!(got, vec![NodeId(3), NodeId(4)]);
+        assert_eq!(c.free_nodes(), 3);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn allocation_fails_when_insufficient() {
+        let mut c = Cluster::new(4, 16);
+        c.allocate(3, 1).unwrap();
+        assert_eq!(
+            c.allocate(2, 2),
+            Err(AllocError::Insufficient {
+                requested: 2,
+                free: 1
+            })
+        );
+        // Failed allocation must not disturb state.
+        assert_eq!(c.free_nodes(), 1);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn release_all_returns_everything() {
+        let mut c = Cluster::new(6, 16);
+        c.allocate(4, 7).unwrap();
+        let freed = c.release_all(7).unwrap();
+        assert_eq!(freed.len(), 4);
+        assert_eq!(c.free_nodes(), 6);
+        assert_eq!(c.release_all(7), Err(AllocError::UnknownOwner(7)));
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn release_tail_keeps_lowest_nodes() {
+        let mut c = Cluster::new(8, 16);
+        c.allocate(6, 3).unwrap();
+        let released = c.release_tail(3, 4).unwrap();
+        assert_eq!(released, vec![NodeId(2), NodeId(3), NodeId(4), NodeId(5)]);
+        assert_eq!(c.nodes_of(3), &[NodeId(0), NodeId(1)]);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn release_tail_rejects_overshrink() {
+        let mut c = Cluster::new(4, 16);
+        c.allocate(2, 1).unwrap();
+        assert_eq!(
+            c.release_tail(1, 3),
+            Err(AllocError::ShrinkTooLarge { held: 2, release: 3 })
+        );
+    }
+
+    #[test]
+    fn transfer_reattaches_resizer_nodes() {
+        let mut c = Cluster::new(10, 16);
+        c.allocate(4, 100).unwrap(); // original job
+        c.allocate(2, 200).unwrap(); // resizer job
+        let moved = c.transfer_all(200, 100).unwrap();
+        assert_eq!(moved.len(), 2);
+        assert_eq!(c.held_by(100), 6);
+        assert_eq!(c.held_by(200), 0);
+        assert_eq!(c.owner_of(NodeId(4)), Some(100));
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn drained_nodes_not_placeable() {
+        let mut c = Cluster::new(3, 16);
+        c.set_state(NodeId(0), NodeState::Drained);
+        assert_eq!(c.free_nodes(), 2);
+        let got = c.allocate(2, 1).unwrap();
+        assert_eq!(got, vec![NodeId(1), NodeId(2)]);
+        c.set_state(NodeId(0), NodeState::Up);
+        assert_eq!(c.free_nodes(), 1);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn allocate_specific_rejects_busy() {
+        let mut c = Cluster::new(4, 16);
+        c.allocate(1, 1).unwrap(); // takes n0
+        assert_eq!(
+            c.allocate_specific(&[NodeId(0), NodeId(1)], 2),
+            Err(AllocError::NodeBusy(NodeId(0)))
+        );
+        // Nothing allocated on failure.
+        assert_eq!(c.owner_of(NodeId(1)), None);
+        c.allocate_specific(&[NodeId(2), NodeId(3)], 2).unwrap();
+        assert_eq!(c.held_by(2), 2);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn multiple_grants_accumulate() {
+        let mut c = Cluster::new(8, 16);
+        c.allocate(2, 9).unwrap();
+        c.allocate(3, 9).unwrap();
+        assert_eq!(c.held_by(9), 5);
+        assert_eq!(c.nodes_of(9).len(), 5);
+        c.check_invariants().unwrap();
+    }
+}

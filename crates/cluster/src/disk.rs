@@ -1,0 +1,111 @@
+//! Shared parallel-filesystem cost model for the checkpoint/restart
+//! baseline.
+//!
+//! C/R-based reconfiguration (the approach Figure 1 compares against) must
+//! write the full application state to the shared filesystem, tear the job
+//! down, requeue it at the new size, and read the state back. The filesystem
+//! is shared, so aggregate bandwidth does not scale with the writer count
+//! beyond a small striping factor — this is what makes C/R 30–80× more
+//! expensive than runtime redistribution in the paper's measurements.
+
+use dmr_sim::Span;
+
+/// GPFS-like shared filesystem model.
+#[derive(Clone, Copy, Debug)]
+pub struct DiskModel {
+    /// Aggregate write bandwidth in bytes/second (shared by all writers).
+    pub write_bandwidth_bps: f64,
+    /// Aggregate read bandwidth in bytes/second.
+    pub read_bandwidth_bps: f64,
+    /// Per-file metadata/open/close overhead in seconds.
+    pub metadata_s: f64,
+    /// Cost of tearing down and relaunching the job via the batch system
+    /// (requeue, allocation, full `mpirun` start-up), seconds. This charge
+    /// is what dominates the "spawning" bars for C/R in Figure 1.
+    pub relaunch_base_s: f64,
+    /// Additional relaunch cost per process, seconds.
+    pub relaunch_per_proc_s: f64,
+}
+
+impl Default for DiskModel {
+    fn default() -> Self {
+        DiskModel::gpfs()
+    }
+}
+
+impl DiskModel {
+    /// Conservative GPFS-era figures: ~2 GB/s aggregate write, ~3 GB/s read,
+    /// and a multi-second relaunch (typical of production batch restarts).
+    pub fn gpfs() -> Self {
+        DiskModel {
+            write_bandwidth_bps: 2.0e9,
+            read_bandwidth_bps: 3.0e9,
+            metadata_s: 0.08,
+            relaunch_base_s: 5.0,
+            relaunch_per_proc_s: 0.3,
+        }
+    }
+
+    /// Time for `writers` ranks to write `total_bytes` of checkpoint state.
+    pub fn write_time(&self, total_bytes: u64, writers: u32) -> Span {
+        Span::from_secs_f64(
+            self.metadata_s * writers.max(1) as f64
+                + total_bytes as f64 / self.write_bandwidth_bps,
+        )
+    }
+
+    /// Time for `readers` ranks to read `total_bytes` back.
+    pub fn read_time(&self, total_bytes: u64, readers: u32) -> Span {
+        Span::from_secs_f64(
+            self.metadata_s * readers.max(1) as f64
+                + total_bytes as f64 / self.read_bandwidth_bps,
+        )
+    }
+
+    /// Time to tear down and relaunch the job at `new_procs` processes.
+    pub fn relaunch_time(&self, new_procs: u32) -> Span {
+        Span::from_secs_f64(self.relaunch_base_s + self.relaunch_per_proc_s * new_procs as f64)
+    }
+
+    /// Full checkpoint-and-reconfigure cost: write state at the old size,
+    /// relaunch at the new size, read state back.
+    pub fn cr_reconfigure_time(&self, total_bytes: u64, src_procs: u32, dst_procs: u32) -> Span {
+        self.write_time(total_bytes, src_procs)
+            + self.relaunch_time(dst_procs)
+            + self.read_time(total_bytes, dst_procs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GB: u64 = 1 << 30;
+
+    #[test]
+    fn write_and_read_scale_with_bytes() {
+        let d = DiskModel::gpfs();
+        assert!(d.write_time(2 * GB, 8) > d.write_time(GB, 8));
+        assert!(d.read_time(2 * GB, 8) > d.read_time(GB, 8));
+    }
+
+    #[test]
+    fn metadata_scales_with_ranks() {
+        let d = DiskModel::gpfs();
+        assert!(d.write_time(GB, 48) > d.write_time(GB, 4));
+    }
+
+    #[test]
+    fn cr_is_much_slower_than_dmr_network_path() {
+        // The calibration target behind Figure 1: C/R reconfiguration is
+        // well over an order of magnitude costlier than the DMR path.
+        let d = DiskModel::gpfs();
+        let net = crate::NetworkModel::fdr10();
+        for &(src, dst) in &[(48u32, 12u32), (48, 24), (48, 48)] {
+            let cr = d.cr_reconfigure_time(GB, src, dst).as_secs_f64();
+            let dmr = net.dmr_reconfigure_time(GB, src, dst).as_secs_f64();
+            let ratio = cr / dmr;
+            assert!(ratio > 20.0, "{src}->{dst}: ratio {ratio} too small");
+        }
+    }
+}

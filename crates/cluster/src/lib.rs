@@ -1,0 +1,33 @@
+//! # dmr-cluster — the hardware model
+//!
+//! Models the machine the paper ran on (MareNostrum 3: 65 compute nodes of
+//! two 8-core Xeon E5-2670, InfiniBand FDR10, a shared parallel filesystem)
+//! as three independent pieces:
+//!
+//! * [`cluster::Cluster`] — node inventory and allocation bookkeeping. This
+//!   is what the Slurm layer (`dmr-slurm`) allocates from.
+//! * [`network::NetworkModel`] — transfer-time estimates for point-to-point
+//!   messages, block redistribution between process sets, and
+//!   `MPI_Comm_spawn` launch costs.
+//! * [`disk::DiskModel`] — shared-filesystem cost model used by the
+//!   checkpoint/restart baseline (Figure 1).
+//!
+//! The models are deliberately simple, first-order (latency + bandwidth)
+//! approximations: the paper's evaluation quantities are scheduling-level
+//! outcomes, and these models only need to charge *plausible, consistently
+//! ordered* costs for reconfiguration events.
+
+pub mod cluster;
+pub mod disk;
+pub mod network;
+pub mod node;
+
+pub use cluster::{AllocError, Cluster};
+pub use disk::DiskModel;
+pub use network::NetworkModel;
+pub use node::{NodeId, NodeState};
+
+/// Number of compute nodes in the paper's testbed (§VII-A).
+pub const MARENOSTRUM_NODES: u32 = 65;
+/// Cores per node in the paper's testbed (two 8-core Xeon E5-2670).
+pub const MARENOSTRUM_CORES_PER_NODE: u32 = 16;

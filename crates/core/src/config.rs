@@ -1,0 +1,142 @@
+//! Experiment configuration.
+
+use dmr_cluster::NetworkModel;
+
+/// When a DMR decision is applied (§V-A).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ScheduleMode {
+    /// `dmr_check_status`: decide and apply at the same reconfiguring
+    /// point. The application pays the runtime↔RMS communication cost at
+    /// every non-inhibited check.
+    Synchronous,
+    /// `dmr_icheck_status`: the decision made at step *k* is applied at
+    /// step *k+1*, hiding the communication cost behind computation — at
+    /// the risk of enforcing outdated actions (§VIII-C).
+    Asynchronous,
+}
+
+/// What the backfill scheduler believes about job runtimes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EstimateMode {
+    /// Plan with the user-requested walltime (what Slurm actually has;
+    /// conservative, leaves holes — the realistic default).
+    Walltime,
+    /// Plan with near-exact runtimes (oracle; ablation knob showing how
+    /// much of the malleability gain evaporates under perfect backfill).
+    Actual,
+}
+
+/// All knobs of one workload experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct ExperimentConfig {
+    /// Compute nodes (20 in §VIII, 65 in §IX).
+    pub nodes: u32,
+    /// Cores per node (16 on MareNostrum; informational).
+    pub cores_per_node: u32,
+    /// Synchronous or asynchronous action selection.
+    pub mode: ScheduleMode,
+    /// Master switch: `false` runs every job rigid (the "fixed" bars).
+    pub malleability: bool,
+    /// Override of the per-job checking-inhibitor period in seconds.
+    /// `None` keeps each job's own (Table I) period; `Some(None)` disables
+    /// inhibition; `Some(Some(p))` forces period `p` (the Figure 9 sweep).
+    pub inhibitor_override: Option<Option<f64>>,
+    /// Cost of one synchronous DMR check (runtime↔RMS round trip plus
+    /// scheduling), seconds. This is the overhead the checking inhibitor
+    /// exists to amortise (§V-A, §VIII-E).
+    pub check_overhead_s: f64,
+    /// Interconnect model for spawn/redistribution charges.
+    pub network: NetworkModel,
+    /// EASY backfill on/off (ablation; the paper always runs with it).
+    pub backfill: bool,
+    /// Period of the backfill pass, seconds (Slurm's `bf_interval`,
+    /// default 30). The event-driven pass is FIFO-only, as in Slurm.
+    pub backfill_interval_s: f64,
+    /// Padding applied to runtime estimates handed to the backfill
+    /// scheduler (users over-request walltime).
+    pub estimate_padding: f64,
+    /// Source of the backfill scheduler's runtime estimates.
+    pub estimate_mode: EstimateMode,
+    /// Algorithm-1 line 18: boost the shrink beneficiary's priority
+    /// (ablation knob; the paper always boosts).
+    pub shrink_boost: bool,
+    /// How long the runtime waits for a queued resizer job before aborting
+    /// an expansion (§V-B1).
+    pub resizer_timeout_s: f64,
+}
+
+impl ExperimentConfig {
+    /// §VIII testbed: 20 nodes, synchronous, malleable.
+    pub fn preliminary() -> Self {
+        ExperimentConfig {
+            nodes: 20,
+            cores_per_node: 16,
+            mode: ScheduleMode::Synchronous,
+            malleability: true,
+            inhibitor_override: None,
+            check_overhead_s: 0.3,
+            network: NetworkModel::fdr10(),
+            backfill: true,
+            backfill_interval_s: 30.0,
+            estimate_padding: 1.2,
+            estimate_mode: EstimateMode::Walltime,
+            shrink_boost: true,
+            resizer_timeout_s: 30.0,
+        }
+    }
+
+    /// §IX testbed: the full 65-node machine.
+    pub fn production() -> Self {
+        ExperimentConfig {
+            nodes: 65,
+            ..ExperimentConfig::preliminary()
+        }
+    }
+
+    /// The rigid-workload counterpart of this configuration.
+    pub fn as_fixed(mut self) -> Self {
+        self.malleability = false;
+        self
+    }
+
+    /// Switches to asynchronous action selection.
+    pub fn asynchronous(mut self) -> Self {
+        self.mode = ScheduleMode::Asynchronous;
+        self
+    }
+
+    /// Forces the checking-inhibitor period (Figure 9 sweep). Pass `None`
+    /// to disable inhibition for all jobs.
+    pub fn with_inhibitor(mut self, period_s: Option<f64>) -> Self {
+        self.inhibitor_override = Some(period_s);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_testbeds() {
+        assert_eq!(ExperimentConfig::preliminary().nodes, 20);
+        assert_eq!(ExperimentConfig::production().nodes, 65);
+        assert_eq!(
+            ExperimentConfig::preliminary().mode,
+            ScheduleMode::Synchronous
+        );
+        assert!(ExperimentConfig::preliminary().malleability);
+    }
+
+    #[test]
+    fn builders_flip_the_right_switches() {
+        let c = ExperimentConfig::preliminary().as_fixed();
+        assert!(!c.malleability);
+        let c = ExperimentConfig::preliminary().asynchronous();
+        assert_eq!(c.mode, ScheduleMode::Asynchronous);
+        let c = ExperimentConfig::preliminary().with_inhibitor(Some(5.0));
+        assert_eq!(c.inhibitor_override, Some(Some(5.0)));
+        let c = ExperimentConfig::preliminary().with_inhibitor(None);
+        assert_eq!(c.inhibitor_override, Some(None));
+    }
+}

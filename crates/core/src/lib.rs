@@ -1,0 +1,33 @@
+//! # dmr-core — the DMR framework glued together
+//!
+//! This crate is the paper's contribution in executable form: the
+//! co-operation between a malleable application (through the DMR API), the
+//! programming-model runtime, and the Slurm-like resource manager, driven
+//! over virtual time by the `dmr-sim` engine.
+//!
+//! * [`model`] — application scalability models ([`model::SpeedupCurve`])
+//!   and the [`model::SimJob`] binding a generated [`dmr_workload::JobSpec`]
+//!   to its curve.
+//! * [`config`] — experiment configuration: cluster size, synchronous vs
+//!   asynchronous scheduling (§VIII-B/C), the checking inhibitor override
+//!   (§VIII-E), cost-model knobs.
+//! * [`driver`] — the discrete-event driver: job arrivals, backfilled
+//!   starts, per-step DMR checks against the Algorithm-1 policy, the
+//!   resizer-job expansion protocol with timeout, ACK-style shrinks,
+//!   spawn + redistribution costs, and full metric collection.
+//! * [`result`] — what an experiment returns: a
+//!   [`dmr_metrics::WorkloadSummary`] plus the evolution series behind the
+//!   paper's timeline figures.
+//!
+//! The headline entry points are [`driver::run_experiment`] and
+//! [`driver::compare_fixed_flexible`].
+
+pub mod config;
+pub mod driver;
+pub mod model;
+pub mod result;
+
+pub use config::{ExperimentConfig, ScheduleMode};
+pub use driver::{compare_fixed_flexible, run_experiment};
+pub use model::{curve_for, SimJob, SpeedupCurve};
+pub use result::ExperimentResult;

@@ -1,0 +1,31 @@
+//! Experiment outputs.
+
+use dmr_metrics::{JobOutcome, StepSeries, WorkloadSummary};
+use dmr_sim::SimTime;
+
+/// Everything one workload run produces.
+#[derive(Clone, Debug)]
+pub struct ExperimentResult {
+    /// Aggregate measures (Table II row set).
+    pub summary: WorkloadSummary,
+    /// Allocated nodes over time (top plots of Figures 4, 5, 6, 12).
+    pub allocation: StepSeries,
+    /// Running-job count over time (the running-job lines of Figure 12).
+    pub running: StepSeries,
+    /// Completed-job count over time (bottom plots of Figures 4, 5, 12).
+    pub completed: StepSeries,
+    /// Per-job accounting in submission order.
+    pub outcomes: Vec<JobOutcome>,
+    /// Instant the last job completed.
+    pub end_time: SimTime,
+    /// Total events processed by the engine (diagnostics / determinism
+    /// checks).
+    pub events: u64,
+}
+
+impl ExperimentResult {
+    /// Convenience: the workload execution time in seconds.
+    pub fn makespan_s(&self) -> f64 {
+        self.summary.makespan_s
+    }
+}

@@ -1,0 +1,100 @@
+//! Minimal CSV/plot output helpers (buffered, no external deps).
+
+use std::io::{self, Write};
+
+use crate::series::StepSeries;
+use crate::summary::WorkloadSummary;
+
+/// Writes a step series as `seconds,value` rows.
+pub fn write_series(w: &mut impl Write, header: &str, s: &StepSeries) -> io::Result<()> {
+    writeln!(w, "seconds,{header}")?;
+    for (t, v) in s.points_secs() {
+        writeln!(w, "{t:.3},{v}")?;
+    }
+    Ok(())
+}
+
+/// Writes summaries as one CSV row per label.
+pub fn write_summaries(
+    w: &mut impl Write,
+    rows: &[(&str, &WorkloadSummary)],
+) -> io::Result<()> {
+    writeln!(
+        w,
+        "label,jobs,makespan_s,utilization,avg_wait_s,avg_exec_s,avg_completion_s,reconfigurations"
+    )?;
+    for (label, s) in rows {
+        writeln!(
+            w,
+            "{label},{},{:.1},{:.4},{:.1},{:.1},{:.1},{}",
+            s.jobs,
+            s.makespan_s,
+            s.utilization,
+            s.avg_waiting_s,
+            s.avg_execution_s,
+            s.avg_completion_s,
+            s.reconfigurations
+        )?;
+    }
+    Ok(())
+}
+
+/// Renders a series as a crude ASCII sparkline (for terminal reports).
+pub fn sparkline(s: &StepSeries, end: dmr_sim::SimTime, width: usize) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let samples = s.resample(end, width);
+    let max = samples.iter().copied().fold(f64::MIN_POSITIVE, f64::max);
+    samples
+        .iter()
+        .map(|&v| {
+            let idx = ((v / max) * (BARS.len() - 1) as f64).round() as usize;
+            BARS[idx.min(BARS.len() - 1)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmr_sim::SimTime;
+
+    #[test]
+    fn series_csv_round_trip() {
+        let mut s = StepSeries::new();
+        s.record(SimTime::from_secs(0), 2.0);
+        s.record(SimTime::from_secs(10), 5.0);
+        let mut buf = Vec::new();
+        write_series(&mut buf, "nodes", &s).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "seconds,nodes");
+        assert_eq!(lines[1], "0.000,2");
+        assert_eq!(lines[2], "10.000,5");
+    }
+
+    #[test]
+    fn summary_csv_has_all_columns() {
+        let s = WorkloadSummary {
+            makespan_s: 100.0,
+            utilization: 0.5,
+            avg_waiting_s: 10.0,
+            avg_execution_s: 20.0,
+            avg_completion_s: 30.0,
+            jobs: 7,
+            reconfigurations: 3,
+        };
+        let mut buf = Vec::new();
+        write_summaries(&mut buf, &[("fixed", &s)]).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("fixed,7,100.0,0.5000,10.0,20.0,30.0,3"));
+    }
+
+    #[test]
+    fn sparkline_has_requested_width() {
+        let mut s = StepSeries::new();
+        s.record(SimTime::from_secs(0), 1.0);
+        s.record(SimTime::from_secs(50), 8.0);
+        let line = sparkline(&s, SimTime::from_secs(100), 20);
+        assert_eq!(line.chars().count(), 20);
+    }
+}

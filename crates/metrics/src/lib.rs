@@ -1,0 +1,20 @@
+//! # dmr-metrics — measurement and reporting
+//!
+//! Computes the quantities the paper's evaluation reports:
+//!
+//! * [`series::StepSeries`] — event-driven step functions over virtual time
+//!   (allocated nodes, running jobs, completed jobs) with exact integrals;
+//!   these regenerate the evolution charts (Figures 4, 5, 6, 12).
+//! * [`summary::WorkloadSummary`] — makespan, average waiting / execution /
+//!   completion times and the resource-utilization rate (Table II,
+//!   Figures 3, 7, 8, 9, 10, 11).
+//! * [`summary::gain_pct`] — the "Gain" percentage printed on the paper's
+//!   bar charts.
+//! * [`csv`] — plain CSV writers for external plotting.
+
+pub mod csv;
+pub mod series;
+pub mod summary;
+
+pub use series::StepSeries;
+pub use summary::{gain_pct, JobOutcome, WorkloadSummary};

@@ -1,0 +1,209 @@
+//! Event-driven step functions over virtual time.
+
+use dmr_sim::SimTime;
+use serde::Serialize;
+
+/// A right-continuous step function sampled at change points: the value is
+/// `points[i].1` from `points[i].0` until the next point. Used for
+/// allocated-node counts and running/completed job counts over a workload
+/// execution.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct StepSeries {
+    points: Vec<(u64, f64)>, // (micros, value)
+}
+
+impl StepSeries {
+    pub fn new() -> Self {
+        StepSeries { points: Vec::new() }
+    }
+
+    /// Records `value` from instant `t` on. Recording an identical value
+    /// is a no-op; recording at an existing timestamp overwrites (the last
+    /// write at an instant wins, matching event processing order).
+    pub fn record(&mut self, t: SimTime, value: f64) {
+        if let Some(last) = self.points.last_mut() {
+            debug_assert!(t.as_micros() >= last.0, "series must advance in time");
+            if last.0 == t.as_micros() {
+                last.1 = value;
+                return;
+            }
+            if last.1 == value {
+                return;
+            }
+        }
+        self.points.push((t.as_micros(), value));
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Value at instant `t` (0 before the first point).
+    pub fn value_at(&self, t: SimTime) -> f64 {
+        match self
+            .points
+            .binary_search_by_key(&t.as_micros(), |&(m, _)| m)
+        {
+            Ok(i) => self.points[i].1,
+            Err(0) => 0.0,
+            Err(i) => self.points[i - 1].1,
+        }
+    }
+
+    /// Exact integral of the step function over `[from, to]`, in
+    /// value·seconds.
+    pub fn integral(&self, from: SimTime, to: SimTime) -> f64 {
+        if to <= from || self.points.is_empty() {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        let mut cur_t = from;
+        let mut cur_v = self.value_at(from);
+        for &(m, v) in &self.points {
+            let pt = SimTime(m);
+            if pt <= from {
+                continue;
+            }
+            if pt >= to {
+                break;
+            }
+            acc += cur_v * pt.since(cur_t).as_secs_f64();
+            cur_t = pt;
+            cur_v = v;
+        }
+        acc + cur_v * to.since(cur_t).as_secs_f64()
+    }
+
+    /// Mean value over `[from, to]`.
+    pub fn mean(&self, from: SimTime, to: SimTime) -> f64 {
+        let span = to.since(from).as_secs_f64();
+        if span == 0.0 {
+            0.0
+        } else {
+            self.integral(from, to) / span
+        }
+    }
+
+    /// Maximum recorded value.
+    pub fn max_value(&self) -> f64 {
+        self.points.iter().map(|&(_, v)| v).fold(0.0, f64::max)
+    }
+
+    /// The change points as `(seconds, value)` for plotting.
+    pub fn points_secs(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.points
+            .iter()
+            .map(|&(m, v)| (SimTime(m).as_secs_f64(), v))
+    }
+
+    /// Resamples onto a uniform grid of `n` buckets over `[0, end]`
+    /// (bucket mean), for compact terminal plots.
+    pub fn resample(&self, end: SimTime, n: usize) -> Vec<f64> {
+        if n == 0 || end == SimTime::ZERO {
+            return Vec::new();
+        }
+        let step = end.as_micros() as f64 / n as f64;
+        (0..n)
+            .map(|i| {
+                let a = SimTime((i as f64 * step) as u64);
+                let b = SimTime(((i + 1) as f64 * step) as u64);
+                self.mean(a, b)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn value_at_follows_steps() {
+        let mut s = StepSeries::new();
+        s.record(t(0), 1.0);
+        s.record(t(10), 3.0);
+        s.record(t(20), 0.0);
+        assert_eq!(s.value_at(t(0)), 1.0);
+        assert_eq!(s.value_at(t(5)), 1.0);
+        assert_eq!(s.value_at(t(10)), 3.0);
+        assert_eq!(s.value_at(t(19)), 3.0);
+        assert_eq!(s.value_at(t(25)), 0.0);
+    }
+
+    #[test]
+    fn integral_is_exact() {
+        let mut s = StepSeries::new();
+        s.record(t(0), 2.0);
+        s.record(t(10), 4.0);
+        s.record(t(20), 0.0);
+        // 10s at 2 + 10s at 4 = 60
+        assert_eq!(s.integral(t(0), t(20)), 60.0);
+        // Partial windows.
+        assert_eq!(s.integral(t(5), t(15)), 2.0 * 5.0 + 4.0 * 5.0);
+        assert_eq!(s.integral(t(0), t(40)), 60.0);
+        assert_eq!(s.integral(t(15), t(15)), 0.0);
+    }
+
+    #[test]
+    fn mean_over_window() {
+        let mut s = StepSeries::new();
+        s.record(t(0), 10.0);
+        s.record(t(50), 0.0);
+        assert_eq!(s.mean(t(0), t(100)), 5.0);
+    }
+
+    #[test]
+    fn duplicate_values_collapse() {
+        let mut s = StepSeries::new();
+        s.record(t(0), 1.0);
+        s.record(t(5), 1.0);
+        s.record(t(9), 1.0);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn same_instant_overwrites() {
+        let mut s = StepSeries::new();
+        s.record(t(0), 1.0);
+        s.record(t(5), 2.0);
+        s.record(t(5), 7.0);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.value_at(t(5)), 7.0);
+    }
+
+    #[test]
+    fn before_first_point_is_zero() {
+        let mut s = StepSeries::new();
+        s.record(t(10), 5.0);
+        assert_eq!(s.value_at(t(3)), 0.0);
+        assert_eq!(s.integral(t(0), t(10)), 0.0);
+    }
+
+    #[test]
+    fn resample_buckets() {
+        let mut s = StepSeries::new();
+        s.record(t(0), 4.0);
+        s.record(t(50), 8.0);
+        let r = s.resample(t(100), 4);
+        assert_eq!(r, vec![4.0, 4.0, 8.0, 8.0]);
+        assert!(s.resample(SimTime::ZERO, 4).is_empty());
+        assert!(s.resample(t(100), 0).is_empty());
+    }
+
+    #[test]
+    fn max_value() {
+        let mut s = StepSeries::new();
+        s.record(t(0), 1.0);
+        s.record(t(1), 9.0);
+        s.record(t(2), 3.0);
+        assert_eq!(s.max_value(), 9.0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Workload-level summary statistics (the rows of Table II).
+
+use dmr_sim::{SimTime, Span};
+use serde::Serialize;
+
+use crate::series::StepSeries;
+
+/// Accounting for one finished job.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct JobOutcome {
+    pub submit: SimTimeSecs,
+    pub start: SimTimeSecs,
+    pub end: SimTimeSecs,
+    /// Completed reconfigurations.
+    pub reconfigurations: u32,
+}
+
+/// Seconds wrapper so outcomes serialize naturally.
+pub type SimTimeSecs = f64;
+
+impl JobOutcome {
+    pub fn new(submit: SimTime, start: SimTime, end: SimTime, reconfigurations: u32) -> Self {
+        JobOutcome {
+            submit: submit.as_secs_f64(),
+            start: start.as_secs_f64(),
+            end: end.as_secs_f64(),
+            reconfigurations,
+        }
+    }
+
+    pub fn waiting_s(&self) -> f64 {
+        (self.start - self.submit).max(0.0)
+    }
+
+    pub fn execution_s(&self) -> f64 {
+        (self.end - self.start).max(0.0)
+    }
+
+    pub fn completion_s(&self) -> f64 {
+        (self.end - self.submit).max(0.0)
+    }
+}
+
+/// The aggregate measures the paper reports per workload (Table II plus the
+/// bar-chart quantities of Figures 3, 7–11).
+#[derive(Clone, Debug, Serialize)]
+pub struct WorkloadSummary {
+    /// Total workload execution time (first submission to last completion),
+    /// seconds.
+    pub makespan_s: f64,
+    /// Average resource-utilization rate in `[0, 1]`: node-seconds
+    /// allocated over `total_nodes * makespan`.
+    pub utilization: f64,
+    /// Average job waiting time, seconds.
+    pub avg_waiting_s: f64,
+    /// Average job execution time, seconds.
+    pub avg_execution_s: f64,
+    /// Average job completion (waiting + execution) time, seconds.
+    pub avg_completion_s: f64,
+    /// Jobs in the workload.
+    pub jobs: usize,
+    /// Total reconfigurations across all jobs.
+    pub reconfigurations: u32,
+}
+
+impl WorkloadSummary {
+    /// Builds the summary from per-job outcomes and the allocation series.
+    ///
+    /// `allocation` must be the step series of *allocated node count* over
+    /// time; `total_nodes` the cluster size.
+    pub fn compute(outcomes: &[JobOutcome], allocation: &StepSeries, total_nodes: u32) -> Self {
+        let jobs = outcomes.len();
+        let makespan_s = outcomes.iter().map(|o| o.end).fold(0.0, f64::max);
+        let n = jobs.max(1) as f64;
+        let avg_waiting_s = outcomes.iter().map(|o| o.waiting_s()).sum::<f64>() / n;
+        let avg_execution_s = outcomes.iter().map(|o| o.execution_s()).sum::<f64>() / n;
+        let avg_completion_s = outcomes.iter().map(|o| o.completion_s()).sum::<f64>() / n;
+        let end = SimTime::from_secs_f64(makespan_s);
+        let node_seconds = allocation.integral(SimTime::ZERO, end);
+        let capacity = total_nodes as f64 * makespan_s;
+        let utilization = if capacity > 0.0 {
+            node_seconds / capacity
+        } else {
+            0.0
+        };
+        WorkloadSummary {
+            makespan_s,
+            utilization,
+            avg_waiting_s,
+            avg_execution_s,
+            avg_completion_s,
+            jobs,
+            reconfigurations: outcomes.iter().map(|o| o.reconfigurations).sum(),
+        }
+    }
+
+    /// Makespan as a [`Span`] for callers still in virtual time.
+    pub fn makespan(&self) -> Span {
+        Span::from_secs_f64(self.makespan_s)
+    }
+}
+
+/// The "Gain" the paper annotates its charts with: percentage reduction of
+/// `flexible` relative to `fixed`. Positive = flexible is better (smaller).
+pub fn gain_pct(fixed: f64, flexible: f64) -> f64 {
+    if fixed == 0.0 {
+        return 0.0;
+    }
+    (fixed - flexible) / fixed * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn outcome_spans() {
+        let o = JobOutcome::new(t(10), t(30), t(90), 2);
+        assert_eq!(o.waiting_s(), 20.0);
+        assert_eq!(o.execution_s(), 60.0);
+        assert_eq!(o.completion_s(), 80.0);
+    }
+
+    #[test]
+    fn summary_averages() {
+        let outcomes = vec![
+            JobOutcome::new(t(0), t(0), t(100), 0),
+            JobOutcome::new(t(0), t(100), t(200), 1),
+        ];
+        let mut alloc = StepSeries::new();
+        alloc.record(t(0), 10.0);
+        alloc.record(t(200), 0.0);
+        let s = WorkloadSummary::compute(&outcomes, &alloc, 10);
+        assert_eq!(s.makespan_s, 200.0);
+        assert_eq!(s.avg_waiting_s, 50.0);
+        assert_eq!(s.avg_execution_s, 100.0);
+        assert_eq!(s.avg_completion_s, 150.0);
+        assert!((s.utilization - 1.0).abs() < 1e-9);
+        assert_eq!(s.jobs, 2);
+        assert_eq!(s.reconfigurations, 1);
+    }
+
+    #[test]
+    fn utilization_half() {
+        let outcomes = vec![JobOutcome::new(t(0), t(0), t(100), 0)];
+        let mut alloc = StepSeries::new();
+        alloc.record(t(0), 5.0);
+        let s = WorkloadSummary::compute(&outcomes, &alloc, 10);
+        assert!((s.utilization - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_workload_is_zeroes() {
+        let s = WorkloadSummary::compute(&[], &StepSeries::new(), 10);
+        assert_eq!(s.makespan_s, 0.0);
+        assert_eq!(s.utilization, 0.0);
+        assert_eq!(s.jobs, 0);
+    }
+
+    #[test]
+    fn gain_matches_paper_convention() {
+        // Figure 10 style: fixed 100, flexible 58 → 42 % gain.
+        assert!((gain_pct(100.0, 58.0) - 42.0).abs() < 1e-9);
+        // Negative gain when flexible is worse (Figure 7 small loads).
+        assert!(gain_pct(100.0, 107.0) < 0.0);
+        assert_eq!(gain_pct(0.0, 5.0), 0.0);
+    }
+}

@@ -1,0 +1,380 @@
+//! Communicators: typed point-to-point and collectives.
+
+use std::sync::Arc;
+
+use crossbeam::channel::Sender;
+
+use crate::datatype::{decode, encode, MpiData};
+use crate::error::MpiError;
+use crate::mailbox::{Envelope, Mailbox};
+use crate::registry::Registry;
+
+/// Wildcard source (`MPI_ANY_SOURCE`).
+pub const ANY_SOURCE: Option<usize> = None;
+/// Wildcard tag (`MPI_ANY_TAG`).
+pub const ANY_TAG: Option<i32> = None;
+
+/// Completion information of a receive.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Status {
+    pub source: usize,
+    pub tag: i32,
+}
+
+/// A posted non-blocking receive; redeem with [`Comm::wait`] /
+/// [`InterComm::wait`].
+#[derive(Clone, Copy, Debug)]
+pub struct RecvRequest {
+    pub(crate) src: Option<usize>,
+    pub(crate) tag: Option<i32>,
+}
+
+/// An intra-communicator handle owned by one rank (thread).
+pub struct Comm {
+    pub(crate) registry: Arc<Registry>,
+    pub(crate) comm_id: u64,
+    pub(crate) rank: usize,
+    pub(crate) peers: Vec<Sender<Envelope>>,
+    pub(crate) mailbox: Mailbox,
+    /// Collective sequence number — every rank executes collectives in the
+    /// same order, so equal counters pair up matching internal tags.
+    pub(crate) coll_seq: u64,
+    pub(crate) parent: Option<InterComm>,
+}
+
+impl Comm {
+    pub(crate) fn new(
+        registry: Arc<Registry>,
+        comm_id: u64,
+        rank: usize,
+        size: usize,
+        parent: Option<InterComm>,
+    ) -> Self {
+        let peers = registry.senders_for(comm_id, size);
+        let mailbox = registry.take_mailbox(comm_id, rank);
+        Comm {
+            registry,
+            comm_id,
+            rank,
+            peers,
+            mailbox,
+            coll_seq: 0,
+            parent,
+        }
+    }
+
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    pub fn size(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// The parent inter-communicator, for ranks created by
+    /// [`Comm::spawn`] (`MPI_Comm_get_parent`).
+    pub fn parent(&mut self) -> Option<&mut InterComm> {
+        self.parent.as_mut()
+    }
+
+    fn check_rank(&self, rank: usize) -> Result<(), MpiError> {
+        if rank >= self.size() {
+            Err(MpiError::InvalidRank {
+                rank,
+                size: self.size(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Blocking standard-mode send (buffered: completes immediately).
+    pub fn send<T: MpiData>(&self, data: &[T], dst: usize, tag: i32) -> Result<(), MpiError> {
+        self.check_rank(dst)?;
+        self.peers[dst]
+            .send(Envelope {
+                src: self.rank,
+                tag,
+                payload: encode(data),
+            })
+            .map_err(|_| MpiError::PeerGone {
+                comm: self.comm_id,
+                rank: dst,
+            })
+    }
+
+    /// Non-blocking send. The substrate buffers eagerly, so the request
+    /// completes at post time — provided for source compatibility with the
+    /// paper's `MPI_Isend` call sites.
+    pub fn isend<T: MpiData>(&self, data: &[T], dst: usize, tag: i32) -> Result<(), MpiError> {
+        self.send(data, dst, tag)
+    }
+
+    /// Blocking matched receive.
+    pub fn recv<T: MpiData>(
+        &mut self,
+        src: Option<usize>,
+        tag: Option<i32>,
+    ) -> Result<(Vec<T>, Status), MpiError> {
+        let env = self.mailbox.recv(src, tag)?;
+        let data = decode::<T>(&env.payload).ok_or(MpiError::TypeMismatch {
+            expected: T::NAME,
+            bytes: env.payload.len(),
+        })?;
+        Ok((
+            data,
+            Status {
+                source: env.src,
+                tag: env.tag,
+            },
+        ))
+    }
+
+    /// Posts a non-blocking receive; complete it with [`Comm::wait`].
+    pub fn irecv(&self, src: Option<usize>, tag: Option<i32>) -> RecvRequest {
+        RecvRequest { src, tag }
+    }
+
+    /// Completes a posted receive (`MPI_Wait`).
+    pub fn wait<T: MpiData>(&mut self, req: RecvRequest) -> Result<(Vec<T>, Status), MpiError> {
+        self.recv(req.src, req.tag)
+    }
+
+    /// Completes a set of posted receives in order (`MPI_Waitall`).
+    pub fn waitall<T: MpiData>(
+        &mut self,
+        reqs: &[RecvRequest],
+    ) -> Result<Vec<Vec<T>>, MpiError> {
+        reqs.iter().map(|r| Ok(self.wait::<T>(*r)?.0)).collect()
+    }
+
+    /// Non-blocking probe for a matching message.
+    pub fn probe(&mut self, src: Option<usize>, tag: Option<i32>) -> bool {
+        self.mailbox.probe(src, tag)
+    }
+
+    // ------------------------------------------------------------------
+    // Collectives. Internal tags live in the negative space so they can
+    // never collide with user point-to-point traffic.
+    // ------------------------------------------------------------------
+
+    fn next_coll_tag(&mut self) -> i32 {
+        self.bump_coll_tag()
+    }
+
+    pub(crate) fn bump_coll_tag(&mut self) -> i32 {
+        let tag = -1 - ((self.coll_seq % 0x3FFF_FFFF) as i32);
+        self.coll_seq += 1;
+        tag
+    }
+
+    /// Synchronises all ranks.
+    pub fn barrier(&mut self) -> Result<(), MpiError> {
+        let tag = self.next_coll_tag();
+        let me = self.rank;
+        if me == 0 {
+            for src in 1..self.size() {
+                let _ = self.mailbox.recv(Some(src), Some(tag))?;
+            }
+            for dst in 1..self.size() {
+                self.send::<u8>(&[], dst, tag)?;
+            }
+        } else {
+            self.send::<u8>(&[], 0, tag)?;
+            let _ = self.mailbox.recv(Some(0), Some(tag))?;
+        }
+        Ok(())
+    }
+
+    /// Broadcasts `data` from `root` to every rank (in place).
+    pub fn bcast<T: MpiData>(&mut self, data: &mut Vec<T>, root: usize) -> Result<(), MpiError> {
+        self.check_rank(root)?;
+        let tag = self.next_coll_tag();
+        if self.rank == root {
+            for dst in 0..self.size() {
+                if dst != root {
+                    self.send(data, dst, tag)?;
+                }
+            }
+        } else {
+            let (got, _) = self.recv::<T>(Some(root), Some(tag))?;
+            *data = got;
+        }
+        Ok(())
+    }
+
+    /// Gathers every rank's buffer at `root` (rank-indexed).
+    pub fn gather<T: MpiData>(
+        &mut self,
+        data: &[T],
+        root: usize,
+    ) -> Result<Option<Vec<Vec<T>>>, MpiError> {
+        self.check_rank(root)?;
+        let tag = self.next_coll_tag();
+        if self.rank == root {
+            let mut out: Vec<Vec<T>> = (0..self.size()).map(|_| Vec::new()).collect();
+            out[root] = data.to_vec();
+            for _ in 0..self.size() - 1 {
+                let env = self.mailbox.recv(None, Some(tag))?;
+                let got = decode::<T>(&env.payload).ok_or(MpiError::TypeMismatch {
+                    expected: T::NAME,
+                    bytes: env.payload.len(),
+                })?;
+                out[env.src] = got;
+            }
+            Ok(Some(out))
+        } else {
+            self.send(data, root, tag)?;
+            Ok(None)
+        }
+    }
+
+    /// Gathers variable-length blocks from all ranks and concatenates them
+    /// in rank order on every rank (`MPI_Allgatherv` + flatten) — the form
+    /// the Jacobi solver assembles its iterate with.
+    pub fn allgather<T: MpiData>(&mut self, data: &[T]) -> Result<Vec<T>, MpiError> {
+        let gathered = self.gather(data, 0)?;
+        let mut flat: Vec<T> = match gathered {
+            Some(blocks) => blocks.into_iter().flatten().collect(),
+            None => Vec::new(),
+        };
+        self.bcast(&mut flat, 0)?;
+        Ok(flat)
+    }
+
+    /// Element-wise sum reduction at `root`.
+    pub fn reduce_sum<T: MpiData>(
+        &mut self,
+        data: &[T],
+        root: usize,
+    ) -> Result<Option<Vec<T>>, MpiError> {
+        let gathered = self.gather(data, root)?;
+        Ok(gathered.map(|blocks| {
+            let mut acc = vec![];
+            for block in blocks {
+                if acc.is_empty() {
+                    acc = block;
+                } else {
+                    for (a, b) in acc.iter_mut().zip(block) {
+                        *a = a.add(b);
+                    }
+                }
+            }
+            acc
+        }))
+    }
+
+    /// Element-wise sum on every rank (`MPI_Allreduce`) — CG's dot
+    /// products.
+    pub fn allreduce_sum<T: MpiData>(&mut self, data: &[T]) -> Result<Vec<T>, MpiError> {
+        let mut acc = self.reduce_sum(data, 0)?.unwrap_or_default();
+        self.bcast(&mut acc, 0)?;
+        Ok(acc)
+    }
+
+    /// Scatters `chunks[i]` from `root` to rank `i`.
+    pub fn scatter<T: MpiData>(
+        &mut self,
+        chunks: Option<&[Vec<T>]>,
+        root: usize,
+    ) -> Result<Vec<T>, MpiError> {
+        self.check_rank(root)?;
+        let tag = self.next_coll_tag();
+        if self.rank == root {
+            let chunks = chunks.expect("root must provide chunks");
+            assert_eq!(chunks.len(), self.size(), "one chunk per rank");
+            for (dst, chunk) in chunks.iter().enumerate() {
+                if dst != root {
+                    self.send(chunk, dst, tag)?;
+                }
+            }
+            Ok(chunks[root].clone())
+        } else {
+            Ok(self.recv::<T>(Some(root), Some(tag))?.0)
+        }
+    }
+}
+
+/// One side of an inter-communicator: `rank()` is local, sends address the
+/// *remote* group (MPI inter-communicator semantics).
+pub struct InterComm {
+    pub(crate) my_side: u64,
+    pub(crate) rank: usize,
+    pub(crate) local_size: usize,
+    pub(crate) remote: Vec<Sender<Envelope>>,
+    pub(crate) mailbox: Mailbox,
+}
+
+impl InterComm {
+    pub(crate) fn new(registry: &Registry, my_side: u64, peer_side: u64, rank: usize, local_size: usize, remote_size: usize) -> Self {
+        InterComm {
+            my_side,
+            rank,
+            local_size,
+            remote: registry.senders_for(peer_side, remote_size),
+            mailbox: registry.take_mailbox(my_side, rank),
+        }
+    }
+
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    pub fn local_size(&self) -> usize {
+        self.local_size
+    }
+
+    pub fn remote_size(&self) -> usize {
+        self.remote.len()
+    }
+
+    /// Sends to rank `dst` *of the remote group*.
+    pub fn send<T: MpiData>(&self, data: &[T], dst: usize, tag: i32) -> Result<(), MpiError> {
+        if dst >= self.remote.len() {
+            return Err(MpiError::InvalidRank {
+                rank: dst,
+                size: self.remote.len(),
+            });
+        }
+        self.remote[dst]
+            .send(Envelope {
+                src: self.rank,
+                tag,
+                payload: encode(data),
+            })
+            .map_err(|_| MpiError::PeerGone {
+                comm: self.my_side,
+                rank: dst,
+            })
+    }
+
+    /// Receives from the remote group.
+    pub fn recv<T: MpiData>(
+        &mut self,
+        src: Option<usize>,
+        tag: Option<i32>,
+    ) -> Result<(Vec<T>, Status), MpiError> {
+        let env = self.mailbox.recv(src, tag)?;
+        let data = decode::<T>(&env.payload).ok_or(MpiError::TypeMismatch {
+            expected: T::NAME,
+            bytes: env.payload.len(),
+        })?;
+        Ok((
+            data,
+            Status {
+                source: env.src,
+                tag: env.tag,
+            },
+        ))
+    }
+
+    /// Posts a non-blocking receive from the remote group.
+    pub fn irecv(&self, src: Option<usize>, tag: Option<i32>) -> RecvRequest {
+        RecvRequest { src, tag }
+    }
+
+    /// Completes a posted receive.
+    pub fn wait<T: MpiData>(&mut self, req: RecvRequest) -> Result<(Vec<T>, Status), MpiError> {
+        self.recv(req.src, req.tag)
+    }
+}

@@ -1,0 +1,115 @@
+//! Plain-old-data payload encoding.
+//!
+//! MPI ships typed buffers; we encode slices of primitives into little-
+//! endian bytes. The trait is sealed to primitives with a fixed-width
+//! encoding so decoding can never misinterpret lengths.
+
+use bytes::{Bytes, BytesMut};
+
+mod sealed {
+    pub trait Sealed {}
+}
+
+/// Types that can travel through a communicator.
+pub trait MpiData: Copy + Send + 'static + sealed::Sealed {
+    const WIDTH: usize;
+    const NAME: &'static str;
+    fn write(self, out: &mut Vec<u8>);
+    fn read(bytes: &[u8]) -> Self;
+    /// Element-wise sum, for reductions. Non-numeric impls may panic.
+    fn add(self, other: Self) -> Self;
+}
+
+macro_rules! impl_mpi_data {
+    ($($t:ty),*) => {$(
+        impl sealed::Sealed for $t {}
+        impl MpiData for $t {
+            const WIDTH: usize = std::mem::size_of::<$t>();
+            const NAME: &'static str = stringify!($t);
+            #[inline]
+            fn write(self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            #[inline]
+            fn read(bytes: &[u8]) -> Self {
+                <$t>::from_le_bytes(bytes.try_into().expect("width checked"))
+            }
+            #[inline]
+            fn add(self, other: Self) -> Self {
+                self + other
+            }
+        }
+    )*};
+}
+
+impl_mpi_data!(u8, u16, u32, u64, i8, i16, i32, i64, f32, f64, usize, isize);
+
+/// Encodes a slice into a contiguous byte payload.
+pub fn encode<T: MpiData>(data: &[T]) -> Bytes {
+    let mut out = Vec::with_capacity(data.len() * T::WIDTH);
+    for &v in data {
+        v.write(&mut out);
+    }
+    Bytes::from(out)
+}
+
+/// Decodes a byte payload back into a vector; `None` if the length is not
+/// a multiple of the element width.
+pub fn decode<T: MpiData>(bytes: &Bytes) -> Option<Vec<T>> {
+    if bytes.len() % T::WIDTH != 0 {
+        return None;
+    }
+    Some(bytes.chunks_exact(T::WIDTH).map(T::read).collect())
+}
+
+/// Reserve for future zero-copy paths: an empty payload.
+pub fn empty() -> Bytes {
+    Bytes::new()
+}
+
+#[allow(unused)]
+fn bytes_mut_reserved(cap: usize) -> BytesMut {
+    BytesMut::with_capacity(cap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_f64() {
+        let data = vec![1.5f64, -2.25, 0.0, f64::MAX];
+        let b = encode(&data);
+        assert_eq!(b.len(), 32);
+        assert_eq!(decode::<f64>(&b).unwrap(), data);
+    }
+
+    #[test]
+    fn round_trip_integers() {
+        let data = vec![0u32, 1, u32::MAX];
+        assert_eq!(decode::<u32>(&encode(&data)).unwrap(), data);
+        let data = vec![-5i64, 0, i64::MIN];
+        assert_eq!(decode::<i64>(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn empty_slice() {
+        let b = encode::<f64>(&[]);
+        assert!(b.is_empty());
+        assert_eq!(decode::<f64>(&b).unwrap(), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn misaligned_decode_fails() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        assert!(decode::<f64>(&b).is_none());
+        assert!(decode::<u16>(&b).is_none());
+        assert!(decode::<u8>(&b).is_some());
+    }
+
+    #[test]
+    fn add_sums() {
+        assert_eq!(3.5f64.add(1.5), 5.0);
+        assert_eq!(2u32.add(3), 5);
+    }
+}

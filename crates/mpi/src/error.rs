@@ -1,0 +1,34 @@
+//! Error type for communication failures.
+
+use std::fmt;
+
+/// Communication failures. In this substrate they occur only when a peer
+/// rank has exited (its mailbox is gone) — the moral equivalent of an MPI
+/// abort.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum MpiError {
+    /// The destination rank's mailbox no longer exists.
+    PeerGone { comm: u64, rank: usize },
+    /// The payload could not be decoded as the requested datatype.
+    TypeMismatch { expected: &'static str, bytes: usize },
+    /// A rank id outside the communicator was used.
+    InvalidRank { rank: usize, size: usize },
+}
+
+impl fmt::Display for MpiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpiError::PeerGone { comm, rank } => {
+                write!(f, "peer rank {rank} of comm {comm} has exited")
+            }
+            MpiError::TypeMismatch { expected, bytes } => {
+                write!(f, "cannot decode {bytes} bytes as {expected}")
+            }
+            MpiError::InvalidRank { rank, size } => {
+                write!(f, "rank {rank} outside communicator of size {size}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MpiError {}

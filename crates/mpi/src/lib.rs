@@ -1,0 +1,38 @@
+//! # dmr-mpi — a thread-backed MPI substrate
+//!
+//! The paper's framework sits on MPICH 3.2 and leans on one decidedly
+//! non-trivial MPI feature: **dynamic process management**
+//! (`MPI_Comm_spawn` + parent inter-communicators), which is how the
+//! runtime materialises the post-reconfiguration process set. This crate
+//! implements the needed MPI surface with *threads as ranks* and real
+//! message passing (no shared mutable state between ranks):
+//!
+//! * [`universe::Universe`] — process-set launcher and lifetime manager
+//!   (the `mpiexec` + PMI daemon of this world).
+//! * [`comm::Comm`] — intra-communicators: typed point-to-point
+//!   (send / recv / isend / irecv / waitall with tag and wildcard
+//!   matching), and the collectives the paper's applications use
+//!   (barrier, bcast, reduce, allreduce, gather, allgather, scatter).
+//! * [`spawn`] — `Comm::spawn`: collectively launches a new rank set and
+//!   returns an [`comm::InterComm`]; children find their parent via
+//!   [`comm::Comm::parent`], exactly like `MPI_Comm_get_parent`
+//!   (Listing 1 of the paper).
+//! * [`datatype::MpiData`] — plain-old-data encoding for payloads.
+//!
+//! Determinism note: message *matching* follows MPI ordering rules
+//! (non-overtaking per (src, dst, tag)); cross-rank arrival order is as
+//! nondeterministic as real MPI, so tests assert on values, not order.
+
+pub mod comm;
+pub mod datatype;
+pub mod extensions;
+pub mod error;
+pub mod mailbox;
+pub mod registry;
+pub mod spawn;
+pub mod universe;
+
+pub use comm::{Comm, InterComm, RecvRequest, Status, ANY_SOURCE, ANY_TAG};
+pub use datatype::MpiData;
+pub use error::MpiError;
+pub use universe::Universe;

@@ -1,0 +1,162 @@
+//! Per-rank message queues with MPI matching semantics.
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::time::Duration;
+
+use crate::error::MpiError;
+
+/// A message in flight.
+#[derive(Clone, Debug)]
+pub struct Envelope {
+    pub src: usize,
+    pub tag: i32,
+    pub payload: Bytes,
+}
+
+/// Safety valve: a blocking receive that sees no matching traffic for this
+/// long reports the peer as gone instead of deadlocking the test suite.
+const RECV_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// The receiving end of one rank's (communicator-specific) queue.
+///
+/// Matching follows MPI rules: a receive with explicit `src`/`tag` takes
+/// the *earliest* matching message; wildcard receives match anything.
+/// Non-matching messages are stashed, preserving arrival order, so the
+/// non-overtaking guarantee per (source, tag) holds.
+pub struct Mailbox {
+    rx: Receiver<Envelope>,
+    stash: Vec<Envelope>,
+    comm_id: u64,
+    rank: usize,
+}
+
+/// Creates the channel pair backing one mailbox.
+pub fn endpoint(comm_id: u64, rank: usize) -> (Sender<Envelope>, Mailbox) {
+    let (tx, rx) = unbounded();
+    (
+        tx,
+        Mailbox {
+            rx,
+            stash: Vec::new(),
+            comm_id,
+            rank,
+        },
+    )
+}
+
+impl Mailbox {
+    fn matches(env: &Envelope, src: Option<usize>, tag: Option<i32>) -> bool {
+        src.is_none_or(|s| env.src == s) && tag.is_none_or(|t| env.tag == t)
+    }
+
+    /// Blocking matched receive.
+    pub fn recv(&mut self, src: Option<usize>, tag: Option<i32>) -> Result<Envelope, MpiError> {
+        if let Some(pos) = self
+            .stash
+            .iter()
+            .position(|e| Self::matches(e, src, tag))
+        {
+            return Ok(self.stash.remove(pos));
+        }
+        loop {
+            match self.rx.recv_timeout(RECV_TIMEOUT) {
+                Ok(env) => {
+                    if Self::matches(&env, src, tag) {
+                        return Ok(env);
+                    }
+                    self.stash.push(env);
+                }
+                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+                    return Err(MpiError::PeerGone {
+                        comm: self.comm_id,
+                        rank: self.rank,
+                    })
+                }
+            }
+        }
+    }
+
+    /// Non-blocking probe: is a matching message available?
+    pub fn probe(&mut self, src: Option<usize>, tag: Option<i32>) -> bool {
+        while let Ok(env) = self.rx.try_recv() {
+            self.stash.push(env);
+        }
+        self.stash.iter().any(|e| Self::matches(e, src, tag))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(src: usize, tag: i32, byte: u8) -> Envelope {
+        Envelope {
+            src,
+            tag,
+            payload: Bytes::from(vec![byte]),
+        }
+    }
+
+    #[test]
+    fn matched_receive_in_order() {
+        let (tx, mut mb) = endpoint(0, 0);
+        tx.send(env(1, 7, 10)).unwrap();
+        tx.send(env(1, 7, 11)).unwrap();
+        let a = mb.recv(Some(1), Some(7)).unwrap();
+        let b = mb.recv(Some(1), Some(7)).unwrap();
+        assert_eq!(a.payload[0], 10, "non-overtaking order");
+        assert_eq!(b.payload[0], 11);
+    }
+
+    #[test]
+    fn non_matching_messages_are_stashed() {
+        let (tx, mut mb) = endpoint(0, 0);
+        tx.send(env(2, 5, 20)).unwrap();
+        tx.send(env(1, 7, 10)).unwrap();
+        // Want (1,7): the (2,5) message must survive in the stash.
+        let got = mb.recv(Some(1), Some(7)).unwrap();
+        assert_eq!(got.payload[0], 10);
+        let stashed = mb.recv(Some(2), Some(5)).unwrap();
+        assert_eq!(stashed.payload[0], 20);
+    }
+
+    #[test]
+    fn wildcards_match_anything() {
+        let (tx, mut mb) = endpoint(0, 0);
+        tx.send(env(3, 9, 30)).unwrap();
+        let got = mb.recv(None, None).unwrap();
+        assert_eq!((got.src, got.tag), (3, 9));
+    }
+
+    #[test]
+    fn wildcard_source_with_fixed_tag() {
+        let (tx, mut mb) = endpoint(0, 0);
+        tx.send(env(4, 1, 1)).unwrap();
+        tx.send(env(5, 2, 2)).unwrap();
+        let got = mb.recv(None, Some(2)).unwrap();
+        assert_eq!(got.src, 5);
+    }
+
+    #[test]
+    fn probe_sees_pending() {
+        let (tx, mut mb) = endpoint(0, 0);
+        assert!(!mb.probe(None, None));
+        tx.send(env(1, 1, 1)).unwrap();
+        assert!(mb.probe(None, None));
+        assert!(mb.probe(Some(1), Some(1)));
+        assert!(!mb.probe(Some(2), None));
+        // Probing must not consume.
+        assert_eq!(mb.recv(None, None).unwrap().payload[0], 1);
+    }
+
+    #[test]
+    fn disconnected_channel_reports_peer_gone() {
+        let (tx, mut mb) = endpoint(7, 3);
+        drop(tx);
+        assert!(matches!(
+            mb.recv(None, None),
+            Err(MpiError::PeerGone { comm: 7, rank: 3 })
+        ));
+    }
+}

@@ -1,0 +1,148 @@
+//! Global rank/communicator registry — the PMI of this substrate.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread::JoinHandle;
+
+use crossbeam::channel::Sender;
+use parking_lot::Mutex;
+
+use crate::mailbox::{endpoint, Envelope, Mailbox};
+
+/// Process-management state shared by every rank of a universe: senders
+/// for routing, unclaimed mailboxes, fresh communicator ids, and join
+/// handles of dynamically spawned rank threads.
+pub struct Registry {
+    senders: Mutex<HashMap<(u64, usize), Sender<Envelope>>>,
+    inboxes: Mutex<HashMap<(u64, usize), Mailbox>>,
+    next_comm_id: AtomicU64,
+    child_handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry {
+            senders: Mutex::new(HashMap::new()),
+            inboxes: Mutex::new(HashMap::new()),
+            next_comm_id: AtomicU64::new(0),
+            child_handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Allocates a fresh communicator id.
+    pub fn alloc_comm_id(&self) -> u64 {
+        self.next_comm_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Creates mailboxes for ranks `0..n` of communicator `comm_id`.
+    pub fn create_endpoints(&self, comm_id: u64, n: usize) {
+        let mut senders = self.senders.lock();
+        let mut inboxes = self.inboxes.lock();
+        for rank in 0..n {
+            let (tx, mb) = endpoint(comm_id, rank);
+            senders.insert((comm_id, rank), tx);
+            inboxes.insert((comm_id, rank), mb);
+        }
+    }
+
+    /// Claims the receiving end of a mailbox; each may be taken once, by
+    /// the owning rank thread. Panics on double-take (a wiring bug).
+    pub fn take_mailbox(&self, comm_id: u64, rank: usize) -> Mailbox {
+        self.inboxes
+            .lock()
+            .remove(&(comm_id, rank))
+            .unwrap_or_else(|| panic!("mailbox ({comm_id},{rank}) missing or already taken"))
+    }
+
+    /// Sender handles for ranks `0..n` of a communicator (cached by `Comm`
+    /// so sends need no lock).
+    pub fn senders_for(&self, comm_id: u64, n: usize) -> Vec<Sender<Envelope>> {
+        let senders = self.senders.lock();
+        (0..n)
+            .map(|rank| {
+                senders
+                    .get(&(comm_id, rank))
+                    .unwrap_or_else(|| panic!("no endpoint for ({comm_id},{rank})"))
+                    .clone()
+            })
+            .collect()
+    }
+
+    /// Tracks a dynamically spawned rank thread so the universe can join
+    /// it before tearing down.
+    pub fn track_child(&self, handle: JoinHandle<()>) {
+        self.child_handles.lock().push(handle);
+    }
+
+    /// Joins all spawned rank threads (children may spawn grandchildren
+    /// while we drain, hence the loop).
+    pub fn join_children(&self) {
+        loop {
+            let batch: Vec<JoinHandle<()>> = std::mem::take(&mut *self.child_handles.lock());
+            if batch.is_empty() {
+                return;
+            }
+            for h in batch {
+                h.join().expect("spawned rank panicked");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comm_ids_are_unique() {
+        let r = Registry::new();
+        let a = r.alloc_comm_id();
+        let b = r.alloc_comm_id();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn endpoints_route_messages() {
+        let r = Registry::new();
+        let id = r.alloc_comm_id();
+        r.create_endpoints(id, 2);
+        let senders = r.senders_for(id, 2);
+        let mut mb1 = r.take_mailbox(id, 1);
+        senders[1]
+            .send(Envelope {
+                src: 0,
+                tag: 3,
+                payload: bytes::Bytes::from_static(b"hi"),
+            })
+            .unwrap();
+        let env = mb1.recv(Some(0), Some(3)).unwrap();
+        assert_eq!(&env.payload[..], b"hi");
+    }
+
+    #[test]
+    #[should_panic(expected = "already taken")]
+    fn double_take_panics() {
+        let r = Registry::new();
+        let id = r.alloc_comm_id();
+        r.create_endpoints(id, 1);
+        let _a = r.take_mailbox(id, 0);
+        let _b = r.take_mailbox(id, 0);
+    }
+
+    #[test]
+    fn join_children_handles_nesting() {
+        let r = std::sync::Arc::new(Registry::new());
+        let r2 = r.clone();
+        r.track_child(std::thread::spawn(move || {
+            r2.track_child(std::thread::spawn(|| {}));
+        }));
+        r.join_children();
+        assert!(r.child_handles.lock().is_empty());
+    }
+}

@@ -1,0 +1,81 @@
+//! Dynamic process management: `MPI_Comm_spawn`.
+//!
+//! This is the MPI feature the whole reconfiguration scheme hangs on
+//! (§V-B1: "the updated list of nodes is gathered and used in a call to
+//! `MPI_Comm_spawn` in order to create a new set of processes"). The call
+//! is collective over the parent communicator; every parent rank receives
+//! an [`InterComm`] to the children, and each child's [`Comm::parent`]
+//! returns the mirror image.
+
+use std::sync::Arc;
+
+use crate::comm::{Comm, InterComm};
+
+/// The child entry point: receives the child-world communicator (whose
+/// [`Comm::parent`] is connected to the spawning group).
+pub type SpawnEntry = Arc<dyn Fn(Comm) + Send + Sync>;
+
+impl Comm {
+    /// Collectively spawns `n` new ranks running `entry` and returns the
+    /// inter-communicator to them.
+    ///
+    /// Rank 0 performs the launch (like `MPI_Comm_spawn`'s `root`); all
+    /// ranks must call with the same `n`. The spawned threads are joined
+    /// by the [`crate::universe::Universe`] at teardown.
+    pub fn spawn(&mut self, n: usize, entry: SpawnEntry) -> Result<InterComm, crate::MpiError> {
+        assert!(n > 0, "cannot spawn an empty process set");
+        // Root allocates three communicator id spaces: the child world,
+        // and the two directional sides of the inter-communicator.
+        let mut ids: Vec<u64> = if self.rank == 0 {
+            let child_world = self.registry.alloc_comm_id();
+            let parent_side = self.registry.alloc_comm_id();
+            let child_side = self.registry.alloc_comm_id();
+            self.registry.create_endpoints(child_world, n);
+            self.registry.create_endpoints(parent_side, self.size());
+            self.registry.create_endpoints(child_side, n);
+            vec![child_world, parent_side, child_side]
+        } else {
+            Vec::new()
+        };
+        self.bcast(&mut ids, 0)?;
+        let (child_world, parent_side, child_side) = (ids[0], ids[1], ids[2]);
+
+        if self.rank == 0 {
+            let parent_size = self.size();
+            for child_rank in 0..n {
+                let registry = Arc::clone(&self.registry);
+                let entry = Arc::clone(&entry);
+                let handle = std::thread::Builder::new()
+                    .name(format!("rank{child_rank}.c{child_world}"))
+                    .spawn(move || {
+                        let parent = InterComm::new(
+                            &registry,
+                            child_side,
+                            parent_side,
+                            child_rank,
+                            n,
+                            parent_size,
+                        );
+                        let comm = Comm::new(
+                            Arc::clone(&registry),
+                            child_world,
+                            child_rank,
+                            n,
+                            Some(parent),
+                        );
+                        entry(comm);
+                    })
+                    .expect("spawn rank thread");
+                self.registry.track_child(handle);
+            }
+        }
+        Ok(InterComm::new(
+            &self.registry,
+            parent_side,
+            child_side,
+            self.rank,
+            self.size(),
+            n,
+        ))
+    }
+}

@@ -1,0 +1,260 @@
+//! The launcher: runs an SPMD closure over a fresh world communicator.
+
+use std::sync::Arc;
+
+use crate::comm::Comm;
+use crate::registry::Registry;
+
+/// Launches rank sets and owns their lifetime (an in-process `mpiexec`).
+pub struct Universe;
+
+impl Universe {
+    /// Runs `f` on `world` ranks (threads), each handed its own world
+    /// [`Comm`]. Returns the per-rank results in rank order after every
+    /// rank — including any dynamically spawned descendants — has
+    /// finished.
+    ///
+    /// Panics if any rank panics (test-friendly fail-fast).
+    pub fn run<T, F>(world: usize, f: F) -> Vec<T>
+    where
+        F: Fn(Comm) -> T + Send + Sync + 'static,
+        T: Send + 'static,
+    {
+        assert!(world > 0, "world must have at least one rank");
+        let registry = Arc::new(Registry::new());
+        let world_id = registry.alloc_comm_id();
+        registry.create_endpoints(world_id, world);
+        let f = Arc::new(f);
+        let handles: Vec<_> = (0..world)
+            .map(|rank| {
+                let registry = Arc::clone(&registry);
+                let f = Arc::clone(&f);
+                std::thread::Builder::new()
+                    .name(format!("rank{rank}.world"))
+                    .spawn(move || {
+                        let comm =
+                            Comm::new(Arc::clone(&registry), world_id, rank, world, None);
+                        f(comm)
+                    })
+                    .expect("spawn world rank")
+            })
+            .collect();
+        let results: Vec<T> = handles
+            .into_iter()
+            .map(|h| h.join().expect("world rank panicked"))
+            .collect();
+        registry.join_children();
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::{ANY_SOURCE, ANY_TAG};
+    use std::sync::Arc;
+
+    #[test]
+    fn ranks_know_who_they_are() {
+        let ids = Universe::run(4, |comm| (comm.rank(), comm.size()));
+        assert_eq!(ids, vec![(0, 4), (1, 4), (2, 4), (3, 4)]);
+    }
+
+    #[test]
+    fn point_to_point_ring() {
+        // Each rank sends its id to the next; receives from the previous.
+        let got = Universe::run(5, |mut comm| {
+            let me = comm.rank();
+            let n = comm.size();
+            comm.send(&[me as u64], (me + 1) % n, 1).unwrap();
+            let (data, status) = comm.recv::<u64>(Some((me + n - 1) % n), Some(1)).unwrap();
+            assert_eq!(status.source, (me + n - 1) % n);
+            data[0]
+        });
+        assert_eq!(got, vec![4, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn wildcard_receive_collects_everything() {
+        let got = Universe::run(4, |mut comm| {
+            if comm.rank() == 0 {
+                let mut sum = 0u64;
+                for _ in 0..3 {
+                    let (data, _) = comm.recv::<u64>(ANY_SOURCE, ANY_TAG).unwrap();
+                    sum += data[0];
+                }
+                sum
+            } else {
+                comm.send(&[comm.rank() as u64 * 10], 0, 9).unwrap();
+                0
+            }
+        });
+        assert_eq!(got[0], 60);
+    }
+
+    #[test]
+    fn irecv_waitall() {
+        let got = Universe::run(3, |mut comm| {
+            if comm.rank() == 0 {
+                let reqs: Vec<_> = (1..3).map(|src| comm.irecv(Some(src), Some(5))).collect();
+                let data = comm.waitall::<f64>(&reqs).unwrap();
+                data.into_iter().flatten().sum::<f64>()
+            } else {
+                comm.send(&[comm.rank() as f64], 0, 5).unwrap();
+                0.0
+            }
+        });
+        assert_eq!(got[0], 3.0);
+    }
+
+    #[test]
+    fn barrier_and_bcast() {
+        let got = Universe::run(4, |mut comm| {
+            comm.barrier().unwrap();
+            let mut data = if comm.rank() == 2 {
+                vec![7.5f64, 8.5]
+            } else {
+                vec![]
+            };
+            comm.bcast(&mut data, 2).unwrap();
+            data
+        });
+        for d in got {
+            assert_eq!(d, vec![7.5, 8.5]);
+        }
+    }
+
+    #[test]
+    fn reductions() {
+        let got = Universe::run(4, |mut comm| {
+            let mine = vec![comm.rank() as f64, 1.0];
+            comm.allreduce_sum(&mine).unwrap()
+        });
+        for d in got {
+            assert_eq!(d, vec![6.0, 4.0]);
+        }
+    }
+
+    #[test]
+    fn gather_and_scatter() {
+        let got = Universe::run(3, |mut comm| {
+            let gathered = comm.gather(&[comm.rank() as u32], 1).unwrap();
+            if comm.rank() == 1 {
+                let g = gathered.unwrap();
+                assert_eq!(g, vec![vec![0], vec![1], vec![2]]);
+            }
+            let chunks: Option<Vec<Vec<u32>>> = if comm.rank() == 0 {
+                Some(vec![vec![10], vec![20, 21], vec![30]])
+            } else {
+                None
+            };
+            comm.scatter(chunks.as_deref(), 0).unwrap()
+        });
+        assert_eq!(got, vec![vec![10], vec![20, 21], vec![30]]);
+    }
+
+    #[test]
+    fn allgather_concatenates_in_rank_order() {
+        let got = Universe::run(4, |mut comm| {
+            let mine: Vec<u64> = vec![comm.rank() as u64; comm.rank() + 1];
+            comm.allgather(&mine).unwrap()
+        });
+        let expect = vec![0u64, 1, 1, 2, 2, 2, 3, 3, 3, 3];
+        for d in got {
+            assert_eq!(d, expect);
+        }
+    }
+
+    #[test]
+    fn spawn_connects_parent_and_children() {
+        // Parent world of 2 spawns 3 children; parents send rank-tagged
+        // values, children echo them back doubled.
+        let got = Universe::run(2, |mut comm| {
+            let entry = Arc::new(|mut child: Comm| {
+                let me = child.rank();
+                let parent = child.parent().expect("children have a parent");
+                assert_eq!(parent.remote_size(), 2);
+                assert_eq!(parent.local_size(), 3);
+                let (data, st) = parent.recv::<u64>(ANY_SOURCE, Some(1)).unwrap();
+                parent.send(&[data[0] * 2, me as u64], st.source, 2).unwrap();
+            });
+            let mut inter = comm.spawn(3, entry).unwrap();
+            assert_eq!(inter.remote_size(), 3);
+            // Parent rank r sends to child r (parent 0 also feeds child 2).
+            let me = comm.rank();
+            inter.send(&[100 + me as u64], me, 1).unwrap();
+            if me == 0 {
+                inter.send(&[200u64], 2, 1).unwrap();
+            }
+            let mut replies = vec![];
+            let expected = if me == 0 { 2 } else { 1 };
+            for _ in 0..expected {
+                let (data, _) = inter.recv::<u64>(ANY_SOURCE, Some(2)).unwrap();
+                replies.push(data[0]);
+            }
+            replies.sort_unstable();
+            replies
+        });
+        assert_eq!(got[0], vec![200, 400]);
+        assert_eq!(got[1], vec![202]);
+    }
+
+    #[test]
+    fn nested_spawn_grandchildren() {
+        let got = Universe::run(1, |mut comm| {
+            let entry = Arc::new(|mut child: Comm| {
+                // The child spawns a grandchild and relays its answer up.
+                let grand_entry = Arc::new(|mut g: Comm| {
+                    let p = g.parent().unwrap();
+                    p.send(&[42u64], 0, 3).unwrap();
+                });
+                let mut ginter = child.spawn(1, grand_entry).unwrap();
+                let (data, _) = ginter.recv::<u64>(Some(0), Some(3)).unwrap();
+                let p = child.parent().unwrap();
+                p.send(&[data[0] + 1], 0, 4).unwrap();
+            });
+            let mut inter = comm.spawn(1, entry).unwrap();
+            let (data, _) = inter.recv::<u64>(Some(0), Some(4)).unwrap();
+            data[0]
+        });
+        assert_eq!(got, vec![43]);
+    }
+
+    #[test]
+    fn world_parent_is_none() {
+        let got = Universe::run(2, |mut comm| comm.parent().is_none());
+        assert_eq!(got, vec![true, true]);
+    }
+
+    #[test]
+    fn invalid_rank_errors() {
+        Universe::run(2, |comm| {
+            let err = comm.send(&[1u8], 5, 0).unwrap_err();
+            assert!(matches!(err, crate::MpiError::InvalidRank { rank: 5, size: 2 }));
+        });
+    }
+}
+
+#[cfg(test)]
+mod debug_tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn minimal_spawn_echo() {
+        let got = Universe::run(1, |mut comm| {
+            let entry = Arc::new(|mut child: Comm| {
+                let p = child.parent().unwrap();
+                let (d, st) = p.recv::<u64>(None, Some(1)).unwrap();
+                p.send(&[d[0] + 1], st.source, 2).unwrap();
+            });
+            let mut inter = comm.spawn(2, entry).unwrap();
+            inter.send(&[5u64], 0, 1).unwrap();
+            inter.send(&[7u64], 1, 1).unwrap();
+            let (a, _) = inter.recv::<u64>(None, Some(2)).unwrap();
+            let (b, _) = inter.recv::<u64>(None, Some(2)).unwrap();
+            a[0] + b[0]
+        });
+        assert_eq!(got, vec![14]);
+    }
+}

@@ -1,0 +1,194 @@
+//! Block distributions and redistribution plans.
+//!
+//! Every application in the paper carries block-distributed state (matrix
+//! rows, vector segments, particle ranges). A resize maps the old block
+//! decomposition onto the new one; the runtime moves exactly the
+//! overlapping intervals. "Our model, however, supports arbitrary
+//! distributions" (§VI-B) — the plan below is the general interval
+//! intersection, not just the factor-of-two case.
+
+/// A block decomposition of `n` elements over `parts` ranks: the first
+/// `n % parts` ranks get one extra element.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BlockDist {
+    pub n: usize,
+    pub parts: usize,
+}
+
+/// One contiguous transfer of a redistribution plan, in *global* element
+/// coordinates plus the local offsets on both ends.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Transfer {
+    pub src_rank: usize,
+    pub dst_rank: usize,
+    /// Offset inside the source rank's local block.
+    pub src_offset: usize,
+    /// Offset inside the destination rank's local block.
+    pub dst_offset: usize,
+    pub len: usize,
+}
+
+impl BlockDist {
+    pub fn new(n: usize, parts: usize) -> Self {
+        assert!(parts > 0, "distribution needs at least one part");
+        BlockDist { n, parts }
+    }
+
+    /// Global start index of `rank`'s block.
+    pub fn start(&self, rank: usize) -> usize {
+        let base = self.n / self.parts;
+        let extra = self.n % self.parts;
+        rank * base + rank.min(extra)
+    }
+
+    /// Length of `rank`'s block.
+    pub fn len(&self, rank: usize) -> usize {
+        let base = self.n / self.parts;
+        let extra = self.n % self.parts;
+        base + usize::from(rank < extra)
+    }
+
+    /// `true` when the distribution carries no elements.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Global index range of `rank`.
+    pub fn range(&self, rank: usize) -> std::ops::Range<usize> {
+        let s = self.start(rank);
+        s..s + self.len(rank)
+    }
+
+    /// Rank owning global element `i`.
+    pub fn owner(&self, i: usize) -> usize {
+        assert!(i < self.n, "index {i} out of {n}", n = self.n);
+        let base = self.n / self.parts;
+        let extra = self.n % self.parts;
+        let fat = (base + 1) * extra; // elements in the fat prefix
+        if base == 0 || i < fat {
+            i / (base + 1)
+        } else {
+            extra + (i - fat) / base
+        }
+    }
+
+    /// The exact transfer plan from `self` to `to` (same global size).
+    /// Transfers are emitted in (src, dst) order; local-only copies (src
+    /// rank == dst rank at identical offsets) are included so a caller can
+    /// also use the plan to relocate data in place.
+    pub fn plan_to(&self, to: &BlockDist) -> Vec<Transfer> {
+        assert_eq!(self.n, to.n, "redistribution cannot change global size");
+        let mut plan = Vec::new();
+        for src in 0..self.parts {
+            let sr = self.range(src);
+            if sr.is_empty() {
+                continue;
+            }
+            for dst in 0..to.parts {
+                let dr = to.range(dst);
+                let lo = sr.start.max(dr.start);
+                let hi = sr.end.min(dr.end);
+                if lo < hi {
+                    plan.push(Transfer {
+                        src_rank: src,
+                        dst_rank: dst,
+                        src_offset: lo - sr.start,
+                        dst_offset: lo - dr.start,
+                        len: hi - lo,
+                    });
+                }
+            }
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_split() {
+        let d = BlockDist::new(12, 4);
+        assert_eq!(
+            (0..4).map(|r| d.range(r)).collect::<Vec<_>>(),
+            vec![0..3, 3..6, 6..9, 9..12]
+        );
+    }
+
+    #[test]
+    fn remainder_goes_to_leading_ranks() {
+        let d = BlockDist::new(10, 4);
+        assert_eq!(d.len(0), 3);
+        assert_eq!(d.len(1), 3);
+        assert_eq!(d.len(2), 2);
+        assert_eq!(d.len(3), 2);
+        assert_eq!(d.start(3) + d.len(3), 10, "blocks tile the whole range");
+    }
+
+    #[test]
+    fn owner_inverts_range() {
+        for (n, p) in [(10usize, 4usize), (7, 3), (16, 5), (5, 8)] {
+            let d = BlockDist::new(n, p);
+            for i in 0..n {
+                let r = d.owner(i);
+                assert!(d.range(r).contains(&i), "n={n} p={p} i={i} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn more_parts_than_elements() {
+        let d = BlockDist::new(3, 5);
+        assert_eq!(d.len(0), 1);
+        assert_eq!(d.len(2), 1);
+        assert_eq!(d.len(3), 0);
+        assert_eq!(d.len(4), 0);
+        assert!(d.range(4).is_empty());
+    }
+
+    #[test]
+    fn plan_expand_covers_everything_exactly_once() {
+        let from = BlockDist::new(16, 2);
+        let to = BlockDist::new(16, 4);
+        let plan = from.plan_to(&to);
+        // Coverage check: every global element moves exactly once.
+        let mut seen = vec![0u32; 16];
+        for t in &plan {
+            let g0 = from.start(t.src_rank) + t.src_offset;
+            let d0 = to.start(t.dst_rank) + t.dst_offset;
+            assert_eq!(g0, d0, "transfer must preserve global position");
+            for i in g0..g0 + t.len {
+                seen[i] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "{seen:?}");
+    }
+
+    #[test]
+    fn plan_shrink_mirror_of_expand() {
+        let a = BlockDist::new(10, 4);
+        let b = BlockDist::new(10, 2);
+        let forward = a.plan_to(&b);
+        let backward = b.plan_to(&a);
+        // Mirrored: same total volume.
+        let vol_f: usize = forward.iter().map(|t| t.len).sum();
+        let vol_b: usize = backward.iter().map(|t| t.len).sum();
+        assert_eq!(vol_f, 10);
+        assert_eq!(vol_b, 10);
+    }
+
+    #[test]
+    fn identity_plan_is_local() {
+        let d = BlockDist::new(9, 3);
+        let plan = d.plan_to(&d);
+        assert!(plan.iter().all(|t| t.src_rank == t.dst_rank));
+        assert_eq!(plan.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "global size")]
+    fn size_mismatch_panics() {
+        BlockDist::new(4, 2).plan_to(&BlockDist::new(5, 2));
+    }
+}

@@ -1,0 +1,192 @@
+//! The Dynamic Management of Resources (DMR) API (§V-A).
+
+use crate::inhibitor::Inhibitor;
+use crate::rms::RmsClient;
+
+/// The resize envelope an application passes to `dmr_check_status`: the
+/// four input arguments the paper lists (§V-A).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct DmrSpec {
+    /// Minimum number of processes to resize to.
+    pub min: u32,
+    /// Maximum number of processes ("prevents the application from
+    /// growing beyond its scalability capabilities").
+    pub max: u32,
+    /// Resizing factor: targets are multiples/divisors by this factor.
+    pub factor: u32,
+    /// Preferred number of processes.
+    pub preferred: Option<u32>,
+}
+
+impl DmrSpec {
+    pub fn new(min: u32, max: u32) -> Self {
+        DmrSpec {
+            min,
+            max,
+            factor: 2,
+            preferred: None,
+        }
+    }
+
+    pub fn with_preferred(mut self, p: u32) -> Self {
+        self.preferred = Some(p);
+        self
+    }
+}
+
+/// The verdict of a reconfiguring point.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DmrAction {
+    NoAction,
+    /// Grow to this many processes; the handler (new inter-communicator)
+    /// is produced by the caller's spawn.
+    Expand { to: u32 },
+    /// Shrink to this many processes.
+    Shrink { to: u32 },
+}
+
+impl DmrAction {
+    pub fn is_action(self) -> bool {
+        !matches!(self, DmrAction::NoAction)
+    }
+}
+
+/// Runtime-side state of the DMR API for one application instance.
+///
+/// Owns the RMS connection, the checking inhibitor and (for the
+/// asynchronous variant) the action negotiated at the previous step.
+pub struct DmrRuntime<C: RmsClient> {
+    rms: C,
+    inhibitor: Option<Inhibitor>,
+    pending: Option<DmrAction>,
+    checks: u64,
+    inhibited: u64,
+}
+
+impl<C: RmsClient> DmrRuntime<C> {
+    pub fn new(rms: C) -> Self {
+        DmrRuntime {
+            rms,
+            inhibitor: Inhibitor::from_env(),
+            pending: None,
+            checks: 0,
+            inhibited: 0,
+        }
+    }
+
+    /// Overrides the environment-configured inhibitor.
+    pub fn with_inhibitor(mut self, inhibitor: Option<Inhibitor>) -> Self {
+        self.inhibitor = inhibitor;
+        self
+    }
+
+    /// Number of checks that actually reached the RMS.
+    pub fn checks(&self) -> u64 {
+        self.checks
+    }
+
+    /// Number of calls swallowed by the inhibitor.
+    pub fn inhibited(&self) -> u64 {
+        self.inhibited
+    }
+
+    fn gate(&mut self, now_s: f64) -> bool {
+        if let Some(i) = &mut self.inhibitor {
+            if !i.allow(now_s) {
+                self.inhibited += 1;
+                return false;
+            }
+        }
+        true
+    }
+
+    /// `dmr_check_status`: synchronously negotiate with the RMS and return
+    /// the action to apply *now*. `current` is the current process count.
+    pub fn check_status(&mut self, now_s: f64, current: u32, spec: &DmrSpec) -> DmrAction {
+        if !self.gate(now_s) {
+            return DmrAction::NoAction;
+        }
+        self.checks += 1;
+        self.rms.negotiate(current, spec)
+    }
+
+    /// `dmr_icheck_status`: returns the action negotiated at the previous
+    /// reconfiguring point and schedules a new negotiation for the next
+    /// one ("schedules the next action for the next execution step",
+    /// §V-A). The first call therefore always returns
+    /// [`DmrAction::NoAction`].
+    pub fn icheck_status(&mut self, now_s: f64, current: u32, spec: &DmrSpec) -> DmrAction {
+        if !self.gate(now_s) {
+            return DmrAction::NoAction;
+        }
+        self.checks += 1;
+        let planned = self.pending.take().unwrap_or(DmrAction::NoAction);
+        self.pending = Some(self.rms.negotiate(current, spec));
+        planned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rms::ScriptedRms;
+
+    #[test]
+    fn sync_check_returns_rms_verdict() {
+        let rms = ScriptedRms::new(vec![
+            DmrAction::Expand { to: 8 },
+            DmrAction::NoAction,
+            DmrAction::Shrink { to: 2 },
+        ]);
+        let mut rt = DmrRuntime::new(rms).with_inhibitor(None);
+        assert_eq!(
+            rt.check_status(0.0, 4, &DmrSpec::new(1, 16)),
+            DmrAction::Expand { to: 8 }
+        );
+        assert_eq!(rt.check_status(1.0, 8, &DmrSpec::new(1, 16)), DmrAction::NoAction);
+        assert_eq!(
+            rt.check_status(2.0, 8, &DmrSpec::new(1, 16)),
+            DmrAction::Shrink { to: 2 }
+        );
+        assert_eq!(rt.checks(), 3);
+    }
+
+    #[test]
+    fn async_check_lags_one_step() {
+        let rms = ScriptedRms::new(vec![DmrAction::Expand { to: 8 }, DmrAction::Shrink { to: 2 }]);
+        let mut rt = DmrRuntime::new(rms).with_inhibitor(None);
+        let spec = DmrSpec::new(1, 16);
+        // First call: nothing planned yet.
+        assert_eq!(rt.icheck_status(0.0, 4, &spec), DmrAction::NoAction);
+        // Second call returns the action negotiated at the first.
+        assert_eq!(rt.icheck_status(1.0, 4, &spec), DmrAction::Expand { to: 8 });
+        assert_eq!(rt.icheck_status(2.0, 8, &spec), DmrAction::Shrink { to: 2 });
+    }
+
+    #[test]
+    fn inhibitor_swallows_calls() {
+        let rms = ScriptedRms::new(vec![DmrAction::Expand { to: 8 }]);
+        let mut rt =
+            DmrRuntime::new(rms).with_inhibitor(Some(Inhibitor::new(10.0)));
+        let spec = DmrSpec::new(1, 16);
+        // First call allowed (fresh inhibitor), consumes the script.
+        assert!(rt.check_status(0.0, 4, &spec).is_action());
+        // Within the period: swallowed without contacting the RMS.
+        assert_eq!(rt.check_status(3.0, 8, &spec), DmrAction::NoAction);
+        assert_eq!(rt.check_status(9.9, 8, &spec), DmrAction::NoAction);
+        assert_eq!(rt.inhibited(), 2);
+        assert_eq!(rt.checks(), 1);
+        // After the period: reaches the (now empty) RMS script.
+        assert_eq!(rt.check_status(10.1, 8, &spec), DmrAction::NoAction);
+        assert_eq!(rt.checks(), 2);
+    }
+
+    #[test]
+    fn spec_builder() {
+        let s = DmrSpec::new(2, 32).with_preferred(8);
+        assert_eq!(s.min, 2);
+        assert_eq!(s.max, 32);
+        assert_eq!(s.factor, 2);
+        assert_eq!(s.preferred, Some(8));
+    }
+}

@@ -1,0 +1,96 @@
+//! The checking inhibitor (§V-A).
+//!
+//! "An additional mechanism implemented to reach a fair balance between
+//! performance and throughput is the checking inhibitor. This introduces
+//! a timeout during which the calls to the DMR API are ignored." The knob
+//! is the `NANOX_SCHED_PERIOD` environment variable.
+
+/// Environment variable carrying the inhibition period in seconds.
+pub const ENV_SCHED_PERIOD: &str = "NANOX_SCHED_PERIOD";
+
+/// Rate limiter for DMR API calls.
+#[derive(Clone, Copy, Debug)]
+pub struct Inhibitor {
+    period_s: f64,
+    last_allowed_s: Option<f64>,
+}
+
+impl Inhibitor {
+    /// Inhibits calls for `period_s` seconds after each allowed call.
+    pub fn new(period_s: f64) -> Self {
+        assert!(period_s >= 0.0 && period_s.is_finite());
+        Inhibitor {
+            period_s,
+            last_allowed_s: None,
+        }
+    }
+
+    /// Reads `NANOX_SCHED_PERIOD`; absent or unparsable disables
+    /// inhibition.
+    pub fn from_env() -> Option<Self> {
+        std::env::var(ENV_SCHED_PERIOD)
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .filter(|p| p.is_finite() && *p > 0.0)
+            .map(Inhibitor::new)
+    }
+
+    pub fn period_s(&self) -> f64 {
+        self.period_s
+    }
+
+    /// Whether a call at `now_s` may proceed; an allowed call re-arms the
+    /// period.
+    pub fn allow(&mut self, now_s: f64) -> bool {
+        match self.last_allowed_s {
+            Some(last) if now_s - last < self.period_s => false,
+            _ => {
+                self.last_allowed_s = Some(now_s);
+                true
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_call_always_allowed() {
+        let mut i = Inhibitor::new(10.0);
+        assert!(i.allow(0.0));
+    }
+
+    #[test]
+    fn calls_within_period_blocked() {
+        let mut i = Inhibitor::new(10.0);
+        assert!(i.allow(0.0));
+        assert!(!i.allow(5.0));
+        assert!(!i.allow(9.999));
+        assert!(i.allow(10.0));
+        // Period re-arms from the last allowed call.
+        assert!(!i.allow(15.0));
+        assert!(i.allow(20.5));
+    }
+
+    #[test]
+    fn zero_period_allows_everything() {
+        let mut i = Inhibitor::new(0.0);
+        assert!(i.allow(0.0));
+        assert!(i.allow(0.0));
+        assert!(i.allow(0.1));
+    }
+
+    #[test]
+    fn env_parsing() {
+        // Set/clear are process-global; use a unique value and restore.
+        std::env::set_var(ENV_SCHED_PERIOD, "15");
+        let i = Inhibitor::from_env().expect("period set");
+        assert_eq!(i.period_s(), 15.0);
+        std::env::set_var(ENV_SCHED_PERIOD, "bogus");
+        assert!(Inhibitor::from_env().is_none());
+        std::env::remove_var(ENV_SCHED_PERIOD);
+        assert!(Inhibitor::from_env().is_none());
+    }
+}

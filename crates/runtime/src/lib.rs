@@ -1,0 +1,35 @@
+//! # dmr-runtime — the programming-model runtime (Nanos++ analogue)
+//!
+//! The paper extends the Nanos++ OmpSs runtime with a Dynamic Management
+//! of Resources API (§V). This crate is that layer for the thread-backed
+//! MPI substrate:
+//!
+//! * [`dmr`] — the DMR API itself: [`dmr::DmrSpec`] (minimum / maximum /
+//!   factor / preferred), [`dmr::DmrAction`], and [`dmr::DmrRuntime`] with
+//!   `check_status` (synchronous) and `icheck_status` (asynchronous — the
+//!   decision returned was negotiated at the *previous* reconfiguring
+//!   point).
+//! * [`rms`] — the runtime↔RMS communication contract
+//!   ([`rms::RmsClient`]) plus a scriptable test double.
+//! * [`inhibitor`] — the checking inhibitor (`NANOX_SCHED_PERIOD`, §V-A).
+//! * [`dist`] — block distributions and exact transfer plans between an
+//!   old and a new process set.
+//! * [`redistribute`] — executes those plans over `dmr-mpi`
+//!   inter-communicators, including Listing 3's sender/receiver grouping
+//!   for homogeneous shrinks.
+//! * [`offload`] — the OmpSs offload semantics (`#pragma omp task
+//!   inout(data) onto(comm, rank)` + `taskwait`) as a message protocol:
+//!   ship the task's `inout` data to the new process set, then wait for
+//!   completion ACKs.
+
+pub mod dist;
+pub mod dmr;
+pub mod inhibitor;
+pub mod offload;
+pub mod redistribute;
+pub mod rms;
+
+pub use dist::BlockDist;
+pub use dmr::{DmrAction, DmrRuntime, DmrSpec};
+pub use inhibitor::Inhibitor;
+pub use rms::{RmsClient, ScriptedRms};

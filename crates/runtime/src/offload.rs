@@ -1,0 +1,135 @@
+//! OmpSs offload semantics (§VI).
+//!
+//! The paper reconfigures by offloading the application's own compute
+//! task onto the *new* communicator:
+//!
+//! ```c
+//! #pragma omp task inout(data) onto(handler, rank)
+//! compute(data, t);
+//! #pragma omp taskwait
+//! ```
+//!
+//! `inout(data)` ships the task's data dependency to the target; the
+//! `taskwait` lets the original processes terminate only once the
+//! offloaded tasks are delivered. In Rust (and across thread-ranks that
+//! share no memory) the moving parts become explicit: an [`OffloadTask`]
+//! carries the serialized `inout` data plus the resume point (the
+//! time-step `t` of Listing 1), and the acknowledgement protocol mirrors
+//! the shrink ACK workflow of §V-B2 (nodes are released only after every
+//! process signalled completion of its offloading tasks).
+
+use dmr_mpi::{InterComm, MpiData, MpiError};
+
+const TASK_TAG: i32 = 0x0FF_10;
+const ACK_TAG: i32 = 0x0FF_11;
+
+/// A task shipped to one rank of the new process set.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OffloadTask<T> {
+    /// The `inout` dependency: the block of application state this target
+    /// rank will own.
+    pub data: Vec<T>,
+    /// The resume point — Listing 1 sends the time-step `t` alongside the
+    /// data.
+    pub step: u64,
+}
+
+/// Offloads a task with `inout` data onto rank `dest` of the remote group
+/// (the `onto(handler, dest)` clause).
+pub fn offload<T: MpiData>(
+    inter: &mut InterComm,
+    dest: usize,
+    task: &OffloadTask<T>,
+) -> Result<(), MpiError> {
+    inter.send(&[task.step], dest, TASK_TAG)?;
+    inter.send(&task.data, dest, TASK_TAG + 1)
+}
+
+/// Target side: accepts the task offloaded to this rank.
+pub fn accept<T: MpiData>(parent: &mut InterComm) -> Result<OffloadTask<T>, MpiError> {
+    let (step, st) = parent.recv::<u64>(None, Some(TASK_TAG))?;
+    let (data, _) = parent.recv::<T>(Some(st.source), Some(TASK_TAG + 1))?;
+    Ok(OffloadTask {
+        data,
+        step: step[0],
+    })
+}
+
+/// Target side: signals that the offloaded task was received and adopted
+/// (releases the source's `taskwait`).
+pub fn ack(parent: &mut InterComm, to: usize) -> Result<(), MpiError> {
+    parent.send(&[1u8], to, ACK_TAG)
+}
+
+/// Source side: the `taskwait` — blocks until `count` ACKs arrive. In the
+/// shrink workflow this is what guarantees "they finished their offloading
+/// tasks and the node is ready to be released" (§V-B2).
+pub fn taskwait(inter: &mut InterComm, count: usize) -> Result<(), MpiError> {
+    for _ in 0..count {
+        inter.recv::<u8>(None, Some(ACK_TAG))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmr_mpi::{Comm, Universe};
+    use std::sync::Arc;
+
+    #[test]
+    fn offload_round_trip_with_taskwait() {
+        let got = Universe::run(1, |mut comm| {
+            let entry = Arc::new(|mut child: Comm| {
+                let parent = child.parent().unwrap();
+                let task = accept::<f64>(parent).unwrap();
+                assert_eq!(task.step, 7);
+                assert_eq!(task.data, vec![1.0, 2.0, 3.0]);
+                ack(parent, 0).unwrap();
+            });
+            let mut inter = comm.spawn(1, entry).unwrap();
+            offload(
+                &mut inter,
+                0,
+                &OffloadTask {
+                    data: vec![1.0f64, 2.0, 3.0],
+                    step: 7,
+                },
+            )
+            .unwrap();
+            taskwait(&mut inter, 1).unwrap();
+            true
+        });
+        assert_eq!(got, vec![true]);
+    }
+
+    #[test]
+    fn one_parent_fans_out_to_many_targets() {
+        // Listing 3's expand loop: rank 0 partitions its block across
+        // `factor` children.
+        let got = Universe::run(1, |mut comm| {
+            let entry = Arc::new(|mut child: Comm| {
+                let me = child.rank();
+                let parent = child.parent().unwrap();
+                let task = accept::<u64>(parent).unwrap();
+                assert_eq!(task.data, vec![me as u64 * 10, me as u64 * 10 + 1]);
+                ack(parent, 0).unwrap();
+            });
+            let mut inter = comm.spawn(3, entry).unwrap();
+            for dest in 0..3u64 {
+                offload(
+                    &mut inter,
+                    dest as usize,
+                    &OffloadTask {
+                        data: vec![dest * 10, dest * 10 + 1],
+                        step: 0,
+                    },
+                )
+                .unwrap();
+            }
+            taskwait(&mut inter, 3).unwrap();
+            true
+        });
+        assert_eq!(got, vec![true]);
+    }
+}

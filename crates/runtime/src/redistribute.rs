@@ -1,0 +1,217 @@
+//! Executing redistribution plans over inter-communicators.
+//!
+//! Expansion and shrink both end with the *new* process set holding the
+//! block distribution of the dataset; the old set sends its overlaps
+//! through the parent↔child inter-communicator created by
+//! `MPI_Comm_spawn`. For homogeneous shrinks the paper first regroups
+//! data *inside* the old communicator (Listing 3's sender/receiver
+//! pattern); that helper is here too.
+
+use dmr_mpi::{Comm, InterComm, MpiData};
+
+use crate::dist::BlockDist;
+
+/// Tag space reserved for redistribution traffic.
+const REDIST_TAG: i32 = 0x0D_15_70;
+
+/// Tag of the intra-communicator shrink pre-shuffle ([`shrink_gather`]).
+const SHRINK_TAG: i32 = 0x0D_15_6F;
+
+/// Header/payload tags of redistribution round `round`.
+///
+/// Each state vector (data dependency) travels in its own round: with a
+/// shared tag, a receiver's wildcard-source header match could pair one
+/// parent's round-1 header with the bookkeeping of another parent's
+/// round-0 traffic (MPI only orders messages per (source, tag)).
+fn round_tags(round: usize) -> (i32, i32) {
+    let base = REDIST_TAG + 2 * (round as i32);
+    (base, base + 1)
+}
+
+/// Old-set side: sends this rank's overlaps of `data` (distributed as
+/// `from`) towards the new set distributed as `to`. `round` must be the
+/// same on both sides and unique per concurrently redistributed vector.
+pub fn send_blocks<T: MpiData>(
+    inter: &mut InterComm,
+    my_rank: usize,
+    data: &[T],
+    from: &BlockDist,
+    to: &BlockDist,
+    round: usize,
+) -> Result<(), dmr_mpi::MpiError> {
+    debug_assert_eq!(data.len(), from.len(my_rank), "local block size mismatch");
+    let (htag, ptag) = round_tags(round);
+    for t in from.plan_to(to) {
+        if t.src_rank != my_rank {
+            continue;
+        }
+        let slice = &data[t.src_offset..t.src_offset + t.len];
+        // Two messages: a header carrying (dst_offset, len) so the
+        // receiver can place out-of-order arrivals, then the typed slice.
+        inter.send(&[t.dst_offset as u64, t.len as u64], t.dst_rank, htag)?;
+        inter.send(slice, t.dst_rank, ptag)?;
+    }
+    Ok(())
+}
+
+/// New-set side: receives this rank's block of the dataset distributed as
+/// `to`, produced by old ranks distributed as `from`.
+pub fn recv_blocks<T: MpiData + Default>(
+    parent: &mut InterComm,
+    my_rank: usize,
+    from: &BlockDist,
+    to: &BlockDist,
+    round: usize,
+) -> Result<Vec<T>, dmr_mpi::MpiError> {
+    let mut out = vec![T::default(); to.len(my_rank)];
+    let (htag, ptag) = round_tags(round);
+    let incoming = from
+        .plan_to(to)
+        .into_iter()
+        .filter(|t| t.dst_rank == my_rank)
+        .count();
+    for _ in 0..incoming {
+        let (header, st) = parent.recv::<u64>(None, Some(htag))?;
+        let (dst_offset, len) = (header[0] as usize, header[1] as usize);
+        let (slice, _) = parent.recv::<T>(Some(st.source), Some(ptag))?;
+        debug_assert_eq!(slice.len(), len);
+        out[dst_offset..dst_offset + len].copy_from_slice(&slice);
+    }
+    Ok(out)
+}
+
+/// Listing 3's homogeneous shrink pre-shuffle, executed *inside* the old
+/// communicator: ranks are grouped in runs of `factor`; the last rank of
+/// each run (the "receiver") collects the others' blocks, concatenated in
+/// rank order. Returns `Some(merged)` on receivers, `None` on senders.
+///
+/// ```text
+/// sender   = (rank % factor) < factor - 1
+/// receiver = factor * (rank / factor + 1) - 1
+/// ```
+pub fn shrink_gather<T: MpiData>(
+    comm: &mut Comm,
+    data: &[T],
+    factor: usize,
+) -> Result<Option<Vec<T>>, dmr_mpi::MpiError> {
+    assert!(factor >= 2, "shrink factor must be at least 2");
+    assert_eq!(
+        comm.size() % factor,
+        0,
+        "homogeneous shrink needs size divisible by factor"
+    );
+    let me = comm.rank();
+    let sender = (me % factor) < factor - 1;
+    if sender {
+        let dst = factor * (me / factor + 1) - 1;
+        comm.isend(data, dst, SHRINK_TAG)?;
+        Ok(None)
+    } else {
+        // Receiver: collect the whole run, own block last.
+        let run_first = me + 1 - factor;
+        let mut merged = Vec::new();
+        for src in run_first..me {
+            let (block, _) = comm.recv::<T>(Some(src), Some(SHRINK_TAG))?;
+            merged.extend(block);
+        }
+        merged.extend_from_slice(data);
+        Ok(Some(merged))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmr_mpi::Universe;
+    use std::sync::Arc;
+
+    /// Full expand path: 2 parents re-distribute a 16-element vector to 4
+    /// children via spawn + send/recv_blocks.
+    #[test]
+    fn expand_redistributes_blocks() {
+        let results = Universe::run(2, |mut comm| {
+            let n = 16usize;
+            let from = BlockDist::new(n, 2);
+            let to = BlockDist::new(n, 4);
+            let me = comm.rank();
+            // Local block: global index as value.
+            let data: Vec<f64> = from.range(me).map(|i| i as f64).collect();
+            let entry = Arc::new(move |mut child: Comm| {
+                let from = BlockDist::new(16, 2);
+                let to = BlockDist::new(16, 4);
+                let rank = child.rank();
+                let parent = child.parent().unwrap();
+                let block = recv_blocks::<f64>(parent, rank, &from, &to, 0).unwrap();
+                let expect: Vec<f64> = to.range(rank).map(|i| i as f64).collect();
+                assert_eq!(block, expect, "child {rank}");
+                // Ack completion (the taskwait).
+                parent.send(&[1u8], 0, 99).unwrap();
+            });
+            let mut inter = comm.spawn(4, entry).unwrap();
+            send_blocks(&mut inter, me, &data, &from, &to, 0).unwrap();
+            if me == 0 {
+                for _ in 0..4 {
+                    inter.recv::<u8>(None, Some(99)).unwrap();
+                }
+            }
+            true
+        });
+        assert!(results.into_iter().all(|b| b));
+    }
+
+    /// Shrink path: 4 old ranks regroup with Listing 3's sender/receiver
+    /// pattern (factor 2), then the 2 receivers feed 2 children.
+    #[test]
+    fn shrink_gathers_then_offloads() {
+        let results = Universe::run(4, |mut comm| {
+            let n = 8usize;
+            let from = BlockDist::new(n, 4);
+            let me = comm.rank();
+            let data: Vec<f64> = from.range(me).map(|i| i as f64).collect();
+            let merged = shrink_gather(&mut comm, &data, 2).unwrap();
+            // Receivers are ranks 1 and 3; they now hold halves.
+            match (me, &merged) {
+                (1, Some(m)) => assert_eq!(m, &vec![0.0, 1.0, 2.0, 3.0]),
+                (3, Some(m)) => assert_eq!(m, &vec![4.0, 5.0, 6.0, 7.0]),
+                (0 | 2, None) => {}
+                other => panic!("unexpected grouping {other:?}"),
+            }
+            // Offload to the shrunken process set: the merged halves are
+            // exactly the 2-way distribution.
+            let entry = Arc::new(move |mut child: Comm| {
+                let old = BlockDist::new(8, 2);
+                let new = BlockDist::new(8, 2);
+                let rank = child.rank();
+                let parent = child.parent().unwrap();
+                let block = recv_blocks::<f64>(parent, rank, &old, &new, 0).unwrap();
+                let expect: Vec<f64> = new.range(rank).map(|i| i as f64).collect();
+                assert_eq!(block, expect, "child {rank}");
+            });
+            let mut inter = comm.spawn(2, entry).unwrap();
+            if let Some(m) = merged {
+                let two = BlockDist::new(n, 2);
+                // Receiver 1 acts as "old rank 0", receiver 3 as "old rank 1".
+                let old_rank = me / 2;
+                send_blocks(&mut inter, old_rank, &m, &two, &two, 0).unwrap();
+            }
+            true
+        });
+        assert!(results.into_iter().all(|b| b));
+    }
+
+    #[test]
+    fn sender_receiver_formula_matches_listing3() {
+        // factor = 4, ranks 0..8: receivers are 3 and 7.
+        for me in 0..8usize {
+            let factor = 4;
+            let sender = (me % factor) < factor - 1;
+            let receiver = factor * (me / factor + 1) - 1;
+            if sender {
+                assert!(receiver == 3 || receiver == 7);
+                assert!(receiver > me || receiver == me + (factor - 1 - me % factor));
+            } else {
+                assert!(me == 3 || me == 7);
+            }
+        }
+    }
+}

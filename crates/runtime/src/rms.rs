@@ -1,0 +1,104 @@
+//! The runtime↔RMS contract.
+//!
+//! The paper's Nanos++ talks to Slurm through its external API; here the
+//! contract is a trait so the real kernels can run against a scripted
+//! double (unit tests, examples) or against the full `dmr-slurm`
+//! scheduler (wired up in the umbrella crate, where both sides are in
+//! scope).
+
+use std::collections::VecDeque;
+
+use crate::dmr::{DmrAction, DmrSpec};
+
+/// Whatever answers reconfiguration requests.
+pub trait RmsClient {
+    /// One negotiation: the application currently runs `current`
+    /// processes and exposes `spec`; the RMS answers with the action.
+    fn negotiate(&mut self, current: u32, spec: &DmrSpec) -> DmrAction;
+}
+
+/// A scripted RMS: returns a fixed sequence of actions, then
+/// [`DmrAction::NoAction`] forever. Sanitises verdicts against the spec
+/// (never expands past `max` nor shrinks below `min`).
+pub struct ScriptedRms {
+    script: VecDeque<DmrAction>,
+}
+
+impl ScriptedRms {
+    pub fn new(script: Vec<DmrAction>) -> Self {
+        ScriptedRms {
+            script: script.into(),
+        }
+    }
+
+    /// An RMS that never reconfigures.
+    pub fn quiescent() -> Self {
+        ScriptedRms::new(Vec::new())
+    }
+}
+
+impl RmsClient for ScriptedRms {
+    fn negotiate(&mut self, current: u32, spec: &DmrSpec) -> DmrAction {
+        match self.script.pop_front() {
+            Some(DmrAction::Expand { to }) if to > current && to <= spec.max => {
+                DmrAction::Expand { to }
+            }
+            Some(DmrAction::Shrink { to }) if to < current && to >= spec.min => {
+                DmrAction::Shrink { to }
+            }
+            _ => DmrAction::NoAction,
+        }
+    }
+}
+
+/// Closure-backed client, handy for tests that need full control.
+pub struct FnRms<F: FnMut(u32, &DmrSpec) -> DmrAction>(pub F);
+
+impl<F: FnMut(u32, &DmrSpec) -> DmrAction> RmsClient for FnRms<F> {
+    fn negotiate(&mut self, current: u32, spec: &DmrSpec) -> DmrAction {
+        (self.0)(current, spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn script_plays_in_order_then_noaction() {
+        let mut rms = ScriptedRms::new(vec![
+            DmrAction::Expand { to: 8 },
+            DmrAction::Shrink { to: 4 },
+        ]);
+        let spec = DmrSpec::new(1, 16);
+        assert_eq!(rms.negotiate(4, &spec), DmrAction::Expand { to: 8 });
+        assert_eq!(rms.negotiate(8, &spec), DmrAction::Shrink { to: 4 });
+        assert_eq!(rms.negotiate(4, &spec), DmrAction::NoAction);
+    }
+
+    #[test]
+    fn script_is_sanitised_against_spec() {
+        let spec = DmrSpec::new(4, 8);
+        let mut rms = ScriptedRms::new(vec![
+            DmrAction::Expand { to: 16 }, // beyond max
+            DmrAction::Shrink { to: 2 },  // below min
+            DmrAction::Expand { to: 4 },  // not a growth from 4
+        ]);
+        assert_eq!(rms.negotiate(4, &spec), DmrAction::NoAction);
+        assert_eq!(rms.negotiate(4, &spec), DmrAction::NoAction);
+        assert_eq!(rms.negotiate(4, &spec), DmrAction::NoAction);
+    }
+
+    #[test]
+    fn fn_rms_delegates() {
+        let mut rms = FnRms(|current, _spec: &DmrSpec| {
+            if current < 4 {
+                DmrAction::Expand { to: 4 }
+            } else {
+                DmrAction::NoAction
+            }
+        });
+        assert_eq!(rms.negotiate(2, &DmrSpec::new(1, 8)), DmrAction::Expand { to: 4 });
+        assert_eq!(rms.negotiate(4, &DmrSpec::new(1, 8)), DmrAction::NoAction);
+    }
+}

@@ -1,0 +1,198 @@
+//! The simulation engine: a clock plus an event queue, with a driver loop.
+
+use crate::queue::{EventKey, EventQueue};
+use crate::time::{SimTime, Span};
+
+/// Handle for a scheduled event (re-exported key type).
+pub type EventId = EventKey;
+
+/// A virtual clock bound to a cancellable event queue.
+///
+/// `Engine` is deliberately passive: it owns time and pending events, and the
+/// simulation *world* (e.g. the workload driver in `dmr-core`) pulls events
+/// and dispatches them. This inversion keeps every domain rule out of the
+/// engine and makes the engine reusable and independently testable.
+pub struct Engine<E> {
+    now: SimTime,
+    queue: EventQueue<E>,
+    processed: u64,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            processed: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events dispatched so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules an event at an absolute instant. Scheduling in the past is
+    /// a logic error and panics in debug builds; in release it clamps to
+    /// `now` (the event fires immediately next).
+    pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventId {
+        debug_assert!(
+            at >= self.now,
+            "scheduled event in the past: at={:?} now={:?}",
+            at,
+            self.now
+        );
+        let at = at.max(self.now);
+        self.queue.push(at, event)
+    }
+
+    /// Schedules an event `delay` after the current instant.
+    pub fn schedule_in(&mut self, delay: Span, event: E) -> EventId {
+        self.queue.push(self.now + delay, event)
+    }
+
+    /// Cancels a pending event, returning its payload if it had not fired.
+    pub fn cancel(&mut self, id: EventId) -> Option<E> {
+        self.queue.cancel(id)
+    }
+
+    /// Time of the next pending event without consuming it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    pub fn next_event(&mut self) -> Option<(SimTime, E)> {
+        let (t, e) = self.queue.pop()?;
+        debug_assert!(t >= self.now, "event queue went backwards");
+        self.now = t;
+        self.processed += 1;
+        Some((t, e))
+    }
+
+    /// Runs the event loop to exhaustion, dispatching each event to
+    /// `handler`. The handler receives the engine so it can schedule further
+    /// events; this is the standard DES pattern.
+    pub fn run(&mut self, mut handler: impl FnMut(&mut Engine<E>, SimTime, E)) {
+        while let Some((t, e)) = self.next_event() {
+            handler(self, t, e);
+        }
+    }
+
+    /// Like [`Engine::run`] but stops (leaving the queue intact) once the
+    /// clock would pass `deadline`. Events at exactly `deadline` still run.
+    pub fn run_until(
+        &mut self,
+        deadline: SimTime,
+        mut handler: impl FnMut(&mut Engine<E>, SimTime, E),
+    ) {
+        loop {
+            match self.peek_time() {
+                Some(t) if t <= deadline => {
+                    let (t, e) = self.next_event().expect("peeked event vanished");
+                    handler(self, t, e);
+                }
+                _ => break,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    enum Ev {
+        Tick(u32),
+        Spawn,
+    }
+
+    #[test]
+    fn clock_advances_with_events() {
+        let mut eng: Engine<Ev> = Engine::new();
+        eng.schedule_at(SimTime::from_secs(5), Ev::Tick(1));
+        eng.schedule_at(SimTime::from_secs(2), Ev::Tick(0));
+        let (t, e) = eng.next_event().unwrap();
+        assert_eq!((t, e), (SimTime::from_secs(2), Ev::Tick(0)));
+        assert_eq!(eng.now(), SimTime::from_secs(2));
+        let (t, _) = eng.next_event().unwrap();
+        assert_eq!(t, SimTime::from_secs(5));
+        assert!(eng.next_event().is_none());
+        assert_eq!(eng.processed(), 2);
+    }
+
+    #[test]
+    fn handler_can_schedule_more_events() {
+        let mut eng: Engine<Ev> = Engine::new();
+        eng.schedule_at(SimTime::from_secs(1), Ev::Spawn);
+        let mut ticks = Vec::new();
+        eng.run(|eng, t, e| match e {
+            Ev::Spawn => {
+                for i in 0..3 {
+                    eng.schedule_in(Span::from_secs(i + 1), Ev::Tick(i as u32));
+                }
+            }
+            Ev::Tick(i) => ticks.push((t, i)),
+        });
+        assert_eq!(
+            ticks,
+            vec![
+                (SimTime::from_secs(2), 0),
+                (SimTime::from_secs(3), 1),
+                (SimTime::from_secs(4), 2)
+            ]
+        );
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut eng: Engine<u32> = Engine::new();
+        for i in 1..=10u64 {
+            eng.schedule_at(SimTime::from_secs(i), i as u32);
+        }
+        let mut seen = Vec::new();
+        eng.run_until(SimTime::from_secs(4), |_, _, e| seen.push(e));
+        assert_eq!(seen, vec![1, 2, 3, 4]);
+        assert_eq!(eng.pending(), 6);
+        assert_eq!(eng.now(), SimTime::from_secs(4));
+    }
+
+    #[test]
+    fn cancelled_events_never_fire() {
+        let mut eng: Engine<u32> = Engine::new();
+        let id = eng.schedule_at(SimTime::from_secs(1), 1);
+        eng.schedule_at(SimTime::from_secs(2), 2);
+        assert_eq!(eng.cancel(id), Some(1));
+        let mut seen = Vec::new();
+        eng.run(|_, _, e| seen.push(e));
+        assert_eq!(seen, vec![2]);
+    }
+
+    #[test]
+    fn same_time_events_fifo() {
+        let mut eng: Engine<u32> = Engine::new();
+        for i in 0..5 {
+            eng.schedule_at(SimTime::from_secs(7), i);
+        }
+        let mut seen = Vec::new();
+        eng.run(|_, _, e| seen.push(e));
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+    }
+}

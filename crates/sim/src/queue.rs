@@ -1,0 +1,152 @@
+//! Cancellable priority queue of timestamped events.
+//!
+//! Ordering is `(time, sequence)` where the sequence number is assigned at
+//! insertion, so events scheduled for the same instant pop in FIFO order.
+//! Cancellation tombstones the entry; dead entries are skipped on pop.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use crate::time::SimTime;
+
+/// Opaque handle identifying a scheduled event, used for cancellation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventKey(u64);
+
+#[derive(PartialEq, Eq, PartialOrd, Ord)]
+struct Entry {
+    time: SimTime,
+    seq: u64,
+}
+
+/// A time-ordered queue of events of type `E` supporting O(log n) push/pop
+/// and O(1) cancellation (amortised: tombstones are drained lazily).
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry>>,
+    live: HashMap<u64, E>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            live: HashMap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Number of live (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// Schedules `event` at `time`, returning a key usable with
+    /// [`EventQueue::cancel`].
+    pub fn push(&mut self, time: SimTime, event: E) -> EventKey {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { time, seq }));
+        self.live.insert(seq, event);
+        EventKey(seq)
+    }
+
+    /// Cancels a previously scheduled event. Returns the payload if the
+    /// event was still pending.
+    pub fn cancel(&mut self, key: EventKey) -> Option<E> {
+        self.live.remove(&key.0)
+    }
+
+    /// Time of the earliest live event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.skip_dead();
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Removes and returns the earliest live event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.skip_dead();
+        let Reverse(entry) = self.heap.pop()?;
+        let event = self
+            .live
+            .remove(&entry.seq)
+            .expect("skip_dead guarantees the head entry is live");
+        Some((entry.time, event))
+    }
+
+    fn skip_dead(&mut self) {
+        while let Some(Reverse(entry)) = self.heap.peek() {
+            if self.live.contains_key(&entry.seq) {
+                return;
+            }
+            self.heap.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(30), "c");
+        q.push(SimTime(10), "a");
+        q.push(SimTime(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_pop_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(SimTime(5), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut q = EventQueue::new();
+        let k1 = q.push(SimTime(1), "x");
+        q.push(SimTime(2), "y");
+        assert_eq!(q.cancel(k1), Some("x"));
+        assert_eq!(q.cancel(k1), None, "double cancel is a no-op");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((SimTime(2), "y")));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn peek_skips_cancelled_head() {
+        let mut q = EventQueue::new();
+        let k = q.push(SimTime(1), 1);
+        q.push(SimTime(9), 9);
+        q.cancel(k);
+        assert_eq!(q.peek_time(), Some(SimTime(9)));
+    }
+
+    #[test]
+    fn len_tracks_live_only() {
+        let mut q = EventQueue::new();
+        let keys: Vec<_> = (0..10).map(|i| q.push(SimTime(i), i)).collect();
+        for k in &keys[..4] {
+            q.cancel(*k);
+        }
+        assert_eq!(q.len(), 6);
+        assert!(!q.is_empty());
+    }
+}

@@ -1,0 +1,211 @@
+//! Virtual time: instants ([`SimTime`]) and durations ([`Span`]) with
+//! microsecond resolution.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An instant of virtual time, counted in microseconds since simulation
+/// start.
+///
+/// The representation is integral so that event ordering is exact; helper
+/// constructors convert from seconds expressed as `f64` (the natural unit of
+/// the paper's parameters: arrival times, step lengths, inhibitor periods).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// A length of virtual time in microseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Span(pub u64);
+
+pub const MICROS_PER_SEC: u64 = 1_000_000;
+
+impl SimTime {
+    /// Simulation start.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Builds an instant from whole seconds.
+    pub fn from_secs(s: u64) -> Self {
+        SimTime(s * MICROS_PER_SEC)
+    }
+
+    /// Builds an instant from fractional seconds, rounding to the nearest
+    /// microsecond. Negative and non-finite inputs clamp to zero.
+    pub fn from_secs_f64(s: f64) -> Self {
+        SimTime(secs_to_micros(s))
+    }
+
+    /// The instant as fractional seconds (for reporting only; never feed the
+    /// result back into ordering decisions).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// Microseconds since simulation start.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Span from an earlier instant to this one; saturates at zero if
+    /// `earlier` is in the future.
+    pub fn since(self, earlier: SimTime) -> Span {
+        Span(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Span {
+    pub const ZERO: Span = Span(0);
+
+    /// Builds a span from whole seconds.
+    pub fn from_secs(s: u64) -> Self {
+        Span(s * MICROS_PER_SEC)
+    }
+
+    /// Builds a span from fractional seconds, rounding to the nearest
+    /// microsecond. Negative and non-finite inputs clamp to zero.
+    pub fn from_secs_f64(s: f64) -> Self {
+        Span(secs_to_micros(s))
+    }
+
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Scales the span by a non-negative factor (used by cost models).
+    pub fn mul_f64(self, k: f64) -> Span {
+        Span(secs_to_micros(self.as_secs_f64() * k))
+    }
+}
+
+fn secs_to_micros(s: f64) -> u64 {
+    if !s.is_finite() || s <= 0.0 {
+        return 0;
+    }
+    let micros = s * MICROS_PER_SEC as f64;
+    if micros >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        micros.round() as u64
+    }
+}
+
+impl Add<Span> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: Span) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<Span> for SimTime {
+    fn add_assign(&mut self, rhs: Span) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Span;
+    fn sub(self, rhs: SimTime) -> Span {
+        self.since(rhs)
+    }
+}
+
+impl Add for Span {
+    type Output = Span;
+    fn add(self, rhs: Span) -> Span {
+        Span(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for Span {
+    fn add_assign(&mut self, rhs: Span) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub for Span {
+    type Output = Span;
+    fn sub(self, rhs: Span) -> Span {
+        Span(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}", self.as_secs_f64())
+    }
+}
+
+impl fmt::Debug for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seconds_round_trip() {
+        let t = SimTime::from_secs_f64(1.5);
+        assert_eq!(t.as_micros(), 1_500_000);
+        assert!((t.as_secs_f64() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_and_nan_clamp_to_zero() {
+        assert_eq!(SimTime::from_secs_f64(-3.0), SimTime::ZERO);
+        assert_eq!(Span::from_secs_f64(f64::NAN), Span::ZERO);
+        assert_eq!(Span::from_secs_f64(f64::NEG_INFINITY), Span::ZERO);
+    }
+
+    #[test]
+    fn arithmetic_saturates() {
+        let t = SimTime(u64::MAX - 1);
+        assert_eq!((t + Span(10)).0, u64::MAX);
+        assert_eq!(SimTime(5).since(SimTime(9)), Span::ZERO);
+        assert_eq!(Span(3) - Span(8), Span::ZERO);
+    }
+
+    #[test]
+    fn ordering_is_integral() {
+        // 0.1 + 0.2 != 0.3 in f64, but micro counts compare exactly.
+        let a = SimTime::from_secs_f64(0.1) + Span::from_secs_f64(0.2);
+        let b = SimTime::from_secs_f64(0.3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn span_scaling() {
+        let s = Span::from_secs(10).mul_f64(0.5);
+        assert_eq!(s, Span::from_secs(5));
+        assert_eq!(Span::from_secs(1).mul_f64(-2.0), Span::ZERO);
+    }
+
+    #[test]
+    fn since_measures_elapsed() {
+        let start = SimTime::from_secs(100);
+        let end = SimTime::from_secs(160);
+        assert_eq!(end.since(start), Span::from_secs(60));
+        assert_eq!(end - start, Span::from_secs(60));
+    }
+}

@@ -1,0 +1,34 @@
+//! # dmr-slurm — a Slurm-like workload manager with malleability support
+//!
+//! Implements the resource-management half of the paper: a batch scheduler
+//! in the image of Slurm 15.08 as configured on the testbed (§VII-A):
+//!
+//! * **job lifecycle** — submit / pending / running / completed / cancelled,
+//!   with per-job accounting (submit, start, end) ([`job`]);
+//! * **multifactor priority** — age + job-size factors plus the explicit
+//!   max-priority boost the reconfiguration policy applies to jobs it is
+//!   making room for ([`priority`]);
+//! * **EASY backfill** — the `sched/backfill` behaviour: a reservation for
+//!   the highest-priority blocked job, lower-priority jobs jump ahead only
+//!   if they do not delay it ([`slurm::Slurm::schedule`]);
+//! * **the malleability protocol** (§III) — expansion through a *resizer
+//!   job* (submit B depending on A → update B to 0 nodes → cancel B →
+//!   update A to N_A+N_B) and shrinking through a node-releasing update
+//!   ([`slurm::Slurm::expand_protocol`] et al.);
+//! * **the reconfiguration policy plug-in** (§IV, Algorithm 1) — decides
+//!   expand / shrink / no-action from the global system state
+//!   ([`policy`]).
+//!
+//! The crate is time-agnostic: every operation takes `now: SimTime` from
+//! the caller, so the same scheduler drives the discrete-event simulations
+//! in `dmr-core` and the unit tests here.
+
+pub mod job;
+pub mod policy;
+pub mod priority;
+pub mod slurm;
+
+pub use job::{Dependency, Job, JobId, JobRequest, JobState, ResizeEnvelope};
+pub use policy::ResizeAction;
+pub use priority::MultifactorConfig;
+pub use slurm::{ExpandError, JobStart, Slurm, SlurmConfig};

@@ -1,0 +1,339 @@
+//! The reconfiguration policy plug-in — Algorithm 1 of the paper (§IV).
+//!
+//! Three scheduling-freedom modes are realised by one decision procedure:
+//!
+//! 1. **Request an action** — a job may "strongly suggest" an action by
+//!    setting its envelope bounds (e.g. `min > current` forces an expand
+//!    attempt); the RMS still owns the final verdict.
+//! 2. **Preferred number of nodes** — if a preference is given: equal to
+//!    the current size ⇒ no action; alone in the system ⇒ expand to the
+//!    maximum; otherwise try to expand/shrink towards the preference.
+//! 3. **Wide optimization** — everything else: expand when nothing queued
+//!    could use the nodes anyway, shrink when that lets a queued job start
+//!    (boosting it to maximum priority).
+
+use dmr_sim::SimTime;
+
+use crate::job::{JobId, JobState};
+use crate::slurm::Slurm;
+
+/// The verdict returned to the runtime through the DMR API.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ResizeAction {
+    /// Keep the current size.
+    NoAction,
+    /// Grow to `to` processes (the caller drives the resizer-job
+    /// protocol).
+    Expand { to: u32 },
+    /// Shrink to `to` processes. `beneficiary` is the queued job the
+    /// released nodes are destined for; the policy has already boosted it.
+    Shrink {
+        to: u32,
+        beneficiary: Option<JobId>,
+    },
+}
+
+impl ResizeAction {
+    pub fn is_action(self) -> bool {
+        !matches!(self, ResizeAction::NoAction)
+    }
+}
+
+impl Slurm {
+    /// Algorithm 1: decide the resize action for running job `id`.
+    ///
+    /// Mutable because a shrink decision boosts the beneficiary's priority
+    /// as a side effect (§IV-3) — exactly as the paper's plug-in does.
+    pub fn decide_resize(&mut self, id: JobId, now: SimTime) -> ResizeAction {
+        let Some(job) = self.job(id) else {
+            return ResizeAction::NoAction;
+        };
+        if job.state != JobState::Running {
+            return ResizeAction::NoAction;
+        }
+        let Some(env) = job.resize else {
+            // Rigid jobs never move — the framework is "compatible with
+            // unmodified non-malleable applications" (§II).
+            return ResizeAction::NoAction;
+        };
+        let current = self.nodes_of(id);
+        let free = self.cluster().free_nodes();
+        let pending = self.pending_queue(now);
+
+        let decision = if let Some(pref) = env.preferred {
+            if pending.is_empty() && self.running_count() == 1 {
+                // Line 2-4: alone in the system — expand to the job max.
+                match env.max_procs_to(current, env.max, free) {
+                    Some(t) => ResizeAction::Expand { to: t },
+                    None => ResizeAction::NoAction,
+                }
+            } else if pref == current {
+                // §IV-2: "If the desired size corresponds to the current
+                // size, the RMS will return no action."
+                ResizeAction::NoAction
+            } else if pref > current {
+                // Line 6-8: try to expand towards the preference.
+                match env.max_procs_to(current, pref, free) {
+                    Some(t) => ResizeAction::Expand { to: t },
+                    None => self.wide_optimization(id, current, free, &pending, env),
+                }
+            } else if env.can_shrink_to(current, pref) {
+                // Line 10-12: shrink exactly to the preference.
+                ResizeAction::Shrink {
+                    to: pref,
+                    beneficiary: None,
+                }
+            } else {
+                self.wide_optimization(id, current, free, &pending, env)
+            }
+        } else {
+            self.wide_optimization(id, current, free, &pending, env)
+        };
+
+        // Side effect of a wide-optimization shrink: the triggering queued
+        // job gets maximum priority (Algorithm 1 line 18), unless the
+        // ablation knob disables it.
+        if let ResizeAction::Shrink {
+            beneficiary: Some(b),
+            ..
+        } = decision
+        {
+            if self.config.shrink_boost {
+                self.boost(b);
+            }
+        }
+        decision
+    }
+
+    /// Lines 13–24 of Algorithm 1.
+    fn wide_optimization(
+        &self,
+        _id: JobId,
+        current: u32,
+        free: u32,
+        pending: &[JobId],
+        env: crate::job::ResizeEnvelope,
+    ) -> ResizeAction {
+        if !pending.is_empty() {
+            // Line 15: can another job run with my resources? Walk the
+            // queue in priority order, find the first job a feasible
+            // shrink would admit, and shrink as little as necessary
+            // (keeping the most processes that still releases enough).
+            // Jobs that already fit in the free nodes start on their own
+            // at the next scheduling cycle and are skipped here; greedily
+            // expanding into "their" nodes afterwards is deliberate — a
+            // later check releases the nodes again if someone needs them,
+            // and idling them would be worse (this mirrors the paper's
+            // observation that the RMS, not the policy, owns final
+            // placement).
+            for &cand in pending {
+                let req = self.job(cand).map(|j| j.requested_nodes).unwrap_or(0);
+                let missing = req.saturating_sub(free);
+                if missing == 0 {
+                    continue;
+                }
+                if let Some(to) = env
+                    .shrink_chain(current)
+                    .into_iter()
+                    .find(|to| current - to >= missing)
+                {
+                    return ResizeAction::Shrink {
+                        to,
+                        beneficiary: Some(cand),
+                    };
+                }
+            }
+            // Line 19-21: nothing queued can be helped — expand so this
+            // job finishes (and releases everything) sooner.
+            match env.max_procs_to(current, env.max, free) {
+                Some(t) => ResizeAction::Expand { to: t },
+                None => ResizeAction::NoAction,
+            }
+        } else {
+            // Line 22-24: empty queue — expand to the job maximum.
+            match env.max_procs_to(current, env.max, free) {
+                Some(t) => ResizeAction::Expand { to: t },
+                None => ResizeAction::NoAction,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobRequest, ResizeEnvelope};
+    use dmr_cluster::Cluster;
+    use dmr_sim::SimTime;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn env(min: u32, max: u32, pref: Option<u32>) -> ResizeEnvelope {
+        ResizeEnvelope {
+            min,
+            max,
+            preferred: pref,
+            factor: 2,
+        }
+    }
+
+    fn slurm(nodes: u32) -> Slurm {
+        Slurm::with_cluster(Cluster::new(nodes, 16))
+    }
+
+    #[test]
+    fn rigid_job_gets_no_action() {
+        let mut s = slurm(16);
+        let a = s.submit(JobRequest::rigid("a", 4), t(0));
+        s.schedule(t(0));
+        assert_eq!(s.decide_resize(a, t(1)), ResizeAction::NoAction);
+    }
+
+    #[test]
+    fn alone_with_preference_expands_to_max() {
+        let mut s = slurm(64);
+        let a = s.submit(JobRequest::flexible("a", 8, env(2, 32, Some(8))), t(0));
+        s.schedule(t(0));
+        // Only job in the system: expand to the envelope max even though
+        // the preference is satisfied (Algorithm 1 line 2).
+        assert_eq!(s.decide_resize(a, t(1)), ResizeAction::Expand { to: 32 });
+    }
+
+    #[test]
+    fn preference_equal_and_not_alone_is_no_action() {
+        let mut s = slurm(64);
+        let a = s.submit(JobRequest::flexible("a", 8, env(2, 32, Some(8))), t(0));
+        let _b = s.submit(JobRequest::rigid("b", 4), t(0));
+        s.schedule(t(0));
+        assert_eq!(s.decide_resize(a, t(1)), ResizeAction::NoAction);
+    }
+
+    #[test]
+    fn shrinks_exactly_to_preference() {
+        let mut s = slurm(64);
+        let a = s.submit(JobRequest::flexible("a", 32, env(2, 32, Some(8))), t(0));
+        let _b = s.submit(JobRequest::rigid("b", 4), t(0));
+        s.schedule(t(0));
+        assert_eq!(
+            s.decide_resize(a, t(1)),
+            ResizeAction::Shrink {
+                to: 8,
+                beneficiary: None
+            }
+        );
+    }
+
+    #[test]
+    fn expands_towards_preference_when_possible() {
+        let mut s = slurm(64);
+        let a = s.submit(JobRequest::flexible("a", 2, env(2, 32, Some(8))), t(0));
+        let _b = s.submit(JobRequest::rigid("b", 4), t(0));
+        s.schedule(t(0));
+        assert_eq!(s.decide_resize(a, t(1)), ResizeAction::Expand { to: 8 });
+    }
+
+    #[test]
+    fn wide_expands_when_queue_empty() {
+        let mut s = slurm(20);
+        let a = s.submit(JobRequest::flexible("a", 4, env(1, 16, None)), t(0));
+        s.schedule(t(0));
+        // 16 free, chain 8, 16 both reachable: best is 16.
+        assert_eq!(s.decide_resize(a, t(1)), ResizeAction::Expand { to: 16 });
+    }
+
+    #[test]
+    fn wide_expand_bounded_by_free_nodes() {
+        let mut s = slurm(10);
+        let a = s.submit(JobRequest::flexible("a", 4, env(1, 16, None)), t(0));
+        let _b = s.submit(JobRequest::rigid("b", 2), t(0));
+        s.schedule(t(0));
+        // 4 free: 8 reachable (delta 4), 16 not.
+        assert_eq!(s.decide_resize(a, t(1)), ResizeAction::Expand { to: 8 });
+    }
+
+    #[test]
+    fn wide_shrinks_minimally_for_queued_job_and_boosts_it() {
+        let mut s = slurm(10);
+        let a = s.submit(JobRequest::flexible("a", 8, env(1, 16, None)), t(0));
+        s.schedule(t(0));
+        let q = s.submit(JobRequest::rigid("q", 5), t(1));
+        s.schedule(t(1)); // q cannot start: needs 5, 2 free
+        let action = s.decide_resize(a, t(2));
+        // Shrink chain from 8: [4, 2, 1]; need to release >= 3 → to=4.
+        assert_eq!(
+            action,
+            ResizeAction::Shrink {
+                to: 4,
+                beneficiary: Some(q)
+            }
+        );
+        assert!(s.job(q).unwrap().boosted, "beneficiary must be boosted");
+    }
+
+    #[test]
+    fn wide_expands_when_queued_job_cannot_be_helped() {
+        let mut s = slurm(10);
+        let a = s.submit(JobRequest::flexible("a", 4, env(4, 16, None)), t(0));
+        s.schedule(t(0));
+        // Queued job needs 10; even shrinking to min=4 releases 0 extra.
+        let _q = s.submit(JobRequest::rigid("q", 10), t(1));
+        s.schedule(t(1));
+        // 6 free: expand to 8 (delta 4 <= 6); 16 unreachable.
+        assert_eq!(s.decide_resize(a, t(2)), ResizeAction::Expand { to: 8 });
+    }
+
+    #[test]
+    fn startable_pending_job_is_not_a_shrink_trigger() {
+        let mut s = slurm(20);
+        let a = s.submit(JobRequest::flexible("a", 8, env(1, 16, None)), t(0));
+        s.schedule(t(0));
+        // This job fits in the 12 free nodes; policy must skip it and
+        // expand instead (it will start on its own).
+        let _q = s.submit(JobRequest::rigid("q", 2), t(1));
+        match s.decide_resize(a, t(2)) {
+            ResizeAction::Expand { .. } => {}
+            other => panic!("expected expand, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn saturated_job_gets_no_action() {
+        let mut s = slurm(40);
+        let a = s.submit(JobRequest::flexible("a", 16, env(1, 16, None)), t(0));
+        s.schedule(t(0));
+        assert_eq!(s.decide_resize(a, t(1)), ResizeAction::NoAction);
+    }
+
+    #[test]
+    fn pending_job_itself_gets_no_action() {
+        let mut s = slurm(4);
+        let hog = s.submit(JobRequest::rigid("hog", 4), t(0));
+        s.schedule(t(0));
+        let p = s.submit(JobRequest::flexible("p", 2, env(1, 4, None)), t(1));
+        assert_eq!(s.decide_resize(p, t(2)), ResizeAction::NoAction);
+        let _ = hog;
+    }
+
+    #[test]
+    fn preferred_job_blocked_from_preference_falls_to_wide() {
+        // Preference is 8 but only 2 nodes free → cannot expand to
+        // preferred; wide optimization finds a queued job to help.
+        let mut s = slurm(10);
+        let a = s.submit(JobRequest::flexible("a", 4, env(2, 32, Some(8))), t(0));
+        let _b = s.submit(JobRequest::rigid("b", 4), t(0));
+        s.schedule(t(0));
+        let q = s.submit(JobRequest::rigid("q", 4), t(1));
+        s.schedule(t(1));
+        // a holds 4, b holds 4, 2 free. q needs 4, missing 2. Shrink chain
+        // from 4: [2]; 4-2=2 >= 2 → shrink to 2 for q.
+        assert_eq!(
+            s.decide_resize(a, t(2)),
+            ResizeAction::Shrink {
+                to: 2,
+                beneficiary: Some(q)
+            }
+        );
+    }
+}

@@ -1,0 +1,752 @@
+//! The scheduler core: queue, EASY backfill, and the malleability
+//! protocol of §III.
+
+use std::collections::BTreeMap;
+
+use dmr_cluster::{Cluster, NodeId};
+use dmr_sim::{SimTime, Span};
+
+use crate::job::{Dependency, Job, JobId, JobRequest, JobState};
+use crate::priority::MultifactorConfig;
+
+/// Scheduler-wide configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SlurmConfig {
+    /// Enable EASY backfill (the paper's `sched/backfill`); disabling it
+    /// degrades to strict priority-FIFO — kept as an ablation knob.
+    pub backfill: bool,
+    pub multifactor: MultifactorConfig,
+    /// Backfill estimate for jobs that did not provide one.
+    pub default_expected_runtime: Span,
+    /// How long the runtime waits for a queued resizer job before aborting
+    /// the expansion (§V-B1).
+    pub resizer_timeout: Span,
+    /// Grant maximum priority to the queued job a shrink benefits
+    /// (Algorithm 1 line 18). Ablation knob; the paper always boosts.
+    pub shrink_boost: bool,
+}
+
+impl SlurmConfig {
+    pub fn for_cluster(total_nodes: u32) -> Self {
+        SlurmConfig {
+            backfill: true,
+            multifactor: MultifactorConfig::with_total_nodes(total_nodes),
+            default_expected_runtime: Span::from_secs(600),
+            resizer_timeout: Span::from_secs(30),
+            shrink_boost: true,
+        }
+    }
+}
+
+/// A job the scheduler just started.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobStart {
+    pub id: JobId,
+    pub nodes: Vec<NodeId>,
+    /// `Some(original)` when the started job is a resizer for `original`;
+    /// the driver must then complete the expansion with
+    /// [`Slurm::finish_expand`].
+    pub resizer_for: Option<JobId>,
+}
+
+/// Failures of the expansion protocol.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ExpandError {
+    UnknownJob(JobId),
+    NotRunning(JobId),
+    /// `to` is not strictly larger than the current allocation.
+    InvalidTarget { current: u32, to: u32 },
+    /// The resizer job could not start immediately; it stays pending with
+    /// maximum priority. The caller should either wait for it to start (it
+    /// will appear in a later [`Slurm::schedule`] result) or abort with
+    /// [`Slurm::abort_expand`] after [`SlurmConfig::resizer_timeout`].
+    Queued { resizer: JobId },
+}
+
+impl std::fmt::Display for ExpandError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExpandError::UnknownJob(j) => write!(f, "{j:?} does not exist"),
+            ExpandError::NotRunning(j) => write!(f, "{j:?} is not running"),
+            ExpandError::InvalidTarget { current, to } => {
+                write!(f, "expand target {to} <= current {current}")
+            }
+            ExpandError::Queued { resizer } => {
+                write!(f, "resizer {resizer:?} queued, expansion deferred")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExpandError {}
+
+/// The workload manager.
+pub struct Slurm {
+    cluster: Cluster,
+    jobs: BTreeMap<JobId, Job>,
+    /// Resizer jobs whose nodes were detached ("updated to 0 nodes",
+    /// protocol step 2) and await reattachment to the original job.
+    detached: BTreeMap<JobId, u32>,
+    next_id: u64,
+    pub config: SlurmConfig,
+}
+
+impl Slurm {
+    pub fn new(cluster: Cluster, config: SlurmConfig) -> Self {
+        Slurm {
+            cluster,
+            jobs: BTreeMap::new(),
+            detached: BTreeMap::new(),
+            next_id: 1,
+            config,
+        }
+    }
+
+    /// Convenience constructor with defaults sized to the cluster.
+    pub fn with_cluster(cluster: Cluster) -> Self {
+        let cfg = SlurmConfig::for_cluster(cluster.total_nodes());
+        Slurm::new(cluster, cfg)
+    }
+
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    pub fn job(&self, id: JobId) -> Option<&Job> {
+        self.jobs.get(&id)
+    }
+
+    /// All job records (submission order).
+    pub fn jobs(&self) -> impl Iterator<Item = &Job> {
+        self.jobs.values()
+    }
+
+    pub fn running_count(&self) -> usize {
+        self.jobs
+            .values()
+            .filter(|j| j.state == JobState::Running)
+            .count()
+    }
+
+    pub fn pending_count(&self) -> usize {
+        self.jobs
+            .values()
+            .filter(|j| j.state == JobState::Pending)
+            .count()
+    }
+
+    /// Nodes currently attached to any job (including detached resizer
+    /// nodes mid-protocol).
+    pub fn allocated_nodes(&self) -> u32 {
+        self.cluster.allocated_nodes()
+    }
+
+    /// Current node count of a job.
+    pub fn nodes_of(&self, id: JobId) -> u32 {
+        self.cluster.held_by(id.owner_tag())
+    }
+
+    /// Submits a job; it becomes eligible at the next [`Slurm::schedule`].
+    pub fn submit(&mut self, req: JobRequest, now: SimTime) -> JobId {
+        let id = JobId(self.next_id);
+        self.next_id += 1;
+        let job = Job {
+            id,
+            name: req.name,
+            state: JobState::Pending,
+            requested_nodes: req.nodes,
+            time_limit: req.time_limit,
+            expected_runtime: req
+                .expected_runtime
+                .unwrap_or(self.config.default_expected_runtime),
+            dependency: req.dependency,
+            base_priority: req.base_priority,
+            boosted: false,
+            resize: req.resize,
+            submit_time: now,
+            start_time: None,
+            end_time: None,
+            reconfigurations: 0,
+        };
+        self.jobs.insert(id, job);
+        id
+    }
+
+    /// Grants a pending job maximum priority (§IV-3: the queued job a
+    /// shrink benefits "will be assigned the maximum priority in order to
+    /// foster its execution").
+    pub fn boost(&mut self, id: JobId) {
+        if let Some(j) = self.jobs.get_mut(&id) {
+            j.boosted = true;
+        }
+    }
+
+    /// Updates the backfill runtime estimate of a job (the simulation
+    /// driver refreshes it after reconfigurations).
+    pub fn set_expected_runtime(&mut self, id: JobId, estimate: Span) {
+        if let Some(j) = self.jobs.get_mut(&id) {
+            j.expected_runtime = estimate;
+        }
+    }
+
+    fn pending_ids_by_priority(&self, now: SimTime) -> Vec<JobId> {
+        let mut pend: Vec<(&Job, u64)> = self
+            .jobs
+            .values()
+            .filter(|j| j.state == JobState::Pending)
+            .map(|j| (j, self.config.multifactor.priority(j, now)))
+            .collect();
+        pend.sort_by(|(a, pa), (b, pb)| {
+            pb.cmp(pa)
+                .then(a.submit_time.cmp(&b.submit_time))
+                .then(a.id.cmp(&b.id))
+        });
+        pend.into_iter().map(|(j, _)| j.id).collect()
+    }
+
+    /// Pending jobs in scheduling order, excluding resizer jobs (exposed
+    /// for the reconfiguration policy).
+    pub fn pending_queue(&self, now: SimTime) -> Vec<JobId> {
+        self.pending_ids_by_priority(now)
+            .into_iter()
+            .filter(|id| !self.jobs[id].is_resizer())
+            .collect()
+    }
+
+    fn dependency_satisfied(&self, job: &Job) -> bool {
+        match job.dependency {
+            None => true,
+            Some(Dependency::ExpandOf(parent)) => self
+                .jobs
+                .get(&parent)
+                .is_some_and(|p| p.state == JobState::Running),
+        }
+    }
+
+    /// Earliest instant at which `need` nodes will be free, judging by
+    /// running jobs' expected ends, plus the spare ("extra") nodes at that
+    /// instant. This is the EASY backfill reservation for the top blocked
+    /// job.
+    fn reservation_for(&self, need: u32, now: SimTime) -> (SimTime, u32) {
+        let mut ends: Vec<(SimTime, u32)> = self
+            .jobs
+            .values()
+            .filter(|j| j.state == JobState::Running)
+            .map(|j| {
+                (
+                    j.expected_end().unwrap_or(now),
+                    self.cluster.held_by(j.id.owner_tag()),
+                )
+            })
+            .collect();
+        ends.sort();
+        let mut free = self.cluster.free_nodes();
+        for (end, nodes) in ends {
+            free += nodes;
+            if free >= need {
+                return (end.max(now), free - need);
+            }
+        }
+        // Estimates never free enough nodes (can happen transiently while
+        // resizer nodes are detached): no backfill headroom.
+        (SimTime(u64::MAX), 0)
+    }
+
+    fn start_job(&mut self, id: JobId, now: SimTime) -> JobStart {
+        let need = self.jobs[&id].requested_nodes;
+        let nodes = self
+            .cluster
+            .allocate(need, id.owner_tag())
+            .expect("caller verified free nodes");
+        let job = self.jobs.get_mut(&id).expect("job exists");
+        job.state = JobState::Running;
+        job.start_time = Some(now);
+        JobStart {
+            id,
+            nodes,
+            resizer_for: match job.dependency {
+                Some(Dependency::ExpandOf(parent)) => Some(parent),
+                None => None,
+            },
+        }
+    }
+
+    fn reap_dead_resizers(&mut self, now: SimTime) {
+        // Dependency hygiene: resizers of finished jobs are dead.
+        let dead: Vec<JobId> = self
+            .jobs
+            .values()
+            .filter(|j| {
+                j.state == JobState::Pending && j.is_resizer() && !self.dependency_satisfied(j)
+            })
+            .map(|j| j.id)
+            .collect();
+        for id in dead {
+            self.cancel(id, now);
+        }
+    }
+
+    /// The event-driven scheduling pass (Slurm's `sched/builtin` reacting
+    /// to submissions and completions): starts pending jobs in priority
+    /// order and stops at the first that does not fit. Backfill around
+    /// blocked jobs happens only in the periodic [`Slurm::backfill_pass`],
+    /// mirroring Slurm's `bf_interval` architecture. Also reaps resizer
+    /// jobs whose original job ended.
+    pub fn schedule(&mut self, now: SimTime) -> Vec<JobStart> {
+        self.reap_dead_resizers(now);
+        let order = self.pending_ids_by_priority(now);
+        let mut started = Vec::new();
+        for id in order {
+            let job = &self.jobs[&id];
+            if !self.dependency_satisfied(job) {
+                // Cannot run regardless of resources; does not block the
+                // queue.
+                continue;
+            }
+            if self.cluster.can_allocate(job.requested_nodes) {
+                started.push(self.start_job(id, now));
+            } else {
+                break;
+            }
+        }
+        started
+    }
+
+    /// The periodic EASY-backfill pass (Slurm's backfill thread): a
+    /// reservation is computed for the highest-priority blocked job and
+    /// lower-priority jobs jump ahead only if they do not delay it.
+    pub fn backfill_pass(&mut self, now: SimTime) -> Vec<JobStart> {
+        self.reap_dead_resizers(now);
+        let order = self.pending_ids_by_priority(now);
+        let mut started = Vec::new();
+        let mut reservation: Option<(SimTime, u32)> = None;
+        for id in order {
+            let job = &self.jobs[&id];
+            if !self.dependency_satisfied(job) {
+                continue;
+            }
+            let need = job.requested_nodes;
+            let fits = self.cluster.can_allocate(need);
+            match (&mut reservation, fits) {
+                (None, true) => {
+                    started.push(self.start_job(id, now));
+                }
+                (None, false) => {
+                    if !self.config.backfill {
+                        break;
+                    }
+                    reservation = Some(self.reservation_for(need, now));
+                }
+                (Some((shadow, extra)), true) => {
+                    // Backfill: must not delay the reservation holder.
+                    let est_end = now + self.jobs[&id].expected_runtime;
+                    if est_end <= *shadow {
+                        started.push(self.start_job(id, now));
+                    } else if need <= *extra {
+                        *extra -= need;
+                        started.push(self.start_job(id, now));
+                    }
+                }
+                (Some(_), false) => {}
+            }
+        }
+        started
+    }
+
+    /// Marks a running job complete and frees its nodes.
+    pub fn complete(&mut self, id: JobId, now: SimTime) {
+        let Some(job) = self.jobs.get_mut(&id) else {
+            return;
+        };
+        debug_assert_eq!(job.state, JobState::Running, "completing a non-running job");
+        job.state = JobState::Completed;
+        job.end_time = Some(now);
+        // A job that shrank to zero nodes cannot exist (envelope min >= 1),
+        // but release defensively.
+        let _ = self.cluster.release_all(id.owner_tag());
+    }
+
+    /// Cancels a pending or running job. Detached resizer nodes are *not*
+    /// freed — that is the point of protocol step 3: cancelling the hollow
+    /// resizer job keeps its allocation parked for reattachment.
+    pub fn cancel(&mut self, id: JobId, now: SimTime) {
+        let Some(job) = self.jobs.get_mut(&id) else {
+            return;
+        };
+        if job.state.is_terminal() {
+            return;
+        }
+        let was_running = job.state == JobState::Running;
+        job.state = JobState::Cancelled;
+        job.end_time = Some(now);
+        if was_running && !self.detached.contains_key(&id) {
+            let _ = self.cluster.release_all(id.owner_tag());
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The §III malleability protocol.
+    // ------------------------------------------------------------------
+
+    /// Expands `id` to `to` nodes via the four-step resizer-job protocol.
+    ///
+    /// On success returns the job's full (old + new) node list. If the
+    /// resizer cannot start immediately, it is left pending with maximum
+    /// priority and [`ExpandError::Queued`] is returned; the caller decides
+    /// whether to wait (async mode) or abort.
+    pub fn expand_protocol(
+        &mut self,
+        id: JobId,
+        to: u32,
+        now: SimTime,
+    ) -> Result<Vec<NodeId>, ExpandError> {
+        let job = self.jobs.get(&id).ok_or(ExpandError::UnknownJob(id))?;
+        if job.state != JobState::Running {
+            return Err(ExpandError::NotRunning(id));
+        }
+        let current = self.cluster.held_by(id.owner_tag());
+        if to <= current {
+            return Err(ExpandError::InvalidTarget { current, to });
+        }
+        let delta = to - current;
+        // Step 1: submit the resizer job B with a dependency on A and
+        // maximum priority ("facilitating its execution", §V-B1).
+        let rj = self.submit(
+            JobRequest {
+                name: format!("resizer-of-{id}"),
+                nodes: delta,
+                time_limit: None,
+                expected_runtime: Some(Span::ZERO),
+                dependency: Some(Dependency::ExpandOf(id)),
+                base_priority: 0,
+                resize: None,
+            },
+            now,
+        );
+        self.boost(rj);
+        if !self.cluster.can_allocate(delta) {
+            return Err(ExpandError::Queued { resizer: rj });
+        }
+        // The resizer starts right away (it outranks everything pending).
+        let _ = self.start_job(rj, now);
+        let (_, nodes) = self
+            .finish_expand(rj, now)
+            .expect("resizer started; protocol steps 2-4 cannot fail");
+        Ok(nodes)
+    }
+
+    /// Completes protocol steps 2–4 for a resizer job that has started:
+    /// detach its nodes, cancel it, reattach the nodes to the original job.
+    /// Returns the original job id and its full node list.
+    pub fn finish_expand(
+        &mut self,
+        rj: JobId,
+        now: SimTime,
+    ) -> Result<(JobId, Vec<NodeId>), ExpandError> {
+        let rjob = self.jobs.get(&rj).ok_or(ExpandError::UnknownJob(rj))?;
+        if rjob.state != JobState::Running {
+            return Err(ExpandError::NotRunning(rj));
+        }
+        let Some(Dependency::ExpandOf(original)) = rjob.dependency else {
+            return Err(ExpandError::UnknownJob(rj));
+        };
+        let delta = self.cluster.held_by(rj.owner_tag());
+        // Step 2: update B to zero nodes — the allocation detaches from B.
+        self.detached.insert(rj, delta);
+        if let Some(j) = self.jobs.get_mut(&rj) {
+            j.requested_nodes = 0;
+        }
+        // Step 3: cancel B (nodes stay parked because of the detach mark).
+        self.cancel(rj, now);
+        self.detached.remove(&rj);
+        // Step 4: update A to N_A + N_B — reattach.
+        let moved = self
+            .cluster
+            .transfer_all(rj.owner_tag(), original.owner_tag())
+            .expect("detached nodes are still owned by the resizer tag");
+        debug_assert_eq!(moved.len() as u32, delta);
+        if let Some(j) = self.jobs.get_mut(&original) {
+            j.requested_nodes = self.cluster.held_by(original.owner_tag());
+            j.reconfigurations += 1;
+        }
+        Ok((original, self.cluster.nodes_of(original.owner_tag()).to_vec()))
+    }
+
+    /// Aborts a queued expansion: cancels the pending resizer job (the
+    /// timeout path of §V-B1).
+    pub fn abort_expand(&mut self, rj: JobId, now: SimTime) {
+        if let Some(j) = self.jobs.get(&rj) {
+            if j.state == JobState::Pending {
+                self.cancel(rj, now);
+            }
+        }
+    }
+
+    /// Shrinks `id` to `to` nodes (a single "update job" call in Slurm,
+    /// §III). Returns the released nodes. The ACK workflow that lets
+    /// processes drain before the nodes die lives in the runtime layer;
+    /// by the time this is called the nodes are clean.
+    pub fn shrink_protocol(
+        &mut self,
+        id: JobId,
+        to: u32,
+        now: SimTime,
+    ) -> Result<Vec<NodeId>, ExpandError> {
+        let job = self.jobs.get(&id).ok_or(ExpandError::UnknownJob(id))?;
+        if job.state != JobState::Running {
+            return Err(ExpandError::NotRunning(id));
+        }
+        let current = self.cluster.held_by(id.owner_tag());
+        if to >= current || to == 0 {
+            return Err(ExpandError::InvalidTarget { current, to });
+        }
+        let released = self
+            .cluster
+            .release_tail(id.owner_tag(), current - to)
+            .expect("running job owns its nodes");
+        let _ = now;
+        if let Some(j) = self.jobs.get_mut(&id) {
+            j.requested_nodes = to;
+            j.reconfigurations += 1;
+        }
+        Ok(released)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmr_cluster::Cluster;
+
+    fn slurm(nodes: u32) -> Slurm {
+        Slurm::with_cluster(Cluster::new(nodes, 16))
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn fifo_start_in_submission_order() {
+        let mut s = slurm(10);
+        let a = s.submit(JobRequest::rigid("a", 4), t(0));
+        let b = s.submit(JobRequest::rigid("b", 4), t(0));
+        let started = s.schedule(t(0));
+        assert_eq!(started.len(), 2);
+        assert_eq!(started[0].id, a);
+        assert_eq!(started[1].id, b);
+        assert_eq!(s.cluster().free_nodes(), 2);
+    }
+
+    #[test]
+    fn blocked_top_job_reserves_and_small_jobs_backfill() {
+        let mut s = slurm(10);
+        // One long-running hog of 8 nodes.
+        let hog = s.submit(
+            JobRequest::rigid("hog", 8).with_expected_runtime(Span::from_secs(1000)),
+            t(0),
+        );
+        s.schedule(t(0));
+        assert_eq!(s.job(hog).unwrap().state, JobState::Running);
+        // Big job can't start (needs 6, 2 free); short job behind it can
+        // backfill because it ends before the hog releases nodes.
+        let big = s.submit(
+            JobRequest::rigid("big", 6).with_expected_runtime(Span::from_secs(100)),
+            t(1),
+        );
+        let small = s.submit(
+            JobRequest::rigid("small", 2).with_expected_runtime(Span::from_secs(10)),
+            t(2),
+        );
+        assert!(s.schedule(t(3)).is_empty(), "FIFO pass must not backfill");
+        let started = s.backfill_pass(t(3));
+        assert_eq!(started.len(), 1);
+        assert_eq!(started[0].id, small);
+        assert_eq!(s.job(big).unwrap().state, JobState::Pending);
+    }
+
+    #[test]
+    fn backfill_refuses_jobs_that_would_delay_reservation() {
+        let mut s = slurm(10);
+        let _hog = s.submit(
+            JobRequest::rigid("hog", 8).with_expected_runtime(Span::from_secs(100)),
+            t(0),
+        );
+        s.schedule(t(0));
+        let _big = s.submit(
+            JobRequest::rigid("big", 10).with_expected_runtime(Span::from_secs(100)),
+            t(1),
+        );
+        // 2 free; this job fits but runs for 1000 s, past the shadow time
+        // (t=100) and the reservation needs all 10 nodes (extra = 0).
+        let long_small = s.submit(
+            JobRequest::rigid("long-small", 2).with_expected_runtime(Span::from_secs(1000)),
+            t(2),
+        );
+        let started = s.backfill_pass(t(3));
+        assert!(started.is_empty(), "{started:?}");
+        assert_eq!(s.job(long_small).unwrap().state, JobState::Pending);
+    }
+
+    #[test]
+    fn no_backfill_means_strict_fifo() {
+        let mut s = slurm(10);
+        s.config.backfill = false;
+        let _hog = s.submit(JobRequest::rigid("hog", 8), t(0));
+        s.schedule(t(0));
+        let _big = s.submit(JobRequest::rigid("big", 6), t(1));
+        let _small = s.submit(JobRequest::rigid("small", 2), t(2));
+        assert!(s.schedule(t(3)).is_empty());
+        assert!(s.backfill_pass(t(3)).is_empty(), "backfill disabled");
+    }
+
+    #[test]
+    fn completion_frees_nodes_and_records_times() {
+        let mut s = slurm(4);
+        let a = s.submit(JobRequest::rigid("a", 4), t(5));
+        s.schedule(t(10));
+        s.complete(a, t(110));
+        let job = s.job(a).unwrap();
+        assert_eq!(job.state, JobState::Completed);
+        assert_eq!(job.waiting_time(), Some(Span::from_secs(5)));
+        assert_eq!(job.execution_time(), Some(Span::from_secs(100)));
+        assert_eq!(job.completion_time(), Some(Span::from_secs(105)));
+        assert_eq!(s.cluster().free_nodes(), 4);
+    }
+
+    #[test]
+    fn expand_protocol_walks_all_four_steps() {
+        let mut s = slurm(10);
+        let a = s.submit(JobRequest::rigid("a", 4), t(0));
+        s.schedule(t(0));
+        let nodes = s.expand_protocol(a, 8, t(50)).unwrap();
+        assert_eq!(nodes.len(), 8);
+        assert_eq!(s.nodes_of(a), 8);
+        assert_eq!(s.job(a).unwrap().requested_nodes, 8);
+        assert_eq!(s.job(a).unwrap().reconfigurations, 1);
+        // The resizer exists, is cancelled, and holds nothing.
+        let rj = s.jobs().find(|j| j.is_resizer()).unwrap();
+        assert_eq!(rj.state, JobState::Cancelled);
+        assert_eq!(s.nodes_of(rj.id), 0);
+        // No node leaked.
+        assert_eq!(s.cluster().free_nodes(), 2);
+        s.cluster().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn expand_queues_when_no_free_nodes() {
+        let mut s = slurm(8);
+        let a = s.submit(JobRequest::rigid("a", 4), t(0));
+        let b = s.submit(JobRequest::rigid("b", 4), t(0));
+        s.schedule(t(0));
+        let err = s.expand_protocol(a, 8, t(10)).unwrap_err();
+        let ExpandError::Queued { resizer } = err else {
+            panic!("expected Queued, got {err:?}");
+        };
+        assert_eq!(s.job(resizer).unwrap().state, JobState::Pending);
+        // When B completes, the resizer starts and the driver can finish.
+        s.complete(b, t(20));
+        let started = s.schedule(t(20));
+        assert_eq!(started.len(), 1);
+        assert_eq!(started[0].id, resizer);
+        assert_eq!(started[0].resizer_for, Some(a));
+        let (orig, nodes) = s.finish_expand(resizer, t(20)).unwrap();
+        assert_eq!(orig, a);
+        assert_eq!(nodes.len(), 8);
+        assert_eq!(s.nodes_of(a), 8);
+        s.cluster().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn queued_resizer_can_be_aborted() {
+        let mut s = slurm(8);
+        let a = s.submit(JobRequest::rigid("a", 4), t(0));
+        let _b = s.submit(JobRequest::rigid("b", 4), t(0));
+        s.schedule(t(0));
+        let ExpandError::Queued { resizer } = s.expand_protocol(a, 8, t(10)).unwrap_err() else {
+            panic!()
+        };
+        s.abort_expand(resizer, t(40));
+        assert_eq!(s.job(resizer).unwrap().state, JobState::Cancelled);
+        assert_eq!(s.nodes_of(a), 4, "original job untouched");
+    }
+
+    #[test]
+    fn resizer_dies_with_its_parent() {
+        let mut s = slurm(8);
+        let a = s.submit(JobRequest::rigid("a", 4), t(0));
+        let _b = s.submit(JobRequest::rigid("b", 4), t(0));
+        s.schedule(t(0));
+        let ExpandError::Queued { resizer } = s.expand_protocol(a, 8, t(10)).unwrap_err() else {
+            panic!()
+        };
+        s.complete(a, t(15));
+        let started = s.schedule(t(15));
+        assert!(started.is_empty());
+        assert_eq!(s.job(resizer).unwrap().state, JobState::Cancelled);
+    }
+
+    #[test]
+    fn shrink_releases_tail_nodes() {
+        let mut s = slurm(10);
+        let a = s.submit(JobRequest::rigid("a", 8), t(0));
+        s.schedule(t(0));
+        let released = s.shrink_protocol(a, 2, t(30)).unwrap();
+        assert_eq!(released.len(), 6);
+        assert_eq!(s.nodes_of(a), 2);
+        assert_eq!(s.job(a).unwrap().requested_nodes, 2);
+        assert_eq!(s.cluster().free_nodes(), 8);
+        // Shrink to 0 or >= current rejected.
+        assert!(s.shrink_protocol(a, 2, t(31)).is_err());
+        assert!(s.shrink_protocol(a, 0, t(31)).is_err());
+    }
+
+    #[test]
+    fn boosted_job_jumps_the_queue() {
+        let mut s = slurm(4);
+        let hog = s.submit(JobRequest::rigid("hog", 4), t(0));
+        s.schedule(t(0));
+        let first = s.submit(JobRequest::rigid("first", 4), t(1));
+        let second = s.submit(JobRequest::rigid("second", 4), t(2));
+        s.boost(second);
+        s.complete(hog, t(100));
+        let started = s.schedule(t(100));
+        assert_eq!(started.len(), 1);
+        assert_eq!(started[0].id, second);
+        assert_eq!(s.job(first).unwrap().state, JobState::Pending);
+    }
+
+    #[test]
+    fn expand_rejects_bad_targets() {
+        let mut s = slurm(8);
+        let a = s.submit(JobRequest::rigid("a", 4), t(0));
+        s.schedule(t(0));
+        assert_eq!(
+            s.expand_protocol(a, 4, t(1)),
+            Err(ExpandError::InvalidTarget { current: 4, to: 4 })
+        );
+        assert_eq!(
+            s.expand_protocol(JobId(999), 8, t(1)),
+            Err(ExpandError::UnknownJob(JobId(999)))
+        );
+        let pending = s.submit(JobRequest::rigid("p", 2), t(1));
+        assert_eq!(
+            s.expand_protocol(pending, 4, t(1)),
+            Err(ExpandError::NotRunning(pending))
+        );
+    }
+
+    #[test]
+    fn pending_queue_excludes_resizers() {
+        let mut s = slurm(8);
+        let a = s.submit(JobRequest::rigid("a", 8), t(0));
+        s.schedule(t(0));
+        let _q = s.submit(JobRequest::rigid("q", 2), t(1));
+        let ExpandError::Queued { resizer } = s.expand_protocol(a, 16, t(2)).unwrap_err() else {
+            panic!()
+        };
+        let queue = s.pending_queue(t(3));
+        assert!(!queue.contains(&resizer));
+        assert_eq!(queue.len(), 1);
+    }
+}

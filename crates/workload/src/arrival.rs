@@ -1,0 +1,74 @@
+//! Poisson arrival process: exponential inter-arrival times.
+
+use rand::Rng;
+
+use crate::runtime::exponential;
+
+/// Poisson arrival process with a configurable mean inter-arrival time
+/// (§VIII uses a 10-second average).
+#[derive(Clone, Copy, Debug)]
+pub struct ArrivalModel {
+    pub mean_interarrival_s: f64,
+}
+
+impl ArrivalModel {
+    pub fn new(mean_interarrival_s: f64) -> Self {
+        assert!(
+            mean_interarrival_s > 0.0,
+            "mean inter-arrival must be positive"
+        );
+        ArrivalModel { mean_interarrival_s }
+    }
+
+    /// Draws the gap to the next arrival, seconds.
+    pub fn next_gap<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        exponential(self.mean_interarrival_s, rng)
+    }
+
+    /// Generates `n` absolute arrival instants starting at 0 for the first
+    /// job (the paper's workloads begin with a submission at t=0).
+    pub fn arrival_times<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<f64> {
+        let mut out = Vec::with_capacity(n);
+        let mut t = 0.0;
+        for i in 0..n {
+            if i > 0 {
+                t += self.next_gap(rng);
+            }
+            out.push(t);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn arrivals_are_monotonic_and_start_at_zero() {
+        let m = ArrivalModel::new(10.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let times = m.arrival_times(200, &mut rng);
+        assert_eq!(times[0], 0.0);
+        for w in times.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn mean_gap_converges() {
+        let m = ArrivalModel::new(10.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        let times = m.arrival_times(20_001, &mut rng);
+        let mean_gap = times.last().unwrap() / 20_000.0;
+        assert!((mean_gap - 10.0).abs() < 0.5, "mean_gap={mean_gap}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_mean_rejected() {
+        ArrivalModel::new(0.0);
+    }
+}

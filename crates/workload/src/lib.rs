@@ -1,0 +1,36 @@
+//! # dmr-workload — Feitelson '96 statistical workload model
+//!
+//! The paper generates its workloads "using the statistical model proposed by
+//! Feitelson, which characterizes rigid jobs based on observations from logs
+//! of actual cluster workloads" (§VII-C), with four knobs: number of jobs,
+//! job size (a "complex discrete distribution"), runtime (hyper-exponential,
+//! correlated with size), and Poisson inter-arrival times. This crate
+//! implements that model:
+//!
+//! * [`size::SizeModel`] — discrete job-size distribution with the
+//!   characteristic emphasis on powers of two and on small/serial jobs.
+//! * [`runtime::RuntimeModel`] — two-stage hyper-exponential runtimes whose
+//!   long-branch probability grows with job size (bigger jobs run longer).
+//! * [`arrival::ArrivalModel`] — Poisson arrival process.
+//! * [`repeat::RepeatModel`] — repeated runs of the same job (Zipf-like),
+//!   another feature of the Feitelson model the paper cites.
+//! * [`generator::WorkloadGenerator`] — puts it together and emits
+//!   [`spec::JobSpec`]s, including the app class mix and flexible-job ratio
+//!   used in §VIII-D and §IX.
+//!
+//! All sampling flows from a caller-provided seed; the same seed yields the
+//! same workload (the paper likewise fixes its shuffle seed).
+
+pub mod arrival;
+pub mod generator;
+pub mod repeat;
+pub mod runtime;
+pub mod size;
+pub mod spec;
+
+pub use arrival::ArrivalModel;
+pub use generator::{WorkloadConfig, WorkloadGenerator};
+pub use repeat::RepeatModel;
+pub use runtime::RuntimeModel;
+pub use size::SizeModel;
+pub use spec::{AppClass, JobSpec, MalleabilitySpec};

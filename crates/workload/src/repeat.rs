@@ -1,0 +1,87 @@
+//! Repeated runs.
+//!
+//! Feitelson's model includes "the number of repeated runs": users tend to
+//! resubmit the same job several times. Run lengths follow a Zipf-like
+//! distribution — most jobs run once or twice, a few repeat many times.
+
+use rand::{Rng, RngExt};
+
+/// Sampler for how many times a job specification is resubmitted.
+#[derive(Clone, Copy, Debug)]
+pub struct RepeatModel {
+    /// Zipf exponent; larger = fewer repeats.
+    pub theta: f64,
+    /// Maximum number of runs of one job.
+    pub max_repeats: u32,
+}
+
+impl Default for RepeatModel {
+    fn default() -> Self {
+        RepeatModel {
+            theta: 2.5,
+            max_repeats: 8,
+        }
+    }
+}
+
+impl RepeatModel {
+    /// Probability that a job is run exactly `k` times (1-based).
+    pub fn pmf(&self, k: u32) -> f64 {
+        if k == 0 || k > self.max_repeats {
+            return 0.0;
+        }
+        let norm: f64 = (1..=self.max_repeats)
+            .map(|i| 1.0 / (i as f64).powf(self.theta))
+            .sum();
+        (1.0 / (k as f64).powf(self.theta)) / norm
+    }
+
+    /// Draws a run count in `1..=max_repeats`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        let u: f64 = rng.random();
+        let mut acc = 0.0;
+        for k in 1..=self.max_repeats {
+            acc += self.pmf(k);
+            if u < acc {
+                return k;
+            }
+        }
+        self.max_repeats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let m = RepeatModel::default();
+        let total: f64 = (1..=m.max_repeats).map(|k| m.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_runs_most_likely() {
+        let m = RepeatModel::default();
+        assert!(m.pmf(1) > m.pmf(2));
+        assert!(m.pmf(2) > m.pmf(4));
+    }
+
+    #[test]
+    fn samples_in_range() {
+        let m = RepeatModel::default();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut ones = 0;
+        for _ in 0..5_000 {
+            let k = m.sample(&mut rng);
+            assert!((1..=m.max_repeats).contains(&k));
+            if k == 1 {
+                ones += 1;
+            }
+        }
+        assert!(ones > 2_500, "most jobs should run once, got {ones}/5000");
+    }
+}

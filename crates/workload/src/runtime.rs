@@ -1,0 +1,155 @@
+//! Runtime distribution: two-stage hyper-exponential correlated with size.
+//!
+//! Feitelson '96 models runtimes as a hyper-exponential whose probability of
+//! drawing from the long-mean branch increases linearly with the job's size
+//! — this produces the observed correlation between parallelism and runtime
+//! without tying them deterministically.
+
+use rand::{Rng, RngExt};
+
+/// Hyper-exponential runtime sampler.
+#[derive(Clone, Copy, Debug)]
+pub struct RuntimeModel {
+    /// Mean of the short-running branch, seconds.
+    pub mean_short_s: f64,
+    /// Mean of the long-running branch, seconds.
+    pub mean_long_s: f64,
+    /// Long-branch probability for a serial job.
+    pub p_long_base: f64,
+    /// Additional long-branch probability at `size == max_size`
+    /// (interpolated linearly in between).
+    pub p_long_slope: f64,
+    /// Size at which the slope tops out.
+    pub max_size: u32,
+    /// Hard cap applied to samples, seconds (the paper caps FS steps at
+    /// 60 s). `f64::INFINITY` disables the cap.
+    pub cap_s: f64,
+}
+
+impl RuntimeModel {
+    /// Model for the §VIII FS experiments: steps capped at 60 s. The
+    /// branch means put most mass near the cap, matching the makespans of
+    /// Figure 3 (a 400-job fixed workload runs for ~7–8·10^4 s on 20
+    /// nodes).
+    pub fn fs_steps(max_size: u32) -> Self {
+        RuntimeModel {
+            mean_short_s: 30.0,
+            mean_long_s: 90.0,
+            p_long_base: 0.2,
+            p_long_slope: 0.5,
+            max_size,
+            cap_s: 60.0,
+        }
+    }
+
+    /// Uncapped model with explicit branch means.
+    pub fn with_means(mean_short_s: f64, mean_long_s: f64, max_size: u32) -> Self {
+        RuntimeModel {
+            mean_short_s,
+            mean_long_s,
+            p_long_base: 0.2,
+            p_long_slope: 0.5,
+            max_size,
+            cap_s: f64::INFINITY,
+        }
+    }
+
+    /// Probability of sampling from the long branch for a job of `size`.
+    pub fn p_long(&self, size: u32) -> f64 {
+        let frac = if self.max_size <= 1 {
+            1.0
+        } else {
+            (size.min(self.max_size) - 1) as f64 / (self.max_size - 1) as f64
+        };
+        (self.p_long_base + self.p_long_slope * frac).clamp(0.0, 1.0)
+    }
+
+    /// Expected runtime for a job of `size` (before capping).
+    pub fn mean_for(&self, size: u32) -> f64 {
+        let p = self.p_long(size);
+        (1.0 - p) * self.mean_short_s + p * self.mean_long_s
+    }
+
+    /// Draws one runtime for a job of `size`, in seconds.
+    pub fn sample<R: Rng + ?Sized>(&self, size: u32, rng: &mut R) -> f64 {
+        let p = self.p_long(size);
+        let mean = if rng.random::<f64>() < p {
+            self.mean_long_s
+        } else {
+            self.mean_short_s
+        };
+        let runtime = exponential(mean, rng);
+        runtime.min(self.cap_s).max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Inverse-transform sample of an exponential with the given mean.
+pub fn exponential<R: Rng + ?Sized>(mean: f64, rng: &mut R) -> f64 {
+    // random::<f64>() is in [0,1); use 1-u in (0,1] so ln never sees 0.
+    let u: f64 = rng.random();
+    -mean * (1.0 - u).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 50_000;
+        let sum: f64 = (0..n).map(|_| exponential(10.0, &mut rng)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 10.0).abs() < 0.3, "mean={mean}");
+    }
+
+    #[test]
+    fn p_long_grows_with_size() {
+        let m = RuntimeModel::fs_steps(20);
+        assert!(m.p_long(1) < m.p_long(10));
+        assert!(m.p_long(10) < m.p_long(20));
+        assert!(m.p_long(20) <= 1.0);
+        assert_eq!(m.p_long(1), m.p_long_base);
+    }
+
+    #[test]
+    fn bigger_jobs_run_longer_on_average() {
+        let m = RuntimeModel::with_means(10.0, 100.0, 32);
+        let mut rng = StdRng::seed_from_u64(11);
+        let avg = |size: u32, rng: &mut StdRng| -> f64 {
+            (0..20_000).map(|_| m.sample(size, rng)).sum::<f64>() / 20_000.0
+        };
+        let small = avg(1, &mut rng);
+        let large = avg(32, &mut rng);
+        assert!(
+            large > small * 1.3,
+            "expected correlation: small={small}, large={large}"
+        );
+    }
+
+    #[test]
+    fn cap_is_enforced() {
+        let m = RuntimeModel::fs_steps(20);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let r = m.sample(20, &mut rng);
+            assert!(r > 0.0 && r <= 60.0, "r={r}");
+        }
+    }
+
+    #[test]
+    fn serial_only_model_degenerates_gracefully() {
+        let m = RuntimeModel::fs_steps(1);
+        assert_eq!(m.p_long(1), 1.0_f64.min(m.p_long_base + m.p_long_slope));
+    }
+
+    #[test]
+    fn mean_for_interpolates() {
+        let m = RuntimeModel::with_means(10.0, 50.0, 16);
+        assert!(m.mean_for(1) < m.mean_for(16));
+        let p1 = m.p_long(1);
+        assert!((m.mean_for(1) - ((1.0 - p1) * 10.0 + p1 * 50.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,145 @@
+//! Job-size distribution.
+//!
+//! Feitelson's '96 model observes that parallel-job sizes follow a roughly
+//! harmonic ("complex discrete") distribution — small jobs are common — with
+//! strongly elevated probability at powers of two and a non-trivial fraction
+//! of serial jobs. We implement exactly that: weight `1/s^alpha` for size
+//! `s`, multiplied by `pow2_boost` when `s` is a power of two, normalised
+//! over `1..=max_size`.
+
+use rand::{Rng, RngExt};
+
+/// Discrete job-size sampler over `1..=max_size`.
+#[derive(Clone, Debug)]
+pub struct SizeModel {
+    max_size: u32,
+    /// Cumulative distribution, `cdf[i]` = P(size <= i+1).
+    cdf: Vec<f64>,
+}
+
+/// Harmonic exponent of the base distribution (Feitelson uses values around
+/// 0.9–1.0 when fitting traces).
+pub const DEFAULT_ALPHA: f64 = 0.95;
+/// Multiplier applied to power-of-two sizes.
+pub const DEFAULT_POW2_BOOST: f64 = 6.0;
+
+impl SizeModel {
+    /// Builds the model with the default Feitelson-like parameters.
+    pub fn new(max_size: u32) -> Self {
+        SizeModel::with_params(max_size, DEFAULT_ALPHA, DEFAULT_POW2_BOOST)
+    }
+
+    /// Builds the model with explicit harmonic exponent and power-of-two
+    /// boost. `max_size` must be at least 1.
+    pub fn with_params(max_size: u32, alpha: f64, pow2_boost: f64) -> Self {
+        assert!(max_size >= 1, "max_size must be >= 1");
+        let mut weights: Vec<f64> = (1..=max_size)
+            .map(|s| {
+                let base = 1.0 / (s as f64).powf(alpha);
+                if s.is_power_of_two() {
+                    base * pow2_boost
+                } else {
+                    base
+                }
+            })
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        for w in &mut weights {
+            acc += *w / total;
+            *w = acc;
+        }
+        // Guard against FP drift so sampling never falls off the end.
+        if let Some(last) = weights.last_mut() {
+            *last = 1.0;
+        }
+        SizeModel {
+            max_size,
+            cdf: weights,
+        }
+    }
+
+    pub fn max_size(&self) -> u32 {
+        self.max_size
+    }
+
+    /// Probability of drawing exactly `size`.
+    pub fn pmf(&self, size: u32) -> f64 {
+        if size == 0 || size > self.max_size {
+            return 0.0;
+        }
+        let i = (size - 1) as usize;
+        let lo = if i == 0 { 0.0 } else { self.cdf[i - 1] };
+        self.cdf[i] - lo
+    }
+
+    /// Draws one job size.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        let u: f64 = rng.random();
+        // First index whose cumulative probability covers u.
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) | Err(i) => (i as u32 + 1).min(self.max_size),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let m = SizeModel::new(20);
+        let total: f64 = (1..=20).map(|s| m.pmf(s)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(m.pmf(0), 0.0);
+        assert_eq!(m.pmf(21), 0.0);
+    }
+
+    #[test]
+    fn powers_of_two_are_boosted() {
+        let m = SizeModel::new(20);
+        // p(16) should exceed p(15) and p(17) despite the harmonic decay.
+        assert!(m.pmf(16) > m.pmf(15));
+        assert!(m.pmf(16) > m.pmf(17));
+        assert!(m.pmf(8) > m.pmf(9));
+    }
+
+    #[test]
+    fn small_jobs_dominate() {
+        let m = SizeModel::new(32);
+        assert!(m.pmf(1) > m.pmf(3));
+        assert!(m.pmf(2) > m.pmf(32));
+    }
+
+    #[test]
+    fn samples_within_bounds_and_hit_all_masses() {
+        let m = SizeModel::new(20);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut seen = vec![0u32; 21];
+        for _ in 0..20_000 {
+            let s = m.sample(&mut rng);
+            assert!((1..=20).contains(&s));
+            seen[s as usize] += 1;
+        }
+        // Every size has nonzero probability; with 20k draws all should
+        // appear.
+        assert!(seen[1..].iter().all(|&c| c > 0), "{seen:?}");
+        // Empirical boost check at 16.
+        assert!(seen[16] > seen[15]);
+    }
+
+    #[test]
+    fn max_size_one_always_serial() {
+        let m = SizeModel::new(1);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(m.sample(&mut rng), 1);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Generated job descriptions, independent of any scheduler or app
+//! implementation.
+
+/// Which application a job instantiates. §VIII uses only [`AppClass::Fs`];
+/// §IX mixes the three real applications at 33 % each.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AppClass {
+    /// Flexible Sleep: synthetic, perfectly linearly scalable step.
+    Fs,
+    /// Conjugate Gradient: highly scalable, short iterations.
+    Cg,
+    /// Jacobi: highly scalable, short iterations.
+    Jacobi,
+    /// N-body: comm-bound, near-constant performance, long iterations.
+    Nbody,
+}
+
+impl AppClass {
+    pub fn name(self) -> &'static str {
+        match self {
+            AppClass::Fs => "FS",
+            AppClass::Cg => "CG",
+            AppClass::Jacobi => "Jacobi",
+            AppClass::Nbody => "N-body",
+        }
+    }
+}
+
+/// Malleability envelope a job is submitted with (Table I columns).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct MalleabilitySpec {
+    /// Minimum number of processes the job can run with.
+    pub min_procs: u32,
+    /// Maximum number of processes (scalability cap).
+    pub max_procs: u32,
+    /// Preferred number of processes (`None` leaves the RMS free; §VIII
+    /// deliberately omits it for FS).
+    pub preferred: Option<u32>,
+    /// Resize factor: resizes go to a multiple/divisor of the current size
+    /// by powers of this factor. The paper fixes it to 2 for every job.
+    pub factor: u32,
+    /// Checking-inhibitor period in seconds (`NANOX_SCHED_PERIOD`);
+    /// `None` disables inhibition.
+    pub sched_period_s: Option<f64>,
+}
+
+impl MalleabilitySpec {
+    /// A rigid job: pinned to exactly `n` processes.
+    pub fn rigid(n: u32) -> Self {
+        MalleabilitySpec {
+            min_procs: n,
+            max_procs: n,
+            preferred: None,
+            factor: 2,
+            sched_period_s: None,
+        }
+    }
+
+    pub fn is_rigid(&self) -> bool {
+        self.min_procs == self.max_procs
+    }
+}
+
+/// One generated job.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// Position in the workload (0-based submission order).
+    pub index: u32,
+    /// Arrival (submission) time in seconds from workload start.
+    pub arrival_s: f64,
+    /// Number of processes the job is *submitted* with. Fixed jobs keep
+    /// this for their whole life; flexible jobs start here and may be
+    /// reconfigured within `malleability`.
+    pub submit_procs: u32,
+    /// Iterative structure: number of steps...
+    pub steps: u32,
+    /// ...and the duration of one step, in seconds, at `submit_procs`
+    /// processes (application models rescale it for other sizes).
+    pub step_s: f64,
+    /// User-requested wall-clock limit, seconds. Real users request the
+    /// cap, not the actual runtime; the backfill scheduler plans with
+    /// this, which is what keeps it conservative.
+    pub walltime_s: f64,
+    /// Bytes of application state carried across reconfigurations.
+    pub data_bytes: u64,
+    /// Which application the job runs.
+    pub app: AppClass,
+    /// Whether the job participates in malleability (false = rigid even if
+    /// the envelope would allow resizing; used for the §VIII-D mixes).
+    pub flexible: bool,
+    /// Resize envelope.
+    pub malleability: MalleabilitySpec,
+}
+
+impl JobSpec {
+    /// Total sequential work of the job in process-seconds, the invariant
+    /// the simulator preserves across resizes for linearly scaling apps.
+    pub fn work_proc_seconds(&self) -> f64 {
+        self.steps as f64 * self.step_s * self.submit_procs as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rigid_spec_is_rigid() {
+        let m = MalleabilitySpec::rigid(8);
+        assert!(m.is_rigid());
+        assert_eq!(m.min_procs, 8);
+        assert_eq!(m.max_procs, 8);
+        assert_eq!(m.factor, 2);
+    }
+
+    #[test]
+    fn work_is_steps_times_step_times_procs() {
+        let j = JobSpec {
+            index: 0,
+            arrival_s: 0.0,
+            submit_procs: 4,
+            steps: 10,
+            step_s: 6.0,
+            walltime_s: 100.0,
+            data_bytes: 0,
+            app: AppClass::Fs,
+            flexible: true,
+            malleability: MalleabilitySpec::rigid(4),
+        };
+        assert_eq!(j.work_proc_seconds(), 240.0);
+    }
+
+    #[test]
+    fn app_names() {
+        assert_eq!(AppClass::Fs.name(), "FS");
+        assert_eq!(AppClass::Nbody.name(), "N-body");
+    }
+}

@@ -1,0 +1,152 @@
+//! The runtime ↔ RMS bridge: a live [`RmsClient`] backed by a real
+//! [`Slurm`] instance.
+//!
+//! This is the paper's §III communication layer in miniature: the
+//! application (through `dmr-runtime`'s DMR API) asks; the Slurm
+//! reconfiguration policy (Algorithm 1) decides; and on a positive
+//! verdict the bridge drives the §III protocol — the four-step resizer
+//! job for expansions, the node-releasing update for shrinks — so the
+//! scheduler's allocation state tracks the application's actual size.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use dmr_runtime::dmr::{DmrAction, DmrSpec};
+use dmr_runtime::rms::RmsClient;
+use dmr_sim::SimTime;
+use dmr_slurm::{JobId, ResizeAction, Slurm};
+
+/// A live RMS connection for one job.
+pub struct SlurmRms {
+    slurm: Arc<Mutex<Slurm>>,
+    job: JobId,
+    epoch: Instant,
+}
+
+impl SlurmRms {
+    /// Connects job `job` (which must be running in `slurm`) to the
+    /// runtime. Wall-clock time since this call maps to scheduler time.
+    pub fn connect(slurm: Arc<Mutex<Slurm>>, job: JobId) -> Self {
+        SlurmRms {
+            slurm,
+            job,
+            epoch: Instant::now(),
+        }
+    }
+
+    fn now(&self) -> SimTime {
+        SimTime::from_secs_f64(self.epoch.elapsed().as_secs_f64())
+    }
+}
+
+impl RmsClient for SlurmRms {
+    fn negotiate(&mut self, _current: u32, _spec: &DmrSpec) -> DmrAction {
+        let now = self.now();
+        let mut slurm = self.slurm.lock();
+        // Scheduler housekeeping first: anything startable starts, so the
+        // policy never reasons about jobs that were only pending because
+        // no scheduling cycle had run (Slurm's event loop does the same).
+        let _ = slurm.schedule(now);
+        // The envelope was registered at submission; Algorithm 1 reads it
+        // from the job record together with the global system state.
+        let verdict = match slurm.decide_resize(self.job, now) {
+            ResizeAction::NoAction => DmrAction::NoAction,
+            ResizeAction::Expand { to } => match slurm.expand_protocol(self.job, to, now) {
+                Ok(_) => DmrAction::Expand { to },
+                // Could not start the resizer job right now: abort, as the
+                // synchronous path does (§V-B1's zero-wait degenerate).
+                Err(dmr_slurm::ExpandError::Queued { resizer }) => {
+                    slurm.abort_expand(resizer, now);
+                    DmrAction::NoAction
+                }
+                Err(_) => DmrAction::NoAction,
+            },
+            ResizeAction::Shrink { to, .. } => match slurm.shrink_protocol(self.job, to, now) {
+                Ok(_) => DmrAction::Shrink { to },
+                Err(_) => DmrAction::NoAction,
+            },
+        };
+        // A shrink frees nodes for its beneficiary right away.
+        if matches!(verdict, DmrAction::Shrink { .. }) {
+            let _ = slurm.schedule(now);
+        }
+        verdict
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmr_cluster::Cluster;
+    use dmr_slurm::{JobRequest, ResizeEnvelope};
+
+    fn slurm_with_running_job(
+        nodes: u32,
+        job_nodes: u32,
+        env: ResizeEnvelope,
+    ) -> (Arc<Mutex<Slurm>>, JobId) {
+        let mut s = Slurm::with_cluster(Cluster::new(nodes, 16));
+        let id = s.submit(
+            JobRequest::flexible("bridged", job_nodes, env),
+            SimTime::ZERO,
+        );
+        let started = s.schedule(SimTime::ZERO);
+        assert_eq!(started.len(), 1);
+        (Arc::new(Mutex::new(s)), id)
+    }
+
+    #[test]
+    fn lone_job_expands_through_the_bridge() {
+        let env = ResizeEnvelope {
+            min: 1,
+            max: 8,
+            preferred: None,
+            factor: 2,
+        };
+        let (slurm, job) = slurm_with_running_job(16, 2, env);
+        let mut rms = SlurmRms::connect(Arc::clone(&slurm), job);
+        let action = rms.negotiate(2, &DmrSpec::new(1, 8));
+        assert_eq!(action, DmrAction::Expand { to: 8 });
+        // The protocol really ran: the scheduler now accounts 8 nodes.
+        assert_eq!(slurm.lock().nodes_of(job), 8);
+    }
+
+    #[test]
+    fn shrink_for_queued_job_through_the_bridge() {
+        let env = ResizeEnvelope {
+            min: 1,
+            max: 16,
+            preferred: None,
+            factor: 2,
+        };
+        let (slurm, job) = slurm_with_running_job(16, 16, env);
+        // A queued rigid job needing 8 nodes triggers the wide-
+        // optimization shrink.
+        {
+            let mut s = slurm.lock();
+            s.submit(JobRequest::rigid("queued", 8), SimTime::ZERO);
+        }
+        let mut rms = SlurmRms::connect(Arc::clone(&slurm), job);
+        let action = rms.negotiate(16, &DmrSpec::new(1, 16));
+        assert_eq!(action, DmrAction::Shrink { to: 8 });
+        assert_eq!(slurm.lock().nodes_of(job), 8);
+        // The bridge already ran the post-shrink cycle: the beneficiary
+        // is running.
+        assert_eq!(slurm.lock().running_count(), 2);
+    }
+
+    #[test]
+    fn saturated_job_gets_no_action() {
+        let env = ResizeEnvelope {
+            min: 1,
+            max: 4,
+            preferred: None,
+            factor: 2,
+        };
+        let (slurm, job) = slurm_with_running_job(16, 4, env);
+        let mut rms = SlurmRms::connect(slurm, job);
+        assert_eq!(rms.negotiate(4, &DmrSpec::new(1, 4)), DmrAction::NoAction);
+    }
+}

@@ -1,0 +1,28 @@
+//! # dmr — umbrella crate
+//!
+//! Re-exports the whole DMR (Dynamic Management of Resources) stack, the
+//! Rust reproduction of Iserte et al., "Efficient Scalable Computing
+//! through Flexible Applications and Adaptive Workloads" (ICPP 2017), and
+//! provides [`bridge::SlurmRms`] — the live connection between the
+//! programming-model runtime and the `dmr-slurm` scheduler (the paper's
+//! Nanos++ ↔ Slurm channel), so the real kernels can run under the real
+//! Algorithm-1 policy.
+//!
+//! Substrate layers: [`sim`] (discrete events), [`cluster`] (hardware
+//! model), [`workload`] (Feitelson model), [`slurm`] (workload manager),
+//! [`mpi`] (thread-backed MPI), [`runtime`] (DMR API + offload),
+//! [`core`] (workload simulation driver), [`apps`] (FS/CG/Jacobi/N-body),
+//! [`checkpoint`] (C/R baseline), [`metrics`] (measurements).
+
+pub mod bridge;
+
+pub use dmr_apps as apps;
+pub use dmr_checkpoint as checkpoint;
+pub use dmr_cluster as cluster;
+pub use dmr_core as core;
+pub use dmr_metrics as metrics;
+pub use dmr_mpi as mpi;
+pub use dmr_runtime as runtime;
+pub use dmr_sim as sim;
+pub use dmr_slurm as slurm;
+pub use dmr_workload as workload;

@@ -1,0 +1,102 @@
+//! Real kernels under the live Slurm policy: the full stack —
+//! `dmr-mpi` (spawn) + `dmr-runtime` (DMR API, redistribution) +
+//! `dmr-slurm` (Algorithm 1 + §III protocol) — in one process.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use dmr::apps::cg::{cg_sequential, CgApp};
+use dmr::apps::jacobi::{jacobi_sequential, JacobiApp};
+use dmr::apps::malleable::run_malleable_with;
+use dmr::apps::nbody::{nbody_sequential, NbodyApp};
+use dmr::bridge::SlurmRms;
+use dmr::cluster::Cluster;
+use dmr::runtime::dmr::DmrSpec;
+use dmr::sim::SimTime;
+use dmr::slurm::{JobRequest, ResizeEnvelope, Slurm};
+
+fn launch(
+    cluster_nodes: u32,
+    job_nodes: u32,
+    env: ResizeEnvelope,
+) -> (Arc<Mutex<Slurm>>, dmr::slurm::JobId) {
+    let mut s = Slurm::with_cluster(Cluster::new(cluster_nodes, 16));
+    let id = s.submit(JobRequest::flexible("live", job_nodes, env), SimTime::ZERO);
+    let started = s.schedule(SimTime::ZERO);
+    assert_eq!(started.len(), 1);
+    (Arc::new(Mutex::new(s)), id)
+}
+
+fn envelope(min: u32, max: u32) -> ResizeEnvelope {
+    ResizeEnvelope {
+        min,
+        max,
+        preferred: None,
+        factor: 2,
+    }
+}
+
+/// A lone CG job on an idle cluster expands to its envelope maximum and
+/// still produces the sequential answer.
+#[test]
+fn cg_expands_under_live_policy_and_stays_correct() {
+    let (slurm, job) = launch(16, 2, envelope(1, 8));
+    let rms = SlurmRms::connect(Arc::clone(&slurm), job);
+    let (n, iters) = (96, 25);
+    let out = run_malleable_with(
+        Arc::new(CgApp::new(n, iters)),
+        2,
+        DmrSpec::new(1, 8),
+        Arc::new(Mutex::new(rms)),
+    );
+    assert!(out.resizes >= 1, "lone job must expand");
+    assert_eq!(out.final_procs, 8, "expansion reaches the envelope max");
+    assert_eq!(slurm.lock().nodes_of(job), 8, "scheduler agrees");
+    let (x_ref, _) = cg_sequential(n, iters);
+    for (a, b) in out.final_state[0].iter().zip(&x_ref) {
+        assert!((a - b).abs() < 1e-9);
+    }
+}
+
+/// A Jacobi job shrinks when a rigid job needs its nodes; the rigid job
+/// gets to run and the numerics stay bit-identical.
+#[test]
+fn jacobi_shrinks_for_queued_job_under_live_policy() {
+    let (slurm, job) = launch(8, 8, envelope(1, 8));
+    {
+        let mut s = slurm.lock();
+        s.submit(JobRequest::rigid("rival", 4), SimTime::ZERO);
+    }
+    let rms = SlurmRms::connect(Arc::clone(&slurm), job);
+    let (n, iters) = (64, 20);
+    let out = run_malleable_with(
+        Arc::new(JacobiApp::new(n, iters)),
+        8,
+        DmrSpec::new(1, 8),
+        Arc::new(Mutex::new(rms)),
+    );
+    assert!(out.resizes >= 1, "the job must shrink for the rival");
+    assert!(out.final_procs < 8);
+    assert_eq!(out.final_state[0], jacobi_sequential(n, iters));
+    // The rival really started.
+    assert_eq!(slurm.lock().running_count(), 2);
+}
+
+/// N-body through the bridge: expansion happens and physics is
+/// bit-identical to the sequential run.
+#[test]
+fn nbody_resizes_under_live_policy() {
+    let (slurm, job) = launch(8, 1, envelope(1, 4));
+    let rms = SlurmRms::connect(Arc::clone(&slurm), job);
+    let (seed, n, steps, dt) = (3u64, 24usize, 6u32, 1e-3);
+    let out = run_malleable_with(
+        Arc::new(NbodyApp::new(seed, n, steps, dt)),
+        1,
+        DmrSpec::new(1, 4),
+        Arc::new(Mutex::new(rms)),
+    );
+    assert!(out.resizes >= 1);
+    assert_eq!(out.final_state, nbody_sequential(seed, n, steps, dt));
+    assert_eq!(slurm.lock().nodes_of(job) as usize, out.final_procs);
+}

@@ -1,0 +1,67 @@
+//! Property tests for the measurement layer: the summaries that back
+//! every reported number must be internally consistent.
+
+use proptest::prelude::*;
+
+use dmr::metrics::{JobOutcome, StepSeries, WorkloadSummary};
+use dmr::sim::SimTime;
+
+proptest! {
+    /// The step-series integral equals the piecewise sum for any set of
+    /// change points, and splitting the window never changes the total.
+    #[test]
+    fn integral_is_additive(
+        mut points in proptest::collection::vec((0u64..10_000, 0u32..100), 1..50),
+        split in 0u64..10_000,
+    ) {
+        points.sort();
+        let mut s = StepSeries::new();
+        let mut last_t = None;
+        for &(t, v) in &points {
+            if last_t == Some(t) {
+                continue;
+            }
+            s.record(SimTime::from_secs(t), v as f64);
+            last_t = Some(t);
+        }
+        let end = SimTime::from_secs(10_000);
+        let whole = s.integral(SimTime::ZERO, end);
+        let split_t = SimTime::from_secs(split);
+        let parts = s.integral(SimTime::ZERO, split_t) + s.integral(split_t, end);
+        prop_assert!((whole - parts).abs() < 1e-6, "{whole} vs {parts}");
+        // Mean is bounded by the recorded extremes.
+        let max = s.max_value();
+        prop_assert!(s.mean(SimTime::ZERO, end) <= max + 1e-9);
+    }
+
+    /// Summary averages are means of the per-job quantities and the
+    /// makespan covers every end time.
+    #[test]
+    fn summary_matches_manual_averages(
+        raw in proptest::collection::vec((0u64..1000, 0u64..1000, 0u64..1000), 1..40)
+    ) {
+        let outcomes: Vec<JobOutcome> = raw
+            .iter()
+            .map(|&(submit, wait, run)| {
+                JobOutcome::new(
+                    SimTime::from_secs(submit),
+                    SimTime::from_secs(submit + wait),
+                    SimTime::from_secs(submit + wait + run),
+                    0,
+                )
+            })
+            .collect();
+        let mut alloc = StepSeries::new();
+        alloc.record(SimTime::ZERO, 1.0);
+        let s = WorkloadSummary::compute(&outcomes, &alloc, 10);
+        let n = outcomes.len() as f64;
+        let wait: f64 = raw.iter().map(|&(_, w, _)| w as f64).sum::<f64>() / n;
+        let run: f64 = raw.iter().map(|&(_, _, r)| r as f64).sum::<f64>() / n;
+        prop_assert!((s.avg_waiting_s - wait).abs() < 1e-9);
+        prop_assert!((s.avg_execution_s - run).abs() < 1e-9);
+        prop_assert!((s.avg_completion_s - (wait + run)).abs() < 1e-9);
+        for o in &outcomes {
+            prop_assert!(o.end <= s.makespan_s + 1e-9);
+        }
+    }
+}

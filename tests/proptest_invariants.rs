@@ -1,0 +1,143 @@
+//! Property-based tests on cross-crate invariants.
+
+use proptest::prelude::*;
+
+use dmr::cluster::Cluster;
+use dmr::runtime::dist::BlockDist;
+use dmr::sim::{EventQueue, SimTime};
+use dmr::workload::{SizeModel, WorkloadConfig, WorkloadGenerator};
+
+proptest! {
+    /// Redistribution plans move every element exactly once, for any pair
+    /// of process counts and any global size.
+    #[test]
+    fn block_plans_cover_exactly_once(
+        n in 0usize..500,
+        from in 1usize..17,
+        to in 1usize..17,
+    ) {
+        let a = BlockDist::new(n, from);
+        let b = BlockDist::new(n, to);
+        let mut seen = vec![0u32; n];
+        for t in a.plan_to(&b) {
+            let src_global = a.start(t.src_rank) + t.src_offset;
+            let dst_global = b.start(t.dst_rank) + t.dst_offset;
+            prop_assert_eq!(src_global, dst_global);
+            for i in src_global..src_global + t.len {
+                seen[i] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    /// Block distributions tile the index space: ranges are disjoint,
+    /// ordered, and cover 0..n.
+    #[test]
+    fn block_ranges_tile(n in 0usize..1000, parts in 1usize..33) {
+        let d = BlockDist::new(n, parts);
+        let mut cursor = 0usize;
+        for r in 0..parts {
+            let range = d.range(r);
+            prop_assert_eq!(range.start, cursor);
+            cursor = range.end;
+        }
+        prop_assert_eq!(cursor, n);
+    }
+
+    /// The event queue dequeues in nondecreasing time order regardless of
+    /// insertion order and cancellations.
+    #[test]
+    fn event_queue_is_time_ordered(
+        ops in proptest::collection::vec((0u64..10_000, proptest::bool::ANY), 1..200)
+    ) {
+        let mut q = EventQueue::new();
+        let mut keys = Vec::new();
+        for (i, &(t, cancel)) in ops.iter().enumerate() {
+            let k = q.push(SimTime(t), i);
+            if cancel {
+                q.cancel(k);
+            } else {
+                keys.push(k);
+            }
+        }
+        let mut last = SimTime::ZERO;
+        let mut popped = 0usize;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            popped += 1;
+        }
+        prop_assert_eq!(popped, keys.len());
+    }
+
+    /// Cluster allocation bookkeeping never corrupts under arbitrary
+    /// allocate / release-all / release-tail sequences.
+    #[test]
+    fn cluster_invariants_hold(
+        nodes in 1u32..64,
+        ops in proptest::collection::vec((0u8..3, 1u32..16, 0u64..8), 1..60)
+    ) {
+        let mut c = Cluster::new(nodes, 16);
+        for &(op, count, owner) in &ops {
+            match op {
+                0 => { let _ = c.allocate(count.min(nodes), owner); }
+                1 => { let _ = c.release_all(owner); }
+                _ => { let _ = c.release_tail(owner, count); }
+            }
+            prop_assert!(c.check_invariants().is_ok(), "{:?}", c.check_invariants());
+            prop_assert!(c.free_nodes() <= nodes);
+        }
+    }
+
+    /// The Feitelson size model only produces sizes within bounds, and
+    /// the generated workloads respect their envelopes.
+    #[test]
+    fn workload_respects_bounds(jobs in 1u32..60, seed in 0u64..1000) {
+        let cfg = WorkloadConfig::fs_preliminary(jobs);
+        let max = cfg.max_size;
+        let specs = WorkloadGenerator::new(cfg, seed).generate();
+        prop_assert_eq!(specs.len(), jobs as usize);
+        let mut last_arrival = 0.0f64;
+        for s in &specs {
+            prop_assert!(s.submit_procs >= 1 && s.submit_procs <= max);
+            prop_assert!(s.step_s > 0.0);
+            prop_assert!(s.walltime_s >= s.step_s);
+            prop_assert!(s.arrival_s >= last_arrival);
+            last_arrival = s.arrival_s;
+        }
+    }
+
+    /// Size-model sampling and pmf agree on support.
+    #[test]
+    fn size_model_support(max in 1u32..64, seed in 0u64..100) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let m = SizeModel::new(max);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..64 {
+            let s = m.sample(&mut rng);
+            prop_assert!(s >= 1 && s <= max);
+            prop_assert!(m.pmf(s) > 0.0);
+        }
+    }
+}
+
+// Small deterministic run of the full simulator inside a property: any
+// seed must produce a consistent accounting (no negative waits, makespan
+// covers every completion).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn simulator_accounting_is_consistent(seed in 0u64..50) {
+        use dmr::core::{run_experiment, ExperimentConfig, SimJob};
+        let specs = WorkloadGenerator::new(WorkloadConfig::fs_preliminary(12), seed).generate();
+        let r = run_experiment(&ExperimentConfig::preliminary(), &SimJob::from_specs(specs));
+        prop_assert_eq!(r.summary.jobs, 12);
+        for o in &r.outcomes {
+            prop_assert!(o.start >= o.submit);
+            prop_assert!(o.end >= o.start);
+            prop_assert!(o.end <= r.summary.makespan_s + 1e-6);
+        }
+        prop_assert!(r.summary.utilization > 0.0 && r.summary.utilization <= 1.0);
+        prop_assert!(r.allocation.max_value() <= 20.0);
+    }
+}
