@@ -110,10 +110,20 @@ mod tests {
         // 100 ms, leaving ~300 ms of headroom for scheduling noise.
         let base = Duration::from_millis(400);
         let t0 = std::time::Instant::now();
-        run_malleable(Arc::new(FsApp::new(4, 1, base)), 1, DmrSpec::new(1, 4), vec![]);
+        run_malleable(
+            Arc::new(FsApp::new(4, 1, base)),
+            1,
+            DmrSpec::new(1, 4),
+            vec![],
+        );
         let serial = t0.elapsed();
         let t0 = std::time::Instant::now();
-        run_malleable(Arc::new(FsApp::new(4, 1, base)), 4, DmrSpec::new(1, 4), vec![]);
+        run_malleable(
+            Arc::new(FsApp::new(4, 1, base)),
+            4,
+            DmrSpec::new(1, 4),
+            vec![],
+        );
         let parallel = t0.elapsed();
         assert!(serial >= base, "1-rank run must sleep the full base");
         assert!(

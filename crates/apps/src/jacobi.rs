@@ -137,10 +137,7 @@ mod tests {
 
     #[test]
     fn jacobi_survives_shrink() {
-        distributed_matches_reference(
-            5,
-            vec![DmrAction::NoAction, DmrAction::Shrink { to: 2 }],
-        );
+        distributed_matches_reference(5, vec![DmrAction::NoAction, DmrAction::Shrink { to: 2 }]);
     }
 
     #[test]

@@ -68,7 +68,12 @@ pub fn run_malleable(
     spec: DmrSpec,
     script: Vec<DmrAction>,
 ) -> MalleableOutcome {
-    run_malleable_with(app, initial, spec, Arc::new(Mutex::new(ScriptedRms::new(script))))
+    run_malleable_with(
+        app,
+        initial,
+        spec,
+        Arc::new(Mutex::new(ScriptedRms::new(script))),
+    )
 }
 
 /// [`run_malleable`] with a caller-provided RMS connection.
@@ -96,7 +101,10 @@ pub fn run_malleable_with(
             );
         });
     }
-    let out = slot.lock().take().expect("final process set stored a result");
+    let out = slot
+        .lock()
+        .take()
+        .expect("final process set stored a result");
     out
 }
 
@@ -123,9 +131,8 @@ fn worker(
         let vectors = app.vectors();
         let mut state = Vec::with_capacity(vectors);
         for round in 0..vectors {
-            state.push(
-                recv_blocks::<f64>(parent, me, &from, &dist, round).expect("redistribution"),
-            );
+            state
+                .push(recv_blocks::<f64>(parent, me, &from, &dist, round).expect("redistribution"));
         }
         // ACK: this rank adopted its offloaded task (releases taskwait).
         offload::ack(parent, 0).expect("ack");

@@ -42,13 +42,7 @@ pub fn particle(seed: u64, n: usize, i: usize) -> [f64; 7] {
 /// Acceleration on particle `i` given all positions/masses, summed in
 /// index order (so any layout reproduces identical floating-point
 /// results).
-fn acceleration(
-    i: usize,
-    px: &[f64],
-    py: &[f64],
-    pz: &[f64],
-    m: &[f64],
-) -> (f64, f64, f64) {
+fn acceleration(i: usize, px: &[f64], py: &[f64], pz: &[f64], m: &[f64]) -> (f64, f64, f64) {
     let (mut ax, mut ay, mut az) = (0.0, 0.0, 0.0);
     for j in 0..px.len() {
         if j == i {
@@ -83,12 +77,14 @@ pub fn nbody_sequential(seed: u64, n: usize, steps: u32, dt: f64) -> Vec<Vec<f64
             state[2].clone(),
             state[6].clone(),
         );
+        #[allow(clippy::needless_range_loop)] // i indexes four parallel state vectors
         for i in 0..n {
             let (ax, ay, az) = acceleration(i, &px, &py, &pz, &m);
             state[3][i] += dt * ax;
             state[4][i] += dt * ay;
             state[5][i] += dt * az;
         }
+        #[allow(clippy::needless_range_loop)] // positions and velocities alias `state`
         for i in 0..n {
             state[0][i] += dt * state[3][i];
             state[1][i] += dt * state[4][i];
@@ -188,11 +184,7 @@ mod tests {
         // Total momentum starts at zero (velocities all zero) and should
         // stay near zero (pairwise forces are antisymmetric up to FP).
         for d in 3..6 {
-            let p: f64 = state[d]
-                .iter()
-                .zip(&state[6])
-                .map(|(v, m)| v * m)
-                .sum();
+            let p: f64 = state[d].iter().zip(&state[6]).map(|(v, m)| v * m).sum();
             assert!(p.abs() < 1e-9, "momentum drift {p}");
         }
     }
@@ -223,10 +215,7 @@ mod tests {
 
     #[test]
     fn nbody_survives_shrink_to_one() {
-        distributed_matches_reference(
-            4,
-            vec![DmrAction::NoAction, DmrAction::Shrink { to: 1 }],
-        );
+        distributed_matches_reference(4, vec![DmrAction::NoAction, DmrAction::Shrink { to: 1 }]);
     }
 
     #[test]

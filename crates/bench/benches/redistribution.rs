@@ -50,9 +50,13 @@ fn redistribute_once(n: usize, from: usize, to: usize) {
 fn bench_live_redistribution(c: &mut Criterion) {
     let mut g = c.benchmark_group("mpi_redistribute");
     g.sample_size(10);
-    for (n, from, to) in [(1usize << 18, 2usize, 4usize), (1 << 18, 4, 2), (1 << 20, 4, 8)] {
+    for (n, from, to) in [
+        (1usize << 18, 2usize, 4usize),
+        (1 << 18, 4, 2),
+        (1 << 20, 4, 8),
+    ] {
         g.throughput(Throughput::Bytes((n * 8) as u64));
-        g.bench_function(format!("{}MB_{from}to{to}", n * 8 >> 20), |b| {
+        g.bench_function(format!("{}MB_{from}to{to}", (n * 8) >> 20), |b| {
             b.iter(|| redistribute_once(n, from, to))
         });
     }

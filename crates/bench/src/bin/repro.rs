@@ -15,10 +15,7 @@ use dmr_bench::{PRELIM_JOB_COUNTS, PRODUCTION_JOB_COUNTS, SEED};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let target = args.first().map(String::as_str).unwrap_or("quick");
-    let seed: u64 = args
-        .get(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(SEED);
+    let seed: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(SEED);
     run(target, seed);
 }
 

@@ -2,7 +2,9 @@
 
 use dmr_cluster::{DiskModel, NetworkModel};
 use dmr_core::config::EstimateMode;
-use dmr_core::{compare_fixed_flexible, run_experiment, ExperimentConfig, ExperimentResult, SimJob};
+use dmr_core::{
+    compare_fixed_flexible, run_experiment, ExperimentConfig, ExperimentResult, SimJob,
+};
 use dmr_metrics::{csv::sparkline, gain_pct, WorkloadSummary};
 use dmr_workload::{WorkloadConfig, WorkloadGenerator};
 
@@ -33,11 +35,15 @@ pub struct Evolution {
 }
 
 fn fs_workload(jobs: u32, seed: u64) -> Vec<SimJob> {
-    SimJob::from_specs(WorkloadGenerator::new(WorkloadConfig::fs_preliminary(jobs), seed).generate())
+    SimJob::from_specs(
+        WorkloadGenerator::new(WorkloadConfig::fs_preliminary(jobs), seed).generate(),
+    )
 }
 
 fn fs_micro_workload(jobs: u32, seed: u64) -> Vec<SimJob> {
-    SimJob::from_specs(WorkloadGenerator::new(WorkloadConfig::fs_micro_steps(jobs), seed).generate())
+    SimJob::from_specs(
+        WorkloadGenerator::new(WorkloadConfig::fs_micro_steps(jobs), seed).generate(),
+    )
 }
 
 fn real_workload(jobs: u32, seed: u64) -> Vec<SimJob> {
@@ -123,7 +129,10 @@ pub fn fig1_report() -> String {
         .collect();
     format!(
         "Figure 1: spawning stage, C/R vs DMR (N-body)\n{}",
-        table(&["procs (init-resized)", "DMR (s)", "C/R (s)", "C/R / DMR"], &rows)
+        table(
+            &["procs (init-resized)", "DMR (s)", "C/R (s)", "C/R / DMR"],
+            &rows
+        )
     )
 }
 
@@ -134,26 +143,39 @@ pub fn fig1_report() -> String {
 pub fn table1_report() -> String {
     use dmr_workload::generator::table1;
     use dmr_workload::AppClass;
-    let rows: Vec<Vec<String>> = [AppClass::Fs, AppClass::Cg, AppClass::Jacobi, AppClass::Nbody]
-        .iter()
-        .map(|&app| {
-            let (steps, m, data) = table1(app);
-            vec![
-                app.name().to_string(),
-                steps.to_string(),
-                m.min_procs.to_string(),
-                m.max_procs.to_string(),
-                m.preferred.map_or("-".into(), |p| p.to_string()),
-                m.sched_period_s
-                    .map_or("-".into(), |p| format!("{p} seconds")),
-                format!("{:.1} GiB", data as f64 / (1u64 << 30) as f64),
-            ]
-        })
-        .collect();
+    let rows: Vec<Vec<String>> = [
+        AppClass::Fs,
+        AppClass::Cg,
+        AppClass::Jacobi,
+        AppClass::Nbody,
+    ]
+    .iter()
+    .map(|&app| {
+        let (steps, m, data) = table1(app);
+        vec![
+            app.name().to_string(),
+            steps.to_string(),
+            m.min_procs.to_string(),
+            m.max_procs.to_string(),
+            m.preferred.map_or("-".into(), |p| p.to_string()),
+            m.sched_period_s
+                .map_or("-".into(), |p| format!("{p} seconds")),
+            format!("{:.1} GiB", data as f64 / (1u64 << 30) as f64),
+        ]
+    })
+    .collect();
     format!(
         "Table I: configuration parameters for the applications\n{}",
         table(
-            &["app", "iterations", "min", "max", "preferred", "sched period", "data"],
+            &[
+                "app",
+                "iterations",
+                "min",
+                "max",
+                "preferred",
+                "sched period",
+                "data"
+            ],
             &rows
         )
     )
@@ -354,7 +376,11 @@ pub fn fig9(job_counts: &[u32], seed: u64) -> Vec<Fig9Row> {
                 .iter()
                 .map(|(n, fixed_s, jobs)| {
                     let r = run_experiment(&cfg, jobs);
-                    (*n, r.summary.makespan_s, gain_pct(*fixed_s, r.summary.makespan_s))
+                    (
+                        *n,
+                        r.summary.makespan_s,
+                        gain_pct(*fixed_s, r.summary.makespan_s),
+                    )
                 })
                 .collect();
             Fig9Row {
@@ -464,7 +490,9 @@ pub fn table2_report(pairs: &[SummaryPair]) -> String {
         }
         rows.push(r);
     };
-    row("utilization (%)", &|s| format!("{:.2}", s.utilization * 100.0));
+    row("utilization (%)", &|s| {
+        format!("{:.2}", s.utilization * 100.0)
+    });
     row("avg wait (s)", &|s| secs(s.avg_waiting_s));
     row("avg exec (s)", &|s| secs(s.avg_execution_s));
     row("avg completion (s)", &|s| secs(s.avg_completion_s));
@@ -582,7 +610,7 @@ pub fn ablations_report(jobs: u32, seed: u64) -> String {
             vec![
                 r.name.to_string(),
                 secs(r.makespan_s),
-                pct(gain_pct(baseline, r.makespan_s) * -1.0),
+                pct(-gain_pct(baseline, r.makespan_s)),
                 secs(r.avg_wait_s),
                 format!("{:.1}%", r.utilization * 100.0),
             ]
@@ -591,7 +619,13 @@ pub fn ablations_report(jobs: u32, seed: u64) -> String {
     format!(
         "Ablations ({jobs}-job production mix; delta vs full flexible system)\n{}",
         table(
-            &["configuration", "makespan (s)", "vs flexible", "avg wait (s)", "util"],
+            &[
+                "configuration",
+                "makespan (s)",
+                "vs flexible",
+                "avg wait (s)",
+                "util"
+            ],
             &body
         )
     )

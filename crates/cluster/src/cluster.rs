@@ -170,7 +170,10 @@ impl Cluster {
 
     /// Releases every node held by `owner`, returning them.
     pub fn release_all(&mut self, owner: u64) -> Result<Vec<NodeId>, AllocError> {
-        let nodes = self.held.remove(&owner).ok_or(AllocError::UnknownOwner(owner))?;
+        let nodes = self
+            .held
+            .remove(&owner)
+            .ok_or(AllocError::UnknownOwner(owner))?;
         for &node in &nodes {
             self.owner[node.index()] = None;
         }
@@ -182,7 +185,10 @@ impl Cluster {
     /// Slurm releases from the tail of the job's node list; keeping the
     /// lowest nodes means rank 0's node survives every shrink.
     pub fn release_tail(&mut self, owner: u64, n: u32) -> Result<Vec<NodeId>, AllocError> {
-        let held = self.held.get_mut(&owner).ok_or(AllocError::UnknownOwner(owner))?;
+        let held = self
+            .held
+            .get_mut(&owner)
+            .ok_or(AllocError::UnknownOwner(owner))?;
         if (n as usize) > held.len() {
             return Err(AllocError::ShrinkTooLarge {
                 held: held.len() as u32,
@@ -204,7 +210,10 @@ impl Cluster {
     /// protocol: the resizer job's nodes are reattached to the original
     /// job).
     pub fn transfer_all(&mut self, from: u64, to: u64) -> Result<Vec<NodeId>, AllocError> {
-        let nodes = self.held.remove(&from).ok_or(AllocError::UnknownOwner(from))?;
+        let nodes = self
+            .held
+            .remove(&from)
+            .ok_or(AllocError::UnknownOwner(from))?;
         for &node in &nodes {
             self.owner[node.index()] = Some(to);
         }
@@ -316,7 +325,10 @@ mod tests {
         c.allocate(2, 1).unwrap();
         assert_eq!(
             c.release_tail(1, 3),
-            Err(AllocError::ShrinkTooLarge { held: 2, release: 3 })
+            Err(AllocError::ShrinkTooLarge {
+                held: 2,
+                release: 3
+            })
         );
     }
 

@@ -49,16 +49,14 @@ impl DiskModel {
     /// Time for `writers` ranks to write `total_bytes` of checkpoint state.
     pub fn write_time(&self, total_bytes: u64, writers: u32) -> Span {
         Span::from_secs_f64(
-            self.metadata_s * writers.max(1) as f64
-                + total_bytes as f64 / self.write_bandwidth_bps,
+            self.metadata_s * writers.max(1) as f64 + total_bytes as f64 / self.write_bandwidth_bps,
         )
     }
 
     /// Time for `readers` ranks to read `total_bytes` back.
     pub fn read_time(&self, total_bytes: u64, readers: u32) -> Span {
         Span::from_secs_f64(
-            self.metadata_s * readers.max(1) as f64
-                + total_bytes as f64 / self.read_bandwidth_bps,
+            self.metadata_s * readers.max(1) as f64 + total_bytes as f64 / self.read_bandwidth_bps,
         )
     }
 

@@ -83,12 +83,7 @@ impl NetworkModel {
 
     /// Total reconfiguration cost on the DMR path: spawn the new process set
     /// and redistribute the dataset.
-    pub fn dmr_reconfigure_time(
-        &self,
-        total_bytes: u64,
-        src_procs: u32,
-        dst_procs: u32,
-    ) -> Span {
+    pub fn dmr_reconfigure_time(&self, total_bytes: u64, src_procs: u32, dst_procs: u32) -> Span {
         let spawned = if dst_procs > src_procs {
             // The paper reuses original nodes: only the delta is spawned...
             // except that MPI_Comm_spawn recreates the full child set (the

@@ -1,0 +1,134 @@
+//! Job arrivals, scheduling cycles, compute segments and completion.
+//!
+//! This is the rigid-job half of the lifecycle — submit, start, compute,
+//! finish — which flexible jobs share; they merely punctuate their
+//! compute with the reconfiguring points handled in [`super::reconfig`].
+
+use dmr_sim::{SimTime, Span};
+use dmr_slurm::{JobId, JobRequest, ResizeEnvelope};
+
+use super::events::Ev;
+use super::{Driver, RunState};
+use crate::config::EstimateMode;
+
+impl Driver {
+    pub(crate) fn on_arrival(&mut self, idx: usize, now: SimTime) {
+        let sim = &self.jobs[idx];
+        let spec = &sim.spec;
+        // Submissions larger than the machine can never start; clamp like
+        // a real site's partition limit would.
+        let submit_procs = spec.submit_procs.min(self.cfg.nodes);
+        let est = match self.cfg.estimate_mode {
+            EstimateMode::Walltime => Span::from_secs_f64(spec.walltime_s),
+            EstimateMode::Actual => sim
+                .remaining_time(submit_procs, 0)
+                .mul_f64(self.cfg.estimate_padding),
+        };
+        let name = format!("{}-{}", spec.app.name(), spec.index);
+        let req = if self.is_flexible(idx) {
+            JobRequest::flexible(
+                name,
+                submit_procs,
+                ResizeEnvelope {
+                    min: spec.malleability.min_procs.min(submit_procs),
+                    max: spec.malleability.max_procs.min(self.cfg.nodes),
+                    preferred: spec.malleability.preferred,
+                    factor: spec.malleability.factor.max(2),
+                },
+            )
+            .with_expected_runtime(est)
+        } else {
+            JobRequest::rigid(name, submit_procs).with_expected_runtime(est)
+        };
+        let id = self.slurm.submit(req, now);
+        self.spec_of.insert(id, idx);
+        self.arrivals_remaining -= 1;
+        self.do_schedule(now);
+    }
+
+    /// One event-driven scheduling cycle (FIFO pass); wires freshly
+    /// started jobs (and resizer jobs) into the simulation.
+    pub(crate) fn do_schedule(&mut self, now: SimTime) {
+        let starts = self.slurm.schedule(now);
+        self.wire_starts(starts, now);
+    }
+
+    pub(crate) fn wire_starts(&mut self, starts: Vec<dmr_slurm::JobStart>, now: SimTime) {
+        for st in starts {
+            match st.resizer_for {
+                Some(orig) => self.on_rj_started(st.id, orig, now),
+                None => {
+                    let idx = self.spec_of[&st.id];
+                    let procs = st.nodes.len() as u32;
+                    self.running.insert(st.id, RunState::new(idx, procs, now));
+                    self.begin_segment(st.id, now);
+                }
+            }
+        }
+    }
+
+    /// Schedules the next compute segment: up to the next reconfiguring
+    /// point for flexible jobs (respecting the checking inhibitor by
+    /// coalescing inhibited iterations), or the whole remainder for rigid
+    /// jobs.
+    pub(crate) fn begin_segment(&mut self, job: JobId, now: SimTime) {
+        let rs = &self.running[&job];
+        let idx = rs.spec_idx;
+        let sim = &self.jobs[idx];
+        let remaining = sim.spec.steps.saturating_sub(rs.steps_done);
+        if remaining == 0 {
+            self.complete_job(job, now);
+            return;
+        }
+        // Guard against sub-microsecond steps degenerating into zero-time
+        // event loops.
+        let step = sim.step_time(rs.procs).max(Span(1));
+        let k = if !self.is_flexible(idx) {
+            remaining
+        } else {
+            match self.inhibitor_period(idx) {
+                Some(period) if now < rs.next_check_at => {
+                    let _ = period;
+                    let gap = rs.next_check_at.since(now).as_secs_f64();
+                    let per = step.as_secs_f64();
+                    ((gap / per).ceil() as u32).clamp(1, remaining)
+                }
+                _ => 1,
+            }
+        };
+        let duration = Span(step.as_micros().saturating_mul(k as u64));
+        self.engine
+            .schedule_at(now + duration, Ev::SegmentDone { job, steps: k });
+    }
+
+    pub(crate) fn on_segment_done(&mut self, job: JobId, steps: u32, now: SimTime) {
+        let Some(rs) = self.running.get_mut(&job) else {
+            return;
+        };
+        rs.steps_done += steps;
+        let idx = rs.spec_idx;
+        if rs.steps_done >= self.jobs[idx].spec.steps {
+            self.complete_job(job, now);
+            return;
+        }
+        if !self.is_flexible(idx) {
+            self.begin_segment(job, now);
+            return;
+        }
+        self.check_point(job, now);
+    }
+
+    pub(crate) fn complete_job(&mut self, job: JobId, now: SimTime) {
+        if let Some(mut rs) = self.running.remove(&job) {
+            if let Some((rj, ev)) = rs.waiting_rj.take() {
+                self.engine.cancel(ev);
+                self.slurm.abort_expand(rj, now);
+                self.rj_to_orig.remove(&rj);
+            }
+        }
+        self.slurm.complete(job, now);
+        self.completed += 1;
+        // Freed nodes: run a scheduling cycle.
+        self.do_schedule(now);
+    }
+}

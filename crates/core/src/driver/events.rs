@@ -1,0 +1,51 @@
+//! The event vocabulary and central dispatch.
+//!
+//! Everything that happens in an experiment is one of the five [`Ev`]
+//! variants; [`Driver::handle`] fans each out to the submodule that owns
+//! the corresponding phase of the job lifecycle.
+
+use dmr_sim::{SimTime, Span};
+use dmr_slurm::JobId;
+
+use super::Driver;
+
+/// Simulation events.
+#[derive(Debug)]
+pub(crate) enum Ev {
+    /// Workload job `index` reaches the system.
+    Arrival(usize),
+    /// A running job finished a compute segment of `steps` iterations.
+    SegmentDone { job: JobId, steps: u32 },
+    /// A reconfiguration (or a bare check pause) finished; resume compute.
+    ReconfigDone { job: JobId },
+    /// A queued resizer job waited too long (§V-B1): abort the expansion.
+    RjTimeout { rj: JobId },
+    /// Periodic EASY-backfill pass (Slurm's `bf_interval`).
+    BackfillTick,
+}
+
+impl Driver {
+    pub(crate) fn handle(&mut self, now: SimTime, ev: Ev) {
+        match ev {
+            Ev::Arrival(i) => self.on_arrival(i, now),
+            Ev::SegmentDone { job, steps } => self.on_segment_done(job, steps, now),
+            Ev::ReconfigDone { job } => self.on_reconfig_done(job, now),
+            Ev::RjTimeout { rj } => self.on_rj_timeout(rj, now),
+            Ev::BackfillTick => self.on_backfill_tick(now),
+        }
+    }
+
+    /// The periodic backfill thread: runs a full EASY pass, then re-arms
+    /// itself while there is still work in the system.
+    pub(crate) fn on_backfill_tick(&mut self, now: SimTime) {
+        let starts = self.slurm.backfill_pass(now);
+        self.wire_starts(starts, now);
+        if self.arrivals_remaining > 0 || self.slurm.pending_count() > 0 || !self.running.is_empty()
+        {
+            self.engine.schedule_in(
+                Span::from_secs_f64(self.cfg.backfill_interval_s),
+                Ev::BackfillTick,
+            );
+        }
+    }
+}

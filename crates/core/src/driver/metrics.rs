@@ -1,0 +1,55 @@
+//! Metric hooks: evolution-series sampling and final summary assembly.
+//!
+//! After every handled event the driver records the three step series
+//! behind the paper's timeline figures (allocated nodes, running jobs,
+//! completed jobs — Figures 4, 5, 6, 12); at the end of the run it folds
+//! the per-job accounting into the [`WorkloadSummary`] the evaluation
+//! tables report.
+
+use dmr_metrics::{JobOutcome, WorkloadSummary};
+use dmr_sim::SimTime;
+use dmr_slurm::JobState;
+
+use super::Driver;
+use crate::result::ExperimentResult;
+
+impl Driver {
+    /// Records one sample of every evolution series at `now`.
+    pub(crate) fn sample(&mut self, now: SimTime) {
+        self.alloc_series
+            .record(now, self.slurm.allocated_nodes() as f64);
+        self.running_series.record(now, self.running.len() as f64);
+        self.completed_series.record(now, self.completed as f64);
+    }
+
+    /// Folds the scheduler's per-job accounting into the experiment
+    /// result once the event queue has drained.
+    pub(crate) fn finish(self) -> ExperimentResult {
+        let mut outcomes: Vec<JobOutcome> = Vec::with_capacity(self.jobs.len());
+        for job in self.slurm.jobs() {
+            if job.is_resizer() || job.state != JobState::Completed {
+                continue;
+            }
+            let (Some(start), Some(end)) = (job.start_time, job.end_time) else {
+                continue;
+            };
+            outcomes.push(JobOutcome::new(
+                job.submit_time,
+                start,
+                end,
+                job.reconfigurations,
+            ));
+        }
+        let summary = WorkloadSummary::compute(&outcomes, &self.alloc_series, self.cfg.nodes);
+        let end_time = SimTime::from_secs_f64(summary.makespan_s);
+        ExperimentResult {
+            summary,
+            allocation: self.alloc_series,
+            running: self.running_series,
+            completed: self.completed_series,
+            outcomes,
+            end_time,
+            events: self.engine.processed(),
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! The unified error type of the DMR stack.
+//!
+//! The substrate layers each speak their own dialect —
+//! [`AllocError`] from the cluster model, [`MpiError`] from the
+//! thread-backed MPI substrate, [`ExpandError`] from the Slurm
+//! malleability protocol. Code that drives all three (the workload
+//! driver here, the runtime↔RMS bridge in the umbrella crate) previously
+//! had to pattern-match each enum separately. [`DmrError`] wraps them
+//! behind one `std::error::Error` with intent-revealing queries such as
+//! [`DmrError::queued_resizer`], so cross-layer callers branch on what an
+//! error *means* for the reconfiguration protocol rather than on which
+//! layer produced it.
+
+use dmr_cluster::AllocError;
+use dmr_mpi::MpiError;
+use dmr_slurm::{ExpandError, JobId};
+
+/// Any failure surfaced by the DMR stack.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DmrError {
+    /// The cluster model refused an allocation request.
+    Alloc(AllocError),
+    /// The MPI substrate failed (peer exited, type mismatch, bad rank).
+    Mpi(MpiError),
+    /// The Slurm expansion protocol failed or deferred.
+    Expand(ExpandError),
+}
+
+impl DmrError {
+    /// If this error is the expansion protocol's *deferral* signal —
+    /// "the resizer job is queued with maximum priority, wait or abort"
+    /// (§V-B1) — returns the queued resizer's id.
+    ///
+    /// This is the one failure the reconfiguration protocol treats as
+    /// control flow rather than as an error: synchronous mode aborts the
+    /// resizer immediately, asynchronous mode arms a timeout and waits.
+    pub fn queued_resizer(&self) -> Option<JobId> {
+        match self {
+            DmrError::Expand(ExpandError::Queued { resizer }) => Some(*resizer),
+            _ => None,
+        }
+    }
+
+    /// Whether retrying the same operation later could succeed without
+    /// any other intervention (resources were busy, not invalid).
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            DmrError::Alloc(AllocError::Insufficient { .. })
+                | DmrError::Alloc(AllocError::NodeBusy(_))
+                | DmrError::Expand(ExpandError::Queued { .. })
+        )
+    }
+}
+
+impl std::fmt::Display for DmrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DmrError::Alloc(e) => write!(f, "cluster allocation: {e}"),
+            DmrError::Mpi(e) => write!(f, "mpi: {e}"),
+            DmrError::Expand(e) => write!(f, "expansion protocol: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DmrError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DmrError::Alloc(e) => Some(e),
+            DmrError::Mpi(e) => Some(e),
+            DmrError::Expand(e) => Some(e),
+        }
+    }
+}
+
+impl From<AllocError> for DmrError {
+    fn from(e: AllocError) -> Self {
+        DmrError::Alloc(e)
+    }
+}
+
+impl From<MpiError> for DmrError {
+    fn from(e: MpiError) -> Self {
+        DmrError::Mpi(e)
+    }
+}
+
+impl From<ExpandError> for DmrError {
+    fn from(e: ExpandError) -> Self {
+        DmrError::Expand(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn converts_from_every_layer() {
+        let a: DmrError = AllocError::Insufficient {
+            requested: 8,
+            free: 2,
+        }
+        .into();
+        let m: DmrError = MpiError::InvalidRank { rank: 9, size: 4 }.into();
+        let x: DmrError = ExpandError::InvalidTarget { current: 4, to: 2 }.into();
+        assert!(matches!(a, DmrError::Alloc(_)));
+        assert!(matches!(m, DmrError::Mpi(_)));
+        assert!(matches!(x, DmrError::Expand(_)));
+    }
+
+    #[test]
+    fn queued_resizer_is_surfaced() {
+        let rj = JobId(7);
+        let e: DmrError = ExpandError::Queued { resizer: rj }.into();
+        assert_eq!(e.queued_resizer(), Some(rj));
+        assert!(e.is_transient());
+        let e: DmrError = ExpandError::NotRunning(JobId(1)).into();
+        assert_eq!(e.queued_resizer(), None);
+        assert!(!e.is_transient());
+    }
+
+    #[test]
+    fn display_and_source_chain() {
+        let e: DmrError = AllocError::UnknownOwner(3).into();
+        assert!(e.to_string().contains("owner 3"));
+        assert!(e.source().is_some());
+        // Works as a boxed error object.
+        let boxed: Box<dyn Error> = Box::new(e);
+        assert!(boxed.to_string().starts_with("cluster allocation"));
+    }
+}

@@ -18,16 +18,21 @@
 //! * [`result`] — what an experiment returns: a
 //!   [`dmr_metrics::WorkloadSummary`] plus the evolution series behind the
 //!   paper's timeline figures.
+//! * [`error`] — the unified [`error::DmrError`] wrapping the substrate
+//!   layers' error enums (cluster allocation, MPI, the Slurm expansion
+//!   protocol) behind one `std::error::Error`.
 //!
 //! The headline entry points are [`driver::run_experiment`] and
 //! [`driver::compare_fixed_flexible`].
 
 pub mod config;
 pub mod driver;
+pub mod error;
 pub mod model;
 pub mod result;
 
 pub use config::{ExperimentConfig, ScheduleMode};
 pub use driver::{compare_fixed_flexible, run_experiment};
+pub use error::DmrError;
 pub use model::{curve_for, SimJob, SpeedupCurve};
 pub use result::ExperimentResult;

@@ -15,10 +15,7 @@ pub fn write_series(w: &mut impl Write, header: &str, s: &StepSeries) -> io::Res
 }
 
 /// Writes summaries as one CSV row per label.
-pub fn write_summaries(
-    w: &mut impl Write,
-    rows: &[(&str, &WorkloadSummary)],
-) -> io::Result<()> {
+pub fn write_summaries(w: &mut impl Write, rows: &[(&str, &WorkloadSummary)]) -> io::Result<()> {
     writeln!(
         w,
         "label,jobs,makespan_s,utilization,avg_wait_s,avg_exec_s,avg_completion_s,reconfigurations"

@@ -141,10 +141,7 @@ impl Comm {
     }
 
     /// Completes a set of posted receives in order (`MPI_Waitall`).
-    pub fn waitall<T: MpiData>(
-        &mut self,
-        reqs: &[RecvRequest],
-    ) -> Result<Vec<Vec<T>>, MpiError> {
+    pub fn waitall<T: MpiData>(&mut self, reqs: &[RecvRequest]) -> Result<Vec<Vec<T>>, MpiError> {
         reqs.iter().map(|r| Ok(self.wait::<T>(*r)?.0)).collect()
     }
 
@@ -306,7 +303,14 @@ pub struct InterComm {
 }
 
 impl InterComm {
-    pub(crate) fn new(registry: &Registry, my_side: u64, peer_side: u64, rank: usize, local_size: usize, remote_size: usize) -> Self {
+    pub(crate) fn new(
+        registry: &Registry,
+        my_side: u64,
+        peer_side: u64,
+        rank: usize,
+        local_size: usize,
+        remote_size: usize,
+    ) -> Self {
         InterComm {
             my_side,
             rank,

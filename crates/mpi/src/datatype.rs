@@ -56,7 +56,7 @@ pub fn encode<T: MpiData>(data: &[T]) -> Bytes {
 /// Decodes a byte payload back into a vector; `None` if the length is not
 /// a multiple of the element width.
 pub fn decode<T: MpiData>(bytes: &Bytes) -> Option<Vec<T>> {
-    if bytes.len() % T::WIDTH != 0 {
+    if !bytes.len().is_multiple_of(T::WIDTH) {
         return None;
     }
     Some(bytes.chunks_exact(T::WIDTH).map(T::read).collect())

@@ -10,7 +10,10 @@ pub enum MpiError {
     /// The destination rank's mailbox no longer exists.
     PeerGone { comm: u64, rank: usize },
     /// The payload could not be decoded as the requested datatype.
-    TypeMismatch { expected: &'static str, bytes: usize },
+    TypeMismatch {
+        expected: &'static str,
+        bytes: usize,
+    },
     /// A rank id outside the communicator was used.
     InvalidRank { rank: usize, size: usize },
 }

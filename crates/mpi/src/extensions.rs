@@ -37,8 +37,7 @@ impl Comm {
                 let comm_id = self.registry.alloc_comm_id();
                 self.registry.create_endpoints(comm_id, members.len());
                 for (new_rank, &(_, old_rank)) in members.iter().enumerate() {
-                    assign[old_rank] =
-                        vec![comm_id, new_rank as u64, members.len() as u64];
+                    assign[old_rank] = vec![comm_id, new_rank as u64, members.len() as u64];
                 }
             }
             Some(assign)
@@ -182,9 +181,7 @@ mod tests {
             let n = comm.size();
             let right = (me + 1) % n;
             let left = (me + n - 1) % n;
-            let got = comm
-                .sendrecv(&[me as u64], right, 7, left, 7)
-                .unwrap();
+            let got = comm.sendrecv(&[me as u64], right, 7, left, 7).unwrap();
             got[0]
         });
         assert_eq!(got, vec![3, 0, 1, 2]);
@@ -195,9 +192,7 @@ mod tests {
         let got = Universe::run(3, |mut comm| {
             let me = comm.rank() as u64;
             // Rank r sends [r*10 + d] to destination d, with d+1 copies.
-            let blocks: Vec<Vec<u64>> = (0..3)
-                .map(|d| vec![me * 10 + d as u64; d + 1])
-                .collect();
+            let blocks: Vec<Vec<u64>> = (0..3).map(|d| vec![me * 10 + d as u64; d + 1]).collect();
             comm.alltoallv(&blocks).unwrap()
         });
         for (me, rows) in got.iter().enumerate() {

@@ -25,8 +25,8 @@
 
 pub mod comm;
 pub mod datatype;
-pub mod extensions;
 pub mod error;
+pub mod extensions;
 pub mod mailbox;
 pub mod registry;
 pub mod spawn;

@@ -52,11 +52,7 @@ impl Mailbox {
 
     /// Blocking matched receive.
     pub fn recv(&mut self, src: Option<usize>, tag: Option<i32>) -> Result<Envelope, MpiError> {
-        if let Some(pos) = self
-            .stash
-            .iter()
-            .position(|e| Self::matches(e, src, tag))
-        {
+        if let Some(pos) = self.stash.iter().position(|e| Self::matches(e, src, tag)) {
             return Ok(self.stash.remove(pos));
         }
         loop {

@@ -32,8 +32,7 @@ impl Universe {
                 std::thread::Builder::new()
                     .name(format!("rank{rank}.world"))
                     .spawn(move || {
-                        let comm =
-                            Comm::new(Arc::clone(&registry), world_id, rank, world, None);
+                        let comm = Comm::new(Arc::clone(&registry), world_id, rank, world, None);
                         f(comm)
                     })
                     .expect("spawn world rank")
@@ -176,7 +175,9 @@ mod tests {
                 assert_eq!(parent.remote_size(), 2);
                 assert_eq!(parent.local_size(), 3);
                 let (data, st) = parent.recv::<u64>(ANY_SOURCE, Some(1)).unwrap();
-                parent.send(&[data[0] * 2, me as u64], st.source, 2).unwrap();
+                parent
+                    .send(&[data[0] * 2, me as u64], st.source, 2)
+                    .unwrap();
             });
             let mut inter = comm.spawn(3, entry).unwrap();
             assert_eq!(inter.remote_size(), 3);
@@ -230,7 +231,10 @@ mod tests {
     fn invalid_rank_errors() {
         Universe::run(2, |comm| {
             let err = comm.send(&[1u8], 5, 0).unwrap_err();
-            assert!(matches!(err, crate::MpiError::InvalidRank { rank: 5, size: 2 }));
+            assert!(matches!(
+                err,
+                crate::MpiError::InvalidRank { rank: 5, size: 2 }
+            ));
         });
     }
 }

@@ -158,8 +158,8 @@ mod tests {
             let g0 = from.start(t.src_rank) + t.src_offset;
             let d0 = to.start(t.dst_rank) + t.dst_offset;
             assert_eq!(g0, d0, "transfer must preserve global position");
-            for i in g0..g0 + t.len {
-                seen[i] += 1;
+            for c in &mut seen[g0..g0 + t.len] {
+                *c += 1;
             }
         }
         assert!(seen.iter().all(|&c| c == 1), "{seen:?}");

@@ -40,9 +40,13 @@ pub enum DmrAction {
     NoAction,
     /// Grow to this many processes; the handler (new inter-communicator)
     /// is produced by the caller's spawn.
-    Expand { to: u32 },
+    Expand {
+        to: u32,
+    },
     /// Shrink to this many processes.
-    Shrink { to: u32 },
+    Shrink {
+        to: u32,
+    },
 }
 
 impl DmrAction {
@@ -143,7 +147,10 @@ mod tests {
             rt.check_status(0.0, 4, &DmrSpec::new(1, 16)),
             DmrAction::Expand { to: 8 }
         );
-        assert_eq!(rt.check_status(1.0, 8, &DmrSpec::new(1, 16)), DmrAction::NoAction);
+        assert_eq!(
+            rt.check_status(1.0, 8, &DmrSpec::new(1, 16)),
+            DmrAction::NoAction
+        );
         assert_eq!(
             rt.check_status(2.0, 8, &DmrSpec::new(1, 16)),
             DmrAction::Shrink { to: 2 }
@@ -153,7 +160,10 @@ mod tests {
 
     #[test]
     fn async_check_lags_one_step() {
-        let rms = ScriptedRms::new(vec![DmrAction::Expand { to: 8 }, DmrAction::Shrink { to: 2 }]);
+        let rms = ScriptedRms::new(vec![
+            DmrAction::Expand { to: 8 },
+            DmrAction::Shrink { to: 2 },
+        ]);
         let mut rt = DmrRuntime::new(rms).with_inhibitor(None);
         let spec = DmrSpec::new(1, 16);
         // First call: nothing planned yet.
@@ -166,8 +176,7 @@ mod tests {
     #[test]
     fn inhibitor_swallows_calls() {
         let rms = ScriptedRms::new(vec![DmrAction::Expand { to: 8 }]);
-        let mut rt =
-            DmrRuntime::new(rms).with_inhibitor(Some(Inhibitor::new(10.0)));
+        let mut rt = DmrRuntime::new(rms).with_inhibitor(Some(Inhibitor::new(10.0)));
         let spec = DmrSpec::new(1, 16);
         // First call allowed (fresh inhibitor), consumes the script.
         assert!(rt.check_status(0.0, 4, &spec).is_action());

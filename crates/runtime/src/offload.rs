@@ -20,8 +20,8 @@
 
 use dmr_mpi::{InterComm, MpiData, MpiError};
 
-const TASK_TAG: i32 = 0x0FF_10;
-const ACK_TAG: i32 = 0x0FF_11;
+const TASK_TAG: i32 = 0xFF10;
+const ACK_TAG: i32 = 0xFF11;
 
 /// A task shipped to one rank of the new process set.
 #[derive(Clone, Debug, PartialEq)]

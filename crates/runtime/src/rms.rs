@@ -98,7 +98,10 @@ mod tests {
                 DmrAction::NoAction
             }
         });
-        assert_eq!(rms.negotiate(2, &DmrSpec::new(1, 8)), DmrAction::Expand { to: 4 });
+        assert_eq!(
+            rms.negotiate(2, &DmrSpec::new(1, 8)),
+            DmrAction::Expand { to: 4 }
+        );
         assert_eq!(rms.negotiate(4, &DmrSpec::new(1, 8)), DmrAction::NoAction);
     }
 }

@@ -26,4 +26,4 @@ pub mod time;
 
 pub use engine::{Engine, EventId};
 pub use queue::EventQueue;
-pub use time::{Span, SimTime};
+pub use time::{SimTime, Span};

@@ -94,7 +94,7 @@ impl ResizeEnvelope {
         }
         let mut t = current;
         while t > target {
-            if t % self.factor != 0 {
+            if !t.is_multiple_of(self.factor) {
                 return false;
             }
             t /= self.factor;
@@ -109,7 +109,7 @@ impl ResizeEnvelope {
             return out;
         }
         let mut t = current;
-        while t % self.factor == 0 {
+        while t.is_multiple_of(self.factor) {
             t /= self.factor;
             if t < self.min || t == 0 {
                 break;

@@ -27,10 +27,7 @@ pub enum ResizeAction {
     Expand { to: u32 },
     /// Shrink to `to` processes. `beneficiary` is the queued job the
     /// released nodes are destined for; the policy has already boosted it.
-    Shrink {
-        to: u32,
-        beneficiary: Option<JobId>,
-    },
+    Shrink { to: u32, beneficiary: Option<JobId> },
 }
 
 impl ResizeAction {

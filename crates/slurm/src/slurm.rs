@@ -55,12 +55,17 @@ pub enum ExpandError {
     UnknownJob(JobId),
     NotRunning(JobId),
     /// `to` is not strictly larger than the current allocation.
-    InvalidTarget { current: u32, to: u32 },
+    InvalidTarget {
+        current: u32,
+        to: u32,
+    },
     /// The resizer job could not start immediately; it stays pending with
     /// maximum priority. The caller should either wait for it to start (it
     /// will appear in a later [`Slurm::schedule`] result) or abort with
     /// [`Slurm::abort_expand`] after [`SlurmConfig::resizer_timeout`].
-    Queued { resizer: JobId },
+    Queued {
+        resizer: JobId,
+    },
 }
 
 impl std::fmt::Display for ExpandError {
@@ -264,10 +269,7 @@ impl Slurm {
         JobStart {
             id,
             nodes,
-            resizer_for: match job.dependency {
-                Some(Dependency::ExpandOf(parent)) => Some(parent),
-                None => None,
-            },
+            resizer_for: job.dependency.map(|Dependency::ExpandOf(parent)| parent),
         }
     }
 
@@ -469,7 +471,10 @@ impl Slurm {
             j.requested_nodes = self.cluster.held_by(original.owner_tag());
             j.reconfigurations += 1;
         }
-        Ok((original, self.cluster.nodes_of(original.owner_tag()).to_vec()))
+        Ok((
+            original,
+            self.cluster.nodes_of(original.owner_tag()).to_vec(),
+        ))
     }
 
     /// Aborts a queued expansion: cancels the pending resizer job (the

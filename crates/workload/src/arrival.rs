@@ -17,7 +17,9 @@ impl ArrivalModel {
             mean_interarrival_s > 0.0,
             "mean inter-arrival must be positive"
         );
-        ArrivalModel { mean_interarrival_s }
+        ArrivalModel {
+            mean_interarrival_s,
+        }
     }
 
     /// Draws the gap to the next arrival, seconds.

@@ -260,9 +260,7 @@ impl WorkloadGenerator {
             jobs.push(job);
         }
         // Arrival process is independent of job bodies in Feitelson's model.
-        let arrivals = self
-            .arrival_model
-            .arrival_times(jobs.len(), &mut self.rng);
+        let arrivals = self.arrival_model.arrival_times(jobs.len(), &mut self.rng);
         for (job, t) in jobs.iter_mut().zip(arrivals) {
             job.arrival_s = t;
         }
@@ -369,8 +367,7 @@ mod tests {
     #[test]
     fn micro_steps_are_short() {
         let jobs = WorkloadGenerator::new(WorkloadConfig::fs_micro_steps(100), 17).generate();
-        let mean: f64 =
-            jobs.iter().map(|j| j.step_s).sum::<f64>() / jobs.len() as f64;
+        let mean: f64 = jobs.iter().map(|j| j.step_s).sum::<f64>() / jobs.len() as f64;
         assert!(mean > 0.5 && mean < 4.0, "mean step {mean}");
         assert!(jobs.iter().all(|j| j.steps == 25));
     }

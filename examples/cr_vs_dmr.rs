@@ -61,7 +61,10 @@ fn main() {
     assert_eq!(dmr.resizes, 1);
     assert_eq!(cr.resizes, 1);
 
-    println!("FS, {} MB of state, {steps} steps, resize 4 -> 2:", n * 8 / (1 << 20));
+    println!(
+        "FS, {} MB of state, {steps} steps, resize 4 -> 2:",
+        n * 8 / (1 << 20)
+    );
     println!("  C/R path: {cr_time:?}");
     println!("  DMR path: {dmr_time:?}");
     println!(

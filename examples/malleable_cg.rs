@@ -70,11 +70,20 @@ fn main() {
         .fold(0.0f64, f64::max);
 
     println!("CG on n={n}, {iters} iterations");
-    println!("  started on {start_procs} ranks, finished on {} ranks", outcome.final_procs);
+    println!(
+        "  started on {start_procs} ranks, finished on {} ranks",
+        outcome.final_procs
+    );
     println!("  reconfigurations: {}", outcome.resizes);
-    println!("  scheduler accounts {} nodes for the job", slurm.lock().nodes_of(job));
+    println!(
+        "  scheduler accounts {} nodes for the job",
+        slurm.lock().nodes_of(job)
+    );
     println!("  max |x - x_seq| = {max_err:.3e} (sequential residual {res_ref:.3e})");
     assert!(max_err < 1e-8, "resizing must not change the numerics");
-    assert!(outcome.resizes >= 1, "the policy should have resized at least once");
+    assert!(
+        outcome.resizes >= 1,
+        "the policy should have resized at least once"
+    );
     println!("OK: malleable solve matches the sequential reference.");
 }

@@ -24,10 +24,12 @@ fn main() {
     // 3. Run both variants.
     let (fixed, flexible) = compare_fixed_flexible(&cfg, &jobs);
 
-    println!("fixed    : makespan {:8.1} s  utilization {:5.1} %  avg wait {:7.1} s",
+    println!(
+        "fixed    : makespan {:8.1} s  utilization {:5.1} %  avg wait {:7.1} s",
         fixed.summary.makespan_s,
         fixed.summary.utilization * 100.0,
-        fixed.summary.avg_waiting_s);
+        fixed.summary.avg_waiting_s
+    );
     println!("flexible : makespan {:8.1} s  utilization {:5.1} %  avg wait {:7.1} s  ({} reconfigurations)",
         flexible.summary.makespan_s,
         flexible.summary.utilization * 100.0,
@@ -40,6 +42,12 @@ fn main() {
     );
     println!();
     println!("allocated nodes over time:");
-    println!("  fixed    |{}|", sparkline(&fixed.allocation, fixed.end_time, 64));
-    println!("  flexible |{}|", sparkline(&flexible.allocation, flexible.end_time, 64));
+    println!(
+        "  fixed    |{}|",
+        sparkline(&fixed.allocation, fixed.end_time, 64)
+    );
+    println!(
+        "  flexible |{}|",
+        sparkline(&flexible.allocation, flexible.end_time, 64)
+    );
 }

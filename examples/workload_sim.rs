@@ -42,6 +42,9 @@ fn main() {
         "\nmakespan gain {:+.2} %, waiting-time gain {:+.2} %, execution-time change {:+.2} %",
         gain_pct(fixed.summary.makespan_s, flexible.summary.makespan_s),
         gain_pct(fixed.summary.avg_waiting_s, flexible.summary.avg_waiting_s),
-        -gain_pct(fixed.summary.avg_execution_s, flexible.summary.avg_execution_s),
+        -gain_pct(
+            fixed.summary.avg_execution_s,
+            flexible.summary.avg_execution_s
+        ),
     );
 }

@@ -1,0 +1,18 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! `Serialize` / `Deserialize` exist here only as marker traits (blanket
+//! implemented, derives expand to nothing) so types can keep their
+//! `#[derive(Serialize)]` annotations. Real data output in this workspace
+//! is the hand-written CSV layer in `dmr-metrics`; if genuine serde
+//! support ever becomes available, swapping this shim for the real crate
+//! is a manifest-only change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that would be serializable under real serde.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for types that would be deserializable under real serde.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

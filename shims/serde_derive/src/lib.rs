@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real serde ecosystem is unavailable in this build environment, so
+//! `#[derive(Serialize)]` expands to nothing: the companion `serde` shim
+//! defines `Serialize` as a blanket-implemented marker trait, and all
+//! actual serialization in this workspace goes through the hand-written
+//! CSV writers in `dmr-metrics`.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive; the marker trait is blanket-implemented.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive, for symmetry.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -13,6 +13,7 @@ use std::time::Instant;
 
 use parking_lot::Mutex;
 
+use dmr_core::DmrError;
 use dmr_runtime::dmr::{DmrAction, DmrSpec};
 use dmr_runtime::rms::RmsClient;
 use dmr_sim::SimTime;
@@ -53,20 +54,31 @@ impl RmsClient for SlurmRms {
         // from the job record together with the global system state.
         let verdict = match slurm.decide_resize(self.job, now) {
             ResizeAction::NoAction => DmrAction::NoAction,
-            ResizeAction::Expand { to } => match slurm.expand_protocol(self.job, to, now) {
-                Ok(_) => DmrAction::Expand { to },
-                // Could not start the resizer job right now: abort, as the
-                // synchronous path does (§V-B1's zero-wait degenerate).
-                Err(dmr_slurm::ExpandError::Queued { resizer }) => {
-                    slurm.abort_expand(resizer, now);
+            ResizeAction::Expand { to } => {
+                match slurm
+                    .expand_protocol(self.job, to, now)
+                    .map_err(DmrError::from)
+                {
+                    Ok(_) => DmrAction::Expand { to },
+                    Err(e) => {
+                        // Deferral means the resizer job is queued: abort
+                        // it, as the synchronous path does (§V-B1's
+                        // zero-wait degenerate). Everything else is a
+                        // plain refusal.
+                        if let Some(resizer) = e.queued_resizer() {
+                            slurm.abort_expand(resizer, now);
+                        }
+                        DmrAction::NoAction
+                    }
+                }
+            }
+            ResizeAction::Shrink { to, .. } => {
+                if slurm.shrink_protocol(self.job, to, now).is_ok() {
+                    DmrAction::Shrink { to }
+                } else {
                     DmrAction::NoAction
                 }
-                Err(_) => DmrAction::NoAction,
-            },
-            ResizeAction::Shrink { to, .. } => match slurm.shrink_protocol(self.job, to, now) {
-                Ok(_) => DmrAction::Shrink { to },
-                Err(_) => DmrAction::NoAction,
-            },
+            }
         };
         // A shrink frees nodes for its beneficiary right away.
         if matches!(verdict, DmrAction::Shrink { .. }) {

@@ -23,8 +23,8 @@ proptest! {
             let src_global = a.start(t.src_rank) + t.src_offset;
             let dst_global = b.start(t.dst_rank) + t.dst_offset;
             prop_assert_eq!(src_global, dst_global);
-            for i in src_global..src_global + t.len {
-                seen[i] += 1;
+            for c in &mut seen[src_global..src_global + t.len] {
+                *c += 1;
             }
         }
         prop_assert!(seen.iter().all(|&c| c == 1));

