@@ -3,20 +3,88 @@
 //! Usage:
 //! ```text
 //! repro <target> [seed]
+//! repro --sweep [--smoke] [--threads N] [--seeds a,b,c]
 //! targets: fig1 table1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11
 //!          fig12 table2 all quick
 //! ```
 //! `quick` runs a reduced-scale version of everything (CI-friendly);
-//! `all` runs the full paper-scale evaluation.
+//! `all` runs the full paper-scale evaluation. `--sweep` runs the
+//! scenario registry (workload × cluster × policy × mode) in parallel and
+//! prints one CSV row per (scenario, seed) cell; `--smoke` swaps in the
+//! CI-sized registry.
 
 use dmr_bench::figures as f;
-use dmr_bench::{PRELIM_JOB_COUNTS, PRODUCTION_JOB_COUNTS, SEED};
+use dmr_bench::{scenario, sweep, PRELIM_JOB_COUNTS, PRODUCTION_JOB_COUNTS, SEED};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--sweep") {
+        run_sweep(&args);
+        return;
+    }
     let target = args.first().map(String::as_str).unwrap_or("quick");
     let seed: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(SEED);
     run(target, seed);
+}
+
+/// Value of `--flag v` or `--flag=v`, if present. A flag given without a
+/// value (e.g. `--seeds` as the last argument) is an error, not a silent
+/// fallback to the default.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    let prefix = format!("{flag}=");
+    args.iter().enumerate().find_map(|(i, a)| {
+        if let Some(v) = a.strip_prefix(&prefix) {
+            Some(v)
+        } else if a == flag {
+            match args.get(i + 1) {
+                Some(v) => Some(v.as_str()),
+                None => {
+                    eprintln!("{flag} requires a value");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            None
+        }
+    })
+}
+
+fn run_sweep(args: &[String]) {
+    let scenarios = if args.iter().any(|a| a == "--smoke") {
+        scenario::smoke_registry()
+    } else {
+        scenario::registry()
+    };
+    let seeds: Vec<u64> = match flag_value(args, "--seeds") {
+        Some(list) => {
+            let parsed: Result<Vec<u64>, _> = list.split(',').map(str::parse).collect();
+            match parsed {
+                Ok(seeds) if !seeds.is_empty() => seeds,
+                _ => {
+                    eprintln!("--seeds expects a comma-separated list of integers, got `{list}`");
+                    std::process::exit(2);
+                }
+            }
+        }
+        None => vec![SEED],
+    };
+    let threads = match flag_value(args, "--threads") {
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("--threads expects a positive integer, got `{v}`");
+                std::process::exit(2);
+            }
+        },
+        None => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    };
+    let cells = sweep::run_sweep(&scenarios, &seeds, threads);
+    print!("{}", sweep::csv_report(&cells));
+    let past: u64 = cells.iter().map(|c| c.past_schedules).sum();
+    if past > 0 {
+        eprintln!("warning: {past} events were scheduled in the past and clamped");
+        std::process::exit(1);
+    }
 }
 
 fn run(target: &str, seed: u64) {
@@ -70,7 +138,8 @@ fn run(target: &str, seed: u64) {
             eprintln!("unknown target `{other}`");
             eprintln!(
                 "targets: fig1 table1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 \
-                 fig10 fig11 fig12 table2 all quick"
+                 fig10 fig11 fig12 table2 all quick\n\
+                 or: --sweep [--smoke] [--threads N] [--seeds a,b,c]"
             );
             std::process::exit(2);
         }

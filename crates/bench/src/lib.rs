@@ -1,12 +1,19 @@
 //! # dmr-bench — the reproduction harness
 //!
-//! One function per table/figure of the paper's evaluation. The `repro`
-//! binary dispatches to these; the criterion benches reuse them at reduced
-//! scale. Every function both *returns* structured rows (for tests and
-//! EXPERIMENTS.md generation) and *prints* a paper-style table.
+//! One function per table/figure of the paper's evaluation ([`figures`]),
+//! plus the scenario layer: a declarative [`scenario`] registry (workload
+//! mix × cluster size × policy × sync/async mode) and the parallel
+//! [`sweep`] runner that fans `run_experiment` over the (scenario × seed)
+//! grid with deterministic, thread-count-independent CSV output. The
+//! `repro` binary dispatches to both; the criterion benches reuse the
+//! figure functions at reduced scale. Every figure function both
+//! *returns* structured rows (for tests and EXPERIMENTS.md generation)
+//! and *prints* a paper-style table.
 
 pub mod figures;
 pub mod report;
+pub mod scenario;
+pub mod sweep;
 
 /// The workload sizes of Figures 3 and 7.
 pub const PRELIM_JOB_COUNTS: [u32; 6] = [10, 25, 50, 100, 200, 400];

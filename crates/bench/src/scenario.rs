@@ -1,0 +1,166 @@
+//! Declarative scenario registry.
+//!
+//! A [`Scenario`] is one cell of the evaluation grid: a workload mix ×
+//! cluster size × reconfiguration policy × scheduling mode. The registry
+//! enumerates the grid declaratively so the sweep runner ([`crate::sweep`])
+//! and the `repro --sweep` CLI never hand-roll configurations, and every
+//! future policy or workload lands here as one more axis value.
+
+use dmr_core::{ExperimentConfig, PolicyKind, ScheduleMode, SimJob};
+use dmr_workload::{WorkloadConfig, WorkloadGenerator};
+
+/// Which workload generator family a scenario draws from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WorkloadKind {
+    /// §VIII FS-only preliminary mix (20-node testbed scale).
+    FsPreliminary,
+    /// §VIII-E micro-step FS variant (inhibitor stress).
+    FsMicroSteps,
+    /// §IX CG/Jacobi/N-body production mix (65-node scale).
+    RealMix,
+}
+
+impl WorkloadKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadKind::FsPreliminary => "fs",
+            WorkloadKind::FsMicroSteps => "fs-micro",
+            WorkloadKind::RealMix => "real",
+        }
+    }
+
+    fn config(self, jobs: u32) -> WorkloadConfig {
+        match self {
+            WorkloadKind::FsPreliminary => WorkloadConfig::fs_preliminary(jobs),
+            WorkloadKind::FsMicroSteps => WorkloadConfig::fs_micro_steps(jobs),
+            WorkloadKind::RealMix => WorkloadConfig::real_mix(jobs),
+        }
+    }
+}
+
+/// One cell of the scenario grid.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    pub workload: WorkloadKind,
+    pub jobs: u32,
+    pub nodes: u32,
+    pub policy: PolicyKind,
+    pub mode: ScheduleMode,
+}
+
+impl Scenario {
+    /// Stable identifier, e.g. `fs50-n20-fair-share-120-async`. Uses the
+    /// parameter-carrying policy label so two tunings of the same policy
+    /// get distinct names (they key CSV rows).
+    pub fn name(&self) -> String {
+        let mode = match self.mode {
+            ScheduleMode::Synchronous => "sync",
+            ScheduleMode::Asynchronous => "async",
+        };
+        format!(
+            "{}{}-n{}-{}-{}",
+            self.workload.name(),
+            self.jobs,
+            self.nodes,
+            self.policy.label(),
+            mode
+        )
+    }
+
+    /// The experiment configuration this scenario runs under.
+    pub fn config(&self) -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::preliminary().with_policy(self.policy);
+        cfg.nodes = self.nodes;
+        cfg.mode = self.mode;
+        cfg
+    }
+
+    /// The deterministic workload for `seed`.
+    pub fn generate(&self, seed: u64) -> Vec<SimJob> {
+        SimJob::from_specs(WorkloadGenerator::new(self.workload.config(self.jobs), seed).generate())
+    }
+}
+
+/// The three shipped policies, one per [`PolicyKind`] variant.
+pub fn all_policies() -> [PolicyKind; 3] {
+    [
+        PolicyKind::Algorithm1,
+        PolicyKind::utilization_target(),
+        PolicyKind::fair_share(),
+    ]
+}
+
+/// The full scenario grid: (FS preliminary @ 20 nodes, production mix @
+/// 65 nodes) × every policy × (sync, async).
+pub fn registry() -> Vec<Scenario> {
+    grid(&[
+        (WorkloadKind::FsPreliminary, 50, 20),
+        (WorkloadKind::RealMix, 50, 65),
+    ])
+}
+
+/// A CI-sized subset of the grid: small FS workloads only, every policy,
+/// both modes — fast enough for a smoke job, wide enough to cross every
+/// policy × mode pair.
+pub fn smoke_registry() -> Vec<Scenario> {
+    grid(&[(WorkloadKind::FsPreliminary, 10, 20)])
+}
+
+fn grid(workloads: &[(WorkloadKind, u32, u32)]) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    for &(workload, jobs, nodes) in workloads {
+        for policy in all_policies() {
+            for mode in [ScheduleMode::Synchronous, ScheduleMode::Asynchronous] {
+                out.push(Scenario {
+                    workload,
+                    jobs,
+                    nodes,
+                    policy,
+                    mode,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_every_policy_and_mode() {
+        let reg = registry();
+        assert_eq!(reg.len(), 12, "2 workloads x 3 policies x 2 modes");
+        for policy in all_policies() {
+            assert!(reg.iter().any(|s| s.policy == policy));
+        }
+        assert!(reg.iter().any(|s| s.mode == ScheduleMode::Asynchronous));
+        // Names are unique (they key CSV rows).
+        let mut names: Vec<String> = reg.iter().map(Scenario::name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), reg.len());
+    }
+
+    #[test]
+    fn smoke_registry_is_small_but_wide() {
+        let smoke = smoke_registry();
+        assert_eq!(smoke.len(), 6, "3 policies x 2 modes");
+        assert!(smoke.iter().all(|s| s.jobs <= 10));
+    }
+
+    #[test]
+    fn scenario_config_and_workload_are_deterministic() {
+        let sc = &smoke_registry()[0];
+        assert_eq!(sc.config().nodes, sc.nodes);
+        assert_eq!(sc.config().policy, sc.policy);
+        let a = sc.generate(7);
+        let b = sc.generate(7);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.spec.arrival_s, y.spec.arrival_s);
+            assert_eq!(x.spec.submit_procs, y.spec.submit_procs);
+        }
+    }
+}

@@ -1,6 +1,7 @@
 //! Experiment configuration.
 
 use dmr_cluster::NetworkModel;
+use dmr_slurm::PolicyKind;
 
 /// When a DMR decision is applied (§V-A).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -63,6 +64,9 @@ pub struct ExperimentConfig {
     /// How long the runtime waits for a queued resizer job before aborting
     /// an expansion (§V-B1).
     pub resizer_timeout_s: f64,
+    /// Which reconfiguration decision procedure the scheduler installs
+    /// (the §IV plug-in: Algorithm 1 or an alternative).
+    pub policy: PolicyKind,
 }
 
 impl ExperimentConfig {
@@ -82,6 +86,7 @@ impl ExperimentConfig {
             estimate_mode: EstimateMode::Walltime,
             shrink_boost: true,
             resizer_timeout_s: 30.0,
+            policy: PolicyKind::Algorithm1,
         }
     }
 
@@ -111,6 +116,12 @@ impl ExperimentConfig {
         self.inhibitor_override = Some(period_s);
         self
     }
+
+    /// Selects the reconfiguration policy the scheduler installs.
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -138,5 +149,19 @@ mod tests {
         assert_eq!(c.inhibitor_override, Some(Some(5.0)));
         let c = ExperimentConfig::preliminary().with_inhibitor(None);
         assert_eq!(c.inhibitor_override, Some(None));
+        let c = ExperimentConfig::preliminary().with_policy(PolicyKind::fair_share());
+        assert_eq!(c.policy, PolicyKind::fair_share());
+    }
+
+    #[test]
+    fn default_policy_is_algorithm1() {
+        assert_eq!(
+            ExperimentConfig::preliminary().policy,
+            PolicyKind::Algorithm1
+        );
+        assert_eq!(
+            ExperimentConfig::production().policy,
+            PolicyKind::Algorithm1
+        );
     }
 }

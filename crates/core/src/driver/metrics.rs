@@ -50,6 +50,7 @@ impl Driver {
             outcomes,
             end_time,
             events: self.engine.processed(),
+            past_schedules: self.engine.past_schedules(),
         }
     }
 }

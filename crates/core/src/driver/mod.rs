@@ -3,22 +3,24 @@
 //! Reproduces the full §III methodology loop: jobs arrive (Feitelson
 //! process), Slurm starts them (EASY backfill + multifactor priority), each
 //! flexible job exposes reconfiguring points at its step boundaries where
-//! the runtime calls the DMR API; the Algorithm-1 policy answers expand /
+//! the runtime calls the DMR API; the installed [`dmr_slurm::ResizePolicy`]
+//! (Algorithm 1 by default, selected by
+//! [`crate::config::ExperimentConfig::policy`]) answers expand /
 //! shrink / no-action; expansions run the four-step resizer-job protocol
 //! (with queue-wait and timeout in asynchronous mode) followed by an
 //! `MPI_Comm_spawn` + data-redistribution charge; shrinks drain data first
 //! (the ACK workflow) and then release nodes, boosting the queued job that
 //! triggered them.
 //!
-//! The driver is split along the lifecycle of a job:
+//! The driver is split along the lifecycle of a job (private modules):
 //!
-//! * [`events`] — the event vocabulary ([`events::Ev`]) and dispatch;
-//! * [`arrivals`] — job submission, scheduling cycles, compute segments
+//! * `events` — the event vocabulary (`Ev`) and dispatch;
+//! * `arrivals` — job submission, scheduling cycles, compute segments
 //!   and completion;
-//! * [`reconfig`] — the DMR check points and the expansion protocol
+//! * `reconfig` — the DMR check points and the expansion protocol
 //!   (synchronous and asynchronous variants, resizer-job timeout);
-//! * [`shrink`] — the ACK-style shrink workflow (drain, release, boost);
-//! * [`metrics`] — evolution-series sampling and final summary assembly.
+//! * `shrink` — the ACK-style shrink workflow (drain, release, boost);
+//! * `metrics` — evolution-series sampling and final summary assembly.
 
 pub(crate) mod arrivals;
 pub(crate) mod events;
@@ -118,6 +120,7 @@ impl Driver {
         scfg.backfill = cfg.backfill;
         scfg.resizer_timeout = Span::from_secs_f64(cfg.resizer_timeout_s);
         scfg.shrink_boost = cfg.shrink_boost;
+        scfg.policy = cfg.policy;
         Driver {
             cfg,
             jobs,
@@ -316,6 +319,46 @@ mod tests {
             r.outcomes[0].execution_s() > 450.0,
             "exec = {}",
             r.outcomes[0].execution_s()
+        );
+    }
+
+    #[test]
+    fn driver_never_schedules_in_the_past() {
+        for cfg in [cfg(), cfg().asynchronous(), cfg().as_fixed()] {
+            let jobs: Vec<SimJob> = (0..15)
+                .map(|i| fs_job(i, i as f64 * 4.0, 1 + i % 8, 4, 18.0))
+                .collect();
+            let r = run_experiment(&cfg, &jobs);
+            assert_eq!(r.past_schedules, 0, "past-scheduled events in {cfg:?}");
+        }
+    }
+
+    #[test]
+    fn policy_selection_reaches_the_scheduler() {
+        use dmr_slurm::PolicyKind;
+        let jobs: Vec<SimJob> = (0..10)
+            .map(|i| fs_job(i, i as f64 * 6.0, 2 + i % 6, 6, 20.0))
+            .collect();
+        let alg1 = run_experiment(&cfg(), &jobs);
+        let fair = run_experiment(&cfg().with_policy(PolicyKind::fair_share()), &jobs);
+        let util = run_experiment(
+            &cfg().with_policy(PolicyKind::UtilizationTarget {
+                low: 0.05,
+                high: 0.95,
+            }),
+            &jobs,
+        );
+        // All complete under every policy.
+        for r in [&alg1, &fair, &util] {
+            assert_eq!(r.summary.jobs, 10);
+        }
+        // A near-inert utilization band reconfigures less than the
+        // opportunistic Algorithm 1.
+        assert!(
+            util.summary.reconfigurations < alg1.summary.reconfigurations,
+            "util {} vs alg1 {}",
+            util.summary.reconfigurations,
+            alg1.summary.reconfigurations
         );
     }
 

@@ -5,6 +5,10 @@
 //! runtime↔RMS round trip; asynchronous mode (`dmr_icheck_status`) applies
 //! the decision negotiated at the previous boundary and plans the next
 //! one, hiding the communication cost behind computation (§V-A, §VIII-C).
+//! Both variants consult the scheduler through
+//! [`dmr_slurm::Slurm::decide_resize`], so the verdict comes from
+//! whichever [`dmr_slurm::ResizePolicy`] the experiment installed — the
+//! driver is policy-agnostic.
 //!
 //! Expansion failures flow through [`DmrError`]: the only variant that is
 //! protocol control-flow rather than a genuine error is the *deferral*

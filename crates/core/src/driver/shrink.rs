@@ -5,7 +5,9 @@
 //! after it completes is the smaller process set viable), then the
 //! scheduler releases the nodes and immediately re-runs a scheduling
 //! cycle so the queued job the shrink was decided for (boosted to maximum
-//! priority by Algorithm-1 line 18) can start on them.
+//! priority by the scheduler mechanism whenever the installed
+//! [`dmr_slurm::ResizePolicy`] names a beneficiary — Algorithm-1 line 18
+//! in the default policy) can start on them.
 
 use dmr_sim::{SimTime, Span};
 use dmr_slurm::JobId;

@@ -32,6 +32,7 @@ pub mod model;
 pub mod result;
 
 pub use config::{ExperimentConfig, ScheduleMode};
+pub use dmr_slurm::PolicyKind;
 pub use driver::{compare_fixed_flexible, run_experiment};
 pub use error::DmrError;
 pub use model::{curve_for, SimJob, SpeedupCurve};

@@ -21,6 +21,10 @@ pub struct ExperimentResult {
     /// Total events processed by the engine (diagnostics / determinism
     /// checks).
     pub events: u64,
+    /// Engine [`dmr_sim::Engine::past_schedules`] count — events the
+    /// driver scheduled in the past (clamped to `now`). Sweeps assert
+    /// this stays zero.
+    pub past_schedules: u64,
 }
 
 impl ExperimentResult {

@@ -16,6 +16,7 @@ pub struct Engine<E> {
     now: SimTime,
     queue: EventQueue<E>,
     processed: u64,
+    past_schedules: u64,
 }
 
 impl<E> Default for Engine<E> {
@@ -30,6 +31,7 @@ impl<E> Engine<E> {
             now: SimTime::ZERO,
             queue: EventQueue::new(),
             processed: 0,
+            past_schedules: 0,
         }
     }
 
@@ -48,16 +50,29 @@ impl<E> Engine<E> {
         self.queue.len()
     }
 
+    /// Number of [`Engine::schedule_at`] calls that targeted an instant in
+    /// the past and were clamped to `now`. Always observable (debug *and*
+    /// release), so callers — e.g. scenario sweeps, which run in release
+    /// where the debug panic is compiled out — can assert
+    /// no-past-scheduling.
+    pub fn past_schedules(&self) -> u64 {
+        self.past_schedules
+    }
+
     /// Schedules an event at an absolute instant. Scheduling in the past is
-    /// a logic error and panics in debug builds; in release it clamps to
-    /// `now` (the event fires immediately next).
+    /// a logic error: debug builds panic at the first occurrence; release
+    /// builds clamp the instant to `now` (the event fires immediately next)
+    /// and count the clamp in [`Engine::past_schedules`], which is also
+    /// maintained in debug builds so sweeps can assert on it uniformly.
     pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventId {
-        debug_assert!(
-            at >= self.now,
-            "scheduled event in the past: at={:?} now={:?}",
-            at,
-            self.now
-        );
+        if at < self.now {
+            self.past_schedules += 1;
+            debug_assert!(
+                false,
+                "scheduled event in the past: at={:?} now={:?}",
+                at, self.now
+            );
+        }
         let at = at.max(self.now);
         self.queue.push(at, event)
     }
@@ -102,14 +117,11 @@ impl<E> Engine<E> {
         deadline: SimTime,
         mut handler: impl FnMut(&mut Engine<E>, SimTime, E),
     ) {
-        loop {
-            match self.peek_time() {
-                Some(t) if t <= deadline => {
-                    let (t, e) = self.next_event().expect("peeked event vanished");
-                    handler(self, t, e);
-                }
-                _ => break,
-            }
+        while self.peek_time().is_some_and(|t| t <= deadline) {
+            let Some((t, e)) = self.next_event() else {
+                break;
+            };
+            handler(self, t, e);
         }
     }
 }
@@ -172,6 +184,48 @@ mod tests {
         assert_eq!(seen, vec![1, 2, 3, 4]);
         assert_eq!(eng.pending(), 6);
         assert_eq!(eng.now(), SimTime::from_secs(4));
+    }
+
+    #[test]
+    fn past_scheduling_clamps_and_counts() {
+        let mut eng: Engine<u32> = Engine::new();
+        eng.schedule_at(SimTime::from_secs(10), 1);
+        eng.next_event();
+        assert_eq!(eng.past_schedules(), 0);
+        // now = 10; scheduling at 3 panics in debug builds and clamps to
+        // `now` in release builds — the counter records it either way.
+        if cfg!(debug_assertions) {
+            let poked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                eng.schedule_at(SimTime::from_secs(3), 2);
+            }));
+            assert!(poked.is_err(), "debug builds must panic");
+        } else {
+            eng.schedule_at(SimTime::from_secs(3), 2);
+            let (t, e) = eng.next_event().unwrap();
+            assert_eq!((t, e), (SimTime::from_secs(10), 2), "clamped to now");
+        }
+        assert_eq!(eng.past_schedules(), 1);
+        // Scheduling exactly at `now` is fine.
+        eng.schedule_at(SimTime::from_secs(10), 3);
+        assert_eq!(eng.past_schedules(), 1);
+    }
+
+    #[test]
+    fn run_until_survives_concurrent_cancellation() {
+        // A handler that cancels the next pending event must not trip
+        // run_until: the loop re-peeks instead of trusting a stale peek.
+        let mut eng: Engine<u32> = Engine::new();
+        eng.schedule_at(SimTime::from_secs(1), 1);
+        let doomed = eng.schedule_at(SimTime::from_secs(2), 2);
+        eng.schedule_at(SimTime::from_secs(3), 3);
+        let mut seen = Vec::new();
+        eng.run_until(SimTime::from_secs(10), |eng, _, e| {
+            if e == 1 {
+                eng.cancel(doomed);
+            }
+            seen.push(e);
+        });
+        assert_eq!(seen, vec![1, 3]);
     }
 
     #[test]

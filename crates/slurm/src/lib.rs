@@ -15,9 +15,12 @@
 //!   job* (submit B depending on A → update B to 0 nodes → cancel B →
 //!   update A to N_A+N_B) and shrinking through a node-releasing update
 //!   ([`slurm::Slurm::expand_protocol`] et al.);
-//! * **the reconfiguration policy plug-in** (§IV, Algorithm 1) — decides
-//!   expand / shrink / no-action from the global system state
-//!   ([`policy`]).
+//! * **the pluggable reconfiguration-policy layer** (§IV) — a
+//!   [`policy::ResizePolicy`] trait object installed in the scheduler
+//!   decides expand / shrink / no-action from the global system state;
+//!   ships with [`policy::Algorithm1`] (the paper's procedure),
+//!   [`policy::UtilizationTarget`] and [`policy::FairShare`], selected by
+//!   [`policy::PolicyKind`] ([`policy`]).
 //!
 //! The crate is time-agnostic: every operation takes `now: SimTime` from
 //! the caller, so the same scheduler drives the discrete-event simulations
@@ -29,6 +32,8 @@ pub mod priority;
 pub mod slurm;
 
 pub use job::{Dependency, Job, JobId, JobRequest, JobState, ResizeEnvelope};
-pub use policy::ResizeAction;
+pub use policy::{
+    Algorithm1, FairShare, PolicyKind, ResizeAction, ResizePolicy, UtilizationTarget,
+};
 pub use priority::MultifactorConfig;
 pub use slurm::{ExpandError, JobStart, Slurm, SlurmConfig};

@@ -1,20 +1,27 @@
-//! The reconfiguration policy plug-in — Algorithm 1 of the paper (§IV).
+//! The pluggable reconfiguration-policy layer.
 //!
-//! Three scheduling-freedom modes are realised by one decision procedure:
+//! The paper describes Algorithm 1 as a *plug-in* to the RMS (§IV): the
+//! scheduler owns the mechanism — envelopes, the resizer-job protocol,
+//! priority boosts, node accounting — while the decision procedure is
+//! swappable. This module realises that split:
 //!
-//! 1. **Request an action** — a job may "strongly suggest" an action by
-//!    setting its envelope bounds (e.g. `min > current` forces an expand
-//!    attempt); the RMS still owns the final verdict.
-//! 2. **Preferred number of nodes** — if a preference is given: equal to
-//!    the current size ⇒ no action; alone in the system ⇒ expand to the
-//!    maximum; otherwise try to expand/shrink towards the preference.
-//! 3. **Wide optimization** — everything else: expand when nothing queued
-//!    could use the nodes anyway, shrink when that lets a queued job start
-//!    (boosting it to maximum priority).
+//! * [`ResizePolicy`] — the plug-in interface. A policy is a pure decision
+//!   function over the scheduler's public state; every side effect (the
+//!   §IV-3 priority boost, the §III protocols) stays in the mechanism.
+//! * [`PolicyKind`] — a `Copy` selector carried by
+//!   [`crate::slurm::SlurmConfig`], so experiment configurations stay
+//!   plain data.
+//! * [`Algorithm1`] — the paper's decision procedure, bit-for-bit the
+//!   behaviour the driver test-suite pins down.
+//! * [`UtilizationTarget`] — expand/shrink to hold cluster utilization
+//!   inside a band.
+//! * [`FairShare`] — aging-weighted: only queued jobs that have waited
+//!   long enough trigger shrinks, but then the shrink is sized to the
+//!   cumulative demand of every starved job, not just the first.
 
 use dmr_sim::SimTime;
 
-use crate::job::{JobId, JobState};
+use crate::job::{JobId, JobState, ResizeEnvelope};
 use crate::slurm::Slurm;
 
 /// The verdict returned to the runtime through the DMR API.
@@ -26,7 +33,8 @@ pub enum ResizeAction {
     /// protocol).
     Expand { to: u32 },
     /// Shrink to `to` processes. `beneficiary` is the queued job the
-    /// released nodes are destined for; the policy has already boosted it.
+    /// released nodes are destined for; the scheduler boosts it to
+    /// maximum priority when the decision is returned.
     Shrink { to: u32, beneficiary: Option<JobId> },
 }
 
@@ -36,29 +44,130 @@ impl ResizeAction {
     }
 }
 
-impl Slurm {
-    /// Algorithm 1: decide the resize action for running job `id`.
-    ///
-    /// Mutable because a shrink decision boosts the beneficiary's priority
-    /// as a side effect (§IV-3) — exactly as the paper's plug-in does.
-    pub fn decide_resize(&mut self, id: JobId, now: SimTime) -> ResizeAction {
-        let Some(job) = self.job(id) else {
-            return ResizeAction::NoAction;
-        };
-        if job.state != JobState::Running {
-            return ResizeAction::NoAction;
-        }
-        let Some(env) = job.resize else {
-            // Rigid jobs never move — the framework is "compatible with
-            // unmodified non-malleable applications" (§II).
-            return ResizeAction::NoAction;
-        };
-        let current = self.nodes_of(id);
-        let free = self.cluster().free_nodes();
-        let pending = self.pending_queue(now);
+/// A reconfiguration decision procedure — the paper's RMS plug-in.
+///
+/// Implementations read the scheduler through `&Slurm` only; the
+/// scheduler guarantees that `job` exists, is running, and carries a
+/// malleability envelope before the plug-in is consulted, and applies
+/// the beneficiary priority boost itself afterwards. Policies therefore
+/// never mutate scheduler state.
+pub trait ResizePolicy: Send {
+    /// Short machine-friendly name (used in sweep CSV output).
+    fn name(&self) -> &'static str;
 
-        let decision = if let Some(pref) = env.preferred {
-            if pending.is_empty() && self.running_count() == 1 {
+    /// Decide the resize action for running flexible job `job`.
+    fn decide(&mut self, slurm: &Slurm, job: JobId, now: SimTime) -> ResizeAction;
+}
+
+/// Policy selector carried by scheduler / experiment configurations.
+///
+/// Keeping the selector `Copy` (parameters embedded) lets
+/// [`crate::slurm::SlurmConfig`] and downstream experiment configs remain
+/// plain data; [`PolicyKind::build`] instantiates the trait object.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub enum PolicyKind {
+    /// The paper's Algorithm 1 (§IV).
+    #[default]
+    Algorithm1,
+    /// Hold allocated-node utilization inside `[low, high]` (fractions).
+    UtilizationTarget { low: f64, high: f64 },
+    /// Aging-weighted shrinks: queued jobs older than `age_threshold_s`
+    /// seconds trigger demand-sized shrinks.
+    FairShare { age_threshold_s: f64 },
+}
+
+impl PolicyKind {
+    /// [`PolicyKind::UtilizationTarget`] with the default band.
+    pub fn utilization_target() -> Self {
+        PolicyKind::UtilizationTarget {
+            low: 0.55,
+            high: 0.85,
+        }
+    }
+
+    /// [`PolicyKind::FairShare`] with the default aging threshold.
+    pub fn fair_share() -> Self {
+        PolicyKind::FairShare {
+            age_threshold_s: 120.0,
+        }
+    }
+
+    /// Stable name (matches [`ResizePolicy::name`] of the built policy).
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Algorithm1 => "algorithm1",
+            PolicyKind::UtilizationTarget { .. } => "utilization-target",
+            PolicyKind::FairShare { .. } => "fair-share",
+        }
+    }
+
+    /// Name plus parameters — unique per parameterization, so two
+    /// differently-tuned instances of the same policy stay
+    /// distinguishable in scenario names and sweep CSV keys.
+    pub fn label(self) -> String {
+        match self {
+            PolicyKind::Algorithm1 => "algorithm1".into(),
+            PolicyKind::UtilizationTarget { low, high } => {
+                format!("utilization-target-{low}-{high}")
+            }
+            PolicyKind::FairShare { age_threshold_s } => {
+                format!("fair-share-{age_threshold_s}")
+            }
+        }
+    }
+
+    /// Instantiates the policy this selector describes.
+    pub fn build(self) -> Box<dyn ResizePolicy> {
+        match self {
+            PolicyKind::Algorithm1 => Box::new(Algorithm1),
+            PolicyKind::UtilizationTarget { low, high } => {
+                Box::new(UtilizationTarget { low, high })
+            }
+            PolicyKind::FairShare { age_threshold_s } => Box::new(FairShare { age_threshold_s }),
+        }
+    }
+}
+
+/// Envelope of a job the mechanism has already validated.
+fn envelope_of(slurm: &Slurm, job: JobId) -> ResizeEnvelope {
+    slurm
+        .job(job)
+        .and_then(|j| j.resize)
+        .expect("scheduler consults the policy only for flexible running jobs")
+}
+
+// ---------------------------------------------------------------------
+// Algorithm 1
+// ---------------------------------------------------------------------
+
+/// Algorithm 1 of the paper (§IV). Three scheduling-freedom modes are
+/// realised by one decision procedure:
+///
+/// 1. **Request an action** — a job may "strongly suggest" an action by
+///    setting its envelope bounds (e.g. `min > current` forces an expand
+///    attempt); the RMS still owns the final verdict.
+/// 2. **Preferred number of nodes** — if a preference is given: equal to
+///    the current size ⇒ no action; alone in the system ⇒ expand to the
+///    maximum; otherwise try to expand/shrink towards the preference.
+/// 3. **Wide optimization** — everything else: expand when nothing queued
+///    could use the nodes anyway, shrink when that lets a queued job start
+///    (the scheduler then boosts it to maximum priority).
+#[derive(Clone, Copy, Default, Debug)]
+pub struct Algorithm1;
+
+impl ResizePolicy for Algorithm1 {
+    fn name(&self) -> &'static str {
+        "algorithm1"
+    }
+
+    fn decide(&mut self, slurm: &Slurm, job: JobId, now: SimTime) -> ResizeAction {
+        let env = envelope_of(slurm, job);
+        let current = slurm.nodes_of(job);
+        let free = slurm.cluster().free_nodes();
+        let pending = slurm.pending_queue(now);
+
+        if let Some(pref) = env.preferred {
+            if pending.is_empty() && slurm.running_count() == 1 {
                 // Line 2-4: alone in the system — expand to the job max.
                 match env.max_procs_to(current, env.max, free) {
                     Some(t) => ResizeAction::Expand { to: t },
@@ -72,7 +181,7 @@ impl Slurm {
                 // Line 6-8: try to expand towards the preference.
                 match env.max_procs_to(current, pref, free) {
                     Some(t) => ResizeAction::Expand { to: t },
-                    None => self.wide_optimization(id, current, free, &pending, env),
+                    None => wide_optimization(slurm, current, free, &pending, env),
                 }
             } else if env.can_shrink_to(current, pref) {
                 // Line 10-12: shrink exactly to the preference.
@@ -81,15 +190,256 @@ impl Slurm {
                     beneficiary: None,
                 }
             } else {
-                self.wide_optimization(id, current, free, &pending, env)
+                wide_optimization(slurm, current, free, &pending, env)
             }
         } else {
-            self.wide_optimization(id, current, free, &pending, env)
-        };
+            wide_optimization(slurm, current, free, &pending, env)
+        }
+    }
+}
 
-        // Side effect of a wide-optimization shrink: the triggering queued
-        // job gets maximum priority (Algorithm 1 line 18), unless the
-        // ablation knob disables it.
+/// Lines 13–24 of Algorithm 1 (shared with [`UtilizationTarget`], which
+/// reuses the shrink-for-beneficiary search).
+fn wide_optimization(
+    slurm: &Slurm,
+    current: u32,
+    free: u32,
+    pending: &[JobId],
+    env: ResizeEnvelope,
+) -> ResizeAction {
+    if !pending.is_empty() {
+        // Line 15: can another job run with my resources? Walk the
+        // queue in priority order, find the first job a feasible
+        // shrink would admit, and shrink as little as necessary
+        // (keeping the most processes that still releases enough).
+        // Jobs that already fit in the free nodes start on their own
+        // at the next scheduling cycle and are skipped here; greedily
+        // expanding into "their" nodes afterwards is deliberate — a
+        // later check releases the nodes again if someone needs them,
+        // and idling them would be worse (this mirrors the paper's
+        // observation that the RMS, not the policy, owns final
+        // placement).
+        if let Some(shrink) = shrink_for_first_blocked(slurm, current, free, pending, env) {
+            return shrink;
+        }
+        // Line 19-21: nothing queued can be helped — expand so this
+        // job finishes (and releases everything) sooner.
+        match env.max_procs_to(current, env.max, free) {
+            Some(t) => ResizeAction::Expand { to: t },
+            None => ResizeAction::NoAction,
+        }
+    } else {
+        // Line 22-24: empty queue — expand to the job maximum.
+        match env.max_procs_to(current, env.max, free) {
+            Some(t) => ResizeAction::Expand { to: t },
+            None => ResizeAction::NoAction,
+        }
+    }
+}
+
+/// The minimal shrink admitting the first queued job that is blocked on
+/// nodes, if any (Algorithm 1 lines 15–18 without the expand fallback).
+fn shrink_for_first_blocked(
+    slurm: &Slurm,
+    current: u32,
+    free: u32,
+    pending: &[JobId],
+    env: ResizeEnvelope,
+) -> Option<ResizeAction> {
+    for &cand in pending {
+        let req = slurm.job(cand).map(|j| j.requested_nodes).unwrap_or(0);
+        let missing = req.saturating_sub(free);
+        if missing == 0 {
+            continue;
+        }
+        if let Some(to) = env
+            .shrink_chain(current)
+            .into_iter()
+            .find(|to| current - to >= missing)
+        {
+            return Some(ResizeAction::Shrink {
+                to,
+                beneficiary: Some(cand),
+            });
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// UtilizationTarget
+// ---------------------------------------------------------------------
+
+/// Hold cluster utilization inside a band.
+///
+/// * Allocated fraction below `low` — expand towards the envelope
+///   maximum (idle nodes are wasted capacity).
+/// * Allocated fraction above `high` with jobs queued — shrink minimally
+///   so the highest-priority blocked job can start (pressure relief).
+/// * Inside the band — no action; reconfigurations are not free, so a
+///   healthy cluster is left alone. This is the main behavioural contrast
+///   with [`Algorithm1`], which reconfigures opportunistically.
+#[derive(Clone, Copy, Debug)]
+pub struct UtilizationTarget {
+    pub low: f64,
+    pub high: f64,
+}
+
+impl ResizePolicy for UtilizationTarget {
+    fn name(&self) -> &'static str {
+        "utilization-target"
+    }
+
+    fn decide(&mut self, slurm: &Slurm, job: JobId, now: SimTime) -> ResizeAction {
+        let env = envelope_of(slurm, job);
+        let current = slurm.nodes_of(job);
+        let free = slurm.cluster().free_nodes();
+        let total = slurm.cluster().total_nodes().max(1);
+        let util = slurm.allocated_nodes() as f64 / total as f64;
+
+        if util < self.low {
+            return match env.max_procs_to(current, env.max, free) {
+                Some(t) => ResizeAction::Expand { to: t },
+                None => ResizeAction::NoAction,
+            };
+        }
+        if util > self.high {
+            let pending = slurm.pending_queue(now);
+            if let Some(shrink) = shrink_for_first_blocked(slurm, current, free, &pending, env) {
+                return shrink;
+            }
+        }
+        ResizeAction::NoAction
+    }
+}
+
+// ---------------------------------------------------------------------
+// FairShare
+// ---------------------------------------------------------------------
+
+/// Aging-weighted decision procedure.
+///
+/// Queued jobs accrue age from submission; only jobs whose wait exceeds
+/// `age_threshold_s` ("starved" jobs) may trigger a shrink — fresh
+/// arrivals wait their fair share while running jobs keep their
+/// allocation. When starved jobs exist the shrink is sized to their
+/// *cumulative* node demand (deepest feasible step on the factor chain),
+/// so a long queue drains faster than under [`Algorithm1`]'s minimal
+/// one-beneficiary shrinks. With an empty queue it expands like
+/// Algorithm 1; with a fresh (non-starved) queue it holds steady instead
+/// of greedily expanding into nodes the aging queue will soon claim.
+#[derive(Clone, Copy, Debug)]
+pub struct FairShare {
+    pub age_threshold_s: f64,
+}
+
+impl ResizePolicy for FairShare {
+    fn name(&self) -> &'static str {
+        "fair-share"
+    }
+
+    fn decide(&mut self, slurm: &Slurm, job: JobId, now: SimTime) -> ResizeAction {
+        let env = envelope_of(slurm, job);
+        let current = slurm.nodes_of(job);
+        let free = slurm.cluster().free_nodes();
+        let pending = slurm.pending_queue(now);
+
+        if pending.is_empty() {
+            return match env.max_procs_to(current, env.max, free) {
+                Some(t) => ResizeAction::Expand { to: t },
+                None => ResizeAction::NoAction,
+            };
+        }
+
+        // Longest-waiting first; ties broken by id for determinism.
+        let mut aged: Vec<(JobId, f64, u32)> = pending
+            .iter()
+            .filter_map(|&id| {
+                let j = slurm.job(id)?;
+                let waited = now.since(j.submit_time).as_secs_f64();
+                Some((id, waited, j.requested_nodes))
+            })
+            .collect();
+        aged.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        let starved: Vec<&(JobId, f64, u32)> = aged
+            .iter()
+            .filter(|(_, waited, _)| *waited >= self.age_threshold_s)
+            .collect();
+        if starved.is_empty() {
+            // Fresh queue: hold steady, let the scheduler place them.
+            return ResizeAction::NoAction;
+        }
+
+        // The oldest starved job blocked on nodes is the beneficiary; the
+        // shrink depth covers the cumulative starved demand if the factor
+        // chain allows it.
+        let demand: u32 = starved.iter().map(|(_, _, req)| req).sum();
+        let cumulative_missing = demand.saturating_sub(free);
+        let beneficiary = starved
+            .iter()
+            .find(|(_, _, req)| req.saturating_sub(free) > 0);
+        let Some(&&(bene, _, req)) = beneficiary else {
+            // Everything starved already fits in the free nodes.
+            return ResizeAction::NoAction;
+        };
+        let first_missing = req.saturating_sub(free);
+        let chain = env.shrink_chain(current);
+        // Deepest step still bounded below by what the beneficiary needs:
+        // prefer covering the full starved demand, fall back to the
+        // minimal admitting step.
+        let deep = chain
+            .iter()
+            .copied()
+            .filter(|to| current - to >= first_missing)
+            .min_by_key(|to| {
+                let released = current - to;
+                if released >= cumulative_missing {
+                    // Covers everything: prefer the *largest* remaining
+                    // size among full-coverage steps.
+                    (0u32, u32::MAX - to)
+                } else {
+                    // Partial coverage: prefer deeper (more released).
+                    (1u32, u32::MAX - released)
+                }
+            });
+        match deep {
+            Some(to) => ResizeAction::Shrink {
+                to,
+                beneficiary: Some(bene),
+            },
+            None => ResizeAction::NoAction,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The mechanism half: Slurm consults its installed policy.
+// ---------------------------------------------------------------------
+
+impl Slurm {
+    /// Consults the installed [`ResizePolicy`] for running job `id`.
+    ///
+    /// The mechanism half of the split lives here: validity guards (the
+    /// policy only ever sees running flexible jobs — rigid jobs never
+    /// move, the framework being "compatible with unmodified non-malleable
+    /// applications", §II) and the §IV-3 side effect of a
+    /// wide-optimization shrink — the triggering queued job gets maximum
+    /// priority (Algorithm 1 line 18) unless the ablation knob disables
+    /// it.
+    pub fn decide_resize(&mut self, id: JobId, now: SimTime) -> ResizeAction {
+        let Some(job) = self.job(id) else {
+            return ResizeAction::NoAction;
+        };
+        if job.state != JobState::Running {
+            return ResizeAction::NoAction;
+        }
+        if job.resize.is_none() {
+            return ResizeAction::NoAction;
+        }
+        let mut policy = self.take_policy();
+        let decision = policy.decide(self, id, now);
+        self.restore_policy(policy);
+
         if let ResizeAction::Shrink {
             beneficiary: Some(b),
             ..
@@ -101,65 +451,13 @@ impl Slurm {
         }
         decision
     }
-
-    /// Lines 13–24 of Algorithm 1.
-    fn wide_optimization(
-        &self,
-        _id: JobId,
-        current: u32,
-        free: u32,
-        pending: &[JobId],
-        env: crate::job::ResizeEnvelope,
-    ) -> ResizeAction {
-        if !pending.is_empty() {
-            // Line 15: can another job run with my resources? Walk the
-            // queue in priority order, find the first job a feasible
-            // shrink would admit, and shrink as little as necessary
-            // (keeping the most processes that still releases enough).
-            // Jobs that already fit in the free nodes start on their own
-            // at the next scheduling cycle and are skipped here; greedily
-            // expanding into "their" nodes afterwards is deliberate — a
-            // later check releases the nodes again if someone needs them,
-            // and idling them would be worse (this mirrors the paper's
-            // observation that the RMS, not the policy, owns final
-            // placement).
-            for &cand in pending {
-                let req = self.job(cand).map(|j| j.requested_nodes).unwrap_or(0);
-                let missing = req.saturating_sub(free);
-                if missing == 0 {
-                    continue;
-                }
-                if let Some(to) = env
-                    .shrink_chain(current)
-                    .into_iter()
-                    .find(|to| current - to >= missing)
-                {
-                    return ResizeAction::Shrink {
-                        to,
-                        beneficiary: Some(cand),
-                    };
-                }
-            }
-            // Line 19-21: nothing queued can be helped — expand so this
-            // job finishes (and releases everything) sooner.
-            match env.max_procs_to(current, env.max, free) {
-                Some(t) => ResizeAction::Expand { to: t },
-                None => ResizeAction::NoAction,
-            }
-        } else {
-            // Line 22-24: empty queue — expand to the job maximum.
-            match env.max_procs_to(current, env.max, free) {
-                Some(t) => ResizeAction::Expand { to: t },
-                None => ResizeAction::NoAction,
-            }
-        }
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::job::{JobRequest, ResizeEnvelope};
+    use crate::slurm::SlurmConfig;
     use dmr_cluster::Cluster;
     use dmr_sim::SimTime;
 
@@ -178,6 +476,12 @@ mod tests {
 
     fn slurm(nodes: u32) -> Slurm {
         Slurm::with_cluster(Cluster::new(nodes, 16))
+    }
+
+    fn slurm_with_policy(nodes: u32, policy: PolicyKind) -> Slurm {
+        let mut cfg = SlurmConfig::for_cluster(nodes);
+        cfg.policy = policy;
+        Slurm::new(Cluster::new(nodes, 16), cfg)
     }
 
     #[test]
@@ -332,5 +636,157 @@ mod tests {
                 beneficiary: Some(q)
             }
         );
+    }
+
+    // -----------------------------------------------------------------
+    // PolicyKind plumbing
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn policy_kind_names_are_stable() {
+        assert_eq!(PolicyKind::Algorithm1.name(), "algorithm1");
+        assert_eq!(
+            PolicyKind::utilization_target().name(),
+            "utilization-target"
+        );
+        assert_eq!(PolicyKind::fair_share().name(), "fair-share");
+        for kind in [
+            PolicyKind::Algorithm1,
+            PolicyKind::utilization_target(),
+            PolicyKind::fair_share(),
+        ] {
+            assert_eq!(kind.build().name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn policy_labels_distinguish_parameterizations() {
+        let a = PolicyKind::UtilizationTarget {
+            low: 0.4,
+            high: 0.7,
+        };
+        let b = PolicyKind::utilization_target();
+        assert_eq!(a.name(), b.name());
+        assert_ne!(a.label(), b.label());
+        assert_eq!(
+            PolicyKind::fair_share().label(),
+            "fair-share-120".to_string()
+        );
+    }
+
+    #[test]
+    fn installed_policy_is_swappable() {
+        let mut s = slurm(64);
+        assert_eq!(s.policy_name(), "algorithm1");
+        s.set_policy(PolicyKind::fair_share().build());
+        assert_eq!(s.policy_name(), "fair-share");
+    }
+
+    // -----------------------------------------------------------------
+    // UtilizationTarget
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn utilization_below_band_expands() {
+        let mut s = slurm_with_policy(20, PolicyKind::utilization_target());
+        let a = s.submit(JobRequest::flexible("a", 4, env(1, 16, None)), t(0));
+        s.schedule(t(0));
+        // 4/20 allocated = 0.2 < 0.55 → expand to the envelope max.
+        assert_eq!(s.decide_resize(a, t(1)), ResizeAction::Expand { to: 16 });
+    }
+
+    #[test]
+    fn utilization_inside_band_holds_steady() {
+        let mut s = slurm_with_policy(10, PolicyKind::utilization_target());
+        let a = s.submit(JobRequest::flexible("a", 4, env(1, 16, None)), t(0));
+        let _b = s.submit(JobRequest::rigid("b", 3), t(0));
+        s.schedule(t(0));
+        // 7/10 = 0.7 inside [0.55, 0.85] → no action, even though
+        // Algorithm 1 would expand into the 3 free nodes.
+        assert_eq!(s.decide_resize(a, t(1)), ResizeAction::NoAction);
+    }
+
+    #[test]
+    fn utilization_above_band_shrinks_for_blocked_job() {
+        let mut s = slurm_with_policy(10, PolicyKind::utilization_target());
+        let a = s.submit(JobRequest::flexible("a", 8, env(1, 16, None)), t(0));
+        let _b = s.submit(JobRequest::rigid("b", 1), t(0));
+        s.schedule(t(0));
+        let q = s.submit(JobRequest::rigid("q", 4), t(1));
+        s.schedule(t(1)); // q blocked: needs 4, 1 free
+                          // 9/10 = 0.9 > 0.85 → shrink minimally: chain [4, 2, 1], missing
+                          // 3 → to=4 releases 4 ≥ 3.
+        assert_eq!(
+            s.decide_resize(a, t(2)),
+            ResizeAction::Shrink {
+                to: 4,
+                beneficiary: Some(q)
+            }
+        );
+        assert!(s.job(q).unwrap().boosted, "mechanism still boosts");
+    }
+
+    // -----------------------------------------------------------------
+    // FairShare
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn fair_share_ignores_fresh_queue() {
+        let mut s = slurm_with_policy(10, PolicyKind::fair_share());
+        let a = s.submit(JobRequest::flexible("a", 8, env(1, 16, None)), t(0));
+        s.schedule(t(0));
+        let _q = s.submit(JobRequest::rigid("q", 5), t(1));
+        s.schedule(t(1));
+        // q has waited 1 s < 120 s: no shrink yet (Algorithm 1 would
+        // shrink immediately).
+        assert_eq!(s.decide_resize(a, t(2)), ResizeAction::NoAction);
+    }
+
+    #[test]
+    fn fair_share_helps_starved_job() {
+        let mut s = slurm_with_policy(10, PolicyKind::fair_share());
+        let a = s.submit(JobRequest::flexible("a", 8, env(1, 16, None)), t(0));
+        s.schedule(t(0));
+        let q = s.submit(JobRequest::rigid("q", 5), t(1));
+        s.schedule(t(1));
+        // After 200 s the queued job is starved; shrink chain from 8 is
+        // [4, 2, 1]; missing 3, cumulative demand also 3 → to=4.
+        assert_eq!(
+            s.decide_resize(a, t(201)),
+            ResizeAction::Shrink {
+                to: 4,
+                beneficiary: Some(q)
+            }
+        );
+        assert!(s.job(q).unwrap().boosted);
+    }
+
+    #[test]
+    fn fair_share_sizes_shrink_to_cumulative_demand() {
+        let mut s = slurm_with_policy(18, PolicyKind::fair_share());
+        let a = s.submit(JobRequest::flexible("a", 16, env(1, 16, None)), t(0));
+        s.schedule(t(0));
+        let q1 = s.submit(JobRequest::rigid("q1", 6), t(1));
+        let _q2 = s.submit(JobRequest::rigid("q2", 6), t(2));
+        s.schedule(t(2));
+        // 2 free; both starved at t=300: demand 12, cumulative missing 10.
+        // Chain from 16: [8, 4, 2, 1]. to=4 releases 12 ≥ 10 (full
+        // coverage); to=8 releases only 8. FairShare digs to 4 where
+        // Algorithm 1 would stop at 8.
+        assert_eq!(
+            s.decide_resize(a, t(300)),
+            ResizeAction::Shrink {
+                to: 4,
+                beneficiary: Some(q1)
+            }
+        );
+    }
+
+    #[test]
+    fn fair_share_expands_on_empty_queue() {
+        let mut s = slurm_with_policy(20, PolicyKind::fair_share());
+        let a = s.submit(JobRequest::flexible("a", 4, env(1, 16, None)), t(0));
+        s.schedule(t(0));
+        assert_eq!(s.decide_resize(a, t(1)), ResizeAction::Expand { to: 16 });
     }
 }

@@ -7,6 +7,7 @@ use dmr_cluster::{Cluster, NodeId};
 use dmr_sim::{SimTime, Span};
 
 use crate::job::{Dependency, Job, JobId, JobRequest, JobState};
+use crate::policy::{PolicyKind, ResizePolicy};
 use crate::priority::MultifactorConfig;
 
 /// Scheduler-wide configuration.
@@ -24,6 +25,8 @@ pub struct SlurmConfig {
     /// Grant maximum priority to the queued job a shrink benefits
     /// (Algorithm 1 line 18). Ablation knob; the paper always boosts.
     pub shrink_boost: bool,
+    /// Which reconfiguration decision procedure to install (§IV plug-in).
+    pub policy: PolicyKind,
 }
 
 impl SlurmConfig {
@@ -34,6 +37,7 @@ impl SlurmConfig {
             default_expected_runtime: Span::from_secs(600),
             resizer_timeout: Span::from_secs(30),
             shrink_boost: true,
+            policy: PolicyKind::Algorithm1,
         }
     }
 }
@@ -94,6 +98,9 @@ pub struct Slurm {
     detached: BTreeMap<JobId, u32>,
     next_id: u64,
     pub config: SlurmConfig,
+    /// The installed reconfiguration decision procedure (§IV plug-in).
+    /// `None` only transiently, while the policy is consulted.
+    policy: Option<Box<dyn ResizePolicy>>,
 }
 
 impl Slurm {
@@ -103,6 +110,7 @@ impl Slurm {
             jobs: BTreeMap::new(),
             detached: BTreeMap::new(),
             next_id: 1,
+            policy: Some(config.policy.build()),
             config,
         }
     }
@@ -111,6 +119,32 @@ impl Slurm {
     pub fn with_cluster(cluster: Cluster) -> Self {
         let cfg = SlurmConfig::for_cluster(cluster.total_nodes());
         Slurm::new(cluster, cfg)
+    }
+
+    /// Replaces the installed reconfiguration policy.
+    ///
+    /// `config.policy` is a construction-time selector only and is *not*
+    /// updated here (a custom trait object need not correspond to any
+    /// [`PolicyKind`]); after this call, [`Slurm::policy_name`] is the
+    /// source of truth for what is installed.
+    pub fn set_policy(&mut self, policy: Box<dyn ResizePolicy>) {
+        self.policy = Some(policy);
+    }
+
+    /// Name of the installed policy (sweep CSV labelling).
+    pub fn policy_name(&self) -> &'static str {
+        self.policy
+            .as_deref()
+            .map_or("<consulting>", ResizePolicy::name)
+    }
+
+    /// Detaches the policy so [`crate::policy`] can pass `&Slurm` to it.
+    pub(crate) fn take_policy(&mut self) -> Box<dyn ResizePolicy> {
+        self.policy.take().expect("resize policy installed")
+    }
+
+    pub(crate) fn restore_policy(&mut self, policy: Box<dyn ResizePolicy>) {
+        self.policy = Some(policy);
     }
 
     pub fn cluster(&self) -> &Cluster {

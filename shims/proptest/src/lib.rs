@@ -98,7 +98,9 @@ impl_tuple_strategy!(
     (A 0),
     (A 0, B 1),
     (A 0, B 1, C 2),
-    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3),
+    (A 0, B 1, C 2, D 3, E 4),
+    (A 0, B 1, C 2, D 3, E 4, F 5)
 );
 
 /// Collection strategies.
@@ -191,6 +193,17 @@ macro_rules! prop_assert_eq {
                 "assertion failed: `{:?}` != `{:?}`",
                 l,
                 r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{:?}` != `{:?}`: {}",
+                l,
+                r,
+                ::std::format!($($fmt)+)
             ));
         }
     }};

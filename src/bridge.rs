@@ -2,11 +2,14 @@
 //! [`Slurm`] instance.
 //!
 //! This is the paper's §III communication layer in miniature: the
-//! application (through `dmr-runtime`'s DMR API) asks; the Slurm
-//! reconfiguration policy (Algorithm 1) decides; and on a positive
-//! verdict the bridge drives the §III protocol — the four-step resizer
-//! job for expansions, the node-releasing update for shrinks — so the
-//! scheduler's allocation state tracks the application's actual size.
+//! application (through `dmr-runtime`'s DMR API) asks; whichever
+//! [`dmr_slurm::ResizePolicy`] the scheduler has installed (Algorithm 1
+//! by default, selected by [`dmr_slurm::PolicyKind`] in the scheduler
+//! config) decides; and on a positive verdict the bridge drives the §III
+//! protocol — the four-step resizer job for expansions, the
+//! node-releasing update for shrinks — so the scheduler's allocation
+//! state tracks the application's actual size. The bridge itself is
+//! policy-agnostic: it only sees [`ResizeAction`] verdicts.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -160,5 +163,33 @@ mod tests {
         let (slurm, job) = slurm_with_running_job(16, 4, env);
         let mut rms = SlurmRms::connect(slurm, job);
         assert_eq!(rms.negotiate(4, &DmrSpec::new(1, 4)), DmrAction::NoAction);
+    }
+
+    #[test]
+    fn bridge_honours_a_non_default_policy() {
+        use dmr_slurm::{PolicyKind, SlurmConfig};
+        let env = ResizeEnvelope {
+            min: 1,
+            max: 8,
+            preferred: None,
+            factor: 2,
+        };
+        // A utilization-band scheduler: 4/10 allocated sits below the
+        // 0.55 floor, so the band policy expands; at 8/10 the cluster is
+        // inside the band and the policy holds steady.
+        let mut cfg = SlurmConfig::for_cluster(10);
+        cfg.policy = PolicyKind::utilization_target();
+        let mut s = Slurm::new(dmr_cluster::Cluster::new(10, 16), cfg);
+        let id = s.submit(JobRequest::flexible("banded", 4, env), SimTime::ZERO);
+        s.schedule(SimTime::ZERO);
+        let slurm = Arc::new(Mutex::new(s));
+        let mut rms = SlurmRms::connect(Arc::clone(&slurm), id);
+        assert_eq!(
+            rms.negotiate(4, &DmrSpec::new(1, 8)),
+            DmrAction::Expand { to: 8 }
+        );
+        // 8/10 = 0.8 is inside [0.55, 0.85]: the band policy holds steady.
+        assert_eq!(rms.negotiate(8, &DmrSpec::new(1, 8)), DmrAction::NoAction);
+        assert_eq!(slurm.lock().policy_name(), "utilization-target");
     }
 }

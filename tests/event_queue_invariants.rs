@@ -1,0 +1,81 @@
+//! Property tests for [`dmr::sim::EventQueue`]: time-ordered pops, FIFO
+//! among same-instant events, and cancellation that never resurrects or
+//! leaks entries — the invariants the whole discrete-event driver (and
+//! therefore sweep determinism) rests on.
+
+use dmr::sim::queue::EventQueue;
+use dmr::sim::SimTime;
+use proptest::prelude::*;
+
+/// Replays a random schedule: `ops` is a list of (time, cancel_hint)
+/// pairs; every pair pushes an event, and `cancel_hint` (mod pushed so
+/// far) optionally cancels an earlier one.
+fn replay(ops: &[(u64, u64, bool)]) -> (Vec<(SimTime, usize)>, usize) {
+    let mut q: EventQueue<usize> = EventQueue::new();
+    let mut keys = Vec::new();
+    let mut cancelled = std::collections::HashSet::new();
+    for (seq, &(time, hint, do_cancel)) in ops.iter().enumerate() {
+        keys.push(q.push(SimTime(time), seq));
+        if do_cancel {
+            let victim = (hint as usize) % keys.len();
+            if q.cancel(keys[victim]).is_some() {
+                cancelled.insert(victim);
+            }
+        }
+    }
+    let mut popped = Vec::new();
+    while let Some((t, e)) = q.pop() {
+        popped.push((t, e));
+    }
+    (popped, ops.len() - cancelled.len())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn pops_are_time_ordered_and_fifo_within_ties(
+        ops in proptest::collection::vec((0u64..50, 0u64..100, proptest::bool::ANY), 1..60),
+    ) {
+        let (popped, live) = replay(&ops);
+        // Every live event pops exactly once; cancelled ones never do.
+        prop_assert_eq!(popped.len(), live);
+        for win in popped.windows(2) {
+            let (t0, e0) = win[0];
+            let (t1, e1) = win[1];
+            // Non-decreasing time.
+            prop_assert!(t0 <= t1, "queue went backwards: {:?} then {:?}", t0, t1);
+            // FIFO among equal instants: insertion sequence must rise.
+            if t0 == t1 {
+                prop_assert!(e0 < e1, "tie at {:?} popped {} before {}", t0, e0, e1);
+            }
+        }
+        // Each popped event carries the time it was pushed with.
+        for &(t, e) in &popped {
+            prop_assert_eq!(t, SimTime(ops[e].0));
+        }
+    }
+
+    #[test]
+    fn len_tracks_live_entries_through_cancellation(
+        ops in proptest::collection::vec((0u64..20, 0u64..100, proptest::bool::ANY), 1..40),
+    ) {
+        let mut q: EventQueue<usize> = EventQueue::new();
+        let mut keys = Vec::new();
+        let mut live = 0usize;
+        for (seq, &(time, hint, do_cancel)) in ops.iter().enumerate() {
+            keys.push(q.push(SimTime(time), seq));
+            live += 1;
+            if do_cancel {
+                let victim = (hint as usize) % keys.len();
+                if q.cancel(keys[victim]).is_some() {
+                    live -= 1;
+                }
+                // Double cancellation is a no-op.
+                prop_assert!(q.cancel(keys[victim]).is_none());
+            }
+            prop_assert_eq!(q.len(), live);
+            prop_assert_eq!(q.is_empty(), live == 0);
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Property test: [`dmr::slurm::Algorithm1`] behind the [`ResizePolicy`]
+//! trait is decision-identical to the pre-refactor inline implementation.
+//!
+//! `reference_decide` below is a faithful transcription of the original
+//! `Slurm::decide_resize` body (the inline Algorithm 1 that lived in
+//! `crates/slurm/src/policy.rs` before the mechanism/policy split),
+//! expressed over the scheduler's public read API. The property drives
+//! randomized queue/cluster states and checks that the trait-object path
+//! returns exactly the same verdict for every running job.
+
+use dmr::sim::SimTime;
+use dmr::slurm::{JobId, JobRequest, JobState, ResizeAction, ResizeEnvelope, Slurm};
+use dmr_cluster::Cluster;
+use proptest::prelude::*;
+
+/// The pre-refactor Algorithm 1, verbatim (minus the boost side effect,
+/// which the mechanism applies after the decision in both versions).
+fn reference_decide(s: &Slurm, id: JobId, now: SimTime) -> ResizeAction {
+    let Some(job) = s.job(id) else {
+        return ResizeAction::NoAction;
+    };
+    if job.state != JobState::Running {
+        return ResizeAction::NoAction;
+    }
+    let Some(env) = job.resize else {
+        return ResizeAction::NoAction;
+    };
+    let current = s.nodes_of(id);
+    let free = s.cluster().free_nodes();
+    let pending = s.pending_queue(now);
+
+    if let Some(pref) = env.preferred {
+        if pending.is_empty() && s.running_count() == 1 {
+            match env.max_procs_to(current, env.max, free) {
+                Some(t) => ResizeAction::Expand { to: t },
+                None => ResizeAction::NoAction,
+            }
+        } else if pref == current {
+            ResizeAction::NoAction
+        } else if pref > current {
+            match env.max_procs_to(current, pref, free) {
+                Some(t) => ResizeAction::Expand { to: t },
+                None => reference_wide(s, current, free, &pending, env),
+            }
+        } else if env.can_shrink_to(current, pref) {
+            ResizeAction::Shrink {
+                to: pref,
+                beneficiary: None,
+            }
+        } else {
+            reference_wide(s, current, free, &pending, env)
+        }
+    } else {
+        reference_wide(s, current, free, &pending, env)
+    }
+}
+
+fn reference_wide(
+    s: &Slurm,
+    current: u32,
+    free: u32,
+    pending: &[JobId],
+    env: ResizeEnvelope,
+) -> ResizeAction {
+    if !pending.is_empty() {
+        for &cand in pending {
+            let req = s.job(cand).map(|j| j.requested_nodes).unwrap_or(0);
+            let missing = req.saturating_sub(free);
+            if missing == 0 {
+                continue;
+            }
+            if let Some(to) = env
+                .shrink_chain(current)
+                .into_iter()
+                .find(|to| current - to >= missing)
+            {
+                return ResizeAction::Shrink {
+                    to,
+                    beneficiary: Some(cand),
+                };
+            }
+        }
+        match env.max_procs_to(current, env.max, free) {
+            Some(t) => ResizeAction::Expand { to: t },
+            None => ResizeAction::NoAction,
+        }
+    } else {
+        match env.max_procs_to(current, env.max, free) {
+            Some(t) => ResizeAction::Expand { to: t },
+            None => ResizeAction::NoAction,
+        }
+    }
+}
+
+/// Builds a randomized scheduler state: `nodes`-node cluster, a batch of
+/// jobs of mixed rigidity/sizes/preferences submitted over staggered
+/// instants with scheduling cycles in between, so some run, some queue.
+fn build_state(nodes: u32, jobs: &[(u32, bool, u32, u32, bool)]) -> (Slurm, SimTime) {
+    let mut s = Slurm::with_cluster(Cluster::new(nodes, 16));
+    let mut now = SimTime::ZERO;
+    for (i, &(size, flexible, min, max, prefer)) in jobs.iter().enumerate() {
+        let size = size.clamp(1, nodes);
+        let req = if flexible {
+            let min = min.clamp(1, size);
+            let max = max.clamp(size, nodes.max(size));
+            JobRequest::flexible(
+                format!("j{i}"),
+                size,
+                ResizeEnvelope {
+                    min,
+                    max,
+                    preferred: prefer.then_some(min.midpoint(max)),
+                    factor: 2,
+                },
+            )
+        } else {
+            JobRequest::rigid(format!("j{i}"), size)
+        };
+        now = SimTime::from_secs(i as u64 * 3);
+        s.submit(req, now);
+        s.schedule(now);
+    }
+    let decision_time = now + dmr::sim::Span::from_secs(5);
+    (s, decision_time)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn algorithm1_trait_matches_inline_reference(
+        nodes in 4u32..66,
+        jobs in proptest::collection::vec(
+            (1u32..20, proptest::bool::ANY, 1u32..8, 4u32..33, proptest::bool::ANY),
+            1..12,
+        ),
+    ) {
+        let (mut s, now) = build_state(nodes, &jobs);
+        let ids: Vec<JobId> = s
+            .jobs()
+            .filter(|j| j.state == JobState::Running)
+            .map(|j| j.id)
+            .collect();
+        for id in ids {
+            // Reference first (pure read), then the trait path; the boost
+            // side effect lands after both saw the same state.
+            let expected = reference_decide(&s, id, now);
+            let actual = s.decide_resize(id, now);
+            prop_assert_eq!(
+                actual,
+                expected,
+                "job {:?} on {} nodes with workload {:?}",
+                id,
+                nodes,
+                &jobs
+            );
+        }
+    }
+
+    #[test]
+    fn non_running_and_rigid_jobs_always_no_action(
+        nodes in 4u32..33,
+        jobs in proptest::collection::vec(
+            (1u32..20, proptest::bool::ANY, 1u32..8, 4u32..33, proptest::bool::ANY),
+            1..10,
+        ),
+    ) {
+        let (mut s, now) = build_state(nodes, &jobs);
+        let ids: Vec<(JobId, bool, bool)> = s
+            .jobs()
+            .map(|j| (j.id, j.state == JobState::Running, j.resize.is_some()))
+            .collect();
+        for (id, running, flexible) in ids {
+            if !running || !flexible {
+                prop_assert_eq!(s.decide_resize(id, now), ResizeAction::NoAction);
+            }
+        }
+    }
+}
