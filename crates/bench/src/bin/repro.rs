@@ -4,6 +4,7 @@
 //! ```text
 //! repro <target> [seed]
 //! repro --sweep [--smoke] [--threads N] [--seeds a,b,c]
+//! repro --trace path.swf [--nodes N]
 //! targets: fig1 table1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11
 //!          fig12 table2 all quick
 //! ```
@@ -11,7 +12,9 @@
 //! `all` runs the full paper-scale evaluation. `--sweep` runs the
 //! scenario registry (workload × cluster × policy × mode) in parallel and
 //! prints one CSV row per (scenario, seed) cell; `--smoke` swaps in the
-//! CI-sized registry.
+//! CI-sized registry. `--trace` replays a Standard Workload Format file
+//! through the streaming driver, rigid vs malleable, and prints the
+//! summary comparison as CSV.
 
 use dmr_bench::figures as f;
 use dmr_bench::{scenario, sweep, PRELIM_JOB_COUNTS, PRODUCTION_JOB_COUNTS, SEED};
@@ -20,6 +23,11 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--sweep") {
         run_sweep(&args);
+        return;
+    }
+    if let Some(path) = flag_value(&args, "--trace") {
+        let path = path.to_string();
+        run_trace(&path, &args);
         return;
     }
     let target = args.first().map(String::as_str).unwrap_or("quick");
@@ -87,6 +95,57 @@ fn run_sweep(args: &[String]) {
     }
 }
 
+/// Replays `path` (SWF) twice — rigid and malleable — through the
+/// streaming driver and prints a two-row summary CSV.
+fn run_trace(path: &str, args: &[String]) {
+    use dmr_core::{run_experiment_streaming, ExperimentConfig};
+    use dmr_metrics::csv::write_summaries;
+    use dmr_workload::SwfTrace;
+
+    let nodes = match flag_value(args, "--nodes") {
+        Some(v) => match v.parse::<u32>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("--nodes expects a positive integer, got `{v}`");
+                std::process::exit(2);
+            }
+        },
+        None => 20,
+    };
+    let cfg = ExperimentConfig::preliminary().with_nodes(nodes);
+    // A trace replay has no randomness: two opens of the same file are
+    // the same workload, so fixed vs flexible is a fair comparison.
+    let mut results = Vec::new();
+    for (label, cfg) in [("swf-fixed", cfg.as_fixed()), ("swf-flexible", cfg)] {
+        let mut trace = match SwfTrace::open(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot open trace `{path}`: {e}");
+                std::process::exit(2);
+            }
+        };
+        let result = run_experiment_streaming(&cfg, &mut trace);
+        if result.summary.jobs == 0 {
+            eprintln!("trace `{path}` contains no replayable jobs");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "{label}: {} jobs, {} lines skipped, makespan {:.1} s",
+            result.summary.jobs,
+            trace.skipped_lines(),
+            result.summary.makespan_s
+        );
+        results.push((label, result));
+    }
+    let rows: Vec<(&str, &dmr_metrics::WorkloadSummary)> = results
+        .iter()
+        .map(|(label, r)| (*label, &r.summary))
+        .collect();
+    let mut out = Vec::new();
+    write_summaries(&mut out, &rows).expect("writing to memory cannot fail");
+    print!("{}", String::from_utf8(out).expect("CSV is UTF-8"));
+}
+
 fn run(target: &str, seed: u64) {
     match target {
         "fig1" => println!("{}", f::fig1_report()),
@@ -139,7 +198,8 @@ fn run(target: &str, seed: u64) {
             eprintln!(
                 "targets: fig1 table1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 \
                  fig10 fig11 fig12 table2 all quick\n\
-                 or: --sweep [--smoke] [--threads N] [--seeds a,b,c]"
+                 or: --sweep [--smoke] [--threads N] [--seeds a,b,c]\n\
+                 or: --trace path.swf [--nodes N]"
             );
             std::process::exit(2);
         }

@@ -1,39 +1,67 @@
 //! Declarative scenario registry.
 //!
-//! A [`Scenario`] is one cell of the evaluation grid: a workload mix ×
+//! A [`Scenario`] is one cell of the evaluation grid: a workload source ×
 //! cluster size × reconfiguration policy × scheduling mode. The registry
 //! enumerates the grid declaratively so the sweep runner ([`crate::sweep`])
 //! and the `repro --sweep` CLI never hand-roll configurations, and every
 //! future policy or workload lands here as one more axis value.
+//!
+//! The workload axis covers every shipped [`WorkloadSource`] family: the
+//! three Feitelson presets, the two adversarial synthetics (burst spikes,
+//! diurnal sine arrivals) and SWF trace replay (the bundled
+//! [`TINY_SWF`] fixture, so scenarios need no filesystem access).
 
-use dmr_core::{ExperimentConfig, PolicyKind, ScheduleMode, SimJob};
-use dmr_workload::{WorkloadConfig, WorkloadGenerator};
+use dmr_core::{ExperimentConfig, PolicyKind, ScheduleMode};
+use dmr_workload::{Capped, SwfMapping, SwfTrace, WorkloadKind, WorkloadSource};
 
-/// Which workload generator family a scenario draws from.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum WorkloadKind {
-    /// §VIII FS-only preliminary mix (20-node testbed scale).
-    FsPreliminary,
-    /// §VIII-E micro-step FS variant (inhibitor stress).
-    FsMicroSteps,
-    /// §IX CG/Jacobi/N-body production mix (65-node scale).
-    RealMix,
+/// The bundled SWF trace fixture, embedded at compile time (the same
+/// file lives at `tests/fixtures/tiny.swf` for the `repro --trace` CI
+/// smoke): 12 replayable jobs plus one killed record the parser skips.
+pub const TINY_SWF: &str = include_str!("../../../tests/fixtures/tiny.swf");
+
+/// Which workload source a scenario draws from.
+///
+/// `Copy` like [`WorkloadKind`] so the grid stays plain data; trace
+/// replay is represented by the embedded fixture rather than a path, so
+/// scenarios are hermetic (no working-directory dependence in tests or
+/// sweeps).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum WorkloadSel {
+    /// One of the built-in synthetic generators.
+    Synthetic(WorkloadKind),
+    /// Replay of the bundled [`TINY_SWF`] fixture.
+    SwfFixture,
 }
 
-impl WorkloadKind {
+impl WorkloadSel {
+    /// Stable family identifier used in the sweep CSV `workload` column.
     pub fn name(self) -> &'static str {
         match self {
-            WorkloadKind::FsPreliminary => "fs",
-            WorkloadKind::FsMicroSteps => "fs-micro",
-            WorkloadKind::RealMix => "real",
+            WorkloadSel::Synthetic(kind) => kind.name(),
+            WorkloadSel::SwfFixture => "swf-tiny",
         }
     }
 
-    fn config(self, jobs: u32) -> WorkloadConfig {
+    /// Parameter-carrying identifier used in scenario names, so two
+    /// tunings of the same generator key distinct CSV rows (mirrors
+    /// [`PolicyKind::label`]).
+    pub fn label(self) -> String {
         match self {
-            WorkloadKind::FsPreliminary => WorkloadConfig::fs_preliminary(jobs),
-            WorkloadKind::FsMicroSteps => WorkloadConfig::fs_micro_steps(jobs),
-            WorkloadKind::RealMix => WorkloadConfig::real_mix(jobs),
+            WorkloadSel::Synthetic(kind) => kind.label(),
+            WorkloadSel::SwfFixture => "swf-tiny".into(),
+        }
+    }
+
+    /// Instantiates the streaming source: at most `jobs` jobs,
+    /// deterministic in `seed` (trace replay ignores the seed — a replay
+    /// has no randomness).
+    pub fn build(self, jobs: u32, seed: u64) -> Box<dyn WorkloadSource> {
+        match self {
+            WorkloadSel::Synthetic(kind) => kind.build(jobs, seed),
+            WorkloadSel::SwfFixture => Box::new(Capped::new(
+                SwfTrace::from_static(TINY_SWF, SwfMapping::default()),
+                jobs,
+            )),
         }
     }
 }
@@ -41,7 +69,9 @@ impl WorkloadKind {
 /// One cell of the scenario grid.
 #[derive(Clone, Debug)]
 pub struct Scenario {
-    pub workload: WorkloadKind,
+    pub workload: WorkloadSel,
+    /// Job count (an upper bound for trace replays, which end with the
+    /// trace).
     pub jobs: u32,
     pub nodes: u32,
     pub policy: PolicyKind,
@@ -49,17 +79,18 @@ pub struct Scenario {
 }
 
 impl Scenario {
-    /// Stable identifier, e.g. `fs50-n20-fair-share-120-async`. Uses the
-    /// parameter-carrying policy label so two tunings of the same policy
-    /// get distinct names (they key CSV rows).
+    /// Stable identifier, e.g. `fs-50j-n20-fair-share-120-async`. Uses
+    /// the parameter-carrying workload and policy labels so two tunings
+    /// of the same source or policy get distinct names (they key CSV
+    /// rows).
     pub fn name(&self) -> String {
         let mode = match self.mode {
             ScheduleMode::Synchronous => "sync",
             ScheduleMode::Asynchronous => "async",
         };
         format!(
-            "{}{}-n{}-{}-{}",
-            self.workload.name(),
+            "{}-{}j-n{}-{}-{}",
+            self.workload.label(),
             self.jobs,
             self.nodes,
             self.policy.label(),
@@ -75,9 +106,9 @@ impl Scenario {
         cfg
     }
 
-    /// The deterministic workload for `seed`.
-    pub fn generate(&self, seed: u64) -> Vec<SimJob> {
-        SimJob::from_specs(WorkloadGenerator::new(self.workload.config(self.jobs), seed).generate())
+    /// The deterministic workload source for `seed`.
+    pub fn source(&self, seed: u64) -> Box<dyn WorkloadSource> {
+        self.workload.build(self.jobs, seed)
     }
 }
 
@@ -90,23 +121,38 @@ pub fn all_policies() -> [PolicyKind; 3] {
     ]
 }
 
-/// The full scenario grid: (FS preliminary @ 20 nodes, production mix @
-/// 65 nodes) × every policy × (sync, async).
+/// Every workload-source family at its natural scale: the paper mixes at
+/// their testbed sizes, the adversarial synthetics and the trace fixture
+/// at preliminary scale. New sources join the grid here (each entry is
+/// `(source, job count, cluster nodes)`).
+pub fn workload_axis(fs_jobs: u32) -> [(WorkloadSel, u32, u32); 5] {
+    [
+        (
+            WorkloadSel::Synthetic(WorkloadKind::FsPreliminary),
+            fs_jobs,
+            20,
+        ),
+        (WorkloadSel::Synthetic(WorkloadKind::RealMix), fs_jobs, 65),
+        (WorkloadSel::Synthetic(WorkloadKind::burst()), fs_jobs, 20),
+        (WorkloadSel::Synthetic(WorkloadKind::diurnal()), fs_jobs, 20),
+        (WorkloadSel::SwfFixture, 12, 20),
+    ]
+}
+
+/// The full scenario grid: every workload source × every policy × (sync,
+/// async).
 pub fn registry() -> Vec<Scenario> {
-    grid(&[
-        (WorkloadKind::FsPreliminary, 50, 20),
-        (WorkloadKind::RealMix, 50, 65),
-    ])
+    grid(&workload_axis(50))
 }
 
-/// A CI-sized subset of the grid: small FS workloads only, every policy,
-/// both modes — fast enough for a smoke job, wide enough to cross every
-/// policy × mode pair.
+/// A CI-sized subset of the grid: 10-job workloads from every source
+/// family, every policy, both modes — fast enough for a smoke job, wide
+/// enough to cross every workload × policy × mode triple.
 pub fn smoke_registry() -> Vec<Scenario> {
-    grid(&[(WorkloadKind::FsPreliminary, 10, 20)])
+    grid(&workload_axis(10).map(|(w, jobs, nodes)| (w, jobs.min(10), nodes)))
 }
 
-fn grid(workloads: &[(WorkloadKind, u32, u32)]) -> Vec<Scenario> {
+fn grid(workloads: &[(WorkloadSel, u32, u32)]) -> Vec<Scenario> {
     let mut out = Vec::new();
     for &(workload, jobs, nodes) in workloads {
         for policy in all_policies() {
@@ -129,13 +175,19 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_covers_every_policy_and_mode() {
+    fn registry_covers_every_source_policy_and_mode() {
         let reg = registry();
-        assert_eq!(reg.len(), 12, "2 workloads x 3 policies x 2 modes");
+        assert_eq!(reg.len(), 30, "5 workloads x 3 policies x 2 modes");
         for policy in all_policies() {
             assert!(reg.iter().any(|s| s.policy == policy));
         }
         assert!(reg.iter().any(|s| s.mode == ScheduleMode::Asynchronous));
+        for name in ["fs", "real", "burst", "diurnal", "swf-tiny"] {
+            assert!(
+                reg.iter().any(|s| s.workload.name() == name),
+                "missing workload {name}"
+            );
+        }
         // Names are unique (they key CSV rows).
         let mut names: Vec<String> = reg.iter().map(Scenario::name).collect();
         names.sort();
@@ -144,23 +196,36 @@ mod tests {
     }
 
     #[test]
-    fn smoke_registry_is_small_but_wide() {
+    fn smoke_registry_is_small_but_covers_every_source() {
         let smoke = smoke_registry();
-        assert_eq!(smoke.len(), 6, "3 policies x 2 modes");
+        assert_eq!(smoke.len(), 30, "5 workloads x 3 policies x 2 modes");
         assert!(smoke.iter().all(|s| s.jobs <= 10));
+        for name in ["fs", "real", "burst", "diurnal", "swf-tiny"] {
+            assert!(smoke.iter().any(|s| s.workload.name() == name));
+        }
     }
 
     #[test]
-    fn scenario_config_and_workload_are_deterministic() {
-        let sc = &smoke_registry()[0];
-        assert_eq!(sc.config().nodes, sc.nodes);
-        assert_eq!(sc.config().policy, sc.policy);
-        let a = sc.generate(7);
-        let b = sc.generate(7);
-        assert_eq!(a.len(), b.len());
-        for (x, y) in a.iter().zip(&b) {
-            assert_eq!(x.spec.arrival_s, y.spec.arrival_s);
-            assert_eq!(x.spec.submit_procs, y.spec.submit_procs);
+    fn scenario_config_and_source_are_deterministic() {
+        for sc in smoke_registry().iter().take(7) {
+            assert_eq!(sc.config().nodes, sc.nodes);
+            assert_eq!(sc.config().policy, sc.policy);
+            let a = dmr_workload::source::collect_jobs(sc.source(7).as_mut());
+            let b = dmr_workload::source::collect_jobs(sc.source(7).as_mut());
+            assert_eq!(a.len(), b.len());
+            assert!(a.len() <= sc.jobs as usize);
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.arrival_s, y.arrival_s);
+                assert_eq!(x.submit_procs, y.submit_procs);
+            }
         }
+    }
+
+    #[test]
+    fn swf_fixture_replays_twelve_jobs() {
+        let sel = WorkloadSel::SwfFixture;
+        let jobs = dmr_workload::source::collect_jobs(sel.build(100, 0).as_mut());
+        assert_eq!(jobs.len(), 12, "fixture has 12 replayable records");
+        assert!(jobs.iter().all(|j| j.submit_procs <= 16));
     }
 }

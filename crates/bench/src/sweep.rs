@@ -10,7 +10,8 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use dmr_core::run_experiment;
+use dmr_core::run_experiment_streaming;
+use dmr_metrics::csv::escape_field;
 use dmr_metrics::WorkloadSummary;
 
 use crate::scenario::Scenario;
@@ -19,6 +20,8 @@ use crate::scenario::Scenario;
 #[derive(Clone, Debug)]
 pub struct SweepCell {
     pub scenario: String,
+    /// Workload-source family the scenario drew from.
+    pub workload: &'static str,
     pub policy: String,
     pub mode: &'static str,
     pub seed: u64,
@@ -30,16 +33,19 @@ pub struct SweepCell {
 
 impl SweepCell {
     /// The CSV header matching [`SweepCell::csv_row`].
-    pub const CSV_HEADER: &'static str = "scenario,policy,mode,seed,nodes,jobs,makespan_s,\
+    pub const CSV_HEADER: &'static str =
+        "scenario,workload,policy,mode,seed,nodes,jobs,makespan_s,\
          utilization,avg_wait_s,avg_exec_s,avg_completion_s,reconfigurations,events,past_schedules";
 
     /// One CSV row. Fixed-precision formatting keeps the byte stream
-    /// deterministic across runs and thread counts.
+    /// deterministic across runs and thread counts; free-form labels are
+    /// RFC 4180-escaped so a comma in a name can never shift columns.
     pub fn csv_row(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{:.3},{:.6},{:.3},{:.3},{:.3},{},{},{}",
-            self.scenario,
-            self.policy,
+            "{},{},{},{},{},{},{},{:.3},{:.6},{:.3},{:.3},{:.3},{},{},{}",
+            escape_field(&self.scenario),
+            escape_field(self.workload),
+            escape_field(&self.policy),
             self.mode,
             self.seed,
             self.nodes,
@@ -92,10 +98,11 @@ pub fn run_sweep(scenarios: &[Scenario], seeds: &[u64], threads: usize) -> Vec<S
 }
 
 fn run_cell(sc: &Scenario, seed: u64) -> SweepCell {
-    let jobs = sc.generate(seed);
-    let result = run_experiment(&sc.config(), &jobs);
+    let mut source = sc.source(seed);
+    let result = run_experiment_streaming(&sc.config(), source.as_mut());
     SweepCell {
         scenario: sc.name(),
+        workload: sc.workload.name(),
         policy: sc.policy.label(),
         mode: match sc.mode {
             dmr_core::ScheduleMode::Synchronous => "sync",
@@ -147,8 +154,11 @@ mod tests {
         for (i, cell) in cells.iter().enumerate() {
             let sc = &scenarios[i / seeds.len()];
             assert_eq!(cell.scenario, sc.name());
+            assert_eq!(cell.workload, sc.workload.name());
             assert_eq!(cell.seed, seeds[i % seeds.len()]);
-            assert_eq!(cell.summary.jobs as u32, sc.jobs);
+            // Synthetic sources emit exactly `jobs`; trace replays at most.
+            assert!(cell.summary.jobs as u32 <= sc.jobs);
+            assert!(cell.summary.jobs > 0);
         }
     }
 
@@ -171,8 +181,19 @@ mod tests {
         let csv = csv_report(&cells);
         let mut lines = csv.lines();
         let header = lines.next().unwrap();
-        assert!(header.starts_with("scenario,policy,mode,seed,"));
+        assert!(header.starts_with("scenario,workload,policy,mode,seed,"));
         let row = lines.next().unwrap();
         assert_eq!(row.split(',').count(), header.split(',').count());
+    }
+
+    #[test]
+    fn every_workload_family_lands_in_the_smoke_csv() {
+        let cells = run_sweep(&smoke_registry(), &[1], 4);
+        for family in ["fs", "real", "burst", "diurnal", "swf-tiny"] {
+            assert!(
+                cells.iter().any(|c| c.workload == family),
+                "{family} missing from sweep"
+            );
+        }
     }
 }

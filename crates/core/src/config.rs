@@ -104,6 +104,14 @@ impl ExperimentConfig {
         self
     }
 
+    /// Resizes the simulated machine (trace replays and scenario grids
+    /// pick cluster sizes that match their workload source, not the
+    /// paper's testbeds).
+    pub fn with_nodes(mut self, nodes: u32) -> Self {
+        self.nodes = nodes;
+        self
+    }
+
     /// Switches to asynchronous action selection.
     pub fn asynchronous(mut self) -> Self {
         self.mode = ScheduleMode::Asynchronous;
@@ -143,6 +151,8 @@ mod tests {
     fn builders_flip_the_right_switches() {
         let c = ExperimentConfig::preliminary().as_fixed();
         assert!(!c.malleability);
+        let c = ExperimentConfig::preliminary().with_nodes(128);
+        assert_eq!(c.nodes, 128);
         let c = ExperimentConfig::preliminary().asynchronous();
         assert_eq!(c.mode, ScheduleMode::Asynchronous);
         let c = ExperimentConfig::preliminary().with_inhibitor(Some(5.0));

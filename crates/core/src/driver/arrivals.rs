@@ -11,7 +11,30 @@ use super::events::Ev;
 use super::{Driver, RunState};
 use crate::config::EstimateMode;
 
-impl Driver {
+impl Driver<'_> {
+    /// Pulls the next job from the feed (if any) and schedules its
+    /// arrival. Exactly one arrival event is in flight at any time, so
+    /// arbitrarily long workloads occupy O(1) event-queue space.
+    ///
+    /// Arrivals are scheduled in the engine's *early* tie-break class:
+    /// historically every arrival was scheduled before the run began and
+    /// therefore always popped before same-instant run events; streaming
+    /// must preserve that order bit-for-bit.
+    pub(crate) fn schedule_next_arrival(&mut self) {
+        let Some(job) = self.feed.next_job() else {
+            self.arrivals_pending = false;
+            return;
+        };
+        // Sources yield arrival-sorted jobs; clamp stragglers so virtual
+        // time never runs backwards.
+        let at = SimTime::from_secs_f64(job.spec.arrival_s.max(0.0)).max(self.last_arrival);
+        self.last_arrival = at;
+        let idx = self.jobs.len();
+        self.jobs.push(job);
+        self.engine.schedule_at_early(at, Ev::Arrival(idx));
+        self.arrivals_pending = true;
+    }
+
     pub(crate) fn on_arrival(&mut self, idx: usize, now: SimTime) {
         let sim = &self.jobs[idx];
         let spec = &sim.spec;
@@ -42,7 +65,8 @@ impl Driver {
         };
         let id = self.slurm.submit(req, now);
         self.spec_of.insert(id, idx);
-        self.arrivals_remaining -= 1;
+        // The job is in the system: pull its successor from the feed.
+        self.schedule_next_arrival();
         self.do_schedule(now);
     }
 

@@ -24,7 +24,7 @@ pub(crate) enum Ev {
     BackfillTick,
 }
 
-impl Driver {
+impl Driver<'_> {
     pub(crate) fn handle(&mut self, now: SimTime, ev: Ev) {
         match ev {
             Ev::Arrival(i) => self.on_arrival(i, now),
@@ -40,8 +40,7 @@ impl Driver {
     pub(crate) fn on_backfill_tick(&mut self, now: SimTime) {
         let starts = self.slurm.backfill_pass(now);
         self.wire_starts(starts, now);
-        if self.arrivals_remaining > 0 || self.slurm.pending_count() > 0 || !self.running.is_empty()
-        {
+        if self.arrivals_pending || self.slurm.pending_count() > 0 || !self.running.is_empty() {
             self.engine.schedule_in(
                 Span::from_secs_f64(self.cfg.backfill_interval_s),
                 Ev::BackfillTick,

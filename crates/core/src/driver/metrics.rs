@@ -13,7 +13,7 @@ use dmr_slurm::JobState;
 use super::Driver;
 use crate::result::ExperimentResult;
 
-impl Driver {
+impl Driver<'_> {
     /// Records one sample of every evolution series at `now`.
     pub(crate) fn sample(&mut self, now: SimTime) {
         self.alloc_series

@@ -34,6 +34,7 @@ use dmr_cluster::Cluster;
 use dmr_metrics::StepSeries;
 use dmr_sim::{Engine, EventId, SimTime, Span};
 use dmr_slurm::{JobId, ResizeAction, Slurm, SlurmConfig};
+use dmr_workload::WorkloadSource;
 
 use crate::config::ExperimentConfig;
 use crate::model::SimJob;
@@ -78,10 +79,31 @@ impl RunState {
     }
 }
 
+/// Where the driver pulls its jobs from: a pre-materialized list (the
+/// historical [`run_experiment`] API) or a streaming
+/// [`dmr_workload::WorkloadSource`]. Either way the driver consumes
+/// demand one job at a time — only the next arrival is ever scheduled.
+pub(crate) enum JobFeed<'a> {
+    Materialized(std::iter::Cloned<std::slice::Iter<'a, SimJob>>),
+    Streaming(&'a mut dyn WorkloadSource),
+}
+
+impl JobFeed<'_> {
+    fn next_job(&mut self) -> Option<SimJob> {
+        match self {
+            JobFeed::Materialized(it) => it.next(),
+            JobFeed::Streaming(src) => src.next_job().map(SimJob::from_spec),
+        }
+    }
+}
+
 /// The simulation state shared by every driver submodule.
-pub(crate) struct Driver {
+pub(crate) struct Driver<'a> {
     pub(crate) cfg: ExperimentConfig,
+    /// Jobs that have entered the simulation (arrival scheduled or past),
+    /// indexed by the `Ev::Arrival` payload. Grows as the feed is drained.
     pub(crate) jobs: Vec<SimJob>,
+    pub(crate) feed: JobFeed<'a>,
     pub(crate) slurm: Slurm,
     pub(crate) engine: Engine<Ev>,
     pub(crate) running: BTreeMap<JobId, RunState>,
@@ -91,12 +113,34 @@ pub(crate) struct Driver {
     pub(crate) running_series: StepSeries,
     pub(crate) completed_series: StepSeries,
     pub(crate) completed: u32,
-    pub(crate) arrivals_remaining: usize,
+    /// An arrival event is in flight (the feed was not exhausted at the
+    /// last pull).
+    pub(crate) arrivals_pending: bool,
+    /// Arrival instant of the last scheduled arrival; sources must be
+    /// arrival-sorted, stragglers are clamped here defensively.
+    pub(crate) last_arrival: SimTime,
 }
 
 /// Runs one workload under one configuration.
 pub fn run_experiment(cfg: &ExperimentConfig, jobs: &[SimJob]) -> ExperimentResult {
-    Driver::new(*cfg, jobs.to_vec()).run()
+    Driver::new(*cfg, JobFeed::Materialized(jobs.iter().cloned())).run()
+}
+
+/// Runs one streamed workload under one configuration.
+///
+/// Unlike [`run_experiment`], the job list is never materialized: the
+/// driver pulls one job at a time from `source` and keeps a single
+/// arrival event in flight, so a million-job trace replays in O(1)
+/// arrival memory (completed-job accounting still grows with the
+/// workload, exactly as the scheduler's own records do). Streaming the
+/// [`dmr_workload::Feitelson`] source is result-identical to running
+/// [`run_experiment`] on the materialized generator output (pinned by
+/// `tests/source_equivalence.rs`).
+pub fn run_experiment_streaming(
+    cfg: &ExperimentConfig,
+    source: &mut dyn WorkloadSource,
+) -> ExperimentResult {
+    Driver::new(*cfg, JobFeed::Streaming(source)).run()
 }
 
 /// Runs the workload twice — rigid ("fixed") and malleable ("flexible") —
@@ -113,8 +157,8 @@ pub fn compare_fixed_flexible(
     (fixed, flexible)
 }
 
-impl Driver {
-    fn new(cfg: ExperimentConfig, jobs: Vec<SimJob>) -> Self {
+impl<'a> Driver<'a> {
+    fn new(cfg: ExperimentConfig, feed: JobFeed<'a>) -> Self {
         let cluster = Cluster::new(cfg.nodes, cfg.cores_per_node);
         let mut scfg = SlurmConfig::for_cluster(cfg.nodes);
         scfg.backfill = cfg.backfill;
@@ -123,7 +167,8 @@ impl Driver {
         scfg.policy = cfg.policy;
         Driver {
             cfg,
-            jobs,
+            jobs: Vec::new(),
+            feed,
             slurm: Slurm::new(cluster, scfg),
             engine: Engine::new(),
             running: BTreeMap::new(),
@@ -133,16 +178,15 @@ impl Driver {
             running_series: StepSeries::new(),
             completed_series: StepSeries::new(),
             completed: 0,
-            arrivals_remaining: 0,
+            arrivals_pending: false,
+            last_arrival: SimTime::ZERO,
         }
     }
 
     fn run(mut self) -> ExperimentResult {
-        self.arrivals_remaining = self.jobs.len();
-        for (i, job) in self.jobs.iter().enumerate() {
-            self.engine
-                .schedule_at(SimTime::from_secs_f64(job.spec.arrival_s), Ev::Arrival(i));
-        }
+        // Pull only the first job; each arrival pulls its successor, so
+        // the event queue carries one arrival at a time.
+        self.schedule_next_arrival();
         if self.cfg.backfill {
             self.engine.schedule_in(
                 Span::from_secs_f64(self.cfg.backfill_interval_s),
@@ -360,6 +404,42 @@ mod tests {
             util.summary.reconfigurations,
             alg1.summary.reconfigurations
         );
+    }
+
+    #[test]
+    fn streaming_source_is_result_identical_to_materialized_path() {
+        use dmr_workload::{Feitelson, WorkloadConfig, WorkloadGenerator};
+        let wcfg = WorkloadConfig::fs_preliminary(30);
+        let specs = WorkloadGenerator::new(wcfg.clone(), 9).generate();
+        let materialized = run_experiment(&cfg(), &SimJob::from_specs(specs));
+        let mut src = Feitelson::new(wcfg, 9);
+        let streamed = run_experiment_streaming(&cfg(), &mut src);
+        assert_eq!(materialized.summary.makespan_s, streamed.summary.makespan_s);
+        assert_eq!(
+            materialized.summary.avg_waiting_s,
+            streamed.summary.avg_waiting_s
+        );
+        assert_eq!(
+            materialized.summary.reconfigurations,
+            streamed.summary.reconfigurations
+        );
+        assert_eq!(materialized.events, streamed.events);
+        assert_eq!(materialized.outcomes.len(), streamed.outcomes.len());
+        for (a, b) in materialized.outcomes.iter().zip(&streamed.outcomes) {
+            assert_eq!(a.start, b.start);
+            assert_eq!(a.end, b.end);
+        }
+    }
+
+    #[test]
+    fn adversarial_sources_run_to_completion() {
+        use dmr_workload::WorkloadKind;
+        for kind in [WorkloadKind::burst(), WorkloadKind::diurnal()] {
+            let mut src = kind.build(20, 5);
+            let r = run_experiment_streaming(&cfg(), src.as_mut());
+            assert_eq!(r.summary.jobs, 20, "{kind:?}");
+            assert_eq!(r.past_schedules, 0, "{kind:?}");
+        }
     }
 
     #[test]

@@ -24,7 +24,7 @@ use super::Driver;
 use crate::config::{EstimateMode, ScheduleMode};
 use crate::error::DmrError;
 
-impl Driver {
+impl Driver<'_> {
     /// One reconfiguring point: dispatch to the configured check variant.
     pub(crate) fn check_point(&mut self, job: JobId, now: SimTime) {
         match self.cfg.mode {

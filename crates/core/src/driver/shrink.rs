@@ -15,7 +15,7 @@ use dmr_slurm::JobId;
 use super::events::Ev;
 use super::Driver;
 
-impl Driver {
+impl Driver<'_> {
     /// Schedules the drain: charge the redistribution now, release nodes
     /// when it completes ([`Driver::finish_shrink`]).
     pub(crate) fn schedule_shrink(&mut self, job: JobId, to: u32, now: SimTime, pause: Span) {

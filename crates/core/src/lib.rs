@@ -11,10 +11,12 @@
 //! * [`config`] — experiment configuration: cluster size, synchronous vs
 //!   asynchronous scheduling (§VIII-B/C), the checking inhibitor override
 //!   (§VIII-E), cost-model knobs.
-//! * [`driver`] — the discrete-event driver: job arrivals, backfilled
-//!   starts, per-step DMR checks against the Algorithm-1 policy, the
-//!   resizer-job expansion protocol with timeout, ACK-style shrinks,
-//!   spawn + redistribution costs, and full metric collection.
+//! * [`driver`] — the discrete-event driver: job arrivals streamed one at
+//!   a time from a [`dmr_workload::WorkloadSource`] (a pre-materialized
+//!   list remains the convenience path), backfilled starts, per-step DMR
+//!   checks against the Algorithm-1 policy, the resizer-job expansion
+//!   protocol with timeout, ACK-style shrinks, spawn + redistribution
+//!   costs, and full metric collection.
 //! * [`result`] — what an experiment returns: a
 //!   [`dmr_metrics::WorkloadSummary`] plus the evolution series behind the
 //!   paper's timeline figures.
@@ -22,7 +24,8 @@
 //!   layers' error enums (cluster allocation, MPI, the Slurm expansion
 //!   protocol) behind one `std::error::Error`.
 //!
-//! The headline entry points are [`driver::run_experiment`] and
+//! The headline entry points are [`driver::run_experiment`],
+//! [`driver::run_experiment_streaming`] and
 //! [`driver::compare_fixed_flexible`].
 
 pub mod config;
@@ -33,7 +36,8 @@ pub mod result;
 
 pub use config::{ExperimentConfig, ScheduleMode};
 pub use dmr_slurm::PolicyKind;
-pub use driver::{compare_fixed_flexible, run_experiment};
+pub use dmr_workload::{WorkloadKind, WorkloadSource};
+pub use driver::{compare_fixed_flexible, run_experiment, run_experiment_streaming};
 pub use error::DmrError;
 pub use model::{curve_for, SimJob, SpeedupCurve};
 pub use result::ExperimentResult;

@@ -76,6 +76,12 @@ pub fn curve_for(app: AppClass) -> SpeedupCurve {
 
 /// A generated job together with its scalability model — the unit the
 /// simulation driver consumes.
+///
+/// Jobs reach the driver either pre-materialized (`&[SimJob]`, the
+/// convenience path) or streamed one at a time from a
+/// [`dmr_workload::source::WorkloadSource`]; in the streaming case the
+/// driver binds each pulled [`JobSpec`] to its class curve via
+/// [`SimJob::from_spec`] on arrival.
 #[derive(Clone, Debug)]
 pub struct SimJob {
     pub spec: JobSpec,

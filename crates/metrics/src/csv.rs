@@ -1,9 +1,25 @@
 //! Minimal CSV/plot output helpers (buffered, no external deps).
 
+use std::borrow::Cow;
 use std::io::{self, Write};
 
 use crate::series::StepSeries;
 use crate::summary::WorkloadSummary;
+
+/// Escapes one CSV field per RFC 4180: fields containing a comma, a
+/// double quote, or a line break are wrapped in double quotes with inner
+/// quotes doubled; everything else passes through unchanged (borrowed).
+///
+/// Free-form labels — scenario × workload names, policy labels — flow
+/// into CSV rows; an unescaped comma would silently shift every column
+/// after it.
+pub fn escape_field(field: &str) -> Cow<'_, str> {
+    if field.contains(['"', ',', '\n', '\r']) {
+        Cow::Owned(format!("\"{}\"", field.replace('"', "\"\"")))
+    } else {
+        Cow::Borrowed(field)
+    }
+}
 
 /// Writes a step series as `seconds,value` rows.
 pub fn write_series(w: &mut impl Write, header: &str, s: &StepSeries) -> io::Result<()> {
@@ -23,7 +39,8 @@ pub fn write_summaries(w: &mut impl Write, rows: &[(&str, &WorkloadSummary)]) ->
     for (label, s) in rows {
         writeln!(
             w,
-            "{label},{},{:.1},{:.4},{:.1},{:.1},{:.1},{}",
+            "{},{},{:.1},{:.4},{:.1},{:.1},{:.1},{}",
+            escape_field(label),
             s.jobs,
             s.makespan_s,
             s.utilization,
@@ -84,6 +101,39 @@ mod tests {
         write_summaries(&mut buf, &[("fixed", &s)]).unwrap();
         let text = String::from_utf8(buf).unwrap();
         assert!(text.contains("fixed,7,100.0,0.5000,10.0,20.0,30.0,3"));
+    }
+
+    #[test]
+    fn labels_with_commas_and_quotes_are_escaped() {
+        let s = WorkloadSummary {
+            makespan_s: 1.0,
+            utilization: 1.0,
+            avg_waiting_s: 0.0,
+            avg_execution_s: 1.0,
+            avg_completion_s: 1.0,
+            jobs: 1,
+            reconfigurations: 0,
+        };
+        let mut buf = Vec::new();
+        write_summaries(&mut buf, &[("fs50,n20 \"smoke\"", &s), ("plain", &s)]).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let rows: Vec<&str> = text.lines().collect();
+        // The quoted field counts as one column: every row keeps the
+        // header's column count.
+        assert!(rows[1].starts_with("\"fs50,n20 \"\"smoke\"\"\","));
+        assert!(rows[2].starts_with("plain,"));
+        assert_eq!(rows[2].split(',').count(), rows[0].split(',').count());
+    }
+
+    #[test]
+    fn escape_field_round_trips_plain_fields_borrowed() {
+        assert!(matches!(
+            escape_field("fs50-n20-sync"),
+            std::borrow::Cow::Borrowed(_)
+        ));
+        assert_eq!(escape_field("a,b"), "\"a,b\"");
+        assert_eq!(escape_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(escape_field("two\nlines"), "\"two\nlines\"");
     }
 
     #[test]

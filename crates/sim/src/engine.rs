@@ -1,6 +1,6 @@
 //! The simulation engine: a clock plus an event queue, with a driver loop.
 
-use crate::queue::{EventKey, EventQueue};
+use crate::queue::{EventKey, EventQueue, CLASS_EARLY, CLASS_NORMAL};
 use crate::time::{SimTime, Span};
 
 /// Handle for a scheduled event (re-exported key type).
@@ -65,6 +65,20 @@ impl<E> Engine<E> {
     /// and count the clamp in [`Engine::past_schedules`], which is also
     /// maintained in debug builds so sweeps can assert on it uniformly.
     pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventId {
+        self.schedule_class(at, CLASS_NORMAL, event)
+    }
+
+    /// Like [`Engine::schedule_at`], but the event wins every tie against
+    /// same-instant [`Engine::schedule_at`] events regardless of insertion
+    /// order (FIFO among early events). Used for event families that must
+    /// keep front-of-queue semantics — e.g. streamed workload arrivals,
+    /// which historically were all scheduled before the run began and
+    /// therefore always popped first at their instant.
+    pub fn schedule_at_early(&mut self, at: SimTime, event: E) -> EventId {
+        self.schedule_class(at, CLASS_EARLY, event)
+    }
+
+    fn schedule_class(&mut self, at: SimTime, class: u8, event: E) -> EventId {
         if at < self.now {
             self.past_schedules += 1;
             debug_assert!(
@@ -74,12 +88,16 @@ impl<E> Engine<E> {
             );
         }
         let at = at.max(self.now);
-        self.queue.push(at, event)
+        self.queue.push_with_class(at, class, event)
     }
 
-    /// Schedules an event `delay` after the current instant.
+    /// Schedules an event `delay` after the current instant. Routed through
+    /// [`Engine::schedule_at`] so both entry points share the
+    /// past-scheduling clamp and [`Engine::past_schedules`] accounting (a
+    /// non-negative `delay` can never trip it, but the invariant lives in
+    /// exactly one place).
     pub fn schedule_in(&mut self, delay: Span, event: E) -> EventId {
-        self.queue.push(self.now + delay, event)
+        self.schedule_at(self.now + delay, event)
     }
 
     /// Cancels a pending event, returning its payload if it had not fired.
@@ -208,6 +226,31 @@ mod tests {
         // Scheduling exactly at `now` is fine.
         eng.schedule_at(SimTime::from_secs(10), 3);
         assert_eq!(eng.past_schedules(), 1);
+    }
+
+    #[test]
+    fn early_events_outrank_same_instant_normal_events() {
+        let mut eng: Engine<&str> = Engine::new();
+        eng.schedule_at(SimTime::from_secs(5), "normal");
+        eng.schedule_at_early(SimTime::from_secs(5), "early");
+        let mut seen = Vec::new();
+        eng.run(|_, _, e| seen.push(e));
+        assert_eq!(seen, vec!["early", "normal"]);
+    }
+
+    #[test]
+    fn schedule_in_shares_the_schedule_at_invariant() {
+        let mut eng: Engine<u32> = Engine::new();
+        eng.schedule_at(SimTime::from_secs(4), 1);
+        eng.next_event();
+        // Zero and positive delays from `now` are never "in the past".
+        eng.schedule_in(Span::ZERO, 2);
+        eng.schedule_in(Span::from_secs(1), 3);
+        assert_eq!(eng.past_schedules(), 0);
+        let (t2, e2) = eng.next_event().unwrap();
+        assert_eq!((t2, e2), (SimTime::from_secs(4), 2));
+        let (t3, e3) = eng.next_event().unwrap();
+        assert_eq!((t3, e3), (SimTime::from_secs(5), 3));
     }
 
     #[test]

@@ -10,9 +10,11 @@
 //!
 //! Design constraints:
 //!
-//! * **Determinism.** Events are ordered by `(time, sequence-number)`; ties
-//!   are broken by insertion order, never by heap internals. Two runs with
-//!   the same inputs produce identical event sequences (asserted by tests).
+//! * **Determinism.** Events are ordered by `(time, class, sequence-number)`;
+//!   ties are broken by an explicit tie-break class (see
+//!   [`queue::CLASS_EARLY`]) and then by insertion order, never by heap
+//!   internals. Two runs with the same inputs produce identical event
+//!   sequences (asserted by tests).
 //! * **Cancellation.** Schedulers routinely abandon timers (e.g. the resizer
 //!   job timeout in the expansion protocol). [`Engine::cancel`] removes an
 //!   event in O(1) amortised by tombstoning.

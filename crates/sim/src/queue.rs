@@ -1,13 +1,28 @@
 //! Cancellable priority queue of timestamped events.
 //!
-//! Ordering is `(time, sequence)` where the sequence number is assigned at
-//! insertion, so events scheduled for the same instant pop in FIFO order.
-//! Cancellation tombstones the entry; dead entries are skipped on pop.
+//! Ordering is `(time, class, sequence)` where the sequence number is
+//! assigned at insertion, so events scheduled for the same instant pop in
+//! FIFO order within their class; the class lets a family of events
+//! outrank same-instant events of the default class regardless of
+//! insertion order. Cancellation tombstones the entry; dead entries are
+//! skipped on pop.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
 use crate::time::SimTime;
+
+/// Tie-break class popping *before* [`CLASS_NORMAL`] at the same instant.
+///
+/// Exists for event families that must win every same-instant tie no
+/// matter when they were inserted — e.g. workload arrivals, which were
+/// historically all scheduled before the simulation began (and therefore
+/// always carried the smallest sequence numbers) and keep that ordering
+/// guarantee now that they are scheduled one at a time, mid-run.
+pub const CLASS_EARLY: u8 = 0;
+
+/// Default tie-break class used by [`EventQueue::push`].
+pub const CLASS_NORMAL: u8 = 1;
 
 /// Opaque handle identifying a scheduled event, used for cancellation.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -16,6 +31,7 @@ pub struct EventKey(u64);
 #[derive(PartialEq, Eq, PartialOrd, Ord)]
 struct Entry {
     time: SimTime,
+    class: u8,
     seq: u64,
 }
 
@@ -51,12 +67,18 @@ impl<E> EventQueue<E> {
         self.live.is_empty()
     }
 
-    /// Schedules `event` at `time`, returning a key usable with
-    /// [`EventQueue::cancel`].
+    /// Schedules `event` at `time` in [`CLASS_NORMAL`], returning a key
+    /// usable with [`EventQueue::cancel`].
     pub fn push(&mut self, time: SimTime, event: E) -> EventKey {
+        self.push_with_class(time, CLASS_NORMAL, event)
+    }
+
+    /// Schedules `event` at `time` in an explicit tie-break `class`
+    /// (lower classes pop first at equal instants; FIFO within a class).
+    pub fn push_with_class(&mut self, time: SimTime, class: u8, event: E) -> EventKey {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Reverse(Entry { time, seq }));
+        self.heap.push(Reverse(Entry { time, class, seq }));
         self.live.insert(seq, event);
         EventKey(seq)
     }
@@ -116,6 +138,22 @@ mod tests {
         }
         let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
         assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn early_class_beats_normal_at_same_instant() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(5), "normal-1");
+        q.push_with_class(SimTime(5), CLASS_EARLY, "early-1");
+        q.push(SimTime(5), "normal-2");
+        q.push_with_class(SimTime(5), CLASS_EARLY, "early-2");
+        // Earlier *times* still dominate any class.
+        q.push(SimTime(1), "first");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(
+            order,
+            vec!["first", "early-1", "early-2", "normal-1", "normal-2"]
+        );
     }
 
     #[test]

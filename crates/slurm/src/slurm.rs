@@ -1,6 +1,7 @@
 //! The scheduler core: queue, EASY backfill, and the malleability
 //! protocol of §III.
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 
 use dmr_cluster::{Cluster, NodeId};
@@ -101,6 +102,16 @@ pub struct Slurm {
     /// The installed reconfiguration decision procedure (§IV plug-in).
     /// `None` only transiently, while the policy is consulted.
     policy: Option<Box<dyn ResizePolicy>>,
+    /// Memoized pending-queue priority order for one instant.
+    ///
+    /// A scheduling cycle computes the multifactor priority of every
+    /// pending job and sorts them — and then every policy consultation in
+    /// the same cycle does it again through [`Slurm::pending_queue`]. The
+    /// order is a pure function of `(pending set, job attributes, now)`,
+    /// so it is cached per instant and invalidated on any mutation that
+    /// can change it (submit, start, completion, cancellation, boost).
+    /// `RefCell`: the recompute happens behind `&self` accessors.
+    queue_cache: RefCell<Option<(SimTime, Vec<JobId>)>>,
 }
 
 impl Slurm {
@@ -112,6 +123,7 @@ impl Slurm {
             next_id: 1,
             policy: Some(config.policy.build()),
             config,
+            queue_cache: RefCell::new(None),
         }
     }
 
@@ -208,6 +220,7 @@ impl Slurm {
             reconfigurations: 0,
         };
         self.jobs.insert(id, job);
+        self.invalidate_queue_cache();
         id
     }
 
@@ -217,6 +230,7 @@ impl Slurm {
     pub fn boost(&mut self, id: JobId) {
         if let Some(j) = self.jobs.get_mut(&id) {
             j.boosted = true;
+            self.invalidate_queue_cache();
         }
     }
 
@@ -228,7 +242,18 @@ impl Slurm {
         }
     }
 
+    /// Drops the memoized pending order. Must be called by every mutation
+    /// that can change the pending set or any priority input.
+    fn invalidate_queue_cache(&self) {
+        *self.queue_cache.borrow_mut() = None;
+    }
+
     fn pending_ids_by_priority(&self, now: SimTime) -> Vec<JobId> {
+        if let Some((at, order)) = self.queue_cache.borrow().as_ref() {
+            if *at == now {
+                return order.clone();
+            }
+        }
         let mut pend: Vec<(&Job, u64)> = self
             .jobs
             .values()
@@ -240,7 +265,9 @@ impl Slurm {
                 .then(a.submit_time.cmp(&b.submit_time))
                 .then(a.id.cmp(&b.id))
         });
-        pend.into_iter().map(|(j, _)| j.id).collect()
+        let order: Vec<JobId> = pend.into_iter().map(|(j, _)| j.id).collect();
+        *self.queue_cache.borrow_mut() = Some((now, order.clone()));
+        order
     }
 
     /// Pending jobs in scheduling order, excluding resizer jobs (exposed
@@ -300,10 +327,12 @@ impl Slurm {
         let job = self.jobs.get_mut(&id).expect("job exists");
         job.state = JobState::Running;
         job.start_time = Some(now);
+        let resizer_for = job.dependency.map(|Dependency::ExpandOf(parent)| parent);
+        self.invalidate_queue_cache();
         JobStart {
             id,
             nodes,
-            resizer_for: job.dependency.map(|Dependency::ExpandOf(parent)| parent),
+            resizer_for,
         }
     }
 
@@ -397,6 +426,7 @@ impl Slurm {
         debug_assert_eq!(job.state, JobState::Running, "completing a non-running job");
         job.state = JobState::Completed;
         job.end_time = Some(now);
+        self.invalidate_queue_cache();
         // A job that shrank to zero nodes cannot exist (envelope min >= 1),
         // but release defensively.
         let _ = self.cluster.release_all(id.owner_tag());
@@ -415,6 +445,7 @@ impl Slurm {
         let was_running = job.state == JobState::Running;
         job.state = JobState::Cancelled;
         job.end_time = Some(now);
+        self.invalidate_queue_cache();
         if was_running && !self.detached.contains_key(&id) {
             let _ = self.cluster.release_all(id.owner_tag());
         }
@@ -773,6 +804,33 @@ mod tests {
             s.expand_protocol(pending, 4, t(1)),
             Err(ExpandError::NotRunning(pending))
         );
+    }
+
+    #[test]
+    fn cached_pending_order_tracks_mutations_within_one_instant() {
+        let mut s = slurm(4);
+        let hog = s.submit(JobRequest::rigid("hog", 4), t(0));
+        s.schedule(t(0));
+        let a = s.submit(JobRequest::rigid("a", 2), t(1));
+        let b = s.submit(JobRequest::rigid("b", 2), t(2));
+        // Two same-instant reads hit the cache and agree.
+        assert_eq!(s.pending_queue(t(5)), vec![a, b]);
+        assert_eq!(s.pending_queue(t(5)), vec![a, b]);
+        // A boost at the same instant must invalidate, not serve stale.
+        s.boost(b);
+        assert_eq!(s.pending_queue(t(5)), vec![b, a]);
+        // A same-instant submit must appear immediately.
+        let c = s.submit(JobRequest::rigid("c", 1), t(5));
+        assert_eq!(s.pending_queue(t(5)), vec![b, a, c]);
+        // A cancellation must disappear immediately.
+        s.cancel(a, t(5));
+        assert_eq!(s.pending_queue(t(5)), vec![b, c]);
+        // And a start (via completion freeing the machine) as well.
+        s.complete(hog, t(5));
+        s.schedule(t(5));
+        assert!(s.pending_queue(t(5)).is_empty());
+        // Age reorders across instants: the cache must not pin t=5.
+        assert!(s.pending_queue(t(6)).is_empty());
     }
 
     #[test]

@@ -1,0 +1,235 @@
+//! Adversarial load-spike generator.
+//!
+//! Real clusters do not see smooth Poisson traffic: deadline waves, crons
+//! and campaign submissions produce *spikes* that stress the scheduler's
+//! reconfiguration machinery far harder than the Feitelson model's steady
+//! arrivals (the load-spike scenarios of the related elastic-cloud test
+//! suites). [`Burst`] models this with a periodically modulated Poisson
+//! process: every [`BurstConfig::period_s`] seconds the arrival rate
+//! multiplies by [`BurstConfig::intensity`] for
+//! [`BurstConfig::burst_len_s`] seconds, then relaxes to the base rate.
+//! Job bodies are FS-class (linearly scalable, Table I envelope), drawn
+//! one at a time — the source streams in O(1) memory.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::generator::table1;
+use crate::runtime::{exponential, RuntimeModel};
+use crate::size::SizeModel;
+use crate::source::WorkloadSource;
+use crate::spec::{AppClass, JobSpec, MalleabilitySpec};
+
+/// Knobs of the load-spike process.
+#[derive(Clone, Copy, Debug)]
+pub struct BurstConfig {
+    /// Number of jobs to emit.
+    pub jobs: u32,
+    /// Mean inter-arrival gap outside bursts, seconds.
+    pub mean_interarrival_s: f64,
+    /// Length of one calm+burst cycle, seconds.
+    pub period_s: f64,
+    /// Burst window at the start of each cycle, seconds.
+    pub burst_len_s: f64,
+    /// Arrival-rate multiplier inside the burst window (> 1 spikes).
+    pub intensity: f64,
+    /// Cap on job sizes (the §VIII partition limit).
+    pub max_size: u32,
+    /// Fraction of jobs that are flexible.
+    pub flexible_ratio: f64,
+    /// Steps per job.
+    pub steps: u32,
+    /// Bytes redistributed on each reconfiguration.
+    pub data_bytes: u64,
+}
+
+impl Default for BurstConfig {
+    /// §VIII-style FS bodies under 10-minute cycles with a 60 s 8× spike.
+    fn default() -> Self {
+        BurstConfig {
+            jobs: 100,
+            mean_interarrival_s: 10.0,
+            period_s: 600.0,
+            burst_len_s: 60.0,
+            intensity: 8.0,
+            max_size: 20,
+            flexible_ratio: 1.0,
+            steps: 25,
+            data_bytes: 1 << 30,
+        }
+    }
+}
+
+/// Streaming load-spike source; see the module docs.
+pub struct Burst {
+    cfg: BurstConfig,
+    rng: StdRng,
+    size_model: SizeModel,
+    step_model: RuntimeModel,
+    /// Arrival instant of the next job to emit.
+    t: f64,
+    emitted: u32,
+}
+
+impl Burst {
+    /// A deterministic spike workload for `seed`.
+    pub fn new(cfg: BurstConfig, seed: u64) -> Self {
+        assert!(cfg.mean_interarrival_s > 0.0, "mean gap must be positive");
+        assert!(cfg.period_s > 0.0, "period must be positive");
+        assert!(cfg.intensity > 0.0, "intensity must be positive");
+        Burst {
+            size_model: SizeModel::new(cfg.max_size),
+            step_model: RuntimeModel::fs_steps(cfg.max_size),
+            rng: StdRng::seed_from_u64(seed),
+            t: 0.0,
+            emitted: 0,
+            cfg,
+        }
+    }
+
+    /// Rate multiplier at instant `t` (1 outside bursts).
+    fn rate_multiplier(&self, t: f64) -> f64 {
+        if t % self.cfg.period_s < self.cfg.burst_len_s {
+            self.cfg.intensity
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Deterministic fraction bookkeeping: job `emitted` is flexible iff the
+/// running count of flexible jobs would otherwise fall behind `ratio`.
+pub(crate) fn ratio_slot(emitted: u32, ratio: f64) -> bool {
+    (((emitted + 1) as f64) * ratio).floor() > ((emitted as f64) * ratio).floor()
+}
+
+/// The per-workload (job-independent) part of an FS body.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct FsShape {
+    pub(crate) steps: u32,
+    pub(crate) max_size: u32,
+    pub(crate) data_bytes: u64,
+    /// The step model's per-step cap (users request the cap as their
+    /// walltime, like the Feitelson generator's FS jobs).
+    pub(crate) step_cap_s: f64,
+}
+
+/// An FS-class job body at `size` procs (Table I envelope, capped).
+pub(crate) fn fs_body(
+    index: u32,
+    arrival_s: f64,
+    size: u32,
+    step_s: f64,
+    flexible: bool,
+    shape: FsShape,
+) -> JobSpec {
+    let (_, malleability, _) = table1(AppClass::Fs);
+    let walltime_s = if shape.step_cap_s.is_finite() {
+        shape.steps as f64 * shape.step_cap_s
+    } else {
+        shape.steps as f64 * step_s * 2.5
+    };
+    JobSpec {
+        index,
+        arrival_s,
+        submit_procs: size,
+        steps: shape.steps,
+        step_s,
+        walltime_s,
+        data_bytes: shape.data_bytes,
+        app: AppClass::Fs,
+        flexible,
+        malleability: MalleabilitySpec {
+            max_procs: malleability.max_procs.min(shape.max_size),
+            ..malleability
+        },
+    }
+}
+
+impl WorkloadSource for Burst {
+    fn name(&self) -> &'static str {
+        "burst"
+    }
+
+    fn next_job(&mut self) -> Option<JobSpec> {
+        if self.emitted >= self.cfg.jobs {
+            return None;
+        }
+        let arrival_s = self.t;
+        let size = self.size_model.sample(&mut self.rng);
+        let step_s = self.step_model.sample(size, &mut self.rng);
+        let flexible = ratio_slot(self.emitted, self.cfg.flexible_ratio);
+        let job = fs_body(
+            self.emitted,
+            arrival_s,
+            size,
+            step_s,
+            flexible,
+            FsShape {
+                steps: self.cfg.steps,
+                max_size: self.cfg.max_size,
+                data_bytes: self.cfg.data_bytes,
+                step_cap_s: self.step_model.cap_s,
+            },
+        );
+        // Draw the gap to the *next* arrival at the local rate — an
+        // approximation of the inhomogeneous Poisson process that is exact
+        // whenever the gap stays within the current rate regime.
+        let mul = self.rate_multiplier(self.t);
+        self.t += exponential(self.cfg.mean_interarrival_s / mul, &mut self.rng);
+        self.emitted += 1;
+        Some(job)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::collect_jobs;
+
+    #[test]
+    fn bursts_cluster_arrivals() {
+        let cfg = BurstConfig {
+            jobs: 400,
+            ..BurstConfig::default()
+        };
+        let jobs = collect_jobs(&mut Burst::new(cfg, 11));
+        assert_eq!(jobs.len(), 400);
+        // Jobs arriving inside burst windows must be over-represented
+        // relative to the 10 % duty cycle of the default config.
+        let in_burst = jobs
+            .iter()
+            .filter(|j| j.arrival_s % cfg.period_s < cfg.burst_len_s)
+            .count();
+        assert!(
+            in_burst as f64 > jobs.len() as f64 * 0.3,
+            "only {in_burst}/400 jobs inside burst windows"
+        );
+    }
+
+    #[test]
+    fn flexible_ratio_is_exact() {
+        let cfg = BurstConfig {
+            jobs: 200,
+            flexible_ratio: 0.25,
+            ..BurstConfig::default()
+        };
+        let jobs = collect_jobs(&mut Burst::new(cfg, 3));
+        let flex = jobs.iter().filter(|j| j.flexible).count();
+        assert_eq!(flex, 50, "deterministic 25 % of 200");
+    }
+
+    #[test]
+    fn bodies_respect_bounds() {
+        let jobs = collect_jobs(&mut Burst::new(BurstConfig::default(), 5));
+        for j in &jobs {
+            assert!(j.submit_procs >= 1 && j.submit_procs <= 20);
+            assert!(j.step_s > 0.0);
+            assert!(j.walltime_s >= j.step_s);
+            assert_eq!(j.app, AppClass::Fs);
+        }
+        for w in jobs.windows(2) {
+            assert!(w[1].arrival_s >= w[0].arrival_s);
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Day/night (diurnal) arrival generator.
+//!
+//! Production clusters breathe with their users: submissions peak during
+//! working hours and nearly stop at night. [`Diurnal`] models this by
+//! modulating the Poisson arrival rate with a sine wave — the rate at
+//! instant `t` is `base · (1 + amplitude · sin(2πt/period))`, so a cycle
+//! opens at the midpoint, rises to a `(1+amplitude)×` peak and sinks to a
+//! `(1-amplitude)×` trough. High amplitudes produce the adversarial
+//! pattern the steady Feitelson stream never shows: long stretches of
+//! queue growth followed by near-idle drains. Job bodies are FS-class
+//! and drawn one at a time — the source streams in O(1) memory.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::burst::{fs_body, ratio_slot, FsShape};
+use crate::runtime::{exponential, RuntimeModel};
+use crate::size::SizeModel;
+use crate::source::WorkloadSource;
+use crate::spec::JobSpec;
+
+/// Knobs of the diurnal process.
+#[derive(Clone, Copy, Debug)]
+pub struct DiurnalConfig {
+    /// Number of jobs to emit.
+    pub jobs: u32,
+    /// Mean inter-arrival gap at the sine midpoint, seconds.
+    pub mean_interarrival_s: f64,
+    /// Period of one day/night cycle, seconds.
+    pub period_s: f64,
+    /// Relative modulation depth in `[0, 1)`; 0 degenerates to a plain
+    /// Poisson process.
+    pub amplitude: f64,
+    /// Cap on job sizes (the §VIII partition limit).
+    pub max_size: u32,
+    /// Fraction of jobs that are flexible.
+    pub flexible_ratio: f64,
+    /// Steps per job.
+    pub steps: u32,
+    /// Bytes redistributed on each reconfiguration.
+    pub data_bytes: u64,
+}
+
+impl Default for DiurnalConfig {
+    /// §VIII-style FS bodies under a one-hour "day" at 90 % depth.
+    fn default() -> Self {
+        DiurnalConfig {
+            jobs: 100,
+            mean_interarrival_s: 10.0,
+            period_s: 3600.0,
+            amplitude: 0.9,
+            max_size: 20,
+            flexible_ratio: 1.0,
+            steps: 25,
+            data_bytes: 1 << 30,
+        }
+    }
+}
+
+/// Streaming day/night source; see the module docs.
+pub struct Diurnal {
+    cfg: DiurnalConfig,
+    rng: StdRng,
+    size_model: SizeModel,
+    step_model: RuntimeModel,
+    /// Arrival instant of the next job to emit.
+    t: f64,
+    emitted: u32,
+}
+
+impl Diurnal {
+    /// A deterministic diurnal workload for `seed`.
+    pub fn new(cfg: DiurnalConfig, seed: u64) -> Self {
+        assert!(cfg.mean_interarrival_s > 0.0, "mean gap must be positive");
+        assert!(cfg.period_s > 0.0, "period must be positive");
+        assert!(
+            (0.0..1.0).contains(&cfg.amplitude),
+            "amplitude must be in [0, 1)"
+        );
+        Diurnal {
+            size_model: SizeModel::new(cfg.max_size),
+            step_model: RuntimeModel::fs_steps(cfg.max_size),
+            rng: StdRng::seed_from_u64(seed),
+            t: 0.0,
+            emitted: 0,
+            cfg,
+        }
+    }
+
+    /// Rate multiplier at instant `t` (peaks at `1 + amplitude`).
+    fn rate_multiplier(&self, t: f64) -> f64 {
+        1.0 + self.cfg.amplitude * (std::f64::consts::TAU * t / self.cfg.period_s).sin()
+    }
+}
+
+impl WorkloadSource for Diurnal {
+    fn name(&self) -> &'static str {
+        "diurnal"
+    }
+
+    fn next_job(&mut self) -> Option<JobSpec> {
+        if self.emitted >= self.cfg.jobs {
+            return None;
+        }
+        let arrival_s = self.t;
+        let size = self.size_model.sample(&mut self.rng);
+        let step_s = self.step_model.sample(size, &mut self.rng);
+        let flexible = ratio_slot(self.emitted, self.cfg.flexible_ratio);
+        let job = fs_body(
+            self.emitted,
+            arrival_s,
+            size,
+            step_s,
+            flexible,
+            FsShape {
+                steps: self.cfg.steps,
+                max_size: self.cfg.max_size,
+                data_bytes: self.cfg.data_bytes,
+                step_cap_s: self.step_model.cap_s,
+            },
+        );
+        // Thin the base process by the local rate (exact while the gap
+        // stays within a slowly-varying rate regime).
+        let mul = self.rate_multiplier(self.t);
+        self.t += exponential(self.cfg.mean_interarrival_s / mul, &mut self.rng);
+        self.emitted += 1;
+        Some(job)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::collect_jobs;
+
+    #[test]
+    fn day_half_outpaces_night_half() {
+        let cfg = DiurnalConfig {
+            jobs: 600,
+            ..DiurnalConfig::default()
+        };
+        let jobs = collect_jobs(&mut Diurnal::new(cfg, 19));
+        assert_eq!(jobs.len(), 600);
+        // sin > 0 on the first half of each period ("day"), < 0 on the
+        // second ("night"): days must collect substantially more jobs.
+        let day = jobs
+            .iter()
+            .filter(|j| j.arrival_s % cfg.period_s < cfg.period_s / 2.0)
+            .count();
+        let night = jobs.len() - day;
+        assert!(
+            day as f64 > night as f64 * 1.5,
+            "day {day} vs night {night}"
+        );
+    }
+
+    #[test]
+    fn zero_amplitude_degenerates_to_poisson_mean() {
+        let cfg = DiurnalConfig {
+            jobs: 5000,
+            amplitude: 0.0,
+            ..DiurnalConfig::default()
+        };
+        let jobs = collect_jobs(&mut Diurnal::new(cfg, 23));
+        let span = jobs.last().unwrap().arrival_s;
+        let mean_gap = span / (jobs.len() - 1) as f64;
+        assert!((mean_gap - 10.0).abs() < 1.0, "mean_gap={mean_gap}");
+    }
+
+    #[test]
+    fn deterministic_and_sorted() {
+        let a = collect_jobs(&mut Diurnal::new(DiurnalConfig::default(), 1));
+        let b = collect_jobs(&mut Diurnal::new(DiurnalConfig::default(), 1));
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.arrival_s, y.arrival_s);
+            assert_eq!(x.submit_procs, y.submit_procs);
+        }
+        for w in a.windows(2) {
+            assert!(w[1].arrival_s >= w[0].arrival_s);
+        }
+    }
+}

@@ -18,19 +18,37 @@
 //!   [`spec::JobSpec`]s, including the app class mix and flexible-job ratio
 //!   used in §VIII-D and §IX.
 //!
+//! Beyond the paper's model, the crate ships a *streaming* workload layer
+//! ([`source::WorkloadSource`]): demand is pulled one job at a time, so
+//! consumers never materialize a workload. Four source families exist —
+//! the Feitelson model ([`source::Feitelson`], bit-for-bit the generator
+//! above), Standard Workload Format trace replay ([`swf::SwfTrace`]), and
+//! two adversarial synthetics ([`burst::Burst`] load spikes,
+//! [`diurnal::Diurnal`] day/night sine arrivals). The `Copy` selector
+//! [`source::WorkloadKind`] carries the synthetic choices through
+//! configuration structs.
+//!
 //! All sampling flows from a caller-provided seed; the same seed yields the
 //! same workload (the paper likewise fixes its shuffle seed).
 
 pub mod arrival;
+pub mod burst;
+pub mod diurnal;
 pub mod generator;
 pub mod repeat;
 pub mod runtime;
 pub mod size;
+pub mod source;
 pub mod spec;
+pub mod swf;
 
 pub use arrival::ArrivalModel;
+pub use burst::{Burst, BurstConfig};
+pub use diurnal::{Diurnal, DiurnalConfig};
 pub use generator::{WorkloadConfig, WorkloadGenerator};
 pub use repeat::RepeatModel;
 pub use runtime::RuntimeModel;
 pub use size::SizeModel;
+pub use source::{Capped, Feitelson, WorkloadKind, WorkloadSource};
 pub use spec::{AppClass, JobSpec, MalleabilitySpec};
+pub use swf::{SwfMapping, SwfTrace};

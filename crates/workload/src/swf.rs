@@ -1,0 +1,301 @@
+//! Standard Workload Format (SWF) trace replay.
+//!
+//! The SWF is the archive format of the Parallel Workloads Archive: one
+//! job per line, 18 whitespace-separated numeric fields, `;` comment
+//! lines. Replaying real traces is how elastic-HPC evaluations ground
+//! their claims, and the format's fields map directly onto [`JobSpec`]:
+//! submit time → arrival, run time → step structure, allocated (or
+//! requested) processors → submitted size, requested time → walltime.
+//!
+//! SWF jobs are rigid — the trace says nothing about malleability — so
+//! [`SwfMapping`] decides how replayed jobs enter the flexible world: an
+//! app class (scalability model), a deterministic flexible fraction, and
+//! a malleability envelope derived from each job's submitted size
+//! (`min = procs / min_div`, `max = procs · max_mul`). The parser
+//! streams line by line: arbitrarily long traces replay in O(1) memory.
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, Cursor};
+use std::path::Path;
+
+use crate::burst::ratio_slot;
+use crate::source::WorkloadSource;
+use crate::spec::{AppClass, JobSpec, MalleabilitySpec};
+
+/// How trace jobs are translated into the malleable world.
+#[derive(Clone, Copy, Debug)]
+pub struct SwfMapping {
+    /// Fraction of replayed jobs marked flexible (deterministic
+    /// round-robin assignment, not sampled).
+    pub flexible_ratio: f64,
+    /// Application class (scalability model) assigned to every job.
+    pub app: AppClass,
+    /// Upper bound on the iterative structure: a job gets
+    /// `min(max_steps, ceil(runtime_s))` steps (at least one), so
+    /// reconfiguring points never outnumber the job's seconds.
+    pub max_steps: u32,
+    /// Envelope minimum as a divisor of the submitted size
+    /// (`min = max(1, procs / min_div)`).
+    pub min_div: u32,
+    /// Envelope maximum as a multiple of the submitted size
+    /// (`max = procs · max_mul`, clamped to [`SwfMapping::max_procs`]).
+    pub max_mul: u32,
+    /// Hard cap on job sizes (partition limit); `None` replays sizes
+    /// verbatim.
+    pub max_procs: Option<u32>,
+    /// Bytes redistributed on each reconfiguration.
+    pub data_bytes: u64,
+    /// Rebase arrivals so the first replayed job arrives at t = 0
+    /// (traces often start at a large epoch offset).
+    pub normalize_arrivals: bool,
+}
+
+impl Default for SwfMapping {
+    /// All-flexible FS-class replay: 25-step jobs, envelope `[procs/4,
+    /// 2·procs]`, 1 GB redistributed, arrivals rebased to zero.
+    fn default() -> Self {
+        SwfMapping {
+            flexible_ratio: 1.0,
+            app: AppClass::Fs,
+            max_steps: 25,
+            min_div: 4,
+            max_mul: 2,
+            max_procs: None,
+            data_bytes: 1 << 30,
+            normalize_arrivals: true,
+        }
+    }
+}
+
+/// Streaming SWF trace replayer; see the module docs.
+pub struct SwfTrace<R> {
+    lines: io::Lines<R>,
+    mapping: SwfMapping,
+    emitted: u32,
+    /// Submit instant of the first accepted job (normalization base).
+    first_submit: Option<f64>,
+    /// Arrivals are clamped monotone (SWF traces are submit-sorted, but
+    /// the format does not enforce it).
+    last_arrival: f64,
+    skipped: u64,
+}
+
+impl SwfTrace<BufReader<File>> {
+    /// Opens a trace file with the default [`SwfMapping`].
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        Self::open_with(path, SwfMapping::default())
+    }
+
+    /// Opens a trace file with an explicit mapping.
+    pub fn open_with(path: impl AsRef<Path>, mapping: SwfMapping) -> io::Result<Self> {
+        Ok(Self::from_reader(
+            BufReader::new(File::open(path)?),
+            mapping,
+        ))
+    }
+}
+
+impl SwfTrace<Cursor<&'static str>> {
+    /// Replays an in-memory trace (embedded fixtures, tests).
+    pub fn from_static(trace: &'static str, mapping: SwfMapping) -> Self {
+        Self::from_reader(Cursor::new(trace), mapping)
+    }
+}
+
+impl<R: BufRead> SwfTrace<R> {
+    /// Streams SWF records from any buffered reader.
+    pub fn from_reader(reader: R, mapping: SwfMapping) -> Self {
+        SwfTrace {
+            lines: reader.lines(),
+            mapping,
+            emitted: 0,
+            first_submit: None,
+            last_arrival: 0.0,
+            skipped: 0,
+        }
+    }
+
+    /// Lines that were neither comments nor parseable job records (and
+    /// records rejected for non-positive runtime or size). Read errors
+    /// also land here and end the stream.
+    pub fn skipped_lines(&self) -> u64 {
+        self.skipped
+    }
+
+    /// Parses one record line into `(submit_s, runtime_s, procs,
+    /// walltime_s)`, or `None` if it is not a usable job.
+    fn parse_record(&self, line: &str) -> Option<(f64, f64, u32, f64)> {
+        let f: Vec<&str> = line.split_whitespace().collect();
+        // Fields (SWF v2.2): 0 job, 1 submit, 2 wait, 3 run, 4 allocated
+        // procs, 7 requested procs, 8 requested time. Anything shorter
+        // than the requested-time field is malformed.
+        if f.len() < 9 {
+            return None;
+        }
+        let submit: f64 = f[1].parse().ok()?;
+        let runtime: f64 = f[3].parse().ok()?;
+        let allocated: i64 = f[4].parse().ok()?;
+        let requested: i64 = f[7].parse().ok()?;
+        let req_time: f64 = f[8].parse().ok()?;
+        // Unknown values are -1 in SWF; prefer the allocation, fall back
+        // to the request.
+        let procs = if allocated > 0 { allocated } else { requested };
+        if runtime <= 0.0 || procs <= 0 || submit < 0.0 {
+            return None;
+        }
+        let walltime = if req_time > 0.0 {
+            req_time
+        } else {
+            runtime * 2.5
+        };
+        Some((submit, runtime, procs as u32, walltime))
+    }
+}
+
+impl<R: BufRead> WorkloadSource for SwfTrace<R> {
+    fn name(&self) -> &'static str {
+        "swf"
+    }
+
+    fn next_job(&mut self) -> Option<JobSpec> {
+        loop {
+            let line = match self.lines.next()? {
+                Ok(line) => line,
+                Err(_) => {
+                    self.skipped += 1;
+                    return None;
+                }
+            };
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with(';') {
+                continue;
+            }
+            let Some((submit, runtime, raw_procs, walltime)) = self.parse_record(trimmed) else {
+                self.skipped += 1;
+                continue;
+            };
+            let m = &self.mapping;
+            let cap = m.max_procs.unwrap_or(u32::MAX).max(1);
+            let procs = raw_procs.min(cap);
+            let base = *self.first_submit.get_or_insert(submit);
+            let raw_arrival = if m.normalize_arrivals {
+                (submit - base).max(0.0)
+            } else {
+                submit
+            };
+            let arrival_s = raw_arrival.max(self.last_arrival);
+            self.last_arrival = arrival_s;
+            let steps = m.max_steps.min(runtime.ceil() as u32).max(1);
+            let job = JobSpec {
+                index: self.emitted,
+                arrival_s,
+                submit_procs: procs,
+                steps,
+                step_s: runtime / steps as f64,
+                walltime_s: walltime.max(runtime),
+                data_bytes: m.data_bytes,
+                app: m.app,
+                flexible: ratio_slot(self.emitted, m.flexible_ratio),
+                malleability: MalleabilitySpec {
+                    min_procs: (procs / m.min_div.max(1)).max(1),
+                    max_procs: procs.saturating_mul(m.max_mul.max(1)).min(cap).max(procs),
+                    preferred: None,
+                    factor: 2,
+                    sched_period_s: None,
+                },
+            };
+            self.emitted += 1;
+            return Some(job);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::collect_jobs;
+
+    const SAMPLE: &str = "\
+; Version: 2.2
+; Computer: TestCluster
+; UnixStartTime: 1000000000
+1 100 5 300 4 -1 -1 4 600 -1 1 1 1 1 1 -1 -1 -1
+2 130 0 60 -1 -1 -1 8 120 -1 1 2 1 1 1 -1 -1 -1
+this line is garbage
+3 130 0 -1 4 -1 -1 4 600 -1 0 3 1 1 1 -1 -1 -1
+4 250 2 1 1 -1 -1 1 -1 -1 1 4 1 1 1 -1 -1 -1
+";
+
+    #[test]
+    fn parses_comments_fallbacks_and_skips_garbage() {
+        let mut src = SwfTrace::from_static(SAMPLE, SwfMapping::default());
+        let jobs = collect_jobs(&mut src);
+        // Job 3 has runtime -1 (killed before start) and the garbage line
+        // is unparseable: 2 skips, 3 replayed jobs.
+        assert_eq!(jobs.len(), 3);
+        assert_eq!(src.skipped_lines(), 2);
+        // Normalized arrivals: 100 → 0, 130 → 30, 250 → 150.
+        assert_eq!(jobs[0].arrival_s, 0.0);
+        assert_eq!(jobs[1].arrival_s, 30.0);
+        assert_eq!(jobs[2].arrival_s, 150.0);
+        // Job 2: allocated -1 falls back to requested 8 procs.
+        assert_eq!(jobs[1].submit_procs, 8);
+        // Job 4: requested time -1 falls back to 2.5 × runtime, floored
+        // at the runtime itself.
+        assert!(jobs[2].walltime_s >= 1.0);
+        // Indices are dense emission order.
+        for (i, j) in jobs.iter().enumerate() {
+            assert_eq!(j.index, i as u32);
+        }
+    }
+
+    #[test]
+    fn runtime_is_preserved_through_the_step_structure() {
+        let jobs = collect_jobs(&mut SwfTrace::from_static(SAMPLE, SwfMapping::default()));
+        // 300 s over min(25, 300) = 25 steps of 12 s.
+        assert_eq!(jobs[0].steps, 25);
+        assert!((jobs[0].step_s * jobs[0].steps as f64 - 300.0).abs() < 1e-9);
+        // A 1 s job cannot have 25 reconfiguring points: steps = 1.
+        assert_eq!(jobs[2].steps, 1);
+        assert_eq!(jobs[2].step_s, 1.0);
+    }
+
+    #[test]
+    fn envelope_mapping_follows_the_configured_ratios() {
+        let mapping = SwfMapping {
+            min_div: 2,
+            max_mul: 4,
+            max_procs: Some(16),
+            ..SwfMapping::default()
+        };
+        let jobs = collect_jobs(&mut SwfTrace::from_static(SAMPLE, mapping));
+        let j = &jobs[0]; // 4 procs
+        assert_eq!(j.malleability.min_procs, 2);
+        assert_eq!(j.malleability.max_procs, 16);
+        let j = &jobs[2]; // 1 proc
+        assert_eq!(j.malleability.min_procs, 1);
+        assert_eq!(j.malleability.max_procs, 4);
+    }
+
+    #[test]
+    fn flexible_fraction_is_deterministic() {
+        let mapping = SwfMapping {
+            flexible_ratio: 0.5,
+            ..SwfMapping::default()
+        };
+        let jobs = collect_jobs(&mut SwfTrace::from_static(SAMPLE, mapping));
+        let flex: Vec<bool> = jobs.iter().map(|j| j.flexible).collect();
+        assert_eq!(flex, vec![false, true, false]);
+    }
+
+    #[test]
+    fn max_procs_caps_the_submitted_size() {
+        let mapping = SwfMapping {
+            max_procs: Some(2),
+            ..SwfMapping::default()
+        };
+        let jobs = collect_jobs(&mut SwfTrace::from_static(SAMPLE, mapping));
+        assert!(jobs.iter().all(|j| j.submit_procs <= 2));
+        assert!(jobs.iter().all(|j| j.malleability.max_procs <= 2));
+    }
+}

@@ -9,7 +9,13 @@
 //! protocol — the four-step resizer job for expansions, the
 //! node-releasing update for shrinks — so the scheduler's allocation
 //! state tracks the application's actual size. The bridge itself is
-//! policy-agnostic: it only sees [`ResizeAction`] verdicts.
+//! policy-agnostic: it only sees [`ResizeAction`] verdicts. It is also
+//! workload-agnostic: jobs reach the scheduler through
+//! [`dmr_slurm::Slurm::submit`] no matter which
+//! [`dmr_workload::WorkloadSource`] produced them, so live kernels and
+//! replayed traces share one negotiation path. Policies consulted here
+//! read the pending queue through the scheduler's per-instant priority
+//! cache — repeated `negotiate` calls at one instant do not re-sort it.
 
 use std::sync::Arc;
 use std::time::Instant;

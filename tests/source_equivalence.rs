@@ -1,0 +1,101 @@
+//! Property test: the streaming [`dmr::workload::Feitelson`] source run
+//! through [`dmr::core::run_experiment_streaming`] yields an
+//! [`ExperimentResult`] identical to the pre-refactor materialized path
+//! (generate the whole workload, hand the driver a `&[SimJob]`) across
+//! seeds, workload shapes, scheduling modes and resize policies.
+//!
+//! This is the contract that let the workload layer move to streaming
+//! arrivals: the driver schedules one arrival at a time (in the engine's
+//! early tie-break class) instead of pre-scheduling all of them, and
+//! nothing about the simulation may change — not the aggregate summary,
+//! not per-job outcomes, not even the number of processed events.
+
+use dmr::core::{
+    run_experiment, run_experiment_streaming, ExperimentConfig, ExperimentResult, PolicyKind,
+    SimJob,
+};
+use dmr::workload::{Feitelson, WorkloadConfig, WorkloadGenerator, WorkloadSource};
+use proptest::prelude::*;
+
+fn config_for(policy: u8, asynchronous: bool) -> ExperimentConfig {
+    let cfg = match policy % 3 {
+        0 => ExperimentConfig::preliminary(),
+        1 => ExperimentConfig::preliminary().with_policy(PolicyKind::utilization_target()),
+        _ => ExperimentConfig::preliminary().with_policy(PolicyKind::fair_share()),
+    };
+    if asynchronous {
+        cfg.asynchronous()
+    } else {
+        cfg
+    }
+}
+
+fn workload_for(shape: u8, jobs: u32) -> WorkloadConfig {
+    match shape % 3 {
+        0 => WorkloadConfig::fs_preliminary(jobs),
+        1 => WorkloadConfig::fs_micro_steps(jobs),
+        _ => WorkloadConfig::real_mix(jobs),
+    }
+}
+
+fn assert_identical(a: &ExperimentResult, b: &ExperimentResult) -> Result<(), String> {
+    prop_assert_eq!(a.summary.jobs, b.summary.jobs);
+    prop_assert_eq!(a.summary.makespan_s, b.summary.makespan_s);
+    prop_assert_eq!(a.summary.utilization, b.summary.utilization);
+    prop_assert_eq!(a.summary.avg_waiting_s, b.summary.avg_waiting_s);
+    prop_assert_eq!(a.summary.avg_execution_s, b.summary.avg_execution_s);
+    prop_assert_eq!(a.summary.avg_completion_s, b.summary.avg_completion_s);
+    prop_assert_eq!(a.summary.reconfigurations, b.summary.reconfigurations);
+    prop_assert_eq!(a.events, b.events, "event streams diverged");
+    prop_assert_eq!(a.past_schedules, b.past_schedules);
+    prop_assert_eq!(a.outcomes.len(), b.outcomes.len());
+    for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+        prop_assert_eq!(x.submit, y.submit);
+        prop_assert_eq!(x.start, y.start);
+        prop_assert_eq!(x.end, y.end);
+        prop_assert_eq!(x.reconfigurations, y.reconfigurations);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn streaming_feitelson_matches_materialized_bit_for_bit(
+        seed in 0u64..10_000,
+        jobs in 1u32..28,
+        shape in 0u8..3,
+        policy in 0u8..3,
+        asynchronous in 0u8..2,
+    ) {
+        let cfg = config_for(policy, asynchronous == 1);
+        let wcfg = workload_for(shape, jobs);
+
+        // Pre-refactor path: materialize the whole workload, then run.
+        let specs = WorkloadGenerator::new(wcfg.clone(), seed).generate();
+        let materialized = run_experiment(&cfg, &SimJob::from_specs(specs));
+
+        // Streaming path: the driver pulls one job at a time.
+        let mut source = Feitelson::new(wcfg, seed);
+        let streamed = run_experiment_streaming(&cfg, &mut source);
+
+        assert_identical(&materialized, &streamed)?;
+        prop_assert!(source.next_job().is_none(), "source fully drained");
+    }
+}
+
+// The rigid ("fixed") configuration shares the arrival machinery; pin it
+// too so `compare_fixed_flexible` rests on the same guarantee.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn streaming_matches_materialized_under_fixed_runs(seed in 0u64..1000, jobs in 1u32..20) {
+        let cfg = ExperimentConfig::preliminary().as_fixed();
+        let wcfg = WorkloadConfig::fs_preliminary(jobs);
+        let specs = WorkloadGenerator::new(wcfg.clone(), seed).generate();
+        let materialized = run_experiment(&cfg, &SimJob::from_specs(specs));
+        let mut source = Feitelson::new(wcfg, seed);
+        let streamed = run_experiment_streaming(&cfg, &mut source);
+        assert_identical(&materialized, &streamed)?;
+    }
+}
