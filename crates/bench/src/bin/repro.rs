@@ -4,7 +4,9 @@
 //! ```text
 //! repro <target> [seed]
 //! repro --sweep [--smoke] [--threads N] [--seeds a,b,c]
-//! repro --trace path.swf [--nodes N]
+//! repro --trace path.swf [--nodes N] [--check-prefix N]
+//! repro --hist [--jobs N] [--seed S]
+//! repro --gen-swf N [--seed S]
 //! targets: fig1 table1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11
 //!          fig12 table2 all quick
 //! ```
@@ -13,8 +15,13 @@
 //! scenario registry (workload × cluster × policy × mode) in parallel and
 //! prints one CSV row per (scenario, seed) cell; `--smoke` swaps in the
 //! CI-sized registry. `--trace` replays a Standard Workload Format file
-//! through the streaming driver, rigid vs malleable, and prints the
-//! summary comparison as CSV.
+//! through the streaming bounded-memory driver, rigid vs malleable, and
+//! prints the summary comparison (including P50/P95/P99 columns) as CSV;
+//! `--check-prefix N` additionally replays the first `N` jobs through
+//! both telemetry paths and fails unless the summaries agree.
+//! `--hist` prints ASCII histograms of the waiting / execution /
+//! completion distributions. `--gen-swf` writes a synthetic SWF trace to
+//! stdout for long-replay smoke tests.
 
 use dmr_bench::figures as f;
 use dmr_bench::{scenario, sweep, PRELIM_JOB_COUNTS, PRODUCTION_JOB_COUNTS, SEED};
@@ -30,9 +37,39 @@ fn main() {
         run_trace(&path, &args);
         return;
     }
+    if args.iter().any(|a| a == "--hist") {
+        let jobs = parsed_flag(&args, "--jobs").unwrap_or(50);
+        let seed = parsed_flag(&args, "--seed").unwrap_or(SEED);
+        println!("{}", f::hist_report(jobs, seed));
+        return;
+    }
+    if let Some(n) = flag_value(&args, "--gen-swf") {
+        let jobs: u32 = match n.parse() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("--gen-swf expects a positive job count, got `{n}`");
+                std::process::exit(2);
+            }
+        };
+        let seed = parsed_flag(&args, "--seed").unwrap_or(SEED);
+        let spacing = parsed_flag::<f64>(&args, "--spacing");
+        gen_swf(jobs, seed, spacing);
+        return;
+    }
     let target = args.first().map(String::as_str).unwrap_or("quick");
     let seed: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(SEED);
     run(target, seed);
+}
+
+/// Parses `--flag v` into any `FromStr` type, exiting on malformed input.
+fn parsed_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    flag_value(args, flag).map(|v| match v.parse() {
+        Ok(v) => v,
+        Err(_) => {
+            eprintln!("{flag} expects a number, got `{v}`");
+            std::process::exit(2);
+        }
+    })
 }
 
 /// Value of `--flag v` or `--flag=v`, if present. A flag given without a
@@ -96,7 +133,10 @@ fn run_sweep(args: &[String]) {
 }
 
 /// Replays `path` (SWF) twice — rigid and malleable — through the
-/// streaming driver and prints a two-row summary CSV.
+/// streaming bounded-memory driver and prints a two-row summary CSV.
+/// With `--check-prefix N`, additionally replays the first `N` jobs under
+/// both telemetry modes and exits non-zero unless the summaries are
+/// bit-identical.
 fn run_trace(path: &str, args: &[String]) {
     use dmr_core::{run_experiment_streaming, ExperimentConfig};
     use dmr_metrics::csv::write_summaries;
@@ -112,7 +152,10 @@ fn run_trace(path: &str, args: &[String]) {
         },
         None => 20,
     };
-    let cfg = ExperimentConfig::preliminary().with_nodes(nodes);
+    // Long traces replay through the O(1)-memory online telemetry path;
+    // the summary (including the percentile columns) is bit-identical to
+    // the buffered path, which `--check-prefix` verifies on demand.
+    let cfg = ExperimentConfig::preliminary().with_nodes(nodes).online();
     // A trace replay has no randomness: two opens of the same file are
     // the same workload, so fixed vs flexible is a fair comparison.
     let mut results = Vec::new();
@@ -130,10 +173,11 @@ fn run_trace(path: &str, args: &[String]) {
             std::process::exit(1);
         }
         eprintln!(
-            "{label}: {} jobs, {} lines skipped, makespan {:.1} s",
+            "{label}: {} jobs, {} lines skipped, makespan {:.1} s, p99 completion {:.1} s",
             result.summary.jobs,
             trace.skipped_lines(),
-            result.summary.makespan_s
+            result.summary.makespan_s,
+            result.summary.completion_q.p99_s
         );
         results.push((label, result));
     }
@@ -144,6 +188,120 @@ fn run_trace(path: &str, args: &[String]) {
     let mut out = Vec::new();
     write_summaries(&mut out, &rows).expect("writing to memory cannot fail");
     print!("{}", String::from_utf8(out).expect("CSV is UTF-8"));
+    if let Some(prefix) = parsed_flag::<u32>(args, "--check-prefix") {
+        check_prefix(path, nodes, prefix);
+    }
+}
+
+/// Replays the first `prefix` jobs of `path` through the streaming
+/// (online) and buffered (full) telemetry paths and asserts the
+/// summaries agree **bit-for-bit** — every f64 compared by raw bits, not
+/// through rounded CSV formatting, so even sub-rounding divergence fails
+/// the gate.
+fn check_prefix(path: &str, nodes: u32, prefix: u32) {
+    use dmr_core::{run_experiment_streaming, ExperimentConfig};
+    use dmr_metrics::WorkloadSummary;
+    use dmr_workload::{Capped, SwfTrace};
+
+    // Every f64 of the summary as raw bits (quantiles included), plus
+    // the integer counters — byte-equal iff the summaries are.
+    fn fingerprint(s: &WorkloadSummary) -> String {
+        format!(
+            "{:016x} {:016x} {:016x} {:016x} {:016x} \
+             {:016x} {:016x} {:016x} {:016x} {:016x} {:016x} {:016x} {:016x} {:016x} \
+             jobs={} reconf={}",
+            s.makespan_s.to_bits(),
+            s.utilization.to_bits(),
+            s.avg_waiting_s.to_bits(),
+            s.avg_execution_s.to_bits(),
+            s.avg_completion_s.to_bits(),
+            s.waiting_q.p50_s.to_bits(),
+            s.waiting_q.p95_s.to_bits(),
+            s.waiting_q.p99_s.to_bits(),
+            s.execution_q.p50_s.to_bits(),
+            s.execution_q.p95_s.to_bits(),
+            s.execution_q.p99_s.to_bits(),
+            s.completion_q.p50_s.to_bits(),
+            s.completion_q.p95_s.to_bits(),
+            s.completion_q.p99_s.to_bits(),
+            s.jobs,
+            s.reconfigurations,
+        )
+    }
+
+    let base = ExperimentConfig::preliminary().with_nodes(nodes);
+    let mut prints = Vec::new();
+    for cfg in [base.online(), base] {
+        let trace = match SwfTrace::open(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot reopen trace `{path}`: {e}");
+                std::process::exit(2);
+            }
+        };
+        let mut capped = Capped::new(trace, prefix);
+        let result = run_experiment_streaming(&cfg, &mut capped);
+        prints.push(fingerprint(&result.summary));
+    }
+    if prints[0] == prints[1] {
+        eprintln!(
+            "prefix check ({prefix} jobs): streaming summary matches buffered path bit-for-bit"
+        );
+    } else {
+        eprintln!(
+            "prefix check FAILED ({prefix} jobs):\n  online:   {}\n  buffered: {}",
+            prints[0], prints[1]
+        );
+        std::process::exit(1);
+    }
+}
+
+/// Writes a synthetic Standard Workload Format trace to stdout: `jobs`
+/// records drawn from the Feitelson preliminary model, submit-sorted,
+/// one line per job in the 18-field SWF v2.2 layout (unused fields -1).
+///
+/// The model's arrival process is tuned for testbed-sized workloads;
+/// replayed at tens of thousands of jobs it buries the simulated cluster
+/// under an ever-growing backlog (a scheduler stress test, quadratic in
+/// queue depth). `spacing` overrides arrivals with a fixed inter-submit
+/// gap in seconds, producing a steady-state trace whose replay cost is
+/// linear in job count — what the long-trace streaming smoke wants.
+fn gen_swf(jobs: u32, seed: u64, spacing: Option<f64>) {
+    use dmr_core::WorkloadKind;
+    use std::io::Write;
+
+    let mut source = WorkloadKind::FsPreliminary.build(jobs, seed);
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    writeln!(out, "; Synthetic SWF trace: {jobs} jobs, seed {seed}").expect("stdout");
+    writeln!(
+        out,
+        "; Generated by `repro --gen-swf` from the Feitelson FS model"
+    )
+    .expect("stdout");
+    let mut id = 0u64;
+    while let Some(job) = source.next_job() {
+        let submit = match spacing {
+            Some(s) => id as f64 * s,
+            None => job.arrival_s,
+        };
+        id += 1;
+        let runtime = job.steps as f64 * job.step_s;
+        // Fields: job, submit, wait, run, alloc procs, cpu, mem,
+        // req procs, req time, req mem, status, uid, gid, app, queue,
+        // partition, prev job, think time.
+        writeln!(
+            out,
+            "{} {:.0} -1 {:.0} {} -1 -1 {} {:.0} -1 1 -1 -1 -1 -1 -1 -1 -1",
+            id,
+            submit,
+            runtime.max(1.0),
+            job.submit_procs,
+            job.submit_procs,
+            job.walltime_s.max(1.0),
+        )
+        .expect("stdout");
+    }
 }
 
 fn run(target: &str, seed: u64) {
@@ -199,7 +357,9 @@ fn run(target: &str, seed: u64) {
                 "targets: fig1 table1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 \
                  fig10 fig11 fig12 table2 all quick\n\
                  or: --sweep [--smoke] [--threads N] [--seeds a,b,c]\n\
-                 or: --trace path.swf [--nodes N]"
+                 or: --trace path.swf [--nodes N] [--check-prefix N]\n\
+                 or: --hist [--jobs N] [--seed S]\n\
+                 or: --gen-swf N [--seed S]"
             );
             std::process::exit(2);
         }

@@ -496,10 +496,50 @@ pub fn table2_report(pairs: &[SummaryPair]) -> String {
     row("avg wait (s)", &|s| secs(s.avg_waiting_s));
     row("avg exec (s)", &|s| secs(s.avg_execution_s));
     row("avg completion (s)", &|s| secs(s.avg_completion_s));
+    row("p50 completion (s)", &|s| secs(s.completion_q.p50_s));
+    row("p95 completion (s)", &|s| secs(s.completion_q.p95_s));
+    row("p99 completion (s)", &|s| secs(s.completion_q.p99_s));
+    row("p95 wait (s)", &|s| secs(s.waiting_q.p95_s));
     format!(
         "Table II: summary of measures from all the workloads\n{}",
         table(&headers_ref, &rows)
     )
+}
+
+// ---------------------------------------------------------------------
+// Histogram view — the tail distributions behind the percentile columns
+// ---------------------------------------------------------------------
+
+/// ASCII histograms of the waiting / execution / completion distributions
+/// for a fixed-vs-flexible pair of runs on the preliminary FS workload —
+/// the `repro --hist` view. The histograms are rebuilt from the buffered
+/// outcomes with the same [`dmr_metrics::LogHistogram`] bins the
+/// streaming path uses, so what this prints is exactly what the P50/P95/
+/// P99 columns are read from.
+pub fn hist_report(jobs: u32, seed: u64) -> String {
+    use crate::report::ascii_histogram;
+    use dmr_metrics::LogHistogram;
+
+    let workload = fs_workload(jobs, seed);
+    let (fixed, flexible) = compare_fixed_flexible(&ExperimentConfig::preliminary(), &workload);
+    let dims: [(&str, fn(&dmr_metrics::JobOutcome) -> f64); 3] = [
+        ("waiting", |o| o.waiting_s()),
+        ("execution", |o| o.execution_s()),
+        ("completion", |o| o.completion_s()),
+    ];
+    let mut out = format!("Job-time distributions ({jobs}-job FS workload, seed {seed})\n");
+    for (name, r) in [("fixed", &fixed), ("flexible", &flexible)] {
+        out.push_str(&format!("\n{name}:\n"));
+        for (dim, value) in dims {
+            let mut h = LogHistogram::new();
+            for o in &r.outcomes {
+                h.record_secs(value(o));
+            }
+            out.push_str(&format!(" {dim} time (s):\n"));
+            out.push_str(&ascii_histogram(&h, 48));
+        }
+    }
+    out
 }
 
 #[cfg(test)]

@@ -1,31 +1,45 @@
-//! Plain-text table formatting for the `repro` binary.
+//! Plain-text table and histogram formatting for the `repro` binary.
+
+use dmr_metrics::LogHistogram;
 
 /// Formats a row-major table with a header, padding columns to width.
+///
+/// Total over any input: an empty header renders an empty table instead
+/// of underflowing, and rows wider than the header get their extra cells
+/// rendered (under empty header padding) rather than silently dropped.
 pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
-    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    let cols = rows.iter().map(Vec::len).fold(headers.len(), usize::max);
+    if cols == 0 {
+        return String::new();
+    }
+    let mut widths = vec![0usize; cols];
+    for (i, h) in headers.iter().enumerate() {
+        widths[i] = h.len();
+    }
     for row in rows {
         for (i, cell) in row.iter().enumerate() {
-            if i < widths.len() {
-                widths[i] = widths[i].max(cell.len());
-            }
+            widths[i] = widths[i].max(cell.len());
         }
     }
-    let mut out = String::new();
-    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
-        cells
+    let fmt_row = |cells: &[&str], widths: &[usize]| -> String {
+        widths
             .iter()
-            .zip(widths)
-            .map(|(c, w)| format!("{c:>w$}"))
+            .enumerate()
+            .map(|(i, w)| {
+                let c = cells.get(i).copied().unwrap_or("");
+                format!("{c:>w$}")
+            })
             .collect::<Vec<_>>()
             .join("  ")
     };
-    let head: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
-    out.push_str(&fmt_row(&head, &widths));
+    let mut out = String::new();
+    out.push_str(&fmt_row(headers, &widths));
     out.push('\n');
     out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
     out.push('\n');
     for row in rows {
-        out.push_str(&fmt_row(row, &widths));
+        let cells: Vec<&str> = row.iter().map(String::as_str).collect();
+        out.push_str(&fmt_row(&cells, &widths));
         out.push('\n');
     }
     out
@@ -41,9 +55,42 @@ pub fn secs(v: f64) -> String {
     format!("{v:.1}")
 }
 
+/// Renders a [`LogHistogram`] as one ASCII row per non-empty bin:
+/// `[lo, hi) | count | bar`, bars scaled to `width` characters at the
+/// modal bin. Empty histograms render a placeholder line.
+pub fn ascii_histogram(h: &LogHistogram, width: usize) -> String {
+    let buckets = h.nonzero_buckets();
+    if buckets.is_empty() {
+        return "  (no samples)\n".to_string();
+    }
+    let peak = buckets.iter().map(|&(_, _, c)| c).max().unwrap_or(1);
+    let mut out = String::new();
+    for (lo, hi, count) in &buckets {
+        let bar = (count * width as u64).div_ceil(peak) as usize;
+        out.push_str(&format!(
+            "  [{:>10.3}, {:>10.3}) {:>8} |{}\n",
+            lo,
+            hi,
+            count,
+            "#".repeat(bar)
+        ));
+    }
+    out.push_str(&format!(
+        "  n={} mean={:.3}s p50={:.3}s p95={:.3}s p99={:.3}s max={:.3}s\n",
+        h.count(),
+        h.mean_s(),
+        h.percentile_s(50.0),
+        h.percentile_s(95.0),
+        h.percentile_s(99.0),
+        h.max_s()
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dmr_sim::Span;
 
     #[test]
     fn table_aligns_columns() {
@@ -61,9 +108,49 @@ mod tests {
     }
 
     #[test]
+    fn table_is_total_on_empty_headers() {
+        // Used to underflow `widths.len() - 1` and panic.
+        assert_eq!(table(&[], &[]), "");
+        // Headerless rows still render.
+        let t = table(&[], &[vec!["a".into(), "bb".into()]]);
+        assert!(t.lines().count() >= 3);
+        assert!(t.contains("bb"));
+    }
+
+    #[test]
+    fn table_renders_rows_wider_than_the_header() {
+        // Extra cells used to be dropped silently.
+        let t = table(
+            &["only"],
+            &[vec!["1".into(), "overflow-cell".into(), "x".into()]],
+        );
+        assert!(t.contains("overflow-cell"), "wide cells must render:\n{t}");
+        assert!(t.contains('x'));
+        // Short rows pad instead of panicking.
+        let t = table(&["a", "b"], &[vec!["1".into()]]);
+        assert_eq!(t.lines().count(), 3);
+    }
+
+    #[test]
     fn formatting_helpers() {
         assert_eq!(pct(41.97), "+41.97%");
         assert_eq!(pct(-6.8), "-6.80%");
         assert_eq!(secs(24599.04), "24599.0");
+    }
+
+    #[test]
+    fn ascii_histogram_renders_bins_and_stats() {
+        let mut h = LogHistogram::new();
+        for i in 1..=50 {
+            h.record(Span::from_secs(i));
+        }
+        let out = ascii_histogram(&h, 40);
+        assert!(out.contains('#'));
+        assert!(out.contains("n=50"));
+        assert!(out.lines().count() >= 2);
+        assert_eq!(
+            ascii_histogram(&LogHistogram::new(), 40),
+            "  (no samples)\n"
+        );
     }
 }

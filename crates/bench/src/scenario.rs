@@ -98,9 +98,15 @@ impl Scenario {
         )
     }
 
-    /// The experiment configuration this scenario runs under.
+    /// The experiment configuration this scenario runs under. Sweeps run
+    /// with streaming [`dmr_core::Telemetry::Online`] telemetry: grid
+    /// cells only need summaries, and the bounded-memory path produces
+    /// bit-identical ones, so even million-job scenarios stay O(1) per
+    /// worker.
     pub fn config(&self) -> ExperimentConfig {
-        let mut cfg = ExperimentConfig::preliminary().with_policy(self.policy);
+        let mut cfg = ExperimentConfig::preliminary()
+            .with_policy(self.policy)
+            .online();
         cfg.nodes = self.nodes;
         cfg.mode = self.mode;
         cfg

@@ -35,27 +35,43 @@ impl SweepCell {
     /// The CSV header matching [`SweepCell::csv_row`].
     pub const CSV_HEADER: &'static str =
         "scenario,workload,policy,mode,seed,nodes,jobs,makespan_s,\
-         utilization,avg_wait_s,avg_exec_s,avg_completion_s,reconfigurations,events,past_schedules";
+         utilization,avg_wait_s,avg_exec_s,avg_completion_s,\
+         p50_wait_s,p95_wait_s,p99_wait_s,p50_exec_s,p95_exec_s,p99_exec_s,\
+         p50_compl_s,p95_compl_s,p99_compl_s,reconfigurations,events,past_schedules";
 
     /// One CSV row. Fixed-precision formatting keeps the byte stream
     /// deterministic across runs and thread counts; free-form labels are
     /// RFC 4180-escaped so a comma in a name can never shift columns.
+    /// The percentile columns come from the streaming histograms and are
+    /// deterministic like everything else (bins are a pure function of
+    /// the recorded durations).
     pub fn csv_row(&self) -> String {
+        let s = &self.summary;
         format!(
-            "{},{},{},{},{},{},{},{:.3},{:.6},{:.3},{:.3},{:.3},{},{},{}",
+            "{},{},{},{},{},{},{},{:.3},{:.6},{:.3},{:.3},{:.3},\
+             {:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{},{},{}",
             escape_field(&self.scenario),
             escape_field(self.workload),
             escape_field(&self.policy),
             self.mode,
             self.seed,
             self.nodes,
-            self.summary.jobs,
-            self.summary.makespan_s,
-            self.summary.utilization,
-            self.summary.avg_waiting_s,
-            self.summary.avg_execution_s,
-            self.summary.avg_completion_s,
-            self.summary.reconfigurations,
+            s.jobs,
+            s.makespan_s,
+            s.utilization,
+            s.avg_waiting_s,
+            s.avg_execution_s,
+            s.avg_completion_s,
+            s.waiting_q.p50_s,
+            s.waiting_q.p95_s,
+            s.waiting_q.p99_s,
+            s.execution_q.p50_s,
+            s.execution_q.p95_s,
+            s.execution_q.p99_s,
+            s.completion_q.p50_s,
+            s.completion_q.p95_s,
+            s.completion_q.p99_s,
+            s.reconfigurations,
             self.events,
             self.past_schedules,
         )

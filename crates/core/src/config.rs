@@ -16,6 +16,21 @@ pub enum ScheduleMode {
     Asynchronous,
 }
 
+/// How much telemetry a run records.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Telemetry {
+    /// Buffered recording: full evolution [`dmr_metrics::StepSeries`] and
+    /// the complete per-job outcome list. Memory grows with the workload;
+    /// required by the figure pipeline and per-job assertions.
+    Full,
+    /// Streaming recording through a [`dmr_metrics::OnlineAccumulator`]:
+    /// O(1) memory in both event and job count, summaries (including the
+    /// P50/P95/P99 columns) bit-identical to `Full`. The evolution series
+    /// and outcome list of the result come back empty. The default for
+    /// sweeps and long-trace replays.
+    Online,
+}
+
 /// What the backfill scheduler believes about job runtimes.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum EstimateMode {
@@ -67,6 +82,9 @@ pub struct ExperimentConfig {
     /// Which reconfiguration decision procedure the scheduler installs
     /// (the §IV plug-in: Algorithm 1 or an alternative).
     pub policy: PolicyKind,
+    /// Buffered ([`Telemetry::Full`]) or streaming bounded-memory
+    /// ([`Telemetry::Online`]) metric recording.
+    pub telemetry: Telemetry,
 }
 
 impl ExperimentConfig {
@@ -87,6 +105,7 @@ impl ExperimentConfig {
             shrink_boost: true,
             resizer_timeout_s: 30.0,
             policy: PolicyKind::Algorithm1,
+            telemetry: Telemetry::Full,
         }
     }
 
@@ -130,6 +149,15 @@ impl ExperimentConfig {
         self.policy = policy;
         self
     }
+
+    /// Switches to streaming bounded-memory telemetry
+    /// ([`Telemetry::Online`]): summaries stay bit-identical, the
+    /// evolution series and per-job outcome list come back empty, and
+    /// memory stays O(1) in job count.
+    pub fn online(mut self) -> Self {
+        self.telemetry = Telemetry::Online;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -161,6 +189,13 @@ mod tests {
         assert_eq!(c.inhibitor_override, Some(None));
         let c = ExperimentConfig::preliminary().with_policy(PolicyKind::fair_share());
         assert_eq!(c.policy, PolicyKind::fair_share());
+        assert_eq!(
+            ExperimentConfig::preliminary().telemetry,
+            Telemetry::Full,
+            "buffered telemetry is the compatibility default"
+        );
+        let c = ExperimentConfig::preliminary().online();
+        assert_eq!(c.telemetry, Telemetry::Online);
     }
 
     #[test]

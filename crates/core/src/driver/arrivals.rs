@@ -11,7 +11,7 @@ use super::events::Ev;
 use super::{Driver, RunState};
 use crate::config::EstimateMode;
 
-impl Driver<'_> {
+impl Driver<'_, '_> {
     /// Pulls the next job from the feed (if any) and schedules its
     /// arrival. Exactly one arrival event is in flight at any time, so
     /// arbitrarily long workloads occupy O(1) event-queue space.
@@ -29,14 +29,15 @@ impl Driver<'_> {
         // time never runs backwards.
         let at = SimTime::from_secs_f64(job.spec.arrival_s.max(0.0)).max(self.last_arrival);
         self.last_arrival = at;
-        let idx = self.jobs.len();
-        self.jobs.push(job);
+        let idx = self.arrived;
+        self.arrived += 1;
+        self.jobs.insert(idx, job);
         self.engine.schedule_at_early(at, Ev::Arrival(idx));
         self.arrivals_pending = true;
     }
 
     pub(crate) fn on_arrival(&mut self, idx: usize, now: SimTime) {
-        let sim = &self.jobs[idx];
+        let sim = &self.jobs[&idx];
         let spec = &sim.spec;
         // Submissions larger than the machine can never start; clamp like
         // a real site's partition limit would.
@@ -98,7 +99,7 @@ impl Driver<'_> {
     pub(crate) fn begin_segment(&mut self, job: JobId, now: SimTime) {
         let rs = &self.running[&job];
         let idx = rs.spec_idx;
-        let sim = &self.jobs[idx];
+        let sim = &self.jobs[&idx];
         let remaining = sim.spec.steps.saturating_sub(rs.steps_done);
         if remaining == 0 {
             self.complete_job(job, now);
@@ -131,7 +132,7 @@ impl Driver<'_> {
         };
         rs.steps_done += steps;
         let idx = rs.spec_idx;
-        if rs.steps_done >= self.jobs[idx].spec.steps {
+        if rs.steps_done >= self.jobs[&idx].spec.steps {
             self.complete_job(job, now);
             return;
         }
@@ -150,6 +151,9 @@ impl Driver<'_> {
                 self.rj_to_orig.remove(&rj);
             }
         }
+        // Fold the job's accounting into the metrics sink while the
+        // scheduler record still exists, then let `complete` prune it.
+        self.account_completion(job, now);
         self.slurm.complete(job, now);
         self.completed += 1;
         // Freed nodes: run a scheduling cycle.

@@ -24,7 +24,7 @@ pub(crate) enum Ev {
     BackfillTick,
 }
 
-impl Driver<'_> {
+impl Driver<'_, '_> {
     pub(crate) fn handle(&mut self, now: SimTime, ev: Ev) {
         match ev {
             Ev::Arrival(i) => self.on_arrival(i, now),

@@ -1,54 +1,59 @@
-//! Metric hooks: evolution-series sampling and final summary assembly.
+//! Metric hooks: per-event sampling and per-completion accounting.
 //!
-//! After every handled event the driver records the three step series
-//! behind the paper's timeline figures (allocated nodes, running jobs,
-//! completed jobs — Figures 4, 5, 6, 12); at the end of the run it folds
-//! the per-job accounting into the [`WorkloadSummary`] the evaluation
-//! tables report.
+//! After every handled event the driver samples the three evolution
+//! quantities behind the paper's timeline figures (allocated nodes,
+//! running jobs, completed jobs — Figures 4, 5, 6, 12) into the installed
+//! [`dmr_metrics::MetricsSink`]; as each job completes, its accounting is
+//! copied out of the scheduler record and folded into the sink *before*
+//! the record is pruned. The driver itself therefore retains no per-job
+//! or per-event telemetry — what a run keeps is entirely the sink's
+//! choice (buffered series vs. streaming histograms).
 
-use dmr_metrics::{JobOutcome, WorkloadSummary};
+use dmr_metrics::JobOutcome;
 use dmr_sim::SimTime;
-use dmr_slurm::JobState;
+use dmr_slurm::JobId;
 
 use super::Driver;
-use crate::result::ExperimentResult;
+use crate::result::RunStats;
 
-impl Driver<'_> {
+impl Driver<'_, '_> {
     /// Records one sample of every evolution series at `now`.
     pub(crate) fn sample(&mut self, now: SimTime) {
-        self.alloc_series
-            .record(now, self.slurm.allocated_nodes() as f64);
-        self.running_series.record(now, self.running.len() as f64);
-        self.completed_series.record(now, self.completed as f64);
+        self.sink.on_sample(
+            now,
+            self.slurm.allocated_nodes() as f64,
+            self.running.len() as f64,
+            self.completed as f64,
+        );
     }
 
-    /// Folds the scheduler's per-job accounting into the experiment
-    /// result once the event queue has drained.
-    pub(crate) fn finish(self) -> ExperimentResult {
-        let mut outcomes: Vec<JobOutcome> = Vec::with_capacity(self.jobs.len());
-        for job in self.slurm.jobs() {
-            if job.is_resizer() || job.state != JobState::Completed {
-                continue;
+    /// Copies the completing job's accounting into the sink and releases
+    /// every per-job record the driver and scheduler still hold for it.
+    /// Must run *before* [`dmr_slurm::Slurm::complete`] prunes the
+    /// scheduler record.
+    pub(crate) fn account_completion(&mut self, job: JobId, now: SimTime) {
+        let Some(idx) = self.spec_of.remove(&job) else {
+            return;
+        };
+        if let Some(rec) = self.slurm.job(job) {
+            if let Some(start) = rec.start_time {
+                self.sink.on_job(
+                    idx as u64,
+                    JobOutcome::new(rec.submit_time, start, now, rec.reconfigurations),
+                );
             }
-            let (Some(start), Some(end)) = (job.start_time, job.end_time) else {
-                continue;
-            };
-            outcomes.push(JobOutcome::new(
-                job.submit_time,
-                start,
-                end,
-                job.reconfigurations,
-            ));
         }
-        let summary = WorkloadSummary::compute(&outcomes, &self.alloc_series, self.cfg.nodes);
-        let end_time = SimTime::from_secs_f64(summary.makespan_s);
-        ExperimentResult {
-            summary,
-            allocation: self.alloc_series,
-            running: self.running_series,
-            completed: self.completed_series,
-            outcomes,
-            end_time,
+        self.jobs.remove(&idx);
+    }
+
+    /// The driver-side scalars of a finished run; everything else already
+    /// lives in the sink.
+    pub(crate) fn finish(self) -> RunStats {
+        RunStats {
+            // The engine's actual final clock — never an f64 round-trip
+            // of the makespan, which both loses microseconds and points
+            // at the wrong instant for traces that start after t = 0.
+            end_time: self.engine.now(),
             events: self.engine.processed(),
             past_schedules: self.engine.past_schedules(),
         }

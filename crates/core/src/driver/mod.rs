@@ -31,14 +31,14 @@ pub(crate) mod shrink;
 use std::collections::BTreeMap;
 
 use dmr_cluster::Cluster;
-use dmr_metrics::StepSeries;
+use dmr_metrics::{MetricsSink, OnlineAccumulator, SeriesRecorder, StepSeries, WorkloadSummary};
 use dmr_sim::{Engine, EventId, SimTime, Span};
 use dmr_slurm::{JobId, ResizeAction, Slurm, SlurmConfig};
 use dmr_workload::WorkloadSource;
 
-use crate::config::ExperimentConfig;
+use crate::config::{ExperimentConfig, Telemetry};
 use crate::model::SimJob;
-use crate::result::ExperimentResult;
+use crate::result::{ExperimentResult, RunStats};
 use events::Ev;
 
 /// Per-running-job state the runtime would keep.
@@ -98,20 +98,24 @@ impl JobFeed<'_> {
 }
 
 /// The simulation state shared by every driver submodule.
-pub(crate) struct Driver<'a> {
+pub(crate) struct Driver<'a, 's> {
     pub(crate) cfg: ExperimentConfig,
-    /// Jobs that have entered the simulation (arrival scheduled or past),
-    /// indexed by the `Ev::Arrival` payload. Grows as the feed is drained.
-    pub(crate) jobs: Vec<SimJob>,
+    /// Specs of the jobs currently *in* the simulation, keyed by arrival
+    /// index (the `Ev::Arrival` payload). An entry is inserted when the
+    /// feed yields the job and removed when the job completes, so the map
+    /// holds only the active set — O(active jobs), not O(trace length).
+    pub(crate) jobs: BTreeMap<usize, SimJob>,
+    /// Jobs pulled from the feed so far (the next arrival index).
+    pub(crate) arrived: usize,
     pub(crate) feed: JobFeed<'a>,
     pub(crate) slurm: Slurm,
     pub(crate) engine: Engine<Ev>,
     pub(crate) running: BTreeMap<JobId, RunState>,
     pub(crate) spec_of: BTreeMap<JobId, usize>,
     pub(crate) rj_to_orig: BTreeMap<JobId, JobId>,
-    pub(crate) alloc_series: StepSeries,
-    pub(crate) running_series: StepSeries,
-    pub(crate) completed_series: StepSeries,
+    /// Where telemetry goes: one sample per handled event, one outcome
+    /// per completed job.
+    pub(crate) sink: &'s mut dyn MetricsSink,
     pub(crate) completed: u32,
     /// An arrival event is in flight (the feed was not exhausted at the
     /// last pull).
@@ -123,7 +127,7 @@ pub(crate) struct Driver<'a> {
 
 /// Runs one workload under one configuration.
 pub fn run_experiment(cfg: &ExperimentConfig, jobs: &[SimJob]) -> ExperimentResult {
-    Driver::new(*cfg, JobFeed::Materialized(jobs.iter().cloned())).run()
+    run_feed(cfg, JobFeed::Materialized(jobs.iter().cloned()))
 }
 
 /// Runs one streamed workload under one configuration.
@@ -131,16 +135,71 @@ pub fn run_experiment(cfg: &ExperimentConfig, jobs: &[SimJob]) -> ExperimentResu
 /// Unlike [`run_experiment`], the job list is never materialized: the
 /// driver pulls one job at a time from `source` and keeps a single
 /// arrival event in flight, so a million-job trace replays in O(1)
-/// arrival memory (completed-job accounting still grows with the
-/// workload, exactly as the scheduler's own records do). Streaming the
-/// [`dmr_workload::Feitelson`] source is result-identical to running
-/// [`run_experiment`] on the materialized generator output (pinned by
-/// `tests/source_equivalence.rs`).
+/// arrival memory. Per-job accounting is copied into the metrics sink at
+/// each completion, after which the driver prunes the job from the
+/// scheduler and its own spec table (in every telemetry mode — the sink
+/// owns all accounting). With [`Telemetry::Online`] the run is therefore
+/// O(1) in job count end to end: the sink folds outcomes into streaming
+/// histograms and no `Vec<JobOutcome>` is ever built.
+/// Streaming the [`dmr_workload::Feitelson`] source is result-identical
+/// to running [`run_experiment`] on the materialized generator output
+/// (pinned by `tests/source_equivalence.rs`), and `Online` summaries are
+/// bit-identical to `Full` ones (pinned by
+/// `tests/streaming_equivalence.rs`).
 pub fn run_experiment_streaming(
     cfg: &ExperimentConfig,
     source: &mut dyn WorkloadSource,
 ) -> ExperimentResult {
-    Driver::new(*cfg, JobFeed::Streaming(source)).run()
+    run_feed(cfg, JobFeed::Streaming(source))
+}
+
+/// Runs one streamed workload, feeding telemetry to a caller-supplied
+/// [`MetricsSink`] — the extension point for custom recorders (live
+/// dashboards, exporters). The driver itself retains nothing; everything
+/// except the [`RunStats`] scalars flows through `sink`.
+pub fn run_experiment_with_sink(
+    cfg: &ExperimentConfig,
+    source: &mut dyn WorkloadSource,
+    sink: &mut dyn MetricsSink,
+) -> RunStats {
+    Driver::new(*cfg, JobFeed::Streaming(source), sink).run()
+}
+
+/// Drives `feed` under the telemetry mode `cfg` selects and assembles
+/// the [`ExperimentResult`].
+fn run_feed(cfg: &ExperimentConfig, feed: JobFeed<'_>) -> ExperimentResult {
+    match cfg.telemetry {
+        Telemetry::Full => {
+            let mut recorder = SeriesRecorder::new();
+            let stats = Driver::new(*cfg, feed, &mut recorder).run();
+            let (allocation, running, completed, outcomes) = recorder.into_parts();
+            let summary = WorkloadSummary::compute(&outcomes, &allocation, cfg.nodes);
+            ExperimentResult {
+                summary,
+                allocation,
+                running,
+                completed,
+                outcomes,
+                end_time: stats.end_time,
+                events: stats.events,
+                past_schedules: stats.past_schedules,
+            }
+        }
+        Telemetry::Online => {
+            let mut acc = OnlineAccumulator::new();
+            let stats = Driver::new(*cfg, feed, &mut acc).run();
+            ExperimentResult {
+                summary: acc.summary(cfg.nodes),
+                allocation: StepSeries::new(),
+                running: StepSeries::new(),
+                completed: StepSeries::new(),
+                outcomes: Vec::new(),
+                end_time: stats.end_time,
+                events: stats.events,
+                past_schedules: stats.past_schedules,
+            }
+        }
+    }
 }
 
 /// Runs the workload twice — rigid ("fixed") and malleable ("flexible") —
@@ -157,33 +216,36 @@ pub fn compare_fixed_flexible(
     (fixed, flexible)
 }
 
-impl<'a> Driver<'a> {
-    fn new(cfg: ExperimentConfig, feed: JobFeed<'a>) -> Self {
+impl<'a, 's> Driver<'a, 's> {
+    fn new(cfg: ExperimentConfig, feed: JobFeed<'a>, sink: &'s mut dyn MetricsSink) -> Self {
         let cluster = Cluster::new(cfg.nodes, cfg.cores_per_node);
         let mut scfg = SlurmConfig::for_cluster(cfg.nodes);
         scfg.backfill = cfg.backfill;
         scfg.resizer_timeout = Span::from_secs_f64(cfg.resizer_timeout_s);
         scfg.shrink_boost = cfg.shrink_boost;
         scfg.policy = cfg.policy;
+        // The driver copies each job's accounting into the sink at
+        // completion, so the scheduler never needs to keep terminal
+        // records — the active set is all that stays resident.
+        scfg.retain_completed = false;
         Driver {
             cfg,
-            jobs: Vec::new(),
+            jobs: BTreeMap::new(),
+            arrived: 0,
             feed,
             slurm: Slurm::new(cluster, scfg),
             engine: Engine::new(),
             running: BTreeMap::new(),
             spec_of: BTreeMap::new(),
             rj_to_orig: BTreeMap::new(),
-            alloc_series: StepSeries::new(),
-            running_series: StepSeries::new(),
-            completed_series: StepSeries::new(),
+            sink,
             completed: 0,
             arrivals_pending: false,
             last_arrival: SimTime::ZERO,
         }
     }
 
-    fn run(mut self) -> ExperimentResult {
+    fn run(mut self) -> RunStats {
         // Pull only the first job; each arrival pulls its successor, so
         // the event queue carries one arrival at a time.
         self.schedule_next_arrival();
@@ -201,14 +263,14 @@ impl<'a> Driver<'a> {
     }
 
     pub(crate) fn is_flexible(&self, idx: usize) -> bool {
-        let spec = &self.jobs[idx].spec;
+        let spec = &self.jobs[&idx].spec;
         self.cfg.malleability && spec.flexible && !spec.malleability.is_rigid()
     }
 
     pub(crate) fn inhibitor_period(&self, idx: usize) -> Option<f64> {
         self.cfg
             .inhibitor_override
-            .unwrap_or(self.jobs[idx].spec.malleability.sched_period_s)
+            .unwrap_or(self.jobs[&idx].spec.malleability.sched_period_s)
     }
 }
 
@@ -404,6 +466,68 @@ mod tests {
             util.summary.reconfigurations,
             alg1.summary.reconfigurations
         );
+    }
+
+    #[test]
+    fn end_time_is_the_engine_clock_not_a_makespan_round_trip() {
+        // A lone rigid job submitted at t = 1000.25 s with micro-odd step
+        // times: the run ends at submit + 3 * 472913 µs. The old
+        // `SimTime::from_secs_f64(makespan_s)` derivation pointed at
+        // 1418739 µs — the makespan length, not the end instant — as soon
+        // as the first submission left t = 0.
+        let mut cfg = cfg().as_fixed();
+        cfg.backfill = false; // no trailing backfill tick after the last completion
+        let mut job = fs_job(0, 1000.25, 4, 3, 0.472913);
+        job.spec.flexible = false;
+        let r = run_experiment(&cfg, &[job]);
+        let expected = SimTime::from_secs_f64(1000.25) + Span(3 * 472_913);
+        assert_eq!(r.end_time, expected, "end_time must be the engine clock");
+        assert!((r.summary.makespan_s - 1.418739).abs() < 1e-9);
+    }
+
+    #[test]
+    fn offset_arrivals_do_not_deflate_makespan_or_utilization() {
+        // The same workload shifted to start at t = 2000 s must report
+        // identical makespan and utilization ("first submission to last
+        // completion"), not quantities diluted by the idle prefix.
+        let base: Vec<SimJob> = (0..6)
+            .map(|i| fs_job(i, i as f64 * 5.0, 4, 2, 30.0))
+            .collect();
+        let shifted: Vec<SimJob> = (0..6)
+            .map(|i| fs_job(i, 2000.0 + i as f64 * 5.0, 4, 2, 30.0))
+            .collect();
+        let a = run_experiment(&cfg(), &base);
+        let b = run_experiment(&cfg(), &shifted);
+        // Equal up to f64 cancellation in `last_end - first_submit` (the
+        // offset run subtracts two ~2000 s instants).
+        assert!(
+            (a.summary.makespan_s - b.summary.makespan_s).abs() < 1e-6,
+            "makespan deflated by the offset: {} vs {}",
+            a.summary.makespan_s,
+            b.summary.makespan_s
+        );
+        assert!((a.summary.utilization - b.summary.utilization).abs() < 1e-6);
+        assert_eq!(a.summary.avg_waiting_s, b.summary.avg_waiting_s);
+    }
+
+    #[test]
+    fn online_telemetry_is_bit_identical_and_buffer_free() {
+        use dmr_workload::WorkloadKind;
+        for base in [cfg(), cfg().asynchronous()] {
+            let mut src = WorkloadKind::burst().build(40, 11);
+            let full = run_experiment_streaming(&base, src.as_mut());
+            let mut src = WorkloadKind::burst().build(40, 11);
+            let online = run_experiment_streaming(&base.online(), src.as_mut());
+            assert_eq!(full.summary.makespan_s, online.summary.makespan_s);
+            assert_eq!(full.summary.utilization, online.summary.utilization);
+            assert_eq!(full.summary.avg_waiting_s, online.summary.avg_waiting_s);
+            assert_eq!(full.summary.completion_q, online.summary.completion_q);
+            assert_eq!(full.events, online.events);
+            assert_eq!(full.end_time, online.end_time);
+            // The streaming path buffers nothing.
+            assert!(online.outcomes.is_empty());
+            assert!(online.allocation.is_empty());
+        }
     }
 
     #[test]

@@ -24,7 +24,7 @@ use super::Driver;
 use crate::config::{EstimateMode, ScheduleMode};
 use crate::error::DmrError;
 
-impl Driver<'_> {
+impl Driver<'_, '_> {
     /// One reconfiguring point: dispatch to the configured check variant.
     pub(crate) fn check_point(&mut self, job: JobId, now: SimTime) {
         match self.cfg.mode {
@@ -59,7 +59,7 @@ impl Driver<'_> {
             let rs = &self.running[&job];
             (rs.spec_idx, rs.procs)
         };
-        let data = self.jobs[idx].spec.data_bytes;
+        let data = self.jobs[&idx].spec.data_bytes;
         match self
             .slurm
             .expand_protocol(job, to, now)
@@ -128,7 +128,7 @@ impl Driver<'_> {
             )
         };
         self.arm_inhibitor(job, idx, now);
-        let data = self.jobs[idx].spec.data_bytes;
+        let data = self.jobs[&idx].spec.data_bytes;
         let mut applying = false;
 
         if let Some(newp) = granted {
@@ -236,7 +236,7 @@ impl Driver<'_> {
             return;
         }
         let rs = &self.running[&job];
-        let sim = &self.jobs[rs.spec_idx];
+        let sim = &self.jobs[&rs.spec_idx];
         let remaining = sim
             .remaining_time(rs.procs, rs.steps_done)
             .mul_f64(self.cfg.estimate_padding);

@@ -15,7 +15,7 @@ use dmr_slurm::JobId;
 use super::events::Ev;
 use super::Driver;
 
-impl Driver<'_> {
+impl Driver<'_, '_> {
     /// Schedules the drain: charge the redistribution now, release nodes
     /// when it completes ([`Driver::finish_shrink`]).
     pub(crate) fn schedule_shrink(&mut self, job: JobId, to: u32, now: SimTime, pause: Span) {
@@ -23,7 +23,7 @@ impl Driver<'_> {
             let rs = &self.running[&job];
             (rs.spec_idx, rs.procs)
         };
-        let data = self.jobs[idx].spec.data_bytes;
+        let data = self.jobs[&idx].spec.data_bytes;
         let cost = self.cfg.network.redistribution_time(data, procs, to);
         let rs = self.running.get_mut(&job).expect("running");
         rs.pending_shrink = Some(to);

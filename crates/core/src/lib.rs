@@ -34,10 +34,13 @@ pub mod error;
 pub mod model;
 pub mod result;
 
-pub use config::{ExperimentConfig, ScheduleMode};
+pub use config::{ExperimentConfig, ScheduleMode, Telemetry};
+pub use dmr_metrics::MetricsSink;
 pub use dmr_slurm::PolicyKind;
 pub use dmr_workload::{WorkloadKind, WorkloadSource};
-pub use driver::{compare_fixed_flexible, run_experiment, run_experiment_streaming};
+pub use driver::{
+    compare_fixed_flexible, run_experiment, run_experiment_streaming, run_experiment_with_sink,
+};
 pub use error::DmrError;
 pub use model::{curve_for, SimJob, SpeedupCurve};
-pub use result::ExperimentResult;
+pub use result::{ExperimentResult, RunStats};

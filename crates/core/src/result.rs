@@ -4,9 +4,16 @@ use dmr_metrics::{JobOutcome, StepSeries, WorkloadSummary};
 use dmr_sim::SimTime;
 
 /// Everything one workload run produces.
+///
+/// Under [`crate::config::Telemetry::Full`] every field is populated.
+/// Under [`crate::config::Telemetry::Online`] the evolution series and
+/// [`ExperimentResult::outcomes`] come back empty — the run folded per-job
+/// accounting into streaming histograms instead of buffering it — while
+/// [`ExperimentResult::summary`] (including its percentile columns) is
+/// bit-identical to the buffered run.
 #[derive(Clone, Debug)]
 pub struct ExperimentResult {
-    /// Aggregate measures (Table II row set).
+    /// Aggregate measures (Table II row set plus P50/P95/P99 tails).
     pub summary: WorkloadSummary,
     /// Allocated nodes over time (top plots of Figures 4, 5, 6, 12).
     pub allocation: StepSeries,
@@ -16,7 +23,11 @@ pub struct ExperimentResult {
     pub completed: StepSeries,
     /// Per-job accounting in submission order.
     pub outcomes: Vec<JobOutcome>,
-    /// Instant the last job completed.
+    /// The engine's final clock when the event queue drained — the actual
+    /// end instant of the run (at or after the last completion; trailing
+    /// housekeeping events such as a final backfill pass can land later).
+    /// Taken directly from the engine, never re-derived through an f64
+    /// round-trip of the makespan.
     pub end_time: SimTime,
     /// Total events processed by the engine (diagnostics / determinism
     /// checks).
@@ -32,4 +43,17 @@ impl ExperimentResult {
     pub fn makespan_s(&self) -> f64 {
         self.summary.makespan_s
     }
+}
+
+/// What the driver itself measures about a run — everything else flows
+/// through the installed [`dmr_metrics::MetricsSink`]. Returned by
+/// [`crate::driver::run_experiment_with_sink`].
+#[derive(Clone, Copy, Debug)]
+pub struct RunStats {
+    /// The engine's final clock when the event queue drained.
+    pub end_time: SimTime,
+    /// Total events processed by the engine.
+    pub events: u64,
+    /// Past-scheduling clamps (see [`dmr_sim::Engine::past_schedules`]).
+    pub past_schedules: u64,
 }

@@ -30,16 +30,18 @@ pub fn write_series(w: &mut impl Write, header: &str, s: &StepSeries) -> io::Res
     Ok(())
 }
 
-/// Writes summaries as one CSV row per label.
+/// Writes summaries as one CSV row per label, including the P50/P95/P99
+/// tail columns of the waiting and completion distributions.
 pub fn write_summaries(w: &mut impl Write, rows: &[(&str, &WorkloadSummary)]) -> io::Result<()> {
     writeln!(
         w,
-        "label,jobs,makespan_s,utilization,avg_wait_s,avg_exec_s,avg_completion_s,reconfigurations"
+        "label,jobs,makespan_s,utilization,avg_wait_s,avg_exec_s,avg_completion_s,\
+         p50_wait_s,p95_wait_s,p99_wait_s,p50_compl_s,p95_compl_s,p99_compl_s,reconfigurations"
     )?;
     for (label, s) in rows {
         writeln!(
             w,
-            "{},{},{:.1},{:.4},{:.1},{:.1},{:.1},{}",
+            "{},{},{:.1},{:.4},{:.1},{:.1},{:.1},{:.1},{:.1},{:.1},{:.1},{:.1},{:.1},{}",
             escape_field(label),
             s.jobs,
             s.makespan_s,
@@ -47,6 +49,12 @@ pub fn write_summaries(w: &mut impl Write, rows: &[(&str, &WorkloadSummary)]) ->
             s.avg_waiting_s,
             s.avg_execution_s,
             s.avg_completion_s,
+            s.waiting_q.p50_s,
+            s.waiting_q.p95_s,
+            s.waiting_q.p99_s,
+            s.completion_q.p50_s,
+            s.completion_q.p95_s,
+            s.completion_q.p99_s,
             s.reconfigurations
         )?;
     }
@@ -86,34 +94,47 @@ mod tests {
         assert_eq!(lines[2], "10.000,5");
     }
 
+    fn summary(
+        makespan_s: f64,
+        utilization: f64,
+        avg_waiting_s: f64,
+        avg_execution_s: f64,
+        avg_completion_s: f64,
+        jobs: usize,
+        reconfigurations: u32,
+    ) -> WorkloadSummary {
+        WorkloadSummary {
+            makespan_s,
+            utilization,
+            avg_waiting_s,
+            avg_execution_s,
+            avg_completion_s,
+            waiting_q: crate::Quantiles::ZERO,
+            execution_q: crate::Quantiles::ZERO,
+            completion_q: crate::Quantiles::ZERO,
+            jobs,
+            reconfigurations,
+        }
+    }
+
     #[test]
     fn summary_csv_has_all_columns() {
-        let s = WorkloadSummary {
-            makespan_s: 100.0,
-            utilization: 0.5,
-            avg_waiting_s: 10.0,
-            avg_execution_s: 20.0,
-            avg_completion_s: 30.0,
-            jobs: 7,
-            reconfigurations: 3,
-        };
+        let s = summary(100.0, 0.5, 10.0, 20.0, 30.0, 7, 3);
         let mut buf = Vec::new();
         write_summaries(&mut buf, &[("fixed", &s)]).unwrap();
         let text = String::from_utf8(buf).unwrap();
-        assert!(text.contains("fixed,7,100.0,0.5000,10.0,20.0,30.0,3"));
+        assert!(
+            text.contains("fixed,7,100.0,0.5000,10.0,20.0,30.0,0.0,0.0,0.0,0.0,0.0,0.0,3"),
+            "row missing from:\n{text}"
+        );
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].contains("p95_wait_s") && lines[0].contains("p99_compl_s"));
+        assert_eq!(lines[0].split(',').count(), lines[1].split(',').count());
     }
 
     #[test]
     fn labels_with_commas_and_quotes_are_escaped() {
-        let s = WorkloadSummary {
-            makespan_s: 1.0,
-            utilization: 1.0,
-            avg_waiting_s: 0.0,
-            avg_execution_s: 1.0,
-            avg_completion_s: 1.0,
-            jobs: 1,
-            reconfigurations: 0,
-        };
+        let s = summary(1.0, 1.0, 0.0, 1.0, 1.0, 1, 0);
         let mut buf = Vec::new();
         write_summaries(&mut buf, &[("fs50,n20 \"smoke\"", &s), ("plain", &s)]).unwrap();
         let text = String::from_utf8(buf).unwrap();

@@ -102,18 +102,111 @@ impl StepSeries {
 
     /// Resamples onto a uniform grid of `n` buckets over `[0, end]`
     /// (bucket mean), for compact terminal plots.
+    ///
+    /// Bucket edges are computed in integer microseconds (`i · end / n`),
+    /// so they stay exact for end times beyond 2^53 µs where an f64
+    /// round-trip would drift, and the last bucket always ends exactly at
+    /// `end`.
     pub fn resample(&self, end: SimTime, n: usize) -> Vec<f64> {
         if n == 0 || end == SimTime::ZERO {
             return Vec::new();
         }
-        let step = end.as_micros() as f64 / n as f64;
-        (0..n)
-            .map(|i| {
-                let a = SimTime((i as f64 * step) as u64);
-                let b = SimTime(((i + 1) as f64 * step) as u64);
-                self.mean(a, b)
-            })
-            .collect()
+        let e = end.as_micros() as u128;
+        let edge = |i: usize| SimTime((i as u128 * e / n as u128) as u64);
+        (0..n).map(|i| self.mean(edge(i), edge(i + 1))).collect()
+    }
+}
+
+/// The O(1)-memory counterpart of [`StepSeries`]: same `record` contract
+/// (monotone time, same-instant overwrite, identical-value coalescing)
+/// but instead of buffering change points it maintains the running
+/// integral, the maximum, and the change count online.
+///
+/// The accumulation replays the exact floating-point operation sequence
+/// of [`StepSeries::integral`] from `t = 0`, so for any record sequence
+/// [`OnlineSeries::integral_to`] / [`OnlineSeries::mean_to`] /
+/// [`OnlineSeries::max_value`] are **bit-for-bit equal** to the buffered
+/// series' `integral` / `mean` / `max_value` (pinned by proptests in
+/// `tests/metrics_properties.rs`). This is what lets the streaming
+/// telemetry path report the same utilization figures as the buffered
+/// one.
+#[derive(Clone, Debug, Default)]
+pub struct OnlineSeries {
+    /// Integral of the step function over `[0, last.0]`.
+    acc: f64,
+    /// The most recent retained change point `(micros, value)`; its
+    /// contribution past `last.0` is not yet in `acc`.
+    last: Option<(u64, f64)>,
+    /// Max over superseded change points (the current `last` is folded in
+    /// on query).
+    committed_max: f64,
+    changes: usize,
+}
+
+impl OnlineSeries {
+    pub fn new() -> Self {
+        OnlineSeries::default()
+    }
+
+    /// Records `value` from instant `t` on; same semantics as
+    /// [`StepSeries::record`].
+    pub fn record(&mut self, t: SimTime, value: f64) {
+        let Some(last) = &mut self.last else {
+            self.last = Some((t.as_micros(), value));
+            self.changes = 1;
+            return;
+        };
+        debug_assert!(t.as_micros() >= last.0, "series must advance in time");
+        if last.0 == t.as_micros() {
+            last.1 = value;
+            return;
+        }
+        if last.1 == value {
+            return;
+        }
+        self.acc += last.1 * t.since(SimTime(last.0)).as_secs_f64();
+        self.committed_max = self.committed_max.max(last.1);
+        *last = (t.as_micros(), value);
+        self.changes += 1;
+    }
+
+    /// Exact integral over `[0, to]`, value·seconds. `to` must not
+    /// precede the last recorded change (the buffered equivalent of
+    /// integrating past the end of the series).
+    pub fn integral_to(&self, to: SimTime) -> f64 {
+        match self.last {
+            None => 0.0,
+            Some((t, v)) => {
+                debug_assert!(to.as_micros() >= t, "integral_to before last change");
+                self.acc + v * to.since(SimTime(t)).as_secs_f64()
+            }
+        }
+    }
+
+    /// Mean value over `[0, to]`.
+    pub fn mean_to(&self, to: SimTime) -> f64 {
+        let span = to.since(SimTime::ZERO).as_secs_f64();
+        if span == 0.0 {
+            0.0
+        } else {
+            self.integral_to(to) / span
+        }
+    }
+
+    /// Maximum recorded value (0 when empty), matching
+    /// [`StepSeries::max_value`].
+    pub fn max_value(&self) -> f64 {
+        self.committed_max.max(self.last.map_or(0.0, |(_, v)| v))
+    }
+
+    /// Number of retained change points, matching [`StepSeries::len`].
+    pub fn changes(&self) -> usize {
+        self.changes
+    }
+
+    /// Value currently in effect (0 before the first record).
+    pub fn value(&self) -> f64 {
+        self.last.map_or(0.0, |(_, v)| v)
     }
 }
 
@@ -205,5 +298,44 @@ mod tests {
         s.record(t(1), 9.0);
         s.record(t(2), 3.0);
         assert_eq!(s.max_value(), 9.0);
+    }
+
+    #[test]
+    fn resample_edges_are_exact_beyond_f64_precision() {
+        // end = 3e18 + 3 µs: the old `u64 → f64 → u64` edge computation
+        // rounded the first bucket edge to 1_000_000_000_000_000_128
+        // instead of the exact 1_000_000_000_000_000_001, leaking 127 µs
+        // of the second step into the first bucket's mean.
+        let end = SimTime(3_000_000_000_000_000_003);
+        let edge = SimTime(1_000_000_000_000_000_001); // = end / 3 exactly
+        let mut s = StepSeries::new();
+        s.record(SimTime(0), 0.0);
+        s.record(edge, 6.0);
+        let r = s.resample(end, 3);
+        assert_eq!(r[0], 0.0, "first bucket must end exactly at end/3");
+        assert_eq!(r[1], 6.0);
+        assert_eq!(r[2], 6.0);
+    }
+
+    #[test]
+    fn online_series_mirrors_buffered_semantics() {
+        let mut buffered = StepSeries::new();
+        let mut online = OnlineSeries::new();
+        // Exercise coalescing, same-instant overwrite and plateaus.
+        for (ts, v) in [(0, 2.0), (5, 2.0), (10, 7.0), (10, 4.0), (30, 0.0)] {
+            buffered.record(t(ts), v);
+            online.record(t(ts), v);
+        }
+        let end = t(50);
+        assert_eq!(
+            buffered.integral(SimTime::ZERO, end),
+            online.integral_to(end)
+        );
+        assert_eq!(buffered.mean(SimTime::ZERO, end), online.mean_to(end));
+        assert_eq!(buffered.max_value(), online.max_value());
+        assert_eq!(buffered.len(), online.changes());
+        assert_eq!(online.value(), 0.0);
+        assert_eq!(OnlineSeries::new().integral_to(end), 0.0);
+        assert_eq!(OnlineSeries::new().max_value(), 0.0);
     }
 }

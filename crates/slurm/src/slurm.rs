@@ -28,6 +28,15 @@ pub struct SlurmConfig {
     pub shrink_boost: bool,
     /// Which reconfiguration decision procedure to install (§IV plug-in).
     pub policy: PolicyKind,
+    /// Keep terminal (completed / cancelled) job records in the jobs
+    /// table. `true` (the default) preserves the accounting API
+    /// ([`Slurm::job`] on finished jobs); `false` drops each record the
+    /// moment it turns terminal, so arbitrarily long workloads hold only
+    /// the *active* job set — the setting the streaming driver uses.
+    /// Scheduling decisions never read terminal records (pending-queue
+    /// priority, backfill reservations and resize policies all filter on
+    /// live states), so the two settings schedule identically.
+    pub retain_completed: bool,
 }
 
 impl SlurmConfig {
@@ -39,6 +48,7 @@ impl SlurmConfig {
             resizer_timeout: Span::from_secs(30),
             shrink_boost: true,
             policy: PolicyKind::Algorithm1,
+            retain_completed: true,
         }
     }
 }
@@ -430,6 +440,9 @@ impl Slurm {
         // A job that shrank to zero nodes cannot exist (envelope min >= 1),
         // but release defensively.
         let _ = self.cluster.release_all(id.owner_tag());
+        if !self.config.retain_completed {
+            self.jobs.remove(&id);
+        }
     }
 
     /// Cancels a pending or running job. Detached resizer nodes are *not*
@@ -448,6 +461,12 @@ impl Slurm {
         self.invalidate_queue_cache();
         if was_running && !self.detached.contains_key(&id) {
             let _ = self.cluster.release_all(id.owner_tag());
+        }
+        // The record itself is never consulted after cancellation (the
+        // detach mark and node ownership live in their own tables), so it
+        // can be dropped with the same retention rule as completions.
+        if !self.config.retain_completed {
+            self.jobs.remove(&id);
         }
     }
 
@@ -594,6 +613,31 @@ mod tests {
 
     fn t(s: u64) -> SimTime {
         SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn retention_off_drops_terminal_records_without_changing_scheduling() {
+        let mut keep = slurm(8);
+        let mut drop = slurm(8);
+        drop.config.retain_completed = false;
+        for s in [&mut keep, &mut drop] {
+            let a = s.submit(JobRequest::rigid("a", 4), t(0));
+            let b = s.submit(JobRequest::rigid("b", 8), t(0));
+            let started = s.schedule(t(0));
+            assert_eq!(started.len(), 1, "a starts, b blocked");
+            s.complete(a, t(100));
+            let started = s.schedule(t(100));
+            assert_eq!(started.len(), 1, "b starts once a's nodes free");
+            s.complete(b, t(200));
+            // Either way the live views agree.
+            assert_eq!(s.running_count(), 0);
+            assert_eq!(s.pending_count(), 0);
+            let retained = s.config.retain_completed;
+            assert_eq!(s.job(a).is_some(), retained);
+            assert_eq!(s.job(b).is_some(), retained);
+        }
+        assert_eq!(keep.jobs().count(), 2);
+        assert_eq!(drop.jobs().count(), 0, "terminal records pruned");
     }
 
     #[test]

@@ -23,9 +23,10 @@ use std::time::Instant;
 use parking_lot::Mutex;
 
 use dmr_core::DmrError;
+use dmr_metrics::LogHistogram;
 use dmr_runtime::dmr::{DmrAction, DmrSpec};
 use dmr_runtime::rms::RmsClient;
-use dmr_sim::SimTime;
+use dmr_sim::{SimTime, Span};
 use dmr_slurm::{JobId, ResizeAction, Slurm};
 
 /// A live RMS connection for one job.
@@ -33,6 +34,11 @@ pub struct SlurmRms {
     slurm: Arc<Mutex<Slurm>>,
     job: JobId,
     epoch: Instant,
+    /// Wall-clock time spent inside each `negotiate` round trip — the
+    /// live-path counterpart of the simulated check overhead, recorded
+    /// into the same streaming histogram type the driver's telemetry
+    /// uses (O(1) memory over arbitrarily many negotiations).
+    negotiate_latency: LogHistogram,
 }
 
 impl SlurmRms {
@@ -43,16 +49,25 @@ impl SlurmRms {
             slurm,
             job,
             epoch: Instant::now(),
+            negotiate_latency: LogHistogram::new(),
         }
     }
 
     fn now(&self) -> SimTime {
         SimTime::from_secs_f64(self.epoch.elapsed().as_secs_f64())
     }
+
+    /// The distribution of wall-clock `negotiate` round-trip times for
+    /// this connection (count, mean, P50/P95/P99 via
+    /// [`LogHistogram::percentile_s`]).
+    pub fn negotiate_latency(&self) -> &LogHistogram {
+        &self.negotiate_latency
+    }
 }
 
 impl RmsClient for SlurmRms {
     fn negotiate(&mut self, _current: u32, _spec: &DmrSpec) -> DmrAction {
+        let round_trip = Instant::now();
         let now = self.now();
         let mut slurm = self.slurm.lock();
         // Scheduler housekeeping first: anything startable starts, so the
@@ -93,6 +108,9 @@ impl RmsClient for SlurmRms {
         if matches!(verdict, DmrAction::Shrink { .. }) {
             let _ = slurm.schedule(now);
         }
+        drop(slurm);
+        self.negotiate_latency
+            .record(Span::from_secs_f64(round_trip.elapsed().as_secs_f64()));
         verdict
     }
 }
@@ -132,6 +150,9 @@ mod tests {
         assert_eq!(action, DmrAction::Expand { to: 8 });
         // The protocol really ran: the scheduler now accounts 8 nodes.
         assert_eq!(slurm.lock().nodes_of(job), 8);
+        // And the round trip landed in the latency telemetry.
+        assert_eq!(rms.negotiate_latency().count(), 1);
+        assert!(rms.negotiate_latency().max_s() < 60.0);
     }
 
     #[test]

@@ -1,10 +1,12 @@
 //! Property tests for the measurement layer: the summaries that back
-//! every reported number must be internally consistent.
+//! every reported number must be internally consistent, and the
+//! streaming (bounded-memory) recorders must agree with the buffered
+//! ones — bit-for-bit where the design promises it.
 
 use proptest::prelude::*;
 
-use dmr::metrics::{JobOutcome, StepSeries, WorkloadSummary};
-use dmr::sim::SimTime;
+use dmr::metrics::{JobOutcome, LogHistogram, OnlineSeries, StepSeries, WorkloadSummary};
+use dmr::sim::{SimTime, Span};
 
 proptest! {
     /// The step-series integral equals the piecewise sum for any set of
@@ -60,8 +62,83 @@ proptest! {
         prop_assert!((s.avg_waiting_s - wait).abs() < 1e-9);
         prop_assert!((s.avg_execution_s - run).abs() < 1e-9);
         prop_assert!((s.avg_completion_s - (wait + run)).abs() < 1e-9);
+        // Makespan spans first submission to last completion: every
+        // completion lands inside `[first_submit, first_submit + makespan]`.
+        let first_submit = outcomes.iter().map(|o| o.submit).fold(f64::INFINITY, f64::min);
+        let last_end = outcomes.iter().map(|o| o.end).fold(0.0, f64::max);
+        prop_assert!((s.makespan_s - (last_end - first_submit)).abs() < 1e-9);
         for o in &outcomes {
-            prop_assert!(o.end <= s.makespan_s + 1e-9);
+            prop_assert!(o.end <= first_submit + s.makespan_s + 1e-9);
         }
+    }
+
+    /// The online accumulator's integral / mean / max / change count match
+    /// the buffered [`StepSeries`] **bit-for-bit** over arbitrary record
+    /// sequences — including same-instant overwrites and value repeats,
+    /// which both sides must coalesce identically.
+    #[test]
+    fn online_series_matches_buffered_bit_for_bit(
+        mut points in proptest::collection::vec((0u64..5_000, 0u32..60), 1..80),
+        tail in 0u64..1_000,
+    ) {
+        points.sort_by_key(|&(t, _)| t);
+        let mut buffered = StepSeries::new();
+        let mut online = OnlineSeries::new();
+        for &(t, v) in &points {
+            buffered.record(SimTime::from_secs(t), v as f64);
+            online.record(SimTime::from_secs(t), v as f64);
+        }
+        let last_t = points.last().expect("non-empty").0;
+        let end = SimTime::from_secs(last_t + tail);
+        let b = buffered.integral(SimTime::ZERO, end);
+        let o = online.integral_to(end);
+        prop_assert_eq!(b.to_bits(), o.to_bits(), "integral {} vs {}", b, o);
+        let (bm, om) = (buffered.mean(SimTime::ZERO, end), online.mean_to(end));
+        prop_assert_eq!(bm.to_bits(), om.to_bits(), "mean {} vs {}", bm, om);
+        prop_assert_eq!(
+            buffered.max_value().to_bits(),
+            online.max_value().to_bits(),
+            "max {} vs {}", buffered.max_value(), online.max_value()
+        );
+        prop_assert_eq!(buffered.len(), online.changes(), "change counts");
+    }
+
+    /// Histogram percentiles bound the exact sorted-vector order
+    /// statistics from above, within one bin width.
+    #[test]
+    fn histogram_percentiles_bound_exact_order_statistics(
+        micros in proptest::collection::vec(0u64..2_000_000_000, 1..120),
+        q_raw in 0u32..101,
+    ) {
+        let mut hist = LogHistogram::new();
+        let mut sorted = micros.clone();
+        sorted.sort_unstable();
+        for &us in &micros {
+            hist.record(Span(us));
+        }
+        let q = q_raw as f64;
+        let n = sorted.len() as u64;
+        let rank = ((q / 100.0 * n as f64).ceil() as u64).clamp(1, n);
+        let exact_us = sorted[(rank - 1) as usize];
+        let exact_s = exact_us as f64 / 1e6;
+        let p = hist.percentile_s(q);
+        let width_s = LogHistogram::bin_width_us(exact_us) as f64 / 1e6;
+        prop_assert!(
+            p >= exact_s,
+            "percentile {} undershoots exact {} at q={}", p, exact_s, q
+        );
+        prop_assert!(
+            p <= exact_s + width_s,
+            "percentile {} overshoots exact {} by more than bin width {} at q={}",
+            p, exact_s, width_s, q
+        );
+        // Exact scalar quantities.
+        prop_assert_eq!(hist.count(), n);
+        prop_assert!((hist.max_s() - *sorted.last().unwrap() as f64 / 1e6).abs() == 0.0);
+        prop_assert!((hist.min_s() - sorted[0] as f64 / 1e6).abs() == 0.0);
+        let mean_exact = sorted.iter().map(|&v| v as u128).sum::<u128>() as f64
+            / n as f64
+            / 1e6;
+        prop_assert!((hist.mean_s() - mean_exact).abs() < 1e-9);
     }
 }

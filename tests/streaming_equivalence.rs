@@ -1,0 +1,171 @@
+//! The streaming telemetry acceptance bar: an online (bounded-memory)
+//! run must report **bit-identical** summaries — including the P50/P95/
+//! P99 percentile columns — to the buffered run of the same workload,
+//! across every workload family, scheduling mode and policy, while
+//! retaining no per-job buffers.
+
+use dmr::core::{run_experiment_streaming, ExperimentConfig, PolicyKind, WorkloadKind};
+use dmr::metrics::{MetricsSink, OnlineAccumulator};
+use dmr::workload::{SwfMapping, SwfTrace};
+
+fn assert_summaries_identical(
+    label: &str,
+    cfg: &ExperimentConfig,
+    mut mk: impl FnMut() -> Box<dyn dmr::workload::WorkloadSource>,
+) {
+    let full = run_experiment_streaming(cfg, mk().as_mut());
+    let online = run_experiment_streaming(&cfg.online(), mk().as_mut());
+    let (a, b) = (&full.summary, &online.summary);
+    assert_eq!(a.jobs, b.jobs, "{label}: job counts");
+    assert_eq!(
+        a.makespan_s.to_bits(),
+        b.makespan_s.to_bits(),
+        "{label}: makespan"
+    );
+    assert_eq!(
+        a.utilization.to_bits(),
+        b.utilization.to_bits(),
+        "{label}: utilization"
+    );
+    assert_eq!(
+        a.avg_waiting_s.to_bits(),
+        b.avg_waiting_s.to_bits(),
+        "{label}: avg wait"
+    );
+    assert_eq!(
+        a.avg_execution_s.to_bits(),
+        b.avg_execution_s.to_bits(),
+        "{label}: avg exec"
+    );
+    assert_eq!(
+        a.avg_completion_s.to_bits(),
+        b.avg_completion_s.to_bits(),
+        "{label}: avg compl"
+    );
+    assert_eq!(a.waiting_q, b.waiting_q, "{label}: waiting percentiles");
+    assert_eq!(
+        a.execution_q, b.execution_q,
+        "{label}: execution percentiles"
+    );
+    assert_eq!(
+        a.completion_q, b.completion_q,
+        "{label}: completion percentiles"
+    );
+    assert_eq!(
+        a.reconfigurations, b.reconfigurations,
+        "{label}: reconfigurations"
+    );
+    assert_eq!(
+        full.events, online.events,
+        "{label}: event counts (same schedule)"
+    );
+    assert_eq!(full.end_time, online.end_time, "{label}: end instants");
+    // The online run kept no buffers.
+    assert!(online.outcomes.is_empty(), "{label}: outcomes buffered");
+    assert!(online.allocation.is_empty(), "{label}: series buffered");
+    assert!(!full.outcomes.is_empty(), "{label}: buffered run sanity");
+}
+
+#[test]
+fn online_summaries_match_buffered_across_sources_and_modes() {
+    let kinds = [
+        WorkloadKind::FsPreliminary,
+        WorkloadKind::burst(),
+        WorkloadKind::diurnal(),
+    ];
+    for kind in kinds {
+        for cfg in [
+            ExperimentConfig::preliminary(),
+            ExperimentConfig::preliminary().asynchronous(),
+            ExperimentConfig::preliminary().as_fixed(),
+            ExperimentConfig::preliminary().with_policy(PolicyKind::fair_share()),
+        ] {
+            let label = format!("{kind:?}/{:?}/{:?}", cfg.mode, cfg.policy);
+            assert_summaries_identical(&label, &cfg, || kind.build(60, 7));
+        }
+    }
+}
+
+#[test]
+fn online_summaries_match_buffered_on_offset_trace_replay() {
+    // An SWF replay with arrivals NOT rebased to zero: the first job
+    // submits at its raw trace offset, exercising the corrected
+    // `[first_submit, last_end]` accounting window on both paths.
+    const TRACE: &str = include_str!("fixtures/tiny.swf");
+    let mapping = SwfMapping {
+        normalize_arrivals: false,
+        ..SwfMapping::default()
+    };
+    let cfg = ExperimentConfig::preliminary();
+    assert_summaries_identical("swf-offset", &cfg, || {
+        Box::new(SwfTrace::from_static(TRACE, mapping))
+    });
+}
+
+#[test]
+fn large_streaming_run_records_percentiles_with_no_job_buffers() {
+    // A multi-thousand-job streaming run through the public sink API:
+    // the accumulator sees every job exactly once and its summary carries
+    // populated percentile columns — with nothing job-sized retained
+    // anywhere (the sink is the only telemetry storage, and it is O(1)).
+    let mut source = WorkloadKind::diurnal().build(800, 3);
+    let mut sink = OnlineAccumulator::new();
+    let cfg = ExperimentConfig::preliminary().online();
+    let stats = dmr::core::run_experiment_with_sink(&cfg, source.as_mut(), &mut sink);
+    assert_eq!(sink.jobs(), 800);
+    assert_eq!(sink.completion().count(), 800);
+    assert_eq!(sink.completed().value(), 800.0);
+    assert!(sink.running().max_value() >= 1.0);
+    let summary = sink.summary(cfg.nodes);
+    assert_eq!(summary.jobs, 800);
+    assert!(summary.completion_q.p50_s > 0.0);
+    assert!(summary.completion_q.p50_s <= summary.completion_q.p95_s);
+    assert!(summary.completion_q.p95_s <= summary.completion_q.p99_s);
+    assert!(summary.completion_q.p99_s <= summary.makespan_s);
+    assert_eq!(stats.past_schedules, 0);
+    assert!(stats.end_time.as_secs_f64() >= summary.makespan_s);
+}
+
+#[test]
+fn custom_sink_sees_every_sample_and_job() {
+    // The README "adding a sink" contract: per-event samples arrive in
+    // non-decreasing time order, and one outcome arrives per job with its
+    // submission sequence number.
+    #[derive(Default)]
+    struct CountingSink {
+        samples: u64,
+        jobs: Vec<u64>,
+        last_t: dmr::sim::SimTime,
+        monotone: bool,
+    }
+    impl CountingSink {
+        fn new() -> Self {
+            CountingSink {
+                monotone: true,
+                ..CountingSink::default()
+            }
+        }
+    }
+    impl MetricsSink for CountingSink {
+        fn on_sample(&mut self, now: dmr::sim::SimTime, _a: f64, _r: f64, _c: f64) {
+            self.monotone &= now >= self.last_t;
+            self.last_t = now;
+            self.samples += 1;
+        }
+        fn on_job(&mut self, seq: u64, _outcome: dmr::metrics::JobOutcome) {
+            self.jobs.push(seq);
+        }
+    }
+    let mut source = WorkloadKind::burst().build(25, 5);
+    let mut sink = CountingSink::new();
+    let cfg = ExperimentConfig::preliminary();
+    let stats = dmr::core::run_experiment_with_sink(&cfg, source.as_mut(), &mut sink);
+    assert_eq!(sink.samples, stats.events, "one sample per handled event");
+    assert!(sink.monotone, "samples arrive in time order");
+    assert_eq!(sink.jobs.len(), 25, "one outcome per job");
+    let mut seqs = sink.jobs.clone();
+    seqs.sort_unstable();
+    seqs.dedup();
+    assert_eq!(seqs.len(), 25, "sequence numbers are unique");
+    assert_eq!(*seqs.last().unwrap(), 24, "seqs are the arrival indices");
+}
