@@ -1,0 +1,117 @@
+//! Hot-path micro-benchmarks: each incremental index head-to-head with
+//! its pre-index scan oracle — node allocation, pending-order
+//! consultation, the EASY backfill pass (reservation + reap), and one
+//! full churn round. `repro --bench-json` measures the same contrast
+//! end-to-end and writes the `BENCH_sched.json` trajectory.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use dmr_bench::hotpath;
+use dmr_cluster::Cluster;
+use dmr_sim::{SimTime, Span};
+use dmr_slurm::{JobRequest, SchedIndex, Slurm, SlurmConfig};
+
+fn modes() -> [(&'static str, SchedIndex); 2] {
+    [
+        ("indexed", SchedIndex::Indexed),
+        ("scan", SchedIndex::ScanReference),
+    ]
+}
+
+/// A 4096-node cluster with the low 4000 ids busy: linear selection must
+/// reach past them for every grant.
+fn busy_low_cluster(scan: bool) -> Cluster {
+    let mut c = Cluster::new(4096, 16);
+    c.use_scan_selection(scan);
+    c.allocate(4000, 1).expect("fits");
+    c
+}
+
+fn bench_allocate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cluster");
+    for (label, mode) in modes() {
+        g.bench_function(format!("allocate32_n4096_busy_{label}"), |b| {
+            b.iter_batched(
+                || busy_low_cluster(mode == SchedIndex::ScanReference),
+                |mut c| black_box(c.allocate(32, 2).unwrap()),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn deep_queue(pending: u32, mode: SchedIndex) -> Slurm {
+    let mut cfg = SlurmConfig::for_cluster(64);
+    cfg.sched_index = mode;
+    let mut s = Slurm::new(Cluster::new(64, 16), cfg);
+    for i in 0..8 {
+        s.submit(
+            JobRequest::rigid(format!("run{i}"), 8)
+                .with_expected_runtime(Span::from_secs(600 + i * 60)),
+            SimTime::ZERO,
+        );
+    }
+    s.schedule(SimTime::ZERO);
+    for i in 0..pending {
+        s.submit(
+            JobRequest::rigid(format!("pend{i}"), 1 + (i * 7) % 32)
+                .with_expected_runtime(Span::from_secs(120 + (u64::from(i) * 13) % 900)),
+            SimTime::from_secs(1 + u64::from(i)),
+        );
+    }
+    s
+}
+
+fn bench_pending_order(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pending_order");
+    for pending in [1_000u32, 10_000] {
+        for (label, mode) in modes() {
+            g.bench_function(format!("rebuild_q{pending}_{label}"), |b| {
+                b.iter_batched(
+                    || deep_queue(pending, mode),
+                    // A fresh instant misses the per-mutation cache, so
+                    // this times one full order (re)build.
+                    |s| black_box(s.pending_queue(SimTime::from_secs(99_999)).len()),
+                    BatchSize::SmallInput,
+                )
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_backfill(c: &mut Criterion) {
+    let mut g = c.benchmark_group("backfill");
+    for (label, mode) in modes() {
+        g.bench_function(format!("pass_q4000_{label}"), |b| {
+            b.iter_batched(
+                || deep_queue(4_000, mode),
+                |mut s| black_box(s.backfill_pass(SimTime::from_secs(2_000))),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_churn_round(c: &mut Criterion) {
+    let mut g = c.benchmark_group("churn");
+    g.sample_size(3);
+    for (label, mode) in modes() {
+        g.bench_function(format!("n1024_q4000_{label}"), |b| {
+            b.iter(|| black_box(hotpath::run_cell(1024, 4_000, mode, 50).events))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_allocate,
+    bench_pending_order,
+    bench_backfill,
+    bench_churn_round
+);
+criterion_main!(benches);

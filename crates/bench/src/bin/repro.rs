@@ -7,6 +7,7 @@
 //! repro --trace path.swf [--nodes N] [--check-prefix N]
 //! repro --hist [--jobs N] [--seed S]
 //! repro --gen-swf N [--seed S]
+//! repro --bench-json [--smoke] [--bench-out PATH]
 //! targets: fig1 table1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11
 //!          fig12 table2 all quick
 //! ```
@@ -21,13 +22,20 @@
 //! both telemetry paths and fails unless the summaries agree.
 //! `--hist` prints ASCII histograms of the waiting / execution /
 //! completion distributions. `--gen-swf` writes a synthetic SWF trace to
-//! stdout for long-replay smoke tests.
+//! stdout for long-replay smoke tests. `--bench-json` runs the scheduler
+//! hot-path throughput grid (indexed vs scan-reference) and writes the
+//! `BENCH_sched.json` perf-trajectory document (default: repo root /
+//! current directory; `--smoke` shrinks the grid for CI).
 
 use dmr_bench::figures as f;
-use dmr_bench::{scenario, sweep, PRELIM_JOB_COUNTS, PRODUCTION_JOB_COUNTS, SEED};
+use dmr_bench::{hotpath, scenario, sweep, PRELIM_JOB_COUNTS, PRODUCTION_JOB_COUNTS, SEED};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--bench-json") {
+        run_bench_json(&args);
+        return;
+    }
     if args.iter().any(|a| a == "--sweep") {
         run_sweep(&args);
         return;
@@ -92,6 +100,39 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
             None
         }
     })
+}
+
+/// Runs the scheduler hot-path grid and writes `BENCH_sched.json`.
+/// Exits non-zero if the rendered document fails its own schema gate or
+/// a non-smoke run regresses below the 5× headline bar.
+fn run_bench_json(args: &[String]) {
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let path = flag_value(args, "--bench-out").unwrap_or("BENCH_sched.json");
+    let doc = hotpath::bench_json(smoke, |cell| {
+        eprintln!(
+            "bench: n{:<5} q{:<6} {:<7} {:>12.0} events/s  ({:.0} jobs/s, peak queue {})",
+            cell.nodes,
+            cell.queue_depth,
+            cell.mode,
+            cell.events_per_sec(),
+            cell.jobs_per_sec(),
+            cell.peak_queue_depth,
+        );
+    });
+    if let Err(e) = hotpath::validate_bench_json(&doc) {
+        eprintln!("BENCH_sched.json failed its schema gate: {e}");
+        std::process::exit(1);
+    }
+    if let Err(e) = std::fs::write(path, &doc) {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    let speedup = hotpath::headline_speedup(&doc).unwrap_or(0.0);
+    eprintln!("wrote {path} (headline speedup vs scan path: {speedup:.1}x)");
+    if !smoke && speedup < 5.0 {
+        eprintln!("headline speedup {speedup:.1}x is below the 5x acceptance bar");
+        std::process::exit(1);
+    }
 }
 
 fn run_sweep(args: &[String]) {
@@ -359,7 +400,8 @@ fn run(target: &str, seed: u64) {
                  or: --sweep [--smoke] [--threads N] [--seeds a,b,c]\n\
                  or: --trace path.swf [--nodes N] [--check-prefix N]\n\
                  or: --hist [--jobs N] [--seed S]\n\
-                 or: --gen-swf N [--seed S]"
+                 or: --gen-swf N [--seed S]\n\
+                 or: --bench-json [--smoke] [--bench-out PATH]"
             );
             std::process::exit(2);
         }

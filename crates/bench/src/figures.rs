@@ -522,7 +522,8 @@ pub fn hist_report(jobs: u32, seed: u64) -> String {
 
     let workload = fs_workload(jobs, seed);
     let (fixed, flexible) = compare_fixed_flexible(&ExperimentConfig::preliminary(), &workload);
-    let dims: [(&str, fn(&dmr_metrics::JobOutcome) -> f64); 3] = [
+    type Dim = (&'static str, fn(&dmr_metrics::JobOutcome) -> f64);
+    let dims: [Dim; 3] = [
         ("waiting", |o| o.waiting_s()),
         ("execution", |o| o.execution_s()),
         ("completion", |o| o.completion_s()),

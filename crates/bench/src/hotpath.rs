@@ -1,0 +1,375 @@
+//! Scheduler hot-path throughput benchmark — the `BENCH_sched.json`
+//! trajectory.
+//!
+//! Drives a synthetic churn workload (a full machine with a deep pending
+//! queue, one completion + one submission + one scheduling pass per
+//! round, a backfill pass every `bf_interval`-like 30 rounds) through
+//! the scheduler twice per grid cell: once on the incremental-index hot
+//! path ([`SchedIndex::Indexed`]) and once on the pre-index scan
+//! reference ([`SchedIndex::ScanReference`]). Both runs execute the
+//! *identical* operation sequence — the two paths are decision-identical
+//! by construction (pinned by `tests/index_equivalence.rs`) — so the
+//! wall-clock ratio is a pure measure of the index win.
+//!
+//! [`bench_json`] runs the cluster-size × queue-depth grid and renders
+//! the `dmr-bench-sched/v1` JSON document that `repro --bench-json`
+//! writes to `BENCH_sched.json` at the repo root; [`validate_bench_json`]
+//! is the schema gate the CI smoke step (and the unit tests) run against
+//! the rendered document.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use dmr_cluster::Cluster;
+use dmr_sim::{SimTime, Span};
+use dmr_slurm::{JobRequest, SchedIndex, Slurm, SlurmConfig};
+
+/// Schema identifier embedded in (and required from) every document.
+pub const SCHEMA: &str = "dmr-bench-sched/v1";
+
+/// One (cluster size, queue depth, mode) measurement.
+#[derive(Clone, Debug)]
+pub struct CellResult {
+    pub nodes: u32,
+    pub queue_depth: u32,
+    /// `"indexed"` or `"scan"`.
+    pub mode: &'static str,
+    pub rounds: u32,
+    /// Scheduling events processed: submissions + completions + passes +
+    /// job starts.
+    pub events: u64,
+    pub jobs_started: u64,
+    pub peak_queue_depth: u64,
+    pub elapsed_s: f64,
+}
+
+impl CellResult {
+    pub fn events_per_sec(&self) -> f64 {
+        if self.elapsed_s > 0.0 {
+            self.events as f64 / self.elapsed_s
+        } else {
+            0.0
+        }
+    }
+
+    pub fn jobs_per_sec(&self) -> f64 {
+        if self.elapsed_s > 0.0 {
+            self.jobs_started as f64 / self.elapsed_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The benchmark grid: `(cluster nodes, pending queue depth)` cells,
+/// ending with the headline 4096-node / 10k-deep scenario.
+pub fn grid(smoke: bool) -> Vec<(u32, u32)> {
+    if smoke {
+        vec![(64, 100), (4096, 10_000)]
+    } else {
+        vec![
+            (64, 100),
+            (256, 1_000),
+            (1024, 4_000),
+            (4096, 1_000),
+            (4096, 10_000),
+        ]
+    }
+}
+
+/// Rounds of churn per cell.
+pub fn rounds(smoke: bool) -> u32 {
+    if smoke {
+        30
+    } else {
+        300
+    }
+}
+
+/// Runs one grid cell under `mode`.
+///
+/// The churn loop mirrors the driver's steady state: the machine starts
+/// full (one running job per 64th of the cluster), the queue starts
+/// `depth` deep with mixed widths, and every round completes the oldest
+/// running job, submits a replacement, and runs the event-driven
+/// scheduling pass; every 30th round runs the periodic backfill pass
+/// (Slurm's `bf_interval` at one round per second).
+pub fn run_cell(nodes: u32, depth: u32, mode: SchedIndex, rounds: u32) -> CellResult {
+    let mut cfg = SlurmConfig::for_cluster(nodes);
+    cfg.sched_index = mode;
+    // Steady-state churn would grow the terminal-record table without
+    // bound; the streaming driver prunes it, so the bench does too.
+    cfg.retain_completed = false;
+    let mut s = Slurm::new(Cluster::new(nodes, 16), cfg);
+
+    let width = (nodes / 64).max(1);
+    let mut running: VecDeque<_> = VecDeque::new();
+    for i in 0..nodes / width {
+        s.submit(
+            JobRequest::rigid(format!("run{i}"), width)
+                .with_expected_runtime(Span::from_secs(600 + (u64::from(i) * 37) % 600)),
+            SimTime::ZERO,
+        );
+    }
+    for start in s.schedule(SimTime::ZERO) {
+        running.push_back(start.id);
+    }
+    for i in 0..depth {
+        s.submit(
+            JobRequest::rigid(format!("pend{i}"), 1 + (i * 7) % (width * 4))
+                .with_expected_runtime(Span::from_secs(120 + (u64::from(i) * 13) % 900)),
+            SimTime::from_secs(1 + u64::from(i) % 100),
+        );
+    }
+
+    let mut events: u64 = 0;
+    let mut jobs_started: u64 = 0;
+    let mut pending = u64::from(depth);
+    let mut peak = pending;
+    let t0 = Instant::now();
+    for r in 0..rounds {
+        let now = SimTime::from_secs(1000 + u64::from(r));
+        if let Some(id) = running.pop_front() {
+            s.complete(id, now);
+            events += 1;
+        }
+        let i = depth + r;
+        s.submit(
+            JobRequest::rigid(format!("churn{r}"), 1 + (i * 7) % (width * 4))
+                .with_expected_runtime(Span::from_secs(120 + (u64::from(i) * 13) % 900)),
+            now,
+        );
+        pending += 1;
+        events += 1;
+        events += 1; // the scheduling pass itself
+        for start in s.schedule(now) {
+            running.push_back(start.id);
+            jobs_started += 1;
+            pending -= 1;
+            events += 1;
+        }
+        if r % 30 == 29 {
+            events += 1;
+            for start in s.backfill_pass(now) {
+                running.push_back(start.id);
+                jobs_started += 1;
+                pending -= 1;
+                events += 1;
+            }
+        }
+        peak = peak.max(pending);
+    }
+    let elapsed_s = t0.elapsed().as_secs_f64();
+
+    CellResult {
+        nodes,
+        queue_depth: depth,
+        mode: match mode {
+            SchedIndex::Indexed => "indexed",
+            SchedIndex::ScanReference => "scan",
+        },
+        rounds,
+        events,
+        jobs_started,
+        peak_queue_depth: peak,
+        elapsed_s,
+    }
+}
+
+/// Runs the whole grid (both modes per cell), reporting progress through
+/// `progress` (one line per finished cell; `repro` points this at
+/// stderr).
+pub fn run_grid(smoke: bool, mut progress: impl FnMut(&CellResult)) -> Vec<CellResult> {
+    let rounds = rounds(smoke);
+    let mut out = Vec::new();
+    for (nodes, depth) in grid(smoke) {
+        for mode in [SchedIndex::Indexed, SchedIndex::ScanReference] {
+            let cell = run_cell(nodes, depth, mode, rounds);
+            progress(&cell);
+            out.push(cell);
+        }
+    }
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "0.000".into()
+    }
+}
+
+/// Renders the grid results as the `dmr-bench-sched/v1` JSON document.
+///
+/// The headline block compares the two modes on the last grid cell (the
+/// 4096-node / 10k-pending scenario): `speedup_vs_scan` is the
+/// events-per-second ratio the acceptance gate reads.
+pub fn render_json(cells: &[CellResult], smoke: bool) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    out.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"nodes\": {}, \"queue_depth\": {}, \"mode\": \"{}\", \"rounds\": {}, \
+             \"events\": {}, \"jobs_started\": {}, \"peak_queue_depth\": {}, \
+             \"elapsed_s\": {}, \"events_per_sec\": {}, \"jobs_per_sec\": {}}}",
+            c.nodes,
+            c.queue_depth,
+            c.mode,
+            c.rounds,
+            c.events,
+            c.jobs_started,
+            c.peak_queue_depth,
+            json_f64(c.elapsed_s),
+            json_f64(c.events_per_sec()),
+            json_f64(c.jobs_per_sec()),
+        );
+        out.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    let headline = headline(cells);
+    let _ = writeln!(
+        out,
+        "  \"headline\": {{\"nodes\": {}, \"queue_depth\": {}, \
+         \"indexed_events_per_sec\": {}, \"scan_events_per_sec\": {}, \
+         \"speedup_vs_scan\": {}}}",
+        headline.0,
+        headline.1,
+        json_f64(headline.2),
+        json_f64(headline.3),
+        json_f64(headline.4),
+    );
+    out.push_str("}\n");
+    out
+}
+
+/// `(nodes, depth, indexed ev/s, scan ev/s, speedup)` of the last cell.
+fn headline(cells: &[CellResult]) -> (u32, u32, f64, f64, f64) {
+    let Some(scan) = cells.iter().rev().find(|c| c.mode == "scan") else {
+        return (0, 0, 0.0, 0.0, 0.0);
+    };
+    let indexed = cells.iter().rev().find(|c| {
+        c.mode == "indexed" && c.nodes == scan.nodes && c.queue_depth == scan.queue_depth
+    });
+    let Some(indexed) = indexed else {
+        return (
+            scan.nodes,
+            scan.queue_depth,
+            0.0,
+            scan.events_per_sec(),
+            0.0,
+        );
+    };
+    let speedup = if scan.events_per_sec() > 0.0 {
+        indexed.events_per_sec() / scan.events_per_sec()
+    } else {
+        0.0
+    };
+    (
+        scan.nodes,
+        scan.queue_depth,
+        indexed.events_per_sec(),
+        scan.events_per_sec(),
+        speedup,
+    )
+}
+
+/// Extracts `headline.speedup_vs_scan` from a rendered document — the
+/// one scraper shared by the schema gate and the `repro` acceptance
+/// check, so the key format lives in exactly one place.
+pub fn headline_speedup(doc: &str) -> Option<f64> {
+    doc.split("\"speedup_vs_scan\": ")
+        .nth(1)
+        .and_then(|rest| rest.split(['}', ',']).next())
+        .and_then(|v| v.trim().parse::<f64>().ok())
+}
+
+/// Structural schema gate for a rendered document: required keys present,
+/// braces balanced, a parseable headline speedup. Deliberately minimal —
+/// it guards the CI artifact against shape regressions, not against
+/// perf regressions (those need comparable hardware).
+pub fn validate_bench_json(doc: &str) -> Result<(), String> {
+    for key in [
+        "\"schema\"",
+        "\"smoke\"",
+        "\"cells\"",
+        "\"headline\"",
+        "\"events_per_sec\"",
+        "\"jobs_per_sec\"",
+        "\"peak_queue_depth\"",
+        "\"speedup_vs_scan\"",
+    ] {
+        if !doc.contains(key) {
+            return Err(format!("missing key {key}"));
+        }
+    }
+    if !doc.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
+        return Err(format!("schema is not {SCHEMA}"));
+    }
+    let opens = doc.matches('{').count();
+    let closes = doc.matches('}').count();
+    if opens != closes {
+        return Err(format!("unbalanced braces: {opens} vs {closes}"));
+    }
+    let speedup = headline_speedup(doc).ok_or("speedup_vs_scan is not a number")?;
+    if !speedup.is_finite() || speedup < 0.0 {
+        return Err(format!("speedup_vs_scan {speedup} out of range"));
+    }
+    Ok(())
+}
+
+/// Runs the grid and renders the document — what `repro --bench-json`
+/// writes to `BENCH_sched.json`.
+pub fn bench_json(smoke: bool, progress: impl FnMut(&CellResult)) -> String {
+    render_json(&run_grid(smoke, progress), smoke)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cells() -> Vec<CellResult> {
+        [SchedIndex::Indexed, SchedIndex::ScanReference]
+            .into_iter()
+            .map(|m| run_cell(16, 20, m, 5))
+            .collect()
+    }
+
+    #[test]
+    fn identical_operation_sequences_in_both_modes() {
+        let cells = tiny_cells();
+        assert_eq!(cells[0].events, cells[1].events, "paths diverged");
+        assert_eq!(cells[0].jobs_started, cells[1].jobs_started);
+        assert_eq!(cells[0].peak_queue_depth, cells[1].peak_queue_depth);
+    }
+
+    #[test]
+    fn rendered_document_validates() {
+        let doc = render_json(&tiny_cells(), true);
+        validate_bench_json(&doc).unwrap();
+        assert!(doc.contains("\"mode\": \"indexed\""));
+        assert!(doc.contains("\"mode\": \"scan\""));
+    }
+
+    #[test]
+    fn validator_rejects_broken_documents() {
+        let doc = render_json(&tiny_cells(), true);
+        assert!(validate_bench_json(&doc.replace("speedup_vs_scan", "nope")).is_err());
+        assert!(
+            validate_bench_json(&doc[..doc.len() - 3]).is_err(),
+            "unbalanced"
+        );
+        assert!(validate_bench_json("{}").is_err());
+    }
+
+    #[test]
+    fn grid_ends_with_the_headline_cell() {
+        for smoke in [true, false] {
+            assert_eq!(*grid(smoke).last().unwrap(), (4096, 10_000));
+        }
+    }
+}

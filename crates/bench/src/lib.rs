@@ -4,13 +4,16 @@
 //! plus the scenario layer: a declarative [`scenario`] registry (workload
 //! mix × cluster size × policy × sync/async mode) and the parallel
 //! [`sweep`] runner that fans `run_experiment` over the (scenario × seed)
-//! grid with deterministic, thread-count-independent CSV output. The
-//! `repro` binary dispatches to both; the criterion benches reuse the
-//! figure functions at reduced scale. Every figure function both
+//! grid with deterministic, thread-count-independent CSV output, and the
+//! [`hotpath`] throughput benchmark that pits the indexed scheduler
+//! against the pre-index scan oracle and writes the `BENCH_sched.json`
+//! perf trajectory. The `repro` binary dispatches to all three; the
+//! criterion benches reuse the figure functions at reduced scale. Every figure function both
 //! *returns* structured rows (for tests and EXPERIMENTS.md generation)
 //! and *prints* a paper-style table.
 
 pub mod figures;
+pub mod hotpath;
 pub mod report;
 pub mod scenario;
 pub mod sweep;

@@ -8,6 +8,7 @@
 
 use std::collections::BTreeMap;
 
+use crate::freeset::FreeSet;
 use crate::node::{NodeId, NodeState};
 
 /// Errors from allocation requests.
@@ -53,8 +54,18 @@ pub struct Cluster {
     /// Owner -> sorted list of held nodes. BTreeMap keeps iteration (and
     /// therefore any derived event order) deterministic.
     held: BTreeMap<u64, Vec<NodeId>>,
+    /// The placeable (unowned, accepting-work) ids as a sorted run set;
+    /// allocation takes the lowest run instead of scanning all nodes.
+    free: FreeSet,
     free_count: u32,
+    /// Unowned nodes not accepting work (drained / down), maintained so
+    /// [`Cluster::allocated_nodes`] is O(1) instead of a zip-scan.
+    unavailable_count: u32,
     cores_per_node: u32,
+    /// Equivalence-oracle knob: select granted nodes with the pre-index
+    /// full scan instead of the run set (results are identical; only the
+    /// cost differs). See [`Cluster::use_scan_selection`].
+    scan_selection: bool,
 }
 
 impl Cluster {
@@ -64,9 +75,21 @@ impl Cluster {
             states: vec![NodeState::Up; nodes as usize],
             owner: vec![None; nodes as usize],
             held: BTreeMap::new(),
+            free: FreeSet::full(nodes),
             free_count: nodes,
+            unavailable_count: 0,
             cores_per_node,
+            scan_selection: false,
         }
+    }
+
+    /// Switches node selection in [`Cluster::allocate`] to the pre-index
+    /// O(total nodes) scan. The scan is the *reference implementation*:
+    /// it grants exactly the same nodes as the run-set path (pinned by
+    /// tests), and exists so benchmarks can measure the index win and
+    /// equivalence tests can hold the old behaviour up as an oracle.
+    pub fn use_scan_selection(&mut self, scan: bool) {
+        self.scan_selection = scan;
     }
 
     /// The paper's testbed: 65 nodes × 16 cores.
@@ -87,16 +110,11 @@ impl Cluster {
         self.free_count
     }
 
+    /// Nodes currently owned by some allocation. O(1): free and
+    /// unavailable counts are maintained at every transition instead of
+    /// being recounted by a scan (this is sampled per metrics event).
     pub fn allocated_nodes(&self) -> u32 {
-        self.total_nodes() - self.free_count - self.unavailable_nodes()
-    }
-
-    fn unavailable_nodes(&self) -> u32 {
-        self.states
-            .iter()
-            .zip(&self.owner)
-            .filter(|(s, o)| !s.accepts_new_work() && o.is_none())
-            .count() as u32
+        self.total_nodes() - self.free_count - self.unavailable_count
     }
 
     /// Owner of a node, if allocated.
@@ -128,15 +146,26 @@ impl Cluster {
                 free: self.free_count,
             });
         }
-        let mut granted = Vec::with_capacity(n as usize);
-        for (i, (state, own)) in self.states.iter().zip(self.owner.iter()).enumerate() {
-            if granted.len() == n as usize {
-                break;
+        let granted = if self.scan_selection {
+            // Reference path: the pre-index linear scan over every node.
+            let mut granted = Vec::with_capacity(n as usize);
+            for (i, (state, own)) in self.states.iter().zip(self.owner.iter()).enumerate() {
+                if granted.len() == n as usize {
+                    break;
+                }
+                if own.is_none() && state.accepts_new_work() {
+                    granted.push(NodeId(i as u32));
+                }
             }
-            if own.is_none() && state.accepts_new_work() {
-                granted.push(NodeId(i as u32));
+            for &node in &granted {
+                self.free.remove(node.0);
             }
-        }
+            granted
+        } else {
+            // The run set holds exactly the placeable ids, ascending, so
+            // taking the lowest n is the same linear selection.
+            self.free.take_lowest(n)
+        };
         debug_assert_eq!(granted.len(), n as usize);
         for &node in &granted {
             self.owner[node.index()] = Some(owner);
@@ -160,12 +189,26 @@ impl Cluster {
         }
         for &node in nodes {
             self.owner[node.index()] = Some(owner);
+            self.free.remove(node.0);
         }
         self.free_count -= nodes.len() as u32;
         let held = self.held.entry(owner).or_default();
         held.extend_from_slice(nodes);
         held.sort_unstable();
         Ok(())
+    }
+
+    /// Returns a just-released `node` to the free or unavailable pool. A
+    /// node drained while allocated comes back *unavailable*, not free —
+    /// it must not be placeable until re-enabled via
+    /// [`Cluster::set_state`].
+    fn return_node(&mut self, node: NodeId) {
+        if self.states[node.index()].accepts_new_work() {
+            self.free.insert(node.0);
+            self.free_count += 1;
+        } else {
+            self.unavailable_count += 1;
+        }
     }
 
     /// Releases every node held by `owner`, returning them.
@@ -176,8 +219,8 @@ impl Cluster {
             .ok_or(AllocError::UnknownOwner(owner))?;
         for &node in &nodes {
             self.owner[node.index()] = None;
+            self.return_node(node);
         }
-        self.free_count += nodes.len() as u32;
         Ok(nodes)
     }
 
@@ -201,8 +244,8 @@ impl Cluster {
         }
         for &node in &released {
             self.owner[node.index()] = None;
+            self.return_node(node);
         }
-        self.free_count += n;
         Ok(released)
     }
 
@@ -226,23 +269,42 @@ impl Cluster {
     /// Marks a node's administrative state. Allocated nodes may be drained;
     /// they are only excluded from *new* placements.
     pub fn set_state(&mut self, node: NodeId, state: NodeState) {
-        let was_placeable =
-            self.states[node.index()].accepts_new_work() && self.owner[node.index()].is_none();
-        let now_placeable = state.accepts_new_work() && self.owner[node.index()].is_none();
+        let unowned = self.owner[node.index()].is_none();
+        let was_placeable = self.states[node.index()].accepts_new_work() && unowned;
+        let now_placeable = state.accepts_new_work() && unowned;
         self.states[node.index()] = state;
         match (was_placeable, now_placeable) {
-            (true, false) => self.free_count -= 1,
-            (false, true) => self.free_count += 1,
+            (true, false) => {
+                self.free_count -= 1;
+                self.free.remove(node.0);
+                self.unavailable_count += 1;
+            }
+            (false, true) => {
+                self.free_count += 1;
+                self.free.insert(node.0);
+                self.unavailable_count -= 1;
+            }
             _ => {}
         }
     }
 
     /// Internal-consistency check used by tests and debug assertions.
+    /// This is the one place the O(n) zip-scans survive: the maintained
+    /// `free_count` / `unavailable_count` / run set are re-derived from
+    /// first principles and compared.
     pub fn check_invariants(&self) -> Result<(), String> {
         let mut counted_free = 0;
+        let mut counted_unavailable = 0;
         for (i, (state, own)) in self.states.iter().zip(self.owner.iter()).enumerate() {
-            if own.is_none() && state.accepts_new_work() {
+            let placeable = own.is_none() && state.accepts_new_work();
+            if placeable {
                 counted_free += 1;
+            }
+            if own.is_none() && !state.accepts_new_work() {
+                counted_unavailable += 1;
+            }
+            if placeable != self.free.contains(i as u32) {
+                return Err(format!("free set disagrees on n{i}: placeable={placeable}"));
             }
             if let Some(o) = own {
                 if !self.nodes_of(*o).contains(&NodeId(i as u32)) {
@@ -254,6 +316,19 @@ impl Cluster {
             return Err(format!(
                 "free_count {} != counted {}",
                 self.free_count, counted_free
+            ));
+        }
+        if self.free.len() != self.free_count {
+            return Err(format!(
+                "free set len {} != free_count {}",
+                self.free.len(),
+                self.free_count
+            ));
+        }
+        if counted_unavailable != self.unavailable_count {
+            return Err(format!(
+                "unavailable_count {} != counted {}",
+                self.unavailable_count, counted_unavailable
             ));
         }
         for (o, nodes) in &self.held {
@@ -369,6 +444,63 @@ mod tests {
         assert_eq!(c.owner_of(NodeId(1)), None);
         c.allocate_specific(&[NodeId(2), NodeId(3)], 2).unwrap();
         assert_eq!(c.held_by(2), 2);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn drained_while_allocated_returns_unavailable_not_free() {
+        let mut c = Cluster::new(4, 16);
+        c.allocate(2, 1).unwrap();
+        // Drain an allocated node: it keeps serving its job...
+        c.set_state(NodeId(0), NodeState::Drained);
+        assert_eq!(c.free_nodes(), 2);
+        assert_eq!(c.allocated_nodes(), 2);
+        // ...but on release it must not become placeable.
+        c.release_all(1).unwrap();
+        assert_eq!(c.free_nodes(), 3);
+        assert_eq!(c.allocated_nodes(), 0);
+        let got = c.allocate(3, 2).unwrap();
+        assert_eq!(got, vec![NodeId(1), NodeId(2), NodeId(3)]);
+        c.check_invariants().unwrap();
+        // Re-enabling the drained node makes it placeable again.
+        c.set_state(NodeId(0), NodeState::Up);
+        assert_eq!(c.free_nodes(), 1);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn scan_selection_grants_identical_nodes() {
+        // Drive the same fragmented allocation pattern through both
+        // selection paths; every grant must be bit-identical.
+        let run = |scan: bool| {
+            let mut c = Cluster::new(32, 16);
+            c.use_scan_selection(scan);
+            let mut grants = Vec::new();
+            for owner in 0..6u64 {
+                grants.push(c.allocate(3 + (owner as u32 % 3), owner).unwrap());
+            }
+            c.release_all(1).unwrap();
+            c.release_all(4).unwrap();
+            c.set_state(NodeId(2), NodeState::Drained);
+            grants.push(c.allocate(5, 10).unwrap());
+            grants.push(c.allocate(4, 11).unwrap());
+            c.release_tail(10, 2).unwrap();
+            grants.push(c.allocate(3, 12).unwrap());
+            c.check_invariants().unwrap();
+            (grants, c.free_nodes(), c.allocated_nodes())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn allocated_nodes_is_counter_backed() {
+        let mut c = Cluster::new(10, 16);
+        c.set_state(NodeId(9), NodeState::Down);
+        c.allocate(4, 1).unwrap();
+        assert_eq!(c.allocated_nodes(), 4);
+        assert_eq!(c.free_nodes(), 5);
+        c.release_tail(1, 1).unwrap();
+        assert_eq!(c.allocated_nodes(), 3);
         c.check_invariants().unwrap();
     }
 

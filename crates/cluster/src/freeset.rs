@@ -1,0 +1,230 @@
+//! Sorted interval set of free node ids.
+//!
+//! The allocation hot path wants "the `n` lowest-numbered placeable
+//! nodes" without walking the whole inventory. [`FreeSet`] keeps the free
+//! ids as maximal half-open runs `[start, end)` in a `BTreeMap`, so
+//! taking the lowest `n` ids costs O(k + log r) for `k` granted nodes
+//! spread over the first runs (r = number of runs), and releasing a node
+//! is an O(log r) insert-with-merge. Contiguous clusters — the common
+//! case under the paper's `select/linear` placement — collapse to a
+//! handful of runs regardless of node count.
+
+use std::collections::BTreeMap;
+
+use crate::node::NodeId;
+
+/// A sorted set of node ids stored as maximal `[start, end)` runs.
+#[derive(Clone, Debug, Default)]
+pub struct FreeSet {
+    /// Run start -> run end (exclusive). Runs are disjoint, non-empty and
+    /// non-adjacent (adjacent runs are merged on insert).
+    runs: BTreeMap<u32, u32>,
+    len: u32,
+}
+
+impl FreeSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        FreeSet::default()
+    }
+
+    /// The full set `{0, 1, …, n-1}` — one run.
+    pub fn full(n: u32) -> Self {
+        let mut runs = BTreeMap::new();
+        if n > 0 {
+            runs.insert(0, n);
+        }
+        FreeSet { runs, len: n }
+    }
+
+    /// Number of ids in the set.
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of maximal runs (fragmentation metric; test aid).
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Whether `id` is in the set.
+    pub fn contains(&self, id: u32) -> bool {
+        self.runs
+            .range(..=id)
+            .next_back()
+            .is_some_and(|(_, &end)| id < end)
+    }
+
+    /// Inserts `id`, merging with adjacent runs. Inserting a present id is
+    /// a logic error (debug assertion); the set stays consistent either
+    /// way.
+    pub fn insert(&mut self, id: u32) {
+        debug_assert!(!self.contains(id), "inserting present id {id}");
+        if self.contains(id) {
+            return;
+        }
+        let extends_pred = matches!(
+            self.runs.range_mut(..=id).next_back(),
+            Some((_, end)) if *end == id
+        );
+        if extends_pred {
+            let succ_end = self.runs.remove(&(id + 1));
+            let (_, end) = self
+                .runs
+                .range_mut(..=id)
+                .next_back()
+                .expect("predecessor run exists");
+            *end = succ_end.unwrap_or(id + 1);
+        } else if let Some(succ_end) = self.runs.remove(&(id + 1)) {
+            self.runs.insert(id, succ_end);
+        } else {
+            self.runs.insert(id, id + 1);
+        }
+        self.len += 1;
+    }
+
+    /// Removes `id` if present (splitting its run), returning whether it
+    /// was.
+    pub fn remove(&mut self, id: u32) -> bool {
+        let Some((&start, &end)) = self.runs.range(..=id).next_back() else {
+            return false;
+        };
+        if id >= end {
+            return false;
+        }
+        self.runs.remove(&start);
+        if start < id {
+            self.runs.insert(start, id);
+        }
+        if id + 1 < end {
+            self.runs.insert(id + 1, end);
+        }
+        self.len -= 1;
+        true
+    }
+
+    /// Removes and returns the `n` lowest ids (fewer if the set runs out),
+    /// ascending. This is the linear-selection hot path: whole runs are
+    /// consumed per step, so the cost is O(runs touched + log r), not
+    /// O(total nodes).
+    pub fn take_lowest(&mut self, n: u32) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(n as usize);
+        while (out.len() as u32) < n {
+            let Some((&start, &end)) = self.runs.iter().next() else {
+                break;
+            };
+            let take = (n - out.len() as u32).min(end - start);
+            out.extend((start..start + take).map(NodeId));
+            self.runs.remove(&start);
+            if start + take < end {
+                self.runs.insert(start + take, end);
+            }
+            self.len -= take;
+        }
+        out
+    }
+
+    /// All ids, ascending (invariant checks and tests).
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.runs.iter().flat_map(|(&s, &e)| (s..e).map(NodeId))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(s: &FreeSet) -> Vec<u32> {
+        s.iter().map(|n| n.0).collect()
+    }
+
+    #[test]
+    fn full_set_is_one_run() {
+        let s = FreeSet::full(5);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.run_count(), 1);
+        assert_eq!(ids(&s), vec![0, 1, 2, 3, 4]);
+        assert_eq!(FreeSet::full(0).run_count(), 0);
+    }
+
+    #[test]
+    fn remove_splits_and_insert_merges() {
+        let mut s = FreeSet::full(10);
+        assert!(s.remove(4));
+        assert_eq!(s.run_count(), 2);
+        assert!(!s.contains(4));
+        assert!(!s.remove(4), "double remove");
+        // Reinsert merges the two runs back into one.
+        s.insert(4);
+        assert_eq!(s.run_count(), 1);
+        assert_eq!(s.len(), 10);
+    }
+
+    #[test]
+    fn insert_merges_only_adjacent() {
+        let mut s = FreeSet::new();
+        s.insert(5);
+        s.insert(9);
+        assert_eq!(s.run_count(), 2);
+        s.insert(7); // adjacent to neither
+        assert_eq!(s.run_count(), 3);
+        s.insert(6); // bridges 5..6 and 7..8
+        assert_eq!(s.run_count(), 2);
+        s.insert(8); // bridges everything
+        assert_eq!(s.run_count(), 1);
+        assert_eq!(ids(&s), vec![5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn take_lowest_spans_runs() {
+        let mut s = FreeSet::full(10);
+        for id in [0, 3, 4, 8] {
+            s.remove(id);
+        }
+        // Free: 1 2 | 5 6 7 | 9
+        let got: Vec<u32> = s.take_lowest(4).into_iter().map(|n| n.0).collect();
+        assert_eq!(got, vec![1, 2, 5, 6]);
+        assert_eq!(ids(&s), vec![7, 9]);
+        // Taking more than remains returns what exists.
+        let got: Vec<u32> = s.take_lowest(5).into_iter().map(|n| n.0).collect();
+        assert_eq!(got, vec![7, 9]);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn take_lowest_partial_run_keeps_tail() {
+        let mut s = FreeSet::full(8);
+        let got: Vec<u32> = s.take_lowest(3).into_iter().map(|n| n.0).collect();
+        assert_eq!(got, vec![0, 1, 2]);
+        assert_eq!(s.run_count(), 1);
+        assert_eq!(ids(&s), vec![3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn randomised_ops_match_reference_set() {
+        use std::collections::BTreeSet;
+        let mut s = FreeSet::new();
+        let mut reference = BTreeSet::new();
+        let mut x: u64 = 0x2545_F491_4F6C_DD1D;
+        for _ in 0..4000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let id = (x % 64) as u32;
+            if x & (1 << 40) == 0 {
+                if !reference.contains(&id) {
+                    s.insert(id);
+                    reference.insert(id);
+                }
+            } else {
+                assert_eq!(s.remove(id), reference.remove(&id));
+            }
+            assert_eq!(s.len() as usize, reference.len());
+        }
+        assert_eq!(ids(&s), reference.iter().copied().collect::<Vec<_>>());
+    }
+}

@@ -19,11 +19,13 @@
 
 pub mod cluster;
 pub mod disk;
+pub mod freeset;
 pub mod network;
 pub mod node;
 
 pub use cluster::{AllocError, Cluster};
 pub use disk::DiskModel;
+pub use freeset::FreeSet;
 pub use network::NetworkModel;
 pub use node::{NodeId, NodeState};
 

@@ -1,7 +1,7 @@
 //! Experiment configuration.
 
 use dmr_cluster::NetworkModel;
-use dmr_slurm::PolicyKind;
+use dmr_slurm::{PolicyKind, SchedIndex};
 
 /// When a DMR decision is applied (§V-A).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -85,6 +85,10 @@ pub struct ExperimentConfig {
     /// Buffered ([`Telemetry::Full`]) or streaming bounded-memory
     /// ([`Telemetry::Online`]) metric recording.
     pub telemetry: Telemetry,
+    /// Scheduler hot-path implementation: the incremental indices (the
+    /// default) or the pre-index scan reference kept as the equivalence
+    /// oracle and benchmark baseline (see [`SchedIndex`]).
+    pub sched_index: SchedIndex,
 }
 
 impl ExperimentConfig {
@@ -106,6 +110,7 @@ impl ExperimentConfig {
             resizer_timeout_s: 30.0,
             policy: PolicyKind::Algorithm1,
             telemetry: Telemetry::Full,
+            sched_index: SchedIndex::Indexed,
         }
     }
 
@@ -156,6 +161,16 @@ impl ExperimentConfig {
     /// memory stays O(1) in job count.
     pub fn online(mut self) -> Self {
         self.telemetry = Telemetry::Online;
+        self
+    }
+
+    /// Runs the scheduler on the pre-index scan reference
+    /// ([`SchedIndex::ScanReference`]). Scheduling decisions are
+    /// bit-identical to the default indexed path — this exists so
+    /// equivalence tests and benchmarks can hold the old hot path up as
+    /// an oracle / baseline.
+    pub fn scan_reference(mut self) -> Self {
+        self.sched_index = SchedIndex::ScanReference;
         self
     }
 }

@@ -224,6 +224,7 @@ impl<'a, 's> Driver<'a, 's> {
         scfg.resizer_timeout = Span::from_secs_f64(cfg.resizer_timeout_s);
         scfg.shrink_boost = cfg.shrink_boost;
         scfg.policy = cfg.policy;
+        scfg.sched_index = cfg.sched_index;
         // The driver copies each job's accounting into the sink at
         // completion, so the scheduler never needs to keep terminal
         // records — the active set is all that stays resident.

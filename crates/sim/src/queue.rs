@@ -5,7 +5,9 @@
 //! FIFO order within their class; the class lets a family of events
 //! outrank same-instant events of the default class regardless of
 //! insertion order. Cancellation tombstones the entry; dead entries are
-//! skipped on pop.
+//! skipped on pop, and the heap is compacted whenever tombstones
+//! outnumber live entries, so cancelled-event memory stays bounded at
+//! twice the live set no matter how many timers a long run abandons.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -83,10 +85,22 @@ impl<E> EventQueue<E> {
         EventKey(seq)
     }
 
+    /// Number of heap slots currently backing the queue — live entries
+    /// plus tombstones. Compaction keeps this at ≤ 2 × [`EventQueue::len`]
+    /// after every operation; exposed so tests (and capacity telemetry)
+    /// can observe the bound.
+    pub fn heap_len(&self) -> usize {
+        self.heap.len()
+    }
+
     /// Cancels a previously scheduled event. Returns the payload if the
     /// event was still pending.
     pub fn cancel(&mut self, key: EventKey) -> Option<E> {
-        self.live.remove(&key.0)
+        let payload = self.live.remove(&key.0);
+        if payload.is_some() {
+            self.maybe_compact();
+        }
+        payload
     }
 
     /// Time of the earliest live event, if any.
@@ -103,6 +117,7 @@ impl<E> EventQueue<E> {
             .live
             .remove(&entry.seq)
             .expect("skip_dead guarantees the head entry is live");
+        self.maybe_compact();
         Some((entry.time, event))
     }
 
@@ -112,6 +127,18 @@ impl<E> EventQueue<E> {
                 return;
             }
             self.heap.pop();
+        }
+    }
+
+    /// Rebuilds the heap from its live entries once tombstones outnumber
+    /// them. Amortised O(1) per cancellation: a compaction touching `h`
+    /// entries only happens after ≥ h/2 cancellations or pops, and the
+    /// rebuilt heap pops in exactly the same `(time, class, seq)` order.
+    fn maybe_compact(&mut self) {
+        if self.heap.len() > 2 * self.live.len() {
+            let mut entries = std::mem::take(&mut self.heap).into_vec();
+            entries.retain(|Reverse(e)| self.live.contains_key(&e.seq));
+            self.heap = BinaryHeap::from(entries);
         }
     }
 }
@@ -186,5 +213,39 @@ mod tests {
         }
         assert_eq!(q.len(), 6);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn compaction_bounds_tombstones() {
+        let mut q = EventQueue::new();
+        let keys: Vec<_> = (0..1000).map(|i| q.push(SimTime(i), i)).collect();
+        // Cancel almost everything: the heap must shrink with the live
+        // set instead of retaining a tombstone per cancellation.
+        for k in &keys[..990] {
+            q.cancel(*k);
+        }
+        assert_eq!(q.len(), 10);
+        assert!(
+            q.heap_len() <= 2 * q.len(),
+            "heap {} vs live {}",
+            q.heap_len(),
+            q.len()
+        );
+        // Pop order is unaffected by the rebuild.
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (990..1000).collect::<Vec<_>>());
+        assert_eq!(q.heap_len(), 0, "empty queue keeps no tombstones");
+    }
+
+    #[test]
+    fn cancel_everything_releases_the_heap() {
+        let mut q = EventQueue::new();
+        let keys: Vec<_> = (0..64).map(|i| q.push(SimTime(1), i)).collect();
+        for k in keys {
+            q.cancel(k);
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.heap_len(), 0);
+        assert_eq!(q.pop(), None::<(SimTime, i32)>);
     }
 }

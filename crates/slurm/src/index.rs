@@ -1,0 +1,214 @@
+//! Incremental scheduler indices — the hot-path structures behind
+//! [`crate::slurm::Slurm`].
+//!
+//! Every scheduling pass used to rediscover global order by scanning the
+//! whole job table: recompute every multifactor priority and sort
+//! (pending order), collect-and-sort running end times (backfill
+//! reservations), scan for dead resizer jobs. These structures maintain
+//! the same orders *incrementally*, updated at the mutation points where
+//! relative order can actually change:
+//!
+//! * [`PendingIndex`] — the pending queue keyed by
+//!   `(boosted, submit_time, id)`. The multifactor age term grows at the
+//!   same rate for every pending job, so under the default configuration
+//!   (pure age weight, uniform base priority) the priority-sorted order
+//!   *is* this static key order at every instant; the scheduler verifies
+//!   the preconditions and falls back to the full sort otherwise.
+//! * [`RunningIndex`] — running jobs keyed by
+//!   `(expected_end, held_nodes, id)`, exactly the order the EASY
+//!   backfill reservation scan produced by sorting.
+//! * [`ResizerIndex`] — the parent → resizer reverse-dependency map, so
+//!   resizers orphaned by a completion are reaped in O(affected) instead
+//!   of an O(jobs) scan per scheduling pass.
+//!
+//! The indices are bookkeeping only: they never decide anything, and the
+//! pre-index scan implementations survive behind
+//! [`crate::slurm::SchedIndex::ScanReference`] as the equivalence oracle.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet};
+
+use dmr_sim::SimTime;
+
+use crate::job::{Job, JobId};
+
+/// Ordered index of the pending set.
+///
+/// Iteration order is `(boosted first, submit ascending, id ascending)` —
+/// the multifactor order whenever the age factor is the only live weight
+/// and no pending job carries a non-zero base priority. The index also
+/// counts the jobs that would break that equality (`nonzero_base`) so the
+/// scheduler can detect, in O(1), when it must fall back to the sort.
+#[derive(Debug, Default)]
+pub(crate) struct PendingIndex {
+    set: BTreeSet<(Reverse<bool>, SimTime, JobId)>,
+    /// Pending jobs with `base_priority != 0` (index-exactness veto).
+    nonzero_base: usize,
+    /// Pending resizer jobs (lets `pending_queue` skip its filter pass
+    /// when there is nothing to filter).
+    resizers: usize,
+}
+
+impl PendingIndex {
+    fn key(job: &Job) -> (Reverse<bool>, SimTime, JobId) {
+        (Reverse(job.boosted), job.submit_time, job.id)
+    }
+
+    pub(crate) fn insert(&mut self, job: &Job) {
+        let added = self.set.insert(Self::key(job));
+        debug_assert!(added, "{:?} already indexed", job.id);
+        if job.base_priority != 0 {
+            self.nonzero_base += 1;
+        }
+        if job.is_resizer() {
+            self.resizers += 1;
+        }
+    }
+
+    pub(crate) fn remove(&mut self, job: &Job) {
+        let removed = self.set.remove(&Self::key(job));
+        debug_assert!(removed, "{:?} not indexed", job.id);
+        if job.base_priority != 0 {
+            self.nonzero_base -= 1;
+        }
+        if job.is_resizer() {
+            self.resizers -= 1;
+        }
+    }
+
+    /// Re-keys a pending job whose `boosted` flag just flipped to `true`.
+    pub(crate) fn reboost(&mut self, submit: SimTime, id: JobId) {
+        let removed = self.set.remove(&(Reverse(false), submit, id));
+        debug_assert!(removed, "{id:?} not indexed for reboost");
+        self.set.insert((Reverse(true), submit, id));
+    }
+
+    pub(crate) fn nonzero_base(&self) -> usize {
+        self.nonzero_base
+    }
+
+    pub(crate) fn pending_resizers(&self) -> usize {
+        self.resizers
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Pending ids in scheduling order (no priorities computed, no sort).
+    pub(crate) fn ids(&self) -> impl Iterator<Item = JobId> + '_ {
+        self.set.iter().map(|&(_, _, id)| id)
+    }
+}
+
+/// Ordered index of running jobs by `(expected_end, held_nodes, id)`.
+///
+/// This is exactly the order the backfill reservation scan produced: a
+/// stable sort of `(expected_end, held_nodes)` pairs collected in id
+/// order. A side map remembers each job's current key so re-keying on
+/// estimate refresh or resize is O(log n).
+#[derive(Debug, Default)]
+pub(crate) struct RunningIndex {
+    set: BTreeSet<(SimTime, u32, JobId)>,
+    key_of: BTreeMap<JobId, (SimTime, u32)>,
+}
+
+impl RunningIndex {
+    pub(crate) fn insert(&mut self, id: JobId, end: SimTime, nodes: u32) {
+        debug_assert!(!self.key_of.contains_key(&id), "{id:?} already running");
+        self.set.insert((end, nodes, id));
+        self.key_of.insert(id, (end, nodes));
+    }
+
+    /// Removes `id` if it is indexed (jobs completed defensively twice
+    /// are tolerated, mirroring the scheduler's release-mode leniency).
+    pub(crate) fn remove(&mut self, id: JobId) {
+        if let Some((end, nodes)) = self.key_of.remove(&id) {
+            self.set.remove(&(end, nodes, id));
+        }
+    }
+
+    /// Re-keys `id` with a new expected end (estimate refresh).
+    pub(crate) fn set_end(&mut self, id: JobId, end: SimTime) {
+        if let Some(key) = self.key_of.get_mut(&id) {
+            self.set.remove(&(key.0, key.1, id));
+            key.0 = end;
+            self.set.insert((end, key.1, id));
+        }
+    }
+
+    /// Re-keys `id` with a new held-node count (expand / shrink).
+    pub(crate) fn set_nodes(&mut self, id: JobId, nodes: u32) {
+        if let Some(key) = self.key_of.get_mut(&id) {
+            self.set.remove(&(key.0, key.1, id));
+            key.1 = nodes;
+            self.set.insert((key.0, nodes, id));
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// `(expected_end, held_nodes)` pairs in reservation-scan order.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (SimTime, u32)> + '_ {
+        self.set.iter().map(|&(end, nodes, _)| (end, nodes))
+    }
+}
+
+/// Parent → resizer reverse-dependency map plus the reap candidate list.
+///
+/// A resizer job is dead when its parent is no longer running. Instead of
+/// scanning every job per pass, resizers are registered under their
+/// running parent; when the parent turns terminal the whole group moves
+/// to the `dead` candidate set, which the next scheduling pass drains in
+/// O(affected). Candidates are *re-verified* against live state before
+/// cancellation, so a parent that was merely pending at registration time
+/// and has started since is never reaped by mistake.
+#[derive(Debug, Default)]
+pub(crate) struct ResizerIndex {
+    by_parent: BTreeMap<JobId, BTreeSet<JobId>>,
+    dead: BTreeSet<JobId>,
+}
+
+impl ResizerIndex {
+    /// Registers `resizer` under `parent`. A parent that is not currently
+    /// running makes the resizer an immediate reap candidate (the scan
+    /// path treated an unsatisfied dependency as dead regardless of why).
+    pub(crate) fn register(&mut self, parent: JobId, resizer: JobId, parent_running: bool) {
+        if parent_running {
+            self.by_parent.entry(parent).or_default().insert(resizer);
+        } else {
+            self.dead.insert(resizer);
+        }
+    }
+
+    /// A resizer turned terminal on its own: deregister it everywhere.
+    pub(crate) fn resizer_terminal(&mut self, parent: JobId, resizer: JobId) {
+        if let Some(group) = self.by_parent.get_mut(&parent) {
+            group.remove(&resizer);
+            if group.is_empty() {
+                self.by_parent.remove(&parent);
+            }
+        }
+        self.dead.remove(&resizer);
+    }
+
+    /// `parent` turned terminal: every resizer registered under it becomes
+    /// a reap candidate.
+    pub(crate) fn parent_terminal(&mut self, parent: JobId) {
+        if let Some(group) = self.by_parent.remove(&parent) {
+            self.dead.extend(group);
+        }
+    }
+
+    pub(crate) fn has_dead_candidates(&self) -> bool {
+        !self.dead.is_empty()
+    }
+
+    /// Drains the candidate list in ascending id order (the order the
+    /// scan produced by walking the job table).
+    pub(crate) fn take_dead(&mut self) -> Vec<JobId> {
+        std::mem::take(&mut self.dead).into_iter().collect()
+    }
+}

@@ -26,6 +26,7 @@
 //! the caller, so the same scheduler drives the discrete-event simulations
 //! in `dmr-core` and the unit tests here.
 
+pub(crate) mod index;
 pub mod job;
 pub mod policy;
 pub mod priority;
@@ -36,4 +37,4 @@ pub use policy::{
     Algorithm1, FairShare, PolicyKind, ResizeAction, ResizePolicy, UtilizationTarget,
 };
 pub use priority::MultifactorConfig;
-pub use slurm::{ExpandError, JobStart, Slurm, SlurmConfig};
+pub use slurm::{ExpandError, JobStart, SchedIndex, Slurm, SlurmConfig};

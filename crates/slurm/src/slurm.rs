@@ -3,13 +3,34 @@
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use dmr_cluster::{Cluster, NodeId};
 use dmr_sim::{SimTime, Span};
 
+use crate::index::{PendingIndex, ResizerIndex, RunningIndex};
 use crate::job::{Dependency, Job, JobId, JobRequest, JobState};
 use crate::policy::{PolicyKind, ResizePolicy};
 use crate::priority::MultifactorConfig;
+
+/// Which hot-path implementation the scheduler runs on.
+///
+/// [`SchedIndex::Indexed`] (the default) serves pending order, backfill
+/// reservations, dead-resizer reaping and node selection from the
+/// incremental indices (the crate-private `index` module).
+/// [`SchedIndex::ScanReference`]
+/// keeps the pre-index full-scan implementations alive as the
+/// *equivalence oracle*: both modes produce bit-identical scheduling
+/// decisions (pinned by `tests/index_equivalence.rs`); only the cost
+/// differs. Benchmarks run both to measure the index win.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SchedIndex {
+    /// Incremental indices — O(log n) mutations, no per-pass scans.
+    #[default]
+    Indexed,
+    /// Pre-index scans and sorts on every pass (reference / oracle).
+    ScanReference,
+}
 
 /// Scheduler-wide configuration.
 #[derive(Clone, Copy, Debug)]
@@ -37,6 +58,10 @@ pub struct SlurmConfig {
     /// priority, backfill reservations and resize policies all filter on
     /// live states), so the two settings schedule identically.
     pub retain_completed: bool,
+    /// Hot-path implementation selector (see [`SchedIndex`]). Kept in the
+    /// config so experiments and benchmarks can pit the indexed path
+    /// against the scan oracle without code changes.
+    pub sched_index: SchedIndex,
 }
 
 impl SlurmConfig {
@@ -49,6 +74,7 @@ impl SlurmConfig {
             shrink_boost: true,
             policy: PolicyKind::Algorithm1,
             retain_completed: true,
+            sched_index: SchedIndex::Indexed,
         }
     }
 }
@@ -112,20 +138,44 @@ pub struct Slurm {
     /// The installed reconfiguration decision procedure (§IV plug-in).
     /// `None` only transiently, while the policy is consulted.
     policy: Option<Box<dyn ResizePolicy>>,
-    /// Memoized pending-queue priority order for one instant.
+    /// Memoized pending-queue priority order.
     ///
-    /// A scheduling cycle computes the multifactor priority of every
-    /// pending job and sorts them — and then every policy consultation in
-    /// the same cycle does it again through [`Slurm::pending_queue`]. The
-    /// order is a pure function of `(pending set, job attributes, now)`,
-    /// so it is cached per instant and invalidated on any mutation that
-    /// can change it (submit, start, completion, cancellation, boost).
-    /// `RefCell`: the recompute happens behind `&self` accessors.
-    queue_cache: RefCell<Option<(SimTime, Vec<JobId>)>>,
+    /// A scheduling cycle needs the pending order — and then every policy
+    /// consultation in the same cycle needs it again through
+    /// [`Slurm::pending_queue`]. The order is a pure function of
+    /// `(pending set, job attributes, now)`, so it is cached and
+    /// invalidated on any mutation that can change it (submit, start,
+    /// completion, cancellation, boost). Orders served straight from the
+    /// [`PendingIndex`] are additionally time-invariant between
+    /// mutations, so those cache entries survive across instants.
+    /// `RefCell`: the recompute happens behind `&self` accessors. The
+    /// orders are `Arc<[JobId]>` so cache hits are allocation-free.
+    queue_cache: RefCell<Option<QueueCache>>,
+    /// Ordered pending index (see [`crate::index`]).
+    pending_index: PendingIndex,
+    /// Running jobs ordered by `(expected_end, nodes, id)` for backfill.
+    running_index: RunningIndex,
+    /// Parent → resizer reverse-dependency map for O(affected) reaping.
+    resizer_index: ResizerIndex,
+}
+
+/// One memoized pending order (see [`Slurm::pending_queue`]).
+struct QueueCache {
+    /// Instant the order was computed at.
+    at: SimTime,
+    /// Whether it came from the index (then it is valid at *any* instant
+    /// while the index stays exact, not just at `at`).
+    from_index: bool,
+    /// Full pending order.
+    order: Arc<[JobId]>,
+    /// The resizer-free view, built lazily on the first
+    /// [`Slurm::pending_queue`] call of the cycle.
+    no_resizers: Option<Arc<[JobId]>>,
 }
 
 impl Slurm {
-    pub fn new(cluster: Cluster, config: SlurmConfig) -> Self {
+    pub fn new(mut cluster: Cluster, config: SlurmConfig) -> Self {
+        cluster.use_scan_selection(config.sched_index == SchedIndex::ScanReference);
         Slurm {
             cluster,
             jobs: BTreeMap::new(),
@@ -134,6 +184,9 @@ impl Slurm {
             policy: Some(config.policy.build()),
             config,
             queue_cache: RefCell::new(None),
+            pending_index: PendingIndex::default(),
+            running_index: RunningIndex::default(),
+            resizer_index: ResizerIndex::default(),
         }
     }
 
@@ -182,18 +235,15 @@ impl Slurm {
         self.jobs.values()
     }
 
+    /// Number of running jobs. O(1): served from the running index,
+    /// which tracks the `Running` state exactly.
     pub fn running_count(&self) -> usize {
-        self.jobs
-            .values()
-            .filter(|j| j.state == JobState::Running)
-            .count()
+        self.running_index.len()
     }
 
+    /// Number of pending jobs. O(1): served from the pending index.
     pub fn pending_count(&self) -> usize {
-        self.jobs
-            .values()
-            .filter(|j| j.state == JobState::Pending)
-            .count()
+        self.pending_index.len()
     }
 
     /// Nodes currently attached to any job (including detached resizer
@@ -229,6 +279,14 @@ impl Slurm {
             end_time: None,
             reconfigurations: 0,
         };
+        self.pending_index.insert(&job);
+        if let Some(Dependency::ExpandOf(parent)) = job.dependency {
+            let parent_running = self
+                .jobs
+                .get(&parent)
+                .is_some_and(|p| p.state == JobState::Running);
+            self.resizer_index.register(parent, id, parent_running);
+        }
         self.jobs.insert(id, job);
         self.invalidate_queue_cache();
         id
@@ -239,7 +297,12 @@ impl Slurm {
     /// foster its execution").
     pub fn boost(&mut self, id: JobId) {
         if let Some(j) = self.jobs.get_mut(&id) {
+            let reindex = j.state == JobState::Pending && !j.boosted;
             j.boosted = true;
+            let (submit, jid) = (j.submit_time, j.id);
+            if reindex {
+                self.pending_index.reboost(submit, jid);
+            }
             self.invalidate_queue_cache();
         }
     }
@@ -249,6 +312,11 @@ impl Slurm {
     pub fn set_expected_runtime(&mut self, id: JobId, estimate: Span) {
         if let Some(j) = self.jobs.get_mut(&id) {
             j.expected_runtime = estimate;
+            if j.state == JobState::Running {
+                if let Some(start) = j.start_time {
+                    self.running_index.set_end(id, start + estimate);
+                }
+            }
         }
     }
 
@@ -258,12 +326,48 @@ impl Slurm {
         *self.queue_cache.borrow_mut() = None;
     }
 
-    fn pending_ids_by_priority(&self, now: SimTime) -> Vec<JobId> {
-        if let Some((at, order)) = self.queue_cache.borrow().as_ref() {
-            if *at == now {
-                return order.clone();
+    /// Whether the [`PendingIndex`] key order provably equals the
+    /// multifactor sort at every instant: the age factor is the only
+    /// live weight and no pending job carries a non-zero base priority.
+    /// Age grows at the same rate for every pending job, and the
+    /// priority rounding is monotone in age, so `(priority desc, submit
+    /// asc, id asc)` collapses to the static `(boosted, submit, id)` key
+    /// — order can then only change at mutation points, never with time.
+    fn index_is_exact(&self) -> bool {
+        self.config.sched_index == SchedIndex::Indexed
+            && self.config.multifactor.weight_size == 0
+            && self.pending_index.nonzero_base() == 0
+    }
+
+    fn pending_ids_by_priority(&self, now: SimTime) -> Arc<[JobId]> {
+        let indexed = self.index_is_exact();
+        if let Some(c) = self.queue_cache.borrow().as_ref() {
+            // An index-served order is time-invariant until the next
+            // mutation (which clears the cache), so it survives across
+            // instants; sort-served orders are valid at `at` only.
+            if c.at == now || (c.from_index && indexed) {
+                return Arc::clone(&c.order);
             }
         }
+        let order: Arc<[JobId]> = if indexed {
+            self.pending_index.ids().collect::<Vec<JobId>>().into()
+        } else {
+            self.pending_order_scan(now).into()
+        };
+        *self.queue_cache.borrow_mut() = Some(QueueCache {
+            at: now,
+            from_index: indexed,
+            order: Arc::clone(&order),
+            no_resizers: None,
+        });
+        order
+    }
+
+    /// The pre-index pending order: recompute every multifactor priority
+    /// and sort. Exercised when the static index key cannot represent the
+    /// order (size weight or per-job base priorities in play) and under
+    /// [`SchedIndex::ScanReference`] as the equivalence oracle.
+    fn pending_order_scan(&self, now: SimTime) -> Vec<JobId> {
         let mut pend: Vec<(&Job, u64)> = self
             .jobs
             .values()
@@ -275,18 +379,37 @@ impl Slurm {
                 .then(a.submit_time.cmp(&b.submit_time))
                 .then(a.id.cmp(&b.id))
         });
-        let order: Vec<JobId> = pend.into_iter().map(|(j, _)| j.id).collect();
-        *self.queue_cache.borrow_mut() = Some((now, order.clone()));
-        order
+        pend.into_iter().map(|(j, _)| j.id).collect()
     }
 
     /// Pending jobs in scheduling order, excluding resizer jobs (exposed
-    /// for the reconfiguration policy).
-    pub fn pending_queue(&self, now: SimTime) -> Vec<JobId> {
-        self.pending_ids_by_priority(now)
-            .into_iter()
-            .filter(|id| !self.jobs[id].is_resizer())
-            .collect()
+    /// for the reconfiguration policy). Returns a shared slice: repeated
+    /// consultations within one scheduling cycle are allocation-free, and
+    /// with no resizers pending the full order itself is shared.
+    pub fn pending_queue(&self, now: SimTime) -> Arc<[JobId]> {
+        let order = self.pending_ids_by_priority(now);
+        if let Some(nr) = self
+            .queue_cache
+            .borrow()
+            .as_ref()
+            .and_then(|c| c.no_resizers.clone())
+        {
+            return nr;
+        }
+        let nr: Arc<[JobId]> = if self.pending_index.pending_resizers() == 0 {
+            Arc::clone(&order)
+        } else {
+            order
+                .iter()
+                .copied()
+                .filter(|id| !self.jobs[id].is_resizer())
+                .collect::<Vec<JobId>>()
+                .into()
+        };
+        if let Some(c) = self.queue_cache.borrow_mut().as_mut() {
+            c.no_resizers = Some(Arc::clone(&nr));
+        }
+        nr
     }
 
     fn dependency_satisfied(&self, job: &Job) -> bool {
@@ -304,6 +427,25 @@ impl Slurm {
     /// instant. This is the EASY backfill reservation for the top blocked
     /// job.
     fn reservation_for(&self, need: u32, now: SimTime) -> (SimTime, u32) {
+        if self.config.sched_index == SchedIndex::ScanReference {
+            return self.reservation_for_scan(need, now);
+        }
+        let mut free = self.cluster.free_nodes();
+        for (end, nodes) in self.running_index.iter() {
+            free += nodes;
+            if free >= need {
+                return (end.max(now), free - need);
+            }
+        }
+        // Estimates never free enough nodes (can happen transiently while
+        // resizer nodes are detached): no backfill headroom.
+        (SimTime(u64::MAX), 0)
+    }
+
+    /// The pre-index reservation: collect every running job's
+    /// `(expected_end, held_nodes)` and sort — the equivalence oracle for
+    /// the [`RunningIndex`] walk above.
+    fn reservation_for_scan(&self, need: u32, now: SimTime) -> (SimTime, u32) {
         let mut ends: Vec<(SimTime, u32)> = self
             .jobs
             .values()
@@ -323,8 +465,6 @@ impl Slurm {
                 return (end.max(now), free - need);
             }
         }
-        // Estimates never free enough nodes (can happen transiently while
-        // resizer nodes are detached): no backfill headroom.
         (SimTime(u64::MAX), 0)
     }
 
@@ -335,9 +475,13 @@ impl Slurm {
             .allocate(need, id.owner_tag())
             .expect("caller verified free nodes");
         let job = self.jobs.get_mut(&id).expect("job exists");
+        self.pending_index.remove(job);
         job.state = JobState::Running;
         job.start_time = Some(now);
+        let end = now + job.expected_runtime;
         let resizer_for = job.dependency.map(|Dependency::ExpandOf(parent)| parent);
+        self.running_index
+            .insert(id, end, self.cluster.held_by(id.owner_tag()));
         self.invalidate_queue_cache();
         JobStart {
             id,
@@ -347,6 +491,36 @@ impl Slurm {
     }
 
     fn reap_dead_resizers(&mut self, now: SimTime) {
+        if self.config.sched_index == SchedIndex::ScanReference {
+            return self.reap_dead_resizers_scan(now);
+        }
+        // O(1) in the common case: completions push orphaned resizers
+        // onto the candidate list; nothing queued means nothing to do.
+        if !self.resizer_index.has_dead_candidates() {
+            return;
+        }
+        for id in self.resizer_index.take_dead() {
+            let Some(j) = self.jobs.get(&id) else {
+                continue;
+            };
+            if j.state != JobState::Pending || !j.is_resizer() {
+                continue;
+            }
+            if self.dependency_satisfied(j) {
+                // The parent was not running at registration but is now:
+                // re-register so a later parent termination re-queues it.
+                if let Some(Dependency::ExpandOf(parent)) = j.dependency {
+                    self.resizer_index.register(parent, id, true);
+                }
+                continue;
+            }
+            self.cancel(id, now);
+        }
+    }
+
+    /// The pre-index reap: scan every job record for pending resizers
+    /// with unsatisfied dependencies (the [`ResizerIndex`] oracle).
+    fn reap_dead_resizers_scan(&mut self, now: SimTime) {
         // Dependency hygiene: resizers of finished jobs are dead.
         let dead: Vec<JobId> = self
             .jobs
@@ -371,7 +545,7 @@ impl Slurm {
         self.reap_dead_resizers(now);
         let order = self.pending_ids_by_priority(now);
         let mut started = Vec::new();
-        for id in order {
+        for &id in order.iter() {
             let job = &self.jobs[&id];
             if !self.dependency_satisfied(job) {
                 // Cannot run regardless of resources; does not block the
@@ -395,7 +569,7 @@ impl Slurm {
         let order = self.pending_ids_by_priority(now);
         let mut started = Vec::new();
         let mut reservation: Option<(SimTime, u32)> = None;
-        for id in order {
+        for &id in order.iter() {
             let job = &self.jobs[&id];
             if !self.dependency_satisfied(job) {
                 continue;
@@ -434,8 +608,20 @@ impl Slurm {
             return;
         };
         debug_assert_eq!(job.state, JobState::Running, "completing a non-running job");
+        let was_pending = job.state == JobState::Pending;
         job.state = JobState::Completed;
         job.end_time = Some(now);
+        let dep = job.dependency;
+        if was_pending {
+            // Tolerated in release builds only (the debug assert above
+            // fires first): keep the index consistent with the scan.
+            self.pending_index.remove(&self.jobs[&id]);
+        }
+        self.running_index.remove(id);
+        if let Some(Dependency::ExpandOf(parent)) = dep {
+            self.resizer_index.resizer_terminal(parent, id);
+        }
+        self.resizer_index.parent_terminal(id);
         self.invalidate_queue_cache();
         // A job that shrank to zero nodes cannot exist (envelope min >= 1),
         // but release defensively.
@@ -456,8 +642,20 @@ impl Slurm {
             return;
         }
         let was_running = job.state == JobState::Running;
+        let was_pending = job.state == JobState::Pending;
         job.state = JobState::Cancelled;
         job.end_time = Some(now);
+        let dep = job.dependency;
+        if was_pending {
+            self.pending_index.remove(&self.jobs[&id]);
+        }
+        if was_running {
+            self.running_index.remove(id);
+        }
+        if let Some(Dependency::ExpandOf(parent)) = dep {
+            self.resizer_index.resizer_terminal(parent, id);
+        }
+        self.resizer_index.parent_terminal(id);
         self.invalidate_queue_cache();
         if was_running && !self.detached.contains_key(&id) {
             let _ = self.cluster.release_all(id.owner_tag());
@@ -551,6 +749,8 @@ impl Slurm {
             .transfer_all(rj.owner_tag(), original.owner_tag())
             .expect("detached nodes are still owned by the resizer tag");
         debug_assert_eq!(moved.len() as u32, delta);
+        self.running_index
+            .set_nodes(original, self.cluster.held_by(original.owner_tag()));
         if let Some(j) = self.jobs.get_mut(&original) {
             j.requested_nodes = self.cluster.held_by(original.owner_tag());
             j.reconfigurations += 1;
@@ -594,11 +794,81 @@ impl Slurm {
             .release_tail(id.owner_tag(), current - to)
             .expect("running job owns its nodes");
         let _ = now;
+        self.running_index.set_nodes(id, to);
         if let Some(j) = self.jobs.get_mut(&id) {
             j.requested_nodes = to;
             j.reconfigurations += 1;
         }
         Ok(released)
+    }
+
+    /// Internal-consistency check used by tests: re-derives every index
+    /// from a scan of the job table and compares. This (and the
+    /// `ScanReference` oracles) is where the O(jobs) scans live on.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        self.cluster.check_invariants()?;
+        let pending: Vec<JobId> = self
+            .jobs
+            .values()
+            .filter(|j| j.state == JobState::Pending)
+            .map(|j| j.id)
+            .collect();
+        let mut indexed: Vec<JobId> = self.pending_index.ids().collect();
+        indexed.sort();
+        let mut expected = pending.clone();
+        expected.sort();
+        if indexed != expected {
+            return Err(format!(
+                "pending index {indexed:?} != pending set {expected:?}"
+            ));
+        }
+        let nonzero = pending
+            .iter()
+            .filter(|id| self.jobs[id].base_priority != 0)
+            .count();
+        if nonzero != self.pending_index.nonzero_base() {
+            return Err(format!(
+                "nonzero-base count {} != scanned {nonzero}",
+                self.pending_index.nonzero_base()
+            ));
+        }
+        let resizers = pending
+            .iter()
+            .filter(|id| self.jobs[id].is_resizer())
+            .count();
+        if resizers != self.pending_index.pending_resizers() {
+            return Err(format!(
+                "pending-resizer count {} != scanned {resizers}",
+                self.pending_index.pending_resizers()
+            ));
+        }
+        let running: Vec<&Job> = self
+            .jobs
+            .values()
+            .filter(|j| j.state == JobState::Running)
+            .collect();
+        if running.len() != self.running_index.len() {
+            return Err(format!(
+                "running index len {} != running jobs {}",
+                self.running_index.len(),
+                running.len()
+            ));
+        }
+        let mut scan: Vec<(SimTime, u32)> = running
+            .iter()
+            .map(|j| {
+                (
+                    j.expected_end().expect("running job has a start time"),
+                    self.cluster.held_by(j.id.owner_tag()),
+                )
+            })
+            .collect();
+        scan.sort();
+        let walked: Vec<(SimTime, u32)> = self.running_index.iter().collect();
+        if scan != walked {
+            return Err(format!("running index {walked:?} != scan {scan:?}"));
+        }
+        Ok(())
     }
 }
 
@@ -857,18 +1127,20 @@ mod tests {
         s.schedule(t(0));
         let a = s.submit(JobRequest::rigid("a", 2), t(1));
         let b = s.submit(JobRequest::rigid("b", 2), t(2));
-        // Two same-instant reads hit the cache and agree.
-        assert_eq!(s.pending_queue(t(5)), vec![a, b]);
-        assert_eq!(s.pending_queue(t(5)), vec![a, b]);
+        // Two same-instant reads hit the cache and agree — and the hit is
+        // allocation-free (the same shared slice comes back).
+        assert_eq!(s.pending_queue(t(5)).to_vec(), vec![a, b]);
+        assert!(Arc::ptr_eq(&s.pending_queue(t(5)), &s.pending_queue(t(5))));
+        assert_eq!(s.pending_queue(t(5)).to_vec(), vec![a, b]);
         // A boost at the same instant must invalidate, not serve stale.
         s.boost(b);
-        assert_eq!(s.pending_queue(t(5)), vec![b, a]);
+        assert_eq!(s.pending_queue(t(5)).to_vec(), vec![b, a]);
         // A same-instant submit must appear immediately.
         let c = s.submit(JobRequest::rigid("c", 1), t(5));
-        assert_eq!(s.pending_queue(t(5)), vec![b, a, c]);
+        assert_eq!(s.pending_queue(t(5)).to_vec(), vec![b, a, c]);
         // A cancellation must disappear immediately.
         s.cancel(a, t(5));
-        assert_eq!(s.pending_queue(t(5)), vec![b, c]);
+        assert_eq!(s.pending_queue(t(5)).to_vec(), vec![b, c]);
         // And a start (via completion freeing the machine) as well.
         s.complete(hog, t(5));
         s.schedule(t(5));
@@ -889,5 +1161,142 @@ mod tests {
         let queue = s.pending_queue(t(3));
         assert!(!queue.contains(&resizer));
         assert_eq!(queue.len(), 1);
+    }
+
+    fn scan_twin(nodes: u32) -> Slurm {
+        let mut cfg = SlurmConfig::for_cluster(nodes);
+        cfg.sched_index = SchedIndex::ScanReference;
+        Slurm::new(Cluster::new(nodes, 16), cfg)
+    }
+
+    #[test]
+    fn indexed_and_scan_paths_schedule_identically() {
+        // Drive an identical mixed op sequence through both hot paths and
+        // compare every observable: starts, queue orders, reservations
+        // (via backfill behaviour), reaping.
+        let mut idx = slurm(16);
+        let mut scan = scan_twin(16);
+        for s in [&mut idx, &mut scan] {
+            for i in 0..6u32 {
+                s.submit(
+                    JobRequest::rigid(format!("j{i}"), 2 + (i * 3) % 7)
+                        .with_expected_runtime(Span::from_secs(100 + (i as u64 * 77) % 400)),
+                    t(i as u64),
+                );
+            }
+        }
+        let a = idx.schedule(t(10));
+        let b = scan.schedule(t(10));
+        assert_eq!(a, b);
+        assert_eq!(idx.backfill_pass(t(12)), scan.backfill_pass(t(12)));
+        // Complete the first started job, expand another, keep comparing.
+        let first = a[0].id;
+        for s in [&mut idx, &mut scan] {
+            s.complete(first, t(50));
+        }
+        assert_eq!(idx.schedule(t(50)), scan.schedule(t(50)));
+        assert_eq!(
+            idx.pending_queue(t(60)).to_vec(),
+            scan.pending_queue(t(60)).to_vec()
+        );
+        assert_eq!(idx.backfill_pass(t(60)), scan.backfill_pass(t(60)));
+        idx.check_invariants().unwrap();
+        scan.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn nonzero_base_priority_falls_back_to_the_sort() {
+        let mut s = slurm(4);
+        let hog = s.submit(JobRequest::rigid("hog", 4), t(0));
+        s.schedule(t(0));
+        let plain = s.submit(JobRequest::rigid("plain", 2), t(1));
+        let vip = s.submit(
+            JobRequest {
+                base_priority: 50_000,
+                ..JobRequest::rigid("vip", 2)
+            },
+            t(2),
+        );
+        // The static (submit, id) key would put `plain` first; the base
+        // priority must win, which only the sort path can express.
+        assert_eq!(s.pending_queue(t(3)).to_vec(), vec![vip, plain]);
+        s.check_invariants().unwrap();
+        // Once the high-base job leaves the pending set, the index serves
+        // again — and still agrees with a scan twin.
+        s.cancel(vip, t(4));
+        assert_eq!(s.pending_queue(t(5)).to_vec(), vec![plain]);
+        let _ = hog;
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn index_served_order_is_shared_across_instants() {
+        let mut s = slurm(2);
+        s.submit(JobRequest::rigid("hog", 2), t(0));
+        s.schedule(t(0));
+        s.submit(JobRequest::rigid("a", 1), t(1));
+        s.submit(JobRequest::rigid("b", 1), t(2));
+        // No mutation between consults at different instants: relative
+        // order cannot change (uniform age growth), so the cache entry is
+        // reused without recomputation or allocation.
+        let q5 = s.pending_queue(t(5));
+        let q9 = s.pending_queue(t(9));
+        assert!(Arc::ptr_eq(&q5, &q9));
+    }
+
+    #[test]
+    fn indices_stay_consistent_through_the_expand_protocol() {
+        let mut s = slurm(10);
+        let a = s.submit(JobRequest::rigid("a", 4), t(0));
+        let b = s.submit(JobRequest::rigid("b", 4), t(0));
+        s.schedule(t(0));
+        s.check_invariants().unwrap();
+        // Queued expansion: resizer pending with max priority.
+        let ExpandError::Queued { resizer } = s.expand_protocol(a, 8, t(10)).unwrap_err() else {
+            panic!("expected queued resizer");
+        };
+        s.check_invariants().unwrap();
+        s.complete(b, t(20));
+        s.check_invariants().unwrap();
+        let started = s.schedule(t(20));
+        assert_eq!(started[0].id, resizer);
+        s.finish_expand(resizer, t(20)).unwrap();
+        s.check_invariants().unwrap();
+        // Shrink re-keys the running index.
+        s.shrink_protocol(a, 2, t(30)).unwrap();
+        s.check_invariants().unwrap();
+        s.complete(a, t(40));
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn estimate_refresh_rekeys_the_reservation_order() {
+        let mut s = slurm(12);
+        let long = s.submit(
+            JobRequest::rigid("long", 6).with_expected_runtime(Span::from_secs(1000)),
+            t(0),
+        );
+        let short = s.submit(
+            JobRequest::rigid("short", 4).with_expected_runtime(Span::from_secs(100)),
+            t(0),
+        );
+        s.schedule(t(0));
+        s.check_invariants().unwrap();
+        // Swap the estimates: the running index must re-key both entries
+        // (check_invariants compares it against a fresh scan).
+        s.set_expected_runtime(long, Span::from_secs(50));
+        s.set_expected_runtime(short, Span::from_secs(2000));
+        s.check_invariants().unwrap();
+        // And the reservation built from the re-keyed order still admits
+        // a short backfill candidate (2 free now, 10 needed, shadow at
+        // short's new end t=2000).
+        let _blocked = s.submit(JobRequest::rigid("blocked", 10), t(1));
+        let small = s.submit(
+            JobRequest::rigid("small", 2).with_expected_runtime(Span::from_secs(10)),
+            t(2),
+        );
+        let started = s.backfill_pass(t(3));
+        assert_eq!(started.len(), 1, "small job backfills: {started:?}");
+        assert_eq!(started[0].id, small);
     }
 }

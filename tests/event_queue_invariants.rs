@@ -57,6 +57,65 @@ proptest! {
     }
 
     #[test]
+    fn compaction_bounds_heap_and_preserves_pop_order(
+        ops in proptest::collection::vec(
+            (0u64..50, 0u64..100, proptest::bool::ANY, proptest::bool::ANY),
+            1..120,
+        ),
+    ) {
+        // Reference model: a plain list of (time, seq, alive) entries
+        // that never compacts — pops take the minimum (time, seq) alive
+        // entry, exactly the queue's CLASS_NORMAL contract.
+        let mut model: Vec<(u64, usize, bool)> = Vec::new();
+        let model_pop = |model: &mut Vec<(u64, usize, bool)>| -> Option<(SimTime, usize)> {
+            let best = model
+                .iter()
+                .enumerate()
+                .filter(|(_, &(_, _, alive))| alive)
+                .min_by_key(|(_, &(time, seq, _))| (time, seq))
+                .map(|(i, _)| i)?;
+            model[best].2 = false;
+            Some((SimTime(model[best].0), model[best].1))
+        };
+
+        let mut q: EventQueue<usize> = EventQueue::new();
+        let mut keys = Vec::new();
+        for (seq, &(time, hint, do_cancel, do_pop)) in ops.iter().enumerate() {
+            keys.push(q.push(SimTime(time), seq));
+            model.push((time, seq, true));
+            if do_cancel {
+                let victim = (hint as usize) % keys.len();
+                if q.cancel(keys[victim]).is_some() {
+                    model[victim].2 = false;
+                }
+            }
+            if do_pop {
+                prop_assert_eq!(q.pop(), model_pop(&mut model));
+            }
+            // The compaction bound: dead heap entries never outnumber
+            // live ones, after every single operation.
+            prop_assert!(
+                q.heap_len() <= 2 * q.len(),
+                "heap {} exceeds 2x live {} after op {}",
+                q.heap_len(),
+                q.len(),
+                seq
+            );
+        }
+        // Drain both to the end: order identical to the never-compacting
+        // reference, bound maintained throughout.
+        loop {
+            let got = q.pop();
+            prop_assert_eq!(got, model_pop(&mut model));
+            prop_assert!(q.heap_len() <= 2 * q.len());
+            if got.is_none() {
+                break;
+            }
+        }
+        prop_assert_eq!(q.heap_len(), 0, "drained queue retains tombstones");
+    }
+
+    #[test]
     fn len_tracks_live_entries_through_cancellation(
         ops in proptest::collection::vec((0u64..20, 0u64..100, proptest::bool::ANY), 1..40),
     ) {
