@@ -1,19 +1,22 @@
-//! Hot-path micro-benchmarks: each incremental index head-to-head with
-//! its pre-index scan oracle — node allocation, pending-order
-//! consultation, the EASY backfill pass (reservation + reap), and one
-//! full churn round. `repro --bench-json` measures the same contrast
-//! end-to-end and writes the `BENCH_sched.json` trajectory.
+//! Hot-path micro-benchmarks: each optimisation layer head-to-head with
+//! its reference — node allocation, pending-order consultation, the EASY
+//! backfill pass (reservation + reap), one full churn round across all
+//! three scheduler paths, and the slab job table against the `BTreeMap`
+//! it replaced. `repro --bench-json` measures the same contrast
+//! end-to-end and appends to the `BENCH_sched.json` trajectory.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::collections::BTreeMap;
 use std::hint::black_box;
 
 use dmr_bench::hotpath;
 use dmr_cluster::Cluster;
 use dmr_sim::{SimTime, Span};
-use dmr_slurm::{JobRequest, SchedIndex, Slurm, SlurmConfig};
+use dmr_slurm::{Job, JobArena, JobId, JobRequest, JobState, SchedIndex, Slurm, SlurmConfig};
 
-fn modes() -> [(&'static str, SchedIndex); 2] {
+fn modes() -> [(&'static str, SchedIndex); 3] {
     [
+        ("arena", SchedIndex::Arena),
         ("indexed", SchedIndex::Indexed),
         ("scan", SchedIndex::ScanReference),
     ]
@@ -107,11 +110,96 @@ fn bench_churn_round(c: &mut Criterion) {
     g.finish();
 }
 
+/// A minimal pending-job record for the job-table contrast.
+fn record(id: JobId, seq: u64) -> Job {
+    Job {
+        id,
+        seq,
+        detached_nodes: 0,
+        name: String::new(),
+        state: JobState::Pending,
+        requested_nodes: 1 + (seq as u32 % 32),
+        time_limit: None,
+        expected_runtime: Span::from_secs(600),
+        dependency: None,
+        base_priority: 0,
+        boosted: false,
+        resize: None,
+        submit_time: SimTime::from_secs(seq),
+        start_time: None,
+        end_time: None,
+        reconfigurations: 0,
+    }
+}
+
+/// The job-table contrast behind the arena conversion: fill 100k
+/// records, then run a lookup + remove/reinsert churn sweep — once on
+/// [`JobArena`] (slot-indexed, generation-checked) and once on the
+/// `BTreeMap<JobId, Job>` the scheduler used to keep.
+fn bench_job_table(c: &mut Criterion) {
+    const JOBS: u64 = 100_000;
+    let mut g = c.benchmark_group("job_table");
+    g.sample_size(10);
+    g.bench_function("churn100k_arena", |b| {
+        b.iter_batched(
+            || {
+                let mut a = JobArena::new();
+                let ids: Vec<JobId> = (0..JOBS)
+                    .map(|seq| a.insert_with(|id| record(id, seq)))
+                    .collect();
+                (a, ids)
+            },
+            |(mut a, ids)| {
+                let mut touched = 0u64;
+                for id in &ids {
+                    touched += u64::from(a[*id].requested_nodes);
+                }
+                for id in &ids[..1000] {
+                    let seq = a[*id].seq;
+                    a.remove(*id);
+                    a.insert_with(|id| record(id, seq));
+                }
+                black_box((touched, a.len()))
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("churn100k_btreemap", |b| {
+        b.iter_batched(
+            || {
+                let mut m = BTreeMap::new();
+                let ids: Vec<JobId> = (0..JOBS)
+                    .map(|seq| {
+                        let id = JobId(seq);
+                        m.insert(id, record(id, seq));
+                        id
+                    })
+                    .collect();
+                (m, ids)
+            },
+            |(mut m, ids)| {
+                let mut touched = 0u64;
+                for id in &ids {
+                    touched += u64::from(m[id].requested_nodes);
+                }
+                for id in &ids[..1000] {
+                    let rec = m.remove(id).expect("present");
+                    m.insert(rec.id, rec);
+                }
+                black_box((touched, m.len()))
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_allocate,
     bench_pending_order,
     bench_backfill,
-    bench_churn_round
+    bench_churn_round,
+    bench_job_table
 );
 criterion_main!(benches);

@@ -7,7 +7,7 @@
 //! repro --trace path.swf [--nodes N] [--check-prefix N]
 //! repro --hist [--jobs N] [--seed S]
 //! repro --gen-swf N [--seed S]
-//! repro --bench-json [--smoke] [--bench-out PATH]
+//! repro --bench-json [--smoke] [--bench-out PATH] [--bench-label L]
 //! targets: fig1 table1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11
 //!          fig12 table2 all quick
 //! ```
@@ -23,9 +23,11 @@
 //! `--hist` prints ASCII histograms of the waiting / execution /
 //! completion distributions. `--gen-swf` writes a synthetic SWF trace to
 //! stdout for long-replay smoke tests. `--bench-json` runs the scheduler
-//! hot-path throughput grid (indexed vs scan-reference) and writes the
-//! `BENCH_sched.json` perf-trajectory document (default: repo root /
-//! current directory; `--smoke` shrinks the grid for CI).
+//! hot-path throughput grid (arena vs indexed vs scan-reference) and
+//! appends one run to the `BENCH_sched.json` perf-trajectory document,
+//! keeping every prior run byte-identical (default path: repo root /
+//! current directory; `--smoke` shrinks the grid for CI; `--bench-label`
+//! names the run).
 
 use dmr_bench::figures as f;
 use dmr_bench::{hotpath, scenario, sweep, PRELIM_JOB_COUNTS, PRODUCTION_JOB_COUNTS, SEED};
@@ -102,13 +104,23 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     })
 }
 
-/// Runs the scheduler hot-path grid and writes `BENCH_sched.json`.
-/// Exits non-zero if the rendered document fails its own schema gate or
-/// a non-smoke run regresses below the 5× headline bar.
+/// Runs the scheduler hot-path grid and **appends** a run to the
+/// `BENCH_sched.json` trajectory (prior runs stay byte-identical; a
+/// legacy v1 snapshot is migrated verbatim as run 0). Exits non-zero if
+/// the spliced document fails its schema gate or the run's headline
+/// regresses below the 5× arena-vs-indexed bar.
 fn run_bench_json(args: &[String]) {
     let smoke = args.iter().any(|a| a == "--smoke");
     let path = flag_value(args, "--bench-out").unwrap_or("BENCH_sched.json");
-    let doc = hotpath::bench_json(smoke, |cell| {
+    let existing = std::fs::read_to_string(path).ok();
+    let label = match flag_value(args, "--bench-label") {
+        Some(l) => l.to_string(),
+        None => {
+            let prior = existing.as_deref().map_or(0, hotpath::run_count);
+            format!("run{}-{}", prior, if smoke { "smoke" } else { "full" })
+        }
+    };
+    let run = hotpath::bench_run(smoke, &label, |cell| {
         eprintln!(
             "bench: n{:<5} q{:<6} {:<7} {:>12.0} events/s  ({:.0} jobs/s, peak queue {})",
             cell.nodes,
@@ -119,6 +131,13 @@ fn run_bench_json(args: &[String]) {
             cell.peak_queue_depth,
         );
     });
+    let doc = match hotpath::append_run(existing.as_deref(), &run) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("cannot append to the {path} trajectory: {e}");
+            std::process::exit(1);
+        }
+    };
     if let Err(e) = hotpath::validate_bench_json(&doc) {
         eprintln!("BENCH_sched.json failed its schema gate: {e}");
         std::process::exit(1);
@@ -128,8 +147,11 @@ fn run_bench_json(args: &[String]) {
         std::process::exit(1);
     }
     let speedup = hotpath::headline_speedup(&doc).unwrap_or(0.0);
-    eprintln!("wrote {path} (headline speedup vs scan path: {speedup:.1}x)");
-    if !smoke && speedup < 5.0 {
+    eprintln!(
+        "appended run \"{label}\" to {path} ({} runs; headline speedup vs indexed: {speedup:.1}x)",
+        hotpath::run_count(&doc)
+    );
+    if speedup < 5.0 {
         eprintln!("headline speedup {speedup:.1}x is below the 5x acceptance bar");
         std::process::exit(1);
     }
@@ -401,7 +423,7 @@ fn run(target: &str, seed: u64) {
                  or: --trace path.swf [--nodes N] [--check-prefix N]\n\
                  or: --hist [--jobs N] [--seed S]\n\
                  or: --gen-swf N [--seed S]\n\
-                 or: --bench-json [--smoke] [--bench-out PATH]"
+                 or: --bench-json [--smoke] [--bench-out PATH] [--bench-label L]"
             );
             std::process::exit(2);
         }

@@ -4,17 +4,23 @@
 //! Drives a synthetic churn workload (a full machine with a deep pending
 //! queue, one completion + one submission + one scheduling pass per
 //! round, a backfill pass every `bf_interval`-like 30 rounds) through
-//! the scheduler twice per grid cell: once on the incremental-index hot
-//! path ([`SchedIndex::Indexed`]) and once on the pre-index scan
-//! reference ([`SchedIndex::ScanReference`]). Both runs execute the
-//! *identical* operation sequence — the two paths are decision-identical
-//! by construction (pinned by `tests/index_equivalence.rs`) — so the
-//! wall-clock ratio is a pure measure of the index win.
+//! the scheduler once per mode per grid cell: the arena hot path
+//! ([`SchedIndex::Arena`], the default), the previous incremental-index
+//! path ([`SchedIndex::Indexed`], the baseline the arena is gated
+//! against) and — on the cells where it finishes in reasonable time —
+//! the pre-index scan reference ([`SchedIndex::ScanReference`]). All
+//! runs execute the *identical* operation sequence — the paths are
+//! decision-identical by construction (pinned by
+//! `tests/index_equivalence.rs`) — so the wall-clock ratios are a pure
+//! measure of each optimisation layer.
 //!
-//! [`bench_json`] runs the cluster-size × queue-depth grid and renders
-//! the `dmr-bench-sched/v1` JSON document that `repro --bench-json`
-//! writes to `BENCH_sched.json` at the repo root; [`validate_bench_json`]
-//! is the schema gate the CI smoke step (and the unit tests) run against
+//! The document `repro --bench-json` maintains is **append-only**: every
+//! invocation renders one *run* object ([`render_run`]) and splices it
+//! into the existing `dmr-bench-sched/v2` document ([`append_run`]),
+//! leaving every prior run byte-for-byte intact — the file is a perf
+//! trajectory across PRs, not a snapshot. A legacy `dmr-bench-sched/v1`
+//! snapshot is migrated verbatim as run 0. [`validate_bench_json`] is
+//! the schema gate the CI smoke step (and the unit tests) run against
 //! the rendered document.
 
 use std::collections::VecDeque;
@@ -26,14 +32,24 @@ use dmr_sim::{SimTime, Span};
 use dmr_slurm::{JobRequest, SchedIndex, Slurm, SlurmConfig};
 
 /// Schema identifier embedded in (and required from) every document.
-pub const SCHEMA: &str = "dmr-bench-sched/v1";
+pub const SCHEMA: &str = "dmr-bench-sched/v2";
+
+/// The previous single-run schema; documents carrying it are migrated
+/// verbatim as run 0 of a v2 trajectory by [`append_run`].
+pub const SCHEMA_V1: &str = "dmr-bench-sched/v1";
+
+const DOC_PREFIX: &str = "{\"schema\": \"dmr-bench-sched/v2\",\n\"runs\": [\n";
+/// Every document ends with these bytes, so appending a run is a pure
+/// splice: strip the suffix, add `",\n" + run`, restore the suffix —
+/// prior runs stay byte-identical (the CI trajectory invariant).
+const DOC_SUFFIX: &str = "\n]}\n";
 
 /// One (cluster size, queue depth, mode) measurement.
 #[derive(Clone, Debug)]
 pub struct CellResult {
     pub nodes: u32,
     pub queue_depth: u32,
-    /// `"indexed"` or `"scan"`.
+    /// `"arena"`, `"indexed"` or `"scan"`.
     pub mode: &'static str,
     pub rounds: u32,
     /// Scheduling events processed: submissions + completions + passes +
@@ -63,10 +79,10 @@ impl CellResult {
 }
 
 /// The benchmark grid: `(cluster nodes, pending queue depth)` cells,
-/// ending with the headline 4096-node / 10k-deep scenario.
+/// ending with the headline 65,536-node / 100k-deep scenario.
 pub fn grid(smoke: bool) -> Vec<(u32, u32)> {
     if smoke {
-        vec![(64, 100), (4096, 10_000)]
+        vec![(64, 100), (65_536, 100_000)]
     } else {
         vec![
             (64, 100),
@@ -74,6 +90,25 @@ pub fn grid(smoke: bool) -> Vec<(u32, u32)> {
             (1024, 4_000),
             (4096, 1_000),
             (4096, 10_000),
+            (16_384, 40_000),
+            (65_536, 100_000),
+        ]
+    }
+}
+
+/// Modes measured on one cell. The scan reference recomputes every
+/// pending priority per pass — O(queue) work per round that the paper's
+/// own trajectory already quantified at 4096×10k — so the cells beyond
+/// that scale run only the two indexed paths (the contrast the headline
+/// gate reads).
+pub fn modes_for(nodes: u32, depth: u32) -> Vec<SchedIndex> {
+    if nodes > 4096 || depth > 10_000 {
+        vec![SchedIndex::Arena, SchedIndex::Indexed]
+    } else {
+        vec![
+            SchedIndex::Arena,
+            SchedIndex::Indexed,
+            SchedIndex::ScanReference,
         ]
     }
 }
@@ -166,6 +201,7 @@ pub fn run_cell(nodes: u32, depth: u32, mode: SchedIndex, rounds: u32) -> CellRe
         nodes,
         queue_depth: depth,
         mode: match mode {
+            SchedIndex::Arena => "arena",
             SchedIndex::Indexed => "indexed",
             SchedIndex::ScanReference => "scan",
         },
@@ -177,14 +213,14 @@ pub fn run_cell(nodes: u32, depth: u32, mode: SchedIndex, rounds: u32) -> CellRe
     }
 }
 
-/// Runs the whole grid (both modes per cell), reporting progress through
-/// `progress` (one line per finished cell; `repro` points this at
-/// stderr).
+/// Runs the whole grid (every [`modes_for`] mode per cell), reporting
+/// progress through `progress` (one line per finished cell; `repro`
+/// points this at stderr).
 pub fn run_grid(smoke: bool, mut progress: impl FnMut(&CellResult)) -> Vec<CellResult> {
     let rounds = rounds(smoke);
     let mut out = Vec::new();
     for (nodes, depth) in grid(smoke) {
-        for mode in [SchedIndex::Indexed, SchedIndex::ScanReference] {
+        for mode in modes_for(nodes, depth) {
             let cell = run_cell(nodes, depth, mode, rounds);
             progress(&cell);
             out.push(cell);
@@ -193,22 +229,29 @@ pub fn run_grid(smoke: bool, mut progress: impl FnMut(&CellResult)) -> Vec<CellR
     out
 }
 
+/// Full-precision JSON number. The old `{v:.3}` rendering truncated
+/// sub-millisecond `elapsed_s` values to `0.000`, destroying every
+/// derived rate for fast cells; Rust's shortest-roundtrip `Display` for
+/// `f64` never uses an exponent, so the output is a valid JSON number
+/// that parses back to the identical bits.
 fn json_f64(v: f64) -> String {
     if v.is_finite() {
-        format!("{v:.3}")
+        format!("{v}")
     } else {
-        "0.000".into()
+        "0".into()
     }
 }
 
-/// Renders the grid results as the `dmr-bench-sched/v1` JSON document.
+/// Renders one grid run as a v2 *run* object (the element
+/// [`append_run`] splices into the trajectory document).
 ///
-/// The headline block compares the two modes on the last grid cell (the
-/// 4096-node / 10k-pending scenario): `speedup_vs_scan` is the
-/// events-per-second ratio the acceptance gate reads.
-pub fn render_json(cells: &[CellResult], smoke: bool) -> String {
+/// The headline block compares the arena and indexed paths on the last
+/// grid cell (the 65,536-node / 100k-pending scenario):
+/// `speedup_vs_indexed` is the events-per-second ratio the acceptance
+/// gate reads.
+pub fn render_run(cells: &[CellResult], smoke: bool, label: &str) -> String {
     let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
+    let _ = writeln!(out, "  \"label\": \"{}\",", label.replace('"', "'"));
     let _ = writeln!(out, "  \"smoke\": {smoke},");
     out.push_str("  \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {
@@ -232,100 +275,139 @@ pub fn render_json(cells: &[CellResult], smoke: bool) -> String {
     }
     out.push_str("  ],\n");
     let headline = headline(cells);
-    let _ = writeln!(
+    let _ = write!(
         out,
         "  \"headline\": {{\"nodes\": {}, \"queue_depth\": {}, \
-         \"indexed_events_per_sec\": {}, \"scan_events_per_sec\": {}, \
-         \"speedup_vs_scan\": {}}}",
+         \"arena_events_per_sec\": {}, \"indexed_events_per_sec\": {}, \
+         \"speedup_vs_indexed\": {}}}\n}}",
         headline.0,
         headline.1,
         json_f64(headline.2),
         json_f64(headline.3),
         json_f64(headline.4),
     );
-    out.push_str("}\n");
     out
 }
 
-/// `(nodes, depth, indexed ev/s, scan ev/s, speedup)` of the last cell.
+/// `(nodes, depth, arena ev/s, indexed ev/s, speedup)` of the last cell.
 fn headline(cells: &[CellResult]) -> (u32, u32, f64, f64, f64) {
-    let Some(scan) = cells.iter().rev().find(|c| c.mode == "scan") else {
+    let Some(arena) = cells.iter().rev().find(|c| c.mode == "arena") else {
         return (0, 0, 0.0, 0.0, 0.0);
     };
     let indexed = cells.iter().rev().find(|c| {
-        c.mode == "indexed" && c.nodes == scan.nodes && c.queue_depth == scan.queue_depth
+        c.mode == "indexed" && c.nodes == arena.nodes && c.queue_depth == arena.queue_depth
     });
     let Some(indexed) = indexed else {
         return (
-            scan.nodes,
-            scan.queue_depth,
+            arena.nodes,
+            arena.queue_depth,
+            arena.events_per_sec(),
             0.0,
-            scan.events_per_sec(),
             0.0,
         );
     };
-    let speedup = if scan.events_per_sec() > 0.0 {
-        indexed.events_per_sec() / scan.events_per_sec()
+    let speedup = if indexed.events_per_sec() > 0.0 {
+        arena.events_per_sec() / indexed.events_per_sec()
     } else {
         0.0
     };
     (
-        scan.nodes,
-        scan.queue_depth,
+        arena.nodes,
+        arena.queue_depth,
+        arena.events_per_sec(),
         indexed.events_per_sec(),
-        scan.events_per_sec(),
         speedup,
     )
 }
 
-/// Extracts `headline.speedup_vs_scan` from a rendered document — the
-/// one scraper shared by the schema gate and the `repro` acceptance
-/// check, so the key format lives in exactly one place.
+/// Splices `run` (a [`render_run`] object) into `existing`, returning
+/// the new document:
+///
+/// * no existing document → a fresh v2 document with one run;
+/// * an existing v1 snapshot → migrated **byte-verbatim** as run 0, the
+///   new run appended after it;
+/// * an existing v2 trajectory → the new run appended; every byte before
+///   the document suffix is preserved exactly.
+pub fn append_run(existing: Option<&str>, run: &str) -> Result<String, String> {
+    let base = match existing.map(str::trim_end) {
+        None | Some("") => return Ok(format!("{DOC_PREFIX}{run}{DOC_SUFFIX}")),
+        Some(_) => {
+            let doc = existing.expect("checked above");
+            if doc.contains(SCHEMA_V1) {
+                // Legacy single-run snapshot: the whole object becomes
+                // run 0, its bytes untouched.
+                doc.trim_end().to_string()
+            } else if let Some(stripped) = doc.strip_suffix(DOC_SUFFIX) {
+                if !doc.starts_with(DOC_PREFIX) {
+                    return Err("existing document is not a v2 trajectory".into());
+                }
+                return Ok(format!("{stripped},\n{run}{DOC_SUFFIX}"));
+            } else {
+                return Err("existing document has an unrecognised suffix".into());
+            }
+        }
+    };
+    Ok(format!("{DOC_PREFIX}{base},\n{run}{DOC_SUFFIX}"))
+}
+
+/// Number of runs in a rendered document (label count; the migrated v1
+/// run carries no label, so it is counted via its v1 schema marker).
+pub fn run_count(doc: &str) -> usize {
+    doc.matches("\"label\"").count() + doc.matches(SCHEMA_V1).count()
+}
+
+/// Extracts the **last** run's `headline.speedup_vs_indexed` from a
+/// rendered document — the one scraper shared by the schema gate and the
+/// `repro` acceptance check, so the key format lives in exactly one
+/// place.
 pub fn headline_speedup(doc: &str) -> Option<f64> {
-    doc.split("\"speedup_vs_scan\": ")
-        .nth(1)
-        .and_then(|rest| rest.split(['}', ',']).next())
+    let (_, rest) = doc.rsplit_once("\"speedup_vs_indexed\": ")?;
+    rest.split(['}', ','])
+        .next()
         .and_then(|v| v.trim().parse::<f64>().ok())
 }
 
 /// Structural schema gate for a rendered document: required keys present,
-/// braces balanced, a parseable headline speedup. Deliberately minimal —
-/// it guards the CI artifact against shape regressions, not against
-/// perf regressions (those need comparable hardware).
+/// braces balanced, a parseable headline speedup on the last run.
+/// Deliberately minimal — it guards the CI artifact against shape
+/// regressions, not against perf regressions (those need comparable
+/// hardware).
 pub fn validate_bench_json(doc: &str) -> Result<(), String> {
     for key in [
         "\"schema\"",
+        "\"runs\"",
+        "\"label\"",
         "\"smoke\"",
         "\"cells\"",
         "\"headline\"",
         "\"events_per_sec\"",
         "\"jobs_per_sec\"",
         "\"peak_queue_depth\"",
-        "\"speedup_vs_scan\"",
+        "\"speedup_vs_indexed\"",
     ] {
         if !doc.contains(key) {
             return Err(format!("missing key {key}"));
         }
     }
-    if !doc.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
-        return Err(format!("schema is not {SCHEMA}"));
+    if !doc.starts_with(DOC_PREFIX) {
+        return Err(format!("document does not open a {SCHEMA} trajectory"));
     }
     let opens = doc.matches('{').count();
     let closes = doc.matches('}').count();
     if opens != closes {
         return Err(format!("unbalanced braces: {opens} vs {closes}"));
     }
-    let speedup = headline_speedup(doc).ok_or("speedup_vs_scan is not a number")?;
+    let speedup = headline_speedup(doc).ok_or("speedup_vs_indexed is not a number")?;
     if !speedup.is_finite() || speedup < 0.0 {
-        return Err(format!("speedup_vs_scan {speedup} out of range"));
+        return Err(format!("speedup_vs_indexed {speedup} out of range"));
     }
     Ok(())
 }
 
-/// Runs the grid and renders the document — what `repro --bench-json`
-/// writes to `BENCH_sched.json`.
-pub fn bench_json(smoke: bool, progress: impl FnMut(&CellResult)) -> String {
-    render_json(&run_grid(smoke, progress), smoke)
+/// Runs the grid and renders one run object — what `repro --bench-json`
+/// splices into `BENCH_sched.json` via [`append_run`].
+pub fn bench_run(smoke: bool, label: &str, progress: impl FnMut(&CellResult)) -> String {
+    render_run(&run_grid(smoke, progress), smoke, label)
 }
 
 #[cfg(test)]
@@ -333,32 +415,44 @@ mod tests {
     use super::*;
 
     fn tiny_cells() -> Vec<CellResult> {
-        [SchedIndex::Indexed, SchedIndex::ScanReference]
-            .into_iter()
-            .map(|m| run_cell(16, 20, m, 5))
-            .collect()
+        [
+            SchedIndex::Arena,
+            SchedIndex::Indexed,
+            SchedIndex::ScanReference,
+        ]
+        .into_iter()
+        .map(|m| run_cell(16, 20, m, 5))
+        .collect()
+    }
+
+    fn tiny_doc() -> String {
+        append_run(None, &render_run(&tiny_cells(), true, "t0")).unwrap()
     }
 
     #[test]
-    fn identical_operation_sequences_in_both_modes() {
+    fn identical_operation_sequences_in_all_modes() {
         let cells = tiny_cells();
-        assert_eq!(cells[0].events, cells[1].events, "paths diverged");
-        assert_eq!(cells[0].jobs_started, cells[1].jobs_started);
-        assert_eq!(cells[0].peak_queue_depth, cells[1].peak_queue_depth);
+        for c in &cells[1..] {
+            assert_eq!(cells[0].events, c.events, "{} diverged", c.mode);
+            assert_eq!(cells[0].jobs_started, c.jobs_started, "{}", c.mode);
+            assert_eq!(cells[0].peak_queue_depth, c.peak_queue_depth, "{}", c.mode);
+        }
     }
 
     #[test]
     fn rendered_document_validates() {
-        let doc = render_json(&tiny_cells(), true);
+        let doc = tiny_doc();
         validate_bench_json(&doc).unwrap();
+        assert!(doc.contains("\"mode\": \"arena\""));
         assert!(doc.contains("\"mode\": \"indexed\""));
         assert!(doc.contains("\"mode\": \"scan\""));
+        assert_eq!(run_count(&doc), 1);
     }
 
     #[test]
     fn validator_rejects_broken_documents() {
-        let doc = render_json(&tiny_cells(), true);
-        assert!(validate_bench_json(&doc.replace("speedup_vs_scan", "nope")).is_err());
+        let doc = tiny_doc();
+        assert!(validate_bench_json(&doc.replace("speedup_vs_indexed", "nope")).is_err());
         assert!(
             validate_bench_json(&doc[..doc.len() - 3]).is_err(),
             "unbalanced"
@@ -367,9 +461,47 @@ mod tests {
     }
 
     #[test]
+    fn append_preserves_prior_runs_byte_for_byte() {
+        let cells = tiny_cells();
+        let doc1 = append_run(None, &render_run(&cells, true, "t0")).unwrap();
+        let doc2 = append_run(Some(&doc1), &render_run(&cells, true, "t1")).unwrap();
+        let kept = doc1.len() - DOC_SUFFIX.len();
+        assert_eq!(&doc2[..kept], &doc1[..kept], "prior bytes rewritten");
+        assert_eq!(run_count(&doc2), 2);
+        validate_bench_json(&doc2).unwrap();
+        // The scraper reads the *last* run's headline.
+        assert!(headline_speedup(&doc2).is_some());
+    }
+
+    #[test]
+    fn v1_snapshot_migrates_verbatim_as_run_zero() {
+        let v1 = "{\n  \"schema\": \"dmr-bench-sched/v1\",\n  \"smoke\": false,\n  \
+                  \"cells\": [],\n  \"headline\": {\"speedup_vs_scan\": 11.274}\n}\n";
+        let doc = append_run(Some(v1), &render_run(&tiny_cells(), true, "t1")).unwrap();
+        assert!(
+            doc.contains(v1.trim_end()),
+            "v1 bytes must survive untouched"
+        );
+        assert_eq!(run_count(&doc), 2);
+        validate_bench_json(&doc).unwrap();
+    }
+
+    #[test]
+    fn elapsed_is_rendered_at_full_precision() {
+        // The v1 renderer printed `{v:.3}`, flattening fast cells to
+        // `"elapsed_s": 0.000` and zeroing every derived rate.
+        assert_eq!(json_f64(0.000123456789), "0.000123456789");
+        assert_eq!(json_f64(39645.391), "39645.391");
+        assert_eq!(json_f64(f64::NAN), "0");
+    }
+
+    #[test]
     fn grid_ends_with_the_headline_cell() {
         for smoke in [true, false] {
-            assert_eq!(*grid(smoke).last().unwrap(), (4096, 10_000));
+            assert_eq!(*grid(smoke).last().unwrap(), (65_536, 100_000));
         }
+        // The headline cell measures exactly the two gated paths.
+        assert_eq!(modes_for(65_536, 100_000).len(), 2);
+        assert_eq!(modes_for(64, 100).len(), 3);
     }
 }

@@ -68,6 +68,23 @@ pub struct Cluster {
     scan_selection: bool,
 }
 
+/// Appends `granted` to the sorted `held` list, skipping the re-sort in
+/// the common case where the appended run is itself ascending and starts
+/// above the current tail (lowest-id-first selection grants ascending
+/// runs, and a job's later grants usually sit above its first ones). The
+/// check is O(grant) against the O(held log held) sort it avoids.
+fn append_held(held: &mut Vec<NodeId>, granted: &[NodeId]) {
+    let in_order = granted.windows(2).all(|w| w[0] <= w[1])
+        && match (held.last(), granted.first()) {
+            (Some(&last), Some(&first)) => last < first,
+            _ => true,
+        };
+    held.extend_from_slice(granted);
+    if !in_order {
+        held.sort_unstable();
+    }
+}
+
 impl Cluster {
     /// A cluster of `nodes` identical nodes, all up and free.
     pub fn new(nodes: u32, cores_per_node: u32) -> Self {
@@ -172,8 +189,7 @@ impl Cluster {
         }
         self.free_count -= n;
         let held = self.held.entry(owner).or_default();
-        held.extend_from_slice(&granted);
-        held.sort_unstable();
+        append_held(held, &granted);
         Ok(granted)
     }
 
@@ -193,8 +209,7 @@ impl Cluster {
         }
         self.free_count -= nodes.len() as u32;
         let held = self.held.entry(owner).or_default();
-        held.extend_from_slice(nodes);
-        held.sort_unstable();
+        append_held(held, nodes);
         Ok(())
     }
 
@@ -261,8 +276,7 @@ impl Cluster {
             self.owner[node.index()] = Some(to);
         }
         let held = self.held.entry(to).or_default();
-        held.extend_from_slice(&nodes);
-        held.sort_unstable();
+        append_held(held, &nodes);
         Ok(nodes)
     }
 

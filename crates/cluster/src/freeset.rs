@@ -205,6 +205,23 @@ mod tests {
     }
 
     #[test]
+    fn scales_to_65k_nodes_without_fragment_blowup() {
+        // The 65,536-node bench grid cell: a full machine is one run, a
+        // full drain-and-refill stays one run, and nothing overflows.
+        let mut s = FreeSet::full(65_536);
+        assert_eq!(s.len(), 65_536);
+        assert_eq!(s.run_count(), 1);
+        let got = s.take_lowest(65_536);
+        assert_eq!(got.len(), 65_536);
+        assert!(s.is_empty());
+        for id in 0..65_536 {
+            s.insert(id);
+        }
+        assert_eq!(s.run_count(), 1);
+        assert_eq!(s.len(), 65_536);
+    }
+
+    #[test]
     fn randomised_ops_match_reference_set() {
         use std::collections::BTreeSet;
         let mut s = FreeSet::new();

@@ -85,9 +85,13 @@ pub struct ExperimentConfig {
     /// Buffered ([`Telemetry::Full`]) or streaming bounded-memory
     /// ([`Telemetry::Online`]) metric recording.
     pub telemetry: Telemetry,
-    /// Scheduler hot-path implementation: the incremental indices (the
-    /// default) or the pre-index scan reference kept as the equivalence
-    /// oracle and benchmark baseline (see [`SchedIndex`]).
+    /// Scheduler hot-path implementation: the arena path (the default),
+    /// the previous indexed path (benchmark baseline) or the pre-index
+    /// scan reference kept as the equivalence oracle (see
+    /// [`SchedIndex`]). Also selects the event-queue backend: the arena
+    /// path runs on the timer wheel, the others on the reference binary
+    /// heap — backends are observationally identical, so the three-way
+    /// equivalence suite covers both.
     pub sched_index: SchedIndex,
 }
 
@@ -110,7 +114,7 @@ impl ExperimentConfig {
             resizer_timeout_s: 30.0,
             policy: PolicyKind::Algorithm1,
             telemetry: Telemetry::Full,
-            sched_index: SchedIndex::Indexed,
+            sched_index: SchedIndex::Arena,
         }
     }
 
@@ -171,6 +175,15 @@ impl ExperimentConfig {
     /// an oracle / baseline.
     pub fn scan_reference(mut self) -> Self {
         self.sched_index = SchedIndex::ScanReference;
+        self
+    }
+
+    /// Runs the scheduler on the previous indexed hot path
+    /// ([`SchedIndex::Indexed`]) — the PR-5 baseline the arena path is
+    /// benchmarked against. Scheduling decisions are bit-identical to
+    /// both the arena default and the scan reference.
+    pub fn indexed_reference(mut self) -> Self {
+        self.sched_index = SchedIndex::Indexed;
         self
     }
 }

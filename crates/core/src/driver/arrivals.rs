@@ -29,15 +29,15 @@ impl Driver<'_, '_> {
         // time never runs backwards.
         let at = SimTime::from_secs_f64(job.spec.arrival_s.max(0.0)).max(self.last_arrival);
         self.last_arrival = at;
-        let idx = self.arrived;
+        let seq = self.arrived as u64;
         self.arrived += 1;
-        self.jobs.insert(idx, job);
+        let idx = self.jobs.insert(seq, job);
         self.engine.schedule_at_early(at, Ev::Arrival(idx));
         self.arrivals_pending = true;
     }
 
     pub(crate) fn on_arrival(&mut self, idx: usize, now: SimTime) {
-        let sim = &self.jobs[&idx];
+        let sim = &self.jobs[idx];
         let spec = &sim.spec;
         // Submissions larger than the machine can never start; clamp like
         // a real site's partition limit would.
@@ -68,7 +68,7 @@ impl Driver<'_, '_> {
         self.spec_of.insert(id, idx);
         // The job is in the system: pull its successor from the feed.
         self.schedule_next_arrival();
-        self.do_schedule(now);
+        self.request_schedule(now);
     }
 
     /// One event-driven scheduling cycle (FIFO pass); wires freshly
@@ -83,7 +83,7 @@ impl Driver<'_, '_> {
             match st.resizer_for {
                 Some(orig) => self.on_rj_started(st.id, orig, now),
                 None => {
-                    let idx = self.spec_of[&st.id];
+                    let idx = self.spec_of[st.id];
                     let procs = st.nodes.len() as u32;
                     self.running.insert(st.id, RunState::new(idx, procs, now));
                     self.begin_segment(st.id, now);
@@ -97,9 +97,9 @@ impl Driver<'_, '_> {
     /// coalescing inhibited iterations), or the whole remainder for rigid
     /// jobs.
     pub(crate) fn begin_segment(&mut self, job: JobId, now: SimTime) {
-        let rs = &self.running[&job];
+        let rs = &self.running[job];
         let idx = rs.spec_idx;
-        let sim = &self.jobs[&idx];
+        let sim = &self.jobs[idx];
         let remaining = sim.spec.steps.saturating_sub(rs.steps_done);
         if remaining == 0 {
             self.complete_job(job, now);
@@ -127,12 +127,12 @@ impl Driver<'_, '_> {
     }
 
     pub(crate) fn on_segment_done(&mut self, job: JobId, steps: u32, now: SimTime) {
-        let Some(rs) = self.running.get_mut(&job) else {
+        let Some(rs) = self.running.get_mut(job) else {
             return;
         };
         rs.steps_done += steps;
         let idx = rs.spec_idx;
-        if rs.steps_done >= self.jobs[&idx].spec.steps {
+        if rs.steps_done >= self.jobs[idx].spec.steps {
             self.complete_job(job, now);
             return;
         }
@@ -144,11 +144,11 @@ impl Driver<'_, '_> {
     }
 
     pub(crate) fn complete_job(&mut self, job: JobId, now: SimTime) {
-        if let Some(mut rs) = self.running.remove(&job) {
+        if let Some(mut rs) = self.running.remove(job) {
             if let Some((rj, ev)) = rs.waiting_rj.take() {
                 self.engine.cancel(ev);
                 self.slurm.abort_expand(rj, now);
-                self.rj_to_orig.remove(&rj);
+                self.rj_to_orig.remove(rj);
             }
         }
         // Fold the job's accounting into the metrics sink while the
@@ -157,6 +157,6 @@ impl Driver<'_, '_> {
         self.slurm.complete(job, now);
         self.completed += 1;
         // Freed nodes: run a scheduling cycle.
-        self.do_schedule(now);
+        self.request_schedule(now);
     }
 }

@@ -32,18 +32,21 @@ impl Driver<'_, '_> {
     /// Must run *before* [`dmr_slurm::Slurm::complete`] prunes the
     /// scheduler record.
     pub(crate) fn account_completion(&mut self, job: JobId, now: SimTime) {
-        let Some(idx) = self.spec_of.remove(&job) else {
+        let Some(idx) = self.spec_of.remove(job) else {
             return;
         };
+        // The sink is keyed by the monotonic arrival sequence, not the
+        // slab slot — slots recycle as jobs retire.
+        let seq = self.jobs.seq(idx);
         if let Some(rec) = self.slurm.job(job) {
             if let Some(start) = rec.start_time {
                 self.sink.on_job(
-                    idx as u64,
+                    seq,
                     JobOutcome::new(rec.submit_time, start, now, rec.reconfigurations),
                 );
             }
         }
-        self.jobs.remove(&idx);
+        self.jobs.remove(idx);
     }
 
     /// The driver-side scalars of a finished run; everything else already

@@ -28,12 +28,10 @@ pub(crate) mod metrics;
 pub(crate) mod reconfig;
 pub(crate) mod shrink;
 
-use std::collections::BTreeMap;
-
 use dmr_cluster::Cluster;
 use dmr_metrics::{MetricsSink, OnlineAccumulator, SeriesRecorder, StepSeries, WorkloadSummary};
-use dmr_sim::{Engine, EventId, SimTime, Span};
-use dmr_slurm::{JobId, ResizeAction, Slurm, SlurmConfig};
+use dmr_sim::{Engine, EventId, QueueKind, SimTime, Span, CLASS_EARLY};
+use dmr_slurm::{JobId, ResizeAction, SchedIndex, Slurm, SlurmConfig};
 use dmr_workload::WorkloadSource;
 
 use crate::config::{ExperimentConfig, Telemetry};
@@ -79,6 +77,132 @@ impl RunState {
     }
 }
 
+/// Slab of the active jobs' specs, addressed by the slot index the
+/// [`Ev::Arrival`] payload carries. The driver used to key this table by
+/// arrival index in a `BTreeMap`; the slab replaces every tree descent
+/// on the segment hot path (two lookups per compute segment) with an
+/// indexed load, and recycles slots as jobs retire so the table stays as
+/// dense as the active set. Each entry keeps the job's monotonic arrival
+/// sequence number — the stable telemetry id `MetricsSink::on_job`
+/// reports — precisely *because* slots recycle.
+///
+/// No generation check is needed: a slot is referenced only between its
+/// arrival and its completion (`account_completion` frees it last), so a
+/// stale index can never be observed.
+#[derive(Default)]
+pub(crate) struct SpecSlab {
+    slots: Vec<Option<(u64, SimJob)>>,
+    free: Vec<usize>,
+}
+
+impl SpecSlab {
+    pub(crate) fn insert(&mut self, seq: u64, job: SimJob) -> usize {
+        match self.free.pop() {
+            Some(idx) => {
+                debug_assert!(self.slots[idx].is_none(), "free spec slot occupied");
+                self.slots[idx] = Some((seq, job));
+                idx
+            }
+            None => {
+                self.slots.push(Some((seq, job)));
+                self.slots.len() - 1
+            }
+        }
+    }
+
+    /// The arrival sequence number of the job in `idx`.
+    pub(crate) fn seq(&self, idx: usize) -> u64 {
+        self.slots[idx].as_ref().expect("spec slot vacant").0
+    }
+
+    pub(crate) fn remove(&mut self, idx: usize) {
+        let freed = self.slots[idx].take();
+        debug_assert!(freed.is_some(), "spec slot double-freed");
+        self.free.push(idx);
+    }
+}
+
+impl std::ops::Index<usize> for SpecSlab {
+    type Output = SimJob;
+
+    fn index(&self, idx: usize) -> &SimJob {
+        &self.slots[idx].as_ref().expect("spec slot vacant").1
+    }
+}
+
+/// Per-job driver state addressed directly by the [`JobId`] slot, with
+/// the generation validated on every access — the same trick as
+/// [`dmr_slurm::JobArena`], applied to the driver's side tables
+/// (`running`, `spec_of`, `rj_to_orig`, formerly `BTreeMap<JobId, _>`).
+/// A stale id (its job pruned, its slot re-tenanted) misses the
+/// generation compare exactly as it missed the tree lookup before.
+pub(crate) struct JobMap<T> {
+    slots: Vec<Option<(u32, T)>>,
+    live: usize,
+}
+
+impl<T> Default for JobMap<T> {
+    fn default() -> Self {
+        JobMap {
+            slots: Vec::new(),
+            live: 0,
+        }
+    }
+}
+
+impl<T> JobMap<T> {
+    pub(crate) fn insert(&mut self, id: JobId, value: T) {
+        let idx = id.slot() as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize_with(idx + 1, || None);
+        }
+        debug_assert!(self.slots[idx].is_none(), "{id:?} slot already mapped");
+        self.slots[idx] = Some((id.generation(), value));
+        self.live += 1;
+    }
+
+    pub(crate) fn get(&self, id: JobId) -> Option<&T> {
+        match self.slots.get(id.slot() as usize)? {
+            Some((generation, value)) if *generation == id.generation() => Some(value),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn get_mut(&mut self, id: JobId) -> Option<&mut T> {
+        match self.slots.get_mut(id.slot() as usize)? {
+            Some((generation, value)) if *generation == id.generation() => Some(value),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn remove(&mut self, id: JobId) -> Option<T> {
+        let slot = self.slots.get_mut(id.slot() as usize)?;
+        match slot {
+            Some((generation, _)) if *generation == id.generation() => {
+                self.live -= 1;
+                slot.take().map(|(_, value)| value)
+            }
+            _ => None,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.live
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+}
+
+impl<T> std::ops::Index<JobId> for JobMap<T> {
+    type Output = T;
+
+    fn index(&self, id: JobId) -> &T {
+        self.get(id).expect("job id not mapped")
+    }
+}
+
 /// Where the driver pulls its jobs from: a pre-materialized list (the
 /// historical [`run_experiment`] API) or a streaming
 /// [`dmr_workload::WorkloadSource`]. Either way the driver consumes
@@ -100,19 +224,21 @@ impl JobFeed<'_> {
 /// The simulation state shared by every driver submodule.
 pub(crate) struct Driver<'a, 's> {
     pub(crate) cfg: ExperimentConfig,
-    /// Specs of the jobs currently *in* the simulation, keyed by arrival
-    /// index (the `Ev::Arrival` payload). An entry is inserted when the
-    /// feed yields the job and removed when the job completes, so the map
-    /// holds only the active set — O(active jobs), not O(trace length).
-    pub(crate) jobs: BTreeMap<usize, SimJob>,
-    /// Jobs pulled from the feed so far (the next arrival index).
+    /// Specs of the jobs currently *in* the simulation, keyed by slab
+    /// slot (the `Ev::Arrival` payload). An entry is inserted when the
+    /// feed yields the job and removed when the job completes, so the
+    /// slab holds only the active set — O(active jobs), not O(trace
+    /// length).
+    pub(crate) jobs: SpecSlab,
+    /// Jobs pulled from the feed so far (the next arrival sequence
+    /// number, and the telemetry id of the next arrival).
     pub(crate) arrived: usize,
     pub(crate) feed: JobFeed<'a>,
     pub(crate) slurm: Slurm,
     pub(crate) engine: Engine<Ev>,
-    pub(crate) running: BTreeMap<JobId, RunState>,
-    pub(crate) spec_of: BTreeMap<JobId, usize>,
-    pub(crate) rj_to_orig: BTreeMap<JobId, JobId>,
+    pub(crate) running: JobMap<RunState>,
+    pub(crate) spec_of: JobMap<usize>,
+    pub(crate) rj_to_orig: JobMap<JobId>,
     /// Where telemetry goes: one sample per handled event, one outcome
     /// per completed job.
     pub(crate) sink: &'s mut dyn MetricsSink,
@@ -123,6 +249,9 @@ pub(crate) struct Driver<'a, 's> {
     /// Arrival instant of the last scheduled arrival; sources must be
     /// arrival-sorted, stragglers are clamped here defensively.
     pub(crate) last_arrival: SimTime,
+    /// A scheduling pass was requested at the current instant but not run
+    /// yet (same-instant batching — see [`Driver::request_schedule`]).
+    pub(crate) pass_due: bool,
 }
 
 /// Runs one workload under one configuration.
@@ -229,20 +358,28 @@ impl<'a, 's> Driver<'a, 's> {
         // completion, so the scheduler never needs to keep terminal
         // records — the active set is all that stays resident.
         scfg.retain_completed = false;
+        // The arena path runs on the timer-wheel queue backend; the other
+        // paths keep the reference binary heap, so the three-way
+        // equivalence suite exercises both backends end to end.
+        let queue_kind = match cfg.sched_index {
+            SchedIndex::Arena => QueueKind::TimerWheel,
+            _ => QueueKind::BinaryHeap,
+        };
         Driver {
             cfg,
-            jobs: BTreeMap::new(),
+            jobs: SpecSlab::default(),
             arrived: 0,
             feed,
             slurm: Slurm::new(cluster, scfg),
-            engine: Engine::new(),
-            running: BTreeMap::new(),
-            spec_of: BTreeMap::new(),
-            rj_to_orig: BTreeMap::new(),
+            engine: Engine::with_queue_kind(queue_kind),
+            running: JobMap::default(),
+            spec_of: JobMap::default(),
+            rj_to_orig: JobMap::default(),
             sink,
             completed: 0,
             arrivals_pending: false,
             last_arrival: SimTime::ZERO,
+            pass_due: false,
         }
     }
 
@@ -256,22 +393,60 @@ impl<'a, 's> Driver<'a, 's> {
                 Ev::BackfillTick,
             );
         }
-        while let Some((now, ev)) = self.engine.next_event() {
+        let mut last_now = SimTime::ZERO;
+        loop {
+            // Flush any deferred scheduling pass — unless the very next
+            // event is a same-instant arrival about to extend the current
+            // submission batch, in which case one combined pass after the
+            // batch replaces a pass per submission. A pass can complete
+            // zero-remaining jobs, which re-request a pass; loop until
+            // quiescent so virtual time never advances over a due pass.
+            while self.pass_due {
+                if self.engine.peek_head() == Some((last_now, CLASS_EARLY)) {
+                    break;
+                }
+                self.pass_due = false;
+                self.do_schedule(last_now);
+                // Re-sample so the last sample at this instant reflects
+                // the post-pass state, exactly as the unbatched path's
+                // does; the deferred samples above it are zero-width.
+                self.sample(last_now);
+            }
+            let Some((now, ev)) = self.engine.next_event() else {
+                break;
+            };
+            last_now = now;
             self.handle(now, ev);
             self.sample(now);
         }
         self.finish()
     }
 
+    /// Runs a scheduling cycle now — or, on the arena path, marks one due
+    /// and lets the run loop flush it once the current instant's arrival
+    /// batch is fully submitted. Batching is sound precisely when the
+    /// pending order is the static `(boosted, submit, seq)` key order
+    /// ([`Slurm::pending_order_is_static`]): a new submission then sorts
+    /// strictly after every job already pending, so the combined pass
+    /// walks the queue through the same decisions the per-submission
+    /// passes would have made.
+    pub(crate) fn request_schedule(&mut self, now: SimTime) {
+        if self.cfg.sched_index == SchedIndex::Arena && self.slurm.pending_order_is_static() {
+            self.pass_due = true;
+        } else {
+            self.do_schedule(now);
+        }
+    }
+
     pub(crate) fn is_flexible(&self, idx: usize) -> bool {
-        let spec = &self.jobs[&idx].spec;
+        let spec = &self.jobs[idx].spec;
         self.cfg.malleability && spec.flexible && !spec.malleability.is_rigid()
     }
 
     pub(crate) fn inhibitor_period(&self, idx: usize) -> Option<f64> {
         self.cfg
             .inhibitor_override
-            .unwrap_or(self.jobs[&idx].spec.malleability.sched_period_s)
+            .unwrap_or(self.jobs[idx].spec.malleability.sched_period_s)
     }
 }
 

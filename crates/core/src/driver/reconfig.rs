@@ -37,7 +37,7 @@ impl Driver<'_, '_> {
     /// swallowed (coalesced into one compute segment).
     fn arm_inhibitor(&mut self, job: JobId, idx: usize, now: SimTime) {
         if let Some(p) = self.inhibitor_period(idx) {
-            let rs = self.running.get_mut(&job).expect("running");
+            let rs = self.running.get_mut(job).expect("running");
             rs.next_check_at = now + Span::from_secs_f64(p);
         }
     }
@@ -56,10 +56,10 @@ impl Driver<'_, '_> {
         wait_on_queue: bool,
     ) -> bool {
         let (idx, procs) = {
-            let rs = &self.running[&job];
+            let rs = &self.running[job];
             (rs.spec_idx, rs.procs)
         };
-        let data = self.jobs[&idx].spec.data_bytes;
+        let data = self.jobs[idx].spec.data_bytes;
         match self
             .slurm
             .expand_protocol(job, to, now)
@@ -68,7 +68,7 @@ impl Driver<'_, '_> {
             Ok(_) => {
                 let cost = self.cfg.network.spawn_time(to)
                     + self.cfg.network.redistribution_time(data, procs, to);
-                let rs = self.running.get_mut(&job).expect("running");
+                let rs = self.running.get_mut(job).expect("running");
                 rs.pending_expand = Some(to);
                 self.engine
                     .schedule_at(now + pause + cost, Ev::ReconfigDone { job });
@@ -81,7 +81,7 @@ impl Driver<'_, '_> {
                             now + Span::from_secs_f64(self.cfg.resizer_timeout_s),
                             Ev::RjTimeout { rj: resizer },
                         );
-                        let rs = self.running.get_mut(&job).expect("running");
+                        let rs = self.running.get_mut(job).expect("running");
                         rs.waiting_rj = Some((resizer, ev));
                         self.rj_to_orig.insert(resizer, job);
                     } else {
@@ -97,7 +97,7 @@ impl Driver<'_, '_> {
     /// Every non-inhibited call costs [`crate::ExperimentConfig::check_overhead_s`]
     /// — the runtime↔RMS round trip the inhibitor exists to amortise.
     fn check_sync(&mut self, job: JobId, now: SimTime) {
-        let idx = self.running[&job].spec_idx;
+        let idx = self.running[job].spec_idx;
         self.arm_inhibitor(job, idx, now);
         let pause = Span::from_secs_f64(self.cfg.check_overhead_s);
         match self.slurm.decide_resize(job, now) {
@@ -118,7 +118,7 @@ impl Driver<'_, '_> {
     /// behind computation, but decisions can be stale (§VIII-C).
     fn check_async(&mut self, job: JobId, now: SimTime) {
         let (idx, procs, granted, planned, waiting) = {
-            let rs = self.running.get_mut(&job).expect("running");
+            let rs = self.running.get_mut(job).expect("running");
             (
                 rs.spec_idx,
                 rs.procs,
@@ -128,7 +128,7 @@ impl Driver<'_, '_> {
             )
         };
         self.arm_inhibitor(job, idx, now);
-        let data = self.jobs[&idx].spec.data_bytes;
+        let data = self.jobs[idx].spec.data_bytes;
         let mut applying = false;
 
         if let Some(newp) = granted {
@@ -136,7 +136,7 @@ impl Driver<'_, '_> {
             // now.
             let cost = self.cfg.network.spawn_time(newp)
                 + self.cfg.network.redistribution_time(data, procs, newp);
-            let rs = self.running.get_mut(&job).expect("running");
+            let rs = self.running.get_mut(job).expect("running");
             rs.pending_expand = Some(newp);
             self.engine
                 .schedule_at(now + cost, Ev::ReconfigDone { job });
@@ -158,9 +158,9 @@ impl Driver<'_, '_> {
             // Plan the next boundary's action (free of charge: the call
             // overlaps the next compute step). One in-flight negotiation
             // at a time.
-            if !waiting && self.running[&job].waiting_rj.is_none() {
+            if !waiting && self.running[job].waiting_rj.is_none() {
                 let a = self.slurm.decide_resize(job, now);
-                let rs = self.running.get_mut(&job).expect("running");
+                let rs = self.running.get_mut(job).expect("running");
                 rs.planned = a.is_action().then_some(a);
             }
             self.begin_segment(job, now);
@@ -179,7 +179,7 @@ impl Driver<'_, '_> {
     /// A reconfiguration (or bare check pause) completed: adopt the new
     /// process set and resume compute.
     pub(crate) fn on_reconfig_done(&mut self, job: JobId, now: SimTime) {
-        let Some(rs) = self.running.get_mut(&job) else {
+        let Some(rs) = self.running.get_mut(job) else {
             return;
         };
         if let Some(to) = rs.pending_shrink.take() {
@@ -198,10 +198,10 @@ impl Driver<'_, '_> {
     /// protocol steps 2–4 now; the application applies the grant (spawn +
     /// redistribution) at its next reconfiguring point.
     pub(crate) fn on_rj_started(&mut self, rj: JobId, orig: JobId, now: SimTime) {
-        self.rj_to_orig.remove(&rj);
+        self.rj_to_orig.remove(rj);
         match self.slurm.finish_expand(rj, now) {
             Ok((_, nodes)) => {
-                let cancel = if let Some(rs) = self.running.get_mut(&orig) {
+                let cancel = if let Some(rs) = self.running.get_mut(orig) {
                     rs.granted_expand = Some(nodes.len() as u32);
                     rs.waiting_rj.take().map(|(_, ev)| ev)
                 } else {
@@ -220,8 +220,8 @@ impl Driver<'_, '_> {
 
     pub(crate) fn on_rj_timeout(&mut self, rj: JobId, now: SimTime) {
         self.slurm.abort_expand(rj, now);
-        if let Some(orig) = self.rj_to_orig.remove(&rj) {
-            if let Some(rs) = self.running.get_mut(&orig) {
+        if let Some(orig) = self.rj_to_orig.remove(rj) {
+            if let Some(rs) = self.running.get_mut(orig) {
                 rs.waiting_rj = None;
             }
         }
@@ -235,8 +235,8 @@ impl Driver<'_, '_> {
             // after a reconfiguration either.
             return;
         }
-        let rs = &self.running[&job];
-        let sim = &self.jobs[&rs.spec_idx];
+        let rs = &self.running[job];
+        let sim = &self.jobs[rs.spec_idx];
         let remaining = sim
             .remaining_time(rs.procs, rs.steps_done)
             .mul_f64(self.cfg.estimate_padding);

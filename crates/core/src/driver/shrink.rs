@@ -20,12 +20,12 @@ impl Driver<'_, '_> {
     /// when it completes ([`Driver::finish_shrink`]).
     pub(crate) fn schedule_shrink(&mut self, job: JobId, to: u32, now: SimTime, pause: Span) {
         let (idx, procs) = {
-            let rs = &self.running[&job];
+            let rs = &self.running[job];
             (rs.spec_idx, rs.procs)
         };
-        let data = self.jobs[&idx].spec.data_bytes;
+        let data = self.jobs[idx].spec.data_bytes;
         let cost = self.cfg.network.redistribution_time(data, procs, to);
-        let rs = self.running.get_mut(&job).expect("running");
+        let rs = self.running.get_mut(job).expect("running");
         rs.pending_shrink = Some(to);
         self.engine
             .schedule_at(now + pause + cost, Ev::ReconfigDone { job });
@@ -35,12 +35,12 @@ impl Driver<'_, '_> {
     /// and let the freed nodes admit the shrink's beneficiary.
     pub(crate) fn finish_shrink(&mut self, job: JobId, to: u32, now: SimTime) {
         if self.slurm.shrink_protocol(job, to, now).is_ok() {
-            let rs = self.running.get_mut(&job).expect("running");
+            let rs = self.running.get_mut(job).expect("running");
             rs.procs = to;
         }
         self.update_estimate(job, now);
         self.begin_segment(job, now);
         // Released nodes may admit the boosted beneficiary.
-        self.do_schedule(now);
+        self.request_schedule(now);
     }
 }

@@ -19,12 +19,26 @@ impl StepSeries {
 
     /// Records `value` from instant `t` on. Recording an identical value
     /// is a no-op; recording at an existing timestamp overwrites (the last
-    /// write at an instant wins, matching event processing order).
+    /// write at an instant wins, matching event processing order), and an
+    /// overwrite that lands back on the preceding point's value *removes*
+    /// the point. That last rule makes the series canonical: it depends
+    /// only on the final value at each instant, never on how many
+    /// intermediate same-instant writes a feeder produced — so an
+    /// event-batching driver and an event-at-a-time driver that agree on
+    /// end-of-instant state record bit-identical series (a redundant
+    /// plateau point would otherwise split one integral segment in two
+    /// and shift the sum by an ulp).
     pub fn record(&mut self, t: SimTime, value: f64) {
-        if let Some(last) = self.points.last_mut() {
+        let n = self.points.len();
+        if n > 0 {
+            let last = self.points[n - 1];
             debug_assert!(t.as_micros() >= last.0, "series must advance in time");
             if last.0 == t.as_micros() {
-                last.1 = value;
+                if n >= 2 && self.points[n - 2].1 == value {
+                    self.points.pop();
+                } else {
+                    self.points[n - 1].1 = value;
+                }
                 return;
             }
             if last.1 == value {
@@ -132,13 +146,19 @@ impl StepSeries {
 /// one.
 #[derive(Clone, Debug, Default)]
 pub struct OnlineSeries {
-    /// Integral of the step function over `[0, last.0]`.
+    /// Integral of the step function over `[0, tail[0].0]`: every change
+    /// point *before* the uncommitted tail has its segment folded in.
     acc: f64,
-    /// The most recent retained change point `(micros, value)`; its
-    /// contribution past `last.0` is not yet in `acc`.
-    last: Option<(u64, f64)>,
-    /// Max over superseded change points (the current `last` is folded in
-    /// on query).
+    /// The last one or two retained change points `(micros, value)`, not
+    /// yet folded into `acc`. Two are kept because the most recent point
+    /// can still be *popped* — a same-instant overwrite back to its
+    /// predecessor's value removes it (see [`StepSeries::record`]) — and
+    /// the predecessor's segment must then stay unbroken: committing it
+    /// early and extending with a second product would split one buffered
+    /// multiply into two and lose bit-equality.
+    tail: [(u64, f64); 2],
+    tail_len: u8,
+    /// Max over committed change points (the tail is folded in on query).
     committed_max: f64,
     changes: usize,
 }
@@ -149,24 +169,43 @@ impl OnlineSeries {
     }
 
     /// Records `value` from instant `t` on; same semantics as
-    /// [`StepSeries::record`].
+    /// [`StepSeries::record`], including the canonicalising pop on a
+    /// same-instant overwrite back to the preceding value.
     pub fn record(&mut self, t: SimTime, value: f64) {
-        let Some(last) = &mut self.last else {
-            self.last = Some((t.as_micros(), value));
+        if self.tail_len == 0 {
+            self.tail[0] = (t.as_micros(), value);
+            self.tail_len = 1;
             self.changes = 1;
             return;
-        };
-        debug_assert!(t.as_micros() >= last.0, "series must advance in time");
-        if last.0 == t.as_micros() {
-            last.1 = value;
+        }
+        let li = usize::from(self.tail_len - 1);
+        debug_assert!(
+            t.as_micros() >= self.tail[li].0,
+            "series must advance in time"
+        );
+        if self.tail[li].0 == t.as_micros() {
+            if li == 1 && self.tail[0].1 == value {
+                self.tail_len = 1;
+                self.changes -= 1;
+            } else {
+                self.tail[li].1 = value;
+            }
             return;
         }
-        if last.1 == value {
+        if self.tail[li].1 == value {
             return;
         }
-        self.acc += last.1 * t.since(SimTime(last.0)).as_secs_f64();
-        self.committed_max = self.committed_max.max(last.1);
-        *last = (t.as_micros(), value);
+        if self.tail_len == 2 {
+            // A third point finalises the oldest tail segment: the middle
+            // point survived same-instant overwrites, so its start time is
+            // fixed and the segment can be committed.
+            let (t0, v0) = self.tail[0];
+            self.acc += v0 * SimTime(self.tail[1].0).since(SimTime(t0)).as_secs_f64();
+            self.committed_max = self.committed_max.max(v0);
+            self.tail[0] = self.tail[1];
+        }
+        self.tail[1] = (t.as_micros(), value);
+        self.tail_len = 2;
         self.changes += 1;
     }
 
@@ -174,13 +213,17 @@ impl OnlineSeries {
     /// precede the last recorded change (the buffered equivalent of
     /// integrating past the end of the series).
     pub fn integral_to(&self, to: SimTime) -> f64 {
-        match self.last {
-            None => 0.0,
-            Some((t, v)) => {
-                debug_assert!(to.as_micros() >= t, "integral_to before last change");
-                self.acc + v * to.since(SimTime(t)).as_secs_f64()
-            }
+        if self.tail_len == 0 {
+            return 0.0;
         }
+        let (lt, lv) = self.tail[usize::from(self.tail_len - 1)];
+        debug_assert!(to.as_micros() >= lt, "integral_to before last change");
+        let mut acc = self.acc;
+        if self.tail_len == 2 {
+            let (t0, v0) = self.tail[0];
+            acc += v0 * SimTime(self.tail[1].0).since(SimTime(t0)).as_secs_f64();
+        }
+        acc + lv * to.since(SimTime(lt)).as_secs_f64()
     }
 
     /// Mean value over `[0, to]`.
@@ -196,7 +239,11 @@ impl OnlineSeries {
     /// Maximum recorded value (0 when empty), matching
     /// [`StepSeries::max_value`].
     pub fn max_value(&self) -> f64 {
-        self.committed_max.max(self.last.map_or(0.0, |(_, v)| v))
+        let mut m = self.committed_max;
+        for i in 0..usize::from(self.tail_len) {
+            m = m.max(self.tail[i].1);
+        }
+        m
     }
 
     /// Number of retained change points, matching [`StepSeries::len`].
@@ -206,7 +253,11 @@ impl OnlineSeries {
 
     /// Value currently in effect (0 before the first record).
     pub fn value(&self) -> f64 {
-        self.last.map_or(0.0, |(_, v)| v)
+        if self.tail_len == 0 {
+            0.0
+        } else {
+            self.tail[usize::from(self.tail_len - 1)].1
+        }
     }
 }
 
@@ -270,6 +321,32 @@ mod tests {
         s.record(t(5), 7.0);
         assert_eq!(s.len(), 2);
         assert_eq!(s.value_at(t(5)), 7.0);
+    }
+
+    #[test]
+    fn same_instant_revert_drops_redundant_point() {
+        let mut s = StepSeries::new();
+        let mut o = OnlineSeries::new();
+        for (ts, v) in [(0, 2.0), (5, 6.0), (5, 2.0)] {
+            s.record(t(ts), v);
+            o.record(t(ts), v);
+        }
+        // The instant-5 point reverted to the running value: no trace, and
+        // the integral stays one unbroken segment (bit-exact).
+        assert_eq!(s.len(), 1);
+        assert_eq!(o.changes(), 1);
+        let whole: f64 = 2.0 * 10.0;
+        assert_eq!(s.integral(t(0), t(10)).to_bits(), whole.to_bits());
+        assert_eq!(o.integral_to(t(10)).to_bits(), whole.to_bits());
+        assert_eq!(s.max_value(), 2.0);
+        assert_eq!(o.max_value(), 2.0);
+        // A later differing write at the same instant re-creates the point.
+        s.record(t(5), 9.0);
+        o.record(t(5), 9.0);
+        assert_eq!(s.len(), 2);
+        assert_eq!(o.changes(), 2);
+        assert_eq!(s.value_at(t(7)), 9.0);
+        assert_eq!(o.value(), 9.0);
     }
 
     #[test]

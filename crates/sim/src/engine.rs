@@ -1,6 +1,6 @@
 //! The simulation engine: a clock plus an event queue, with a driver loop.
 
-use crate::queue::{EventKey, EventQueue, CLASS_EARLY, CLASS_NORMAL};
+use crate::queue::{EventKey, EventQueue, QueueKind, CLASS_EARLY, CLASS_NORMAL};
 use crate::time::{SimTime, Span};
 
 /// Handle for a scheduled event (re-exported key type).
@@ -27,9 +27,16 @@ impl<E> Default for Engine<E> {
 
 impl<E> Engine<E> {
     pub fn new() -> Self {
+        Self::with_queue_kind(QueueKind::BinaryHeap)
+    }
+
+    /// An engine whose event queue runs on the given backend. Backends
+    /// are observationally identical (`(time, class, seq)` pop order);
+    /// the timer wheel is the one the arena scheduling path selects.
+    pub fn with_queue_kind(kind: QueueKind) -> Self {
         Engine {
             now: SimTime::ZERO,
-            queue: EventQueue::new(),
+            queue: EventQueue::with_kind(kind),
             processed: 0,
             past_schedules: 0,
         }
@@ -108,6 +115,15 @@ impl<E> Engine<E> {
     /// Time of the next pending event without consuming it.
     pub fn peek_time(&mut self) -> Option<SimTime> {
         self.queue.peek_time()
+    }
+
+    /// `(time, class)` of the next pending event without consuming it.
+    /// The class is [`CLASS_EARLY`] for events scheduled through
+    /// [`Engine::schedule_at_early`]; drivers use it to tell whether the
+    /// head of the queue is a same-instant arrival (extend the batch
+    /// window) or an ordinary event (flush deferred scheduling work).
+    pub fn peek_head(&mut self) -> Option<(SimTime, u8)> {
+        self.queue.peek_head()
     }
 
     /// Pops the next event, advancing the clock to its timestamp.

@@ -32,16 +32,24 @@ use dmr_sim::SimTime;
 
 use crate::job::{Job, JobId};
 
+/// Index key of one pending job: `(boosted first, submit ascending, seq
+/// ascending)`, with the id carried as payload. The submission sequence
+/// number ([`Job::seq`]) is unique, so the key is total — and stable
+/// even when arena slot recycling makes raw [`JobId`] values
+/// non-monotonic.
+pub(crate) type PendingKey = (Reverse<bool>, SimTime, u64, JobId);
+
 /// Ordered index of the pending set.
 ///
-/// Iteration order is `(boosted first, submit ascending, id ascending)` —
-/// the multifactor order whenever the age factor is the only live weight
-/// and no pending job carries a non-zero base priority. The index also
-/// counts the jobs that would break that equality (`nonzero_base`) so the
-/// scheduler can detect, in O(1), when it must fall back to the sort.
+/// Iteration order is `(boosted first, submit ascending, seq ascending)`
+/// — the multifactor order whenever the age factor is the only live
+/// weight and no pending job carries a non-zero base priority. The index
+/// also counts the jobs that would break that equality (`nonzero_base`)
+/// so the scheduler can detect, in O(1), when it must fall back to the
+/// sort.
 #[derive(Debug, Default)]
 pub(crate) struct PendingIndex {
-    set: BTreeSet<(Reverse<bool>, SimTime, JobId)>,
+    set: BTreeSet<PendingKey>,
     /// Pending jobs with `base_priority != 0` (index-exactness veto).
     nonzero_base: usize,
     /// Pending resizer jobs (lets `pending_queue` skip its filter pass
@@ -50,8 +58,8 @@ pub(crate) struct PendingIndex {
 }
 
 impl PendingIndex {
-    fn key(job: &Job) -> (Reverse<bool>, SimTime, JobId) {
-        (Reverse(job.boosted), job.submit_time, job.id)
+    fn key(job: &Job) -> PendingKey {
+        (Reverse(job.boosted), job.submit_time, job.seq, job.id)
     }
 
     pub(crate) fn insert(&mut self, job: &Job) {
@@ -77,10 +85,10 @@ impl PendingIndex {
     }
 
     /// Re-keys a pending job whose `boosted` flag just flipped to `true`.
-    pub(crate) fn reboost(&mut self, submit: SimTime, id: JobId) {
-        let removed = self.set.remove(&(Reverse(false), submit, id));
+    pub(crate) fn reboost(&mut self, submit: SimTime, seq: u64, id: JobId) {
+        let removed = self.set.remove(&(Reverse(false), submit, seq, id));
         debug_assert!(removed, "{id:?} not indexed for reboost");
-        self.set.insert((Reverse(true), submit, id));
+        self.set.insert((Reverse(true), submit, seq, id));
     }
 
     pub(crate) fn nonzero_base(&self) -> usize {
@@ -97,7 +105,21 @@ impl PendingIndex {
 
     /// Pending ids in scheduling order (no priorities computed, no sort).
     pub(crate) fn ids(&self) -> impl Iterator<Item = JobId> + '_ {
-        self.set.iter().map(|&(_, _, id)| id)
+        self.set.iter().map(|&(.., id)| id)
+    }
+
+    /// The first key strictly after `prev` (`None` starts at the front)
+    /// — a resumable cursor over the scheduling order. The arena hot
+    /// path walks the queue this way instead of materialising the whole
+    /// order, so a pass that starts `k` of `n` pending jobs costs
+    /// O(k log n) rather than O(n), and the cursor survives the removal
+    /// of every key it has already visited.
+    pub(crate) fn next_after(&self, prev: Option<PendingKey>) -> Option<PendingKey> {
+        use std::ops::Bound::{Excluded, Unbounded};
+        match prev {
+            None => self.set.first().copied(),
+            Some(key) => self.set.range((Excluded(key), Unbounded)).next().copied(),
+        }
     }
 }
 

@@ -5,7 +5,14 @@ use std::fmt;
 use dmr_sim::{SimTime, Span};
 
 /// Batch-job identifier, unique within one [`crate::slurm::Slurm`]
-/// instance and monotonically increasing with submission order.
+/// instance.
+///
+/// The raw value packs an arena address: the low 32 bits are the slot in
+/// the scheduler's [`crate::arena::JobArena`] and the high 32 bits a
+/// generation counter bumped each time the slot is recycled, so a stale
+/// id from a pruned job can never alias a live one. Ids are therefore
+/// *not* monotonic in submission order once slots recycle — ordering-
+/// sensitive comparisons use [`Job::seq`] instead.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct JobId(pub u64);
 
@@ -13,6 +20,23 @@ impl JobId {
     /// The raw id, used as the cluster allocation owner tag.
     pub fn owner_tag(self) -> u64 {
         self.0
+    }
+
+    /// Builds an id from an arena address.
+    pub(crate) fn pack(generation: u32, slot: u32) -> JobId {
+        JobId(((generation as u64) << 32) | slot as u64)
+    }
+
+    /// Arena slot (low 32 bits). Public so callers keeping side tables
+    /// about jobs (e.g. the simulation driver's per-job run state) can
+    /// use the same dense addressing.
+    pub fn slot(self) -> u32 {
+        self.0 as u32
+    }
+
+    /// Arena generation (high 32 bits); see [`JobId::slot`].
+    pub fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
     }
 }
 
@@ -172,6 +196,16 @@ impl JobRequest {
 #[derive(Clone, Debug)]
 pub struct Job {
     pub id: JobId,
+    /// Submission sequence number: strictly monotonic in submission
+    /// order, the scheduler's stable tie-break. ([`JobId`] values stop
+    /// being monotonic once arena slots recycle, so every ordering-
+    /// sensitive comparison uses this instead.)
+    pub seq: u64,
+    /// Nodes detached from this (resizer) job mid-expand-protocol and
+    /// awaiting reattachment to the original job; `0` when not detached.
+    /// Cancelling a detached resizer must *not* free its nodes — that is
+    /// protocol step 3.
+    pub detached_nodes: u32,
     pub name: String,
     pub state: JobState,
     /// Current node request (updated by shrink/expand protocol steps).
@@ -289,6 +323,8 @@ mod tests {
     fn accounting_spans() {
         let mut j = Job {
             id: JobId(1),
+            seq: 0,
+            detached_nodes: 0,
             name: "t".into(),
             state: JobState::Pending,
             requested_nodes: 4,

@@ -26,12 +26,14 @@
 //! the caller, so the same scheduler drives the discrete-event simulations
 //! in `dmr-core` and the unit tests here.
 
+pub mod arena;
 pub(crate) mod index;
 pub mod job;
 pub mod policy;
 pub mod priority;
 pub mod slurm;
 
+pub use arena::JobArena;
 pub use job::{Dependency, Job, JobId, JobRequest, JobState, ResizeEnvelope};
 pub use policy::{
     Algorithm1, FairShare, PolicyKind, ResizeAction, ResizePolicy, UtilizationTarget,

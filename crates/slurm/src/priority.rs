@@ -76,6 +76,8 @@ mod tests {
     fn job(id: u64, nodes: u32, submit: u64) -> Job {
         Job {
             id: JobId(id),
+            seq: id,
+            detached_nodes: 0,
             name: format!("j{id}"),
             state: JobState::Pending,
             requested_nodes: nodes,

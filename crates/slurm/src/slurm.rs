@@ -2,31 +2,39 @@
 //! protocol of §III.
 
 use std::cell::RefCell;
-use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use dmr_cluster::{Cluster, NodeId};
 use dmr_sim::{SimTime, Span};
 
-use crate::index::{PendingIndex, ResizerIndex, RunningIndex};
+use crate::arena::JobArena;
+use crate::index::{PendingIndex, PendingKey, ResizerIndex, RunningIndex};
 use crate::job::{Dependency, Job, JobId, JobRequest, JobState};
 use crate::policy::{PolicyKind, ResizePolicy};
 use crate::priority::MultifactorConfig;
 
 /// Which hot-path implementation the scheduler runs on.
 ///
-/// [`SchedIndex::Indexed`] (the default) serves pending order, backfill
-/// reservations, dead-resizer reaping and node selection from the
-/// incremental indices (the crate-private `index` module).
-/// [`SchedIndex::ScanReference`]
+/// [`SchedIndex::Arena`] (the default) adds, on top of the incremental
+/// indices, slab-arena job storage ([`crate::arena::JobArena`]), a
+/// cursor walk of the pending index in [`Slurm::schedule`] (O(starts)
+/// instead of O(pending) per pass) and precise queue-cache invalidation
+/// (a completion that removes nothing from the pending set keeps the
+/// memoized order alive). [`SchedIndex::Indexed`] is the previous
+/// index-served hot path, kept costed exactly as before so benchmarks
+/// can measure the arena win against it. [`SchedIndex::ScanReference`]
 /// keeps the pre-index full-scan implementations alive as the
-/// *equivalence oracle*: both modes produce bit-identical scheduling
+/// *equivalence oracle*: all modes produce bit-identical scheduling
 /// decisions (pinned by `tests/index_equivalence.rs`); only the cost
-/// differs. Benchmarks run both to measure the index win.
+/// differs. Benchmarks run all of them to measure each step's win.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum SchedIndex {
-    /// Incremental indices — O(log n) mutations, no per-pass scans.
+    /// Slab job storage + pending-index cursor walk + precise cache
+    /// invalidation (the fastest path).
     #[default]
+    Arena,
+    /// Incremental indices with per-pass order materialisation (the
+    /// previous hot path, kept as the benchmark baseline).
     Indexed,
     /// Pre-index scans and sorts on every pass (reference / oracle).
     ScanReference,
@@ -74,7 +82,7 @@ impl SlurmConfig {
             shrink_boost: true,
             policy: PolicyKind::Algorithm1,
             retain_completed: true,
-            sched_index: SchedIndex::Indexed,
+            sched_index: SchedIndex::Arena,
         }
     }
 }
@@ -129,11 +137,13 @@ impl std::error::Error for ExpandError {}
 /// The workload manager.
 pub struct Slurm {
     cluster: Cluster,
-    jobs: BTreeMap<JobId, Job>,
-    /// Resizer jobs whose nodes were detached ("updated to 0 nodes",
-    /// protocol step 2) and await reattachment to the original job.
-    detached: BTreeMap<JobId, u32>,
-    next_id: u64,
+    /// Job records in a generation-checked slab ([`JobArena`]): O(1)
+    /// lookups on the submit/start/complete path, slots recycled once a
+    /// record is pruned. (The detach mark of expand-protocol step 2
+    /// lives on the record itself, [`Job::detached_nodes`].)
+    jobs: JobArena,
+    /// Next submission sequence number ([`Job::seq`]).
+    next_seq: u64,
     pub config: SlurmConfig,
     /// The installed reconfiguration decision procedure (§IV plug-in).
     /// `None` only transiently, while the policy is consulted.
@@ -178,9 +188,8 @@ impl Slurm {
         cluster.use_scan_selection(config.sched_index == SchedIndex::ScanReference);
         Slurm {
             cluster,
-            jobs: BTreeMap::new(),
-            detached: BTreeMap::new(),
-            next_id: 1,
+            jobs: JobArena::new(),
+            next_seq: 0,
             policy: Some(config.policy.build()),
             config,
             queue_cache: RefCell::new(None),
@@ -227,12 +236,15 @@ impl Slurm {
     }
 
     pub fn job(&self, id: JobId) -> Option<&Job> {
-        self.jobs.get(&id)
+        self.jobs.get(id)
     }
 
-    /// All job records (submission order).
+    /// All job records, in arena storage order (equal to submission
+    /// order while no record has been pruned — in particular always
+    /// under [`SlurmConfig::retain_completed`]). Order-sensitive callers
+    /// should sort by [`Job::seq`].
     pub fn jobs(&self) -> impl Iterator<Item = &Job> {
-        self.jobs.values()
+        self.jobs.iter()
     }
 
     /// Number of running jobs. O(1): served from the running index,
@@ -259,17 +271,26 @@ impl Slurm {
 
     /// Submits a job; it becomes eligible at the next [`Slurm::schedule`].
     pub fn submit(&mut self, req: JobRequest, now: SimTime) -> JobId {
-        let id = JobId(self.next_id);
-        self.next_id += 1;
-        let job = Job {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let default_runtime = self.config.default_expected_runtime;
+        let parent_running = match req.dependency {
+            Some(Dependency::ExpandOf(parent)) => self
+                .jobs
+                .get(parent)
+                .is_some_and(|p| p.state == JobState::Running),
+            None => false,
+        };
+        let dependency = req.dependency;
+        let id = self.jobs.insert_with(|id| Job {
             id,
+            seq,
+            detached_nodes: 0,
             name: req.name,
             state: JobState::Pending,
             requested_nodes: req.nodes,
             time_limit: req.time_limit,
-            expected_runtime: req
-                .expected_runtime
-                .unwrap_or(self.config.default_expected_runtime),
+            expected_runtime: req.expected_runtime.unwrap_or(default_runtime),
             dependency: req.dependency,
             base_priority: req.base_priority,
             boosted: false,
@@ -278,16 +299,11 @@ impl Slurm {
             start_time: None,
             end_time: None,
             reconfigurations: 0,
-        };
-        self.pending_index.insert(&job);
-        if let Some(Dependency::ExpandOf(parent)) = job.dependency {
-            let parent_running = self
-                .jobs
-                .get(&parent)
-                .is_some_and(|p| p.state == JobState::Running);
+        });
+        self.pending_index.insert(&self.jobs[id]);
+        if let Some(Dependency::ExpandOf(parent)) = dependency {
             self.resizer_index.register(parent, id, parent_running);
         }
-        self.jobs.insert(id, job);
         self.invalidate_queue_cache();
         id
     }
@@ -296,12 +312,12 @@ impl Slurm {
     /// shrink benefits "will be assigned the maximum priority in order to
     /// foster its execution").
     pub fn boost(&mut self, id: JobId) {
-        if let Some(j) = self.jobs.get_mut(&id) {
+        if let Some(j) = self.jobs.get_mut(id) {
             let reindex = j.state == JobState::Pending && !j.boosted;
             j.boosted = true;
-            let (submit, jid) = (j.submit_time, j.id);
+            let (submit, seq, jid) = (j.submit_time, j.seq, j.id);
             if reindex {
-                self.pending_index.reboost(submit, jid);
+                self.pending_index.reboost(submit, seq, jid);
             }
             self.invalidate_queue_cache();
         }
@@ -310,7 +326,7 @@ impl Slurm {
     /// Updates the backfill runtime estimate of a job (the simulation
     /// driver refreshes it after reconfigurations).
     pub fn set_expected_runtime(&mut self, id: JobId, estimate: Span) {
-        if let Some(j) = self.jobs.get_mut(&id) {
+        if let Some(j) = self.jobs.get_mut(id) {
             j.expected_runtime = estimate;
             if j.state == JobState::Running {
                 if let Some(start) = j.start_time {
@@ -331,12 +347,25 @@ impl Slurm {
     /// live weight and no pending job carries a non-zero base priority.
     /// Age grows at the same rate for every pending job, and the
     /// priority rounding is monotone in age, so `(priority desc, submit
-    /// asc, id asc)` collapses to the static `(boosted, submit, id)` key
-    /// — order can then only change at mutation points, never with time.
+    /// asc, seq asc)` collapses to the static `(boosted, submit, seq)`
+    /// key — order can then only change at mutation points, never with
+    /// time.
     fn index_is_exact(&self) -> bool {
-        self.config.sched_index == SchedIndex::Indexed
-            && self.config.multifactor.weight_size == 0
+        matches!(
+            self.config.sched_index,
+            SchedIndex::Arena | SchedIndex::Indexed
+        ) && self.config.multifactor.weight_size == 0
             && self.pending_index.nonzero_base() == 0
+    }
+
+    /// Whether the pending order is *static between mutations* — i.e.
+    /// the index key order is provably the multifactor order at every
+    /// instant (the private `index_is_exact` check). Public so drivers can
+    /// tell when ordering-sensitive optimisations (e.g. batching all
+    /// same-instant arrivals into one scheduling pass, which relies on
+    /// fresh non-boosted submissions sorting strictly last) are sound.
+    pub fn pending_order_is_static(&self) -> bool {
+        self.index_is_exact()
     }
 
     fn pending_ids_by_priority(&self, now: SimTime) -> Arc<[JobId]> {
@@ -370,14 +399,14 @@ impl Slurm {
     fn pending_order_scan(&self, now: SimTime) -> Vec<JobId> {
         let mut pend: Vec<(&Job, u64)> = self
             .jobs
-            .values()
+            .iter()
             .filter(|j| j.state == JobState::Pending)
             .map(|j| (j, self.config.multifactor.priority(j, now)))
             .collect();
         pend.sort_by(|(a, pa), (b, pb)| {
             pb.cmp(pa)
                 .then(a.submit_time.cmp(&b.submit_time))
-                .then(a.id.cmp(&b.id))
+                .then(a.seq.cmp(&b.seq))
         });
         pend.into_iter().map(|(j, _)| j.id).collect()
     }
@@ -402,7 +431,7 @@ impl Slurm {
             order
                 .iter()
                 .copied()
-                .filter(|id| !self.jobs[id].is_resizer())
+                .filter(|&id| !self.jobs[id].is_resizer())
                 .collect::<Vec<JobId>>()
                 .into()
         };
@@ -417,7 +446,7 @@ impl Slurm {
             None => true,
             Some(Dependency::ExpandOf(parent)) => self
                 .jobs
-                .get(&parent)
+                .get(parent)
                 .is_some_and(|p| p.state == JobState::Running),
         }
     }
@@ -448,7 +477,7 @@ impl Slurm {
     fn reservation_for_scan(&self, need: u32, now: SimTime) -> (SimTime, u32) {
         let mut ends: Vec<(SimTime, u32)> = self
             .jobs
-            .values()
+            .iter()
             .filter(|j| j.state == JobState::Running)
             .map(|j| {
                 (
@@ -469,12 +498,12 @@ impl Slurm {
     }
 
     fn start_job(&mut self, id: JobId, now: SimTime) -> JobStart {
-        let need = self.jobs[&id].requested_nodes;
+        let need = self.jobs[id].requested_nodes;
         let nodes = self
             .cluster
             .allocate(need, id.owner_tag())
             .expect("caller verified free nodes");
-        let job = self.jobs.get_mut(&id).expect("job exists");
+        let job = self.jobs.get_mut(id).expect("job exists");
         self.pending_index.remove(job);
         job.state = JobState::Running;
         job.start_time = Some(now);
@@ -500,7 +529,7 @@ impl Slurm {
             return;
         }
         for id in self.resizer_index.take_dead() {
-            let Some(j) = self.jobs.get(&id) else {
+            let Some(j) = self.jobs.get(id) else {
                 continue;
             };
             if j.state != JobState::Pending || !j.is_resizer() {
@@ -524,7 +553,7 @@ impl Slurm {
         // Dependency hygiene: resizers of finished jobs are dead.
         let dead: Vec<JobId> = self
             .jobs
-            .values()
+            .iter()
             .filter(|j| {
                 j.state == JobState::Pending && j.is_resizer() && !self.dependency_satisfied(j)
             })
@@ -543,13 +572,42 @@ impl Slurm {
     /// jobs whose original job ended.
     pub fn schedule(&mut self, now: SimTime) -> Vec<JobStart> {
         self.reap_dead_resizers(now);
+        if self.config.sched_index == SchedIndex::Arena && self.index_is_exact() {
+            return self.schedule_walk(now);
+        }
         let order = self.pending_ids_by_priority(now);
         let mut started = Vec::new();
         for &id in order.iter() {
-            let job = &self.jobs[&id];
+            let job = &self.jobs[id];
             if !self.dependency_satisfied(job) {
                 // Cannot run regardless of resources; does not block the
                 // queue.
+                continue;
+            }
+            if self.cluster.can_allocate(job.requested_nodes) {
+                started.push(self.start_job(id, now));
+            } else {
+                break;
+            }
+        }
+        started
+    }
+
+    /// The arena-mode scheduling pass: walks the [`PendingIndex`]
+    /// through a resumable cursor instead of materialising the whole
+    /// order, so a pass that starts `k` of `n` pending jobs costs
+    /// O(k log n). Visit order is the exact index key order — identical
+    /// to the slice the materialising path would have walked (the only
+    /// mid-walk mutation, [`Slurm::start_job`], removes keys the cursor
+    /// has already passed).
+    fn schedule_walk(&mut self, now: SimTime) -> Vec<JobStart> {
+        let mut started = Vec::new();
+        let mut cursor: Option<PendingKey> = None;
+        while let Some(key) = self.pending_index.next_after(cursor) {
+            cursor = Some(key);
+            let (.., id) = key;
+            let job = &self.jobs[id];
+            if !self.dependency_satisfied(job) {
                 continue;
             }
             if self.cluster.can_allocate(job.requested_nodes) {
@@ -570,7 +628,7 @@ impl Slurm {
         let mut started = Vec::new();
         let mut reservation: Option<(SimTime, u32)> = None;
         for &id in order.iter() {
-            let job = &self.jobs[&id];
+            let job = &self.jobs[id];
             if !self.dependency_satisfied(job) {
                 continue;
             }
@@ -588,7 +646,7 @@ impl Slurm {
                 }
                 (Some((shadow, extra)), true) => {
                     // Backfill: must not delay the reservation holder.
-                    let est_end = now + self.jobs[&id].expected_runtime;
+                    let est_end = now + self.jobs[id].expected_runtime;
                     if est_end <= *shadow {
                         started.push(self.start_job(id, now));
                     } else if need <= *extra {
@@ -604,7 +662,7 @@ impl Slurm {
 
     /// Marks a running job complete and frees its nodes.
     pub fn complete(&mut self, id: JobId, now: SimTime) {
-        let Some(job) = self.jobs.get_mut(&id) else {
+        let Some(job) = self.jobs.get_mut(id) else {
             return;
         };
         debug_assert_eq!(job.state, JobState::Running, "completing a non-running job");
@@ -615,19 +673,26 @@ impl Slurm {
         if was_pending {
             // Tolerated in release builds only (the debug assert above
             // fires first): keep the index consistent with the scan.
-            self.pending_index.remove(&self.jobs[&id]);
+            self.pending_index.remove(&self.jobs[id]);
         }
         self.running_index.remove(id);
         if let Some(Dependency::ExpandOf(parent)) = dep {
             self.resizer_index.resizer_terminal(parent, id);
         }
         self.resizer_index.parent_terminal(id);
-        self.invalidate_queue_cache();
+        // Precise invalidation (arena mode): completing a *running* job
+        // removes nothing from the pending set and touches no priority
+        // input, so the memoized pending order stays valid. (Orphaned
+        // resizers are reaped via `cancel`, which does invalidate.) The
+        // older paths invalidate unconditionally, exactly as before.
+        if was_pending || self.config.sched_index != SchedIndex::Arena {
+            self.invalidate_queue_cache();
+        }
         // A job that shrank to zero nodes cannot exist (envelope min >= 1),
         // but release defensively.
         let _ = self.cluster.release_all(id.owner_tag());
         if !self.config.retain_completed {
-            self.jobs.remove(&id);
+            self.jobs.remove(id);
         }
     }
 
@@ -635,7 +700,7 @@ impl Slurm {
     /// freed — that is the point of protocol step 3: cancelling the hollow
     /// resizer job keeps its allocation parked for reattachment.
     pub fn cancel(&mut self, id: JobId, now: SimTime) {
-        let Some(job) = self.jobs.get_mut(&id) else {
+        let Some(job) = self.jobs.get_mut(id) else {
             return;
         };
         if job.state.is_terminal() {
@@ -643,11 +708,12 @@ impl Slurm {
         }
         let was_running = job.state == JobState::Running;
         let was_pending = job.state == JobState::Pending;
+        let detached = job.detached_nodes != 0;
         job.state = JobState::Cancelled;
         job.end_time = Some(now);
         let dep = job.dependency;
         if was_pending {
-            self.pending_index.remove(&self.jobs[&id]);
+            self.pending_index.remove(&self.jobs[id]);
         }
         if was_running {
             self.running_index.remove(id);
@@ -657,14 +723,14 @@ impl Slurm {
         }
         self.resizer_index.parent_terminal(id);
         self.invalidate_queue_cache();
-        if was_running && !self.detached.contains_key(&id) {
+        if was_running && !detached {
             let _ = self.cluster.release_all(id.owner_tag());
         }
-        // The record itself is never consulted after cancellation (the
-        // detach mark and node ownership live in their own tables), so it
-        // can be dropped with the same retention rule as completions.
+        // The record itself is never consulted after cancellation (node
+        // ownership lives in the cluster tables), so it can be dropped
+        // with the same retention rule as completions.
         if !self.config.retain_completed {
-            self.jobs.remove(&id);
+            self.jobs.remove(id);
         }
     }
 
@@ -684,7 +750,7 @@ impl Slurm {
         to: u32,
         now: SimTime,
     ) -> Result<Vec<NodeId>, ExpandError> {
-        let job = self.jobs.get(&id).ok_or(ExpandError::UnknownJob(id))?;
+        let job = self.jobs.get(id).ok_or(ExpandError::UnknownJob(id))?;
         if job.state != JobState::Running {
             return Err(ExpandError::NotRunning(id));
         }
@@ -727,7 +793,7 @@ impl Slurm {
         rj: JobId,
         now: SimTime,
     ) -> Result<(JobId, Vec<NodeId>), ExpandError> {
-        let rjob = self.jobs.get(&rj).ok_or(ExpandError::UnknownJob(rj))?;
+        let rjob = self.jobs.get(rj).ok_or(ExpandError::UnknownJob(rj))?;
         if rjob.state != JobState::Running {
             return Err(ExpandError::NotRunning(rj));
         }
@@ -736,13 +802,17 @@ impl Slurm {
         };
         let delta = self.cluster.held_by(rj.owner_tag());
         // Step 2: update B to zero nodes — the allocation detaches from B.
-        self.detached.insert(rj, delta);
-        if let Some(j) = self.jobs.get_mut(&rj) {
+        if let Some(j) = self.jobs.get_mut(rj) {
             j.requested_nodes = 0;
+            j.detached_nodes = delta;
         }
         // Step 3: cancel B (nodes stay parked because of the detach mark).
         self.cancel(rj, now);
-        self.detached.remove(&rj);
+        if let Some(j) = self.jobs.get_mut(rj) {
+            // Record may already be pruned (retention off); clear the
+            // mark when it survives.
+            j.detached_nodes = 0;
+        }
         // Step 4: update A to N_A + N_B — reattach.
         let moved = self
             .cluster
@@ -751,7 +821,7 @@ impl Slurm {
         debug_assert_eq!(moved.len() as u32, delta);
         self.running_index
             .set_nodes(original, self.cluster.held_by(original.owner_tag()));
-        if let Some(j) = self.jobs.get_mut(&original) {
+        if let Some(j) = self.jobs.get_mut(original) {
             j.requested_nodes = self.cluster.held_by(original.owner_tag());
             j.reconfigurations += 1;
         }
@@ -764,7 +834,7 @@ impl Slurm {
     /// Aborts a queued expansion: cancels the pending resizer job (the
     /// timeout path of §V-B1).
     pub fn abort_expand(&mut self, rj: JobId, now: SimTime) {
-        if let Some(j) = self.jobs.get(&rj) {
+        if let Some(j) = self.jobs.get(rj) {
             if j.state == JobState::Pending {
                 self.cancel(rj, now);
             }
@@ -781,7 +851,7 @@ impl Slurm {
         to: u32,
         now: SimTime,
     ) -> Result<Vec<NodeId>, ExpandError> {
-        let job = self.jobs.get(&id).ok_or(ExpandError::UnknownJob(id))?;
+        let job = self.jobs.get(id).ok_or(ExpandError::UnknownJob(id))?;
         if job.state != JobState::Running {
             return Err(ExpandError::NotRunning(id));
         }
@@ -795,7 +865,7 @@ impl Slurm {
             .expect("running job owns its nodes");
         let _ = now;
         self.running_index.set_nodes(id, to);
-        if let Some(j) = self.jobs.get_mut(&id) {
+        if let Some(j) = self.jobs.get_mut(id) {
             j.requested_nodes = to;
             j.reconfigurations += 1;
         }
@@ -809,7 +879,7 @@ impl Slurm {
         self.cluster.check_invariants()?;
         let pending: Vec<JobId> = self
             .jobs
-            .values()
+            .iter()
             .filter(|j| j.state == JobState::Pending)
             .map(|j| j.id)
             .collect();
@@ -824,7 +894,7 @@ impl Slurm {
         }
         let nonzero = pending
             .iter()
-            .filter(|id| self.jobs[id].base_priority != 0)
+            .filter(|&&id| self.jobs[id].base_priority != 0)
             .count();
         if nonzero != self.pending_index.nonzero_base() {
             return Err(format!(
@@ -834,7 +904,7 @@ impl Slurm {
         }
         let resizers = pending
             .iter()
-            .filter(|id| self.jobs[id].is_resizer())
+            .filter(|&&id| self.jobs[id].is_resizer())
             .count();
         if resizers != self.pending_index.pending_resizers() {
             return Err(format!(
@@ -844,7 +914,7 @@ impl Slurm {
         }
         let running: Vec<&Job> = self
             .jobs
-            .values()
+            .iter()
             .filter(|j| j.state == JobState::Running)
             .collect();
         if running.len() != self.running_index.len() {

@@ -1,17 +1,24 @@
 //! Property tests for [`dmr::sim::EventQueue`]: time-ordered pops, FIFO
 //! among same-instant events, and cancellation that never resurrects or
 //! leaks entries — the invariants the whole discrete-event driver (and
-//! therefore sweep determinism) rests on.
+//! therefore sweep determinism) rests on. Every invariant runs against
+//! *both* backends (the binary heap and the hierarchical timer wheel),
+//! and a dedicated cross-backend property drives one random op sequence
+//! — pushes in both event classes, tombstone cancellations, interleaved
+//! pops that trigger compaction — through both queues and requires the
+//! full pop traces to be identical.
 
-use dmr::sim::queue::EventQueue;
+use dmr::sim::queue::{EventQueue, QueueKind, CLASS_EARLY, CLASS_NORMAL};
 use dmr::sim::SimTime;
 use proptest::prelude::*;
+
+const KINDS: [QueueKind; 2] = [QueueKind::BinaryHeap, QueueKind::TimerWheel];
 
 /// Replays a random schedule: `ops` is a list of (time, cancel_hint)
 /// pairs; every pair pushes an event, and `cancel_hint` (mod pushed so
 /// far) optionally cancels an earlier one.
-fn replay(ops: &[(u64, u64, bool)]) -> (Vec<(SimTime, usize)>, usize) {
-    let mut q: EventQueue<usize> = EventQueue::new();
+fn replay(kind: QueueKind, ops: &[(u64, u64, bool)]) -> (Vec<(SimTime, usize)>, usize) {
+    let mut q: EventQueue<usize> = EventQueue::with_kind(kind);
     let mut keys = Vec::new();
     let mut cancelled = std::collections::HashSet::new();
     for (seq, &(time, hint, do_cancel)) in ops.iter().enumerate() {
@@ -37,104 +44,163 @@ proptest! {
     fn pops_are_time_ordered_and_fifo_within_ties(
         ops in proptest::collection::vec((0u64..50, 0u64..100, proptest::bool::ANY), 1..60),
     ) {
-        let (popped, live) = replay(&ops);
-        // Every live event pops exactly once; cancelled ones never do.
-        prop_assert_eq!(popped.len(), live);
-        for win in popped.windows(2) {
-            let (t0, e0) = win[0];
-            let (t1, e1) = win[1];
-            // Non-decreasing time.
-            prop_assert!(t0 <= t1, "queue went backwards: {:?} then {:?}", t0, t1);
-            // FIFO among equal instants: insertion sequence must rise.
-            if t0 == t1 {
-                prop_assert!(e0 < e1, "tie at {:?} popped {} before {}", t0, e0, e1);
+        for kind in KINDS {
+            let (popped, live) = replay(kind, &ops);
+            // Every live event pops exactly once; cancelled ones never do.
+            prop_assert_eq!(popped.len(), live, "{:?}", kind);
+            for win in popped.windows(2) {
+                let (t0, e0) = win[0];
+                let (t1, e1) = win[1];
+                // Non-decreasing time.
+                prop_assert!(t0 <= t1, "{:?} went backwards: {:?} then {:?}", kind, t0, t1);
+                // FIFO among equal instants: insertion sequence must rise.
+                if t0 == t1 {
+                    prop_assert!(e0 < e1, "{:?} tie at {:?} popped {} before {}", kind, t0, e0, e1);
+                }
             }
-        }
-        // Each popped event carries the time it was pushed with.
-        for &(t, e) in &popped {
-            prop_assert_eq!(t, SimTime(ops[e].0));
+            // Each popped event carries the time it was pushed with.
+            for &(t, e) in &popped {
+                prop_assert_eq!(t, SimTime(ops[e].0));
+            }
         }
     }
 
     #[test]
-    fn compaction_bounds_heap_and_preserves_pop_order(
+    fn compaction_bounds_storage_and_preserves_pop_order(
         ops in proptest::collection::vec(
             (0u64..50, 0u64..100, proptest::bool::ANY, proptest::bool::ANY),
             1..120,
         ),
     ) {
-        // Reference model: a plain list of (time, seq, alive) entries
-        // that never compacts — pops take the minimum (time, seq) alive
-        // entry, exactly the queue's CLASS_NORMAL contract.
-        let mut model: Vec<(u64, usize, bool)> = Vec::new();
-        let model_pop = |model: &mut Vec<(u64, usize, bool)>| -> Option<(SimTime, usize)> {
-            let best = model
-                .iter()
-                .enumerate()
-                .filter(|(_, &(_, _, alive))| alive)
-                .min_by_key(|(_, &(time, seq, _))| (time, seq))
-                .map(|(i, _)| i)?;
-            model[best].2 = false;
-            Some((SimTime(model[best].0), model[best].1))
-        };
+        for kind in KINDS {
+            // Reference model: a plain list of (time, seq, alive) entries
+            // that never compacts — pops take the minimum (time, seq)
+            // alive entry, exactly the queue's CLASS_NORMAL contract.
+            let mut model: Vec<(u64, usize, bool)> = Vec::new();
+            let model_pop = |model: &mut Vec<(u64, usize, bool)>| -> Option<(SimTime, usize)> {
+                let best = model
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &(_, _, alive))| alive)
+                    .min_by_key(|(_, &(time, seq, _))| (time, seq))
+                    .map(|(i, _)| i)?;
+                model[best].2 = false;
+                Some((SimTime(model[best].0), model[best].1))
+            };
 
-        let mut q: EventQueue<usize> = EventQueue::new();
-        let mut keys = Vec::new();
-        for (seq, &(time, hint, do_cancel, do_pop)) in ops.iter().enumerate() {
-            keys.push(q.push(SimTime(time), seq));
-            model.push((time, seq, true));
-            if do_cancel {
-                let victim = (hint as usize) % keys.len();
-                if q.cancel(keys[victim]).is_some() {
-                    model[victim].2 = false;
+            let mut q: EventQueue<usize> = EventQueue::with_kind(kind);
+            let mut keys = Vec::new();
+            for (seq, &(time, hint, do_cancel, do_pop)) in ops.iter().enumerate() {
+                keys.push(q.push(SimTime(time), seq));
+                model.push((time, seq, true));
+                if do_cancel {
+                    let victim = (hint as usize) % keys.len();
+                    if q.cancel(keys[victim]).is_some() {
+                        model[victim].2 = false;
+                    }
+                }
+                if do_pop {
+                    prop_assert_eq!(q.pop(), model_pop(&mut model));
+                }
+                // The compaction bound: dead stored entries never
+                // outnumber live ones, after every single operation.
+                prop_assert!(
+                    q.heap_len() <= 2 * q.len(),
+                    "{:?} stored {} exceeds 2x live {} after op {}",
+                    kind,
+                    q.heap_len(),
+                    q.len(),
+                    seq
+                );
+            }
+            // Drain both to the end: order identical to the
+            // never-compacting reference, bound maintained throughout.
+            loop {
+                let got = q.pop();
+                prop_assert_eq!(got, model_pop(&mut model));
+                prop_assert!(q.heap_len() <= 2 * q.len());
+                if got.is_none() {
+                    break;
                 }
             }
-            if do_pop {
-                prop_assert_eq!(q.pop(), model_pop(&mut model));
-            }
-            // The compaction bound: dead heap entries never outnumber
-            // live ones, after every single operation.
-            prop_assert!(
-                q.heap_len() <= 2 * q.len(),
-                "heap {} exceeds 2x live {} after op {}",
-                q.heap_len(),
-                q.len(),
-                seq
-            );
+            prop_assert_eq!(q.heap_len(), 0, "drained {:?} retains tombstones", kind);
         }
-        // Drain both to the end: order identical to the never-compacting
-        // reference, bound maintained throughout.
-        loop {
-            let got = q.pop();
-            prop_assert_eq!(got, model_pop(&mut model));
-            prop_assert!(q.heap_len() <= 2 * q.len());
-            if got.is_none() {
-                break;
-            }
-        }
-        prop_assert_eq!(q.heap_len(), 0, "drained queue retains tombstones");
     }
 
     #[test]
     fn len_tracks_live_entries_through_cancellation(
         ops in proptest::collection::vec((0u64..20, 0u64..100, proptest::bool::ANY), 1..40),
     ) {
-        let mut q: EventQueue<usize> = EventQueue::new();
-        let mut keys = Vec::new();
-        let mut live = 0usize;
-        for (seq, &(time, hint, do_cancel)) in ops.iter().enumerate() {
-            keys.push(q.push(SimTime(time), seq));
-            live += 1;
-            if do_cancel {
-                let victim = (hint as usize) % keys.len();
-                if q.cancel(keys[victim]).is_some() {
-                    live -= 1;
+        for kind in KINDS {
+            let mut q: EventQueue<usize> = EventQueue::with_kind(kind);
+            let mut keys = Vec::new();
+            let mut live = 0usize;
+            for (seq, &(time, hint, do_cancel)) in ops.iter().enumerate() {
+                keys.push(q.push(SimTime(time), seq));
+                live += 1;
+                if do_cancel {
+                    let victim = (hint as usize) % keys.len();
+                    if q.cancel(keys[victim]).is_some() {
+                        live -= 1;
+                    }
+                    // Double cancellation is a no-op.
+                    prop_assert!(q.cancel(keys[victim]).is_none());
                 }
-                // Double cancellation is a no-op.
-                prop_assert!(q.cancel(keys[victim]).is_none());
+                prop_assert_eq!(q.len(), live);
+                prop_assert_eq!(q.is_empty(), live == 0);
             }
-            prop_assert_eq!(q.len(), live);
-            prop_assert_eq!(q.is_empty(), live == 0);
         }
+    }
+
+    /// The timer wheel is a drop-in replacement for the binary heap: one
+    /// random op sequence — both event classes, far-future times that
+    /// exercise cascading across wheel levels, tombstone cancellations
+    /// interleaved with pops (which trigger compaction on either side) —
+    /// produces byte-identical pop traces and head peeks on both.
+    #[test]
+    fn wheel_and_heap_pop_identical_traces(
+        ops in proptest::collection::vec(
+            (0u64..1 << 40, proptest::bool::ANY, 0u64..100, 0u8..4),
+            1..150,
+        ),
+    ) {
+        let mut heap: EventQueue<usize> = EventQueue::with_kind(QueueKind::BinaryHeap);
+        let mut wheel: EventQueue<usize> = EventQueue::with_kind(QueueKind::TimerWheel);
+        let mut heap_keys = Vec::new();
+        let mut wheel_keys = Vec::new();
+        let mut trace_h = Vec::new();
+        let mut trace_w = Vec::new();
+        for (seq, &(time, early, hint, action)) in ops.iter().enumerate() {
+            let class = if early { CLASS_EARLY } else { CLASS_NORMAL };
+            heap_keys.push(heap.push_with_class(SimTime(time), class, seq));
+            wheel_keys.push(wheel.push_with_class(SimTime(time), class, seq));
+            match action {
+                // Cancel the same victim in both queues.
+                0 => {
+                    let victim = (hint as usize) % heap_keys.len();
+                    prop_assert_eq!(
+                        heap.cancel(heap_keys[victim]),
+                        wheel.cancel(wheel_keys[victim])
+                    );
+                }
+                // Pop one event from each and compare immediately.
+                1 => {
+                    trace_h.extend(heap.pop());
+                    trace_w.extend(wheel.pop());
+                }
+                // Peek must agree without disturbing either queue.
+                2 => prop_assert_eq!(heap.peek_head(), wheel.peek_head()),
+                _ => {}
+            }
+            prop_assert_eq!(heap.len(), wheel.len(), "live counts diverged at op {}", seq);
+        }
+        while let Some(ev) = heap.pop() {
+            trace_h.push(ev);
+        }
+        while let Some(ev) = wheel.pop() {
+            trace_w.push(ev);
+        }
+        prop_assert_eq!(trace_h, trace_w, "pop traces diverged");
+        prop_assert!(wheel.is_empty() && heap.is_empty());
     }
 }

@@ -1,17 +1,21 @@
-//! Property test: the indexed scheduler hot path is bit-identical to the
+//! Property test: every scheduler hot path is bit-identical to the
 //! pre-index scan reference.
 //!
 //! PR "index the scheduler hot path" replaced every per-pass scan with an
 //! incremental structure: the pending queue became an ordered index keyed
-//! by `(boosted, submit, id)` (exact because the multifactor age term
+//! by `(boosted, submit, seq)` (exact because the multifactor age term
 //! grows uniformly), backfill reservations walk a running-jobs end-time
 //! index, dead resizers are reaped through a reverse-dependency map, and
-//! node selection takes the lowest run of a sorted free set. The old
+//! node selection takes the lowest run of a sorted free set. The arena PR
+//! stacked a third path on top: slab job storage keyed by generation-
+//! checked dense ids, a hierarchical timer-wheel event queue, and
+//! same-instant scheduling-pass batching in the driver. The old
 //! implementations survive behind [`dmr::slurm::SchedIndex::ScanReference`]
-//! as the oracle; this suite drives *full experiments* — every workload
-//! family × every resize policy × fixed/flexible × sync/async — through
-//! both paths and requires bit-identical results, down to the raw f64
-//! bits of every summary field and the exact bytes of the sweep CSV row.
+//! as the oracle (with the PR 5 structures as `SchedIndex::Indexed`);
+//! this suite drives *full experiments* — every workload family × every
+//! resize policy × fixed/flexible × sync/async — through all three paths
+//! and requires pairwise bit-identical results, down to the raw f64 bits
+//! of every summary field and the exact bytes of the sweep CSV row.
 
 use dmr::core::{
     run_experiment_streaming, ExperimentConfig, ExperimentResult, PolicyKind, WorkloadKind,
@@ -108,14 +112,21 @@ proptest! {
         if fixed == 1 {
             cfg = cfg.as_fixed();
         }
-        let indexed = run_experiment_streaming(&cfg, kind.build(jobs, seed).as_mut());
-        let scan = run_experiment_streaming(&cfg.scan_reference(), kind.build(jobs, seed).as_mut());
-        assert_bit_identical(&indexed, &scan)?;
-        // The derived sweep CSV row must be byte-identical too.
-        prop_assert_eq!(
-            csv_row(kind, &cfg, seed, &indexed),
-            csv_row(kind, &cfg, seed, &scan)
+        let arena = run_experiment_streaming(&cfg, kind.build(jobs, seed).as_mut());
+        let indexed = run_experiment_streaming(
+            &cfg.indexed_reference(),
+            kind.build(jobs, seed).as_mut(),
         );
+        let scan = run_experiment_streaming(
+            &cfg.scan_reference(),
+            kind.build(jobs, seed).as_mut(),
+        );
+        assert_bit_identical(&arena, &indexed)?;
+        assert_bit_identical(&indexed, &scan)?;
+        // The derived sweep CSV rows must be byte-identical too.
+        let row = csv_row(kind, &cfg, seed, &arena);
+        prop_assert_eq!(&row, &csv_row(kind, &cfg, seed, &indexed));
+        prop_assert_eq!(&row, &csv_row(kind, &cfg, seed, &scan));
     }
 }
 
@@ -126,15 +137,28 @@ proptest! {
     fn indexed_outcomes_match_scan_reference(seed in 0u64..1000, jobs in 1u32..20) {
         let cfg = ExperimentConfig::preliminary();
         let kind = WorkloadKind::FsPreliminary;
-        let indexed = run_experiment_streaming(&cfg, kind.build(jobs, seed).as_mut());
-        let scan = run_experiment_streaming(&cfg.scan_reference(), kind.build(jobs, seed).as_mut());
+        let arena = run_experiment_streaming(&cfg, kind.build(jobs, seed).as_mut());
+        let indexed = run_experiment_streaming(
+            &cfg.indexed_reference(),
+            kind.build(jobs, seed).as_mut(),
+        );
+        let scan = run_experiment_streaming(
+            &cfg.scan_reference(),
+            kind.build(jobs, seed).as_mut(),
+        );
+        prop_assert_eq!(arena.outcomes.len(), scan.outcomes.len());
         prop_assert_eq!(indexed.outcomes.len(), scan.outcomes.len());
-        for (x, y) in indexed.outcomes.iter().zip(&scan.outcomes) {
-            prop_assert_eq!(x.submit, y.submit);
-            prop_assert_eq!(x.start, y.start);
-            prop_assert_eq!(x.end, y.end);
-            prop_assert_eq!(x.reconfigurations, y.reconfigurations);
+        for ((x, y), z) in arena.outcomes.iter().zip(&indexed.outcomes).zip(&scan.outcomes) {
+            prop_assert_eq!(x.submit, z.submit);
+            prop_assert_eq!(x.start, z.start);
+            prop_assert_eq!(x.end, z.end);
+            prop_assert_eq!(x.reconfigurations, z.reconfigurations);
+            prop_assert_eq!(y.submit, z.submit);
+            prop_assert_eq!(y.start, z.start);
+            prop_assert_eq!(y.end, z.end);
+            prop_assert_eq!(y.reconfigurations, z.reconfigurations);
         }
+        assert_bit_identical(&arena, &indexed)?;
         assert_bit_identical(&indexed, &scan)?;
     }
 }
@@ -163,10 +187,17 @@ fn smoke_registry_sweep_rows_are_byte_identical_across_hot_paths() {
             sc_row.csv_row()
         };
         let cfg = sc.config();
+        let arena_row = row(&cfg);
         assert_eq!(
-            row(&cfg),
+            arena_row,
+            row(&cfg.indexed_reference()),
+            "scenario {} diverged between arena and indexed paths",
+            sc.name()
+        );
+        assert_eq!(
+            arena_row,
             row(&cfg.scan_reference()),
-            "scenario {} diverged between hot paths",
+            "scenario {} diverged between arena and scan paths",
             sc.name()
         );
     }

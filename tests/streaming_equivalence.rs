@@ -128,9 +128,11 @@ fn large_streaming_run_records_percentiles_with_no_job_buffers() {
 
 #[test]
 fn custom_sink_sees_every_sample_and_job() {
-    // The README "adding a sink" contract: per-event samples arrive in
-    // non-decreasing time order, and one outcome arrives per job with its
-    // submission sequence number.
+    // The README "adding a sink" contract: samples arrive in
+    // non-decreasing time order — one per handled event, plus (under the
+    // batching arena path) one per deferred scheduling-pass flush so the
+    // end-of-instant state is always the last word at its instant — and
+    // one outcome arrives per job with its submission sequence number.
     #[derive(Default)]
     struct CountingSink {
         samples: u64,
@@ -156,16 +158,28 @@ fn custom_sink_sees_every_sample_and_job() {
             self.jobs.push(seq);
         }
     }
-    let mut source = WorkloadKind::burst().build(25, 5);
-    let mut sink = CountingSink::new();
+    let run = |cfg: &ExperimentConfig| {
+        let mut source = WorkloadKind::burst().build(25, 5);
+        let mut sink = CountingSink::new();
+        let stats = dmr::core::run_experiment_with_sink(cfg, source.as_mut(), &mut sink);
+        assert!(sink.monotone, "samples arrive in time order");
+        assert_eq!(sink.jobs.len(), 25, "one outcome per job");
+        let mut seqs = sink.jobs.clone();
+        seqs.sort_unstable();
+        seqs.dedup();
+        assert_eq!(seqs.len(), 25, "sequence numbers are unique");
+        assert_eq!(*seqs.last().unwrap(), 24, "seqs are the arrival indices");
+        (sink.samples, stats.events)
+    };
+    // The unbatched reference path samples exactly once per event; the
+    // arena path adds one sample per deferred-pass flush on top.
     let cfg = ExperimentConfig::preliminary();
-    let stats = dmr::core::run_experiment_with_sink(&cfg, source.as_mut(), &mut sink);
-    assert_eq!(sink.samples, stats.events, "one sample per handled event");
-    assert!(sink.monotone, "samples arrive in time order");
-    assert_eq!(sink.jobs.len(), 25, "one outcome per job");
-    let mut seqs = sink.jobs.clone();
-    seqs.sort_unstable();
-    seqs.dedup();
-    assert_eq!(seqs.len(), 25, "sequence numbers are unique");
-    assert_eq!(*seqs.last().unwrap(), 24, "seqs are the arrival indices");
+    let (scan_samples, scan_events) = run(&cfg.scan_reference());
+    assert_eq!(scan_samples, scan_events, "one sample per handled event");
+    let (arena_samples, arena_events) = run(&cfg);
+    assert_eq!(arena_events, scan_events, "same schedule, same events");
+    assert!(
+        arena_samples >= arena_events,
+        "batching must not drop samples: {arena_samples} < {arena_events}"
+    );
 }
