@@ -1,0 +1,121 @@
+//! Slot-set timeline micro-benchmarks: hole-finding, plan/unplan
+//! split-merge, and the backfill pass itself at queue depths 1k–100k,
+//! head-to-head with the legacy single-reservation walk the timeline
+//! replaced. The `repro --bench-json` grid measures the same families
+//! end-to-end; this bench isolates the per-operation treap costs.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use dmr_cluster::Cluster;
+use dmr_sim::{SimTime, Span};
+use dmr_slurm::{BackfillFamily, JobRequest, SlotSet, Slurm, SlurmConfig};
+
+const DEPTHS: [u32; 3] = [1_000, 10_000, 100_000];
+
+/// A timeline carrying `plans` staggered intervals (the steady-state
+/// shape after a deep conservative pass: overlapping plans at mixed
+/// widths and durations).
+fn planned_timeline(plans: u32) -> SlotSet {
+    let mut tl = SlotSet::new(SimTime::ZERO);
+    for i in 0..u64::from(plans) {
+        let from = SimTime::from_secs((i * 37) % 90_000);
+        let until = from + Span::from_secs(120 + (i * 13) % 900);
+        tl.plan(from, until, 1 + (i % 64) as u32);
+    }
+    tl
+}
+
+fn bench_hole_finding(c: &mut Criterion) {
+    let mut g = c.benchmark_group("slotset");
+    for depth in DEPTHS {
+        let tl = planned_timeline(depth);
+        // A tight cap forces the query past the congested region instead
+        // of accepting the first boundary.
+        g.bench_function(format!("earliest_hole_{depth}slots"), |b| {
+            b.iter(|| {
+                black_box(tl.earliest_hole(
+                    black_box(SimTime::ZERO),
+                    black_box(64),
+                    Span::from_secs(300),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_plan_unplan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("slotset");
+    for depth in DEPTHS {
+        g.bench_function(format!("plan_unplan_{depth}slots"), |b| {
+            b.iter_batched(
+                || planned_timeline(depth),
+                |mut tl| {
+                    // One plan/unplan pair mid-timeline: two splits, a
+                    // lazy range-add, and the coalescing merges back.
+                    let from = SimTime::from_secs(45_000);
+                    let until = from + Span::from_secs(500);
+                    tl.plan(from, until, 7);
+                    tl.unplan(from, until, 7);
+                    black_box(tl.len())
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+/// A full 64-node machine with `pending` blocked jobs queued — the state
+/// a backfill pass walks.
+fn deep_queue(pending: u32, family: BackfillFamily) -> Slurm {
+    let mut cfg = SlurmConfig::for_cluster(64);
+    cfg.backfill_family = family;
+    let mut s = Slurm::new(Cluster::new(64, 16), cfg);
+    for i in 0..8u64 {
+        s.submit(
+            JobRequest::rigid(format!("run{i}"), 8)
+                .with_expected_runtime(Span::from_secs(600 + i * 60)),
+            SimTime::ZERO,
+        );
+    }
+    s.schedule(SimTime::ZERO);
+    for i in 0..pending {
+        s.submit(
+            JobRequest::rigid(format!("pend{i}"), 9 + i % 48)
+                .with_expected_runtime(Span::from_secs(120 + u64::from(i) * 13 % 900)),
+            SimTime::from_secs(1),
+        );
+    }
+    s
+}
+
+fn bench_backfill_pass(c: &mut Criterion) {
+    let mut g = c.benchmark_group("backfill");
+    for depth in DEPTHS {
+        for (label, family) in [
+            ("legacy", BackfillFamily::LegacyReference),
+            ("easy1", BackfillFamily::easy(1)),
+            ("easy8", BackfillFamily::easy(8)),
+            ("conservative", BackfillFamily::Conservative),
+        ] {
+            g.bench_function(format!("pass_{label}_q{depth}"), |b| {
+                b.iter_batched(
+                    || deep_queue(depth, family),
+                    |mut s| black_box(s.backfill_pass(SimTime::from_secs(5)).len()),
+                    BatchSize::SmallInput,
+                )
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hole_finding,
+    bench_plan_unplan,
+    bench_backfill_pass
+);
+criterion_main!(benches);

@@ -125,7 +125,7 @@ fn run_bench_json(args: &[String]) {
             "bench: n{:<5} q{:<6} {:<7} {:>12.0} events/s  ({:.0} jobs/s, peak queue {})",
             cell.nodes,
             cell.queue_depth,
-            cell.mode,
+            format!("{}/{}", cell.mode, cell.backfill),
             cell.events_per_sec(),
             cell.jobs_per_sec(),
             cell.peak_queue_depth,
@@ -153,6 +153,16 @@ fn run_bench_json(args: &[String]) {
     );
     if speedup < 5.0 {
         eprintln!("headline speedup {speedup:.1}x is below the 5x acceptance bar");
+        std::process::exit(1);
+    }
+    // Deep-backfill gate: conservative planning of the whole blocked
+    // queue must stay within ~2x of the EASY-1 events/s on the headline
+    // cell (the slot-set timeline is what keeps it from collapsing
+    // quadratically).
+    let ratio = hotpath::backfill_ratio(&doc).unwrap_or(0.0);
+    eprintln!("backfill axis: conservative runs at {ratio:.2}x the easy1 events/s");
+    if ratio < 0.5 {
+        eprintln!("conservative/easy1 ratio {ratio:.2} is below the 0.5x (within-2x) bar");
         std::process::exit(1);
     }
 }

@@ -29,7 +29,7 @@ use std::time::Instant;
 
 use dmr_cluster::Cluster;
 use dmr_sim::{SimTime, Span};
-use dmr_slurm::{JobRequest, SchedIndex, Slurm, SlurmConfig};
+use dmr_slurm::{BackfillFamily, JobRequest, SchedIndex, Slurm, SlurmConfig};
 
 /// Schema identifier embedded in (and required from) every document.
 pub const SCHEMA: &str = "dmr-bench-sched/v2";
@@ -51,6 +51,9 @@ pub struct CellResult {
     pub queue_depth: u32,
     /// `"arena"`, `"indexed"` or `"scan"`.
     pub mode: &'static str,
+    /// Backfill family the cell ran (`"easy1"`, `"easy8"`, `"easy64"` or
+    /// `"conservative"`) — the backfill-depth axis.
+    pub backfill: &'static str,
     pub rounds: u32,
     /// Scheduling events processed: submissions + completions + passes +
     /// job starts.
@@ -113,16 +116,42 @@ pub fn modes_for(nodes: u32, depth: u32) -> Vec<SchedIndex> {
     }
 }
 
-/// Rounds of churn per cell.
+/// The backfill-depth axis: deeper families measured on top of the
+/// default EASY-1 arena cell (k ∈ {8, 64} and conservative; the k = 1
+/// baseline for the ratio *is* the regular arena cell).
+pub fn backfill_axis_families() -> [BackfillFamily; 3] {
+    [
+        BackfillFamily::easy(8),
+        BackfillFamily::easy(64),
+        BackfillFamily::Conservative,
+    ]
+}
+
+/// The grid cells that also run the backfill-depth axis: the 4096×10k
+/// mid-scale cell and the 65,536×100k headline cell (smoke runs only the
+/// headline cell, which its grid already ends with).
+pub fn backfill_axis_cells(smoke: bool) -> Vec<(u32, u32)> {
+    if smoke {
+        vec![(65_536, 100_000)]
+    } else {
+        vec![(4096, 10_000), (65_536, 100_000)]
+    }
+}
+
+/// Rounds of churn per cell. The smoke count is chosen so the headline
+/// cell's timed section is long enough (≥ tens of milliseconds) for the
+/// arena/indexed ratio to be stable: at 30 rounds the arena sample sat
+/// under 10 ms and run-to-run noise alone swung the smoke gate across
+/// the 5x bar.
 pub fn rounds(smoke: bool) -> u32 {
     if smoke {
-        30
+        150
     } else {
         300
     }
 }
 
-/// Runs one grid cell under `mode`.
+/// Runs one grid cell under `mode` with the default EASY-1 backfill.
 ///
 /// The churn loop mirrors the driver's steady state: the machine starts
 /// full (one running job per 64th of the cluster), the queue starts
@@ -131,8 +160,22 @@ pub fn rounds(smoke: bool) -> u32 {
 /// scheduling pass; every 30th round runs the periodic backfill pass
 /// (Slurm's `bf_interval` at one round per second).
 pub fn run_cell(nodes: u32, depth: u32, mode: SchedIndex, rounds: u32) -> CellResult {
+    run_cell_family(nodes, depth, mode, rounds, BackfillFamily::easy(1))
+}
+
+/// [`run_cell`] with an explicit backfill family — the backfill-depth
+/// axis runs the arena path under EASY-8 / EASY-64 / conservative on the
+/// same churn sequence.
+pub fn run_cell_family(
+    nodes: u32,
+    depth: u32,
+    mode: SchedIndex,
+    rounds: u32,
+    family: BackfillFamily,
+) -> CellResult {
     let mut cfg = SlurmConfig::for_cluster(nodes);
     cfg.sched_index = mode;
+    cfg.backfill_family = family;
     // Steady-state churn would grow the terminal-record table without
     // bound; the streaming driver prunes it, so the bench does too.
     cfg.retain_completed = false;
@@ -205,6 +248,7 @@ pub fn run_cell(nodes: u32, depth: u32, mode: SchedIndex, rounds: u32) -> CellRe
             SchedIndex::Indexed => "indexed",
             SchedIndex::ScanReference => "scan",
         },
+        backfill: family.label(),
         rounds,
         events,
         jobs_started,
@@ -213,17 +257,58 @@ pub fn run_cell(nodes: u32, depth: u32, mode: SchedIndex, rounds: u32) -> CellRe
     }
 }
 
+/// Measurement repeats per cell; the fastest repeat is kept. Smoke cells
+/// time only ~150 churn rounds, short enough that scheduler-interference
+/// noise alone used to swing the CI speedup gate across the 5x bar —
+/// best-of-3 reads through the noise. Full cells are long enough to take
+/// a single measurement.
+pub fn repeats(smoke: bool) -> u32 {
+    if smoke {
+        3
+    } else {
+        1
+    }
+}
+
+fn best_cell(
+    nodes: u32,
+    depth: u32,
+    mode: SchedIndex,
+    rounds: u32,
+    family: BackfillFamily,
+    reps: u32,
+) -> CellResult {
+    let mut best = run_cell_family(nodes, depth, mode, rounds, family);
+    for _ in 1..reps {
+        let next = run_cell_family(nodes, depth, mode, rounds, family);
+        debug_assert_eq!(next.events, best.events, "repeats diverged");
+        if next.elapsed_s < best.elapsed_s {
+            best = next;
+        }
+    }
+    best
+}
+
 /// Runs the whole grid (every [`modes_for`] mode per cell), reporting
 /// progress through `progress` (one line per finished cell; `repro`
 /// points this at stderr).
 pub fn run_grid(smoke: bool, mut progress: impl FnMut(&CellResult)) -> Vec<CellResult> {
     let rounds = rounds(smoke);
+    let reps = repeats(smoke);
+    let axis = backfill_axis_cells(smoke);
     let mut out = Vec::new();
     for (nodes, depth) in grid(smoke) {
         for mode in modes_for(nodes, depth) {
-            let cell = run_cell(nodes, depth, mode, rounds);
+            let cell = best_cell(nodes, depth, mode, rounds, BackfillFamily::easy(1), reps);
             progress(&cell);
             out.push(cell);
+        }
+        if axis.contains(&(nodes, depth)) {
+            for family in backfill_axis_families() {
+                let cell = best_cell(nodes, depth, SchedIndex::Arena, rounds, family, reps);
+                progress(&cell);
+                out.push(cell);
+            }
         }
     }
     out
@@ -257,12 +342,14 @@ pub fn render_run(cells: &[CellResult], smoke: bool, label: &str) -> String {
     for (i, c) in cells.iter().enumerate() {
         let _ = write!(
             out,
-            "    {{\"nodes\": {}, \"queue_depth\": {}, \"mode\": \"{}\", \"rounds\": {}, \
+            "    {{\"nodes\": {}, \"queue_depth\": {}, \"mode\": \"{}\", \"backfill\": \"{}\", \
+             \"rounds\": {}, \
              \"events\": {}, \"jobs_started\": {}, \"peak_queue_depth\": {}, \
              \"elapsed_s\": {}, \"events_per_sec\": {}, \"jobs_per_sec\": {}}}",
             c.nodes,
             c.queue_depth,
             c.mode,
+            c.backfill,
             c.rounds,
             c.events,
             c.jobs_started,
@@ -279,19 +366,40 @@ pub fn render_run(cells: &[CellResult], smoke: bool, label: &str) -> String {
         out,
         "  \"headline\": {{\"nodes\": {}, \"queue_depth\": {}, \
          \"arena_events_per_sec\": {}, \"indexed_events_per_sec\": {}, \
-         \"speedup_vs_indexed\": {}}}\n}}",
+         \"speedup_vs_indexed\": {}}}",
         headline.0,
         headline.1,
         json_f64(headline.2),
         json_f64(headline.3),
         json_f64(headline.4),
     );
+    if let Some(axis) = backfill_headline(cells) {
+        let _ = write!(
+            out,
+            ",\n  \"backfill_axis\": {{\"nodes\": {}, \"queue_depth\": {}, \
+             \"easy1_events_per_sec\": {}, \"conservative_events_per_sec\": {}, \
+             \"conservative_vs_easy1\": {}}}",
+            axis.0,
+            axis.1,
+            json_f64(axis.2),
+            json_f64(axis.3),
+            json_f64(axis.4),
+        );
+    }
+    out.push_str("\n}");
     out
 }
 
 /// `(nodes, depth, arena ev/s, indexed ev/s, speedup)` of the last cell.
+/// The backfill-depth axis cells (deeper-than-EASY-1 families) are not
+/// headline candidates — the headline compares hot-path layers on the
+/// paper's Slurm configuration.
 fn headline(cells: &[CellResult]) -> (u32, u32, f64, f64, f64) {
-    let Some(arena) = cells.iter().rev().find(|c| c.mode == "arena") else {
+    let Some(arena) = cells
+        .iter()
+        .rev()
+        .find(|c| c.mode == "arena" && c.backfill == "easy1")
+    else {
         return (0, 0, 0.0, 0.0, 0.0);
     };
     let indexed = cells.iter().rev().find(|c| {
@@ -318,6 +426,34 @@ fn headline(cells: &[CellResult]) -> (u32, u32, f64, f64, f64) {
         indexed.events_per_sec(),
         speedup,
     )
+}
+
+/// `(nodes, depth, easy1 ev/s, conservative ev/s, ratio)` of the last
+/// backfill-axis cell — the "deep backfill does not collapse" gate reads
+/// the ratio. `None` when the run measured no conservative cell.
+fn backfill_headline(cells: &[CellResult]) -> Option<(u32, u32, f64, f64, f64)> {
+    let cons = cells
+        .iter()
+        .rev()
+        .find(|c| c.mode == "arena" && c.backfill == "conservative")?;
+    let easy1 = cells.iter().rev().find(|c| {
+        c.mode == "arena"
+            && c.backfill == "easy1"
+            && c.nodes == cons.nodes
+            && c.queue_depth == cons.queue_depth
+    })?;
+    let ratio = if easy1.events_per_sec() > 0.0 {
+        cons.events_per_sec() / easy1.events_per_sec()
+    } else {
+        0.0
+    };
+    Some((
+        cons.nodes,
+        cons.queue_depth,
+        easy1.events_per_sec(),
+        cons.events_per_sec(),
+        ratio,
+    ))
 }
 
 /// Splices `run` (a [`render_run`] object) into `existing`, returning
@@ -367,6 +503,16 @@ pub fn headline_speedup(doc: &str) -> Option<f64> {
         .and_then(|v| v.trim().parse::<f64>().ok())
 }
 
+/// Extracts the **last** run's `backfill_axis.conservative_vs_easy1`
+/// ratio — the deep-backfill acceptance gate. `None` when no run carried
+/// the backfill-depth axis (every pre-axis document).
+pub fn backfill_ratio(doc: &str) -> Option<f64> {
+    let (_, rest) = doc.rsplit_once("\"conservative_vs_easy1\": ")?;
+    rest.split(['}', ','])
+        .next()
+        .and_then(|v| v.trim().parse::<f64>().ok())
+}
+
 /// Structural schema gate for a rendered document: required keys present,
 /// braces balanced, a parseable headline speedup on the last run.
 /// Deliberately minimal — it guards the CI artifact against shape
@@ -400,6 +546,14 @@ pub fn validate_bench_json(doc: &str) -> Result<(), String> {
     let speedup = headline_speedup(doc).ok_or("speedup_vs_indexed is not a number")?;
     if !speedup.is_finite() || speedup < 0.0 {
         return Err(format!("speedup_vs_indexed {speedup} out of range"));
+    }
+    // The backfill axis is optional (pre-axis runs lack it) but must be
+    // well-formed where present.
+    if doc.contains("\"backfill_axis\"") {
+        let ratio = backfill_ratio(doc).ok_or("conservative_vs_easy1 is not a number")?;
+        if !ratio.is_finite() || ratio < 0.0 {
+            return Err(format!("conservative_vs_easy1 {ratio} out of range"));
+        }
     }
     Ok(())
 }
@@ -499,9 +653,66 @@ mod tests {
     fn grid_ends_with_the_headline_cell() {
         for smoke in [true, false] {
             assert_eq!(*grid(smoke).last().unwrap(), (65_536, 100_000));
+            // The backfill-depth axis always covers the headline cell.
+            assert!(backfill_axis_cells(smoke).contains(&(65_536, 100_000)));
+            for cell in backfill_axis_cells(smoke) {
+                assert!(grid(smoke).contains(&cell), "axis cell {cell:?} off-grid");
+            }
         }
         // The headline cell measures exactly the two gated paths.
         assert_eq!(modes_for(65_536, 100_000).len(), 2);
         assert_eq!(modes_for(64, 100).len(), 3);
+    }
+
+    #[test]
+    fn backfill_axis_lands_in_the_rendered_run() {
+        let mut cells = tiny_cells();
+        for family in backfill_axis_families() {
+            cells.push(run_cell_family(16, 20, SchedIndex::Arena, 5, family));
+        }
+        let run = render_run(&cells, true, "axis");
+        let doc = append_run(None, &run).unwrap();
+        validate_bench_json(&doc).unwrap();
+        assert!(doc.contains("\"backfill\": \"easy1\""));
+        assert!(doc.contains("\"backfill\": \"easy8\""));
+        assert!(doc.contains("\"backfill\": \"easy64\""));
+        assert!(doc.contains("\"backfill\": \"conservative\""));
+        assert!(doc.contains("\"backfill_axis\""));
+        let ratio = backfill_ratio(&doc).expect("axis ratio present");
+        assert!(ratio.is_finite() && ratio >= 0.0);
+        // The headline still compares the EASY-1 hot paths, not an axis
+        // cell that happens to come last.
+        assert!(doc.contains("\"speedup_vs_indexed\""));
+    }
+
+    #[test]
+    fn deeper_families_run_the_same_churn_shape() {
+        // Same submission/completion churn in every family; the set of
+        // backfilled jobs may legitimately differ (deeper reservations
+        // can refuse a start EASY-1 would have allowed), so only the
+        // shape is pinned here — cross-mode equality within one family
+        // is what identical_operation_sequences_in_all_modes covers.
+        let easy1 = run_cell(16, 20, SchedIndex::Arena, 5);
+        assert_eq!(easy1.backfill, "easy1");
+        for family in backfill_axis_families() {
+            let deep = run_cell_family(16, 20, SchedIndex::Arena, 5, family);
+            assert_eq!(deep.rounds, easy1.rounds);
+            assert_eq!(deep.backfill, family.label());
+            assert!(
+                deep.events > 0 && deep.jobs_started > 0,
+                "{}",
+                deep.backfill
+            );
+        }
+    }
+
+    #[test]
+    fn pre_axis_documents_still_validate() {
+        // A trajectory whose runs predate the backfill axis has no
+        // backfill_axis block; the validator must keep accepting it.
+        let doc = tiny_doc();
+        assert!(!doc.contains("\"backfill_axis\""));
+        assert_eq!(backfill_ratio(&doc), None);
+        validate_bench_json(&doc).unwrap();
     }
 }

@@ -11,7 +11,7 @@
 //! diurnal sine arrivals) and SWF trace replay (the bundled
 //! [`TINY_SWF`] fixture, so scenarios need no filesystem access).
 
-use dmr_core::{ExperimentConfig, PolicyKind, ScheduleMode};
+use dmr_core::{BackfillFamily, ExperimentConfig, PolicyKind, ScheduleMode};
 use dmr_workload::{Capped, SwfMapping, SwfTrace, WorkloadKind, WorkloadSource};
 
 /// The bundled SWF trace fixture, embedded at compile time (the same
@@ -66,6 +66,48 @@ impl WorkloadSel {
     }
 }
 
+/// Which backfill configuration a scenario runs — the `backfill` axis of
+/// the grid and the CSV column of the same name.
+///
+/// The axis crosses the on/off ablation switch with the
+/// [`BackfillFamily`] depth knob: `Off` disables backfill entirely,
+/// the other values run the slot-set families at representative depths.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum BackfillSel {
+    /// Backfill disabled (the ablation baseline).
+    Off,
+    /// EASY with one reservation — the paper's Slurm configuration.
+    Easy1,
+    /// EASY with eight reservations (deep-queue protection).
+    Easy8,
+    /// Conservative: every blocked job gets a planned slot.
+    Conservative,
+}
+
+impl BackfillSel {
+    /// Stable identifier used in scenario names and the CSV `backfill`
+    /// column.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackfillSel::Off => "off",
+            BackfillSel::Easy1 => "easy1",
+            BackfillSel::Easy8 => "easy8",
+            BackfillSel::Conservative => "conservative",
+        }
+    }
+
+    /// Applies this selection to an experiment configuration.
+    pub fn apply(self, mut cfg: ExperimentConfig) -> ExperimentConfig {
+        match self {
+            BackfillSel::Off => cfg.backfill = false,
+            BackfillSel::Easy1 => cfg.backfill_family = BackfillFamily::easy(1),
+            BackfillSel::Easy8 => cfg.backfill_family = BackfillFamily::easy(8),
+            BackfillSel::Conservative => cfg.backfill_family = BackfillFamily::Conservative,
+        }
+        cfg
+    }
+}
+
 /// One cell of the scenario grid.
 #[derive(Clone, Debug)]
 pub struct Scenario {
@@ -76,25 +118,27 @@ pub struct Scenario {
     pub nodes: u32,
     pub policy: PolicyKind,
     pub mode: ScheduleMode,
+    pub backfill: BackfillSel,
 }
 
 impl Scenario {
-    /// Stable identifier, e.g. `fs-50j-n20-fair-share-120-async`. Uses
-    /// the parameter-carrying workload and policy labels so two tunings
-    /// of the same source or policy get distinct names (they key CSV
-    /// rows).
+    /// Stable identifier, e.g. `fs-50j-n20-fair-share-120-async-easy1`.
+    /// Uses the parameter-carrying workload and policy labels so two
+    /// tunings of the same source or policy get distinct names (they key
+    /// CSV rows).
     pub fn name(&self) -> String {
         let mode = match self.mode {
             ScheduleMode::Synchronous => "sync",
             ScheduleMode::Asynchronous => "async",
         };
         format!(
-            "{}-{}j-n{}-{}-{}",
+            "{}-{}j-n{}-{}-{}-{}",
             self.workload.label(),
             self.jobs,
             self.nodes,
             self.policy.label(),
-            mode
+            mode,
+            self.backfill.name()
         )
     }
 
@@ -109,7 +153,7 @@ impl Scenario {
             .online();
         cfg.nodes = self.nodes;
         cfg.mode = self.mode;
-        cfg
+        self.backfill.apply(cfg)
     }
 
     /// The deterministic workload source for `seed`.
@@ -145,15 +189,27 @@ pub fn workload_axis(fs_jobs: u32) -> [(WorkloadSel, u32, u32); 5] {
     ]
 }
 
+/// The backfill axis of the grid: the on/off ablation plus the slot-set
+/// families at representative depths.
+pub fn all_backfills() -> [BackfillSel; 4] {
+    [
+        BackfillSel::Off,
+        BackfillSel::Easy1,
+        BackfillSel::Easy8,
+        BackfillSel::Conservative,
+    ]
+}
+
 /// The full scenario grid: every workload source × every policy × (sync,
-/// async).
+/// async) × every backfill selection.
 pub fn registry() -> Vec<Scenario> {
     grid(&workload_axis(50))
 }
 
 /// A CI-sized subset of the grid: 10-job workloads from every source
-/// family, every policy, both modes — fast enough for a smoke job, wide
-/// enough to cross every workload × policy × mode triple.
+/// family, every policy, both modes, every backfill selection — fast
+/// enough for a smoke job, wide enough to cross every workload × policy ×
+/// mode × backfill tuple.
 pub fn smoke_registry() -> Vec<Scenario> {
     grid(&workload_axis(10).map(|(w, jobs, nodes)| (w, jobs.min(10), nodes)))
 }
@@ -163,13 +219,16 @@ fn grid(workloads: &[(WorkloadSel, u32, u32)]) -> Vec<Scenario> {
     for &(workload, jobs, nodes) in workloads {
         for policy in all_policies() {
             for mode in [ScheduleMode::Synchronous, ScheduleMode::Asynchronous] {
-                out.push(Scenario {
-                    workload,
-                    jobs,
-                    nodes,
-                    policy,
-                    mode,
-                });
+                for backfill in all_backfills() {
+                    out.push(Scenario {
+                        workload,
+                        jobs,
+                        nodes,
+                        policy,
+                        mode,
+                        backfill,
+                    });
+                }
             }
         }
     }
@@ -183,9 +242,16 @@ mod tests {
     #[test]
     fn registry_covers_every_source_policy_and_mode() {
         let reg = registry();
-        assert_eq!(reg.len(), 30, "5 workloads x 3 policies x 2 modes");
+        assert_eq!(
+            reg.len(),
+            120,
+            "5 workloads x 3 policies x 2 modes x 4 backfills"
+        );
         for policy in all_policies() {
             assert!(reg.iter().any(|s| s.policy == policy));
+        }
+        for backfill in all_backfills() {
+            assert!(reg.iter().any(|s| s.backfill == backfill));
         }
         assert!(reg.iter().any(|s| s.mode == ScheduleMode::Asynchronous));
         for name in ["fs", "real", "burst", "diurnal", "swf-tiny"] {
@@ -204,11 +270,45 @@ mod tests {
     #[test]
     fn smoke_registry_is_small_but_covers_every_source() {
         let smoke = smoke_registry();
-        assert_eq!(smoke.len(), 30, "5 workloads x 3 policies x 2 modes");
+        assert_eq!(
+            smoke.len(),
+            120,
+            "5 workloads x 3 policies x 2 modes x 4 backfills"
+        );
         assert!(smoke.iter().all(|s| s.jobs <= 10));
         for name in ["fs", "real", "burst", "diurnal", "swf-tiny"] {
             assert!(smoke.iter().any(|s| s.workload.name() == name));
         }
+        assert!(smoke
+            .iter()
+            .any(|s| s.backfill == BackfillSel::Conservative));
+    }
+
+    #[test]
+    fn backfill_axis_lands_in_the_config() {
+        let base = Scenario {
+            workload: WorkloadSel::Synthetic(WorkloadKind::FsPreliminary),
+            jobs: 10,
+            nodes: 20,
+            policy: PolicyKind::Algorithm1,
+            mode: ScheduleMode::Synchronous,
+            backfill: BackfillSel::Off,
+        };
+        assert!(!base.config().backfill);
+        assert!(base.name().ends_with("-off"));
+        let easy8 = Scenario {
+            backfill: BackfillSel::Easy8,
+            ..base.clone()
+        };
+        assert!(easy8.config().backfill);
+        assert_eq!(easy8.config().backfill_family, BackfillFamily::easy(8));
+        assert!(easy8.name().ends_with("-easy8"));
+        let cons = Scenario {
+            backfill: BackfillSel::Conservative,
+            ..base
+        };
+        assert_eq!(cons.config().backfill_family, BackfillFamily::Conservative);
+        assert!(cons.name().ends_with("-conservative"));
     }
 
     #[test]

@@ -24,6 +24,9 @@ pub struct SweepCell {
     pub workload: &'static str,
     pub policy: String,
     pub mode: &'static str,
+    /// Backfill selection the cell ran under (off / easy1 / easy8 /
+    /// conservative).
+    pub backfill: &'static str,
     pub seed: u64,
     pub nodes: u32,
     pub summary: WorkloadSummary,
@@ -34,7 +37,7 @@ pub struct SweepCell {
 impl SweepCell {
     /// The CSV header matching [`SweepCell::csv_row`].
     pub const CSV_HEADER: &'static str =
-        "scenario,workload,policy,mode,seed,nodes,jobs,makespan_s,\
+        "scenario,workload,policy,mode,backfill,seed,nodes,jobs,makespan_s,\
          utilization,avg_wait_s,avg_exec_s,avg_completion_s,\
          p50_wait_s,p95_wait_s,p99_wait_s,p50_exec_s,p95_exec_s,p99_exec_s,\
          p50_compl_s,p95_compl_s,p99_compl_s,reconfigurations,events,past_schedules";
@@ -48,12 +51,13 @@ impl SweepCell {
     pub fn csv_row(&self) -> String {
         let s = &self.summary;
         format!(
-            "{},{},{},{},{},{},{},{:.3},{:.6},{:.3},{:.3},{:.3},\
+            "{},{},{},{},{},{},{},{},{:.3},{:.6},{:.3},{:.3},{:.3},\
              {:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{},{},{}",
             escape_field(&self.scenario),
             escape_field(self.workload),
             escape_field(&self.policy),
             self.mode,
+            self.backfill,
             self.seed,
             self.nodes,
             s.jobs,
@@ -124,6 +128,7 @@ fn run_cell(sc: &Scenario, seed: u64) -> SweepCell {
             dmr_core::ScheduleMode::Synchronous => "sync",
             dmr_core::ScheduleMode::Asynchronous => "async",
         },
+        backfill: sc.backfill.name(),
         seed,
         nodes: sc.nodes,
         summary: result.summary,
@@ -197,7 +202,7 @@ mod tests {
         let csv = csv_report(&cells);
         let mut lines = csv.lines();
         let header = lines.next().unwrap();
-        assert!(header.starts_with("scenario,workload,policy,mode,seed,"));
+        assert!(header.starts_with("scenario,workload,policy,mode,backfill,seed,"));
         let row = lines.next().unwrap();
         assert_eq!(row.split(',').count(), header.split(',').count());
     }
@@ -209,6 +214,12 @@ mod tests {
             assert!(
                 cells.iter().any(|c| c.workload == family),
                 "{family} missing from sweep"
+            );
+        }
+        for backfill in ["off", "easy1", "easy8", "conservative"] {
+            assert!(
+                cells.iter().any(|c| c.backfill == backfill),
+                "{backfill} missing from sweep"
             );
         }
     }

@@ -1,7 +1,7 @@
 //! Experiment configuration.
 
 use dmr_cluster::NetworkModel;
-use dmr_slurm::{PolicyKind, SchedIndex};
+use dmr_slurm::{BackfillFamily, PolicyKind, SchedIndex};
 
 /// When a DMR decision is applied (§V-A).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -65,6 +65,12 @@ pub struct ExperimentConfig {
     pub network: NetworkModel,
     /// EASY backfill on/off (ablation; the paper always runs with it).
     pub backfill: bool,
+    /// Which backfill family the scheduler runs when `backfill` is on:
+    /// EASY-k over the slot-set timeline (`k = 1` is the paper's Slurm
+    /// configuration and the default), conservative (every blocked job
+    /// planned), or the legacy single-reservation walk kept as the
+    /// equivalence oracle (see [`BackfillFamily`]).
+    pub backfill_family: BackfillFamily,
     /// Period of the backfill pass, seconds (Slurm's `bf_interval`,
     /// default 30). The event-driven pass is FIFO-only, as in Slurm.
     pub backfill_interval_s: f64,
@@ -107,6 +113,7 @@ impl ExperimentConfig {
             check_overhead_s: 0.3,
             network: NetworkModel::fdr10(),
             backfill: true,
+            backfill_family: BackfillFamily::default(),
             backfill_interval_s: 30.0,
             estimate_padding: 1.2,
             estimate_mode: EstimateMode::Walltime,
@@ -168,6 +175,29 @@ impl ExperimentConfig {
         self
     }
 
+    /// Selects the backfill family the scheduler runs (EASY-k depth,
+    /// conservative planning, or the legacy oracle). Only consulted while
+    /// `backfill` is on.
+    pub fn with_backfill_family(mut self, family: BackfillFamily) -> Self {
+        self.backfill_family = family;
+        self
+    }
+
+    /// Switches backfill to the conservative family: every blocked job
+    /// gets a planned slot and backfill may not delay any plan.
+    pub fn conservative_backfill(mut self) -> Self {
+        self.backfill_family = BackfillFamily::Conservative;
+        self
+    }
+
+    /// Runs backfill on the legacy single-reservation walk
+    /// ([`BackfillFamily::LegacyReference`]) — the pre-slot-set oracle the
+    /// Easy{1} path is pinned against, mirroring [`Self::scan_reference`].
+    pub fn legacy_backfill_reference(mut self) -> Self {
+        self.backfill_family = BackfillFamily::LegacyReference;
+        self
+    }
+
     /// Runs the scheduler on the pre-index scan reference
     /// ([`SchedIndex::ScanReference`]). Scheduling decisions are
     /// bit-identical to the default indexed path — this exists so
@@ -224,6 +254,17 @@ mod tests {
         );
         let c = ExperimentConfig::preliminary().online();
         assert_eq!(c.telemetry, Telemetry::Online);
+        assert_eq!(
+            ExperimentConfig::preliminary().backfill_family,
+            BackfillFamily::easy(1),
+            "EASY-1 is the paper's Slurm configuration"
+        );
+        let c = ExperimentConfig::preliminary().with_backfill_family(BackfillFamily::easy(8));
+        assert_eq!(c.backfill_family, BackfillFamily::easy(8));
+        let c = ExperimentConfig::preliminary().conservative_backfill();
+        assert_eq!(c.backfill_family, BackfillFamily::Conservative);
+        let c = ExperimentConfig::preliminary().legacy_backfill_reference();
+        assert_eq!(c.backfill_family, BackfillFamily::LegacyReference);
     }
 
     #[test]

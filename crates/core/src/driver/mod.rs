@@ -350,6 +350,7 @@ impl<'a, 's> Driver<'a, 's> {
         let cluster = Cluster::new(cfg.nodes, cfg.cores_per_node);
         let mut scfg = SlurmConfig::for_cluster(cfg.nodes);
         scfg.backfill = cfg.backfill;
+        scfg.backfill_family = cfg.backfill_family;
         scfg.resizer_timeout = Span::from_secs_f64(cfg.resizer_timeout_s);
         scfg.shrink_boost = cfg.shrink_boost;
         scfg.policy = cfg.policy;

@@ -36,7 +36,7 @@ pub mod result;
 
 pub use config::{ExperimentConfig, ScheduleMode, Telemetry};
 pub use dmr_metrics::MetricsSink;
-pub use dmr_slurm::{PolicyKind, SchedIndex};
+pub use dmr_slurm::{BackfillFamily, PolicyKind, SchedIndex};
 pub use dmr_workload::{WorkloadKind, WorkloadSource};
 pub use driver::{
     compare_fixed_flexible, run_experiment, run_experiment_streaming, run_experiment_with_sink,

@@ -133,6 +133,10 @@ impl PendingIndex {
 pub(crate) struct RunningIndex {
     set: BTreeSet<(SimTime, u32, JobId)>,
     key_of: BTreeMap<JobId, (SimTime, u32)>,
+    /// Sum of `held_nodes` over every indexed job, maintained at each
+    /// mutation. `free + held_total` is the node count *available over
+    /// time* — the base the slot-set timeline subtracts occupancy from.
+    held_total: u32,
 }
 
 impl RunningIndex {
@@ -140,41 +144,74 @@ impl RunningIndex {
         debug_assert!(!self.key_of.contains_key(&id), "{id:?} already running");
         self.set.insert((end, nodes, id));
         self.key_of.insert(id, (end, nodes));
+        self.held_total += nodes;
     }
 
     /// Removes `id` if it is indexed (jobs completed defensively twice
     /// are tolerated, mirroring the scheduler's release-mode leniency).
-    pub(crate) fn remove(&mut self, id: JobId) {
-        if let Some((end, nodes)) = self.key_of.remove(&id) {
+    /// Returns the old `(expected_end, held_nodes)` key so the caller can
+    /// unplan the corresponding timeline interval.
+    pub(crate) fn remove(&mut self, id: JobId) -> Option<(SimTime, u32)> {
+        let old = self.key_of.remove(&id);
+        if let Some((end, nodes)) = old {
             self.set.remove(&(end, nodes, id));
+            self.held_total -= nodes;
         }
+        old
     }
 
-    /// Re-keys `id` with a new expected end (estimate refresh).
-    pub(crate) fn set_end(&mut self, id: JobId, end: SimTime) {
-        if let Some(key) = self.key_of.get_mut(&id) {
-            self.set.remove(&(key.0, key.1, id));
-            key.0 = end;
-            self.set.insert((end, key.1, id));
-        }
+    /// Re-keys `id` with a new expected end (estimate refresh); returns
+    /// the old key for timeline re-planning.
+    pub(crate) fn set_end(&mut self, id: JobId, end: SimTime) -> Option<(SimTime, u32)> {
+        let key = self.key_of.get_mut(&id)?;
+        let old = *key;
+        self.set.remove(&(old.0, old.1, id));
+        key.0 = end;
+        self.set.insert((end, old.1, id));
+        Some(old)
     }
 
-    /// Re-keys `id` with a new held-node count (expand / shrink).
-    pub(crate) fn set_nodes(&mut self, id: JobId, nodes: u32) {
-        if let Some(key) = self.key_of.get_mut(&id) {
-            self.set.remove(&(key.0, key.1, id));
-            key.1 = nodes;
-            self.set.insert((key.0, nodes, id));
-        }
+    /// Re-keys `id` with a new held-node count (expand / shrink); returns
+    /// the old key for timeline re-planning.
+    pub(crate) fn set_nodes(&mut self, id: JobId, nodes: u32) -> Option<(SimTime, u32)> {
+        let key = self.key_of.get_mut(&id)?;
+        let old = *key;
+        self.set.remove(&(old.0, old.1, id));
+        key.1 = nodes;
+        self.set.insert((old.0, nodes, id));
+        self.held_total = self.held_total - old.1 + nodes;
+        Some(old)
     }
 
     pub(crate) fn len(&self) -> usize {
         self.set.len()
     }
 
+    /// Sum of held nodes over every running job (O(1), maintained).
+    pub(crate) fn total_held(&self) -> u32 {
+        self.held_total
+    }
+
     /// `(expected_end, held_nodes)` pairs in reservation-scan order.
     pub(crate) fn iter(&self) -> impl Iterator<Item = (SimTime, u32)> + '_ {
         self.set.iter().map(|&(end, nodes, _)| (end, nodes))
+    }
+
+    /// The jobs expiring exactly at `end`, in reservation-scan key order
+    /// — the "group" the legacy reservation walk may stop inside of.
+    pub(crate) fn group_at(&self, end: SimTime) -> impl Iterator<Item = (SimTime, u32)> + '_ {
+        self.set
+            .range((end, 0, JobId(0))..=(end, u32::MAX, JobId(u64::MAX)))
+            .map(|&(end, nodes, _)| (end, nodes))
+    }
+
+    /// The jobs whose expected end is at or before `now` (overruns), in
+    /// reservation-scan key order — the prefix the legacy walk clamps to
+    /// `now`.
+    pub(crate) fn ends_through(&self, now: SimTime) -> impl Iterator<Item = (SimTime, u32)> + '_ {
+        self.set
+            .range(..=(now, u32::MAX, JobId(u64::MAX)))
+            .map(|&(end, nodes, _)| (end, nodes))
     }
 }
 

@@ -8,9 +8,12 @@
 //! * **multifactor priority** — age + job-size factors plus the explicit
 //!   max-priority boost the reconfiguration policy applies to jobs it is
 //!   making room for ([`priority`]);
-//! * **EASY backfill** — the `sched/backfill` behaviour: a reservation for
-//!   the highest-priority blocked job, lower-priority jobs jump ahead only
-//!   if they do not delay it ([`slurm::Slurm::schedule`]);
+//! * **backfill families** — the `sched/backfill` behaviour as a
+//!   selectable [`slotset::BackfillFamily`] over a slot-set free-resource
+//!   timeline ([`slotset::SlotSet`]): EASY-k (reservations for the first
+//!   `k` blocked jobs; `k = 1` is the paper's configuration), conservative
+//!   (every blocked job planned), and the legacy single-reservation walk
+//!   kept as the equivalence oracle ([`slurm::Slurm::backfill_pass`]);
 //! * **the malleability protocol** (§III) — expansion through a *resizer
 //!   job* (submit B depending on A → update B to 0 nodes → cancel B →
 //!   update A to N_A+N_B) and shrinking through a node-releasing update
@@ -31,6 +34,7 @@ pub(crate) mod index;
 pub mod job;
 pub mod policy;
 pub mod priority;
+pub mod slotset;
 pub mod slurm;
 
 pub use arena::JobArena;
@@ -39,4 +43,5 @@ pub use policy::{
     Algorithm1, FairShare, PolicyKind, ResizeAction, ResizePolicy, UtilizationTarget,
 };
 pub use priority::MultifactorConfig;
+pub use slotset::{BackfillFamily, SlotSet};
 pub use slurm::{ExpandError, JobStart, SchedIndex, Slurm, SlurmConfig};

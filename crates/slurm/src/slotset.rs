@@ -1,0 +1,851 @@
+//! Slot-set free-resource timeline: the future-occupancy step function
+//! behind the backfill families.
+//!
+//! The legacy EASY backfill re-derived the shadow time on every pass by
+//! walking the running-jobs end-time index and accumulating freed nodes.
+//! That is O(running) per blocked job and — worse — it can only answer
+//! "when is the *cluster-wide* free count ≥ need", which is enough for a
+//! single reservation but not for planning many jobs into the future
+//! (EASY-k, conservative backfill).
+//!
+//! [`SlotSet`] maintains the *planned occupancy* `occ(t)` — the number of
+//! nodes committed at instant `t` by running jobs (and, transiently,
+//! by pass-local reservations) — as an ordered sequence of slots: each
+//! slot is a half-open interval of sim-time `[b_i, b_{i+1})` carrying one
+//! occupancy value, stored as its left boundary. The boundaries live in a
+//! randomized balanced tree (a treap with lazy range-add and subtree
+//! min/max occupancy aggregates), so the core operations are logarithmic
+//! in the slot count `s`:
+//!
+//! * [`SlotSet::plan`] / [`SlotSet::unplan`] — add / remove `nodes` over
+//!   `[from, until)`: split at most two slots, lazy-add over the covered
+//!   range, and re-merge boundaries that became redundant — O(log s);
+//! * [`SlotSet::earliest_hole`] — first instant `t ≥ from` with
+//!   `occ ≤ cap` throughout `[t, t + dur)`: descend on the min-occupancy
+//!   aggregate to candidate slots and on the max aggregate to the
+//!   blockers that invalidate them — O(log s) per candidate visited;
+//! * [`SlotSet::advance`] — garbage-collect every boundary behind the
+//!   simulation clock while preserving the step function at and after
+//!   `now`, so the structure holds O(active plans) slots regardless of
+//!   how long the simulation runs.
+//!
+//! The free count at `t` is `avail − occ(t)` where `avail` is the free
+//! node count plus every node held by a running job; keeping the *base*
+//! at the actual cluster free count makes detached resizer nodes and
+//! overrunning jobs (expected end in the past) come out right without
+//! special cases. Queries are read-only (`&self`): descents carry the
+//! accumulated lazy tags as a value instead of pushing them down.
+//!
+//! [`BackfillFamily`] selects which backfill algorithm consumes the
+//! timeline; the legacy single-reservation walk survives as
+//! [`BackfillFamily::LegacyReference`], the equivalence oracle pinned by
+//! `tests/backfill_equivalence.rs` (the same pattern as
+//! [`crate::slurm::SchedIndex::ScanReference`]).
+
+use dmr_sim::{SimTime, Span};
+
+/// Which backfill algorithm [`crate::slurm::Slurm::backfill_pass`] runs.
+///
+/// All families share the FIFO head behaviour (start jobs in priority
+/// order until one blocks); they differ in how many blocked jobs get a
+/// planned start and in what lower-priority jobs may do around those
+/// plans. `Easy { reservations: 1 }` (the default) is bit-for-bit
+/// identical to [`BackfillFamily::LegacyReference`] — pinned by
+/// `tests/backfill_equivalence.rs` — only the cost differs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BackfillFamily {
+    /// EASY-k: the first `reservations` blocked jobs get a shadow-time
+    /// reservation; lower-priority jobs may start only if they end
+    /// before every shadow time or fit in the spare ("extra") nodes at
+    /// it. `reservations: 1` is classic EASY (today's behaviour).
+    Easy {
+        /// Maximum number of concurrently held reservations per pass.
+        reservations: u32,
+    },
+    /// Conservative backfill: *every* blocked job gets a slot planned in
+    /// the free-resource timeline, and a job may start now only if doing
+    /// so delays none of those plans (its whole expected runtime fits
+    /// under the planned occupancy).
+    Conservative,
+    /// The pre-slot-set EASY implementation: one reservation derived by
+    /// walking the running-jobs end-time index per pass. Kept as the
+    /// equivalence oracle; the timeline is still maintained but never
+    /// consulted.
+    LegacyReference,
+}
+
+impl Default for BackfillFamily {
+    fn default() -> Self {
+        BackfillFamily::Easy { reservations: 1 }
+    }
+}
+
+impl BackfillFamily {
+    /// EASY with `k` reservations (`k` is clamped to at least 1).
+    pub fn easy(k: u32) -> Self {
+        BackfillFamily::Easy {
+            reservations: k.max(1),
+        }
+    }
+
+    /// Short label for sweep CSVs and bench run entries.
+    pub fn label(self) -> &'static str {
+        match self {
+            BackfillFamily::Easy { reservations: 1 } => "easy1",
+            BackfillFamily::Easy { reservations: 8 } => "easy8",
+            BackfillFamily::Easy { reservations: 64 } => "easy64",
+            BackfillFamily::Easy { .. } => "easyk",
+            BackfillFamily::Conservative => "conservative",
+            BackfillFamily::LegacyReference => "legacy",
+        }
+    }
+}
+
+/// Sentinel child index ("no node").
+const NIL: u32 = u32::MAX;
+
+/// One slot boundary: the step function takes value `occ` on
+/// `[time, next boundary)`. Stored values are relative to the lazy `add`
+/// tags of the node itself and its ancestors (see [`SlotSet`] internals).
+#[derive(Clone, Debug)]
+struct Slot {
+    time: SimTime,
+    /// Occupancy of the interval starting here, excluding pending adds.
+    occ: i64,
+    /// Subtree min/max occupancy (same frame as `occ`: excluding this
+    /// node's own `add` and every ancestor's).
+    min: i64,
+    max: i64,
+    /// Lazy delta pending for the whole subtree *including this node*.
+    add: i64,
+    /// Heap priority (deterministic hash of an insertion counter).
+    pri: u64,
+    l: u32,
+    r: u32,
+}
+
+/// The free-resource timeline (see module docs).
+#[derive(Debug)]
+pub struct SlotSet {
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    root: u32,
+    /// Earliest represented instant; there is always a boundary exactly
+    /// here, and every query/mutation clamps to it.
+    horizon: SimTime,
+    /// Insertion counter feeding the deterministic priority hash.
+    seq: u64,
+}
+
+/// `splitmix64` — deterministic, well-mixed treap priorities without an
+/// RNG dependency.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl SlotSet {
+    /// An empty timeline: occupancy 0 everywhere from `origin` on.
+    pub fn new(origin: SimTime) -> Self {
+        let mut s = SlotSet {
+            slots: Vec::new(),
+            free: Vec::new(),
+            root: NIL,
+            horizon: origin,
+            seq: 0,
+        };
+        s.root = s.alloc(origin, 0);
+        s
+    }
+
+    /// Earliest represented instant (the simulation clock of the last
+    /// [`SlotSet::advance`]).
+    pub fn horizon(&self) -> SimTime {
+        self.horizon
+    }
+
+    /// Number of slots (boundaries) currently held.
+    pub fn len(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// `true` when the timeline holds only the horizon slot.
+    pub fn is_empty(&self) -> bool {
+        self.len() <= 1
+    }
+
+    fn alloc(&mut self, time: SimTime, occ: i64) -> u32 {
+        let pri = splitmix64(self.seq);
+        self.seq += 1;
+        let slot = Slot {
+            time,
+            occ,
+            min: occ,
+            max: occ,
+            add: 0,
+            pri,
+            l: NIL,
+            r: NIL,
+        };
+        match self.free.pop() {
+            Some(i) => {
+                self.slots[i as usize] = slot;
+                i
+            }
+            None => {
+                self.slots.push(slot);
+                (self.slots.len() - 1) as u32
+            }
+        }
+    }
+
+    fn release_subtree(&mut self, n: u32) {
+        let mut stack = vec![n];
+        while let Some(n) = stack.pop() {
+            if n == NIL {
+                continue;
+            }
+            let (l, r) = (self.slots[n as usize].l, self.slots[n as usize].r);
+            stack.push(l);
+            stack.push(r);
+            self.free.push(n);
+        }
+    }
+
+    /// Applies this node's pending delta to itself and forwards it to the
+    /// children, so the node's stored fields become frame-exact.
+    fn push_down(&mut self, n: u32) {
+        let a = self.slots[n as usize].add;
+        if a == 0 {
+            return;
+        }
+        let (l, r) = {
+            let s = &mut self.slots[n as usize];
+            s.add = 0;
+            s.occ += a;
+            s.min += a;
+            s.max += a;
+            (s.l, s.r)
+        };
+        if l != NIL {
+            self.slots[l as usize].add += a;
+        }
+        if r != NIL {
+            self.slots[r as usize].add += a;
+        }
+    }
+
+    fn pull_up(&mut self, n: u32) {
+        let (l, r, occ) = {
+            let s = &self.slots[n as usize];
+            (s.l, s.r, s.occ)
+        };
+        let mut min = occ;
+        let mut max = occ;
+        for c in [l, r] {
+            if c != NIL {
+                let cs = &self.slots[c as usize];
+                min = min.min(cs.min + cs.add);
+                max = max.max(cs.max + cs.add);
+            }
+        }
+        let s = &mut self.slots[n as usize];
+        s.min = min;
+        s.max = max;
+    }
+
+    /// Splits into `(times < key, times >= key)`.
+    fn split(&mut self, n: u32, key: SimTime) -> (u32, u32) {
+        if n == NIL {
+            return (NIL, NIL);
+        }
+        self.push_down(n);
+        if self.slots[n as usize].time < key {
+            let r = self.slots[n as usize].r;
+            let (a, b) = self.split(r, key);
+            self.slots[n as usize].r = a;
+            self.pull_up(n);
+            (n, b)
+        } else {
+            let l = self.slots[n as usize].l;
+            let (a, b) = self.split(l, key);
+            self.slots[n as usize].l = b;
+            self.pull_up(n);
+            (a, n)
+        }
+    }
+
+    /// Merges two trees; every time in `a` precedes every time in `b`.
+    fn merge(&mut self, a: u32, b: u32) -> u32 {
+        if a == NIL {
+            return b;
+        }
+        if b == NIL {
+            return a;
+        }
+        if self.slots[a as usize].pri >= self.slots[b as usize].pri {
+            self.push_down(a);
+            let r = self.slots[a as usize].r;
+            let m = self.merge(r, b);
+            self.slots[a as usize].r = m;
+            self.pull_up(a);
+            a
+        } else {
+            self.push_down(b);
+            let l = self.slots[b as usize].l;
+            let m = self.merge(a, l);
+            self.slots[b as usize].l = m;
+            self.pull_up(b);
+            b
+        }
+    }
+
+    /// True occupancy at instant `t` (clamped to the horizon).
+    pub fn occupied_at(&self, t: SimTime) -> i64 {
+        let t = t.max(self.horizon);
+        let mut n = self.root;
+        let mut acc = 0i64;
+        let mut best = 0i64;
+        while n != NIL {
+            let s = &self.slots[n as usize];
+            let frame = acc + s.add;
+            if s.time <= t {
+                best = s.occ + frame;
+                n = s.r;
+            } else {
+                n = s.l;
+            }
+            acc = frame;
+        }
+        best
+    }
+
+    /// Time and true occupancy of the last boundary in subtree `n`.
+    fn last_value(&self, mut n: u32, mut acc: i64) -> Option<(SimTime, i64)> {
+        let mut best = None;
+        while n != NIL {
+            let s = &self.slots[n as usize];
+            let frame = acc + s.add;
+            best = Some((s.time, s.occ + frame));
+            n = s.r;
+            acc = frame;
+        }
+        best
+    }
+
+    fn first_time(&self, mut n: u32) -> Option<SimTime> {
+        let mut best = None;
+        while n != NIL {
+            let s = &self.slots[n as usize];
+            best = Some(s.time);
+            n = s.l;
+        }
+        best
+    }
+
+    /// First boundary at or after `from` whose occupancy satisfies the
+    /// predicate (`<= cap` when `want_le`, `> cap` otherwise). Read-only:
+    /// prunes on the subtree min (resp. max) aggregate.
+    fn first_matching(
+        &self,
+        n: u32,
+        from: SimTime,
+        acc: i64,
+        cap: i64,
+        want_le: bool,
+    ) -> Option<SimTime> {
+        if n == NIL {
+            return None;
+        }
+        let s = &self.slots[n as usize];
+        let frame = acc + s.add;
+        let feasible = if want_le {
+            s.min + frame <= cap
+        } else {
+            s.max + frame > cap
+        };
+        if !feasible {
+            return None;
+        }
+        if s.time >= from {
+            if let Some(t) = self.first_matching(s.l, from, frame, cap, want_le) {
+                return Some(t);
+            }
+            let v = s.occ + frame;
+            let hit = if want_le { v <= cap } else { v > cap };
+            if hit {
+                return Some(s.time);
+            }
+        }
+        self.first_matching(s.r, from, frame, cap, want_le)
+    }
+
+    /// First boundary time `>= from` with occupancy `<= cap`.
+    pub fn first_fit_at(&self, from: SimTime, cap: i64) -> Option<SimTime> {
+        self.first_matching(self.root, from.max(self.horizon), 0, cap, true)
+    }
+
+    /// First boundary time `>= from` with occupancy `> cap`.
+    fn first_blocker_at(&self, from: SimTime, cap: i64) -> Option<SimTime> {
+        self.first_matching(self.root, from, 0, cap, false)
+    }
+
+    /// Maximum occupancy over the window `[from, until)` (clamped to the
+    /// horizon; an empty window reports the value at `from`).
+    pub fn max_in(&self, from: SimTime, until: SimTime) -> i64 {
+        let from = from.max(self.horizon);
+        let mut best = self.occupied_at(from);
+        self.boundary_max(self.root, from, until, 0, &mut best);
+        best
+    }
+
+    fn boundary_max(&self, n: u32, from: SimTime, until: SimTime, acc: i64, best: &mut i64) {
+        if n == NIL {
+            return;
+        }
+        let s = &self.slots[n as usize];
+        let frame = acc + s.add;
+        if s.max + frame <= *best {
+            return;
+        }
+        if s.time < from {
+            self.boundary_max(s.r, from, until, frame, best);
+        } else if s.time >= until {
+            self.boundary_max(s.l, from, until, frame, best);
+        } else {
+            *best = (*best).max(s.occ + frame);
+            self.boundary_max(s.l, from, until, frame, best);
+            self.boundary_max(s.r, from, until, frame, best);
+        }
+    }
+
+    /// Ensures a boundary exists exactly at `t` (carrying the value the
+    /// step function already has there).
+    fn ensure_boundary(&mut self, t: SimTime) {
+        let (a, bc) = self.split(self.root, t);
+        let (b, c) = self.split(bc, SimTime(t.0.saturating_add(1)));
+        let b = if b == NIL {
+            let carried = self.last_value(a, 0).map_or(0, |(_, v)| v);
+            self.alloc(t, carried)
+        } else {
+            b
+        };
+        let ab = self.merge(a, b);
+        self.root = self.merge(ab, c);
+    }
+
+    fn remove_boundary(&mut self, t: SimTime) {
+        let (a, bc) = self.split(self.root, t);
+        let (b, c) = self.split(bc, SimTime(t.0.saturating_add(1)));
+        if b != NIL {
+            self.release_subtree(b);
+        }
+        self.root = self.merge(a, c);
+    }
+
+    /// Drops boundary `t` if it carries the same occupancy as its
+    /// predecessor (the slot-merge half of split/merge). The horizon
+    /// boundary is never dropped.
+    fn coalesce(&mut self, t: SimTime) {
+        if t <= self.horizon || t.0 == u64::MAX {
+            return;
+        }
+        let here = self.occupied_at(t);
+        let before = self.occupied_at(SimTime(t.0 - 1));
+        if here == before && self.has_boundary(t) {
+            self.remove_boundary(t);
+        }
+    }
+
+    fn has_boundary(&self, t: SimTime) -> bool {
+        let mut n = self.root;
+        while n != NIL {
+            let s = &self.slots[n as usize];
+            match t.cmp(&s.time) {
+                std::cmp::Ordering::Equal => return true,
+                std::cmp::Ordering::Less => n = s.l,
+                std::cmp::Ordering::Greater => n = s.r,
+            }
+        }
+        false
+    }
+
+    fn range_apply(&mut self, from: SimTime, until: SimTime, delta: i64) {
+        let (a, bc) = self.split(self.root, from);
+        let (b, c) = self.split(bc, until);
+        if b != NIL {
+            let s = &mut self.slots[b as usize];
+            s.add += delta;
+            debug_assert!(s.min + s.add >= 0, "negative planned occupancy");
+        }
+        let ab = self.merge(a, b);
+        self.root = self.merge(ab, c);
+    }
+
+    /// Commits `nodes` over `[from, until)` (clamped to the horizon).
+    pub fn plan(&mut self, from: SimTime, until: SimTime, nodes: u32) {
+        let from = from.max(self.horizon);
+        if until <= from || nodes == 0 {
+            return;
+        }
+        self.ensure_boundary(from);
+        self.ensure_boundary(until);
+        self.range_apply(from, until, i64::from(nodes));
+    }
+
+    /// Reverts a [`SlotSet::plan`] of `nodes` over `[from, until)` and
+    /// merges boundaries the revert made redundant.
+    pub fn unplan(&mut self, from: SimTime, until: SimTime, nodes: u32) {
+        let from = from.max(self.horizon);
+        if until <= from || nodes == 0 {
+            return;
+        }
+        self.ensure_boundary(from);
+        self.ensure_boundary(until);
+        self.range_apply(from, until, -i64::from(nodes));
+        self.coalesce(until);
+        self.coalesce(from);
+    }
+
+    /// Moves the horizon forward to `now`: every boundary strictly before
+    /// `now` is dropped, preserving the step function at and after `now`.
+    /// A `now` at or behind the horizon is a no-op.
+    pub fn advance(&mut self, now: SimTime) {
+        if now <= self.horizon {
+            return;
+        }
+        let (a, b) = self.split(self.root, now);
+        let carried = self.last_value(a, 0).map_or(0, |(_, v)| v);
+        self.release_subtree(a);
+        self.root = if self.first_time(b) == Some(now) {
+            b
+        } else {
+            let n = self.alloc(now, carried);
+            self.merge(n, b)
+        };
+        self.horizon = now;
+    }
+
+    /// Earliest `t >= from` such that `occ(s) <= cap` for every `s` in
+    /// `[t, t + dur)`, or `None` when the occupancy never falls to `cap`.
+    /// Descends on the min aggregate to candidate starts and on the max
+    /// aggregate to the blocker that invalidates each failed candidate.
+    pub fn earliest_hole(&self, from: SimTime, cap: i64, dur: Span) -> Option<SimTime> {
+        if cap < 0 {
+            return None;
+        }
+        let mut t = from.max(self.horizon);
+        loop {
+            let cand = if self.occupied_at(t) <= cap {
+                t
+            } else {
+                self.first_fit_at(SimTime(t.0.saturating_add(1)), cap)?
+            };
+            let end = SimTime(cand.0.saturating_add(dur.0));
+            match self.first_blocker_at(SimTime(cand.0.saturating_add(1)), cap) {
+                Some(b) if b < end => t = b,
+                _ => return Some(cand),
+            }
+        }
+    }
+
+    /// All slots as `(left boundary, occupancy)` in time order (test and
+    /// debugging aid).
+    pub fn slots(&self) -> Vec<(SimTime, i64)> {
+        let mut out = Vec::with_capacity(self.len());
+        self.collect(self.root, 0, &mut out);
+        out
+    }
+
+    fn collect(&self, n: u32, acc: i64, out: &mut Vec<(SimTime, i64)>) {
+        if n == NIL {
+            return;
+        }
+        let s = &self.slots[n as usize];
+        let frame = acc + s.add;
+        self.collect(s.l, frame, out);
+        out.push((s.time, s.occ + frame));
+        self.collect(s.r, frame, out);
+    }
+
+    /// Structural invariants: slots sorted and disjoint (strictly
+    /// increasing boundaries), the horizon slot present and first, no
+    /// negative occupancy.
+    pub fn validate(&self) -> Result<(), String> {
+        let slots = self.slots();
+        let Some(&(first, _)) = slots.first() else {
+            return Err("timeline has no slots (horizon slot missing)".into());
+        };
+        if first != self.horizon {
+            return Err(format!(
+                "first slot at {:?} != horizon {:?}",
+                first, self.horizon
+            ));
+        }
+        for w in slots.windows(2) {
+            if w[0].0 >= w[1].0 {
+                return Err(format!(
+                    "slots out of order / overlapping: {:?} then {:?}",
+                    w[0], w[1]
+                ));
+            }
+        }
+        if let Some(&(t, occ)) = slots.iter().find(|&&(_, occ)| occ < 0) {
+            return Err(format!("negative occupancy {occ} at {t:?}"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    /// Brute-force model: occupancy per microsecond boundary map.
+    #[derive(Default)]
+    struct Model {
+        steps: BTreeMap<u64, i64>,
+        horizon: u64,
+    }
+
+    impl Model {
+        fn occ(&self, at: u64) -> i64 {
+            let at = at.max(self.horizon);
+            self.steps.range(..=at).next_back().map_or(0, |(_, &v)| v)
+        }
+
+        fn apply(&mut self, from: u64, until: u64, delta: i64) {
+            let from = from.max(self.horizon);
+            if until <= from {
+                return;
+            }
+            let at_from = self.occ(from);
+            let at_until = self.occ(until);
+            self.steps.entry(from).or_insert(at_from);
+            self.steps.entry(until).or_insert(at_until);
+            for (_, v) in self.steps.range_mut(from..until) {
+                *v += delta;
+            }
+        }
+
+        fn advance(&mut self, now: u64) {
+            if now <= self.horizon {
+                return;
+            }
+            let carried = self.occ(now);
+            self.steps = self.steps.split_off(&now);
+            self.steps.entry(now).or_insert(carried);
+            self.horizon = now;
+        }
+
+        fn earliest_hole(&self, from: u64, cap: i64, dur: u64) -> Option<u64> {
+            if cap < 0 {
+                return None;
+            }
+            let mut starts: Vec<u64> = vec![from.max(self.horizon)];
+            starts.extend(self.steps.keys().copied().filter(|&k| k > from));
+            'outer: for s in starts {
+                let end = s.saturating_add(dur);
+                if self.occ(s) > cap {
+                    continue;
+                }
+                for (&k, &v) in self.steps.range(s..end) {
+                    if v > cap {
+                        continue 'outer;
+                    }
+                    let _ = k;
+                }
+                return Some(s);
+            }
+            None
+        }
+    }
+
+    /// Tiny deterministic generator for the randomized tests.
+    struct Lcg(u64);
+
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0 >> 33
+        }
+    }
+
+    #[test]
+    fn plan_and_unplan_round_trip_conserves_the_timeline() {
+        let mut tl = SlotSet::new(SimTime::ZERO);
+        tl.plan(t(10), t(50), 4);
+        tl.plan(t(20), t(80), 3);
+        let before = tl.slots();
+        tl.plan(t(30), t(60), 5);
+        tl.unplan(t(30), t(60), 5);
+        assert_eq!(tl.slots(), before, "plan+unplan must be a no-op");
+        tl.validate().unwrap();
+        // Full teardown returns to the empty timeline.
+        tl.unplan(t(20), t(80), 3);
+        tl.unplan(t(10), t(50), 4);
+        assert_eq!(tl.slots(), vec![(SimTime::ZERO, 0)]);
+        tl.validate().unwrap();
+    }
+
+    #[test]
+    fn occupancy_steps_where_plans_overlap() {
+        let mut tl = SlotSet::new(SimTime::ZERO);
+        tl.plan(t(10), t(30), 2);
+        tl.plan(t(20), t(40), 5);
+        assert_eq!(tl.occupied_at(t(5)), 0);
+        assert_eq!(tl.occupied_at(t(10)), 2);
+        assert_eq!(tl.occupied_at(t(25)), 7);
+        assert_eq!(tl.occupied_at(t(30)), 5);
+        assert_eq!(tl.occupied_at(t(40)), 0);
+        tl.validate().unwrap();
+    }
+
+    #[test]
+    fn advance_preserves_the_suffix_and_prunes_the_past() {
+        let mut tl = SlotSet::new(SimTime::ZERO);
+        tl.plan(t(10), t(30), 2);
+        tl.plan(t(20), t(40), 5);
+        tl.advance(t(25));
+        assert_eq!(tl.horizon(), t(25));
+        assert_eq!(tl.occupied_at(t(25)), 7);
+        assert_eq!(tl.occupied_at(t(35)), 5);
+        assert_eq!(tl.occupied_at(t(40)), 0);
+        // Everything before now is clamped to the horizon value.
+        assert_eq!(tl.occupied_at(t(1)), 7);
+        tl.validate().unwrap();
+        // Advancing past every plan empties the timeline.
+        tl.advance(t(100));
+        assert_eq!(tl.slots(), vec![(t(100), 0)]);
+    }
+
+    #[test]
+    fn earliest_hole_finds_gaps_between_and_after_plans() {
+        let mut tl = SlotSet::new(SimTime::ZERO);
+        // 10 nodes committed on [0, 100), 4 on [100, 200), 10 on [200, 300).
+        tl.plan(SimTime::ZERO, t(100), 10);
+        tl.plan(t(100), t(200), 4);
+        tl.plan(t(200), t(300), 10);
+        // cap 6: the [100, 200) valley fits a 50 s window but not 150 s.
+        assert_eq!(
+            tl.earliest_hole(SimTime::ZERO, 6, Span::from_secs(50)),
+            Some(t(100))
+        );
+        assert_eq!(
+            tl.earliest_hole(SimTime::ZERO, 6, Span::from_secs(150)),
+            Some(t(300))
+        );
+        // cap 10: everything fits immediately.
+        assert_eq!(
+            tl.earliest_hole(SimTime::ZERO, 10, Span::from_secs(1000)),
+            Some(SimTime::ZERO)
+        );
+        // cap below every slot: only the tail qualifies.
+        assert_eq!(
+            tl.earliest_hole(SimTime::ZERO, 0, Span::from_secs(1)),
+            Some(t(300))
+        );
+        // Negative cap can never fit.
+        assert_eq!(
+            tl.earliest_hole(SimTime::ZERO, -1, Span::from_secs(1)),
+            None
+        );
+        // Zero-duration windows fit at any point at or under cap.
+        assert_eq!(tl.earliest_hole(t(150), 6, Span::ZERO), Some(t(150)));
+    }
+
+    #[test]
+    fn randomized_ops_match_the_brute_force_model() {
+        let mut rng = Lcg(0x5eed_d312);
+        for round in 0..60 {
+            let mut tl = SlotSet::new(SimTime::ZERO);
+            let mut model = Model::default();
+            let mut live: Vec<(u64, u64, u32)> = Vec::new();
+            for _ in 0..120 {
+                match rng.next() % 5 {
+                    0 | 1 => {
+                        let from = rng.next() % 1000;
+                        let until = from + 1 + rng.next() % 400;
+                        let nodes = (rng.next() % 16) as u32 + 1;
+                        tl.plan(SimTime(from), SimTime(until), nodes);
+                        model.apply(from, until, i64::from(nodes));
+                        live.push((from, until, nodes));
+                    }
+                    2 => {
+                        if !live.is_empty() {
+                            let i = (rng.next() as usize) % live.len();
+                            let (from, until, nodes) = live.swap_remove(i);
+                            tl.unplan(SimTime(from), SimTime(until), nodes);
+                            model.apply(from, until, -i64::from(nodes));
+                        }
+                    }
+                    3 => {
+                        let now = model.horizon + rng.next() % 300;
+                        tl.advance(SimTime(now));
+                        model.advance(now);
+                        // Plans now partially behind the horizon unplan
+                        // only their remaining suffix, like running jobs.
+                        for e in live.iter_mut() {
+                            e.0 = e.0.max(now);
+                        }
+                        live.retain(|&(from, until, _)| from < until);
+                    }
+                    _ => {
+                        let from = model.horizon + rng.next() % 1200;
+                        let cap = (rng.next() % 24) as i64;
+                        let dur = rng.next() % 500;
+                        assert_eq!(
+                            tl.earliest_hole(SimTime(from), cap, Span(dur)),
+                            model.earliest_hole(from, cap, dur).map(SimTime),
+                            "hole query diverged (round {round})"
+                        );
+                    }
+                }
+                tl.validate().unwrap();
+                for probe in 0..8 {
+                    let at = model.horizon + probe * 173;
+                    assert_eq!(
+                        tl.occupied_at(SimTime(at)),
+                        model.occ(at),
+                        "occ diverged at {at} (round {round})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_in_reports_the_window_peak() {
+        let mut tl = SlotSet::new(SimTime::ZERO);
+        tl.plan(t(10), t(20), 3);
+        tl.plan(t(15), t(30), 4);
+        assert_eq!(tl.max_in(SimTime::ZERO, t(10)), 0);
+        assert_eq!(tl.max_in(SimTime::ZERO, t(16)), 7);
+        assert_eq!(tl.max_in(t(12), t(14)), 3);
+        assert_eq!(tl.max_in(t(25), t(100)), 4);
+        // Empty window: the value at `from`.
+        assert_eq!(tl.max_in(t(12), t(12)), 3);
+    }
+
+    #[test]
+    fn family_labels_are_stable() {
+        assert_eq!(BackfillFamily::default(), BackfillFamily::easy(1));
+        assert_eq!(BackfillFamily::easy(0), BackfillFamily::easy(1));
+        assert_eq!(BackfillFamily::easy(1).label(), "easy1");
+        assert_eq!(BackfillFamily::easy(8).label(), "easy8");
+        assert_eq!(BackfillFamily::easy(64).label(), "easy64");
+        assert_eq!(BackfillFamily::easy(3).label(), "easyk");
+        assert_eq!(BackfillFamily::Conservative.label(), "conservative");
+        assert_eq!(BackfillFamily::LegacyReference.label(), "legacy");
+    }
+}

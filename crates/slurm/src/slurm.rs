@@ -12,6 +12,7 @@ use crate::index::{PendingIndex, PendingKey, ResizerIndex, RunningIndex};
 use crate::job::{Dependency, Job, JobId, JobRequest, JobState};
 use crate::policy::{PolicyKind, ResizePolicy};
 use crate::priority::MultifactorConfig;
+use crate::slotset::{BackfillFamily, SlotSet};
 
 /// Which hot-path implementation the scheduler runs on.
 ///
@@ -46,6 +47,18 @@ pub struct SlurmConfig {
     /// Enable EASY backfill (the paper's `sched/backfill`); disabling it
     /// degrades to strict priority-FIFO — kept as an ablation knob.
     pub backfill: bool,
+    /// Which backfill algorithm [`Slurm::backfill_pass`] runs (EASY-k /
+    /// conservative / the legacy single-reservation oracle). Only
+    /// consulted while [`SlurmConfig::backfill`] is on.
+    pub backfill_family: BackfillFamily,
+    /// Cap on blocked jobs the conservative pass examines (and therefore
+    /// plans) per invocation — Slurm's `bf_max_job_test`, which defaults
+    /// to 500 on real installations precisely because planning an
+    /// unbounded queue is quadratic in queue depth no matter how cheap
+    /// each hole query is. Jobs past the window stay pending for a later
+    /// pass. The EASY families ignore it: their planning depth is already
+    /// bounded by `reservations`.
+    pub bf_max_job_test: u32,
     pub multifactor: MultifactorConfig,
     /// Backfill estimate for jobs that did not provide one.
     pub default_expected_runtime: Span,
@@ -76,6 +89,8 @@ impl SlurmConfig {
     pub fn for_cluster(total_nodes: u32) -> Self {
         SlurmConfig {
             backfill: true,
+            backfill_family: BackfillFamily::default(),
+            bf_max_job_test: 512,
             multifactor: MultifactorConfig::with_total_nodes(total_nodes),
             default_expected_runtime: Span::from_secs(600),
             resizer_timeout: Span::from_secs(30),
@@ -167,6 +182,60 @@ pub struct Slurm {
     running_index: RunningIndex,
     /// Parent → resizer reverse-dependency map for O(affected) reaping.
     resizer_index: ResizerIndex,
+    /// The slot-set free-resource timeline the EASY-k / conservative
+    /// backfill families query (see [`crate::slotset`]). `RefCell`: the
+    /// deferred deltas are flushed behind `&self` in
+    /// [`Slurm::check_invariants`].
+    timeline: RefCell<Timeline>,
+}
+
+/// One deferred timeline mutation: a running job's node commitment over
+/// `[horizon, end)`, to add (`plan`) or remove. Queued O(1) at the index
+/// mutation sites; applied (O(log slots) each) the next time the timeline
+/// is consulted, so the scheduling hot paths never pay tree costs.
+/// Applying from the *current* horizon is exact: occupancy behind the
+/// horizon is clipped on both plan and unplan, and [`SlotSet::advance`]
+/// prunes whatever a plan wrote behind the clock before any query runs.
+#[derive(Debug)]
+struct TimelineDelta {
+    end: SimTime,
+    nodes: u32,
+    plan: bool,
+}
+
+/// The timeline plus its deferred-delta queue (see [`TimelineDelta`]).
+#[derive(Debug)]
+struct Timeline {
+    slots: SlotSet,
+    queued: Vec<TimelineDelta>,
+}
+
+impl Timeline {
+    fn new() -> Self {
+        Timeline {
+            slots: SlotSet::new(SimTime::ZERO),
+            queued: Vec::new(),
+        }
+    }
+
+    /// Applies every queued delta (without moving the horizon).
+    fn flush(&mut self) {
+        for d in self.queued.drain(..) {
+            let h = self.slots.horizon();
+            if d.plan {
+                self.slots.plan(h, d.end, d.nodes);
+            } else {
+                self.slots.unplan(h, d.end, d.nodes);
+            }
+        }
+    }
+
+    /// Brings the timeline up to date with the simulation clock: applies
+    /// queued deltas, then garbage-collects everything behind `now`.
+    fn sync(&mut self, now: SimTime) {
+        self.flush();
+        self.slots.advance(now);
+    }
 }
 
 /// One memoized pending order (see [`Slurm::pending_queue`]).
@@ -196,6 +265,7 @@ impl Slurm {
             pending_index: PendingIndex::default(),
             running_index: RunningIndex::default(),
             resizer_index: ResizerIndex::default(),
+            timeline: RefCell::new(Timeline::new()),
         }
     }
 
@@ -326,13 +396,37 @@ impl Slurm {
     /// Updates the backfill runtime estimate of a job (the simulation
     /// driver refreshes it after reconfigurations).
     pub fn set_expected_runtime(&mut self, id: JobId, estimate: Span) {
-        if let Some(j) = self.jobs.get_mut(id) {
-            j.expected_runtime = estimate;
-            if j.state == JobState::Running {
-                if let Some(start) = j.start_time {
-                    self.running_index.set_end(id, start + estimate);
-                }
+        let Some(j) = self.jobs.get_mut(id) else {
+            return;
+        };
+        j.expected_runtime = estimate;
+        let started_at = (j.state == JobState::Running)
+            .then_some(j.start_time)
+            .flatten();
+        if let Some(start) = started_at {
+            let new_end = start + estimate;
+            if let Some((old_end, nodes)) = self.running_index.set_end(id, new_end) {
+                // Re-plan only the affected slots: this job's old and new
+                // commitment intervals.
+                self.tl_queue(old_end, nodes, false);
+                self.tl_queue(new_end, nodes, true);
             }
+        }
+    }
+
+    /// Queues a timeline delta (a running job's node commitment until
+    /// `end`) for application at the next timeline consultation.
+    fn tl_queue(&mut self, end: SimTime, nodes: u32, plan: bool) {
+        if nodes == 0 {
+            return;
+        }
+        let tl = self.timeline.get_mut();
+        tl.queued.push(TimelineDelta { end, nodes, plan });
+        // Keep memory O(running) even when no backfill pass ever drains
+        // the queue (backfill disabled): paired plan/unplan deltas cancel
+        // once applied.
+        if tl.queued.len() >= 1024 {
+            tl.flush();
         }
     }
 
@@ -509,8 +603,9 @@ impl Slurm {
         job.start_time = Some(now);
         let end = now + job.expected_runtime;
         let resizer_for = job.dependency.map(|Dependency::ExpandOf(parent)| parent);
-        self.running_index
-            .insert(id, end, self.cluster.held_by(id.owner_tag()));
+        let held = self.cluster.held_by(id.owner_tag());
+        self.running_index.insert(id, end, held);
+        self.tl_queue(end, held, true);
         self.invalidate_queue_cache();
         JobStart {
             id,
@@ -619,10 +714,32 @@ impl Slurm {
         started
     }
 
-    /// The periodic EASY-backfill pass (Slurm's backfill thread): a
-    /// reservation is computed for the highest-priority blocked job and
-    /// lower-priority jobs jump ahead only if they do not delay it.
+    /// The periodic backfill pass (Slurm's backfill thread), dispatched
+    /// on [`SlurmConfig::backfill_family`]:
+    ///
+    /// * [`BackfillFamily::Easy`] — the first `k` blocked jobs get
+    ///   shadow-time reservations found on the slot-set timeline;
+    ///   lower-priority jobs jump ahead only if they delay none of them.
+    ///   `k = 1` is bit-for-bit the legacy behaviour.
+    /// * [`BackfillFamily::Conservative`] — every blocked job gets a slot
+    ///   planned in the timeline; a job starts now only if its whole
+    ///   expected runtime fits under every plan.
+    /// * [`BackfillFamily::LegacyReference`] — the pre-slot-set
+    ///   single-reservation walk, kept as the equivalence oracle.
     pub fn backfill_pass(&mut self, now: SimTime) -> Vec<JobStart> {
+        match self.config.backfill_family {
+            BackfillFamily::Easy { reservations } => {
+                self.backfill_pass_easy(now, reservations.max(1))
+            }
+            BackfillFamily::Conservative => self.backfill_pass_conservative(now),
+            BackfillFamily::LegacyReference => self.backfill_pass_legacy(now),
+        }
+    }
+
+    /// The pre-slot-set EASY pass: one reservation computed by the
+    /// running-index walk ([`Slurm::reservation_for`]), kept verbatim as
+    /// the equivalence oracle for `Easy { reservations: 1 }`.
+    fn backfill_pass_legacy(&mut self, now: SimTime) -> Vec<JobStart> {
         self.reap_dead_resizers(now);
         let order = self.pending_ids_by_priority(now);
         let mut started = Vec::new();
@@ -660,6 +777,212 @@ impl Slurm {
         started
     }
 
+    /// EASY-k on the slot-set timeline: up to `k` blocked jobs hold
+    /// `(shadow, spare)` reservations; a fitting lower-priority job
+    /// starts only if, for every reservation, it either ends by the
+    /// shadow time or fits in the spare nodes (which it then consumes).
+    /// The first reservation reproduces the legacy walk bit-for-bit
+    /// ([`Slurm::easy_first_reservation`]); deeper ones are O(log slots)
+    /// hole queries. Reservations are planned into the timeline for the
+    /// duration of the pass so each later hole query sees the earlier
+    /// plans, and unplanned before returning.
+    fn backfill_pass_easy(&mut self, now: SimTime, k: u32) -> Vec<JobStart> {
+        self.reap_dead_resizers(now);
+        self.timeline.get_mut().sync(now);
+        let order = self.pending_ids_by_priority(now);
+        let mut started = Vec::new();
+        let mut reservations: Vec<(SimTime, u32)> = Vec::new();
+        let mut planned: Vec<(SimTime, SimTime, u32)> = Vec::new();
+        for &id in order.iter() {
+            let job = &self.jobs[id];
+            if !self.dependency_satisfied(job) {
+                continue;
+            }
+            let need = job.requested_nodes;
+            if self.cluster.can_allocate(need) {
+                if reservations.is_empty() {
+                    started.push(self.start_job(id, now));
+                    self.timeline.get_mut().sync(now);
+                    continue;
+                }
+                let est_end = now + self.jobs[id].expected_runtime;
+                let harmless = reservations
+                    .iter()
+                    .all(|&(shadow, spare)| est_end <= shadow || need <= spare);
+                if harmless {
+                    for r in reservations.iter_mut() {
+                        if est_end > r.0 {
+                            r.1 -= need;
+                        }
+                    }
+                    started.push(self.start_job(id, now));
+                    self.timeline.get_mut().sync(now);
+                }
+            } else {
+                if reservations.is_empty() && !self.config.backfill {
+                    break;
+                }
+                if (reservations.len() as u32) < k {
+                    let dur = self.jobs[id].expected_runtime;
+                    let (shadow, spare) = if reservations.is_empty() {
+                        self.easy_first_reservation(need, now)
+                    } else {
+                        self.hole_reservation(need, dur, now)
+                    };
+                    if shadow != SimTime(u64::MAX) {
+                        let until = shadow + dur;
+                        self.timeline.get_mut().slots.plan(shadow, until, need);
+                        planned.push((shadow, until, need));
+                    }
+                    reservations.push((shadow, spare));
+                }
+            }
+        }
+        let tl = self.timeline.get_mut();
+        for (from, until, nodes) in planned {
+            tl.slots.unplan(from, until, nodes);
+        }
+        started
+    }
+
+    /// Conservative backfill: walk the queue in priority order; a job
+    /// whose whole expected runtime fits under the planned occupancy
+    /// starts now, every other job gets the earliest hole planned into
+    /// the timeline — so no start can delay any blocked job's plan.
+    /// Pass-local plans are removed before returning.
+    ///
+    /// The walk stops after [`SlurmConfig::bf_max_job_test`] blocked jobs
+    /// (Slurm's own conservative-depth cap): a job deeper than the window
+    /// may not start anyway — the untested blocked jobs between it and
+    /// the window would have no plans protecting them.
+    fn backfill_pass_conservative(&mut self, now: SimTime) -> Vec<JobStart> {
+        self.reap_dead_resizers(now);
+        self.timeline.get_mut().sync(now);
+        let window = self.config.bf_max_job_test.max(1);
+        let order = self.pending_ids_by_priority(now);
+        let mut started = Vec::new();
+        let mut planned: Vec<(SimTime, SimTime, u32)> = Vec::new();
+        let mut tested: u32 = 0;
+        for &id in order.iter() {
+            let job = &self.jobs[id];
+            if !self.dependency_satisfied(job) {
+                continue;
+            }
+            let need = job.requested_nodes;
+            let dur = job.expected_runtime;
+            let fits = self.cluster.can_allocate(need);
+            if !fits && planned.is_empty() && !self.config.backfill {
+                break;
+            }
+            tested += 1;
+            if tested > window {
+                break;
+            }
+            let avail = self.cluster.free_nodes() + self.running_index.total_held();
+            if avail < need {
+                // Can never run on current estimates; nothing to plan.
+                continue;
+            }
+            let cap = i64::from(avail - need);
+            let hole = self.timeline.borrow().slots.earliest_hole(now, cap, dur);
+            match hole {
+                Some(s) if s == now && fits => {
+                    started.push(self.start_job(id, now));
+                    self.timeline.get_mut().sync(now);
+                }
+                Some(s) => {
+                    let until = s + dur;
+                    self.timeline.get_mut().slots.plan(s, until, need);
+                    planned.push((s, until, need));
+                }
+                None => {}
+            }
+        }
+        let tl = self.timeline.get_mut();
+        for (from, until, nodes) in planned {
+            tl.slots.unplan(from, until, nodes);
+        }
+        started
+    }
+
+    /// The first EASY reservation, answered from the timeline but
+    /// bit-for-bit identical to the legacy walk ([`Slurm::reservation_for`]).
+    ///
+    /// The timeline locates the crossing slot in O(log): the first
+    /// boundary `S` where planned occupancy leaves `need` nodes free.
+    /// The legacy walk, however, stops *inside* the group of running
+    /// jobs sharing the expected end `S` — its "extra" count excludes
+    /// later same-end entries — so the partial accumulation is replayed
+    /// over just that group (O(group), not O(running)).
+    fn easy_first_reservation(&self, need: u32, now: SimTime) -> (SimTime, u32) {
+        let free_now = self.cluster.free_nodes();
+        // Defensive: callers only ask about blocked jobs (free < need).
+        // Should the preconditions ever not hold, defer to the oracle so
+        // the answer is unconditionally identical.
+        if free_now >= need || self.running_index.len() == 0 {
+            return self.reservation_for(need, now);
+        }
+        let avail = free_now + self.running_index.total_held();
+        if avail < need {
+            // Estimates never free enough nodes (can happen transiently
+            // while resizer nodes are detached): no backfill headroom.
+            return (SimTime(u64::MAX), 0);
+        }
+        let cap = i64::from(avail - need);
+        let tl = self.timeline.borrow();
+        let Some(s) = tl.slots.first_fit_at(now, cap) else {
+            return (SimTime(u64::MAX), 0);
+        };
+        let occ_s = tl.slots.occupied_at(s);
+        drop(tl);
+        if s <= now {
+            // Jobs already past their estimate (their ends clamp to
+            // `now` in the legacy walk) free enough on their own.
+            let mut free = free_now;
+            for (_, nodes) in self.running_index.ends_through(now) {
+                free += nodes;
+                if free >= need {
+                    return (now, free - need);
+                }
+            }
+        } else {
+            let group_sum: u32 = self.running_index.group_at(s).map(|(_, n)| n).sum();
+            // Free count just before the group: avail - occ(S) counts
+            // every job ending at or before S as freed; subtract the
+            // group to get the legacy accumulator's starting point.
+            let mut free = avail - (occ_s as u32) - group_sum;
+            for (end, nodes) in self.running_index.group_at(s) {
+                free += nodes;
+                if free >= need {
+                    return (end, free - need);
+                }
+            }
+        }
+        // Unreachable while the timeline mirrors the running set; defer
+        // to the oracle rather than guess.
+        self.reservation_for(need, now)
+    }
+
+    /// A deeper EASY-k reservation: the earliest timeline hole fitting
+    /// `need` nodes for `dur`, with the spare count taken against the
+    /// occupancy peak inside the window (so backfilling against this
+    /// reservation can never overdraw it).
+    fn hole_reservation(&self, need: u32, dur: Span, now: SimTime) -> (SimTime, u32) {
+        let avail = self.cluster.free_nodes() + self.running_index.total_held();
+        if avail < need {
+            return (SimTime(u64::MAX), 0);
+        }
+        let cap = i64::from(avail - need);
+        let tl = self.timeline.borrow();
+        match tl.slots.earliest_hole(now, cap, dur) {
+            Some(s) => {
+                let peak = tl.slots.max_in(s, s + dur);
+                (s, (cap - peak) as u32)
+            }
+            None => (SimTime(u64::MAX), 0),
+        }
+    }
+
     /// Marks a running job complete and frees its nodes.
     pub fn complete(&mut self, id: JobId, now: SimTime) {
         let Some(job) = self.jobs.get_mut(id) else {
@@ -675,7 +998,9 @@ impl Slurm {
             // fires first): keep the index consistent with the scan.
             self.pending_index.remove(&self.jobs[id]);
         }
-        self.running_index.remove(id);
+        if let Some((end, nodes)) = self.running_index.remove(id) {
+            self.tl_queue(end, nodes, false);
+        }
         if let Some(Dependency::ExpandOf(parent)) = dep {
             self.resizer_index.resizer_terminal(parent, id);
         }
@@ -716,7 +1041,9 @@ impl Slurm {
             self.pending_index.remove(&self.jobs[id]);
         }
         if was_running {
-            self.running_index.remove(id);
+            if let Some((end, nodes)) = self.running_index.remove(id) {
+                self.tl_queue(end, nodes, false);
+            }
         }
         if let Some(Dependency::ExpandOf(parent)) = dep {
             self.resizer_index.resizer_terminal(parent, id);
@@ -819,8 +1146,11 @@ impl Slurm {
             .transfer_all(rj.owner_tag(), original.owner_tag())
             .expect("detached nodes are still owned by the resizer tag");
         debug_assert_eq!(moved.len() as u32, delta);
-        self.running_index
-            .set_nodes(original, self.cluster.held_by(original.owner_tag()));
+        let held = self.cluster.held_by(original.owner_tag());
+        if let Some((end, old_nodes)) = self.running_index.set_nodes(original, held) {
+            self.tl_queue(end, old_nodes, false);
+            self.tl_queue(end, held, true);
+        }
         if let Some(j) = self.jobs.get_mut(original) {
             j.requested_nodes = self.cluster.held_by(original.owner_tag());
             j.reconfigurations += 1;
@@ -864,7 +1194,10 @@ impl Slurm {
             .release_tail(id.owner_tag(), current - to)
             .expect("running job owns its nodes");
         let _ = now;
-        self.running_index.set_nodes(id, to);
+        if let Some((end, old_nodes)) = self.running_index.set_nodes(id, to) {
+            self.tl_queue(end, old_nodes, false);
+            self.tl_queue(end, to, true);
+        }
         if let Some(j) = self.jobs.get_mut(id) {
             j.requested_nodes = to;
             j.reconfigurations += 1;
@@ -937,6 +1270,38 @@ impl Slurm {
         let walked: Vec<(SimTime, u32)> = self.running_index.iter().collect();
         if scan != walked {
             return Err(format!("running index {walked:?} != scan {scan:?}"));
+        }
+        let held: u32 = scan.iter().map(|&(_, n)| n).sum();
+        if held != self.running_index.total_held() {
+            return Err(format!(
+                "held-total {} != scanned {held}",
+                self.running_index.total_held()
+            ));
+        }
+        // The slot-set timeline (deferred deltas flushed) must equal the
+        // running-jobs occupancy profile at every breakpoint of either
+        // step function: free-count conservation across plan / unplan /
+        // merge and resize re-planning.
+        let mut tl = self.timeline.borrow_mut();
+        tl.flush();
+        tl.slots.validate()?;
+        let horizon = tl.slots.horizon();
+        let expected_at = |t: SimTime| -> i64 {
+            scan.iter()
+                .filter(|&&(end, _)| end > t)
+                .map(|&(_, n)| i64::from(n))
+                .sum()
+        };
+        let mut probes: Vec<SimTime> = tl.slots.slots().iter().map(|&(b, _)| b).collect();
+        probes.extend(scan.iter().map(|&(end, _)| end.max(horizon)));
+        for p in probes {
+            let got = tl.slots.occupied_at(p);
+            let want = expected_at(p.max(horizon));
+            if got != want {
+                return Err(format!(
+                    "timeline occupancy {got} at {p:?} != running profile {want}"
+                ));
+            }
         }
         Ok(())
     }
@@ -1368,5 +1733,160 @@ mod tests {
         let started = s.backfill_pass(t(3));
         assert_eq!(started.len(), 1, "small job backfills: {started:?}");
         assert_eq!(started[0].id, small);
+    }
+
+    /// A 10-node machine with one 8-node hog until t=1000, then (in
+    /// priority order) a blocked 6-node job, a blocked 10-node job, a
+    /// *long* 2-node job and a *short* 2-node job. The families disagree
+    /// exactly where they should.
+    fn family_fixture(family: BackfillFamily) -> (Slurm, [JobId; 4]) {
+        let mut s = slurm(10);
+        s.config.backfill_family = family;
+        let _hog = s.submit(
+            JobRequest::rigid("hog", 8).with_expected_runtime(Span::from_secs(995)),
+            t(0),
+        );
+        s.schedule(t(0));
+        let blocked1 = s.submit(
+            JobRequest::rigid("blocked1", 6).with_expected_runtime(Span::from_secs(100)),
+            t(1),
+        );
+        let blocked2 = s.submit(
+            JobRequest::rigid("blocked2", 10).with_expected_runtime(Span::from_secs(100)),
+            t(2),
+        );
+        let long_small = s.submit(
+            JobRequest::rigid("long-small", 2).with_expected_runtime(Span::from_secs(5000)),
+            t(3),
+        );
+        let short_small = s.submit(
+            JobRequest::rigid("short-small", 2).with_expected_runtime(Span::from_secs(100)),
+            t(4),
+        );
+        (s, [blocked1, blocked2, long_small, short_small])
+    }
+
+    #[test]
+    fn easy1_lets_a_long_job_backfill_past_a_deep_blocked_job() {
+        // Classic EASY: only blocked1 holds a reservation (shadow t=1000,
+        // 4 extra nodes), so the long 2-node job jumps ahead even though
+        // it will still be running when blocked2 could have started.
+        let (mut s, [blocked1, blocked2, long_small, short_small]) =
+            family_fixture(BackfillFamily::easy(1));
+        let started = s.backfill_pass(t(5));
+        assert_eq!(started.len(), 1, "{started:?}");
+        assert_eq!(started[0].id, long_small);
+        assert_eq!(s.job(short_small).unwrap().state, JobState::Pending);
+        assert_eq!(s.job(blocked1).unwrap().state, JobState::Pending);
+        assert_eq!(s.job(blocked2).unwrap().state, JobState::Pending);
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn easy_k_protects_deeper_reservations() {
+        // With two reservations, blocked2 holds the hole after blocked1's
+        // plan ([t=1100, t=1200), zero spare), which the 5000 s job would
+        // delay — it is refused. The short job ends before every shadow
+        // time and still backfills.
+        let (mut s, [blocked1, blocked2, long_small, short_small]) =
+            family_fixture(BackfillFamily::easy(2));
+        let started = s.backfill_pass(t(5));
+        assert_eq!(started.len(), 1, "{started:?}");
+        assert_eq!(started[0].id, short_small);
+        assert_eq!(s.job(long_small).unwrap().state, JobState::Pending);
+        assert_eq!(s.job(blocked1).unwrap().state, JobState::Pending);
+        assert_eq!(s.job(blocked2).unwrap().state, JobState::Pending);
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn conservative_plans_every_blocked_job() {
+        // Conservative: blocked1 and blocked2 get planned slots, the long
+        // job would overlap blocked2's plan (occupancy 10 > cap 8 inside
+        // its window) and is only planned for later — the short job fits
+        // entirely under the plans and starts.
+        let (mut s, [blocked1, blocked2, long_small, short_small]) =
+            family_fixture(BackfillFamily::Conservative);
+        let started = s.backfill_pass(t(5));
+        assert_eq!(started.len(), 1, "{started:?}");
+        assert_eq!(started[0].id, short_small);
+        assert_eq!(s.job(long_small).unwrap().state, JobState::Pending);
+        assert_eq!(s.job(blocked1).unwrap().state, JobState::Pending);
+        assert_eq!(s.job(blocked2).unwrap().state, JobState::Pending);
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn easy1_and_legacy_reference_schedule_identically() {
+        // Twin drive (the `indexed_and_scan_paths_schedule_identically`
+        // pattern): the slot-set Easy{1} path and the legacy walk must
+        // agree on every observable through a mixed op sequence.
+        let mut easy = slurm(16);
+        let mut legacy = slurm(16);
+        legacy.config.backfill_family = BackfillFamily::LegacyReference;
+        for s in [&mut easy, &mut legacy] {
+            for i in 0..8u32 {
+                s.submit(
+                    JobRequest::rigid(format!("j{i}"), 2 + (i * 5) % 11)
+                        .with_expected_runtime(Span::from_secs(60 + (i as u64 * 131) % 700)),
+                    t(i as u64),
+                );
+            }
+        }
+        let a = easy.schedule(t(10));
+        assert_eq!(a, legacy.schedule(t(10)));
+        assert_eq!(easy.backfill_pass(t(12)), legacy.backfill_pass(t(12)));
+        let first = a[0].id;
+        for s in [&mut easy, &mut legacy] {
+            s.complete(first, t(40));
+            s.set_expected_runtime(a[1].id, Span::from_secs(2000));
+        }
+        assert_eq!(easy.backfill_pass(t(45)), legacy.backfill_pass(t(45)));
+        assert_eq!(easy.schedule(t(50)), legacy.schedule(t(50)));
+        assert_eq!(easy.backfill_pass(t(55)), legacy.backfill_pass(t(55)));
+        easy.check_invariants().unwrap();
+        legacy.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn timeline_survives_the_resize_protocol_under_deep_backfill() {
+        // Expand / shrink re-plan only the affected job's slots; the
+        // timeline must keep mirroring the running profile through the
+        // whole §III protocol with deep backfill families querying it.
+        for family in [BackfillFamily::easy(2), BackfillFamily::Conservative] {
+            let mut s = slurm(10);
+            s.config.backfill_family = family;
+            let a = s.submit(
+                JobRequest::rigid("a", 4).with_expected_runtime(Span::from_secs(500)),
+                t(0),
+            );
+            let b = s.submit(
+                JobRequest::rigid("b", 4).with_expected_runtime(Span::from_secs(300)),
+                t(0),
+            );
+            s.schedule(t(0));
+            let _queued = s.submit(JobRequest::rigid("q", 8), t(1));
+            let tiny = s.submit(
+                JobRequest::rigid("tiny", 1).with_expected_runtime(Span::from_secs(10)),
+                t(2),
+            );
+            s.backfill_pass(t(3));
+            s.check_invariants().unwrap();
+            // Both families backfill `tiny` (harmless before every plan);
+            // release its node so the expansion can complete synchronously.
+            s.complete(tiny, t(8));
+            s.expand_protocol(a, 6, t(10)).unwrap();
+            s.check_invariants().unwrap();
+            s.backfill_pass(t(12));
+            s.check_invariants().unwrap();
+            s.shrink_protocol(a, 2, t(20)).unwrap();
+            s.check_invariants().unwrap();
+            s.backfill_pass(t(25));
+            s.check_invariants().unwrap();
+            s.complete(b, t(30));
+            s.complete(a, t(40));
+            s.backfill_pass(t(45));
+            s.check_invariants().unwrap();
+        }
     }
 }

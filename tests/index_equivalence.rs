@@ -50,6 +50,7 @@ fn csv_row(kind: WorkloadKind, cfg: &ExperimentConfig, seed: u64, r: &Experiment
         workload: kind.name(),
         policy: cfg.policy.label(),
         mode: "sync",
+        backfill: cfg.backfill_family.label(),
         seed,
         nodes: cfg.nodes,
         summary: r.summary.clone(),
@@ -178,6 +179,7 @@ fn smoke_registry_sweep_rows_are_byte_identical_across_hot_paths() {
                 workload: sc.workload.name(),
                 policy: sc.policy.label(),
                 mode: "grid",
+                backfill: sc.backfill.name(),
                 seed,
                 nodes: sc.nodes,
                 summary: r.summary,
