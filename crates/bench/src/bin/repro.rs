@@ -107,8 +107,10 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
 /// Runs the scheduler hot-path grid and **appends** a run to the
 /// `BENCH_sched.json` trajectory (prior runs stay byte-identical; a
 /// legacy v1 snapshot is migrated verbatim as run 0). Exits non-zero if
-/// the spliced document fails its schema gate or the run's headline
-/// regresses below the 5× arena-vs-indexed bar.
+/// the spliced document fails its schema gate or any acceptance bar
+/// regresses: arena-vs-indexed headline speedup, the deep-backfill
+/// conservative/EASY-1 ratio, or the incremental-scheduling cross-run
+/// throughput gate against the `pr7-slotset-backfill` run.
 fn run_bench_json(args: &[String]) {
     let smoke = args.iter().any(|a| a == "--smoke");
     let path = flag_value(args, "--bench-out").unwrap_or("BENCH_sched.json");
@@ -122,13 +124,16 @@ fn run_bench_json(args: &[String]) {
     };
     let run = hotpath::bench_run(smoke, &label, |cell| {
         eprintln!(
-            "bench: n{:<5} q{:<6} {:<7} {:>12.0} events/s  ({:.0} jobs/s, peak queue {})",
+            "bench: n{:<5} q{:<6} {:<16} {:>12.0} events/s  ({:.0} jobs/s, peak queue {}, \
+             passes {} run / {} elided)",
             cell.nodes,
             cell.queue_depth,
-            format!("{}/{}", cell.mode, cell.backfill),
+            format!("{}/{}/{}", cell.mode, cell.backfill, cell.incremental),
             cell.events_per_sec(),
             cell.jobs_per_sec(),
             cell.peak_queue_depth,
+            cell.passes_run,
+            cell.passes_elided,
         );
     });
     let doc = match hotpath::append_run(existing.as_deref(), &run) {
@@ -151,19 +156,68 @@ fn run_bench_json(args: &[String]) {
         "appended run \"{label}\" to {path} ({} runs; headline speedup vs indexed: {speedup:.1}x)",
         hotpath::run_count(&doc)
     );
-    if speedup < 5.0 {
-        eprintln!("headline speedup {speedup:.1}x is below the 5x acceptance bar");
+    // The bar was 5x when the indexed path re-derived everything per
+    // pass. Pass elision is index-agnostic — both paths skip the same
+    // provably-no-op passes — so the headline contrast compressed to the
+    // per-pass walk advantage (~1.25x measured best-of-5). The gate is
+    // now a regression guard: arena must stay strictly ahead of the
+    // indexed path, with margin for scheduler-interference noise.
+    if speedup < 1.1 {
+        eprintln!("headline speedup {speedup:.1}x is below the 1.1x acceptance bar");
         std::process::exit(1);
     }
-    // Deep-backfill gate: conservative planning of the whole blocked
-    // queue must stay within ~2x of the EASY-1 events/s on the headline
-    // cell (the slot-set timeline is what keeps it from collapsing
-    // quadratically).
+    // Deep-backfill gate: with the persistent plans and the dirty-window
+    // walk, conservative planning of the whole blocked queue must stay
+    // within ~0.85x of the EASY-1 events/s on the headline cell (the
+    // pre-incremental bar was 0.5x).
     let ratio = hotpath::backfill_ratio(&doc).unwrap_or(0.0);
     eprintln!("backfill axis: conservative runs at {ratio:.2}x the easy1 events/s");
-    if ratio < 0.5 {
-        eprintln!("conservative/easy1 ratio {ratio:.2} is below the 0.5x (within-2x) bar");
+    if ratio < 0.85 {
+        eprintln!("conservative/easy1 ratio {ratio:.2} is below the 0.85x bar");
         std::process::exit(1);
+    }
+    if let Some(rate) = hotpath::elision_rate(&doc) {
+        eprintln!(
+            "incremental axis: {:.1}% of headline passes elided",
+            rate * 100.0
+        );
+    }
+    // Cross-run gate: the incremental scheduler must beat the
+    // pre-incremental trajectory run on the headline cell by ≥ 1.3x.
+    // Skipped (with a note) when the trajectory lacks that run — e.g. a
+    // fresh --bench-out document. Unlike the within-run ratios above,
+    // the two sides of this gate were measured in different sessions —
+    // interleaved repeats cannot spread interference across them — so
+    // only full runs (300-round cells) enforce it; smoke runs report the
+    // comparison without failing.
+    let (nodes, depth) = (65_536, 100_000);
+    let baseline = hotpath::run_cell_lookup(
+        &doc,
+        "pr7-slotset-backfill",
+        nodes,
+        depth,
+        "arena",
+        "easy1",
+        "on",
+    );
+    let fresh = hotpath::run_cell_lookup(&doc, &label, nodes, depth, "arena", "easy1", "on");
+    match (baseline, fresh) {
+        (Some(base), Some(fresh)) if base.events_per_sec > 0.0 => {
+            let gain = fresh.events_per_sec / base.events_per_sec;
+            eprintln!(
+                "incremental gate: easy1 arena {:.0} events/s vs pr7-slotset-backfill {:.0} \
+                 ({gain:.2}x)",
+                fresh.events_per_sec, base.events_per_sec
+            );
+            if gain < 1.3 && !smoke {
+                eprintln!("easy1 arena gain {gain:.2}x vs pr7-slotset-backfill is below 1.3x");
+                std::process::exit(1);
+            }
+        }
+        _ => eprintln!(
+            "incremental gate: no pr7-slotset-backfill headline cell in {path}; cross-run \
+             comparison skipped"
+        ),
     }
 }
 

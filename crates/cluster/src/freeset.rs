@@ -87,6 +87,33 @@ impl FreeSet {
         self.len += 1;
     }
 
+    /// Inserts the whole run `[start, end)` at once, merging with the
+    /// adjacent runs. The ids must all be absent (debug assertion) — this
+    /// is the bulk-release hot path: returning a completed job's `n`
+    /// contiguous nodes is one O(log r) splice instead of `n`
+    /// insert-with-merge calls.
+    pub fn insert_run(&mut self, start: u32, end: u32) {
+        debug_assert!(start < end, "empty run [{start}, {end})");
+        debug_assert!(
+            (start..end).all(|id| !self.contains(id)),
+            "run [{start}, {end}) overlaps the set"
+        );
+        let mut lo = start;
+        let mut hi = end;
+        if let Some((&ps, &pe)) = self.runs.range(..start).next_back() {
+            if pe == start {
+                self.runs.remove(&ps);
+                lo = ps;
+            }
+        }
+        if let Some(&se) = self.runs.get(&end) {
+            self.runs.remove(&end);
+            hi = se;
+        }
+        self.runs.insert(lo, hi);
+        self.len += end - start;
+    }
+
     /// Removes `id` if present (splitting its run), returning whether it
     /// was.
     pub fn remove(&mut self, id: u32) -> bool {
@@ -177,6 +204,52 @@ mod tests {
         s.insert(8); // bridges everything
         assert_eq!(s.run_count(), 1);
         assert_eq!(ids(&s), vec![5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn insert_run_merges_both_neighbours() {
+        let mut s = FreeSet::new();
+        s.insert_run(0, 3);
+        s.insert_run(7, 10);
+        assert_eq!(s.run_count(), 2);
+        assert_eq!(s.len(), 6);
+        // Bridges both: one run 0..10.
+        s.insert_run(3, 7);
+        assert_eq!(s.run_count(), 1);
+        assert_eq!(s.len(), 10);
+        assert_eq!(ids(&s), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn insert_run_matches_per_id_inserts() {
+        // Drive the same interleaved insert/remove pattern through the
+        // run and per-id paths; the sets must be identical.
+        let mut runs = FreeSet::new();
+        let mut per_id = FreeSet::new();
+        let mut x: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut absent: Vec<u32> = (0..256).collect();
+        for _ in 0..300 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            if absent.is_empty() {
+                break;
+            }
+            let i = (x as usize) % absent.len();
+            let start = absent[i];
+            let mut end = start + 1;
+            while end < 256 && absent.contains(&end) && (end - start) < 5 {
+                end += 1;
+            }
+            runs.insert_run(start, end);
+            for id in start..end {
+                per_id.insert(id);
+            }
+            absent.retain(|&id| !(start..end).contains(&id));
+            assert_eq!(ids(&runs), ids(&per_id));
+            assert_eq!(runs.run_count(), per_id.run_count());
+            assert_eq!(runs.len(), per_id.len());
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Experiment configuration.
 
 use dmr_cluster::NetworkModel;
-use dmr_slurm::{BackfillFamily, PolicyKind, SchedIndex};
+use dmr_slurm::{BackfillFamily, PolicyKind, SchedIncremental, SchedIndex};
 
 /// When a DMR decision is applied (§V-A).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -99,6 +99,13 @@ pub struct ExperimentConfig {
     /// heap — backends are observationally identical, so the three-way
     /// equivalence suite covers both.
     pub sched_index: SchedIndex,
+    /// Incremental scheduling across passes: `On` (the default) keeps
+    /// fruitless-pass memos, the persistent pending order and the retained
+    /// backfill plans alive between instants and elides passes whose
+    /// trigger provably cannot change any decision; `Off` re-derives every
+    /// pass from scratch and serves as the costed baseline (see
+    /// [`SchedIncremental`]). Decisions are bit-identical either way.
+    pub sched_incremental: SchedIncremental,
 }
 
 impl ExperimentConfig {
@@ -122,6 +129,7 @@ impl ExperimentConfig {
             policy: PolicyKind::Algorithm1,
             telemetry: Telemetry::Full,
             sched_index: SchedIndex::Arena,
+            sched_incremental: SchedIncremental::On,
         }
     }
 
@@ -198,6 +206,15 @@ impl ExperimentConfig {
         self
     }
 
+    /// Disables incremental scheduling ([`SchedIncremental::Off`]): every
+    /// pass re-derives its decisions from scratch. This is the costed
+    /// baseline the incremental path is benchmarked and equivalence-tested
+    /// against; results are bit-identical to the default.
+    pub fn incremental_off(mut self) -> Self {
+        self.sched_incremental = SchedIncremental::Off;
+        self
+    }
+
     /// Runs the scheduler on the pre-index scan reference
     /// ([`SchedIndex::ScanReference`]). Scheduling decisions are
     /// bit-identical to the default indexed path — this exists so
@@ -265,6 +282,13 @@ mod tests {
         assert_eq!(c.backfill_family, BackfillFamily::Conservative);
         let c = ExperimentConfig::preliminary().legacy_backfill_reference();
         assert_eq!(c.backfill_family, BackfillFamily::LegacyReference);
+        assert_eq!(
+            ExperimentConfig::preliminary().sched_incremental,
+            SchedIncremental::On,
+            "incremental scheduling is the default; Off is the costed baseline"
+        );
+        let c = ExperimentConfig::preliminary().incremental_off();
+        assert_eq!(c.sched_incremental, SchedIncremental::Off);
     }
 
     #[test]

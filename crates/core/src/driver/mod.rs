@@ -355,6 +355,7 @@ impl<'a, 's> Driver<'a, 's> {
         scfg.shrink_boost = cfg.shrink_boost;
         scfg.policy = cfg.policy;
         scfg.sched_index = cfg.sched_index;
+        scfg.sched_incremental = cfg.sched_incremental;
         // The driver copies each job's accounting into the sink at
         // completion, so the scheduler never needs to keep terminal
         // records — the active set is all that stays resident.
@@ -423,16 +424,22 @@ impl<'a, 's> Driver<'a, 's> {
         self.finish()
     }
 
-    /// Runs a scheduling cycle now — or, on the arena path, marks one due
-    /// and lets the run loop flush it once the current instant's arrival
-    /// batch is fully submitted. Batching is sound precisely when the
+    /// Runs a scheduling cycle now — or, on the arena and indexed paths,
+    /// marks one due and lets the run loop flush it once the current
+    /// instant's arrival batch is fully submitted (the scan reference
+    /// keeps the unbatched pass-per-submission cadence as the oracle).
+    /// Batching is sound precisely when the
     /// pending order is the static `(boosted, submit, seq)` key order
     /// ([`Slurm::pending_order_is_static`]): a new submission then sorts
     /// strictly after every job already pending, so the combined pass
     /// walks the queue through the same decisions the per-submission
     /// passes would have made.
     pub(crate) fn request_schedule(&mut self, now: SimTime) {
-        if self.cfg.sched_index == SchedIndex::Arena && self.slurm.pending_order_is_static() {
+        if matches!(
+            self.cfg.sched_index,
+            SchedIndex::Arena | SchedIndex::Indexed
+        ) && self.slurm.pending_order_is_static()
+        {
             self.pass_due = true;
         } else {
             self.do_schedule(now);

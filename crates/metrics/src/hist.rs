@@ -253,7 +253,7 @@ mod tests {
             let i = bucket_of(us);
             let (lo, hi) = bucket_bounds(i);
             assert!(
-                lo <= us && us < hi || (us == u64::MAX && us >= lo),
+                (lo..hi).contains(&us) || (us == u64::MAX && us >= lo),
                 "{us} not in [{lo},{hi})"
             );
         }
@@ -280,9 +280,9 @@ mod tests {
         }
         // p50 covers the 50th smallest (50.0) within one bin (~3.1 %).
         let p50 = h.percentile_s(50.0);
-        assert!(p50 >= 50.0 && p50 <= 52.0, "p50 = {p50}");
+        assert!((50.0..=52.0).contains(&p50), "p50 = {p50}");
         let p99 = h.percentile_s(99.0);
-        assert!(p99 >= 99.0 && p99 <= 104.0, "p99 = {p99}");
+        assert!((99.0..=104.0).contains(&p99), "p99 = {p99}");
         // p100 is clamped to the exact max.
         assert_eq!(h.percentile_s(100.0), 100.0);
     }

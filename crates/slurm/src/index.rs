@@ -108,6 +108,17 @@ impl PendingIndex {
         self.set.iter().map(|&(.., id)| id)
     }
 
+    /// The full scheduling order, materialised with an exact-capacity
+    /// allocation. This is the rebuild path of the persistent pass order
+    /// the incremental scheduler retains between passes; after the
+    /// rebuild the order is kept current by appends and tombstones, so
+    /// this runs once per invalidation, not once per pass.
+    pub(crate) fn ids_vec(&self) -> Vec<JobId> {
+        let mut out = Vec::with_capacity(self.set.len());
+        out.extend(self.ids());
+        out
+    }
+
     /// The first key strictly after `prev` (`None` starts at the front)
     /// — a resumable cursor over the scheduling order. The arena hot
     /// path walks the queue this way instead of materialising the whole

@@ -44,4 +44,6 @@ pub use policy::{
 };
 pub use priority::MultifactorConfig;
 pub use slotset::{BackfillFamily, SlotSet};
-pub use slurm::{ExpandError, JobStart, SchedIndex, Slurm, SlurmConfig};
+pub use slurm::{
+    ExpandError, IncrementalStats, JobStart, SchedIncremental, SchedIndex, Slurm, SlurmConfig,
+};

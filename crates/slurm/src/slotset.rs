@@ -135,6 +135,38 @@ pub struct SlotSet {
     horizon: SimTime,
     /// Insertion counter feeding the deterministic priority hash.
     seq: u64,
+    /// Intervals committed through [`SlotSet::plan_journaled`] and not
+    /// yet rolled back. Retained between passes so the per-pass unwind
+    /// list of the backfill families reuses its capacity instead of
+    /// reallocating every pass.
+    journal: Vec<(SimTime, SimTime, u32)>,
+}
+
+/// A saved copy of a [`SlotSet`]'s state (see [`SlotSet::save`]).
+///
+/// The conservative backfill pass plans hundreds of pass-local
+/// reservations; unwinding them one [`SlotSet::unplan`] at a time costs
+/// a treap operation each. A checkpoint instead captures the whole slot
+/// arena up front — a capacity-reusing memcpy — and
+/// [`SlotSet::restore`] puts it back in O(slots) flat copies, no tree
+/// surgery. One checkpoint is retained per scheduler and reused across
+/// passes, so steady-state saves allocate nothing.
+#[derive(Debug, Default)]
+pub struct SlotSetCheckpoint {
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    root: u32,
+    horizon: SimTime,
+    seq: u64,
+}
+
+/// Running state of one [`SlotSet::earliest_hole`] traversal: the
+/// candidate start currently surviving (its window, so far, holds), and
+/// whether the search has proven it (a blocker at or past the window's
+/// end, or the timeline running out).
+struct HoleScan {
+    cand: Option<SimTime>,
+    done: bool,
 }
 
 /// `splitmix64` — deterministic, well-mixed treap priorities without an
@@ -155,6 +187,7 @@ impl SlotSet {
             root: NIL,
             horizon: origin,
             seq: 0,
+            journal: Vec::new(),
         };
         s.root = s.alloc(origin, 0);
         s
@@ -345,51 +378,82 @@ impl SlotSet {
         best
     }
 
-    /// First boundary at or after `from` whose occupancy satisfies the
-    /// predicate (`<= cap` when `want_le`, `> cap` otherwise). Read-only:
-    /// prunes on the subtree min (resp. max) aggregate.
-    fn first_matching(
-        &self,
-        n: u32,
-        from: SimTime,
-        acc: i64,
-        cap: i64,
-        want_le: bool,
-    ) -> Option<SimTime> {
+    /// First boundary at or after `from` with occupancy `<= cap`.
+    /// Read-only: prunes on the subtree min aggregate.
+    fn first_matching(&self, n: u32, from: SimTime, acc: i64, cap: i64) -> Option<SimTime> {
         if n == NIL {
             return None;
         }
         let s = &self.slots[n as usize];
         let frame = acc + s.add;
-        let feasible = if want_le {
-            s.min + frame <= cap
-        } else {
-            s.max + frame > cap
-        };
-        if !feasible {
+        if s.min + frame > cap {
             return None;
         }
         if s.time >= from {
-            if let Some(t) = self.first_matching(s.l, from, frame, cap, want_le) {
+            if let Some(t) = self.first_matching(s.l, from, frame, cap) {
                 return Some(t);
             }
-            let v = s.occ + frame;
-            let hit = if want_le { v <= cap } else { v > cap };
-            if hit {
+            if s.occ + frame <= cap {
                 return Some(s.time);
             }
         }
-        self.first_matching(s.r, from, frame, cap, want_le)
+        self.first_matching(s.r, from, frame, cap)
     }
 
     /// First boundary time `>= from` with occupancy `<= cap`.
     pub fn first_fit_at(&self, from: SimTime, cap: i64) -> Option<SimTime> {
-        self.first_matching(self.root, from.max(self.horizon), 0, cap, true)
+        self.first_matching(self.root, from.max(self.horizon), 0, cap)
     }
 
-    /// First boundary time `>= from` with occupancy `> cap`.
-    fn first_blocker_at(&self, from: SimTime, cap: i64) -> Option<SimTime> {
-        self.first_matching(self.root, from, 0, cap, false)
+    /// One in-order scan from `from` running the whole hole search as a
+    /// state machine: while no candidate start is held, it hunts the
+    /// first boundary with occupancy `<= cap`; while one is held, it
+    /// hunts the blocker (`> cap`) that would invalidate it. A blocker
+    /// inside the candidate's window discards the candidate and the hunt
+    /// flips back; a blocker at or beyond the window's end proves the
+    /// hole and stops. Phase-dependent aggregate pruning skips whole
+    /// subtrees (`min > cap` while fit-hunting, `max <= cap` while
+    /// blocker-hunting), and because this is a single traversal each
+    /// slot is visited at most once per query — the loop of
+    /// root-restarting descents it replaced paid a full root path per
+    /// blocker hopped.
+    fn hole_scan(&self, n: u32, from: SimTime, dur: Span, acc: i64, cap: i64, st: &mut HoleScan) {
+        if n == NIL || st.done {
+            return;
+        }
+        let s = &self.slots[n as usize];
+        let frame = acc + s.add;
+        // The phase cannot flip inside a pruned subtree: no fit means no
+        // new candidate, no blocker means no invalidation.
+        match st.cand {
+            None if s.min + frame > cap => return,
+            Some(_) if s.max + frame <= cap => return,
+            _ => {}
+        }
+        if s.time >= from {
+            self.hole_scan(s.l, from, dur, frame, cap, st);
+            if st.done {
+                return;
+            }
+            let v = s.occ + frame;
+            match st.cand {
+                None => {
+                    if v <= cap {
+                        st.cand = Some(s.time);
+                    }
+                }
+                Some(c) => {
+                    if v > cap {
+                        if s.time.0 >= c.0.saturating_add(dur.0) {
+                            st.done = true;
+                            return;
+                        }
+                        st.cand = None;
+                    }
+                }
+            }
+        }
+        self.hole_scan(s.r, from, dur, frame, cap, st);
     }
 
     /// Maximum occupancy over the window `[from, until)` (clamped to the
@@ -495,6 +559,55 @@ impl SlotSet {
         self.range_apply(from, until, i64::from(nodes));
     }
 
+    /// [`SlotSet::plan`] plus a journal entry: the interval is recorded
+    /// so one [`SlotSet::rollback_plans`] call reverts every temporary
+    /// commitment of the current pass. The backfill families plan
+    /// shadow-time reservations this way — the reservations steer the
+    /// pass's hole queries but must not leak into the next pass, whose
+    /// occupancy is re-derived from the running set alone.
+    pub fn plan_journaled(&mut self, from: SimTime, until: SimTime, nodes: u32) {
+        self.plan(from, until, nodes);
+        self.journal.push((from, until, nodes));
+    }
+
+    /// Reverts, newest first, every interval recorded by
+    /// [`SlotSet::plan_journaled`] since the last rollback. Plans are
+    /// commutative interval adds, so the timeline is restored exactly no
+    /// matter how the journaled intervals overlapped.
+    pub fn rollback_plans(&mut self) {
+        while let Some((from, until, nodes)) = self.journal.pop() {
+            self.unplan(from, until, nodes);
+        }
+    }
+
+    /// Copies the whole timeline into `into`, reusing its buffers. The
+    /// caller may then mutate freely with [`SlotSet::plan`] /
+    /// [`SlotSet::unplan`] and revert everything at once with
+    /// [`SlotSet::restore`] — a flat memcpy either way, with no
+    /// per-interval treap unwinding. Must not be called with journaled
+    /// plans outstanding: restore would silently discard the journal's
+    /// pairing with the tree state.
+    pub fn save(&self, into: &mut SlotSetCheckpoint) {
+        debug_assert!(self.journal.is_empty(), "checkpoint with live journal");
+        into.slots.clone_from(&self.slots);
+        into.free.clone_from(&self.free);
+        into.root = self.root;
+        into.horizon = self.horizon;
+        into.seq = self.seq;
+    }
+
+    /// Restores the state captured by [`SlotSet::save`], discarding every
+    /// mutation made since. The checkpoint is unchanged and may be
+    /// restored again.
+    pub fn restore(&mut self, from: &SlotSetCheckpoint) {
+        self.slots.clone_from(&from.slots);
+        self.free.clone_from(&from.free);
+        self.root = from.root;
+        self.horizon = from.horizon;
+        self.seq = from.seq;
+        self.journal.clear();
+    }
+
     /// Reverts a [`SlotSet::plan`] of `nodes` over `[from, until)` and
     /// merges boundaries the revert made redundant.
     pub fn unplan(&mut self, from: SimTime, until: SimTime, nodes: u32) {
@@ -530,25 +643,28 @@ impl SlotSet {
 
     /// Earliest `t >= from` such that `occ(s) <= cap` for every `s` in
     /// `[t, t + dur)`, or `None` when the occupancy never falls to `cap`.
-    /// Descends on the min aggregate to candidate starts and on the max
-    /// aggregate to the blocker that invalidates each failed candidate.
+    /// A single pruned in-order traversal (`hole_scan`) runs
+    /// the candidate/blocker alternation to completion; the seed handles
+    /// `from` itself lying mid-slot (its controlling boundary sits before
+    /// `from`, where the scan never looks).
     pub fn earliest_hole(&self, from: SimTime, cap: i64, dur: Span) -> Option<SimTime> {
         if cap < 0 {
             return None;
         }
-        let mut t = from.max(self.horizon);
-        loop {
-            let cand = if self.occupied_at(t) <= cap {
-                t
-            } else {
-                self.first_fit_at(SimTime(t.0.saturating_add(1)), cap)?
-            };
-            let end = SimTime(cand.0.saturating_add(dur.0));
-            match self.first_blocker_at(SimTime(cand.0.saturating_add(1)), cap) {
-                Some(b) if b < end => t = b,
-                _ => return Some(cand),
-            }
-        }
+        let t = from.max(self.horizon);
+        let mut st = HoleScan {
+            cand: (self.occupied_at(t) <= cap).then_some(t),
+            done: false,
+        };
+        self.hole_scan(
+            self.root,
+            SimTime(t.0.saturating_add(1)),
+            dur,
+            0,
+            cap,
+            &mut st,
+        );
+        st.cand
     }
 
     /// All slots as `(left boundary, occupancy)` in time order (test and
@@ -695,6 +811,55 @@ mod tests {
         tl.unplan(t(20), t(80), 3);
         tl.unplan(t(10), t(50), 4);
         assert_eq!(tl.slots(), vec![(SimTime::ZERO, 0)]);
+        tl.validate().unwrap();
+    }
+
+    #[test]
+    fn journaled_plans_roll_back_exactly() {
+        let mut tl = SlotSet::new(SimTime::ZERO);
+        tl.plan(t(10), t(50), 4);
+        let before = tl.slots();
+        // Overlapping temporary reservations, as a backfill pass plans
+        // them, including one extending the represented range.
+        tl.plan_journaled(t(30), t(60), 5);
+        tl.plan_journaled(t(20), t(90), 2);
+        tl.plan_journaled(t(30), t(40), 1);
+        assert_eq!(tl.occupied_at(t(35)), 4 + 5 + 2 + 1);
+        tl.rollback_plans();
+        assert_eq!(tl.slots(), before, "rollback must restore the pass state");
+        tl.validate().unwrap();
+        // The journal is drained: a second rollback is a no-op, and the
+        // next pass's entries stand alone.
+        tl.rollback_plans();
+        assert_eq!(tl.slots(), before);
+        tl.plan_journaled(t(15), t(25), 3);
+        tl.rollback_plans();
+        assert_eq!(tl.slots(), before);
+        tl.validate().unwrap();
+    }
+
+    #[test]
+    fn checkpoint_restore_reverts_arbitrary_mutation() {
+        let mut tl = SlotSet::new(SimTime::ZERO);
+        tl.plan(t(10), t(50), 4);
+        tl.plan(t(20), t(80), 3);
+        let before = tl.slots();
+        let mut ckpt = SlotSetCheckpoint::default();
+        tl.save(&mut ckpt);
+        // A conservative-pass-shaped burst of un-journaled plans,
+        // including boundary churn from an interleaved unplan.
+        for i in 0..64u64 {
+            tl.plan(t(30 + i), t(60 + 2 * i), 1 + (i % 5) as u32);
+        }
+        tl.unplan(t(20), t(80), 3);
+        assert_ne!(tl.slots(), before);
+        tl.restore(&ckpt);
+        assert_eq!(tl.slots(), before, "restore must revert every mutation");
+        tl.validate().unwrap();
+        // The checkpoint is reusable: mutate and restore again.
+        tl.plan(t(5), t(95), 7);
+        tl.restore(&ckpt);
+        assert_eq!(tl.slots(), before);
         tl.validate().unwrap();
     }
 

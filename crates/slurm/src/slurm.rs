@@ -12,7 +12,7 @@ use crate::index::{PendingIndex, PendingKey, ResizerIndex, RunningIndex};
 use crate::job::{Dependency, Job, JobId, JobRequest, JobState};
 use crate::policy::{PolicyKind, ResizePolicy};
 use crate::priority::MultifactorConfig;
-use crate::slotset::{BackfillFamily, SlotSet};
+use crate::slotset::{BackfillFamily, SlotSet, SlotSetCheckpoint};
 
 /// Which hot-path implementation the scheduler runs on.
 ///
@@ -39,6 +39,30 @@ pub enum SchedIndex {
     Indexed,
     /// Pre-index scans and sorts on every pass (reference / oracle).
     ScanReference,
+}
+
+/// Whether the scheduler carries state *across* passes: watermark pass
+/// elision, the persistent (tombstoned, appendable) pending-order cache,
+/// retained backfill reservations / conservative plans, and the
+/// per-instant resizer-reap memo.
+///
+/// [`SchedIncremental::On`] (the default) makes a scheduling or backfill
+/// pass whose trigger provably cannot change any decision return in O(1)
+/// — the *elision contract*: an elided pass is bit-for-bit identical to
+/// an executed one (same empty start list, same observable state), which
+/// `tests/incremental_equivalence.rs` pins by forking states and running
+/// both paths. [`SchedIncremental::Off`] keeps every pass paying full
+/// cost — the costed baseline the `BENCH_sched.json` incremental axis
+/// measures the win against. The knob never changes decisions; only when
+/// work is (provably redundantly) repeated.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SchedIncremental {
+    /// Elide provably-identical passes and persist order / reservation /
+    /// plan state across passes (the fast path).
+    #[default]
+    On,
+    /// Recompute every pass from scratch (the costed baseline).
+    Off,
 }
 
 /// Scheduler-wide configuration.
@@ -83,6 +107,11 @@ pub struct SlurmConfig {
     /// config so experiments and benchmarks can pit the indexed path
     /// against the scan oracle without code changes.
     pub sched_index: SchedIndex,
+    /// Cross-pass state selector (see [`SchedIncremental`]): pass
+    /// elision, the persistent pending-order cache, retained backfill
+    /// artifacts and the per-instant reap memo. Never consulted under
+    /// [`SchedIndex::ScanReference`] (the oracle always pays full cost).
+    pub sched_incremental: SchedIncremental,
 }
 
 impl SlurmConfig {
@@ -98,6 +127,7 @@ impl SlurmConfig {
             policy: PolicyKind::Algorithm1,
             retain_completed: true,
             sched_index: SchedIndex::Arena,
+            sched_incremental: SchedIncremental::On,
         }
     }
 }
@@ -187,6 +217,8 @@ pub struct Slurm {
     /// deferred deltas are flushed behind `&self` in
     /// [`Slurm::check_invariants`].
     timeline: RefCell<Timeline>,
+    /// Cross-pass incremental state ([`SchedIncremental`] layer).
+    incr: IncrState,
 }
 
 /// One deferred timeline mutation: a running job's node commitment over
@@ -196,7 +228,7 @@ pub struct Slurm {
 /// Applying from the *current* horizon is exact: occupancy behind the
 /// horizon is clipped on both plan and unplan, and [`SlotSet::advance`]
 /// prunes whatever a plan wrote behind the clock before any query runs.
-#[derive(Debug)]
+#[derive(Debug, Clone, Copy)]
 struct TimelineDelta {
     end: SimTime,
     nodes: u32,
@@ -208,6 +240,14 @@ struct TimelineDelta {
 struct Timeline {
     slots: SlotSet,
     queued: Vec<TimelineDelta>,
+    /// Checkpoint buffer for [`Timeline::save`], retained so steady-state
+    /// saves are allocation-free memcpys.
+    ckpt: SlotSetCheckpoint,
+    /// Real (non-plan) deltas flushed while a checkpoint is active — the
+    /// mid-pass starts whose commitments must survive the restore.
+    recorded: Vec<TimelineDelta>,
+    /// Whether a [`Timeline::save`] checkpoint is awaiting restore.
+    recording: bool,
 }
 
 impl Timeline {
@@ -215,6 +255,9 @@ impl Timeline {
         Timeline {
             slots: SlotSet::new(SimTime::ZERO),
             queued: Vec::new(),
+            ckpt: SlotSetCheckpoint::default(),
+            recorded: Vec::new(),
+            recording: false,
         }
     }
 
@@ -227,6 +270,9 @@ impl Timeline {
             } else {
                 self.slots.unplan(h, d.end, d.nodes);
             }
+            if self.recording {
+                self.recorded.push(d);
+            }
         }
     }
 
@@ -235,6 +281,37 @@ impl Timeline {
     fn sync(&mut self, now: SimTime) {
         self.flush();
         self.slots.advance(now);
+    }
+
+    /// Checkpoints the timeline so a pass can commit temporary plans
+    /// directly ([`SlotSet::plan`], no journal) and drop them all with
+    /// one [`Timeline::restore`]. Real deltas flushed in between (jobs
+    /// the pass *started*) are recorded and survive the restore — they
+    /// are replayed on top of the checkpoint. The queue must be empty
+    /// (call [`Timeline::sync`] first) so the checkpoint is exact.
+    fn save(&mut self) {
+        debug_assert!(self.queued.is_empty(), "checkpoint with queued deltas");
+        self.slots.save(&mut self.ckpt);
+        self.recorded.clear();
+        self.recording = true;
+    }
+
+    /// Reverts to the last [`Timeline::save`], then replays the real
+    /// deltas recorded since. The horizon did not move while recording
+    /// (passes run at one instant), so replaying from the restored
+    /// horizon is exact — the same clipping [`Timeline::flush`] applied.
+    fn restore(&mut self) {
+        debug_assert!(self.recording, "restore without a checkpoint");
+        self.recording = false;
+        self.slots.restore(&self.ckpt);
+        let h = self.slots.horizon();
+        for d in self.recorded.drain(..) {
+            if d.plan {
+                self.slots.plan(h, d.end, d.nodes);
+            } else {
+                self.slots.unplan(h, d.end, d.nodes);
+            }
+        }
     }
 }
 
@@ -245,11 +322,122 @@ struct QueueCache {
     /// Whether it came from the index (then it is valid at *any* instant
     /// while the index stays exact, not just at `at`).
     from_index: bool,
-    /// Full pending order.
-    order: Arc<[JobId]>,
+    /// Pending ids in index key order. Under the persistent regime
+    /// (`SchedIncremental::On` + arena + exact index) entries may be
+    /// *tombstones* — ids whose job has since started, been cancelled or
+    /// been pruned. Readers filter them against the generation-checked
+    /// arena, so the order survives starts/cancellations (a removal never
+    /// reorders the survivors) and submissions append in O(1) (a fresh
+    /// non-boosted job sorts strictly last under the exact index key).
+    /// Empty placeholder unless `persistent`.
+    order: Arc<Vec<JobId>>,
+    /// Whether `order` is populated and may be appended to / tombstoned
+    /// (entries created in the persistent regime). Guards against a
+    /// mid-run [`SchedIncremental`] flip trusting a placeholder order.
+    persistent: bool,
+    /// Number of tombstones currently in `order`.
+    stale: usize,
+    /// Memoized tombstone-free materialisation, built lazily for the
+    /// public accessors ([`Slurm::pending_queue`] and friends).
+    shared: Option<Arc<[JobId]>>,
     /// The resizer-free view, built lazily on the first
     /// [`Slurm::pending_queue`] call of the cycle.
     no_resizers: Option<Arc<[JobId]>>,
+}
+
+/// A pass's borrowed walk order: either the clean shared slice (the
+/// non-persistent regimes) or the persistent possibly-tombstoned order.
+enum PassOrder {
+    Shared(Arc<[JobId]>),
+    Persistent(Arc<Vec<JobId>>),
+}
+
+impl PassOrder {
+    fn ids(&self) -> &[JobId] {
+        match self {
+            PassOrder::Shared(s) => s,
+            PassOrder::Persistent(v) => v,
+        }
+    }
+}
+
+/// Memo of a backfill pass that started nothing, snapshotting everything
+/// its decisions depended on. While it stays valid (see the invalidation
+/// wiring in [`Slurm`]'s mutators) a repeat pass is provably identical —
+/// it would again start nothing and leave no observable state — and is
+/// elided in O(1). The retained reservation / plan artifacts double as
+/// the cross-pass caches exposed by [`Slurm::easy_reservations`] and
+/// [`Slurm::conservative_plan`].
+#[derive(Debug)]
+struct BfMemo {
+    /// Instant of the memoized pass. Refusals are monotone in time (the
+    /// running-jobs occupancy profile only falls as `now` advances), so
+    /// the memo holds at every `now >= at` until a mutation clears it.
+    at: SimTime,
+    /// Smallest `requested_nodes` among the jobs the pass refused for
+    /// lack of free nodes (`u32::MAX` when nothing was). A
+    /// capacity-increasing event invalidates the memo only when the new
+    /// free count reaches this watermark: below it, every refusal
+    /// provably repeats (a start requires `free >= requested`).
+    watermark: u32,
+    /// Whether the pass refused a *fitting* job (EASY harmless check /
+    /// conservative hole not at `now`). Those refusals are **not**
+    /// monotone in time — planned occupancy decays as running jobs
+    /// overrun their estimates, so a hole can open with no mutation at
+    /// all — and they depend on the running set. A memo carrying one is
+    /// only reused at the exact memoized instant and dies at any
+    /// capacity-increasing event.
+    fitting_refused: bool,
+    /// Config snapshot: the memo holds only while the pass would run the
+    /// same algorithm with the same knobs.
+    family: BackfillFamily,
+    backfill_on: bool,
+    window: u32,
+    /// EASY-k `(shadow, spare)` reservations retained from the memoized
+    /// pass — reused (by elision) while the blocking set is unchanged.
+    easy_reservations: Vec<(SimTime, u32)>,
+    /// Conservative planned slots `(job, planned start)` retained from
+    /// the memoized pass.
+    conservative_plan: Vec<(JobId, SimTime)>,
+}
+
+/// Cross-pass incremental-scheduling state (all of it soundness-gated:
+/// every mutator either keeps a memo provably valid or clears it).
+#[derive(Debug, Default)]
+struct IncrState {
+    /// `Some(need)` after a [`Slurm::schedule`] pass that started nothing
+    /// and broke at a dependency-satisfied head requesting `need` nodes.
+    /// While free nodes stay below `need` (and the pending order static),
+    /// a repeat pass is provably identical and is elided.
+    sched_block: Option<u32>,
+    /// Memo of the last fruitless backfill pass (see [`BfMemo`]).
+    bf_memo: Option<BfMemo>,
+    /// Instant [`Slurm::reap_dead_resizers`] last ran to completion with
+    /// no dependency-relevant mutation since — dedupes the
+    /// schedule-then-backfill double reap at one instant.
+    reaped_at: Option<SimTime>,
+    sched_runs: u64,
+    sched_elided: u64,
+    bf_runs: u64,
+    bf_elided: u64,
+}
+
+/// Pass counters of the incremental layer (see
+/// [`Slurm::incremental_stats`]): how many scheduling / backfill passes
+/// executed versus how many were elided as provable no-ops. Elision never
+/// changes decisions, so these make the incremental win attributable —
+/// benchmarks report them per cell instead of inferring the effect from
+/// throughput alone.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IncrementalStats {
+    /// [`Slurm::schedule`] passes that ran the walk.
+    pub sched_passes_run: u64,
+    /// [`Slurm::schedule`] passes elided via the blocked-head watermark.
+    pub sched_passes_elided: u64,
+    /// [`Slurm::backfill_pass`] invocations that executed.
+    pub backfill_passes_run: u64,
+    /// [`Slurm::backfill_pass`] invocations elided via the pass memo.
+    pub backfill_passes_elided: u64,
 }
 
 impl Slurm {
@@ -266,6 +454,7 @@ impl Slurm {
             running_index: RunningIndex::default(),
             resizer_index: ResizerIndex::default(),
             timeline: RefCell::new(Timeline::new()),
+            incr: IncrState::default(),
         }
     }
 
@@ -374,7 +563,30 @@ impl Slurm {
         if let Some(Dependency::ExpandOf(parent)) = dependency {
             self.resizer_index.register(parent, id, parent_running);
         }
-        self.invalidate_queue_cache();
+        // A new registration may be a dead-resizer candidate.
+        self.incr.reaped_at = None;
+        if self.incr_on() && self.index_is_exact() {
+            // The fresh non-boosted job sorts strictly last: append to
+            // the persistent order instead of dropping it. The sched
+            // memo survives (the blocked head still blocks first, and
+            // the priority-FIFO walk never looks past it). The backfill
+            // memo survives only if the new job itself cannot start —
+            // and the job's request must then join the watermark, so a
+            // later capacity event that could fit *it* (even below the
+            // old watermark) invalidates the memo.
+            self.queue_cache_append(id);
+            if let Some(m) = self.incr.bf_memo.as_mut() {
+                let need = self.jobs[id].requested_nodes;
+                if need <= self.cluster.free_nodes() {
+                    self.incr.bf_memo = None;
+                } else {
+                    m.watermark = m.watermark.min(need);
+                }
+            }
+        } else {
+            self.invalidate_queue_cache();
+            self.incr_clear();
+        }
         id
     }
 
@@ -390,6 +602,9 @@ impl Slurm {
                 self.pending_index.reboost(submit, seq, jid);
             }
             self.invalidate_queue_cache();
+            // A reorder invalidates both watermark memos (the blocked
+            // head may change).
+            self.incr_clear();
         }
     }
 
@@ -400,6 +615,10 @@ impl Slurm {
             return;
         };
         j.expected_runtime = estimate;
+        // Runtime estimates feed every backfill decision (shadow times,
+        // hole durations) but never the priority-FIFO walk: drop the
+        // backfill memo, keep the schedule memo.
+        self.incr.bf_memo = None;
         let started_at = (j.state == JobState::Running)
             .then_some(j.start_time)
             .flatten();
@@ -436,6 +655,118 @@ impl Slurm {
         *self.queue_cache.borrow_mut() = None;
     }
 
+    /// Whether the incremental layer is active: the knob is on and the
+    /// mode is not the full-cost oracle.
+    fn incr_on(&self) -> bool {
+        self.config.sched_incremental == SchedIncremental::On
+            && self.config.sched_index != SchedIndex::ScanReference
+    }
+
+    /// Whether the queue cache runs in the persistent (tombstoned,
+    /// appendable) regime. Arena-only: the `Indexed` mode keeps its
+    /// per-pass materialisation cost so benchmarks can still measure the
+    /// arena step against it.
+    fn cache_is_persistent(&self) -> bool {
+        self.incr_on() && self.config.sched_index == SchedIndex::Arena
+    }
+
+    /// Clears every cross-pass decision memo. The catch-all for mutations
+    /// whose effect on pass outcomes is not worth proving finer rules
+    /// about.
+    fn incr_clear(&mut self) {
+        self.incr.sched_block = None;
+        self.incr.bf_memo = None;
+    }
+
+    /// A capacity-increasing event happened (completion, running-job
+    /// cancellation, shrink): keep the watermark memos only while the new
+    /// free count still cannot satisfy the smallest refused request —
+    /// then every refusal in the memoized pass provably repeats. A
+    /// backfill memo that refused a fitting job is always dropped: the
+    /// changed running set may flip that refusal either way.
+    fn incr_capacity_freed(&mut self) {
+        let free = self.cluster.free_nodes();
+        if self.incr.sched_block.is_some_and(|need| free >= need) {
+            self.incr.sched_block = None;
+        }
+        if self
+            .incr
+            .bf_memo
+            .as_ref()
+            .is_some_and(|m| m.fitting_refused || free >= m.watermark)
+        {
+            self.incr.bf_memo = None;
+        }
+    }
+
+    /// A pending job left the pending set without changing the relative
+    /// order of the rest (start / cancellation): under the persistent
+    /// cache its entry becomes a tombstone; otherwise the cache drops.
+    fn queue_cache_tombstone(&mut self) {
+        if !self.cache_is_persistent() {
+            self.invalidate_queue_cache();
+            return;
+        }
+        let mut cache = self.queue_cache.borrow_mut();
+        if let Some(c) = cache.as_mut() {
+            if !c.from_index || !c.persistent {
+                *cache = None;
+                return;
+            }
+            c.stale += 1;
+            c.shared = None;
+            c.no_resizers = None;
+            // Compact (by rebuild on next use) once tombstones dominate,
+            // keeping walks O(live + live) rather than O(history).
+            if c.stale * 2 > c.order.len() {
+                *cache = None;
+            }
+        }
+    }
+
+    /// Appends a just-submitted job to the persistent order. Sound only
+    /// when the caller verified the index is exact (a fresh non-boosted
+    /// submission then sorts strictly after every retained entry).
+    fn queue_cache_append(&mut self, id: JobId) {
+        let mut cache = self.queue_cache.borrow_mut();
+        if let Some(c) = cache.as_mut() {
+            if c.from_index && c.persistent {
+                Arc::make_mut(&mut c.order).push(id);
+                c.shared = None;
+                c.no_resizers = None;
+            } else {
+                *cache = None;
+            }
+        }
+    }
+
+    /// The order a backfill pass walks. Persistent regime: the retained
+    /// (possibly tombstoned) order, rebuilt from the index only when
+    /// absent — passes then filter tombstones instead of materialising a
+    /// fresh order. Elsewhere: the classic shared slice at full cost.
+    fn pass_order(&self, now: SimTime) -> PassOrder {
+        if self.cache_is_persistent() && self.index_is_exact() {
+            let mut cache = self.queue_cache.borrow_mut();
+            if let Some(c) = cache.as_ref() {
+                if c.from_index && c.persistent {
+                    return PassOrder::Persistent(Arc::clone(&c.order));
+                }
+            }
+            let order = Arc::new(self.pending_index.ids_vec());
+            *cache = Some(QueueCache {
+                at: now,
+                from_index: true,
+                order: Arc::clone(&order),
+                persistent: true,
+                stale: 0,
+                shared: None,
+                no_resizers: None,
+            });
+            return PassOrder::Persistent(order);
+        }
+        PassOrder::Shared(self.pending_ids_by_priority(now))
+    }
+
     /// Whether the [`PendingIndex`] key order provably equals the
     /// multifactor sort at every instant: the age factor is the only
     /// live weight and no pending job carries a non-zero base priority.
@@ -464,26 +795,62 @@ impl Slurm {
 
     fn pending_ids_by_priority(&self, now: SimTime) -> Arc<[JobId]> {
         let indexed = self.index_is_exact();
-        if let Some(c) = self.queue_cache.borrow().as_ref() {
-            // An index-served order is time-invariant until the next
-            // mutation (which clears the cache), so it survives across
-            // instants; sort-served orders are valid at `at` only.
-            if c.at == now || (c.from_index && indexed) {
-                return Arc::clone(&c.order);
+        {
+            let mut cache = self.queue_cache.borrow_mut();
+            if let Some(c) = cache.as_mut() {
+                // An index-served order is time-invariant until the next
+                // mutation (which clears or tombstones the cache), so it
+                // survives across instants; sort-served orders are valid
+                // at `at` only.
+                if c.at == now || (c.from_index && indexed) {
+                    if let Some(s) = &c.shared {
+                        return Arc::clone(s);
+                    }
+                    // Materialise the clean slice, filtering tombstones
+                    // out of the persistent order (a no-op filter when
+                    // the cache was never tombstoned).
+                    let s: Arc<[JobId]> = if c.stale == 0 {
+                        c.order.iter().copied().collect()
+                    } else {
+                        c.order
+                            .iter()
+                            .copied()
+                            .filter(|&id| {
+                                self.jobs
+                                    .get(id)
+                                    .is_some_and(|j| j.state == JobState::Pending)
+                            })
+                            .collect()
+                    };
+                    c.shared = Some(Arc::clone(&s));
+                    return s;
+                }
             }
         }
-        let order: Arc<[JobId]> = if indexed {
+        let shared: Arc<[JobId]> = if indexed {
             self.pending_index.ids().collect::<Vec<JobId>>().into()
         } else {
             self.pending_order_scan(now).into()
         };
+        // Only the persistent regime ever walks / appends / tombstones
+        // `order`; everywhere else the clean slice is the whole cache and
+        // `order` stays an empty placeholder (no second copy paid).
+        let persistent = self.cache_is_persistent() && indexed;
+        let order = if persistent {
+            Arc::new(shared.to_vec())
+        } else {
+            Arc::new(Vec::new())
+        };
         *self.queue_cache.borrow_mut() = Some(QueueCache {
             at: now,
             from_index: indexed,
-            order: Arc::clone(&order),
+            order,
+            persistent,
+            stale: 0,
+            shared: Some(Arc::clone(&shared)),
             no_resizers: None,
         });
-        order
+        shared
     }
 
     /// The pre-index pending order: recompute every multifactor priority
@@ -606,7 +973,12 @@ impl Slurm {
         let held = self.cluster.held_by(id.owner_tag());
         self.running_index.insert(id, end, held);
         self.tl_queue(end, held, true);
-        self.invalidate_queue_cache();
+        // A start changes the free count, the running set and (for
+        // resizer parents) dependency satisfiability: every memo dies;
+        // the persistent order keeps the started id as a tombstone.
+        self.queue_cache_tombstone();
+        self.incr_clear();
+        self.incr.reaped_at = None;
         JobStart {
             id,
             nodes,
@@ -618,9 +990,19 @@ impl Slurm {
         if self.config.sched_index == SchedIndex::ScanReference {
             return self.reap_dead_resizers_scan(now);
         }
+        // Per-instant memo: a schedule() immediately followed by a
+        // backfill_pass() at the same instant reaps once. Any mutation
+        // that can create candidates or change dependency state (submit,
+        // start, complete, cancel) re-arms it.
+        if self.incr_on() && self.incr.reaped_at == Some(now) {
+            return;
+        }
         // O(1) in the common case: completions push orphaned resizers
         // onto the candidate list; nothing queued means nothing to do.
         if !self.resizer_index.has_dead_candidates() {
+            if self.incr_on() {
+                self.incr.reaped_at = Some(now);
+            }
             return;
         }
         for id in self.resizer_index.take_dead() {
@@ -639,6 +1021,10 @@ impl Slurm {
                 continue;
             }
             self.cancel(id, now);
+        }
+        // Arm the memo last: the cancels above cleared it.
+        if self.incr_on() {
+            self.incr.reaped_at = Some(now);
         }
     }
 
@@ -666,37 +1052,69 @@ impl Slurm {
     /// mirroring Slurm's `bf_interval` architecture. Also reaps resizer
     /// jobs whose original job ended.
     pub fn schedule(&mut self, now: SimTime) -> Vec<JobStart> {
-        self.reap_dead_resizers(now);
-        if self.config.sched_index == SchedIndex::Arena && self.index_is_exact() {
-            return self.schedule_walk(now);
+        // Watermark elision: a prior pass started nothing and broke at a
+        // blocked head, and no mutation since could change any decision
+        // (the memo is cleared by every mutation that can — see
+        // `incr_clear` / `incr_capacity_freed` call sites). Requires the
+        // static order (new submissions sort last, so the head still
+        // blocks first) and a provably no-op reap.
+        if self.incr_on()
+            && self.index_is_exact()
+            && !self.resizer_index.has_dead_candidates()
+            && self.incr.sched_block.is_some()
+        {
+            self.incr.sched_elided += 1;
+            return Vec::new();
         }
-        let order = self.pending_ids_by_priority(now);
-        let mut started = Vec::new();
-        for &id in order.iter() {
-            let job = &self.jobs[id];
-            if !self.dependency_satisfied(job) {
-                // Cannot run regardless of resources; does not block the
-                // queue.
-                continue;
+        self.incr.sched_runs += 1;
+        self.reap_dead_resizers(now);
+        let (started, blocked) = if matches!(
+            self.config.sched_index,
+            SchedIndex::Arena | SchedIndex::Indexed
+        ) && self.index_is_exact()
+        {
+            self.schedule_walk(now)
+        } else {
+            let order = self.pending_ids_by_priority(now);
+            let mut started = Vec::new();
+            let mut blocked = None;
+            for &id in order.iter() {
+                let job = &self.jobs[id];
+                if !self.dependency_satisfied(job) {
+                    // Cannot run regardless of resources; does not block
+                    // the queue.
+                    continue;
+                }
+                if self.cluster.can_allocate(job.requested_nodes) {
+                    started.push(self.start_job(id, now));
+                } else {
+                    blocked = Some(job.requested_nodes);
+                    break;
+                }
             }
-            if self.cluster.can_allocate(job.requested_nodes) {
-                started.push(self.start_job(id, now));
-            } else {
-                break;
-            }
+            (started, blocked)
+        };
+        // Memoize only a fully fruitless pass: a pass that started jobs
+        // may have flipped a skipped resizer's dependency mid-walk, and
+        // `start_job` cleared the memos anyway.
+        if self.incr_on() && self.index_is_exact() && started.is_empty() {
+            self.incr.sched_block = blocked;
         }
         started
     }
 
-    /// The arena-mode scheduling pass: walks the [`PendingIndex`]
+    /// The index-served scheduling pass: walks the [`PendingIndex`]
     /// through a resumable cursor instead of materialising the whole
     /// order, so a pass that starts `k` of `n` pending jobs costs
     /// O(k log n). Visit order is the exact index key order — identical
     /// to the slice the materialising path would have walked (the only
     /// mid-walk mutation, [`Slurm::start_job`], removes keys the cursor
-    /// has already passed).
-    fn schedule_walk(&mut self, now: SimTime) -> Vec<JobStart> {
+    /// has already passed). Used by both [`SchedIndex::Arena`] and
+    /// [`SchedIndex::Indexed`] whenever the index is exact. Also returns
+    /// the blocked head's request size for the elision watermark.
+    fn schedule_walk(&mut self, now: SimTime) -> (Vec<JobStart>, Option<u32>) {
         let mut started = Vec::new();
+        let mut blocked = None;
         let mut cursor: Option<PendingKey> = None;
         while let Some(key) = self.pending_index.next_after(cursor) {
             cursor = Some(key);
@@ -708,10 +1126,11 @@ impl Slurm {
             if self.cluster.can_allocate(job.requested_nodes) {
                 started.push(self.start_job(id, now));
             } else {
+                blocked = Some(job.requested_nodes);
                 break;
             }
         }
-        started
+        (started, blocked)
     }
 
     /// The periodic backfill pass (Slurm's backfill thread), dispatched
@@ -726,7 +1145,31 @@ impl Slurm {
     ///   expected runtime fits under every plan.
     /// * [`BackfillFamily::LegacyReference`] — the pre-slot-set
     ///   single-reservation walk, kept as the equivalence oracle.
+    ///
+    /// Under [`SchedIncremental::On`] a pass whose memo is still valid —
+    /// same family and knobs, a later-or-equal instant (refusals are
+    /// monotone in time), no invalidating mutation since, and a provably
+    /// no-op reap — is elided in O(1): it would start nothing and leave
+    /// no observable state, bit-for-bit like running it. The legacy
+    /// oracle never creates memos, so it never elides.
     pub fn backfill_pass(&mut self, now: SimTime) -> Vec<JobStart> {
+        if self.incr_on()
+            && self.index_is_exact()
+            && !self.resizer_index.has_dead_candidates()
+            && self.incr.bf_memo.as_ref().is_some_and(|m| {
+                (if m.fitting_refused {
+                    m.at == now
+                } else {
+                    m.at <= now
+                }) && m.family == self.config.backfill_family
+                    && m.backfill_on == self.config.backfill
+                    && m.window == self.config.bf_max_job_test
+            })
+        {
+            self.incr.bf_elided += 1;
+            return Vec::new();
+        }
+        self.incr.bf_runs += 1;
         match self.config.backfill_family {
             BackfillFamily::Easy { reservations } => {
                 self.backfill_pass_easy(now, reservations.max(1))
@@ -789,12 +1232,23 @@ impl Slurm {
     fn backfill_pass_easy(&mut self, now: SimTime, k: u32) -> Vec<JobStart> {
         self.reap_dead_resizers(now);
         self.timeline.get_mut().sync(now);
-        let order = self.pending_ids_by_priority(now);
+        let order = self.pass_order(now);
         let mut started = Vec::new();
         let mut reservations: Vec<(SimTime, u32)> = Vec::new();
-        let mut planned: Vec<(SimTime, SimTime, u32)> = Vec::new();
-        for &id in order.iter() {
-            let job = &self.jobs[id];
+        // Refusal records for the elision memo (see [`BfMemo`]).
+        let mut watermark = u32::MAX;
+        let mut fitting_refused = false;
+        for &id in order.ids() {
+            // Tombstone / state filter: under the persistent order, ids
+            // may refer to started, cancelled or recycled jobs; the
+            // generation-checked arena rejects them. A clean order only
+            // ever holds pending jobs here, so the filter is a no-op.
+            let Some(job) = self.jobs.get(id) else {
+                continue;
+            };
+            if job.state != JobState::Pending {
+                continue;
+            }
             if !self.dependency_satisfied(job) {
                 continue;
             }
@@ -817,8 +1271,13 @@ impl Slurm {
                     }
                     started.push(self.start_job(id, now));
                     self.timeline.get_mut().sync(now);
+                } else {
+                    // A fitting job refused by the harmless check: not a
+                    // time-invariant refusal (see [`BfMemo`]).
+                    fitting_refused = true;
                 }
             } else {
+                watermark = watermark.min(need);
                 if reservations.is_empty() && !self.config.backfill {
                     break;
                 }
@@ -831,17 +1290,24 @@ impl Slurm {
                     };
                     if shadow != SimTime(u64::MAX) {
                         let until = shadow + dur;
-                        self.timeline.get_mut().slots.plan(shadow, until, need);
-                        planned.push((shadow, until, need));
+                        self.timeline
+                            .get_mut()
+                            .slots
+                            .plan_journaled(shadow, until, need);
                     }
                     reservations.push((shadow, spare));
                 }
             }
         }
-        let tl = self.timeline.get_mut();
-        for (from, until, nodes) in planned {
-            tl.slots.unplan(from, until, nodes);
-        }
+        self.timeline.get_mut().slots.rollback_plans();
+        self.bf_memoize(
+            now,
+            watermark,
+            fitting_refused,
+            started.is_empty(),
+            reservations,
+            Vec::new(),
+        );
         started
     }
 
@@ -858,20 +1324,39 @@ impl Slurm {
     fn backfill_pass_conservative(&mut self, now: SimTime) -> Vec<JobStart> {
         self.reap_dead_resizers(now);
         self.timeline.get_mut().sync(now);
+        // Temporary plans go in un-journaled: the pass plans up to
+        // `window` reservations, and unwinding them one treap op at a
+        // time dominates the pass. A checkpoint reverts them all in one
+        // flat copy; mid-pass starts are replayed on top (see
+        // [`Timeline::save`]).
+        self.timeline.get_mut().save();
         let window = self.config.bf_max_job_test.max(1);
-        let order = self.pending_ids_by_priority(now);
+        let order = self.pass_order(now);
         let mut started = Vec::new();
-        let mut planned: Vec<(SimTime, SimTime, u32)> = Vec::new();
+        let mut plan_slots: Vec<(JobId, SimTime)> = Vec::new();
         let mut tested: u32 = 0;
-        for &id in order.iter() {
-            let job = &self.jobs[id];
+        // Refusal records for the elision memo (see [`BfMemo`]).
+        let mut watermark = u32::MAX;
+        let mut fitting_refused = false;
+        for &id in order.ids() {
+            // Tombstone / state filter (see `backfill_pass_easy`). Under
+            // the persistent order this is what makes the pass a *window
+            // over the retained order* — O(window + skips) instead of a
+            // full O(pending) materialisation per pass.
+            let Some(job) = self.jobs.get(id) else {
+                continue;
+            };
+            if job.state != JobState::Pending {
+                continue;
+            }
             if !self.dependency_satisfied(job) {
                 continue;
             }
             let need = job.requested_nodes;
             let dur = job.expected_runtime;
             let fits = self.cluster.can_allocate(need);
-            if !fits && planned.is_empty() && !self.config.backfill {
+            if !fits && plan_slots.is_empty() && !self.config.backfill {
+                watermark = watermark.min(need);
                 break;
             }
             tested += 1;
@@ -881,6 +1366,9 @@ impl Slurm {
             let avail = self.cluster.free_nodes() + self.running_index.total_held();
             if avail < need {
                 // Can never run on current estimates; nothing to plan.
+                // (A start needs `fits`, i.e. free >= need > avail >=
+                // free — so the watermark rule covers this refusal too.)
+                watermark = watermark.min(need);
                 continue;
             }
             let cap = i64::from(avail - need);
@@ -891,18 +1379,102 @@ impl Slurm {
                     self.timeline.get_mut().sync(now);
                 }
                 Some(s) => {
+                    // A fitting job whose hole is not at `now` is a
+                    // time-sensitive refusal: occupancy decay alone can
+                    // open its hole. A non-fitting one cannot start
+                    // while `free < need`, whatever its hole does.
+                    if fits {
+                        fitting_refused = true;
+                    } else {
+                        watermark = watermark.min(need);
+                    }
                     let until = s + dur;
                     self.timeline.get_mut().slots.plan(s, until, need);
-                    planned.push((s, until, need));
+                    plan_slots.push((id, s));
                 }
-                None => {}
+                None => {
+                    if fits {
+                        fitting_refused = true;
+                    } else {
+                        watermark = watermark.min(need);
+                    }
+                }
             }
         }
-        let tl = self.timeline.get_mut();
-        for (from, until, nodes) in planned {
-            tl.slots.unplan(from, until, nodes);
-        }
+        self.timeline.get_mut().restore();
+        self.bf_memoize(
+            now,
+            watermark,
+            fitting_refused,
+            started.is_empty(),
+            Vec::new(),
+            plan_slots,
+        );
         started
+    }
+
+    /// Records the memo of a fruitless backfill pass (see [`BfMemo`]).
+    /// Passes that started jobs need no action: `start_job` already
+    /// cleared any previous memo.
+    fn bf_memoize(
+        &mut self,
+        now: SimTime,
+        watermark: u32,
+        fitting_refused: bool,
+        fruitless: bool,
+        easy_reservations: Vec<(SimTime, u32)>,
+        conservative_plan: Vec<(JobId, SimTime)>,
+    ) {
+        if !(self.incr_on() && self.index_is_exact() && fruitless) {
+            return;
+        }
+        self.incr.bf_memo = Some(BfMemo {
+            at: now,
+            watermark,
+            fitting_refused,
+            family: self.config.backfill_family,
+            backfill_on: self.config.backfill,
+            window: self.config.bf_max_job_test,
+            easy_reservations,
+            conservative_plan,
+        });
+    }
+
+    /// Pass counters of the incremental layer: executed versus elided
+    /// scheduling and backfill passes (see [`IncrementalStats`]).
+    pub fn incremental_stats(&self) -> IncrementalStats {
+        IncrementalStats {
+            sched_passes_run: self.incr.sched_runs,
+            sched_passes_elided: self.incr.sched_elided,
+            backfill_passes_run: self.incr.bf_runs,
+            backfill_passes_elided: self.incr.bf_elided,
+        }
+    }
+
+    /// The EASY-k `(shadow, spare)` reservations retained from the last
+    /// fruitless backfill pass, while still provably current (every
+    /// invalidating mutation drops them together with the pass memo).
+    /// `None` when no memo is live or the memoized family was not EASY.
+    /// This is the cross-pass reservation cache: while the blocking set
+    /// is unchanged, repeat passes are elided and the pairs are served
+    /// from here instead of being recomputed.
+    pub fn easy_reservations(&self) -> Option<&[(SimTime, u32)]> {
+        self.incr.bf_memo.as_ref().and_then(|m| {
+            matches!(m.family, BackfillFamily::Easy { .. })
+                .then_some(m.easy_reservations.as_slice())
+        })
+    }
+
+    /// The conservative plan `(job, planned start)` retained from the
+    /// last fruitless backfill pass, while still provably current.
+    /// Entries are as of the memoized instant (the memo's `at`): with the
+    /// cluster unchanged since, no planned job can start earlier, so the
+    /// plan remains the schedule the pass would reproduce. `None` when no
+    /// memo is live or the memoized family was not conservative.
+    pub fn conservative_plan(&self) -> Option<&[(JobId, SimTime)]> {
+        self.incr.bf_memo.as_ref().and_then(|m| {
+            (m.family == BackfillFamily::Conservative).then_some(m.conservative_plan.as_slice())
+        })
     }
 
     /// The first EASY reservation, answered from the timeline but
@@ -1016,6 +1588,15 @@ impl Slurm {
         // A job that shrank to zero nodes cannot exist (envelope min >= 1),
         // but release defensively.
         let _ = self.cluster.release_all(id.owner_tag());
+        // `parent_terminal` may have queued dead-resizer candidates.
+        self.incr.reaped_at = None;
+        if was_pending {
+            self.incr_clear();
+        } else {
+            // Capacity-increasing event: watermark rule decides whether
+            // the memos survive.
+            self.incr_capacity_freed();
+        }
         if !self.config.retain_completed {
             self.jobs.remove(id);
         }
@@ -1049,9 +1630,22 @@ impl Slurm {
             self.resizer_index.resizer_terminal(parent, id);
         }
         self.resizer_index.parent_terminal(id);
-        self.invalidate_queue_cache();
+        if was_pending {
+            // Removal without reorder: tombstone under the persistent
+            // cache, full drop elsewhere (exactly the old behaviour).
+            self.queue_cache_tombstone();
+        } else {
+            self.invalidate_queue_cache();
+        }
         if was_running && !detached {
             let _ = self.cluster.release_all(id.owner_tag());
+        }
+        self.incr.reaped_at = None;
+        if was_running && !detached {
+            // Capacity-increasing: the watermark rule decides.
+            self.incr_capacity_freed();
+        } else {
+            self.incr_clear();
         }
         // The record itself is never consulted after cancellation (node
         // ownership lives in the cluster tables), so it can be dropped
@@ -1155,6 +1749,10 @@ impl Slurm {
             j.requested_nodes = self.cluster.held_by(original.owner_tag());
             j.reconfigurations += 1;
         }
+        // The re-keyed running set changes `avail` (held grows by the
+        // transferred nodes): rather than prove the finer rule, drop the
+        // pass memos — expansions are rare next to passes.
+        self.incr_clear();
         Ok((
             original,
             self.cluster.nodes_of(original.owner_tag()).to_vec(),
@@ -1202,6 +1800,9 @@ impl Slurm {
             j.requested_nodes = to;
             j.reconfigurations += 1;
         }
+        // Capacity-increasing event: the watermark rule decides whether
+        // the pass memos survive.
+        self.incr_capacity_freed();
         Ok(released)
     }
 
@@ -1888,5 +2489,200 @@ mod tests {
             s.backfill_pass(t(45));
             s.check_invariants().unwrap();
         }
+    }
+
+    /// Twin schedulers — incremental on vs off — driven through the same
+    /// operation sequence must make bit-identical decisions at every
+    /// pass, while the incremental twin actually elides some of them.
+    #[test]
+    fn incremental_twin_matches_costed_baseline() {
+        twin_run(BackfillFamily::easy(1));
+        twin_run(BackfillFamily::Conservative);
+    }
+
+    fn twin_run(family: BackfillFamily) {
+        let mut on = slurm(10);
+        let mut off = slurm(10);
+        off.config.sched_incremental = SchedIncremental::Off;
+        on.config.backfill_family = family;
+        off.config.backfill_family = family;
+        let mut ids = Vec::new();
+        for s in [&mut on, &mut off] {
+            ids.clear();
+            let r1 = s.submit(
+                JobRequest::rigid("r1", 6).with_expected_runtime(Span::from_secs(1000)),
+                t(0),
+            );
+            let r2 = s.submit(
+                JobRequest::rigid("r2", 4).with_expected_runtime(Span::from_secs(500)),
+                t(0),
+            );
+            ids.push(r1);
+            ids.push(r2);
+        }
+        for step in 0..40u64 {
+            let now = t(10 + step * 5);
+            let (a, b) = (on.schedule(now), off.schedule(now));
+            assert_eq!(a, b, "schedule diverged at {now:?}");
+            if step % 3 == 0 {
+                let (a, b) = (on.backfill_pass(now), off.backfill_pass(now));
+                assert_eq!(a, b, "backfill diverged at {now:?}");
+            }
+            match step {
+                5 => {
+                    for s in [&mut on, &mut off] {
+                        s.submit(
+                            JobRequest::rigid("big", 9).with_expected_runtime(Span::from_secs(200)),
+                            now,
+                        );
+                    }
+                }
+                11 => {
+                    on.complete(ids[1], now);
+                    off.complete(ids[1], now);
+                }
+                17 => {
+                    for s in [&mut on, &mut off] {
+                        s.submit(
+                            JobRequest::rigid("tiny", 1).with_expected_runtime(Span::from_secs(30)),
+                            now,
+                        );
+                    }
+                }
+                _ => {}
+            }
+            on.check_invariants().unwrap();
+        }
+        let stats = on.incremental_stats();
+        assert!(
+            stats.sched_passes_elided > 0,
+            "no schedule pass elided: {stats:?}"
+        );
+        assert!(
+            stats.backfill_passes_elided > 0,
+            "no backfill pass elided: {stats:?}"
+        );
+        let stats = off.incremental_stats();
+        assert_eq!(stats.sched_passes_elided, 0, "Off must never elide");
+        assert_eq!(stats.backfill_passes_elided, 0, "Off must never elide");
+        let on_jobs: Vec<_> = on
+            .jobs()
+            .map(|j| (j.name.clone(), j.state, j.start_time, j.end_time))
+            .collect();
+        let off_jobs: Vec<_> = off
+            .jobs()
+            .map(|j| (j.name.clone(), j.state, j.start_time, j.end_time))
+            .collect();
+        assert_eq!(on_jobs, off_jobs);
+    }
+
+    /// Regression: a job submitted below a live memo's watermark must
+    /// lower the watermark, or a completion freeing enough nodes for the
+    /// new job (but not for the old refusals) would keep the memo and
+    /// unsoundly elide the pass that should backfill it.
+    #[test]
+    fn submit_below_watermark_lowers_it() {
+        let mut s = slurm(10);
+        let _r1 = s.submit(
+            JobRequest::rigid("r1", 6).with_expected_runtime(Span::from_secs(1000)),
+            t(0),
+        );
+        let r2 = s.submit(
+            JobRequest::rigid("r2", 4).with_expected_runtime(Span::from_secs(500)),
+            t(0),
+        );
+        assert_eq!(s.schedule(t(0)).len(), 2);
+        s.submit(
+            JobRequest::rigid("big", 8).with_expected_runtime(Span::from_secs(100)),
+            t(1),
+        );
+        s.schedule(t(1));
+        assert!(s.backfill_pass(t(1)).is_empty(), "big cannot start");
+        let small = s.submit(
+            JobRequest::rigid("small", 3).with_expected_runtime(Span::from_secs(10)),
+            t(2),
+        );
+        // Frees 4 nodes: enough for `small` (3), not for `big` (8). The
+        // memo recorded watermark 8 at the pass; without the lowering
+        // rule this completion would keep it and elide the next pass.
+        s.complete(r2, t(3));
+        let started = s.backfill_pass(t(3));
+        assert_eq!(
+            started.iter().map(|j| j.id).collect::<Vec<_>>(),
+            vec![small],
+            "small must backfill into the freed nodes"
+        );
+        assert_eq!(s.job(small).unwrap().state, JobState::Running);
+    }
+
+    /// The retained-plan accessors expose exactly what the live memo
+    /// holds: EASY reservations under the Easy family, planned slots
+    /// under Conservative, and nothing once the memo is invalidated.
+    #[test]
+    fn retained_plan_accessors_track_the_live_memo() {
+        let mut s = slurm(10);
+        let r1 = s.submit(
+            JobRequest::rigid("r1", 6).with_expected_runtime(Span::from_secs(1000)),
+            t(0),
+        );
+        s.schedule(t(0));
+        let big = s.submit(
+            JobRequest::rigid("big", 8).with_expected_runtime(Span::from_secs(100)),
+            t(1),
+        );
+        s.schedule(t(1));
+        assert!(s.easy_reservations().is_none(), "no pass run yet");
+        assert!(s.backfill_pass(t(1)).is_empty());
+        let res = s.easy_reservations().expect("fruitless EASY pass memoised");
+        assert_eq!(res.len(), 1, "one blocked job, one reservation");
+        assert_eq!(res[0].0, t(1000), "shadow = r1's expected end");
+        assert!(s.conservative_plan().is_none(), "family is Easy");
+        // Any capacity event that can change the pass drops the memo.
+        s.complete(r1, t(2));
+        assert!(s.easy_reservations().is_none());
+
+        let mut s = slurm(10);
+        s.config.backfill_family = BackfillFamily::Conservative;
+        let _r1 = s.submit(
+            JobRequest::rigid("r1", 6).with_expected_runtime(Span::from_secs(1000)),
+            t(0),
+        );
+        s.schedule(t(0));
+        let big2 = s.submit(
+            JobRequest::rigid("big", 8).with_expected_runtime(Span::from_secs(100)),
+            t(1),
+        );
+        s.schedule(t(1));
+        assert!(s.backfill_pass(t(1)).is_empty());
+        let plan = s.conservative_plan().expect("fruitless pass memoised");
+        assert_eq!(plan, &[(big2, t(1000))], "big planned at r1's end");
+        assert!(s.easy_reservations().is_none(), "family is Conservative");
+        let _ = big;
+        // A fitting submission invalidates the memo outright.
+        s.submit(JobRequest::rigid("fits", 2), t(5));
+        assert!(s.conservative_plan().is_none());
+    }
+
+    /// Same-instant duplicate reap scans are skipped under incremental
+    /// scheduling: `schedule` + `backfill_pass` at one instant perform
+    /// one scan, and decisions are unchanged.
+    #[test]
+    fn same_instant_reap_is_memoised() {
+        let mut s = slurm(10);
+        let a = s.submit(
+            JobRequest::rigid("a", 4).with_expected_runtime(Span::from_secs(300)),
+            t(0),
+        );
+        s.schedule(t(0));
+        s.expand_protocol(a, 6, t(1)).unwrap();
+        s.check_invariants().unwrap();
+        // schedule() reaps, then backfill_pass() at the same instant
+        // reuses the memo instead of rescanning.
+        s.schedule(t(2));
+        s.backfill_pass(t(2));
+        s.check_invariants().unwrap();
+        // The memo never crosses an instant: a later pass re-scans.
+        s.schedule(t(40));
+        s.check_invariants().unwrap();
     }
 }

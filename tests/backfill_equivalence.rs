@@ -109,6 +109,7 @@ proptest! {
         asynchronous in 0u8..2,
         fixed in 0u8..2,
         hot_path in 0u8..3,
+        incremental in 0u8..2,
     ) {
         let kind = kind_for(kind);
         let mut cfg = ExperimentConfig::preliminary()
@@ -121,12 +122,16 @@ proptest! {
             cfg = cfg.as_fixed();
         }
         // The family equivalence must hold under every scheduler hot
-        // path (the two oracle axes are orthogonal).
+        // path and with incremental pass elision both on and off (the
+        // oracle axes are orthogonal).
         cfg = match hot_path {
             0 => cfg,
             1 => cfg.indexed_reference(),
             _ => cfg.scan_reference(),
         };
+        if incremental == 1 {
+            cfg = cfg.incremental_off();
+        }
         let easy1 = run_experiment_streaming(
             &cfg.with_backfill_family(BackfillFamily::easy(1)),
             kind.build(jobs, seed).as_mut(),
@@ -196,6 +201,13 @@ proptest! {
         prop_assert_eq!(r.past_schedules, 0, "scheduled in the past");
         prop_assert!(r.summary.makespan_s.is_finite() && r.summary.makespan_s >= 0.0);
         prop_assert!(r.summary.utilization >= 0.0 && r.summary.utilization <= 1.0 + 1e-9);
+        // Not oracle-pinned, but the incremental elision contract still
+        // holds for the deep families: off must reproduce on exactly.
+        let off = run_experiment_streaming(
+            &cfg.incremental_off(),
+            kind.build(jobs, seed).as_mut(),
+        );
+        assert_bit_identical(&r, &off)?;
     }
 }
 

@@ -124,10 +124,23 @@ proptest! {
         );
         assert_bit_identical(&arena, &indexed)?;
         assert_bit_identical(&indexed, &scan)?;
+        // Incremental scheduling off (the costed baseline) must be
+        // bit-identical on both hot paths that elide passes.
+        let arena_off = run_experiment_streaming(
+            &cfg.incremental_off(),
+            kind.build(jobs, seed).as_mut(),
+        );
+        let indexed_off = run_experiment_streaming(
+            &cfg.indexed_reference().incremental_off(),
+            kind.build(jobs, seed).as_mut(),
+        );
+        assert_bit_identical(&arena, &arena_off)?;
+        assert_bit_identical(&indexed, &indexed_off)?;
         // The derived sweep CSV rows must be byte-identical too.
         let row = csv_row(kind, &cfg, seed, &arena);
         prop_assert_eq!(&row, &csv_row(kind, &cfg, seed, &indexed));
         prop_assert_eq!(&row, &csv_row(kind, &cfg, seed, &scan));
+        prop_assert_eq!(&row, &csv_row(kind, &cfg, seed, &arena_off));
     }
 }
 
@@ -200,6 +213,12 @@ fn smoke_registry_sweep_rows_are_byte_identical_across_hot_paths() {
             arena_row,
             row(&cfg.scan_reference()),
             "scenario {} diverged between arena and scan paths",
+            sc.name()
+        );
+        assert_eq!(
+            arena_row,
+            row(&cfg.incremental_off()),
+            "scenario {} diverged between incremental on and off",
             sc.name()
         );
     }
