@@ -122,13 +122,23 @@ fn run_bench_json(args: &[String]) {
             format!("run{}-{}", prior, if smoke { "smoke" } else { "full" })
         }
     };
-    let run = hotpath::bench_run(smoke, &label, |cell| {
+    let mut run = hotpath::bench_run(smoke, &label, |cell| {
         eprintln!(
             "bench: n{:<5} q{:<6} {:<16} {:>12.0} events/s  ({:.0} jobs/s, peak queue {}, \
              passes {} run / {} elided)",
             cell.nodes,
             cell.queue_depth,
-            format!("{}/{}/{}", cell.mode, cell.backfill, cell.incremental),
+            format!(
+                "{}/{}/{}{}",
+                cell.mode,
+                cell.backfill,
+                cell.incremental,
+                if cell.machine == "uniform" {
+                    ""
+                } else {
+                    "/hetero3"
+                }
+            ),
             cell.events_per_sec(),
             cell.jobs_per_sec(),
             cell.peak_queue_depth,
@@ -136,6 +146,7 @@ fn run_bench_json(args: &[String]) {
             cell.passes_elided,
         );
     });
+    run = append_pareto_row(run, smoke);
     let doc = match hotpath::append_run(existing.as_deref(), &run) {
         Ok(doc) => doc,
         Err(e) => {
@@ -218,6 +229,71 @@ fn run_bench_json(args: &[String]) {
             "incremental gate: no pr7-slotset-backfill headline cell in {path}; cross-run \
              comparison skipped"
         ),
+    }
+    // Machine-axis gate: per-class free sets and timelines must keep the
+    // heterogeneous arena cell within 0.9x of its uniform twin. The two
+    // sides run in the same interleaved best-of-N session, but smoke runs
+    // only report — the 150-round smoke cells are short enough for a
+    // single interference burst to swing a within-0.9 bar.
+    if let Some(hetero) = hotpath::hetero_ratio(&doc) {
+        eprintln!("machine axis: hetero3 arena runs at {hetero:.2}x the uniform events/s");
+        if hetero < 0.9 && !smoke {
+            eprintln!("hetero3/uniform ratio {hetero:.2} is below the 0.9x bar");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Runs the heterogeneous grid cells (Algorithm 1 vs the energy-aware
+/// policy on the three-class machine, same workload and seed) and
+/// splices an energy-vs-makespan `pareto` row into the rendered run.
+/// The simulated comparison is deterministic, so the dominance gate —
+/// the energy-aware policy must spend strictly less energy than
+/// Algorithm 1 on at least one heterogeneous scenario — holds in smoke
+/// runs too, and failing it exits non-zero before anything is written.
+fn append_pareto_row(run: String, smoke: bool) -> String {
+    let cells = sweep::run_sweep(
+        &scenario::hetero_axis(if smoke { 10 } else { 50 }),
+        &[SEED],
+        2,
+    );
+    let find = |policy: &str| {
+        cells
+            .iter()
+            .find(|c| c.policy.starts_with(policy))
+            .unwrap_or_else(|| panic!("hetero axis lacks the {policy} cell"))
+    };
+    let a1 = find("algorithm1");
+    let ea = find("energy-aware");
+    eprintln!(
+        "pareto: algorithm1 {:.0} J / {:.1} s vs energy-aware {:.0} J / {:.1} s ({})",
+        a1.summary.energy_to_solution_j,
+        a1.summary.makespan_s,
+        ea.summary.energy_to_solution_j,
+        ea.summary.makespan_s,
+        a1.scenario,
+    );
+    if ea.summary.energy_to_solution_j >= a1.summary.energy_to_solution_j {
+        eprintln!(
+            "energy-aware spent {:.0} J, not strictly below algorithm1's {:.0} J",
+            ea.summary.energy_to_solution_j, a1.summary.energy_to_solution_j
+        );
+        std::process::exit(1);
+    }
+    let row = format!(
+        ",\n  \"pareto\": {{\"scenario\": \"{}\", \
+         \"algorithm1_energy_j\": {:.3}, \"algorithm1_makespan_s\": {:.3}, \
+         \"energy_aware_energy_j\": {:.3}, \"energy_aware_makespan_s\": {:.3}, \
+         \"energy_aware_dominates_energy\": true}}",
+        a1.scenario,
+        a1.summary.energy_to_solution_j,
+        a1.summary.makespan_s,
+        ea.summary.energy_to_solution_j,
+        ea.summary.makespan_s,
+    );
+    match run.strip_suffix("\n}") {
+        Some(body) => format!("{body}{row}\n}}"),
+        None => run,
     }
 }
 

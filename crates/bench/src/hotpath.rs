@@ -28,6 +28,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use dmr_cluster::Cluster;
+use dmr_core::MachineMix;
 use dmr_sim::{SimTime, Span};
 use dmr_slurm::{BackfillFamily, JobRequest, SchedIncremental, SchedIndex, Slurm, SlurmConfig};
 
@@ -57,6 +58,10 @@ pub struct CellResult {
     /// `"on"` (the default incremental scheduler) or `"off"` (the costed
     /// from-scratch baseline) — the incremental axis.
     pub incremental: &'static str,
+    /// `"uniform"` (the historical single-class machine) or `"hetero3"`
+    /// (the three-class machine driving per-class free sets and
+    /// timelines) — the machine axis.
+    pub machine: &'static str,
     pub rounds: u32,
     /// Scheduling events processed: submissions + completions + passes +
     /// job starts.
@@ -206,6 +211,23 @@ pub fn run_cell_incremental(
     family: BackfillFamily,
     incremental: SchedIncremental,
 ) -> CellResult {
+    run_cell_machine(nodes, depth, mode, rounds, family, incremental, false)
+}
+
+/// [`run_cell_incremental`] with an explicit machine axis — `hetero`
+/// runs the same churn on a three-class [`MachineMix::Hetero3`] cluster,
+/// driving the per-class free sets and timelines on every pass. The
+/// churn jobs stay class-unconstrained, so the pass-elision memos keep
+/// firing and the measured contrast is the per-class bookkeeping alone.
+pub fn run_cell_machine(
+    nodes: u32,
+    depth: u32,
+    mode: SchedIndex,
+    rounds: u32,
+    family: BackfillFamily,
+    incremental: SchedIncremental,
+    hetero: bool,
+) -> CellResult {
     let mut cfg = SlurmConfig::for_cluster(nodes);
     cfg.sched_index = mode;
     cfg.backfill_family = family;
@@ -213,7 +235,12 @@ pub fn run_cell_incremental(
     // Steady-state churn would grow the terminal-record table without
     // bound; the streaming driver prunes it, so the bench does too.
     cfg.retain_completed = false;
-    let mut s = Slurm::new(Cluster::new(nodes, 16), cfg);
+    let cluster = if hetero {
+        Cluster::with_classes(MachineMix::Hetero3.table(nodes, 16))
+    } else {
+        Cluster::new(nodes, 16)
+    };
+    let mut s = Slurm::new(cluster, cfg);
 
     let width = (nodes / 64).max(1);
     let mut running: VecDeque<_> = VecDeque::new();
@@ -288,6 +315,7 @@ pub fn run_cell_incremental(
             SchedIncremental::On => "on",
             SchedIncremental::Off => "off",
         },
+        machine: if hetero { "hetero3" } else { "uniform" },
         rounds,
         events,
         jobs_started,
@@ -312,29 +340,37 @@ pub fn repeats(_smoke: bool) -> u32 {
 /// Measures every config of one grid cell, *rep-major*: each repeat
 /// sweeps all configs once before any config repeats. Every acceptance
 /// gate is a ratio between configs of the same cell (arena/indexed,
-/// conservative/easy1, on/off); a config-major order would let a burst
-/// of machine interference land entirely on one side of a ratio and
-/// swing the gate, while interleaving spreads any burst across all
-/// sides. The fastest repeat per config is kept.
+/// conservative/easy1, on/off, hetero/uniform); a config-major order
+/// would let a burst of machine interference land entirely on one side
+/// of a ratio and swing the gate, while interleaving spreads any burst
+/// across all sides. Each repeat also *rotates* its starting config:
+/// slow-changing bias (frequency scaling, a neighbour spinning up)
+/// penalises whatever runs late in a sweep, and without rotation the
+/// same config sits in the same slot every repeat — a bias best-of-N
+/// can never average away, which showed up as the last-listed hetero
+/// cell reading 15-25% slow against its uniform twin measured first.
+/// The fastest repeat per config is kept.
 fn best_cells(
     nodes: u32,
     depth: u32,
     rounds: u32,
-    configs: &[(SchedIndex, BackfillFamily, SchedIncremental)],
+    configs: &[(SchedIndex, BackfillFamily, SchedIncremental, bool)],
     reps: u32,
 ) -> Vec<CellResult> {
     let mut best: Vec<Option<CellResult>> = configs.iter().map(|_| None).collect();
-    for _ in 0..reps {
-        for (slot, &(mode, family, incremental)) in best.iter_mut().zip(configs) {
-            let next = run_cell_incremental(nodes, depth, mode, rounds, family, incremental);
-            match slot {
+    for rep in 0..reps as usize {
+        for k in 0..configs.len() {
+            let idx = (k + rep) % configs.len();
+            let (mode, family, incremental, hetero) = configs[idx];
+            let next = run_cell_machine(nodes, depth, mode, rounds, family, incremental, hetero);
+            match &mut best[idx] {
                 Some(b) => {
                     debug_assert_eq!(next.events, b.events, "repeats diverged");
                     if next.elapsed_s < b.elapsed_s {
                         *b = next;
                     }
                 }
-                None => *slot = Some(next),
+                None => best[idx] = Some(next),
             }
         }
     }
@@ -353,21 +389,36 @@ pub fn run_grid(smoke: bool, mut progress: impl FnMut(&CellResult)) -> Vec<CellR
     let axis = backfill_axis_cells(smoke);
     let mut out = Vec::new();
     for (nodes, depth) in grid(smoke) {
-        let mut configs: Vec<(SchedIndex, BackfillFamily, SchedIncremental)> =
+        let mut configs: Vec<(SchedIndex, BackfillFamily, SchedIncremental, bool)> =
             modes_for(nodes, depth)
                 .into_iter()
-                .map(|mode| (mode, BackfillFamily::easy(1), SchedIncremental::On))
+                .map(|mode| (mode, BackfillFamily::easy(1), SchedIncremental::On, false))
                 .collect();
         if axis.contains(&(nodes, depth)) {
             configs.extend(
                 backfill_axis_families()
                     .into_iter()
-                    .map(|family| (SchedIndex::Arena, family, SchedIncremental::On)),
+                    .map(|family| (SchedIndex::Arena, family, SchedIncremental::On, false)),
             );
             configs.extend(
                 [BackfillFamily::easy(1), BackfillFamily::Conservative]
                     .into_iter()
-                    .map(|family| (SchedIndex::Arena, family, SchedIncremental::Off)),
+                    .map(|family| (SchedIndex::Arena, family, SchedIncremental::Off, false)),
+            );
+            // The machine axis: the same arena EASY-1 churn on the
+            // three-class cluster — the "per-class bookkeeping does not
+            // collapse the hot path" gate reads this cell against its
+            // uniform twin, so it is inserted *adjacent* to that twin:
+            // the gate ratio then compares back-to-back measurements
+            // rather than the two ends of a sweep.
+            configs.insert(
+                1,
+                (
+                    SchedIndex::Arena,
+                    BackfillFamily::easy(1),
+                    SchedIncremental::On,
+                    true,
+                ),
             );
         }
         for cell in best_cells(nodes, depth, rounds, &configs, reps) {
@@ -407,7 +458,7 @@ pub fn render_run(cells: &[CellResult], smoke: bool, label: &str) -> String {
         let _ = write!(
             out,
             "    {{\"nodes\": {}, \"queue_depth\": {}, \"mode\": \"{}\", \"backfill\": \"{}\", \
-             \"incremental\": \"{}\", \"rounds\": {}, \
+             \"incremental\": \"{}\", \"machine\": \"{}\", \"rounds\": {}, \
              \"events\": {}, \"jobs_started\": {}, \"peak_queue_depth\": {}, \
              \"passes_run\": {}, \"passes_elided\": {}, \
              \"elapsed_s\": {}, \"events_per_sec\": {}, \"jobs_per_sec\": {}}}",
@@ -416,6 +467,7 @@ pub fn render_run(cells: &[CellResult], smoke: bool, label: &str) -> String {
             c.mode,
             c.backfill,
             c.incremental,
+            c.machine,
             c.rounds,
             c.events,
             c.jobs_started,
@@ -479,6 +531,19 @@ pub fn render_run(cells: &[CellResult], smoke: bool, label: &str) -> String {
             json_f64(axis.elision_rate),
         );
     }
+    if let Some(axis) = hetero_headline(cells) {
+        let _ = write!(
+            out,
+            ",\n  \"hetero_axis\": {{\"nodes\": {}, \"queue_depth\": {}, \
+             \"uniform_events_per_sec\": {}, \"hetero_events_per_sec\": {}, \
+             \"hetero_vs_uniform\": {}}}",
+            axis.0,
+            axis.1,
+            json_f64(axis.2),
+            json_f64(axis.3),
+            json_f64(axis.4),
+        );
+    }
     out.push_str("\n}");
     out
 }
@@ -496,16 +561,18 @@ fn ratio(num: f64, den: f64) -> f64 {
 /// headline candidates — the headline compares hot-path layers on the
 /// paper's Slurm configuration.
 fn headline(cells: &[CellResult]) -> (u32, u32, f64, f64, f64) {
-    let Some(arena) = cells
-        .iter()
-        .rev()
-        .find(|c| c.mode == "arena" && c.backfill == "easy1" && c.incremental == "on")
-    else {
+    let Some(arena) = cells.iter().rev().find(|c| {
+        c.mode == "arena"
+            && c.backfill == "easy1"
+            && c.incremental == "on"
+            && c.machine == "uniform"
+    }) else {
         return (0, 0, 0.0, 0.0, 0.0);
     };
     let indexed = cells.iter().rev().find(|c| {
         c.mode == "indexed"
             && c.incremental == "on"
+            && c.machine == "uniform"
             && c.nodes == arena.nodes
             && c.queue_depth == arena.queue_depth
     });
@@ -536,14 +603,17 @@ fn headline(cells: &[CellResult]) -> (u32, u32, f64, f64, f64) {
 /// backfill-axis cell — the "deep backfill does not collapse" gate reads
 /// the ratio. `None` when the run measured no conservative cell.
 fn backfill_headline(cells: &[CellResult]) -> Option<(u32, u32, f64, f64, f64)> {
-    let cons = cells
-        .iter()
-        .rev()
-        .find(|c| c.mode == "arena" && c.backfill == "conservative" && c.incremental == "on")?;
+    let cons = cells.iter().rev().find(|c| {
+        c.mode == "arena"
+            && c.backfill == "conservative"
+            && c.incremental == "on"
+            && c.machine == "uniform"
+    })?;
     let easy1 = cells.iter().rev().find(|c| {
         c.mode == "arena"
             && c.backfill == "easy1"
             && c.incremental == "on"
+            && c.machine == "uniform"
             && c.nodes == cons.nodes
             && c.queue_depth == cons.queue_depth
     })?;
@@ -578,10 +648,12 @@ struct IncrementalAxis {
 
 fn incremental_headline(cells: &[CellResult]) -> Option<IncrementalAxis> {
     let off = |backfill: &str| {
-        cells
-            .iter()
-            .rev()
-            .find(|c| c.mode == "arena" && c.backfill == backfill && c.incremental == "off")
+        cells.iter().rev().find(|c| {
+            c.mode == "arena"
+                && c.backfill == backfill
+                && c.incremental == "off"
+                && c.machine == "uniform"
+        })
     };
     let easy_off = off("easy1")?;
     let cons_off = off("conservative")?;
@@ -590,6 +662,7 @@ fn incremental_headline(cells: &[CellResult]) -> Option<IncrementalAxis> {
             c.mode == "arena"
                 && c.backfill == backfill
                 && c.incremental == "on"
+                && c.machine == "uniform"
                 && c.nodes == easy_off.nodes
                 && c.queue_depth == easy_off.queue_depth
         })
@@ -607,6 +680,34 @@ fn incremental_headline(cells: &[CellResult]) -> Option<IncrementalAxis> {
     })
 }
 
+/// `(nodes, depth, uniform ev/s, hetero ev/s, ratio)` of the last
+/// machine-axis cell — the "per-class bookkeeping does not collapse the
+/// hot path" gate reads the ratio (gated at ≥ 0.9 by `repro`). `None`
+/// when the run measured no heterogeneous cell.
+fn hetero_headline(cells: &[CellResult]) -> Option<(u32, u32, f64, f64, f64)> {
+    let hetero = cells.iter().rev().find(|c| {
+        c.mode == "arena"
+            && c.backfill == "easy1"
+            && c.incremental == "on"
+            && c.machine == "hetero3"
+    })?;
+    let uniform = cells.iter().rev().find(|c| {
+        c.mode == "arena"
+            && c.backfill == "easy1"
+            && c.incremental == "on"
+            && c.machine == "uniform"
+            && c.nodes == hetero.nodes
+            && c.queue_depth == hetero.queue_depth
+    })?;
+    Some((
+        hetero.nodes,
+        hetero.queue_depth,
+        uniform.events_per_sec(),
+        hetero.events_per_sec(),
+        ratio(hetero.events_per_sec(), uniform.events_per_sec()),
+    ))
+}
+
 /// Splices `run` (a [`render_run`] object) into `existing`, returning
 /// the new document:
 ///
@@ -620,17 +721,21 @@ pub fn append_run(existing: Option<&str>, run: &str) -> Result<String, String> {
         None | Some("") => return Ok(format!("{DOC_PREFIX}{run}{DOC_SUFFIX}")),
         Some(_) => {
             let doc = existing.expect("checked above");
-            if doc.contains(SCHEMA_V1) {
+            // The v2-trajectory test must come first: a trajectory that
+            // *contains* a migrated v1 run as run 0 still carries the v1
+            // schema marker in its bytes, and treating it as a legacy
+            // snapshot would re-wrap the whole document on every append.
+            if doc.starts_with(DOC_PREFIX) {
+                let Some(stripped) = doc.strip_suffix(DOC_SUFFIX) else {
+                    return Err("existing document has an unrecognised suffix".into());
+                };
+                return Ok(format!("{stripped},\n{run}{DOC_SUFFIX}"));
+            } else if doc.contains(SCHEMA_V1) {
                 // Legacy single-run snapshot: the whole object becomes
                 // run 0, its bytes untouched.
                 doc.trim_end().to_string()
-            } else if let Some(stripped) = doc.strip_suffix(DOC_SUFFIX) {
-                if !doc.starts_with(DOC_PREFIX) {
-                    return Err("existing document is not a v2 trajectory".into());
-                }
-                return Ok(format!("{stripped},\n{run}{DOC_SUFFIX}"));
             } else {
-                return Err("existing document has an unrecognised suffix".into());
+                return Err("existing document is not a v2 trajectory".into());
             }
         }
     };
@@ -664,6 +769,18 @@ pub fn backfill_ratio(doc: &str) -> Option<f64> {
         .and_then(|v| v.trim().parse::<f64>().ok())
 }
 
+/// Extracts the **last** run's `hetero_axis.hetero_vs_uniform` ratio —
+/// the heterogeneous-machine acceptance gate (per-class free sets and
+/// timelines must keep the arena path within 0.9x of the uniform cell).
+/// `None` when no run carried the machine axis (every pre-hetero
+/// document).
+pub fn hetero_ratio(doc: &str) -> Option<f64> {
+    let (_, rest) = doc.rsplit_once("\"hetero_vs_uniform\": ")?;
+    rest.split(['}', ','])
+        .next()
+        .and_then(|v| v.trim().parse::<f64>().ok())
+}
+
 /// Extracts the **last** run's `incremental_axis.elision_rate` — the
 /// fraction of headline-cell passes the memos answered in O(1). `None`
 /// for pre-incremental documents.
@@ -689,6 +806,9 @@ pub struct TrajectoryCell {
     pub mode: String,
     pub backfill: String,
     pub incremental: String,
+    /// Machine axis (`"uniform"` / `"hetero3"`); pre-hetero cells carry
+    /// the `"uniform"` default.
+    pub machine: String,
     pub events: u64,
     /// Wall-clock seconds, repaired from `events / events_per_sec` when
     /// the stored value is the lossy v1 zero.
@@ -757,6 +877,7 @@ pub fn trajectory_cells(fragment: &str) -> Vec<TrajectoryCell> {
             mode: mode.to_string(),
             backfill: cell_value(cell, "backfill").unwrap_or("easy1").to_string(),
             incremental: cell_value(cell, "incremental").unwrap_or("on").to_string(),
+            machine: cell_value(cell, "machine").unwrap_or("uniform").to_string(),
             events,
             elapsed_s,
             events_per_sec: eps,
@@ -785,6 +906,7 @@ pub fn run_cell_lookup(
                 && c.mode == mode
                 && c.backfill == backfill
                 && c.incremental == incremental
+                && c.machine == "uniform"
         })
 }
 
@@ -835,6 +957,13 @@ pub fn validate_bench_json(doc: &str) -> Result<(), String> {
         let rate = elision_rate(doc).ok_or("elision_rate is not a number")?;
         if !(0.0..=1.0).contains(&rate) {
             return Err(format!("elision_rate {rate} out of range"));
+        }
+    }
+    // And the machine axis (pre-hetero runs lack it).
+    if doc.contains("\"hetero_axis\"") {
+        let ratio = hetero_ratio(doc).ok_or("hetero_vs_uniform is not a number")?;
+        if !ratio.is_finite() || ratio < 0.0 {
+            return Err(format!("hetero_vs_uniform {ratio} out of range"));
         }
     }
     Ok(())
@@ -907,6 +1036,27 @@ mod tests {
         validate_bench_json(&doc2).unwrap();
         // The scraper reads the *last* run's headline.
         assert!(headline_speedup(&doc2).is_some());
+    }
+
+    #[test]
+    fn append_over_a_migrated_v1_run_does_not_rewrap() {
+        // A trajectory that carries the migrated v1 snapshot as run 0
+        // still contains the v1 schema marker; appending to it must take
+        // the v2 path (extend before the suffix), not wrap the whole
+        // document as a new run 0 again.
+        let v1 = "{\n  \"schema\": \"dmr-bench-sched/v1\",\n  \"smoke\": false,\n  \
+                  \"cells\": [],\n  \"headline\": {\"speedup_vs_scan\": 11.274}\n}\n";
+        let doc1 = append_run(Some(v1), &render_run(&tiny_cells(), true, "t1")).unwrap();
+        let doc2 = append_run(Some(&doc1), &render_run(&tiny_cells(), true, "t2")).unwrap();
+        let kept = doc1.len() - DOC_SUFFIX.len();
+        assert_eq!(&doc2[..kept], &doc1[..kept], "prior bytes rewritten");
+        assert_eq!(
+            doc2.matches(DOC_PREFIX).count(),
+            1,
+            "document wrapped twice"
+        );
+        assert_eq!(run_count(&doc2), 3);
+        validate_bench_json(&doc2).unwrap();
     }
 
     #[test]
@@ -995,8 +1145,10 @@ mod tests {
         let doc = tiny_doc();
         assert!(!doc.contains("\"backfill_axis\""));
         assert!(!doc.contains("\"incremental_axis\""));
+        assert!(!doc.contains("\"hetero_axis\""));
         assert_eq!(backfill_ratio(&doc), None);
         assert_eq!(elision_rate(&doc), None);
+        assert_eq!(hetero_ratio(&doc), None);
         validate_bench_json(&doc).unwrap();
     }
 
@@ -1064,6 +1216,50 @@ mod tests {
         let want = eps("conservative", "on") / eps("easy1", "on");
         let got = backfill_ratio(&doc).unwrap();
         assert!((got - want).abs() <= 1e-9 * want.abs().max(1.0));
+    }
+
+    #[test]
+    fn hetero_axis_lands_in_the_rendered_run() {
+        let mut cells = tiny_cells();
+        cells.push(run_cell_machine(
+            16,
+            20,
+            SchedIndex::Arena,
+            5,
+            BackfillFamily::easy(1),
+            SchedIncremental::On,
+            true,
+        ));
+        let doc = append_run(None, &render_run(&cells, true, "hetero")).unwrap();
+        validate_bench_json(&doc).unwrap();
+        assert!(doc.contains("\"machine\": \"hetero3\""));
+        assert!(doc.contains("\"hetero_axis\""));
+        let ratio = hetero_ratio(&doc).expect("machine-axis ratio present");
+        assert!(ratio.is_finite() && ratio > 0.0);
+        // The headline still reads the uniform cells, and the parser
+        // carries the machine column through (defaulting old cells).
+        assert!(headline_speedup(&doc).is_some());
+        let parsed = trajectory_cells(run_fragment(&doc, "hetero").unwrap());
+        assert!(parsed.iter().any(|c| c.machine == "hetero3"));
+        assert!(parsed.iter().any(|c| c.machine == "uniform"));
+        // Cross-run lookup stays pinned to the uniform twin.
+        let cell = run_cell_lookup(&doc, "hetero", 16, 20, "arena", "easy1", "on").unwrap();
+        assert_eq!(cell.machine, "uniform");
+    }
+
+    #[test]
+    fn hetero_churn_makes_progress_on_three_classes() {
+        let cell = run_cell_machine(
+            16,
+            20,
+            SchedIndex::Arena,
+            5,
+            BackfillFamily::easy(1),
+            SchedIncremental::On,
+            true,
+        );
+        assert_eq!(cell.machine, "hetero3");
+        assert!(cell.events > 0 && cell.jobs_started > 0);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! diurnal sine arrivals) and SWF trace replay (the bundled
 //! [`TINY_SWF`] fixture, so scenarios need no filesystem access).
 
-use dmr_core::{BackfillFamily, ExperimentConfig, PolicyKind, ScheduleMode};
+use dmr_core::{BackfillFamily, ExperimentConfig, MachineMix, PolicyKind, ScheduleMode};
 use dmr_workload::{Capped, SwfMapping, SwfTrace, WorkloadKind, WorkloadSource};
 
 /// The bundled SWF trace fixture, embedded at compile time (the same
@@ -119,19 +119,24 @@ pub struct Scenario {
     pub policy: PolicyKind,
     pub mode: ScheduleMode,
     pub backfill: BackfillSel,
+    /// Machine-class composition the cluster is built from. `Uniform`
+    /// (the historical single-class machine) leaves the scenario name
+    /// unchanged, so the pre-heterogeneity grid keys identical CSV rows.
+    pub mix: MachineMix,
 }
 
 impl Scenario {
     /// Stable identifier, e.g. `fs-50j-n20-fair-share-120-async-easy1`.
     /// Uses the parameter-carrying workload and policy labels so two
     /// tunings of the same source or policy get distinct names (they key
-    /// CSV rows).
+    /// CSV rows). Non-uniform machine mixes append their name as one more
+    /// axis suffix; uniform scenarios keep their historical names.
     pub fn name(&self) -> String {
         let mode = match self.mode {
             ScheduleMode::Synchronous => "sync",
             ScheduleMode::Asynchronous => "async",
         };
-        format!(
+        let mut name = format!(
             "{}-{}j-n{}-{}-{}-{}",
             self.workload.label(),
             self.jobs,
@@ -139,7 +144,12 @@ impl Scenario {
             self.policy.label(),
             mode,
             self.backfill.name()
-        )
+        );
+        if self.mix != MachineMix::Uniform {
+            name.push('-');
+            name.push_str(self.mix.name());
+        }
+        name
     }
 
     /// The experiment configuration this scenario runs under. Sweeps run
@@ -153,6 +163,7 @@ impl Scenario {
             .online();
         cfg.nodes = self.nodes;
         cfg.mode = self.mode;
+        cfg.machine_mix = self.mix;
         self.backfill.apply(cfg)
     }
 
@@ -162,12 +173,13 @@ impl Scenario {
     }
 }
 
-/// The three shipped policies, one per [`PolicyKind`] variant.
-pub fn all_policies() -> [PolicyKind; 3] {
+/// The four shipped policies, one per [`PolicyKind`] variant.
+pub fn all_policies() -> [PolicyKind; 4] {
     [
         PolicyKind::Algorithm1,
         PolicyKind::utilization_target(),
         PolicyKind::fair_share(),
+        PolicyKind::energy_aware(),
     ]
 }
 
@@ -200,18 +212,44 @@ pub fn all_backfills() -> [BackfillSel; 4] {
     ]
 }
 
+/// The heterogeneous cells of the grid: the GPU-tagged real mix on a
+/// three-class machine (standard / big-memory / GPU), under the paper's
+/// Algorithm 1 and the energy-aware policy. Small on purpose — the
+/// uniform grid carries the coverage; these cells exist so every sweep
+/// exercises class-constrained placement, per-class speed scaling and
+/// the power meter end to end.
+pub fn hetero_axis(jobs: u32) -> Vec<Scenario> {
+    [PolicyKind::Algorithm1, PolicyKind::energy_aware()]
+        .into_iter()
+        .map(|policy| Scenario {
+            workload: WorkloadSel::Synthetic(WorkloadKind::real_gpu()),
+            jobs,
+            nodes: 65,
+            policy,
+            mode: ScheduleMode::Asynchronous,
+            backfill: BackfillSel::Easy1,
+            mix: MachineMix::Hetero3,
+        })
+        .collect()
+}
+
 /// The full scenario grid: every workload source × every policy × (sync,
-/// async) × every backfill selection.
+/// async) × every backfill selection on the uniform machine, plus the
+/// heterogeneous three-class cells from [`hetero_axis`].
 pub fn registry() -> Vec<Scenario> {
-    grid(&workload_axis(50))
+    let mut out = grid(&workload_axis(50));
+    out.extend(hetero_axis(50));
+    out
 }
 
 /// A CI-sized subset of the grid: 10-job workloads from every source
 /// family, every policy, both modes, every backfill selection — fast
 /// enough for a smoke job, wide enough to cross every workload × policy ×
-/// mode × backfill tuple.
+/// mode × backfill tuple (plus the heterogeneous cells).
 pub fn smoke_registry() -> Vec<Scenario> {
-    grid(&workload_axis(10).map(|(w, jobs, nodes)| (w, jobs.min(10), nodes)))
+    let mut out = grid(&workload_axis(10).map(|(w, jobs, nodes)| (w, jobs.min(10), nodes)));
+    out.extend(hetero_axis(10));
+    out
 }
 
 fn grid(workloads: &[(WorkloadSel, u32, u32)]) -> Vec<Scenario> {
@@ -227,6 +265,7 @@ fn grid(workloads: &[(WorkloadSel, u32, u32)]) -> Vec<Scenario> {
                         policy,
                         mode,
                         backfill,
+                        mix: MachineMix::Uniform,
                     });
                 }
             }
@@ -244,8 +283,8 @@ mod tests {
         let reg = registry();
         assert_eq!(
             reg.len(),
-            120,
-            "5 workloads x 3 policies x 2 modes x 4 backfills"
+            162,
+            "5 workloads x 4 policies x 2 modes x 4 backfills + 2 hetero cells"
         );
         for policy in all_policies() {
             assert!(reg.iter().any(|s| s.policy == policy));
@@ -272,8 +311,8 @@ mod tests {
         let smoke = smoke_registry();
         assert_eq!(
             smoke.len(),
-            120,
-            "5 workloads x 3 policies x 2 modes x 4 backfills"
+            162,
+            "5 workloads x 4 policies x 2 modes x 4 backfills + 2 hetero cells"
         );
         assert!(smoke.iter().all(|s| s.jobs <= 10));
         for name in ["fs", "real", "burst", "diurnal", "swf-tiny"] {
@@ -293,6 +332,7 @@ mod tests {
             policy: PolicyKind::Algorithm1,
             mode: ScheduleMode::Synchronous,
             backfill: BackfillSel::Off,
+            mix: MachineMix::Uniform,
         };
         assert!(!base.config().backfill);
         assert!(base.name().ends_with("-off"));
@@ -325,6 +365,21 @@ mod tests {
                 assert_eq!(x.submit_procs, y.submit_procs);
             }
         }
+    }
+
+    #[test]
+    fn hetero_cells_carry_the_three_class_machine() {
+        let cells = hetero_axis(10);
+        assert_eq!(cells.len(), 2, "Algorithm 1 and energy-aware");
+        for sc in &cells {
+            assert_eq!(sc.config().machine_mix, MachineMix::Hetero3);
+            assert!(sc.name().ends_with("-hetero3"), "{}", sc.name());
+            assert_eq!(sc.workload.name(), "real-gpu");
+        }
+        assert!(cells.iter().any(|s| s.policy == PolicyKind::energy_aware()));
+        // Uniform cells keep their historical (suffix-free) names.
+        let uniform = &registry()[0];
+        assert!(!uniform.name().contains("uniform"));
     }
 
     #[test]

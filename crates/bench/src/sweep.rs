@@ -27,6 +27,9 @@ pub struct SweepCell {
     /// Backfill selection the cell ran under (off / easy1 / easy8 /
     /// conservative).
     pub backfill: &'static str,
+    /// Machine-class composition the cluster was built from (uniform /
+    /// single-class / hetero3).
+    pub machine_mix: &'static str,
     pub seed: u64,
     pub nodes: u32,
     pub summary: WorkloadSummary,
@@ -40,7 +43,8 @@ impl SweepCell {
         "scenario,workload,policy,mode,backfill,seed,nodes,jobs,makespan_s,\
          utilization,avg_wait_s,avg_exec_s,avg_completion_s,\
          p50_wait_s,p95_wait_s,p99_wait_s,p50_exec_s,p95_exec_s,p99_exec_s,\
-         p50_compl_s,p95_compl_s,p99_compl_s,reconfigurations,events,past_schedules";
+         p50_compl_s,p95_compl_s,p99_compl_s,reconfigurations,events,past_schedules,\
+         machine_mix,energy_j,avg_watts";
 
     /// One CSV row. Fixed-precision formatting keeps the byte stream
     /// deterministic across runs and thread counts; free-form labels are
@@ -52,7 +56,8 @@ impl SweepCell {
         let s = &self.summary;
         format!(
             "{},{},{},{},{},{},{},{},{:.3},{:.6},{:.3},{:.3},{:.3},\
-             {:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{},{},{}",
+             {:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{},{},{},\
+             {},{:.3},{:.3}",
             escape_field(&self.scenario),
             escape_field(self.workload),
             escape_field(&self.policy),
@@ -78,6 +83,9 @@ impl SweepCell {
             s.reconfigurations,
             self.events,
             self.past_schedules,
+            self.machine_mix,
+            s.energy_to_solution_j,
+            s.avg_watts,
         )
     }
 }
@@ -129,6 +137,7 @@ fn run_cell(sc: &Scenario, seed: u64) -> SweepCell {
             dmr_core::ScheduleMode::Asynchronous => "async",
         },
         backfill: sc.backfill.name(),
+        machine_mix: sc.mix.name(),
         seed,
         nodes: sc.nodes,
         summary: result.summary,
@@ -205,6 +214,46 @@ mod tests {
         assert!(header.starts_with("scenario,workload,policy,mode,backfill,seed,"));
         let row = lines.next().unwrap();
         assert_eq!(row.split(',').count(), header.split(',').count());
+    }
+
+    #[test]
+    fn sweep_reports_machine_mix_and_energy() {
+        assert!(SweepCell::CSV_HEADER.ends_with("machine_mix,energy_j,avg_watts"));
+        let cells = run_sweep(&crate::scenario::hetero_axis(10), &[1], 2);
+        assert_eq!(cells.len(), 2);
+        for cell in &cells {
+            assert_eq!(cell.machine_mix, "hetero3");
+            assert!(
+                cell.summary.energy_to_solution_j > 0.0,
+                "{} metered no energy",
+                cell.scenario
+            );
+            assert!(cell.summary.avg_watts > 0.0);
+            assert!(!cell.summary.class_utilization.is_empty());
+        }
+    }
+
+    #[test]
+    fn energy_aware_dominates_algorithm1_on_energy() {
+        // The Pareto gate `repro --bench-json` enforces: on the
+        // heterogeneous cells the energy-aware policy (idle power-down +
+        // shrink-for-blocked) must spend strictly less energy than
+        // Algorithm 1 on the same workload and seed.
+        let cells = run_sweep(&crate::scenario::hetero_axis(10), &[crate::SEED], 2);
+        let energy = |policy: &str| {
+            cells
+                .iter()
+                .find(|c| c.policy.starts_with(policy))
+                .expect("hetero cell present")
+                .summary
+                .energy_to_solution_j
+        };
+        assert!(
+            energy("energy-aware") < energy("algorithm1"),
+            "energy-aware {} J vs algorithm1 {} J",
+            energy("energy-aware"),
+            energy("algorithm1")
+        );
     }
 
     #[test]

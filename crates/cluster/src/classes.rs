@@ -1,0 +1,336 @@
+//! Machine classes: heterogeneous node descriptions and the class table.
+//!
+//! The paper's testbed is a uniform cluster, but the productivity
+//! argument for malleability is strongest when nodes differ: shrinking a
+//! flexible job onto efficient machines and powering idle ones down is
+//! where malleability buys *energy*, not just makespan. This module
+//! describes such a machine: a small set of [`MachineClass`]es (cores,
+//! memory, GPU flag, speed factor, and a P/C/S-state power ladder in the
+//! cloudsim style), with nodes assigned to classes in dense contiguous
+//! [`crate::node::NodeId`] ranges. The contiguity is load-bearing: it
+//! keeps one [`crate::freeset::FreeSet`] per class equivalent to the old
+//! global set under lowest-id-first selection, which is what pins the
+//! single-class configuration bit-for-bit to the uniform behaviour.
+
+use crate::node::NodeId;
+
+/// Maximum number of classes a [`ClassTable`] may hold. Power accounting
+/// travels through fixed-size per-class arrays in `Copy` result structs,
+/// so the bound is part of the public contract (shipped mixes use ≤ 3).
+pub const MAX_CLASSES: usize = 8;
+
+/// Index of a class inside its [`ClassTable`] (dense, 0-based).
+pub type ClassId = usize;
+
+/// Description of one machine class.
+///
+/// The power ladder follows the cloudsim_eec specification: `s_states_w`
+/// are the machine-level sleep states S0–S6 (S0 = powered base while on,
+/// S5 = suspend, S6 = mechanically off), `p_states_w` the per-core active
+/// power at P0–P3, and `c_states_w` the per-core idle power at C0–C3.
+/// The simulator charges three operating points derived from the ladder:
+/// [`MachineClass::watts_busy`], [`MachineClass::watts_idle`] and
+/// [`MachineClass::watts_off`].
+///
+/// `slow_num / slow_den` is the execution-time multiplier of the class
+/// relative to the baseline node: `> 1` runs compute steps slower, `< 1`
+/// faster. Jobs spanning several classes run at the *slowest* class they
+/// landed on, scaled in exact integer microseconds so determinism holds.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MachineClass {
+    /// Short stable name (CSV labels, invariant messages).
+    pub name: &'static str,
+    /// Cores per node of this class.
+    pub cores: u32,
+    /// Memory per node, GiB (class-demand routing; informational).
+    pub memory_gb: u32,
+    /// Whether nodes of this class carry a GPU
+    /// ([`ClassConstraint::GpuRequired`] routes onto these).
+    pub gpu: bool,
+    /// Execution-time multiplier numerator (see type docs).
+    pub slow_num: u32,
+    /// Execution-time multiplier denominator.
+    pub slow_den: u32,
+    /// Per-core active power, watts, at P0–P3.
+    pub p_states_w: [u32; 4],
+    /// Per-core idle power, watts, at C0–C3.
+    pub c_states_w: [u32; 4],
+    /// Machine-level sleep-state power, watts, at S0–S6.
+    pub s_states_w: [u32; 7],
+}
+
+impl MachineClass {
+    /// The baseline class every uniform cluster is made of: `cores` cores,
+    /// no GPU, neutral speed, cloudsim reference power ladder.
+    pub fn standard(cores: u32) -> Self {
+        MachineClass {
+            name: "standard",
+            cores,
+            memory_gb: 16,
+            gpu: false,
+            slow_num: 1,
+            slow_den: 1,
+            p_states_w: [12, 8, 6, 4],
+            c_states_w: [12, 3, 1, 0],
+            s_states_w: [120, 100, 100, 80, 40, 10, 0],
+        }
+    }
+
+    /// Watts drawn by one node of this class while running a job:
+    /// S0 machine base plus every core at P0.
+    pub fn watts_busy(&self) -> u64 {
+        self.s_states_w[0] as u64 + self.p_states_w[0] as u64 * self.cores as u64
+    }
+
+    /// Watts drawn by one idle (on, unallocated) node: S0 machine base
+    /// plus every core parked in C1.
+    pub fn watts_idle(&self) -> u64 {
+        self.s_states_w[0] as u64 + self.c_states_w[1] as u64 * self.cores as u64
+    }
+
+    /// Watts drawn by one powered-down node (S5 suspend — wakeable, which
+    /// is why it is not the zero-draw S6).
+    pub fn watts_off(&self) -> u64 {
+        self.s_states_w[5] as u64
+    }
+
+    /// Whether this class's speed factor is the neutral `1/1`.
+    pub fn is_neutral_speed(&self) -> bool {
+        self.slow_num == self.slow_den
+    }
+}
+
+/// Which classes an allocation may draw from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ClassConstraint {
+    /// Any class (the uniform-cluster default).
+    #[default]
+    Any,
+    /// Exactly the given class.
+    Class(ClassId),
+    /// Any class whose nodes carry a GPU.
+    GpuRequired,
+}
+
+impl ClassConstraint {
+    /// Whether class `idx` (described by `class`) satisfies this
+    /// constraint.
+    pub fn allows(self, idx: ClassId, class: &MachineClass) -> bool {
+        match self {
+            ClassConstraint::Any => true,
+            ClassConstraint::Class(c) => c == idx,
+            ClassConstraint::GpuRequired => class.gpu,
+        }
+    }
+}
+
+/// The machine's class layout: classes plus their dense contiguous node
+/// ranges, covering `0..total_nodes` without gaps.
+#[derive(Clone, Debug)]
+pub struct ClassTable {
+    classes: Vec<MachineClass>,
+    /// `[start, end)` node-id range of each class; `ranges[i].0 ==
+    /// ranges[i-1].1` and `ranges[0].0 == 0` (validated at construction).
+    ranges: Vec<(u32, u32)>,
+}
+
+impl ClassTable {
+    /// A single-class table: `nodes` baseline nodes of `cores` cores —
+    /// the uniform cluster every pre-heterogeneity configuration ran on.
+    pub fn uniform(nodes: u32, cores: u32) -> Self {
+        ClassTable::new(&[(MachineClass::standard(cores), nodes)])
+    }
+
+    /// Builds a table from `(class, node count)` specs, assigning node-id
+    /// ranges in spec order starting at 0.
+    ///
+    /// # Panics
+    /// If `specs` is empty, longer than [`MAX_CLASSES`], or contains a
+    /// zero-node class (empty ranges would break the dense covering).
+    pub fn new(specs: &[(MachineClass, u32)]) -> Self {
+        assert!(
+            !specs.is_empty() && specs.len() <= MAX_CLASSES,
+            "class table must hold 1..={MAX_CLASSES} classes"
+        );
+        let mut classes = Vec::with_capacity(specs.len());
+        let mut ranges = Vec::with_capacity(specs.len());
+        let mut next = 0u32;
+        for &(class, count) in specs {
+            assert!(count > 0, "class {} has no nodes", class.name);
+            assert!(
+                class.slow_num > 0 && class.slow_den > 0,
+                "class {} has a degenerate speed factor",
+                class.name
+            );
+            classes.push(class);
+            ranges.push((next, next + count));
+            next += count;
+        }
+        ClassTable { classes, ranges }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Total nodes across every class.
+    pub fn total_nodes(&self) -> u32 {
+        self.ranges.last().map_or(0, |&(_, end)| end)
+    }
+
+    /// The class description at `idx`.
+    pub fn class(&self, idx: ClassId) -> &MachineClass {
+        &self.classes[idx]
+    }
+
+    /// All classes in range order.
+    pub fn classes(&self) -> &[MachineClass] {
+        &self.classes
+    }
+
+    /// The `[start, end)` node-id range of class `idx`.
+    pub fn range(&self, idx: ClassId) -> (u32, u32) {
+        self.ranges[idx]
+    }
+
+    /// The class a node id belongs to.
+    ///
+    /// # Panics
+    /// If `id` is outside the table (no class owns it).
+    pub fn class_of(&self, id: u32) -> ClassId {
+        debug_assert!(id < self.total_nodes(), "node {id} outside the table");
+        // Ranges are contiguous ascending: the class is the last range
+        // starting at or below `id`.
+        self.ranges.partition_point(|&(start, _)| start <= id) - 1
+    }
+
+    /// As [`ClassTable::class_of`] for a [`NodeId`].
+    pub fn class_of_node(&self, node: NodeId) -> ClassId {
+        self.class_of(node.0)
+    }
+
+    /// Whether any class satisfies [`ClassConstraint::GpuRequired`].
+    pub fn has_gpu_class(&self) -> bool {
+        self.classes.iter().any(|c| c.gpu)
+    }
+
+    /// Whether the table is the degenerate single-class (uniform) layout.
+    pub fn is_uniform(&self) -> bool {
+        self.classes.len() == 1
+    }
+
+    /// Node count of class `idx`.
+    pub fn class_nodes(&self, idx: ClassId) -> u32 {
+        let (start, end) = self.ranges[idx];
+        end - start
+    }
+
+    /// Validates the dense-contiguous covering: ranges start at 0, are
+    /// non-empty, adjacent, and every node id round-trips through
+    /// [`ClassTable::class_of`] into the range that contains it. Returns
+    /// a description of the first violation.
+    pub fn check(&self) -> Result<(), String> {
+        if self.classes.len() != self.ranges.len() {
+            return Err("class/range length mismatch".into());
+        }
+        let mut expected = 0u32;
+        for (idx, &(start, end)) in self.ranges.iter().enumerate() {
+            if start != expected {
+                return Err(format!(
+                    "class {idx} range starts at {start}, expected {expected} (gap or overlap)"
+                ));
+            }
+            if start >= end {
+                return Err(format!("class {idx} range [{start}, {end}) is empty"));
+            }
+            expected = end;
+        }
+        for id in 0..self.total_nodes() {
+            let c = self.class_of(id);
+            let (start, end) = self.ranges[c];
+            if !(start..end).contains(&id) {
+                return Err(format!(
+                    "node n{id} resolves to class {c} but its range [{start}, {end}) disagrees"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_table_is_one_standard_class() {
+        let t = ClassTable::uniform(65, 16);
+        assert_eq!(t.num_classes(), 1);
+        assert_eq!(t.total_nodes(), 65);
+        assert!(t.is_uniform());
+        assert!(!t.has_gpu_class());
+        assert_eq!(t.range(0), (0, 65));
+        assert_eq!(t.class_of(0), 0);
+        assert_eq!(t.class_of(64), 0);
+        assert!(t.class(0).is_neutral_speed());
+        t.check().unwrap();
+    }
+
+    #[test]
+    fn ranges_are_dense_and_class_of_round_trips() {
+        let gpu = MachineClass {
+            name: "gpu",
+            gpu: true,
+            ..MachineClass::standard(32)
+        };
+        let t = ClassTable::new(&[
+            (MachineClass::standard(16), 10),
+            (MachineClass::standard(48), 4),
+            (gpu, 2),
+        ]);
+        assert_eq!(t.total_nodes(), 16);
+        assert_eq!(t.class_of(0), 0);
+        assert_eq!(t.class_of(9), 0);
+        assert_eq!(t.class_of(10), 1);
+        assert_eq!(t.class_of(13), 1);
+        assert_eq!(t.class_of(14), 2);
+        assert_eq!(t.class_of(15), 2);
+        assert!(t.has_gpu_class());
+        assert_eq!(t.class_nodes(1), 4);
+        t.check().unwrap();
+    }
+
+    #[test]
+    fn constraint_allows_matches_semantics() {
+        let std = MachineClass::standard(16);
+        let gpu = MachineClass {
+            name: "gpu",
+            gpu: true,
+            ..std
+        };
+        assert!(ClassConstraint::Any.allows(0, &std));
+        assert!(ClassConstraint::Any.allows(1, &gpu));
+        assert!(ClassConstraint::Class(1).allows(1, &std));
+        assert!(!ClassConstraint::Class(1).allows(0, &std));
+        assert!(ClassConstraint::GpuRequired.allows(1, &gpu));
+        assert!(!ClassConstraint::GpuRequired.allows(0, &std));
+    }
+
+    #[test]
+    fn power_ladder_operating_points_are_ordered() {
+        let c = MachineClass::standard(16);
+        // Busy > idle > off: the ordering EnergyAware's savings rest on.
+        assert!(c.watts_busy() > c.watts_idle());
+        assert!(c.watts_idle() > c.watts_off());
+        assert_eq!(c.watts_busy(), 120 + 12 * 16);
+        assert_eq!(c.watts_idle(), 120 + 3 * 16);
+        assert_eq!(c.watts_off(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "no nodes")]
+    fn empty_class_is_rejected() {
+        ClassTable::new(&[(MachineClass::standard(16), 0)]);
+    }
+}

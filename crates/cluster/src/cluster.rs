@@ -5,16 +5,23 @@
 //! to the resource manager). Owners are opaque `u64` tags chosen by the
 //! caller — `dmr-slurm` uses job ids — so this crate stays free of scheduler
 //! concepts.
+//!
+//! Nodes belong to [`crate::MachineClass`]es in dense contiguous id ranges
+//! (see [`ClassTable`]), and the free pool is one [`FreeSet`] per class. Because
+//! the ranges are contiguous and ascending, taking the lowest ids class by
+//! class *is* the global lowest-id-first selection — the single-class layout
+//! is bit-identical to the historical uniform cluster.
 
 use std::collections::BTreeMap;
 
+use crate::classes::{ClassConstraint, ClassId, ClassTable};
 use crate::freeset::FreeSet;
 use crate::node::{NodeId, NodeState};
 
 /// Errors from allocation requests.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum AllocError {
-    /// Fewer free nodes than requested.
+    /// Fewer free nodes than requested (within the eligible classes).
     Insufficient { requested: u32, free: u32 },
     /// A specific node was requested but is busy or not up.
     NodeBusy(NodeId),
@@ -49,18 +56,28 @@ impl std::error::Error for AllocError {}
 /// This also keeps simulations deterministic.
 #[derive(Clone, Debug)]
 pub struct Cluster {
+    /// The machine's class layout (one entry for uniform clusters).
+    table: ClassTable,
     states: Vec<NodeState>,
     owner: Vec<Option<u64>>,
     /// Owner -> sorted list of held nodes. BTreeMap keeps iteration (and
     /// therefore any derived event order) deterministic.
     held: BTreeMap<u64, Vec<NodeId>>,
-    /// The placeable (unowned, accepting-work) ids as a sorted run set;
-    /// allocation takes the lowest run instead of scanning all nodes.
-    free: FreeSet,
+    /// The placeable (unowned, accepting-work) ids, one sorted run set per
+    /// class; allocation takes the lowest run of each eligible class.
+    free: Vec<FreeSet>,
     free_count: u32,
-    /// Unowned nodes not accepting work (drained / down), maintained so
-    /// [`Cluster::allocated_nodes`] is O(1) instead of a zip-scan.
+    /// Unowned nodes not accepting work (drained / down / off), maintained
+    /// so [`Cluster::allocated_nodes`] is O(1) instead of a zip-scan.
     unavailable_count: u32,
+    /// Per-class recounts of the two pools above plus the allocated pool,
+    /// maintained at every transition for O(classes) power sampling.
+    unavailable_by_class: Vec<u32>,
+    busy_by_class: Vec<u32>,
+    /// Nodes powered down to S5 by an energy policy, per class. Off nodes
+    /// also count into `unavailable_count` (they accept no work).
+    off_sets: Vec<FreeSet>,
+    off_by_class: Vec<u32>,
     cores_per_node: u32,
     /// Equivalence-oracle knob: select granted nodes with the pre-index
     /// full scan instead of the run set (results are identical; only the
@@ -88,13 +105,34 @@ fn append_held(held: &mut Vec<NodeId>, granted: &[NodeId]) {
 impl Cluster {
     /// A cluster of `nodes` identical nodes, all up and free.
     pub fn new(nodes: u32, cores_per_node: u32) -> Self {
+        Cluster::with_classes(ClassTable::uniform(nodes, cores_per_node))
+    }
+
+    /// A cluster laid out by `table`: every class's nodes up and free.
+    pub fn with_classes(table: ClassTable) -> Self {
+        let nodes = table.total_nodes();
+        let k = table.num_classes();
+        let free = (0..k)
+            .map(|c| {
+                let (start, end) = table.range(c);
+                let mut s = FreeSet::new();
+                s.insert_run(start, end);
+                s
+            })
+            .collect();
+        let cores_per_node = table.class(0).cores;
         Cluster {
+            table,
             states: vec![NodeState::Up; nodes as usize],
             owner: vec![None; nodes as usize],
             held: BTreeMap::new(),
-            free: FreeSet::full(nodes),
+            free,
             free_count: nodes,
             unavailable_count: 0,
+            unavailable_by_class: vec![0; k],
+            busy_by_class: vec![0; k],
+            off_sets: vec![FreeSet::new(); k],
+            off_by_class: vec![0; k],
             cores_per_node,
             scan_selection: false,
         }
@@ -114,17 +152,41 @@ impl Cluster {
         Cluster::new(crate::MARENOSTRUM_NODES, crate::MARENOSTRUM_CORES_PER_NODE)
     }
 
+    /// The machine's class layout.
+    pub fn table(&self) -> &ClassTable {
+        &self.table
+    }
+
+    /// The class a node belongs to.
+    pub fn class_of(&self, node: NodeId) -> ClassId {
+        self.table.class_of(node.0)
+    }
+
     pub fn total_nodes(&self) -> u32 {
         self.states.len() as u32
     }
 
+    /// Cores per node of the *first* class (uniform clusters have only
+    /// one; heterogeneous callers should consult [`Cluster::table`]).
     pub fn cores_per_node(&self) -> u32 {
         self.cores_per_node
     }
 
-    /// Nodes currently free *and* accepting work.
+    /// Nodes currently free *and* accepting work, across all classes.
     pub fn free_nodes(&self) -> u32 {
         self.free_count
+    }
+
+    /// Nodes currently free and accepting work within the classes
+    /// eligible under `constraint`.
+    pub fn free_nodes_in(&self, constraint: ClassConstraint) -> u32 {
+        match constraint {
+            ClassConstraint::Any => self.free_count,
+            _ => self
+                .eligible_classes(constraint)
+                .map(|c| self.free[c].len())
+                .sum(),
+        }
     }
 
     /// Nodes currently owned by some allocation. O(1): free and
@@ -132,6 +194,21 @@ impl Cluster {
     /// being recounted by a scan (this is sampled per metrics event).
     pub fn allocated_nodes(&self) -> u32 {
         self.total_nodes() - self.free_count - self.unavailable_count
+    }
+
+    /// Per-class allocated-node counts (power sampling; O(1) access).
+    pub fn busy_by_class(&self) -> &[u32] {
+        &self.busy_by_class
+    }
+
+    /// Per-class powered-down node counts (power sampling; O(1) access).
+    pub fn off_by_class(&self) -> &[u32] {
+        &self.off_by_class
+    }
+
+    /// Total powered-down nodes.
+    pub fn off_nodes(&self) -> u32 {
+        self.off_by_class.iter().sum()
     }
 
     /// Owner of a node, if allocated.
@@ -149,43 +226,108 @@ impl Cluster {
         self.nodes_of(owner).len() as u32
     }
 
-    /// Whether `n` nodes could be allocated right now.
+    /// Per-class counts of the nodes held by `owner` (all zeros when the
+    /// owner holds nothing). O(classes × log held): class ranges are
+    /// contiguous and held lists sorted ascending, so each class's share
+    /// is a partition-point probe, not a per-node walk — this runs on
+    /// every start and resize of every job on a heterogeneous cluster.
+    pub fn held_class_counts(&self, owner: u64) -> Vec<u32> {
+        let mut counts = vec![0u32; self.table.num_classes()];
+        if let Some(held) = self.held.get(&owner) {
+            let mut lo = 0;
+            for (c, count) in counts.iter_mut().enumerate() {
+                let (_, end) = self.table.range(c);
+                let hi = lo + held[lo..].partition_point(|n| n.0 < end);
+                *count = (hi - lo) as u32;
+                lo = hi;
+            }
+        }
+        counts
+    }
+
+    /// Whether `n` nodes could be allocated right now (any class).
     pub fn can_allocate(&self, n: u32) -> bool {
         n <= self.free_count
+    }
+
+    /// Whether `n` nodes could be allocated right now from the classes
+    /// eligible under `constraint`.
+    pub fn can_allocate_in(&self, n: u32, constraint: ClassConstraint) -> bool {
+        n <= self.free_nodes_in(constraint)
+    }
+
+    /// Class indices eligible under `constraint`, ascending.
+    fn eligible_classes(&self, constraint: ClassConstraint) -> impl Iterator<Item = ClassId> + '_ {
+        (0..self.table.num_classes()).filter(move |&c| constraint.allows(c, self.table.class(c)))
     }
 
     /// Allocates `n` nodes to `owner` using lowest-id-first (linear)
     /// selection. An owner may hold several grants; they accumulate.
     pub fn allocate(&mut self, n: u32, owner: u64) -> Result<Vec<NodeId>, AllocError> {
-        if n > self.free_count {
+        self.allocate_in(n, owner, ClassConstraint::Any)
+    }
+
+    /// Allocates `n` nodes to `owner` from the classes eligible under
+    /// `constraint`, lowest-id-first within the eligible ranges. With
+    /// [`ClassConstraint::Any`] on a single-class table this is exactly
+    /// the historical uniform allocation.
+    pub fn allocate_in(
+        &mut self,
+        n: u32,
+        owner: u64,
+        constraint: ClassConstraint,
+    ) -> Result<Vec<NodeId>, AllocError> {
+        let eligible_free = self.free_nodes_in(constraint);
+        if n > eligible_free {
             return Err(AllocError::Insufficient {
                 requested: n,
-                free: self.free_count,
+                free: eligible_free,
             });
         }
         let granted = if self.scan_selection {
-            // Reference path: the pre-index linear scan over every node.
+            // Reference path: the pre-index linear scan, restricted to
+            // the eligible class ranges (which are ascending, so under
+            // `Any` this is the historical whole-inventory scan).
             let mut granted = Vec::with_capacity(n as usize);
-            for (i, (state, own)) in self.states.iter().zip(self.owner.iter()).enumerate() {
-                if granted.len() == n as usize {
-                    break;
-                }
-                if own.is_none() && state.accepts_new_work() {
-                    granted.push(NodeId(i as u32));
+            let ranges: Vec<(u32, u32)> = self
+                .eligible_classes(constraint)
+                .map(|c| self.table.range(c))
+                .collect();
+            'scan: for (start, end) in ranges {
+                for i in start..end {
+                    if granted.len() == n as usize {
+                        break 'scan;
+                    }
+                    if self.owner[i as usize].is_none()
+                        && self.states[i as usize].accepts_new_work()
+                    {
+                        granted.push(NodeId(i));
+                    }
                 }
             }
             for &node in &granted {
-                self.free.remove(node.0);
+                self.free[self.table.class_of(node.0)].remove(node.0);
             }
             granted
         } else {
-            // The run set holds exactly the placeable ids, ascending, so
-            // taking the lowest n is the same linear selection.
-            self.free.take_lowest(n)
+            // Each class's run set holds exactly its placeable ids,
+            // ascending; draining eligible classes in range order is the
+            // same linear selection.
+            let mut granted = Vec::with_capacity(n as usize);
+            let classes: Vec<ClassId> = self.eligible_classes(constraint).collect();
+            for c in classes {
+                let want = n - granted.len() as u32;
+                if want == 0 {
+                    break;
+                }
+                granted.extend(self.free[c].take_lowest(want));
+            }
+            granted
         };
         debug_assert_eq!(granted.len(), n as usize);
         for &node in &granted {
             self.owner[node.index()] = Some(owner);
+            self.busy_by_class[self.table.class_of(node.0)] += 1;
         }
         self.free_count -= n;
         let held = self.held.entry(owner).or_default();
@@ -205,7 +347,9 @@ impl Cluster {
         }
         for &node in nodes {
             self.owner[node.index()] = Some(owner);
-            self.free.remove(node.0);
+            let c = self.table.class_of(node.0);
+            self.free[c].remove(node.0);
+            self.busy_by_class[c] += 1;
         }
         self.free_count -= nodes.len() as u32;
         let held = self.held.entry(owner).or_default();
@@ -218,30 +362,36 @@ impl Cluster {
     /// drained while allocated come back *unavailable*, not free — they
     /// must not be placeable until re-enabled via [`Cluster::set_state`].
     ///
-    /// Placeable nodes are grouped into maximal consecutive-id runs and
-    /// returned through [`FreeSet::insert_run`], so releasing a job's
-    /// whole contiguous allocation costs O(log runs), not O(nodes) — the
-    /// dominant cost of every completion at 65k-node scale before this
-    /// batching.
+    /// Placeable nodes are grouped into maximal consecutive-id runs,
+    /// split at class boundaries, and returned through
+    /// [`FreeSet::insert_run`], so releasing a job's whole contiguous
+    /// allocation costs O(log runs), not O(nodes) — the dominant cost of
+    /// every completion at 65k-node scale before this batching.
     fn return_nodes(&mut self, nodes: &[NodeId]) {
         let mut i = 0;
         while i < nodes.len() {
+            let c = self.table.class_of(nodes[i].0);
+            self.busy_by_class[c] -= 1;
             if !self.states[nodes[i].index()].accepts_new_work() {
                 self.unavailable_count += 1;
+                self.unavailable_by_class[c] += 1;
                 i += 1;
                 continue;
             }
             let start = nodes[i].0;
+            let class_end = self.table.range(c).1;
             let mut end = start + 1;
             i += 1;
             while i < nodes.len()
                 && nodes[i].0 == end
+                && end < class_end
                 && self.states[nodes[i].index()].accepts_new_work()
             {
+                self.busy_by_class[c] -= 1;
                 end += 1;
                 i += 1;
             }
-            self.free.insert_run(start, end);
+            self.free[c].insert_run(start, end);
             self.free_count += end - start;
         }
     }
@@ -261,7 +411,9 @@ impl Cluster {
 
     /// Releases the `n` highest-numbered nodes held by `owner` (a shrink).
     /// Slurm releases from the tail of the job's node list; keeping the
-    /// lowest nodes means rank 0's node survives every shrink.
+    /// lowest nodes means rank 0's node survives every shrink — and with
+    /// classes ordered efficient-first, shrinks shed the least-efficient
+    /// classes first.
     pub fn release_tail(&mut self, owner: u64, n: u32) -> Result<Vec<NodeId>, AllocError> {
         let held = self
             .held
@@ -300,9 +452,108 @@ impl Cluster {
         Ok(nodes)
     }
 
+    /// The worst (largest) execution-time multiplier among the classes
+    /// `owner` holds nodes on, as a `(num, den)` fraction — jobs run at
+    /// the speed of their slowest node. Neutral `(1, 1)` when the owner
+    /// holds nothing. O(classes × log held): the sorted held list is
+    /// probed once per class range.
+    pub fn worst_slowdown(&self, owner: u64) -> (u32, u32) {
+        let held = self.nodes_of(owner);
+        let mut worst: Option<(u32, u32)> = None;
+        for c in 0..self.table.num_classes() {
+            let (start, end) = self.table.range(c);
+            let idx = held.partition_point(|n| n.0 < start);
+            if idx < held.len() && held[idx].0 < end {
+                let cls = self.table.class(c);
+                // a/b > w.0/w.1  ⇔  a·w.1 > w.0·b (all positive).
+                let slower = worst.is_none_or(|(wn, wd)| {
+                    (cls.slow_num as u64) * (wd as u64) > (wn as u64) * (cls.slow_den as u64)
+                });
+                if slower {
+                    worst = Some((cls.slow_num, cls.slow_den));
+                }
+            }
+        }
+        worst.unwrap_or((1, 1))
+    }
+
+    /// Powers down up to `n` free nodes (S5 suspend), preferring the
+    /// *highest* free ids — with classes laid out efficient-first, those
+    /// are the least useful nodes to keep warm. Returns the nodes
+    /// actually powered down (ascending). They stop being placeable until
+    /// [`Cluster::wake_all`].
+    pub fn power_down(&mut self, n: u32) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut want = n;
+        for c in (0..self.table.num_classes()).rev() {
+            if want == 0 {
+                break;
+            }
+            let taken = self.free[c].take_highest(want);
+            want -= taken.len() as u32;
+            for &node in &taken {
+                self.states[node.index()] = NodeState::Off;
+                self.off_sets[c].insert(node.0);
+            }
+            let k = taken.len() as u32;
+            self.free_count -= k;
+            self.unavailable_count += k;
+            self.unavailable_by_class[c] += k;
+            self.off_by_class[c] += k;
+            out.extend(taken);
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Wakes every powered-down node back to `Up` and placeable,
+    /// returning how many woke. The caller models the wake-up latency by
+    /// delaying this call.
+    pub fn wake_all(&mut self) -> u32 {
+        let mut woke = 0;
+        for c in 0..self.table.num_classes() {
+            let k = self.off_sets[c].len();
+            if k == 0 {
+                continue;
+            }
+            let nodes = self.off_sets[c].take_lowest(k);
+            for &node in &nodes {
+                self.states[node.index()] = NodeState::Up;
+                self.free[c].insert(node.0);
+            }
+            self.free_count += k;
+            self.unavailable_count -= k;
+            self.unavailable_by_class[c] -= k;
+            self.off_by_class[c] -= k;
+            woke += k;
+        }
+        woke
+    }
+
     /// Marks a node's administrative state. Allocated nodes may be drained;
-    /// they are only excluded from *new* placements.
+    /// they are only excluded from *new* placements. `Off` is not an
+    /// administrative state — it is entered through
+    /// [`Cluster::power_down`] only.
     pub fn set_state(&mut self, node: NodeId, state: NodeState) {
+        assert!(
+            state != NodeState::Off,
+            "power management goes through power_down/wake_all"
+        );
+        let c = self.table.class_of(node.0);
+        if self.states[node.index()] == NodeState::Off {
+            // Administrative override of a powered-down node: it leaves
+            // the off pool for whatever state was requested.
+            self.off_sets[c].remove(node.0);
+            self.off_by_class[c] -= 1;
+            if state.accepts_new_work() {
+                self.free[c].insert(node.0);
+                self.free_count += 1;
+                self.unavailable_count -= 1;
+                self.unavailable_by_class[c] -= 1;
+            }
+            self.states[node.index()] = state;
+            return;
+        }
         let unowned = self.owner[node.index()].is_none();
         let was_placeable = self.states[node.index()].accepts_new_work() && unowned;
         let now_placeable = state.accepts_new_work() && unowned;
@@ -310,13 +561,15 @@ impl Cluster {
         match (was_placeable, now_placeable) {
             (true, false) => {
                 self.free_count -= 1;
-                self.free.remove(node.0);
+                self.free[c].remove(node.0);
                 self.unavailable_count += 1;
+                self.unavailable_by_class[c] += 1;
             }
             (false, true) => {
                 self.free_count += 1;
-                self.free.insert(node.0);
+                self.free[c].insert(node.0);
                 self.unavailable_count -= 1;
+                self.unavailable_by_class[c] -= 1;
             }
             _ => {}
         }
@@ -324,21 +577,60 @@ impl Cluster {
 
     /// Internal-consistency check used by tests and debug assertions.
     /// This is the one place the O(n) zip-scans survive: the maintained
-    /// `free_count` / `unavailable_count` / run set are re-derived from
-    /// first principles and compared.
+    /// counters and run sets — global and per-class — are re-derived from
+    /// first principles and compared, and every node's class assignment
+    /// is checked against the class table's ranges.
     pub fn check_invariants(&self) -> Result<(), String> {
+        self.table.check()?;
+        if self.table.total_nodes() != self.total_nodes() {
+            return Err(format!(
+                "class table covers {} nodes, inventory has {}",
+                self.table.total_nodes(),
+                self.total_nodes()
+            ));
+        }
+        let k = self.table.num_classes();
         let mut counted_free = 0;
         let mut counted_unavailable = 0;
+        let mut free_c = vec![0u32; k];
+        let mut unavail_c = vec![0u32; k];
+        let mut busy_c = vec![0u32; k];
+        let mut off_c = vec![0u32; k];
         for (i, (state, own)) in self.states.iter().zip(self.owner.iter()).enumerate() {
+            let c = self.table.class_of(i as u32);
+            let (start, end) = self.table.range(c);
+            if !(start..end).contains(&(i as u32)) {
+                return Err(format!(
+                    "node n{i} assigned class {c} whose range [{start}, {end}) disagrees"
+                ));
+            }
             let placeable = own.is_none() && state.accepts_new_work();
             if placeable {
                 counted_free += 1;
+                free_c[c] += 1;
             }
             if own.is_none() && !state.accepts_new_work() {
                 counted_unavailable += 1;
+                unavail_c[c] += 1;
             }
-            if placeable != self.free.contains(i as u32) {
-                return Err(format!("free set disagrees on n{i}: placeable={placeable}"));
+            if own.is_some() {
+                busy_c[c] += 1;
+            }
+            if *state == NodeState::Off {
+                if own.is_some() {
+                    return Err(format!("powered-down node n{i} is owned"));
+                }
+                off_c[c] += 1;
+                if !self.off_sets[c].contains(i as u32) {
+                    return Err(format!("off set of class {c} missing powered-down n{i}"));
+                }
+            } else if self.off_sets[c].contains(i as u32) {
+                return Err(format!("off set of class {c} contains running n{i}"));
+            }
+            if placeable != self.free[c].contains(i as u32) {
+                return Err(format!(
+                    "class {c} free set disagrees on n{i}: placeable={placeable}"
+                ));
             }
             if let Some(o) = own {
                 if !self.nodes_of(*o).contains(&NodeId(i as u32)) {
@@ -352,18 +644,51 @@ impl Cluster {
                 self.free_count, counted_free
             ));
         }
-        if self.free.len() != self.free_count {
-            return Err(format!(
-                "free set len {} != free_count {}",
-                self.free.len(),
-                self.free_count
-            ));
-        }
         if counted_unavailable != self.unavailable_count {
             return Err(format!(
                 "unavailable_count {} != counted {}",
                 self.unavailable_count, counted_unavailable
             ));
+        }
+        for c in 0..k {
+            let (start, end) = self.table.range(c);
+            for set in [&self.free[c], &self.off_sets[c]] {
+                if let Some(bad) = set.iter().find(|n| !(start..end).contains(&n.0)) {
+                    return Err(format!(
+                        "class {c} set holds {bad:?} outside its range [{start}, {end})"
+                    ));
+                }
+            }
+            if self.free[c].len() != free_c[c] {
+                return Err(format!(
+                    "class {c} free set len {} != counted {}",
+                    self.free[c].len(),
+                    free_c[c]
+                ));
+            }
+            if self.unavailable_by_class[c] != unavail_c[c] {
+                return Err(format!(
+                    "class {c} unavailable counter {} != counted {}",
+                    self.unavailable_by_class[c], unavail_c[c]
+                ));
+            }
+            if self.busy_by_class[c] != busy_c[c] {
+                return Err(format!(
+                    "class {c} busy counter {} != counted {}",
+                    self.busy_by_class[c], busy_c[c]
+                ));
+            }
+            if self.off_by_class[c] != off_c[c] {
+                return Err(format!(
+                    "class {c} off counter {} != counted {} (off set len {})",
+                    self.off_by_class[c],
+                    off_c[c],
+                    self.off_sets[c].len()
+                ));
+            }
+        }
+        if self.free.iter().map(|s| s.len()).sum::<u32>() != self.free_count {
+            return Err("per-class free sets do not sum to free_count".into());
         }
         for (o, nodes) in &self.held {
             for n in nodes {
@@ -379,6 +704,7 @@ impl Cluster {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::classes::MachineClass;
 
     #[test]
     fn linear_allocation_takes_lowest_ids() {
@@ -545,6 +871,165 @@ mod tests {
         c.allocate(3, 9).unwrap();
         assert_eq!(c.held_by(9), 5);
         assert_eq!(c.nodes_of(9).len(), 5);
+        c.check_invariants().unwrap();
+    }
+
+    /// A 3-class layout for the heterogeneous tests: 4 standard (n0–n3),
+    /// 2 big-memory (n4–n5), 2 GPU (n6–n7).
+    fn hetero() -> Cluster {
+        let std16 = MachineClass::standard(16);
+        let bigmem = MachineClass {
+            name: "bigmem",
+            memory_gb: 128,
+            slow_num: 5,
+            slow_den: 4,
+            ..std16
+        };
+        let gpu = MachineClass {
+            name: "gpu",
+            gpu: true,
+            slow_num: 3,
+            slow_den: 4,
+            ..std16
+        };
+        Cluster::with_classes(ClassTable::new(&[(std16, 4), (bigmem, 2), (gpu, 2)]))
+    }
+
+    #[test]
+    fn constrained_allocation_respects_class_ranges() {
+        let mut c = hetero();
+        let got = c.allocate_in(1, 1, ClassConstraint::GpuRequired).unwrap();
+        assert_eq!(got, vec![NodeId(6)]);
+        let got = c.allocate_in(2, 2, ClassConstraint::Class(1)).unwrap();
+        assert_eq!(got, vec![NodeId(4), NodeId(5)]);
+        // Any still takes the globally lowest ids.
+        let got = c.allocate_in(3, 3, ClassConstraint::Any).unwrap();
+        assert_eq!(got, vec![NodeId(0), NodeId(1), NodeId(2)]);
+        // Class 1 is exhausted.
+        assert_eq!(
+            c.allocate_in(1, 4, ClassConstraint::Class(1)),
+            Err(AllocError::Insufficient {
+                requested: 1,
+                free: 0
+            })
+        );
+        assert!(c.can_allocate_in(1, ClassConstraint::GpuRequired));
+        assert!(!c.can_allocate_in(2, ClassConstraint::GpuRequired));
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn constrained_scan_matches_run_set() {
+        let drive = |scan: bool| {
+            let mut c = hetero();
+            c.use_scan_selection(scan);
+            let mut grants = Vec::new();
+            grants.push(c.allocate_in(1, 1, ClassConstraint::GpuRequired).unwrap());
+            grants.push(c.allocate_in(3, 2, ClassConstraint::Any).unwrap());
+            c.release_all(2).unwrap();
+            grants.push(c.allocate_in(2, 3, ClassConstraint::Class(1)).unwrap());
+            grants.push(c.allocate_in(4, 4, ClassConstraint::Any).unwrap());
+            c.check_invariants().unwrap();
+            (grants, c.free_nodes())
+        };
+        assert_eq!(drive(false), drive(true));
+    }
+
+    #[test]
+    fn any_spans_class_boundaries_lowest_first() {
+        let mut c = hetero();
+        let got = c.allocate_in(6, 1, ClassConstraint::Any).unwrap();
+        assert_eq!(
+            got,
+            (0..6).map(NodeId).collect::<Vec<_>>(),
+            "Any selection crosses the class boundary in global id order"
+        );
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn worst_slowdown_is_slowest_held_class() {
+        let mut c = hetero();
+        assert_eq!(c.worst_slowdown(1), (1, 1), "no nodes held");
+        c.allocate_in(2, 1, ClassConstraint::Any).unwrap();
+        assert_eq!(c.worst_slowdown(1), (1, 1), "standard nodes only");
+        c.allocate_in(1, 1, ClassConstraint::Class(1)).unwrap();
+        assert_eq!(c.worst_slowdown(1), (5, 4), "bigmem is the slowest");
+        c.allocate_in(1, 2, ClassConstraint::GpuRequired).unwrap();
+        assert_eq!(c.worst_slowdown(2), (3, 4), "gpu-only job runs faster");
+    }
+
+    #[test]
+    fn power_down_takes_highest_free_and_wake_restores() {
+        let mut c = hetero();
+        c.allocate_in(2, 1, ClassConstraint::Any).unwrap(); // n0 n1
+        let off = c.power_down(3);
+        assert_eq!(off, vec![NodeId(5), NodeId(6), NodeId(7)]);
+        assert_eq!(c.free_nodes(), 3);
+        assert_eq!(c.off_nodes(), 3);
+        assert_eq!(c.off_by_class(), &[0, 1, 2]);
+        assert_eq!(c.allocated_nodes(), 2);
+        c.check_invariants().unwrap();
+        // Off nodes are not placeable.
+        assert!(!c.can_allocate_in(1, ClassConstraint::GpuRequired));
+        assert_eq!(
+            c.allocate_in(4, 2, ClassConstraint::Any),
+            Err(AllocError::Insufficient {
+                requested: 4,
+                free: 3
+            })
+        );
+        assert_eq!(c.wake_all(), 3);
+        assert_eq!(c.free_nodes(), 6);
+        assert_eq!(c.off_nodes(), 0);
+        let got = c.allocate_in(1, 2, ClassConstraint::GpuRequired).unwrap();
+        assert_eq!(got, vec![NodeId(6)]);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn power_down_caps_at_free_pool() {
+        let mut c = Cluster::new(4, 16);
+        c.allocate(3, 1).unwrap();
+        let off = c.power_down(10);
+        assert_eq!(off, vec![NodeId(3)]);
+        assert_eq!(c.free_nodes(), 0);
+        c.check_invariants().unwrap();
+        assert_eq!(c.wake_all(), 1);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn set_state_overrides_powered_down_node() {
+        let mut c = Cluster::new(4, 16);
+        let off = c.power_down(2);
+        assert_eq!(off, vec![NodeId(2), NodeId(3)]);
+        // Administratively downing an off node removes it from the off
+        // pool without making it placeable.
+        c.set_state(NodeId(3), NodeState::Down);
+        assert_eq!(c.off_nodes(), 1);
+        assert_eq!(c.free_nodes(), 2);
+        c.check_invariants().unwrap();
+        // Upping the other off node returns it to the free pool.
+        c.set_state(NodeId(2), NodeState::Up);
+        assert_eq!(c.off_nodes(), 0);
+        assert_eq!(c.free_nodes(), 3);
+        c.check_invariants().unwrap();
+        assert_eq!(c.wake_all(), 0);
+    }
+
+    #[test]
+    fn busy_counters_track_ownership_per_class() {
+        let mut c = hetero();
+        c.allocate_in(5, 1, ClassConstraint::Any).unwrap(); // n0..n4
+        assert_eq!(c.busy_by_class(), &[4, 1, 0]);
+        c.release_tail(1, 2).unwrap(); // drops n3 n4
+        assert_eq!(c.busy_by_class(), &[3, 0, 0]);
+        c.allocate_in(1, 2, ClassConstraint::GpuRequired).unwrap();
+        assert_eq!(c.busy_by_class(), &[3, 0, 1]);
+        c.release_all(2).unwrap();
+        c.release_all(1).unwrap();
+        assert_eq!(c.busy_by_class(), &[0, 0, 0]);
         c.check_invariants().unwrap();
     }
 }

@@ -155,6 +155,30 @@ impl FreeSet {
         out
     }
 
+    /// Removes and returns the `n` highest ids (fewer if the set runs
+    /// out), ascending. The mirror of [`FreeSet::take_lowest`], used by
+    /// power-down: with classes ordered efficient-first in ascending id
+    /// ranges, the highest free ids are the least useful nodes to keep
+    /// warm.
+    pub fn take_highest(&mut self, n: u32) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(n as usize);
+        while (out.len() as u32) < n {
+            let Some((&start, &end)) = self.runs.iter().next_back() else {
+                break;
+            };
+            let take = (n - out.len() as u32).min(end - start);
+            out.extend((end - take..end).map(NodeId));
+            if end - take > start {
+                *self.runs.get_mut(&start).expect("run exists") = end - take;
+            } else {
+                self.runs.remove(&start);
+            }
+            self.len -= take;
+        }
+        out.sort_unstable();
+        out
+    }
+
     /// All ids, ascending (invariant checks and tests).
     pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
         self.runs.iter().flat_map(|(&s, &e)| (s..e).map(NodeId))
@@ -275,6 +299,31 @@ mod tests {
         assert_eq!(got, vec![0, 1, 2]);
         assert_eq!(s.run_count(), 1);
         assert_eq!(ids(&s), vec![3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn take_highest_spans_runs() {
+        let mut s = FreeSet::full(10);
+        for id in [0, 3, 4, 8] {
+            s.remove(id);
+        }
+        // Free: 1 2 | 5 6 7 | 9
+        let got: Vec<u32> = s.take_highest(3).into_iter().map(|n| n.0).collect();
+        assert_eq!(got, vec![6, 7, 9]);
+        assert_eq!(ids(&s), vec![1, 2, 5]);
+        // Taking more than remains returns what exists.
+        let got: Vec<u32> = s.take_highest(5).into_iter().map(|n| n.0).collect();
+        assert_eq!(got, vec![1, 2, 5]);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn take_highest_partial_run_keeps_head() {
+        let mut s = FreeSet::full(8);
+        let got: Vec<u32> = s.take_highest(3).into_iter().map(|n| n.0).collect();
+        assert_eq!(got, vec![5, 6, 7]);
+        assert_eq!(s.run_count(), 1);
+        assert_eq!(ids(&s), vec![0, 1, 2, 3, 4]);
     }
 
     #[test]

@@ -17,17 +17,21 @@
 //! outcomes, and these models only need to charge *plausible, consistently
 //! ordered* costs for reconfiguration events.
 
+pub mod classes;
 pub mod cluster;
 pub mod disk;
 pub mod freeset;
 pub mod network;
 pub mod node;
+pub mod power;
 
+pub use classes::{ClassConstraint, ClassId, ClassTable, MachineClass, MAX_CLASSES};
 pub use cluster::{AllocError, Cluster};
 pub use disk::DiskModel;
 pub use freeset::FreeSet;
 pub use network::NetworkModel;
 pub use node::{NodeId, NodeState};
+pub use power::PowerMeter;
 
 /// Number of compute nodes in the paper's testbed (§VII-A).
 pub const MARENOSTRUM_NODES: u32 = 65;

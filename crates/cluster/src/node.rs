@@ -26,12 +26,16 @@ impl fmt::Display for NodeId {
 
 /// Administrative state of a node. Jobs may only be placed on `Up` nodes;
 /// `Drained` nodes finish their current allocation but accept no new one.
+/// `Off` nodes were powered down to the S5 suspend state by an energy
+/// policy: they draw suspend power and must be woken (with a latency)
+/// before accepting work again.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum NodeState {
     #[default]
     Up,
     Drained,
     Down,
+    Off,
 }
 
 impl NodeState {
@@ -55,5 +59,6 @@ mod tests {
         assert!(NodeState::Up.accepts_new_work());
         assert!(!NodeState::Drained.accepts_new_work());
         assert!(!NodeState::Down.accepts_new_work());
+        assert!(!NodeState::Off.accepts_new_work());
     }
 }

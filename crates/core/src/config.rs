@@ -1,7 +1,93 @@
 //! Experiment configuration.
 
-use dmr_cluster::NetworkModel;
+use dmr_cluster::{ClassTable, MachineClass, NetworkModel};
 use dmr_slurm::{BackfillFamily, PolicyKind, SchedIncremental, SchedIndex};
+
+/// Machine-class layout of the simulated cluster — a `Copy` selector in
+/// the mould of [`PolicyKind`], expanded into a [`ClassTable`] when the
+/// driver builds the cluster.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum MachineMix {
+    /// The paper's uniform machine, built through the legacy
+    /// [`ClassTable::uniform`] path. The compatibility default.
+    #[default]
+    Uniform,
+    /// One explicit standard class built through the general
+    /// [`ClassTable::new`] path — semantically identical to
+    /// [`MachineMix::Uniform`], kept as the bit-equivalence oracle twin
+    /// proving the heterogeneous plumbing is inert on one class.
+    SingleClass,
+    /// Three classes in efficient-first node order: standard (the bulk,
+    /// lowest ids — lowest-id-first allocation packs work onto the
+    /// cheapest watts), big-memory (one quarter, 5/4 slower, higher base
+    /// draw), and GPU (one eighth, 3/4 faster, highest draw,
+    /// `GpuRequired`-routable).
+    Hetero3,
+}
+
+impl MachineMix {
+    /// Stable name (scenario ids, sweep CSV `machine_mix` column).
+    pub fn name(self) -> &'static str {
+        match self {
+            MachineMix::Uniform => "uniform",
+            MachineMix::SingleClass => "single-class",
+            MachineMix::Hetero3 => "hetero3",
+        }
+    }
+
+    /// The big-memory class of [`MachineMix::Hetero3`]: 64 GiB, 5/4
+    /// execution-time multiplier, 200 W machine base.
+    pub fn bigmem_class(cores: u32) -> MachineClass {
+        MachineClass {
+            name: "bigmem",
+            memory_gb: 64,
+            slow_num: 5,
+            slow_den: 4,
+            s_states_w: [200, 160, 160, 120, 60, 12, 0],
+            ..MachineClass::standard(cores)
+        }
+    }
+
+    /// The GPU class of [`MachineMix::Hetero3`]: 32 GiB, 3/4
+    /// execution-time multiplier (accelerated), 300 W machine base.
+    pub fn gpu_class(cores: u32) -> MachineClass {
+        MachineClass {
+            name: "gpu",
+            memory_gb: 32,
+            gpu: true,
+            slow_num: 3,
+            slow_den: 4,
+            s_states_w: [300, 220, 220, 160, 80, 15, 0],
+            ..MachineClass::standard(cores)
+        }
+    }
+
+    /// Expands the mix into the class table of a `nodes`-node machine
+    /// with `cores` cores per (standard) node.
+    ///
+    /// # Panics
+    /// If `nodes` is too small to give every class of the mix at least
+    /// one node (Hetero3 needs ≥ 3).
+    pub fn table(self, nodes: u32, cores: u32) -> ClassTable {
+        match self {
+            MachineMix::Uniform => ClassTable::uniform(nodes, cores),
+            MachineMix::SingleClass => ClassTable::new(&[(MachineClass::standard(cores), nodes)]),
+            MachineMix::Hetero3 => {
+                let gpu = (nodes / 8).max(1);
+                let big = (nodes / 4).max(1);
+                assert!(
+                    nodes > gpu + big,
+                    "Hetero3 needs at least 3 nodes, got {nodes}"
+                );
+                ClassTable::new(&[
+                    (MachineClass::standard(cores), nodes - big - gpu),
+                    (MachineMix::bigmem_class(cores), big),
+                    (MachineMix::gpu_class(cores), gpu),
+                ])
+            }
+        }
+    }
+}
 
 /// When a DMR decision is applied (§V-A).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -99,6 +185,22 @@ pub struct ExperimentConfig {
     /// heap — backends are observationally identical, so the three-way
     /// equivalence suite covers both.
     pub sched_index: SchedIndex,
+    /// Machine-class layout of the simulated cluster. The default
+    /// [`MachineMix::Uniform`] reproduces the paper's homogeneous testbed
+    /// bit-for-bit; [`MachineMix::Hetero3`] adds big-memory and GPU
+    /// classes with distinct speed factors and power ladders.
+    pub machine_mix: MachineMix,
+    /// Whether resize policies consult the backfill timeline before
+    /// expanding a job, refusing grows that would steal a planned
+    /// backfill hole from the first blocked job (default on; `false`
+    /// restores the timeline-blind behaviour and is equivalence-tested).
+    /// [`PolicyKind::Algorithm1`] never consults the guard either way.
+    pub hole_guard: bool,
+    /// Wake-up latency of a powered-down (S5) node, seconds: demand that
+    /// arrives while nodes are suspended waits this long before the
+    /// capacity returns. Only consulted when the policy powers nodes
+    /// down (see [`dmr_slurm::EnergyAware`]).
+    pub wake_latency_s: f64,
     /// Incremental scheduling across passes: `On` (the default) keeps
     /// fruitless-pass memos, the persistent pending order and the retained
     /// backfill plans alive between instants and elides passes whose
@@ -128,6 +230,9 @@ impl ExperimentConfig {
             resizer_timeout_s: 30.0,
             policy: PolicyKind::Algorithm1,
             telemetry: Telemetry::Full,
+            machine_mix: MachineMix::Uniform,
+            hole_guard: true,
+            wake_latency_s: 30.0,
             sched_index: SchedIndex::Arena,
             sched_incremental: SchedIncremental::On,
         }
@@ -203,6 +308,29 @@ impl ExperimentConfig {
     /// Easy{1} path is pinned against, mirroring [`Self::scan_reference`].
     pub fn legacy_backfill_reference(mut self) -> Self {
         self.backfill_family = BackfillFamily::LegacyReference;
+        self
+    }
+
+    /// Selects the machine-class layout ([`MachineMix`]). The default is
+    /// the uniform paper testbed; `Hetero3` turns on the heterogeneous
+    /// classes and their power ladders.
+    pub fn with_machine_mix(mut self, mix: MachineMix) -> Self {
+        self.machine_mix = mix;
+        self
+    }
+
+    /// Disables the backfill-hole expansion guard: resize policies stop
+    /// consulting the timeline before growing, restoring the
+    /// timeline-blind behaviour (equivalence knob; Algorithm 1 is
+    /// unaffected either way).
+    pub fn hole_guard_off(mut self) -> Self {
+        self.hole_guard = false;
+        self
+    }
+
+    /// Sets the wake-up latency of powered-down nodes, seconds.
+    pub fn with_wake_latency(mut self, seconds: f64) -> Self {
+        self.wake_latency_s = seconds;
         self
     }
 
@@ -289,6 +417,45 @@ mod tests {
         );
         let c = ExperimentConfig::preliminary().incremental_off();
         assert_eq!(c.sched_incremental, SchedIncremental::Off);
+        assert_eq!(
+            ExperimentConfig::preliminary().machine_mix,
+            MachineMix::Uniform,
+            "the uniform paper testbed is the compatibility default"
+        );
+        let c = ExperimentConfig::preliminary().with_machine_mix(MachineMix::Hetero3);
+        assert_eq!(c.machine_mix, MachineMix::Hetero3);
+        assert!(ExperimentConfig::preliminary().hole_guard);
+        let c = ExperimentConfig::preliminary().hole_guard_off();
+        assert!(!c.hole_guard);
+        let c = ExperimentConfig::preliminary().with_wake_latency(5.0);
+        assert_eq!(c.wake_latency_s, 5.0);
+    }
+
+    #[test]
+    fn machine_mix_tables_cover_the_node_count() {
+        for mix in [
+            MachineMix::Uniform,
+            MachineMix::SingleClass,
+            MachineMix::Hetero3,
+        ] {
+            let t = mix.table(64, 16);
+            assert_eq!(t.total_nodes(), 64, "{mix:?}");
+            t.check().unwrap();
+        }
+        assert!(MachineMix::Uniform.table(64, 16).is_uniform());
+        assert!(MachineMix::SingleClass.table(64, 16).is_uniform());
+        let h = MachineMix::Hetero3.table(64, 16);
+        assert_eq!(h.num_classes(), 3);
+        assert!(h.has_gpu_class());
+        // Efficient-first: the standard bulk owns the lowest node ids.
+        assert_eq!(h.class(0).name, "standard");
+        assert_eq!(h.range(0), (0, 64 - 16 - 8));
+        assert_eq!(h.class(1).name, "bigmem");
+        assert_eq!(h.class(2).name, "gpu");
+        assert!(h.class(2).gpu);
+        // The GPU class is faster, the big-memory class slower.
+        assert!(h.class(2).slow_num < h.class(2).slow_den);
+        assert!(h.class(1).slow_num > h.class(1).slow_den);
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! finish — which flexible jobs share; they merely punctuate their
 //! compute with the reconfiguring points handled in [`super::reconfig`].
 
+use dmr_cluster::ClassConstraint;
 use dmr_sim::{SimTime, Span};
 use dmr_slurm::{JobId, JobRequest, ResizeEnvelope};
 
@@ -39,9 +40,26 @@ impl Driver<'_, '_> {
     pub(crate) fn on_arrival(&mut self, idx: usize, now: SimTime) {
         let sim = &self.jobs[idx];
         let spec = &sim.spec;
-        // Submissions larger than the machine can never start; clamp like
-        // a real site's partition limit would.
-        let submit_procs = spec.submit_procs.min(self.cfg.nodes);
+        // A GPU-demanding job becomes class-constrained — but only when
+        // the machine actually has a GPU class; on uniform clusters the
+        // tag is ignored (the request would otherwise never start).
+        let table = self.slurm.cluster().table();
+        let constraint = if spec.gpu && table.has_gpu_class() {
+            ClassConstraint::GpuRequired
+        } else {
+            ClassConstraint::Any
+        };
+        // Submissions larger than the machine — or, for constrained jobs,
+        // larger than their eligible classes — can never start; clamp
+        // like a real site's partition limit would.
+        let capacity = match constraint {
+            ClassConstraint::Any => self.cfg.nodes,
+            _ => (0..table.num_classes())
+                .filter(|&c| constraint.allows(c, table.class(c)))
+                .map(|c| table.class_nodes(c))
+                .sum(),
+        };
+        let submit_procs = spec.submit_procs.min(capacity);
         let est = match self.cfg.estimate_mode {
             EstimateMode::Walltime => Span::from_secs_f64(spec.walltime_s),
             EstimateMode::Actual => sim
@@ -55,7 +73,7 @@ impl Driver<'_, '_> {
                 submit_procs,
                 ResizeEnvelope {
                     min: spec.malleability.min_procs.min(submit_procs),
-                    max: spec.malleability.max_procs.min(self.cfg.nodes),
+                    max: spec.malleability.max_procs.min(capacity),
                     preferred: spec.malleability.preferred,
                     factor: spec.malleability.factor.max(2),
                 },
@@ -64,8 +82,18 @@ impl Driver<'_, '_> {
         } else {
             JobRequest::rigid(name, submit_procs).with_expected_runtime(est)
         };
-        let id = self.slurm.submit(req, now);
+        let id = self.slurm.submit(req.with_constraint(constraint), now);
         self.spec_of.insert(id, idx);
+        // Demand arrived while nodes are suspended: start them waking.
+        // Requests coalesce onto one in-flight wake event; capacity is
+        // placeable again once [`Ev::NodeWake`] fires.
+        if !self.wake_pending && self.slurm.cluster().off_nodes() > 0 {
+            self.wake_pending = true;
+            self.engine.schedule_at(
+                now + Span::from_secs_f64(self.cfg.wake_latency_s),
+                Ev::NodeWake,
+            );
+        }
         // The job is in the system: pull its successor from the feed.
         self.schedule_next_arrival();
         self.request_schedule(now);
@@ -76,6 +104,7 @@ impl Driver<'_, '_> {
     pub(crate) fn do_schedule(&mut self, now: SimTime) {
         let starts = self.slurm.schedule(now);
         self.wire_starts(starts, now);
+        self.maybe_power_down(now);
     }
 
     pub(crate) fn wire_starts(&mut self, starts: Vec<dmr_slurm::JobStart>, now: SimTime) {
@@ -121,7 +150,17 @@ impl Driver<'_, '_> {
                 _ => 1,
             }
         };
-        let duration = Span(step.as_micros().saturating_mul(k as u64));
+        // Heterogeneous machines: the segment runs at the *slowest* class
+        // the job's nodes span, scaled in exact integer microseconds. The
+        // neutral 1/1 factor takes the historical expression verbatim, so
+        // uniform (and single-class) runs stay bit-identical.
+        let (num, den) = self.slurm.cluster().worst_slowdown(job.owner_tag());
+        let duration = if num == den {
+            Span(step.as_micros().saturating_mul(k as u64))
+        } else {
+            let us = step.as_micros() as u128 * k as u128 * num as u128 / den as u128;
+            Span(us.clamp(1, u64::MAX as u128) as u64)
+        };
         self.engine
             .schedule_at(now + duration, Ev::SegmentDone { job, steps: k });
     }

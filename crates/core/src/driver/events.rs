@@ -22,6 +22,9 @@ pub(crate) enum Ev {
     RjTimeout { rj: JobId },
     /// Periodic EASY-backfill pass (Slurm's `bf_interval`).
     BackfillTick,
+    /// Powered-down (S5) nodes finish waking: capacity returns. Scheduled
+    /// one wake-up latency after demand arrived while nodes were off.
+    NodeWake,
 }
 
 impl Driver<'_, '_> {
@@ -32,6 +35,31 @@ impl Driver<'_, '_> {
             Ev::ReconfigDone { job } => self.on_reconfig_done(job, now),
             Ev::RjTimeout { rj } => self.on_rj_timeout(rj, now),
             Ev::BackfillTick => self.on_backfill_tick(now),
+            Ev::NodeWake => self.on_node_wake(now),
+        }
+    }
+
+    /// Wakes every suspended node and reschedules — the capacity that
+    /// left at power-down is placeable again.
+    pub(crate) fn on_node_wake(&mut self, now: SimTime) {
+        self.wake_pending = false;
+        if self.slurm.wake_all() > 0 {
+            self.request_schedule(now);
+        }
+    }
+
+    /// Asks the installed resize policy whether idle nodes should be
+    /// suspended (S5) and applies the verdict. Runs after scheduling
+    /// passes; the default policy verdict is 0, so non-energy policies
+    /// leave runs bit-identical. While a wake is already in flight the
+    /// system is in demand — don't suspend what is about to be needed.
+    pub(crate) fn maybe_power_down(&mut self, now: SimTime) {
+        if self.wake_pending {
+            return;
+        }
+        let n = self.slurm.decide_power_down(now);
+        if n > 0 {
+            self.slurm.power_down_idle(n);
         }
     }
 
@@ -40,6 +68,7 @@ impl Driver<'_, '_> {
     pub(crate) fn on_backfill_tick(&mut self, now: SimTime) {
         let starts = self.slurm.backfill_pass(now);
         self.wire_starts(starts, now);
+        self.maybe_power_down(now);
         if self.arrivals_pending || self.slurm.pending_count() > 0 || !self.running.is_empty() {
             self.engine.schedule_in(
                 Span::from_secs_f64(self.cfg.backfill_interval_s),

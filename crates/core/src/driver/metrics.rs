@@ -17,8 +17,16 @@ use super::Driver;
 use crate::result::RunStats;
 
 impl Driver<'_, '_> {
-    /// Records one sample of every evolution series at `now`.
+    /// Records one sample of every evolution series at `now`, and charges
+    /// the power meter for the interval just ended — at the per-class
+    /// counts that were in force *during* it (cached at the previous
+    /// sample; this runs after the event's state change, so the current
+    /// cluster counts describe the next interval, not this one).
     pub(crate) fn sample(&mut self, now: SimTime) {
+        self.power.sample(now, &self.prev_busy, &self.prev_off);
+        let cluster = self.slurm.cluster();
+        self.prev_busy.copy_from_slice(cluster.busy_by_class());
+        self.prev_off.copy_from_slice(cluster.off_by_class());
         self.sink.on_sample(
             now,
             self.slurm.allocated_nodes() as f64,
@@ -51,14 +59,19 @@ impl Driver<'_, '_> {
 
     /// The driver-side scalars of a finished run; everything else already
     /// lives in the sink.
-    pub(crate) fn finish(self) -> RunStats {
+    pub(crate) fn finish(mut self) -> RunStats {
+        // Close the metered window at the final clock so the last
+        // interval (e.g. trailing housekeeping) is charged too.
+        let end = self.engine.now();
+        self.power.sample(end, &self.prev_busy, &self.prev_off);
         RunStats {
             // The engine's actual final clock — never an f64 round-trip
             // of the makespan, which both loses microseconds and points
             // at the wrong instant for traces that start after t = 0.
-            end_time: self.engine.now(),
+            end_time: end,
             events: self.engine.processed(),
             past_schedules: self.engine.past_schedules(),
+            power: crate::result::PowerStats::from_meter(&self.power),
         }
     }
 }

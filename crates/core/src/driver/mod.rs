@@ -28,7 +28,7 @@ pub(crate) mod metrics;
 pub(crate) mod reconfig;
 pub(crate) mod shrink;
 
-use dmr_cluster::Cluster;
+use dmr_cluster::{Cluster, PowerMeter};
 use dmr_metrics::{MetricsSink, OnlineAccumulator, SeriesRecorder, StepSeries, WorkloadSummary};
 use dmr_sim::{Engine, EventId, QueueKind, SimTime, Span, CLASS_EARLY};
 use dmr_slurm::{JobId, ResizeAction, SchedIndex, Slurm, SlurmConfig};
@@ -252,6 +252,15 @@ pub(crate) struct Driver<'a, 's> {
     /// A scheduling pass was requested at the current instant but not run
     /// yet (same-instant batching — see [`Driver::request_schedule`]).
     pub(crate) pass_due: bool,
+    /// Integrates cluster watts over virtual time (one sample per event).
+    pub(crate) power: PowerMeter,
+    /// Per-class busy/off counts in force since the previous sample — the
+    /// meter charges each interval at the counts that *were* live during
+    /// it, so the driver caches the post-event counts of the last sample.
+    pub(crate) prev_busy: Vec<u32>,
+    pub(crate) prev_off: Vec<u32>,
+    /// An [`Ev::NodeWake`] is already scheduled (wake requests coalesce).
+    pub(crate) wake_pending: bool,
 }
 
 /// Runs one workload under one configuration.
@@ -297,12 +306,20 @@ pub fn run_experiment_with_sink(
 /// Drives `feed` under the telemetry mode `cfg` selects and assembles
 /// the [`ExperimentResult`].
 fn run_feed(cfg: &ExperimentConfig, feed: JobFeed<'_>) -> ExperimentResult {
+    // Both telemetry branches patch the meter scalars into the summary
+    // identically, so `Online` stays bit-identical to `Full`.
+    let patch = |summary: &mut WorkloadSummary, stats: &RunStats| {
+        summary.energy_to_solution_j = stats.power.energy_j;
+        summary.avg_watts = stats.power.avg_watts;
+        summary.class_utilization = stats.power.class_utilization().to_vec();
+    };
     match cfg.telemetry {
         Telemetry::Full => {
             let mut recorder = SeriesRecorder::new();
             let stats = Driver::new(*cfg, feed, &mut recorder).run();
             let (allocation, running, completed, outcomes) = recorder.into_parts();
-            let summary = WorkloadSummary::compute(&outcomes, &allocation, cfg.nodes);
+            let mut summary = WorkloadSummary::compute(&outcomes, &allocation, cfg.nodes);
+            patch(&mut summary, &stats);
             ExperimentResult {
                 summary,
                 allocation,
@@ -317,8 +334,10 @@ fn run_feed(cfg: &ExperimentConfig, feed: JobFeed<'_>) -> ExperimentResult {
         Telemetry::Online => {
             let mut acc = OnlineAccumulator::new();
             let stats = Driver::new(*cfg, feed, &mut acc).run();
+            let mut summary = acc.summary(cfg.nodes);
+            patch(&mut summary, &stats);
             ExperimentResult {
-                summary: acc.summary(cfg.nodes),
+                summary,
                 allocation: StepSeries::new(),
                 running: StepSeries::new(),
                 completed: StepSeries::new(),
@@ -347,7 +366,9 @@ pub fn compare_fixed_flexible(
 
 impl<'a, 's> Driver<'a, 's> {
     fn new(cfg: ExperimentConfig, feed: JobFeed<'a>, sink: &'s mut dyn MetricsSink) -> Self {
-        let cluster = Cluster::new(cfg.nodes, cfg.cores_per_node);
+        let cluster = Cluster::with_classes(cfg.machine_mix.table(cfg.nodes, cfg.cores_per_node));
+        let power = PowerMeter::new(cluster.table());
+        let classes = cluster.table().num_classes();
         let mut scfg = SlurmConfig::for_cluster(cfg.nodes);
         scfg.backfill = cfg.backfill;
         scfg.backfill_family = cfg.backfill_family;
@@ -356,6 +377,7 @@ impl<'a, 's> Driver<'a, 's> {
         scfg.policy = cfg.policy;
         scfg.sched_index = cfg.sched_index;
         scfg.sched_incremental = cfg.sched_incremental;
+        scfg.hole_guard = cfg.hole_guard;
         // The driver copies each job's accounting into the sink at
         // completion, so the scheduler never needs to keep terminal
         // records — the active set is all that stays resident.
@@ -382,6 +404,10 @@ impl<'a, 's> Driver<'a, 's> {
             arrivals_pending: false,
             last_arrival: SimTime::ZERO,
             pass_due: false,
+            power,
+            prev_busy: vec![0; classes],
+            prev_off: vec![0; classes],
+            wake_pending: false,
         }
     }
 
@@ -476,6 +502,7 @@ mod tests {
                 data_bytes: 1 << 28,
                 app: AppClass::Fs,
                 flexible: true,
+                gpu: false,
                 malleability: MalleabilitySpec {
                     min_procs: 1,
                     max_procs: 20,

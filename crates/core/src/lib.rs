@@ -34,7 +34,7 @@ pub mod error;
 pub mod model;
 pub mod result;
 
-pub use config::{ExperimentConfig, ScheduleMode, Telemetry};
+pub use config::{ExperimentConfig, MachineMix, ScheduleMode, Telemetry};
 pub use dmr_metrics::MetricsSink;
 pub use dmr_slurm::{BackfillFamily, PolicyKind, SchedIndex};
 pub use dmr_workload::{WorkloadKind, WorkloadSource};
@@ -43,4 +43,4 @@ pub use driver::{
 };
 pub use error::DmrError;
 pub use model::{curve_for, SimJob, SpeedupCurve};
-pub use result::{ExperimentResult, RunStats};
+pub use result::{ExperimentResult, PowerStats, RunStats};

@@ -132,6 +132,7 @@ mod tests {
             data_bytes: 1 << 30,
             app: AppClass::Fs,
             flexible: true,
+            gpu: false,
             malleability: MalleabilitySpec::rigid(procs),
         }
     }

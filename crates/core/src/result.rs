@@ -56,4 +56,43 @@ pub struct RunStats {
     pub events: u64,
     /// Past-scheduling clamps (see [`dmr_sim::Engine::past_schedules`]).
     pub past_schedules: u64,
+    /// Energy accounting from the driver's [`dmr_cluster::PowerMeter`].
+    pub power: PowerStats,
+}
+
+/// `Copy` snapshot of a finished run's [`dmr_cluster::PowerMeter`]: the
+/// scalars the driver patches into the summary, sized by
+/// [`MAX_CLASSES`] so sweep workers can pass it by value.
+///
+/// [`MAX_CLASSES`]: dmr_cluster::MAX_CLASSES
+#[derive(Clone, Copy, Debug)]
+pub struct PowerStats {
+    /// Total cluster energy over the run, joules.
+    pub energy_j: f64,
+    /// Mean cluster power over the metered window, watts.
+    pub avg_watts: f64,
+    /// Per-class busy fraction, valid in `[..classes]`.
+    pub class_util: [f64; dmr_cluster::MAX_CLASSES],
+    /// Number of machine classes the meter tracked.
+    pub classes: usize,
+}
+
+impl PowerStats {
+    /// Snapshots a meter into the `Copy` form.
+    pub fn from_meter(meter: &dmr_cluster::PowerMeter) -> Self {
+        let util = meter.class_utilization();
+        let mut class_util = [0.0; dmr_cluster::MAX_CLASSES];
+        class_util[..util.len()].copy_from_slice(&util);
+        PowerStats {
+            energy_j: meter.energy_j(),
+            avg_watts: meter.avg_watts(),
+            class_util,
+            classes: meter.num_classes(),
+        }
+    }
+
+    /// The per-class utilization as a slice of the live classes.
+    pub fn class_utilization(&self) -> &[f64] {
+        &self.class_util[..self.classes]
+    }
 }

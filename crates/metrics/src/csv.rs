@@ -114,6 +114,9 @@ mod tests {
             completion_q: crate::Quantiles::ZERO,
             jobs,
             reconfigurations,
+            energy_to_solution_j: 0.0,
+            avg_watts: 0.0,
+            class_utilization: Vec::new(),
         }
     }
 

@@ -70,6 +70,17 @@ pub struct WorkloadSummary {
     pub jobs: usize,
     /// Total reconfigurations across all jobs.
     pub reconfigurations: u32,
+    /// Total cluster energy over the run, joules — the
+    /// `dmr_cluster::PowerMeter` integral the driver patches in after the
+    /// run (zero when no meter ran, e.g. summaries parsed from CSV).
+    pub energy_to_solution_j: f64,
+    /// Mean cluster power over the metered window, watts (zero when no
+    /// meter ran).
+    pub avg_watts: f64,
+    /// Per-machine-class busy fraction over the metered window, in class
+    /// table order (empty when no meter ran; one entry on uniform
+    /// clusters).
+    pub class_utilization: Vec<f64>,
 }
 
 /// The order-independent ingredients of a [`WorkloadSummary`].
@@ -144,6 +155,9 @@ impl SummaryInputs {
                 completion_q: Quantiles::ZERO,
                 jobs: 0,
                 reconfigurations: self.reconfigurations,
+                energy_to_solution_j: 0.0,
+                avg_watts: 0.0,
+                class_utilization: Vec::new(),
             };
         }
         // "First submission to last completion" — not `last_end - 0`,
@@ -168,6 +182,9 @@ impl SummaryInputs {
             completion_q: self.completion_q,
             jobs: self.jobs as usize,
             reconfigurations: self.reconfigurations,
+            energy_to_solution_j: 0.0,
+            avg_watts: 0.0,
+            class_utilization: Vec::new(),
         }
     }
 }

@@ -148,6 +148,7 @@ mod tests {
             base_priority: 0,
             boosted: false,
             resize: None,
+            constraint: dmr_cluster::ClassConstraint::Any,
             submit_time: SimTime::ZERO,
             start_time: None,
             end_time: None,

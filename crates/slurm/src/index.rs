@@ -55,6 +55,13 @@ pub(crate) struct PendingIndex {
     /// Pending resizer jobs (lets `pending_queue` skip its filter pass
     /// when there is nothing to filter).
     resizers: usize,
+    /// Pending jobs with a non-`Any` class constraint. The watermark
+    /// pass-elision rule compares *global* free capacity against the
+    /// blocked request, which is unsound for a class-constrained job
+    /// (its class can free nodes without the global watermark moving),
+    /// so capacity events fall back to a full invalidation whenever this
+    /// is non-zero.
+    constrained: usize,
 }
 
 impl PendingIndex {
@@ -71,6 +78,9 @@ impl PendingIndex {
         if job.is_resizer() {
             self.resizers += 1;
         }
+        if job.constraint != dmr_cluster::ClassConstraint::Any {
+            self.constrained += 1;
+        }
     }
 
     pub(crate) fn remove(&mut self, job: &Job) {
@@ -81,6 +91,9 @@ impl PendingIndex {
         }
         if job.is_resizer() {
             self.resizers -= 1;
+        }
+        if job.constraint != dmr_cluster::ClassConstraint::Any {
+            self.constrained -= 1;
         }
     }
 
@@ -97,6 +110,12 @@ impl PendingIndex {
 
     pub(crate) fn pending_resizers(&self) -> usize {
         self.resizers
+    }
+
+    /// Pending jobs whose class constraint is not `Any` (see the field
+    /// docs: non-zero disables watermark-based capacity elision).
+    pub(crate) fn constrained(&self) -> usize {
+        self.constrained
     }
 
     pub(crate) fn len(&self) -> usize {
@@ -169,6 +188,11 @@ impl RunningIndex {
             self.held_total -= nodes;
         }
         old
+    }
+
+    /// The expected end currently keyed for `id`, if it is running.
+    pub(crate) fn end_of(&self, id: JobId) -> Option<SimTime> {
+        self.key_of.get(&id).map(|&(end, _)| end)
     }
 
     /// Re-keys `id` with a new expected end (estimate refresh); returns

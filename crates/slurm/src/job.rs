@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use dmr_cluster::ClassConstraint;
 use dmr_sim::{SimTime, Span};
 
 /// Batch-job identifier, unique within one [`crate::slurm::Slurm`]
@@ -162,6 +163,10 @@ pub struct JobRequest {
     pub base_priority: u64,
     /// Malleability envelope; `None` marks a rigid job.
     pub resize: Option<ResizeEnvelope>,
+    /// Which machine classes the job may be placed on (Slurm
+    /// `--constraint`). Defaults to [`ClassConstraint::Any`], which on a
+    /// uniform cluster is the only meaningful value.
+    pub constraint: ClassConstraint,
 }
 
 impl JobRequest {
@@ -175,6 +180,7 @@ impl JobRequest {
             dependency: None,
             base_priority: 0,
             resize: None,
+            constraint: ClassConstraint::Any,
         }
     }
 
@@ -188,6 +194,12 @@ impl JobRequest {
 
     pub fn with_expected_runtime(mut self, estimate: Span) -> Self {
         self.expected_runtime = Some(estimate);
+        self
+    }
+
+    /// Restricts placement to the classes eligible under `constraint`.
+    pub fn with_constraint(mut self, constraint: ClassConstraint) -> Self {
+        self.constraint = constraint;
         self
     }
 }
@@ -219,6 +231,9 @@ pub struct Job {
     /// maximum priority (§IV-3).
     pub boosted: bool,
     pub resize: Option<ResizeEnvelope>,
+    /// Machine-class placement constraint (copied from the request;
+    /// resizer jobs inherit their original job's).
+    pub constraint: ClassConstraint,
     pub submit_time: SimTime,
     pub start_time: Option<SimTime>,
     pub end_time: Option<SimTime>,
@@ -334,6 +349,7 @@ mod tests {
             base_priority: 0,
             boosted: false,
             resize: None,
+            constraint: ClassConstraint::Any,
             submit_time: SimTime::from_secs(10),
             start_time: None,
             end_time: None,

@@ -40,7 +40,7 @@ pub mod slurm;
 pub use arena::JobArena;
 pub use job::{Dependency, Job, JobId, JobRequest, JobState, ResizeEnvelope};
 pub use policy::{
-    Algorithm1, FairShare, PolicyKind, ResizeAction, ResizePolicy, UtilizationTarget,
+    Algorithm1, EnergyAware, FairShare, PolicyKind, ResizeAction, ResizePolicy, UtilizationTarget,
 };
 pub use priority::MultifactorConfig;
 pub use slotset::{BackfillFamily, SlotSet};

@@ -57,6 +57,16 @@ pub trait ResizePolicy: Send {
 
     /// Decide the resize action for running flexible job `job`.
     fn decide(&mut self, slurm: &Slurm, job: JobId, now: SimTime) -> ResizeAction;
+
+    /// How many currently idle nodes the policy wants powered down to
+    /// their off state (S5). The driver consults this once per
+    /// reconfiguration cycle and applies the verdict through the
+    /// cluster's power-management API, charging a wake-up latency
+    /// before the nodes serve work again. The default (0) keeps
+    /// power-agnostic policies exactly as they were.
+    fn idle_power_down(&self, _slurm: &Slurm, _now: SimTime) -> u32 {
+        0
+    }
 }
 
 /// Policy selector carried by scheduler / experiment configurations.
@@ -74,6 +84,9 @@ pub enum PolicyKind {
     /// Aging-weighted shrinks: queued jobs older than `age_threshold_s`
     /// seconds trigger demand-sized shrinks.
     FairShare { age_threshold_s: f64 },
+    /// Energy-first: consolidate flexible jobs onto the efficient end of
+    /// the machine and power idle nodes (beyond `reserve`) down to S5.
+    EnergyAware { reserve: u32 },
 }
 
 impl PolicyKind {
@@ -92,12 +105,18 @@ impl PolicyKind {
         }
     }
 
+    /// [`PolicyKind::EnergyAware`] with the default idle reserve.
+    pub fn energy_aware() -> Self {
+        PolicyKind::EnergyAware { reserve: 2 }
+    }
+
     /// Stable name (matches [`ResizePolicy::name`] of the built policy).
     pub fn name(self) -> &'static str {
         match self {
             PolicyKind::Algorithm1 => "algorithm1",
             PolicyKind::UtilizationTarget { .. } => "utilization-target",
             PolicyKind::FairShare { .. } => "fair-share",
+            PolicyKind::EnergyAware { .. } => "energy-aware",
         }
     }
 
@@ -113,6 +132,9 @@ impl PolicyKind {
             PolicyKind::FairShare { age_threshold_s } => {
                 format!("fair-share-{age_threshold_s}")
             }
+            PolicyKind::EnergyAware { reserve } => {
+                format!("energy-aware-{reserve}")
+            }
         }
     }
 
@@ -124,6 +146,7 @@ impl PolicyKind {
                 Box::new(UtilizationTarget { low, high })
             }
             PolicyKind::FairShare { age_threshold_s } => Box::new(FairShare { age_threshold_s }),
+            PolicyKind::EnergyAware { reserve } => Box::new(EnergyAware { reserve }),
         }
     }
 }
@@ -298,9 +321,13 @@ impl ResizePolicy for UtilizationTarget {
         let util = slurm.allocated_nodes() as f64 / total as f64;
 
         if util < self.low {
+            // [`SlurmConfig::hole_guard`]: a grow must not consume the
+            // planned backfill hole of the first blocked queued job.
             return match env.max_procs_to(current, env.max, free) {
-                Some(t) => ResizeAction::Expand { to: t },
-                None => ResizeAction::NoAction,
+                Some(t) if !slurm.grow_steals_backfill_hole(job, t, now) => {
+                    ResizeAction::Expand { to: t }
+                }
+                _ => ResizeAction::NoAction,
             };
         }
         if util > self.high {
@@ -310,6 +337,82 @@ impl ResizePolicy for UtilizationTarget {
             }
         }
         ResizeAction::NoAction
+    }
+}
+
+// ---------------------------------------------------------------------
+// EnergyAware
+// ---------------------------------------------------------------------
+
+/// Energy-first decision procedure.
+///
+/// * Jobs queued — behave like [`Algorithm1`]'s pressure-relief move
+///   (the minimal shrink admitting the first blocked job) but never
+///   expand: extra width is extra watts while others wait.
+/// * Empty queue — consolidate: honour a shrink-side preference, or
+///   take the *deepest* envelope step towards the minimum. Released
+///   nodes are the highest ids, which under the efficient-first class
+///   layout belong to the least efficient classes — exactly the nodes
+///   [`ResizePolicy::idle_power_down`] then asks to power down to S5
+///   (everything idle beyond the `reserve` warm pool).
+/// * The one expand this policy issues (towards an explicit envelope
+///   preference, queue empty) is guarded by
+///   [`Slurm::grow_steals_backfill_hole`].
+#[derive(Clone, Copy, Debug)]
+pub struct EnergyAware {
+    /// Idle nodes kept up (C-state, not S5) as a warm pool for new
+    /// arrivals; everything idle beyond this is a power-down candidate.
+    pub reserve: u32,
+}
+
+impl ResizePolicy for EnergyAware {
+    fn name(&self) -> &'static str {
+        "energy-aware"
+    }
+
+    fn decide(&mut self, slurm: &Slurm, job: JobId, now: SimTime) -> ResizeAction {
+        let env = envelope_of(slurm, job);
+        let current = slurm.nodes_of(job);
+        let free = slurm.cluster().free_nodes();
+        let pending = slurm.pending_queue(now);
+
+        if !pending.is_empty() {
+            if let Some(shrink) = shrink_for_first_blocked(slurm, current, free, &pending, env) {
+                return shrink;
+            }
+            return ResizeAction::NoAction;
+        }
+        if let Some(pref) = env.preferred {
+            if pref > current {
+                return match env.max_procs_to(current, pref, free) {
+                    Some(t) if !slurm.grow_steals_backfill_hole(job, t, now) => {
+                        ResizeAction::Expand { to: t }
+                    }
+                    _ => ResizeAction::NoAction,
+                };
+            }
+            if pref < current && env.can_shrink_to(current, pref) {
+                return ResizeAction::Shrink {
+                    to: pref,
+                    beneficiary: None,
+                };
+            }
+            return ResizeAction::NoAction;
+        }
+        match env.shrink_chain(current).last().copied() {
+            Some(to) => ResizeAction::Shrink {
+                to,
+                beneficiary: None,
+            },
+            None => ResizeAction::NoAction,
+        }
+    }
+
+    fn idle_power_down(&self, slurm: &Slurm, now: SimTime) -> u32 {
+        if !slurm.pending_queue(now).is_empty() {
+            return 0;
+        }
+        slurm.cluster().free_nodes().saturating_sub(self.reserve)
     }
 }
 
@@ -450,6 +553,16 @@ impl Slurm {
             }
         }
         decision
+    }
+
+    /// Consults the installed policy's power verdict
+    /// ([`ResizePolicy::idle_power_down`]): how many idle nodes to power
+    /// down to S5 right now. 0 for power-agnostic policies.
+    pub fn decide_power_down(&mut self, now: SimTime) -> u32 {
+        let policy = self.take_policy();
+        let verdict = policy.idle_power_down(self, now);
+        self.restore_policy(policy);
+        verdict
     }
 }
 

@@ -87,6 +87,7 @@ mod tests {
             base_priority: 0,
             boosted: false,
             resize: None,
+            constraint: dmr_cluster::ClassConstraint::Any,
             submit_time: SimTime::from_secs(submit),
             start_time: None,
             end_time: None,

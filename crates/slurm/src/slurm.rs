@@ -4,7 +4,7 @@
 use std::cell::RefCell;
 use std::sync::Arc;
 
-use dmr_cluster::{Cluster, NodeId};
+use dmr_cluster::{ClassConstraint, Cluster, NodeId};
 use dmr_sim::{SimTime, Span};
 
 use crate::arena::JobArena;
@@ -112,6 +112,14 @@ pub struct SlurmConfig {
     /// artifacts and the per-instant reap memo. Never consulted under
     /// [`SchedIndex::ScanReference`] (the oracle always pays full cost).
     pub sched_incremental: SchedIncremental,
+    /// Let grow-happy policies ([`PolicyKind::UtilizationTarget`],
+    /// [`PolicyKind::EnergyAware`]) consult the backfill timeline before
+    /// expanding ([`Slurm::grow_steals_backfill_hole`]) and refuse grows
+    /// that would steal the planned hole of the first blocked job.
+    /// Default on; `false` restores the timeline-blind behaviour
+    /// (equivalence-tested — `Algorithm1` never consults the guard
+    /// either way).
+    pub hole_guard: bool,
 }
 
 impl SlurmConfig {
@@ -128,6 +136,7 @@ impl SlurmConfig {
             retain_completed: true,
             sched_index: SchedIndex::Arena,
             sched_incremental: SchedIncremental::On,
+            hole_guard: true,
         }
     }
 }
@@ -217,6 +226,27 @@ pub struct Slurm {
     /// deferred deltas are flushed behind `&self` in
     /// [`Slurm::check_invariants`].
     timeline: RefCell<Timeline>,
+    /// One timeline per machine class, populated only when the cluster
+    /// spans more than one class (empty on uniform inventories, so the
+    /// single-class hot path pays nothing — the bit-identity oracle).
+    /// Class-constrained jobs find their backfill holes here instead of
+    /// in the over-optimistic aggregate.
+    class_timelines: RefCell<Vec<Timeline>>,
+    /// Per-class held-node counts of each running job at its last plan
+    /// (multi-class only): the exact counts the matching unplan must
+    /// mirror, whatever the allocation looks like by then.
+    class_counts: std::collections::BTreeMap<JobId, Vec<u32>>,
+    /// Per-class totals of held nodes across running jobs (multi-class
+    /// only) — the per-class analogue of `RunningIndex::total_held`.
+    class_held: Vec<u32>,
+    /// Whether the per-class timelines are live. They sit dormant — no
+    /// treap maintenance at all — until the first class-constrained
+    /// submission ([`Slurm::activate_class_timelines`]), because they are
+    /// only ever queried on behalf of a job with a sole eligible class,
+    /// and such a job must have been submitted first. Unconstrained
+    /// workloads on heterogeneous clusters therefore never pay the
+    /// per-class plan/sync/checkpoint costs.
+    class_tl_live: bool,
     /// Cross-pass incremental state ([`SchedIncremental`] layer).
     incr: IncrState,
 }
@@ -443,6 +473,8 @@ pub struct IncrementalStats {
 impl Slurm {
     pub fn new(mut cluster: Cluster, config: SlurmConfig) -> Self {
         cluster.use_scan_selection(config.sched_index == SchedIndex::ScanReference);
+        let nclasses = cluster.table().num_classes();
+        let per_class = if nclasses > 1 { nclasses } else { 0 };
         Slurm {
             cluster,
             jobs: JobArena::new(),
@@ -454,6 +486,10 @@ impl Slurm {
             running_index: RunningIndex::default(),
             resizer_index: ResizerIndex::default(),
             timeline: RefCell::new(Timeline::new()),
+            class_timelines: RefCell::new((0..per_class).map(|_| Timeline::new()).collect()),
+            class_counts: std::collections::BTreeMap::new(),
+            class_held: vec![0; per_class],
+            class_tl_live: false,
             incr: IncrState::default(),
         }
     }
@@ -492,6 +528,33 @@ impl Slurm {
 
     pub fn cluster(&self) -> &Cluster {
         &self.cluster
+    }
+
+    /// Powers down up to `n` free nodes (S5 suspend) through the cluster
+    /// (see [`Cluster::power_down`]), returning how many were actually
+    /// suspended. Free capacity shrank, so every cross-pass memo is
+    /// invalidated — the catch-all rule, as for any capacity mutation the
+    /// elision proofs don't cover.
+    pub fn power_down_idle(&mut self, n: u32) -> u32 {
+        if n == 0 {
+            return 0;
+        }
+        let off = self.cluster.power_down(n).len() as u32;
+        if off > 0 {
+            self.incr_clear();
+        }
+        off
+    }
+
+    /// Wakes every powered-down node (the caller models the wake-up
+    /// latency by delaying this call), returning how many woke. Capacity
+    /// grew, so this runs the same invalidation as a completion.
+    pub fn wake_all(&mut self) -> u32 {
+        let woke = self.cluster.wake_all();
+        if woke > 0 {
+            self.incr_capacity_freed();
+        }
+        woke
     }
 
     pub fn job(&self, id: JobId) -> Option<&Job> {
@@ -554,6 +617,7 @@ impl Slurm {
             base_priority: req.base_priority,
             boosted: false,
             resize: req.resize,
+            constraint: req.constraint,
             submit_time: now,
             start_time: None,
             end_time: None,
@@ -577,7 +641,8 @@ impl Slurm {
             self.queue_cache_append(id);
             if let Some(m) = self.incr.bf_memo.as_mut() {
                 let need = self.jobs[id].requested_nodes;
-                if need <= self.cluster.free_nodes() {
+                let constraint = self.jobs[id].constraint;
+                if need <= self.cluster.free_nodes_in(constraint) {
                     self.incr.bf_memo = None;
                 } else {
                     m.watermark = m.watermark.min(need);
@@ -586,6 +651,9 @@ impl Slurm {
         } else {
             self.invalidate_queue_cache();
             self.incr_clear();
+        }
+        if self.jobs[id].constraint != ClassConstraint::Any {
+            self.activate_class_timelines(now);
         }
         id
     }
@@ -629,6 +697,10 @@ impl Slurm {
                 // commitment intervals.
                 self.tl_queue(old_end, nodes, false);
                 self.tl_queue(new_end, nodes, true);
+                if let Some(counts) = self.class_counts.get(&id).cloned() {
+                    self.tlc_queue(&counts, old_end, false);
+                    self.tlc_queue(&counts, new_end, true);
+                }
             }
         }
     }
@@ -646,6 +718,156 @@ impl Slurm {
         // once applied.
         if tl.queued.len() >= 1024 {
             tl.flush();
+        }
+    }
+
+    /// Whether the inventory spans more than one machine class (the
+    /// per-class timeline machinery is live).
+    fn multi_class(&self) -> bool {
+        !self.class_held.is_empty()
+    }
+
+    /// Queues per-class timeline deltas mirroring an aggregate delta.
+    /// No-op on uniform inventories (`counts` is empty then) and while
+    /// the class timelines are dormant (they are rebuilt wholesale when
+    /// they go live, see [`Slurm::activate_class_timelines`]).
+    fn tlc_queue(&mut self, counts: &[u32], end: SimTime, plan: bool) {
+        if !self.class_tl_live {
+            return;
+        }
+        let tls = self.class_timelines.get_mut();
+        for (c, &nodes) in counts.iter().enumerate() {
+            if nodes == 0 {
+                continue;
+            }
+            let tl = &mut tls[c];
+            tl.queued.push(TimelineDelta { end, nodes, plan });
+            if tl.queued.len() >= 1024 {
+                tl.flush();
+            }
+        }
+    }
+
+    /// Records a running job's per-class node commitment until `end`:
+    /// plans the class timelines and bumps the per-class held totals
+    /// (multi-class clusters only).
+    fn class_plan(&mut self, id: JobId, end: SimTime) {
+        if !self.multi_class() {
+            return;
+        }
+        let counts = self.cluster.held_class_counts(id.owner_tag());
+        for (c, &n) in counts.iter().enumerate() {
+            self.class_held[c] += n;
+        }
+        self.tlc_queue(&counts, end, true);
+        self.class_counts.insert(id, counts);
+    }
+
+    /// Removes the per-class commitment recorded by [`Slurm::class_plan`]
+    /// (multi-class clusters only; tolerates a job that was never
+    /// planned, mirroring the scheduler's release-mode leniency).
+    fn class_unplan(&mut self, id: JobId, end: SimTime) {
+        if let Some(counts) = self.class_counts.remove(&id) {
+            for (c, &n) in counts.iter().enumerate() {
+                self.class_held[c] -= n;
+            }
+            self.tlc_queue(&counts, end, false);
+        }
+    }
+
+    /// Brings the aggregate timeline — and, when live, every class
+    /// timeline — up to date with the simulation clock.
+    fn sync_timelines(&mut self, now: SimTime) {
+        self.timeline.get_mut().sync(now);
+        if self.class_tl_live {
+            for tl in self.class_timelines.get_mut() {
+                tl.sync(now);
+            }
+        }
+    }
+
+    /// Brings the per-class timelines live: rebuilds each class's
+    /// occupancy profile from the recorded running commitments, after
+    /// which every mutation maintains them eagerly. Called on the first
+    /// class-constrained submission — queries only ever target a class
+    /// timeline on behalf of a constrained pending job, so until one
+    /// exists the timelines can sit dormant for free. The rebuild plans
+    /// the same `(end, count)` commitments the eager path would have
+    /// accumulated, so query answers (hole starts, range maxima) are
+    /// identical to timelines maintained from the start.
+    fn activate_class_timelines(&mut self, now: SimTime) {
+        if !self.multi_class() || self.class_tl_live {
+            return;
+        }
+        self.class_tl_live = true;
+        let tls = self.class_timelines.get_mut();
+        for tl in tls.iter_mut() {
+            debug_assert!(!tl.recording, "class timelines went live mid-pass");
+            *tl = Timeline::new();
+        }
+        for (&id, counts) in &self.class_counts {
+            let Some(end) = self.running_index.end_of(id) else {
+                continue;
+            };
+            for (c, &n) in counts.iter().enumerate() {
+                if n > 0 {
+                    let h = tls[c].slots.horizon();
+                    tls[c].slots.plan(h, end, n);
+                }
+            }
+        }
+        for tl in tls.iter_mut() {
+            tl.sync(now);
+        }
+    }
+
+    /// The single class eligible under `constraint`: `None` for `Any`,
+    /// on uniform inventories, or when the constraint spans several
+    /// classes (then only the aggregate timeline can answer for it).
+    fn sole_eligible_class(&self, constraint: ClassConstraint) -> Option<usize> {
+        if !self.multi_class() || constraint == ClassConstraint::Any {
+            return None;
+        }
+        let table = self.cluster.table();
+        let mut found = None;
+        for c in 0..table.num_classes() {
+            if constraint.allows(c, table.class(c)) {
+                if found.is_some() {
+                    return None;
+                }
+                found = Some(c);
+            }
+        }
+        found
+    }
+
+    /// Backfill reservation for a class-constrained blocked job: the
+    /// earliest hole on its class timeline when exactly one class is
+    /// eligible, otherwise the aggregate hole (over-optimistic for a
+    /// multi-class constraint, but a reservation is a throttle on
+    /// lower-priority starts, not a start-time promise).
+    fn constrained_hole(
+        &self,
+        constraint: ClassConstraint,
+        need: u32,
+        dur: Span,
+        now: SimTime,
+    ) -> (SimTime, u32) {
+        let Some(c) = self.sole_eligible_class(constraint) else {
+            return self.hole_reservation(need, dur, now);
+        };
+        let avail = self.cluster.free_nodes_in(ClassConstraint::Class(c)) + self.class_held[c];
+        if avail < need {
+            return (SimTime(u64::MAX), 0);
+        }
+        let cap = i64::from(avail - need);
+        let tls = self.class_timelines.borrow();
+        match tls[c].slots.earliest_hole(now, cap, dur) {
+            Some(s) => {
+                let peak = tls[c].slots.max_in(s, s + dur);
+                (s, (cap - peak) as u32)
+            }
+            None => (SimTime(u64::MAX), 0),
         }
     }
 
@@ -685,6 +907,15 @@ impl Slurm {
     /// backfill memo that refused a fitting job is always dropped: the
     /// changed running set may flip that refusal either way.
     fn incr_capacity_freed(&mut self) {
+        // The watermark rule compares *global* free capacity against the
+        // blocked request — unsound for a class-constrained pending job,
+        // whose class can gain nodes without the global count reaching
+        // the watermark. Fall back to a full invalidation while any such
+        // job is pending (never the case on uniform inventories).
+        if self.pending_index.constrained() > 0 {
+            self.incr_clear();
+            return;
+        }
         let free = self.cluster.free_nodes();
         if self.incr.sched_block.is_some_and(|need| free >= need) {
             self.incr.sched_block = None;
@@ -960,9 +1191,10 @@ impl Slurm {
 
     fn start_job(&mut self, id: JobId, now: SimTime) -> JobStart {
         let need = self.jobs[id].requested_nodes;
+        let constraint = self.jobs[id].constraint;
         let nodes = self
             .cluster
-            .allocate(need, id.owner_tag())
+            .allocate_in(need, id.owner_tag(), constraint)
             .expect("caller verified free nodes");
         let job = self.jobs.get_mut(id).expect("job exists");
         self.pending_index.remove(job);
@@ -973,6 +1205,7 @@ impl Slurm {
         let held = self.cluster.held_by(id.owner_tag());
         self.running_index.insert(id, end, held);
         self.tl_queue(end, held, true);
+        self.class_plan(id, end);
         // A start changes the free count, the running set and (for
         // resizer parents) dependency satisfiability: every memo dies;
         // the persistent order keeps the started id as a tombstone.
@@ -1085,7 +1318,10 @@ impl Slurm {
                     // the queue.
                     continue;
                 }
-                if self.cluster.can_allocate(job.requested_nodes) {
+                if self
+                    .cluster
+                    .can_allocate_in(job.requested_nodes, job.constraint)
+                {
                     started.push(self.start_job(id, now));
                 } else {
                     blocked = Some(job.requested_nodes);
@@ -1123,7 +1359,10 @@ impl Slurm {
             if !self.dependency_satisfied(job) {
                 continue;
             }
-            if self.cluster.can_allocate(job.requested_nodes) {
+            if self
+                .cluster
+                .can_allocate_in(job.requested_nodes, job.constraint)
+            {
                 started.push(self.start_job(id, now));
             } else {
                 blocked = Some(job.requested_nodes);
@@ -1193,7 +1432,7 @@ impl Slurm {
                 continue;
             }
             let need = job.requested_nodes;
-            let fits = self.cluster.can_allocate(need);
+            let fits = self.cluster.can_allocate_in(need, job.constraint);
             match (&mut reservation, fits) {
                 (None, true) => {
                     started.push(self.start_job(id, now));
@@ -1231,7 +1470,7 @@ impl Slurm {
     /// plans, and unplanned before returning.
     fn backfill_pass_easy(&mut self, now: SimTime, k: u32) -> Vec<JobStart> {
         self.reap_dead_resizers(now);
-        self.timeline.get_mut().sync(now);
+        self.sync_timelines(now);
         let order = self.pass_order(now);
         let mut started = Vec::new();
         let mut reservations: Vec<(SimTime, u32)> = Vec::new();
@@ -1253,10 +1492,11 @@ impl Slurm {
                 continue;
             }
             let need = job.requested_nodes;
-            if self.cluster.can_allocate(need) {
+            let constraint = job.constraint;
+            if self.cluster.can_allocate_in(need, constraint) {
                 if reservations.is_empty() {
                     started.push(self.start_job(id, now));
-                    self.timeline.get_mut().sync(now);
+                    self.sync_timelines(now);
                     continue;
                 }
                 let est_end = now + self.jobs[id].expected_runtime;
@@ -1270,7 +1510,7 @@ impl Slurm {
                         }
                     }
                     started.push(self.start_job(id, now));
-                    self.timeline.get_mut().sync(now);
+                    self.sync_timelines(now);
                 } else {
                     // A fitting job refused by the harmless check: not a
                     // time-invariant refusal (see [`BfMemo`]).
@@ -1283,7 +1523,9 @@ impl Slurm {
                 }
                 if (reservations.len() as u32) < k {
                     let dur = self.jobs[id].expected_runtime;
-                    let (shadow, spare) = if reservations.is_empty() {
+                    let (shadow, spare) = if constraint != ClassConstraint::Any {
+                        self.constrained_hole(constraint, need, dur, now)
+                    } else if reservations.is_empty() {
                         self.easy_first_reservation(need, now)
                     } else {
                         self.hole_reservation(need, dur, now)
@@ -1294,12 +1536,22 @@ impl Slurm {
                             .get_mut()
                             .slots
                             .plan_journaled(shadow, until, need);
+                        if let Some(c) = self.sole_eligible_class(constraint) {
+                            self.class_timelines.get_mut()[c]
+                                .slots
+                                .plan_journaled(shadow, until, need);
+                        }
                     }
                     reservations.push((shadow, spare));
                 }
             }
         }
         self.timeline.get_mut().slots.rollback_plans();
+        if self.class_tl_live {
+            for tl in self.class_timelines.get_mut() {
+                tl.slots.rollback_plans();
+            }
+        }
         self.bf_memoize(
             now,
             watermark,
@@ -1323,13 +1575,18 @@ impl Slurm {
     /// the window would have no plans protecting them.
     fn backfill_pass_conservative(&mut self, now: SimTime) -> Vec<JobStart> {
         self.reap_dead_resizers(now);
-        self.timeline.get_mut().sync(now);
+        self.sync_timelines(now);
         // Temporary plans go in un-journaled: the pass plans up to
         // `window` reservations, and unwinding them one treap op at a
         // time dominates the pass. A checkpoint reverts them all in one
         // flat copy; mid-pass starts are replayed on top (see
         // [`Timeline::save`]).
         self.timeline.get_mut().save();
+        if self.class_tl_live {
+            for tl in self.class_timelines.get_mut() {
+                tl.save();
+            }
+        }
         let window = self.config.bf_max_job_test.max(1);
         let order = self.pass_order(now);
         let mut started = Vec::new();
@@ -1354,7 +1611,7 @@ impl Slurm {
             }
             let need = job.requested_nodes;
             let dur = job.expected_runtime;
-            let fits = self.cluster.can_allocate(need);
+            let fits = self.cluster.can_allocate_in(need, job.constraint);
             if !fits && plan_slots.is_empty() && !self.config.backfill {
                 watermark = watermark.min(need);
                 break;
@@ -1363,7 +1620,18 @@ impl Slurm {
             if tested > window {
                 break;
             }
-            let avail = self.cluster.free_nodes() + self.running_index.total_held();
+            // A class-constrained job with a single eligible class plans
+            // against that class's timeline (the aggregate would lend it
+            // capacity its class never has); the plan still goes into
+            // the aggregate too so unconstrained jobs cannot double-book
+            // the same global window.
+            let sole = self.sole_eligible_class(job.constraint);
+            let avail = match sole {
+                Some(c) => {
+                    self.cluster.free_nodes_in(ClassConstraint::Class(c)) + self.class_held[c]
+                }
+                None => self.cluster.free_nodes() + self.running_index.total_held(),
+            };
             if avail < need {
                 // Can never run on current estimates; nothing to plan.
                 // (A start needs `fits`, i.e. free >= need > avail >=
@@ -1372,11 +1640,16 @@ impl Slurm {
                 continue;
             }
             let cap = i64::from(avail - need);
-            let hole = self.timeline.borrow().slots.earliest_hole(now, cap, dur);
+            let hole = match sole {
+                Some(c) => self.class_timelines.borrow()[c]
+                    .slots
+                    .earliest_hole(now, cap, dur),
+                None => self.timeline.borrow().slots.earliest_hole(now, cap, dur),
+            };
             match hole {
                 Some(s) if s == now && fits => {
                     started.push(self.start_job(id, now));
-                    self.timeline.get_mut().sync(now);
+                    self.sync_timelines(now);
                 }
                 Some(s) => {
                     // A fitting job whose hole is not at `now` is a
@@ -1390,6 +1663,9 @@ impl Slurm {
                     }
                     let until = s + dur;
                     self.timeline.get_mut().slots.plan(s, until, need);
+                    if let Some(c) = sole {
+                        self.class_timelines.get_mut()[c].slots.plan(s, until, need);
+                    }
                     plan_slots.push((id, s));
                 }
                 None => {
@@ -1402,6 +1678,11 @@ impl Slurm {
             }
         }
         self.timeline.get_mut().restore();
+        if self.class_tl_live {
+            for tl in self.class_timelines.get_mut() {
+                tl.restore();
+            }
+        }
         self.bf_memoize(
             now,
             watermark,
@@ -1463,6 +1744,58 @@ impl Slurm {
             matches!(m.family, BackfillFamily::Easy { .. })
                 .then_some(m.easy_reservations.as_slice())
         })
+    }
+
+    /// Whether growing running job `id` to `to` nodes would steal the
+    /// backfill hole of the first blocked pending job. Grow-happy
+    /// policies consult this before returning an expand verdict when
+    /// [`SlurmConfig::hole_guard`] is on (default); off restores the
+    /// timeline-blind behaviour.
+    ///
+    /// The check is deliberately mode-independent: it recomputes the
+    /// blocked head's reservation from the timeline instead of peeking
+    /// at [`Slurm::easy_reservations`] (whose presence depends on the
+    /// [`SchedIncremental`] knob), so policy decisions stay
+    /// bit-identical across every hot-path / incremental setting. A
+    /// grow steals the hole when its extra nodes exceed the
+    /// reservation's spare count while the grown job is still expected
+    /// to run at the shadow time.
+    pub fn grow_steals_backfill_hole(&self, id: JobId, to: u32, now: SimTime) -> bool {
+        if !self.config.hole_guard || !self.config.backfill {
+            return false;
+        }
+        let current = self.nodes_of(id);
+        if to <= current {
+            return false;
+        }
+        let delta = to - current;
+        let pending = self.pending_queue(now);
+        let blocked = pending.iter().find_map(|&pid| {
+            let j = self.jobs.get(pid)?;
+            (!self
+                .cluster
+                .can_allocate_in(j.requested_nodes, j.constraint))
+            .then_some((j.requested_nodes, j.constraint, j.expected_runtime))
+        });
+        let Some((need, constraint, dur)) = blocked else {
+            return false;
+        };
+        self.timeline.borrow_mut().sync(now);
+        if self.class_tl_live {
+            for tl in self.class_timelines.borrow_mut().iter_mut() {
+                tl.sync(now);
+            }
+        }
+        let (shadow, spare) = if constraint != ClassConstraint::Any {
+            self.constrained_hole(constraint, need, dur, now)
+        } else {
+            self.easy_first_reservation(need, now)
+        };
+        if shadow == SimTime(u64::MAX) {
+            return false;
+        }
+        let grown_end = self.jobs.get(id).and_then(Job::expected_end).unwrap_or(now);
+        delta > spare && grown_end > shadow
     }
 
     /// The conservative plan `(job, planned start)` retained from the
@@ -1572,6 +1905,7 @@ impl Slurm {
         }
         if let Some((end, nodes)) = self.running_index.remove(id) {
             self.tl_queue(end, nodes, false);
+            self.class_unplan(id, end);
         }
         if let Some(Dependency::ExpandOf(parent)) = dep {
             self.resizer_index.resizer_terminal(parent, id);
@@ -1624,6 +1958,7 @@ impl Slurm {
         if was_running {
             if let Some((end, nodes)) = self.running_index.remove(id) {
                 self.tl_queue(end, nodes, false);
+                self.class_unplan(id, end);
             }
         }
         if let Some(Dependency::ExpandOf(parent)) = dep {
@@ -1680,8 +2015,11 @@ impl Slurm {
             return Err(ExpandError::InvalidTarget { current, to });
         }
         let delta = to - current;
+        let constraint = job.constraint;
         // Step 1: submit the resizer job B with a dependency on A and
-        // maximum priority ("facilitating its execution", §V-B1).
+        // maximum priority ("facilitating its execution", §V-B1). The
+        // resizer inherits A's class constraint: the new nodes join A's
+        // allocation, so they must satisfy the same placement rules.
         let rj = self.submit(
             JobRequest {
                 name: format!("resizer-of-{id}"),
@@ -1691,11 +2029,12 @@ impl Slurm {
                 dependency: Some(Dependency::ExpandOf(id)),
                 base_priority: 0,
                 resize: None,
+                constraint,
             },
             now,
         );
         self.boost(rj);
-        if !self.cluster.can_allocate(delta) {
+        if !self.cluster.can_allocate_in(delta, constraint) {
             return Err(ExpandError::Queued { resizer: rj });
         }
         // The resizer starts right away (it outranks everything pending).
@@ -1744,6 +2083,8 @@ impl Slurm {
         if let Some((end, old_nodes)) = self.running_index.set_nodes(original, held) {
             self.tl_queue(end, old_nodes, false);
             self.tl_queue(end, held, true);
+            self.class_unplan(original, end);
+            self.class_plan(original, end);
         }
         if let Some(j) = self.jobs.get_mut(original) {
             j.requested_nodes = self.cluster.held_by(original.owner_tag());
@@ -1795,6 +2136,8 @@ impl Slurm {
         if let Some((end, old_nodes)) = self.running_index.set_nodes(id, to) {
             self.tl_queue(end, old_nodes, false);
             self.tl_queue(end, to, true);
+            self.class_unplan(id, end);
+            self.class_plan(id, end);
         }
         if let Some(j) = self.jobs.get_mut(id) {
             j.requested_nodes = to;
@@ -1844,6 +2187,16 @@ impl Slurm {
             return Err(format!(
                 "pending-resizer count {} != scanned {resizers}",
                 self.pending_index.pending_resizers()
+            ));
+        }
+        let constrained = pending
+            .iter()
+            .filter(|&&id| self.jobs[id].constraint != ClassConstraint::Any)
+            .count();
+        if constrained != self.pending_index.constrained() {
+            return Err(format!(
+                "constrained-pending count {} != scanned {constrained}",
+                self.pending_index.constrained()
             ));
         }
         let running: Vec<&Job> = self
@@ -1902,6 +2255,84 @@ impl Slurm {
                 return Err(format!(
                     "timeline occupancy {got} at {p:?} != running profile {want}"
                 ));
+            }
+        }
+        drop(tl);
+        if self.multi_class() {
+            // Per-class bookkeeping: the side map must mirror the actual
+            // per-class split of every running job's nodes, the held
+            // totals must sum the map, and each class timeline must
+            // equal its class's occupancy profile.
+            let nclasses = self.cluster.table().num_classes();
+            let mut want_held = vec![0u32; nclasses];
+            for j in running.iter() {
+                let counts = self.cluster.held_class_counts(j.id.owner_tag());
+                let recorded = self
+                    .class_counts
+                    .get(&j.id)
+                    .cloned()
+                    .unwrap_or_else(|| vec![0; nclasses]);
+                if counts != recorded {
+                    return Err(format!(
+                        "class counts of {:?}: recorded {recorded:?} != held {counts:?}",
+                        j.id
+                    ));
+                }
+                for (c, &n) in counts.iter().enumerate() {
+                    want_held[c] += n;
+                }
+            }
+            if self.class_counts.len() != running.len() {
+                return Err(format!(
+                    "class-count map holds {} jobs != {} running",
+                    self.class_counts.len(),
+                    running.len()
+                ));
+            }
+            if want_held != self.class_held {
+                return Err(format!(
+                    "class held {:?} != scanned {want_held:?}",
+                    self.class_held
+                ));
+            }
+            // Dormant class timelines are empty by design (they rebuild on
+            // activation), so their occupancy is only checkable once live.
+            let mut tls = if self.class_tl_live {
+                self.class_timelines.borrow_mut()
+            } else {
+                return Ok(());
+            };
+            for (c, tl) in tls.iter_mut().enumerate() {
+                tl.flush();
+                tl.slots.validate()?;
+                let horizon = tl.slots.horizon();
+                let class_scan: Vec<(SimTime, u32)> = running
+                    .iter()
+                    .map(|j| {
+                        (
+                            j.expected_end().expect("running job has a start time"),
+                            self.class_counts.get(&j.id).map_or(0, |v| v[c]),
+                        )
+                    })
+                    .collect();
+                let expected_at = |t: SimTime| -> i64 {
+                    class_scan
+                        .iter()
+                        .filter(|&&(end, _)| end > t)
+                        .map(|&(_, n)| i64::from(n))
+                        .sum()
+                };
+                let mut probes: Vec<SimTime> = tl.slots.slots().iter().map(|&(b, _)| b).collect();
+                probes.extend(class_scan.iter().map(|&(end, _)| end.max(horizon)));
+                for p in probes {
+                    let got = tl.slots.occupied_at(p);
+                    let want = expected_at(p.max(horizon));
+                    if got != want {
+                        return Err(format!(
+                            "class {c} timeline occupancy {got} at {p:?} != profile {want}"
+                        ));
+                    }
+                }
             }
         }
         Ok(())

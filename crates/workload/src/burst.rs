@@ -139,6 +139,7 @@ pub(crate) fn fs_body(
         data_bytes: shape.data_bytes,
         app: AppClass::Fs,
         flexible,
+        gpu: false,
         malleability: MalleabilitySpec {
             max_procs: malleability.max_procs.min(shape.max_size),
             ..malleability

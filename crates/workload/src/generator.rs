@@ -225,6 +225,7 @@ impl WorkloadGenerator {
                         data_bytes: self.cfg.fs_data_bytes,
                         app,
                         flexible,
+                        gpu: false,
                         malleability: MalleabilitySpec {
                             max_procs: malleability.max_procs.min(self.cfg.max_size),
                             ..malleability
@@ -249,6 +250,7 @@ impl WorkloadGenerator {
                         data_bytes,
                         app,
                         flexible,
+                        gpu: false,
                         malleability,
                     }
                 }

@@ -49,6 +49,6 @@ pub use generator::{WorkloadConfig, WorkloadGenerator};
 pub use repeat::RepeatModel;
 pub use runtime::RuntimeModel;
 pub use size::SizeModel;
-pub use source::{Capped, Feitelson, WorkloadKind, WorkloadSource};
+pub use source::{Capped, Feitelson, GpuShare, WorkloadKind, WorkloadSource};
 pub use spec::{AppClass, JobSpec, MalleabilitySpec};
 pub use swf::{SwfMapping, SwfTrace};

@@ -98,6 +98,42 @@ impl<S: WorkloadSource> WorkloadSource for Capped<S> {
     }
 }
 
+/// Tags a deterministic share of an inner source's jobs as GPU-demanding.
+///
+/// Job `i` (by [`JobSpec::index`]) is tagged iff
+/// `(i + 1) * permille / 1000 > i * permille / 1000` — the Bresenham
+/// spread, which distributes `permille`-per-thousand tags evenly across
+/// the stream with no RNG involved. The inner source's random streams are
+/// untouched, so `permille = 0` reproduces the inner workload
+/// *bit-for-bit* (the class-demand axis is purely additive).
+pub struct GpuShare<S> {
+    inner: S,
+    permille: u32,
+}
+
+impl<S: WorkloadSource> GpuShare<S> {
+    /// Tags `permille` jobs per thousand of `inner` (clamped to 1000).
+    pub fn new(inner: S, permille: u32) -> Self {
+        GpuShare {
+            inner,
+            permille: permille.min(1000),
+        }
+    }
+}
+
+impl<S: WorkloadSource> WorkloadSource for GpuShare<S> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn next_job(&mut self) -> Option<JobSpec> {
+        let mut job = self.inner.next_job()?;
+        let (i, p) = (job.index as u64, self.permille as u64);
+        job.gpu = (i + 1) * p / 1000 > i * p / 1000;
+        Some(job)
+    }
+}
+
 /// Selector for the built-in synthetic sources — plain `Copy` data with
 /// parameters embedded, mirroring `dmr_slurm::PolicyKind`, so scenario
 /// grids and experiment configs can carry it by value. [`SwfTrace`]
@@ -112,6 +148,14 @@ pub enum WorkloadKind {
     FsMicroSteps,
     /// §IX CG/Jacobi/N-body production mix (65-node scale).
     RealMix,
+    /// [`WorkloadKind::RealMix`] with a class-demand axis: `permille` jobs
+    /// per thousand are tagged GPU-demanding via [`GpuShare`]'s Bresenham
+    /// rule. `permille = 0` is bit-identical to `RealMix` (the tag wrapper
+    /// never touches the generator's RNG streams).
+    RealMixGpu {
+        /// GPU-demanding jobs per thousand, evenly spread (0..=1000).
+        permille: u32,
+    },
     /// Adversarial load spikes: Poisson arrivals whose rate multiplies by
     /// `intensity` during the first `burst_len_s` seconds of every
     /// `period_s`-second window.
@@ -150,6 +194,12 @@ impl WorkloadKind {
         }
     }
 
+    /// [`WorkloadKind::RealMixGpu`] with the default class-demand mix:
+    /// 250 ‰ (one job in four) GPU-demanding.
+    pub fn real_gpu() -> Self {
+        WorkloadKind::RealMixGpu { permille: 250 }
+    }
+
     /// [`WorkloadKind::Diurnal`] with default parameters: 10 s mean gap
     /// modulated at 90 % depth over a one-hour "day".
     pub fn diurnal() -> Self {
@@ -166,6 +216,7 @@ impl WorkloadKind {
             WorkloadKind::FsPreliminary => "fs",
             WorkloadKind::FsMicroSteps => "fs-micro",
             WorkloadKind::RealMix => "real",
+            WorkloadKind::RealMixGpu { .. } => "real-gpu",
             WorkloadKind::Burst { .. } => "burst",
             WorkloadKind::Diurnal { .. } => "diurnal",
         }
@@ -180,6 +231,7 @@ impl WorkloadKind {
             WorkloadKind::FsPreliminary | WorkloadKind::FsMicroSteps | WorkloadKind::RealMix => {
                 self.name().into()
             }
+            WorkloadKind::RealMixGpu { permille } => format!("real-gpu-{permille}"),
             WorkloadKind::Burst {
                 mean_interarrival_s,
                 period_s,
@@ -212,6 +264,10 @@ impl WorkloadKind {
                 "real",
                 WorkloadConfig::real_mix(jobs),
                 seed,
+            )),
+            WorkloadKind::RealMixGpu { permille } => Box::new(GpuShare::new(
+                Feitelson::named("real-gpu", WorkloadConfig::real_mix(jobs), seed),
+                permille,
             )),
             WorkloadKind::Burst {
                 mean_interarrival_s,
@@ -279,6 +335,7 @@ mod tests {
             WorkloadKind::FsPreliminary,
             WorkloadKind::FsMicroSteps,
             WorkloadKind::RealMix,
+            WorkloadKind::real_gpu(),
             WorkloadKind::burst(),
             WorkloadKind::diurnal(),
         ];
@@ -304,6 +361,7 @@ mod tests {
             WorkloadKind::FsPreliminary,
             WorkloadKind::FsMicroSteps,
             WorkloadKind::RealMix,
+            WorkloadKind::real_gpu(),
             WorkloadKind::burst(),
             WorkloadKind::diurnal(),
         ] {
@@ -318,6 +376,41 @@ mod tests {
             for w in a.windows(2) {
                 assert!(w[1].arrival_s >= w[0].arrival_s, "{kind:?} not sorted");
             }
+        }
+    }
+
+    #[test]
+    fn gpu_share_spreads_tags_evenly_without_touching_the_stream() {
+        // permille = 0 is bit-identical to the plain mix.
+        let plain = collect_jobs(WorkloadKind::RealMix.build(60, 11).as_mut());
+        let zero = collect_jobs(
+            WorkloadKind::RealMixGpu { permille: 0 }
+                .build(60, 11)
+                .as_mut(),
+        );
+        assert_eq!(plain.len(), zero.len());
+        for (p, z) in plain.iter().zip(&zero) {
+            assert_eq!(p.arrival_s.to_bits(), z.arrival_s.to_bits());
+            assert_eq!(p.step_s.to_bits(), z.step_s.to_bits());
+            assert_eq!(p.submit_procs, z.submit_procs);
+            assert!(!z.gpu);
+        }
+        // Non-zero permille only flips the tag, never the bodies.
+        let tagged = collect_jobs(
+            WorkloadKind::RealMixGpu { permille: 250 }
+                .build(60, 11)
+                .as_mut(),
+        );
+        for (p, t) in plain.iter().zip(&tagged) {
+            assert_eq!(p.arrival_s.to_bits(), t.arrival_s.to_bits());
+            assert_eq!(p.submit_procs, t.submit_procs);
+        }
+        // Bresenham: exactly floor(n * p / 1000) tags over any prefix.
+        let n_gpu = tagged.iter().filter(|j| j.gpu).count();
+        assert_eq!(n_gpu, 60 * 250 / 1000);
+        for (i, j) in tagged.iter().enumerate() {
+            let (i, p) = (i as u64, 250u64);
+            assert_eq!(j.gpu, (i + 1) * p / 1000 > i * p / 1000);
         }
     }
 

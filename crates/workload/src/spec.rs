@@ -88,6 +88,11 @@ pub struct JobSpec {
     /// Whether the job participates in malleability (false = rigid even if
     /// the envelope would allow resizing; used for the §VIII-D mixes).
     pub flexible: bool,
+    /// Whether the job demands GPU nodes. On a heterogeneous cluster this
+    /// becomes a class constraint (`ClassConstraint::GpuRequired`); uniform
+    /// clusters ignore it. Generators default it to `false` so the legacy
+    /// workloads are unchanged bit-for-bit.
+    pub gpu: bool,
     /// Resize envelope.
     pub malleability: MalleabilitySpec,
 }
@@ -125,6 +130,7 @@ mod tests {
             data_bytes: 0,
             app: AppClass::Fs,
             flexible: true,
+            gpu: false,
             malleability: MalleabilitySpec::rigid(4),
         };
         assert_eq!(j.work_proc_seconds(), 240.0);

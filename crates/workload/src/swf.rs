@@ -196,6 +196,7 @@ impl<R: BufRead> WorkloadSource for SwfTrace<R> {
                 data_bytes: m.data_bytes,
                 app: m.app,
                 flexible: ratio_slot(self.emitted, m.flexible_ratio),
+                gpu: false,
                 malleability: MalleabilitySpec {
                     min_procs: (procs / m.min_div.max(1)).max(1),
                     max_procs: procs.saturating_mul(m.max_mul.max(1)).min(cap).max(procs),

@@ -57,6 +57,7 @@ fn csv_row(kind: WorkloadKind, cfg: &ExperimentConfig, seed: u64, r: &Experiment
         policy: cfg.policy.label(),
         mode: "sync",
         backfill: "easy1-vs-legacy",
+        machine_mix: cfg.machine_mix.name(),
         seed,
         nodes: cfg.nodes,
         summary: r.summary.clone(),

@@ -1,0 +1,418 @@
+//! Heterogeneous-machine equivalence suite.
+//!
+//! PR "machine classes + energy model" refactored the uniform-node
+//! assumption out of every layer: the cluster grew a [`ClassTable`] with
+//! per-class free sets and a power meter, the scheduler grew per-class
+//! slot-set timelines and class-constrained passes, and the driver grew
+//! class-aware placement, speed scaling and power management. The
+//! uniform single-class configuration is the equivalence oracle: a
+//! cluster built through [`MachineMix::SingleClass`] (the general
+//! multi-class construction path with exactly one standard class) must
+//! reproduce the legacy [`MachineMix::Uniform`] results **bit-for-bit**
+//! — raw f64 bits of every summary field, per-job outcomes, and the
+//! exact bytes of the sweep CSV row — across the whole workload × policy
+//! × mode × backfill matrix.
+//!
+//! The suite also pins the two behavior knobs the PR added:
+//! [`ExperimentConfig::hole_guard`] must be invisible to Algorithm 1
+//! (which never consults the timeline before growing), and the per-class
+//! free-set allocator must agree with a brute-force model under
+//! randomized allocate/release/power sequences that cross class
+//! boundaries.
+
+use dmr::cluster::{ClassConstraint, ClassTable, Cluster, MachineClass, NodeState};
+use dmr::core::{
+    run_experiment_streaming, ExperimentConfig, ExperimentResult, MachineMix, PolicyKind,
+};
+use dmr_bench::scenario::smoke_registry;
+use dmr_bench::sweep::SweepCell;
+use proptest::prelude::*;
+
+fn assert_bit_identical(a: &ExperimentResult, b: &ExperimentResult, what: &str) {
+    let sa = &a.summary;
+    let sb = &b.summary;
+    assert_eq!(sa.jobs, sb.jobs, "{what}: job counts diverged");
+    assert_eq!(sa.reconfigurations, sb.reconfigurations, "{what}");
+    // Raw-bit float comparison: even sub-rounding divergence fails.
+    for (x, y, field) in [
+        (sa.makespan_s, sb.makespan_s, "makespan"),
+        (sa.utilization, sb.utilization, "utilization"),
+        (sa.avg_waiting_s, sb.avg_waiting_s, "avg_wait"),
+        (sa.avg_execution_s, sb.avg_execution_s, "avg_exec"),
+        (sa.avg_completion_s, sb.avg_completion_s, "avg_compl"),
+        (sa.waiting_q.p50_s, sb.waiting_q.p50_s, "p50_wait"),
+        (sa.waiting_q.p95_s, sb.waiting_q.p95_s, "p95_wait"),
+        (sa.waiting_q.p99_s, sb.waiting_q.p99_s, "p99_wait"),
+        (sa.execution_q.p95_s, sb.execution_q.p95_s, "p95_exec"),
+        (sa.completion_q.p99_s, sb.completion_q.p99_s, "p99_compl"),
+        (sa.energy_to_solution_j, sb.energy_to_solution_j, "energy_j"),
+        (sa.avg_watts, sb.avg_watts, "avg_watts"),
+    ] {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: {field} diverged ({x} vs {y})"
+        );
+    }
+    assert_eq!(a.events, b.events, "{what}: event streams diverged");
+    assert_eq!(a.past_schedules, b.past_schedules, "{what}");
+    assert_eq!(a.end_time, b.end_time, "{what}");
+    // Per-job outcomes (empty under online telemetry, full otherwise —
+    // either way they must agree).
+    assert_eq!(a.outcomes.len(), b.outcomes.len(), "{what}");
+    for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+        assert_eq!(x.submit.to_bits(), y.submit.to_bits(), "{what}");
+        assert_eq!(x.start.to_bits(), y.start.to_bits(), "{what}");
+        assert_eq!(x.end.to_bits(), y.end.to_bits(), "{what}");
+        assert_eq!(x.reconfigurations, y.reconfigurations, "{what}");
+    }
+}
+
+/// The sweep CSV row for a result under fixed labels, so the byte-level
+/// comparison covers exactly the numeric columns.
+fn csv_row(cfg: &ExperimentConfig, r: &ExperimentResult) -> String {
+    SweepCell {
+        scenario: "class-equivalence".into(),
+        workload: "grid",
+        policy: cfg.policy.label(),
+        mode: "grid",
+        backfill: cfg.backfill_family.label(),
+        machine_mix: "oracle",
+        seed: dmr_bench::SEED,
+        nodes: cfg.nodes,
+        summary: r.summary.clone(),
+        events: r.events,
+        past_schedules: r.past_schedules,
+    }
+    .csv_row()
+}
+
+/// Every uniform cell of the CI grid — all workload families × all four
+/// policies × both modes × every backfill selection — is bit-identical
+/// when the cluster is built through the general multi-class path with
+/// one class.
+#[test]
+fn single_class_matches_uniform_bit_for_bit_across_the_grid() {
+    for sc in smoke_registry() {
+        if sc.mix != MachineMix::Uniform {
+            continue;
+        }
+        let cfg_uniform = sc.config();
+        let cfg_single = cfg_uniform.with_machine_mix(MachineMix::SingleClass);
+        let uniform = run_experiment_streaming(&cfg_uniform, sc.source(dmr_bench::SEED).as_mut());
+        let single = run_experiment_streaming(&cfg_single, sc.source(dmr_bench::SEED).as_mut());
+        assert_bit_identical(&uniform, &single, &sc.name());
+        assert_eq!(
+            csv_row(&cfg_uniform, &uniform),
+            csv_row(&cfg_single, &single),
+            "{}: CSV bytes diverged",
+            sc.name()
+        );
+    }
+}
+
+/// Full (buffered) telemetry pins the complete per-job outcome lists on
+/// a representative slice of the matrix.
+#[test]
+fn single_class_matches_uniform_outcomes_under_full_telemetry() {
+    for sc in smoke_registry().iter().step_by(17) {
+        if sc.mix != MachineMix::Uniform {
+            continue;
+        }
+        let mut cfg_uniform = sc.config();
+        cfg_uniform.telemetry = dmr::core::Telemetry::Full;
+        let cfg_single = cfg_uniform.with_machine_mix(MachineMix::SingleClass);
+        let uniform = run_experiment_streaming(&cfg_uniform, sc.source(dmr_bench::SEED).as_mut());
+        let single = run_experiment_streaming(&cfg_single, sc.source(dmr_bench::SEED).as_mut());
+        assert!(!uniform.outcomes.is_empty(), "{}", sc.name());
+        assert_bit_identical(&uniform, &single, &sc.name());
+    }
+}
+
+/// Algorithm 1 never consults the backfill timeline before growing, so
+/// the hole guard must be invisible to it — on every machine mix.
+#[test]
+fn hole_guard_flag_is_invisible_to_algorithm1() {
+    for sc in smoke_registry() {
+        if sc.policy != PolicyKind::Algorithm1 {
+            continue;
+        }
+        let cfg_on = sc.config();
+        let cfg_off = cfg_on.hole_guard_off();
+        assert!(cfg_on.hole_guard && !cfg_off.hole_guard);
+        let on = run_experiment_streaming(&cfg_on, sc.source(dmr_bench::SEED).as_mut());
+        let off = run_experiment_streaming(&cfg_off, sc.source(dmr_bench::SEED).as_mut());
+        assert_bit_identical(&on, &off, &sc.name());
+    }
+}
+
+/// A brute-force model of the per-class allocator: each node carries its
+/// class, owner and power state; every query is answered by a full scan.
+struct ModelCluster {
+    class_of: Vec<usize>,
+    owner: Vec<Option<u64>>,
+    off: Vec<bool>,
+}
+
+impl ModelCluster {
+    fn new(table: &ClassTable) -> Self {
+        let class_of = (0..table.total_nodes())
+            .map(|n| table.class_of(n))
+            .collect();
+        let n = table.total_nodes() as usize;
+        ModelCluster {
+            class_of,
+            owner: vec![None; n],
+            off: vec![false; n],
+        }
+    }
+
+    fn free_in(&self, table: &ClassTable, constraint: ClassConstraint) -> u32 {
+        (0..self.owner.len())
+            .filter(|&n| {
+                self.owner[n].is_none()
+                    && !self.off[n]
+                    && constraint.allows(self.class_of[n], table.class(self.class_of[n]))
+            })
+            .count() as u32
+    }
+
+    /// Lowest-id-first allocation within the eligible classes — the
+    /// production allocator's contract.
+    fn allocate_in(
+        &mut self,
+        table: &ClassTable,
+        n: u32,
+        owner: u64,
+        constraint: ClassConstraint,
+    ) -> Option<Vec<u32>> {
+        if self.free_in(table, constraint) < n {
+            return None;
+        }
+        let picked: Vec<u32> = (0..self.owner.len())
+            .filter(|&i| {
+                self.owner[i].is_none()
+                    && !self.off[i]
+                    && constraint.allows(self.class_of[i], table.class(self.class_of[i]))
+            })
+            .take(n as usize)
+            .map(|i| i as u32)
+            .collect();
+        for &i in &picked {
+            self.owner[i as usize] = Some(owner);
+        }
+        Some(picked)
+    }
+
+    fn release_all(&mut self, owner: u64) {
+        for slot in &mut self.owner {
+            if *slot == Some(owner) {
+                *slot = None;
+            }
+        }
+    }
+
+    fn release_tail(&mut self, owner: u64, n: u32) {
+        let held: Vec<usize> = (0..self.owner.len())
+            .filter(|&i| self.owner[i] == Some(owner))
+            .collect();
+        for &i in held.iter().rev().take(n as usize) {
+            self.owner[i] = None;
+        }
+    }
+
+    /// Highest-id-first suspension of free nodes — the production
+    /// power-down order.
+    fn power_down(&mut self, n: u32) -> u32 {
+        let free: Vec<usize> = (0..self.owner.len())
+            .filter(|&i| self.owner[i].is_none() && !self.off[i])
+            .collect();
+        let mut downed = 0;
+        for &i in free.iter().rev().take(n as usize) {
+            self.off[i] = true;
+            downed += 1;
+        }
+        downed
+    }
+
+    fn wake_all(&mut self) -> u32 {
+        let woke = self.off.iter().filter(|&&o| o).count() as u32;
+        self.off.iter_mut().for_each(|o| *o = false);
+        woke
+    }
+}
+
+fn three_class_table(standard: u32, big: u32, gpu: u32) -> ClassTable {
+    let mut gpu_class = MachineClass::standard(8);
+    gpu_class.gpu = true;
+    ClassTable::new(&[
+        (MachineClass::standard(8), standard),
+        (MachineClass::standard(8), big),
+        (gpu_class, gpu),
+    ])
+}
+
+fn constraint_for(sel: u8) -> ClassConstraint {
+    match sel % 4 {
+        0 | 1 => ClassConstraint::Any,
+        2 => ClassConstraint::Class((sel as usize / 4) % 3),
+        _ => ClassConstraint::GpuRequired,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    /// Randomized allocate/release/power sequences over a three-class
+    /// machine: the per-class free-set cluster must agree with the
+    /// brute-force model on every allocation (the exact node ids, not
+    /// just the count), on every per-class free count, and keep its
+    /// internal invariants after every operation.
+    #[test]
+    fn per_class_free_sets_match_the_brute_force_model(
+        standard in 1u32..12,
+        big in 1u32..8,
+        gpu in 1u32..6,
+        ops in proptest::collection::vec((0u8..5, 0u8..16, 1u32..10), 1..40),
+    ) {
+        let table = three_class_table(standard, big, gpu);
+        let mut cluster = Cluster::with_classes(table.clone());
+        let mut model = ModelCluster::new(&table);
+        let mut next_owner = 1u64;
+        let mut live: Vec<u64> = Vec::new();
+
+        for (op, sel, n) in ops {
+            match op {
+                0 => {
+                    let constraint = constraint_for(sel);
+                    let got = cluster
+                        .allocate_in(n, next_owner, constraint)
+                        .ok()
+                        .map(|v| v.into_iter().map(|node| node.0).collect::<Vec<u32>>());
+                    let want = model.allocate_in(&table, n, next_owner, constraint);
+                    let granted = got.is_some();
+                    prop_assert_eq!(got, want, "allocate_in({}, {:?}) diverged", n, constraint);
+                    if granted {
+                        live.push(next_owner);
+                        next_owner += 1;
+                    }
+                }
+                1 => {
+                    if let Some(&owner) = live.get(sel as usize % live.len().max(1)) {
+                        let _ = cluster.release_all(owner);
+                        model.release_all(owner);
+                        live.retain(|&o| o != owner);
+                    }
+                }
+                2 => {
+                    if let Some(&owner) = live.get(sel as usize % live.len().max(1)) {
+                        let held = cluster.held_by(owner);
+                        // Tail releases must leave at least one node.
+                        let k = n.min(held.saturating_sub(1));
+                        if k > 0 {
+                            let _ = cluster.release_tail(owner, k);
+                            model.release_tail(owner, k);
+                        }
+                    }
+                }
+                3 => {
+                    let downed = cluster.power_down(n).len() as u32;
+                    prop_assert_eq!(downed, model.power_down(n), "power_down diverged");
+                }
+                _ => {
+                    prop_assert_eq!(cluster.wake_all(), model.wake_all(), "wake_all diverged");
+                }
+            }
+            for constraint in [
+                ClassConstraint::Any,
+                ClassConstraint::Class(0),
+                ClassConstraint::Class(1),
+                ClassConstraint::Class(2),
+                ClassConstraint::GpuRequired,
+            ] {
+                prop_assert_eq!(
+                    cluster.free_nodes_in(constraint),
+                    model.free_in(&table, constraint),
+                    "free count diverged under {:?}",
+                    constraint
+                );
+            }
+            cluster.check_invariants()?;
+        }
+    }
+
+    /// On a single-class machine, the constrained entry points collapse
+    /// to the legacy ones: `allocate_in(Any)` picks exactly the nodes
+    /// `allocate` picks.
+    #[test]
+    fn any_constraint_is_identity_on_uniform_clusters(
+        nodes in 1u32..64,
+        n in 1u32..16,
+    ) {
+        let mut legacy = Cluster::new(nodes, 8);
+        let mut constrained = Cluster::new(nodes, 8);
+        let a = legacy.allocate(n.min(nodes), 7).expect("fits");
+        let b = constrained
+            .allocate_in(n.min(nodes), 7, ClassConstraint::Any)
+            .expect("fits");
+        prop_assert_eq!(a, b);
+    }
+
+    /// Power state transitions keep the node-state invariant the class
+    /// refactor added to `check_invariants`: off nodes are never free,
+    /// never owned, and come back when woken.
+    #[test]
+    fn power_transitions_preserve_invariants(
+        nodes in 2u32..32,
+        down in 1u32..8,
+    ) {
+        let mut cluster = Cluster::with_classes(three_class_table(nodes, nodes / 2 + 1, 2));
+        let total = cluster.total_nodes();
+        let downed = cluster.power_down(down).len() as u32;
+        prop_assert!(downed <= down);
+        prop_assert_eq!(cluster.off_nodes(), downed);
+        prop_assert_eq!(cluster.free_nodes() + downed, total);
+        cluster.check_invariants()?;
+        prop_assert_eq!(cluster.wake_all(), downed);
+        prop_assert_eq!(cluster.free_nodes(), total);
+        cluster.check_invariants()?;
+    }
+}
+
+/// `set_state` keeps the per-class busy/off tallies the power meter
+/// samples in sync with the ground truth.
+#[test]
+fn busy_and_off_tallies_follow_state_changes() {
+    let mut cluster = Cluster::with_classes(three_class_table(4, 2, 2));
+    assert_eq!(cluster.busy_by_class(), &[0, 0, 0]);
+    cluster
+        .allocate_in(2, 1, ClassConstraint::GpuRequired)
+        .expect("gpu nodes free");
+    assert_eq!(cluster.busy_by_class(), &[0, 0, 2]);
+    cluster
+        .allocate_in(3, 2, ClassConstraint::Any)
+        .expect("fits");
+    assert_eq!(cluster.busy_by_class(), &[3, 0, 2]);
+    let _ = cluster.release_all(1);
+    assert_eq!(cluster.busy_by_class(), &[3, 0, 0]);
+    // Highest free ids suspend first: the lone power-down hits node 7
+    // (the top of the GPU class).
+    let downed = cluster.power_down(1).len();
+    assert_eq!(downed, 1);
+    assert_eq!(cluster.off_by_class().iter().sum::<u32>() as usize, downed);
+    cluster.check_invariants().unwrap();
+    // An administrative override pulls a powered-down node straight out
+    // of the off pool; draining a free node removes it from placement
+    // without touching the off tallies.
+    let off_node = dmr::cluster::NodeId(7);
+    assert_eq!(cluster.table().class_of_node(off_node), 2);
+    cluster.set_state(off_node, NodeState::Up);
+    assert_eq!(cluster.off_by_class()[2], 0, "override leaves the off pool");
+    cluster.check_invariants().unwrap();
+    cluster.wake_all();
+    let _ = cluster.release_all(2);
+    let before_off: u32 = cluster.off_by_class().iter().sum();
+    cluster.set_state(dmr::cluster::NodeId(0), NodeState::Drained);
+    assert_eq!(cluster.off_by_class().iter().sum::<u32>(), before_off);
+    cluster.set_state(dmr::cluster::NodeId(0), NodeState::Up);
+    cluster.check_invariants().unwrap();
+}

@@ -51,6 +51,7 @@ fn csv_row(kind: WorkloadKind, cfg: &ExperimentConfig, seed: u64, r: &Experiment
         policy: cfg.policy.label(),
         mode: "sync",
         backfill: cfg.backfill_family.label(),
+        machine_mix: cfg.machine_mix.name(),
         seed,
         nodes: cfg.nodes,
         summary: r.summary.clone(),
@@ -193,6 +194,7 @@ fn smoke_registry_sweep_rows_are_byte_identical_across_hot_paths() {
                 policy: sc.policy.label(),
                 mode: "grid",
                 backfill: sc.backfill.name(),
+                machine_mix: sc.mix.name(),
                 seed,
                 nodes: sc.nodes,
                 summary: r.summary,
