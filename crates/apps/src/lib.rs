@@ -28,5 +28,8 @@ pub mod nbody;
 pub use cg::CgApp;
 pub use fs::FsApp;
 pub use jacobi::JacobiApp;
-pub use malleable::{run_malleable, MalleableApp, MalleableOutcome};
+pub use malleable::{
+    run_malleable, run_malleable_faulty, run_malleable_with, run_malleable_with_faults,
+    MalleableApp, MalleableOutcome,
+};
 pub use nbody::NbodyApp;

@@ -16,7 +16,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use dmr_mpi::{Comm, Universe};
+use dmr_mpi::{Comm, MpiError, SpawnFaults, Universe};
 use dmr_runtime::dist::BlockDist;
 use dmr_runtime::dmr::{DmrAction, DmrSpec};
 use dmr_runtime::offload;
@@ -83,6 +83,39 @@ pub fn run_malleable_with(
     spec: DmrSpec,
     rms: SharedRms,
 ) -> MalleableOutcome {
+    run_malleable_with_faults(app, initial, spec, rms, None)
+}
+
+/// [`run_malleable`] under spawn-fault injection: every resize's
+/// `MPI_Comm_spawn` leg consults `faults`, and an injected failure makes
+/// the generation abandon that resize and continue at its current size —
+/// data and progress are never at risk because the verdict lands before
+/// any redistribution starts.
+pub fn run_malleable_faulty(
+    app: Arc<dyn MalleableApp>,
+    initial: usize,
+    spec: DmrSpec,
+    script: Vec<DmrAction>,
+    faults: Arc<SpawnFaults>,
+) -> MalleableOutcome {
+    run_malleable_with_faults(
+        app,
+        initial,
+        spec,
+        Arc::new(Mutex::new(ScriptedRms::new(script))),
+        Some(faults),
+    )
+}
+
+/// The fully general entry point: caller-provided RMS and optional
+/// spawn-fault injector.
+pub fn run_malleable_with_faults(
+    app: Arc<dyn MalleableApp>,
+    initial: usize,
+    spec: DmrSpec,
+    rms: SharedRms,
+    faults: Option<Arc<SpawnFaults>>,
+) -> MalleableOutcome {
     assert!(initial > 0);
     let slot: ResultSlot = Arc::new(Mutex::new(None));
     {
@@ -98,6 +131,7 @@ pub fn run_malleable_with(
                 Arc::clone(&slot),
                 spec,
                 0,
+                faults.clone(),
             );
         });
     }
@@ -109,6 +143,7 @@ pub fn run_malleable_with(
 }
 
 /// The SPMD body: every rank of every process generation runs this.
+#[allow(clippy::too_many_arguments)]
 fn worker(
     mut comm: Comm,
     app: Arc<dyn MalleableApp>,
@@ -117,6 +152,7 @@ fn worker(
     slot: ResultSlot,
     spec: DmrSpec,
     resizes: u32,
+    faults: Option<Arc<SpawnFaults>>,
 ) {
     let me = comm.rank();
     let size = comm.size();
@@ -168,6 +204,7 @@ fn worker(
                 let app = Arc::clone(&app);
                 let rms = Arc::clone(&rms);
                 let slot = Arc::clone(&slot);
+                let faults = faults.clone();
                 Arc::new(move |child: Comm| {
                     worker(
                         child,
@@ -177,10 +214,21 @@ fn worker(
                         Arc::clone(&slot),
                         spec,
                         resizes + 1,
+                        faults.clone(),
                     );
                 })
             };
-            let mut inter = comm.spawn(new_n, entry).expect("spawn new set");
+            let mut inter = match comm.spawn_faulty(new_n, entry, faults.as_deref()) {
+                Ok(inter) => inter,
+                Err(MpiError::SpawnInjected { .. }) => {
+                    // Graceful degrade (§V-B1 failure leg): the negotiated
+                    // resize is abandoned before any data moved, so this
+                    // generation keeps computing at its current size.
+                    app.step(&mut comm, &dist, &mut state, t);
+                    continue;
+                }
+                Err(e) => panic!("spawn new set: {e}"),
+            };
             let to = BlockDist::new(app.n(), new_n);
             for (round, vector) in state.iter().enumerate() {
                 send_blocks(&mut inter, me, vector, &dist, &to, round).expect("redistribution");
@@ -320,6 +368,47 @@ mod tests {
         );
         assert_eq!(out.final_state[0], expected(17, 4));
         assert_eq!(out.final_procs, 5);
+    }
+
+    #[test]
+    fn injected_spawn_degrades_to_current_size() {
+        // Every spawn is killed: both scripted expands are abandoned and
+        // the run completes at its initial size with nothing lost.
+        let app = Arc::new(CountingApp { n: 24, steps: 6 });
+        let out = run_malleable_faulty(
+            app,
+            2,
+            DmrSpec::new(1, 8),
+            vec![
+                DmrAction::Expand { to: 4 },
+                DmrAction::NoAction,
+                DmrAction::Expand { to: 6 },
+            ],
+            Arc::new(SpawnFaults::always()),
+        );
+        assert_eq!(out.final_state[0], expected(24, 6));
+        assert_eq!(out.final_procs, 2);
+        assert_eq!(out.resizes, 0);
+    }
+
+    #[test]
+    fn quiet_injector_matches_faultless_run() {
+        let script = vec![
+            DmrAction::NoAction,
+            DmrAction::NoAction,
+            DmrAction::Expand { to: 4 },
+        ];
+        let app = Arc::new(CountingApp { n: 24, steps: 6 });
+        let out = run_malleable_faulty(
+            app,
+            2,
+            DmrSpec::new(1, 8),
+            script,
+            Arc::new(SpawnFaults::never()),
+        );
+        assert_eq!(out.final_state[0], expected(24, 6));
+        assert_eq!(out.final_procs, 4);
+        assert_eq!(out.resizes, 1);
     }
 
     #[test]

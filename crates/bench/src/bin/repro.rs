@@ -5,6 +5,7 @@
 //! repro <target> [seed]
 //! repro --sweep [--smoke] [--threads N] [--seeds a,b,c]
 //! repro --trace path.swf [--nodes N] [--check-prefix N]
+//!       [--faults none|rare|harsh|trace:PATH] [--ckpt-interval S]
 //! repro --hist [--jobs N] [--seed S]
 //! repro --gen-swf N [--seed S]
 //! repro --bench-json [--smoke] [--bench-out PATH] [--bench-label L]
@@ -19,7 +20,11 @@
 //! through the streaming bounded-memory driver, rigid vs malleable, and
 //! prints the summary comparison (including P50/P95/P99 columns) as CSV;
 //! `--check-prefix N` additionally replays the first `N` jobs through
-//! both telemetry paths and fails unless the summaries agree.
+//! both telemetry paths and fails unless the summaries agree; `--faults`
+//! injects a node-failure load into the replay (a preset, or a scripted
+//! `trace:PATH` incident file of `<t_s> fail|repair <node>` lines) and
+//! `--ckpt-interval S` gives killed jobs periodic images to restart
+//! from instead of requeueing from scratch.
 //! `--hist` prints ASCII histograms of the waiting / execution /
 //! completion distributions. `--gen-swf` writes a synthetic SWF trace to
 //! stdout for long-replay smoke tests. `--bench-json` runs the scheduler
@@ -104,6 +109,39 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     })
 }
 
+/// Parses `--faults none|rare|harsh|trace:PATH` into the preset load
+/// plus an optional scripted trace (read and parsed from `PATH`, one
+/// `<t_s> fail|repair <node>` event per line). Absent flag → the
+/// zero-fault oracle default.
+fn fault_flags(args: &[String]) -> (dmr_core::FaultLoad, Option<dmr_core::FaultTrace>) {
+    use dmr_core::{FaultLoad, FaultTrace};
+    match flag_value(args, "--faults") {
+        None | Some("none") => (FaultLoad::None, None),
+        Some("rare") => (FaultLoad::Rare, None),
+        Some("harsh") => (FaultLoad::Harsh, None),
+        Some(v) => {
+            let Some(path) = v.strip_prefix("trace:") else {
+                eprintln!("--faults expects none|rare|harsh|trace:PATH, got `{v}`");
+                std::process::exit(2);
+            };
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read fault trace `{path}`: {e}");
+                    std::process::exit(2);
+                }
+            };
+            match FaultTrace::parse(&text) {
+                Ok(trace) => (FaultLoad::None, Some(trace)),
+                Err(e) => {
+                    eprintln!("malformed fault trace `{path}`: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+}
+
 /// Runs the scheduler hot-path grid and **appends** a run to the
 /// `BENCH_sched.json` trajectory (prior runs stay byte-identical; a
 /// legacy v1 snapshot is migrated verbatim as run 0). Exits non-zero if
@@ -129,7 +167,7 @@ fn run_bench_json(args: &[String]) {
             cell.nodes,
             cell.queue_depth,
             format!(
-                "{}/{}/{}{}",
+                "{}/{}/{}{}{}",
                 cell.mode,
                 cell.backfill,
                 cell.incremental,
@@ -137,7 +175,8 @@ fn run_bench_json(args: &[String]) {
                     ""
                 } else {
                     "/hetero3"
-                }
+                },
+                if cell.faults == "off" { "" } else { "/faulty" }
             ),
             cell.events_per_sec(),
             cell.jobs_per_sec(),
@@ -242,6 +281,16 @@ fn run_bench_json(args: &[String]) {
             std::process::exit(1);
         }
     }
+    // Fault-axis gate: periodic kill-and-requeue plus repair churn must
+    // keep the faulty arena cell within 0.7x of its calm twin. Same
+    // smoke caveat as the machine axis: short smoke cells only report.
+    if let Some(fault) = hotpath::fault_ratio(&doc) {
+        eprintln!("fault axis: faulty arena runs at {fault:.2}x the calm events/s");
+        if fault < 0.7 && !smoke {
+            eprintln!("faulty/calm ratio {fault:.2} is below the 0.7x bar");
+            std::process::exit(1);
+        }
+    }
 }
 
 /// Runs the heterogeneous grid cells (Algorithm 1 vs the energy-aware
@@ -341,7 +390,8 @@ fn run_sweep(args: &[String]) {
 /// both telemetry modes and exits non-zero unless the summaries are
 /// bit-identical.
 fn run_trace(path: &str, args: &[String]) {
-    use dmr_core::{run_experiment_streaming, ExperimentConfig};
+    use dmr_core::ExperimentConfig;
+    use dmr_core::{run_experiment_streaming, run_experiment_streaming_with_faults};
     use dmr_metrics::csv::write_summaries;
     use dmr_workload::SwfTrace;
 
@@ -355,10 +405,21 @@ fn run_trace(path: &str, args: &[String]) {
         },
         None => 20,
     };
+    let (load, fault_trace) = fault_flags(args);
     // Long traces replay through the O(1)-memory online telemetry path;
     // the summary (including the percentile columns) is bit-identical to
     // the buffered path, which `--check-prefix` verifies on demand.
-    let cfg = ExperimentConfig::preliminary().with_nodes(nodes).online();
+    let mut cfg = ExperimentConfig::preliminary()
+        .with_nodes(nodes)
+        .with_faults(load)
+        .online();
+    if let Some(s) = parsed_flag::<f64>(args, "--ckpt-interval") {
+        if s <= 0.0 {
+            eprintln!("--ckpt-interval expects a positive number of seconds, got `{s}`");
+            std::process::exit(2);
+        }
+        cfg = cfg.with_ckpt_interval(s);
+    }
     // A trace replay has no randomness: two opens of the same file are
     // the same workload, so fixed vs flexible is a fair comparison.
     let mut results = Vec::new();
@@ -370,7 +431,10 @@ fn run_trace(path: &str, args: &[String]) {
                 std::process::exit(2);
             }
         };
-        let result = run_experiment_streaming(&cfg, &mut trace);
+        let result = match fault_trace.clone() {
+            Some(script) => run_experiment_streaming_with_faults(&cfg, &mut trace, script),
+            None => run_experiment_streaming(&cfg, &mut trace),
+        };
         if result.summary.jobs == 0 {
             eprintln!("trace `{path}` contains no replayable jobs");
             std::process::exit(1);
@@ -382,6 +446,17 @@ fn run_trace(path: &str, args: &[String]) {
             result.summary.makespan_s,
             result.summary.completion_q.p99_s
         );
+        if !load.is_none() || fault_trace.is_some() {
+            eprintln!(
+                "{label}: {} node failures, {} requeues, {:.1} s lost work, \
+                 goodput {:.4}, restart p95 {:.1} s",
+                result.summary.failures,
+                result.summary.requeues,
+                result.summary.lost_work_s,
+                result.summary.goodput_ratio,
+                result.summary.restart_p95_s,
+            );
+        }
         results.push((label, result));
     }
     let rows: Vec<(&str, &dmr_metrics::WorkloadSummary)> = results
@@ -561,6 +636,7 @@ fn run(target: &str, seed: u64) {
                  fig10 fig11 fig12 table2 all quick\n\
                  or: --sweep [--smoke] [--threads N] [--seeds a,b,c]\n\
                  or: --trace path.swf [--nodes N] [--check-prefix N]\n\
+                 \x20            [--faults none|rare|harsh|trace:PATH] [--ckpt-interval S]\n\
                  or: --hist [--jobs N] [--seed S]\n\
                  or: --gen-swf N [--seed S]\n\
                  or: --bench-json [--smoke] [--bench-out PATH] [--bench-label L]"

@@ -62,6 +62,10 @@ pub struct CellResult {
     /// (the three-class machine driving per-class free sets and
     /// timelines) — the machine axis.
     pub machine: &'static str,
+    /// `"off"` (the historical fault-free churn) or `"on"` (periodic
+    /// node failures with kill-and-requeue plus repairs) — the fault
+    /// axis.
+    pub faults: &'static str,
     pub rounds: u32,
     /// Scheduling events processed: submissions + completions + passes +
     /// job starts.
@@ -228,6 +232,36 @@ pub fn run_cell_machine(
     incremental: SchedIncremental,
     hetero: bool,
 ) -> CellResult {
+    run_cell_faulty(
+        nodes,
+        depth,
+        mode,
+        rounds,
+        family,
+        incremental,
+        hetero,
+        false,
+    )
+}
+
+/// [`run_cell_machine`] with an explicit fault axis — `faulty` injects a
+/// deterministic node failure every 10th round (kill-and-requeue when
+/// the node was serving a job) and repairs it five rounds later, so at
+/// most one node is down at a time and the machine's capacity recovers.
+/// The gate reads this cell against its calm twin: failure handling —
+/// incremental capacity invalidation, requeue resubmission, repair
+/// wake-up — must not collapse the scheduler hot path.
+#[allow(clippy::too_many_arguments)]
+pub fn run_cell_faulty(
+    nodes: u32,
+    depth: u32,
+    mode: SchedIndex,
+    rounds: u32,
+    family: BackfillFamily,
+    incremental: SchedIncremental,
+    hetero: bool,
+    faulty: bool,
+) -> CellResult {
     let mut cfg = SlurmConfig::for_cluster(nodes);
     cfg.sched_index = mode;
     cfg.backfill_family = family;
@@ -266,12 +300,40 @@ pub fn run_cell_machine(
     let mut jobs_started: u64 = 0;
     let mut pending = u64::from(depth);
     let mut peak = pending;
+    let mut down: VecDeque<dmr_cluster::NodeId> = VecDeque::new();
     let t0 = Instant::now();
     for r in 0..rounds {
         let now = SimTime::from_secs(1000 + u64::from(r));
         if let Some(id) = running.pop_front() {
             s.complete(id, now);
             events += 1;
+        }
+        if faulty && r % 10 == 3 {
+            // Deterministic victim walk; most hits land on busy nodes
+            // (the machine runs full), exercising kill-and-requeue.
+            let node = dmr_cluster::NodeId((r / 10 * 17 + 1) % nodes);
+            match s.fail_node(node) {
+                dmr_cluster::FailOutcome::Busy(owner) => {
+                    let victim = dmr_slurm::JobId(owner);
+                    running.retain(|&id| id != victim);
+                    if s.requeue_failed(victim, now).is_some() {
+                        pending += 1;
+                    }
+                    down.push_back(node);
+                    events += 1;
+                }
+                dmr_cluster::FailOutcome::Idle => {
+                    down.push_back(node);
+                    events += 1;
+                }
+                dmr_cluster::FailOutcome::Skipped => {}
+            }
+        }
+        if faulty && r % 10 == 8 {
+            if let Some(node) = down.pop_front() {
+                s.repair_node(node);
+                events += 1;
+            }
         }
         let i = depth + r;
         s.submit(
@@ -316,6 +378,7 @@ pub fn run_cell_machine(
             SchedIncremental::Off => "off",
         },
         machine: if hetero { "hetero3" } else { "uniform" },
+        faults: if faulty { "on" } else { "off" },
         rounds,
         events,
         jobs_started,
@@ -354,15 +417,24 @@ fn best_cells(
     nodes: u32,
     depth: u32,
     rounds: u32,
-    configs: &[(SchedIndex, BackfillFamily, SchedIncremental, bool)],
+    configs: &[(SchedIndex, BackfillFamily, SchedIncremental, bool, bool)],
     reps: u32,
 ) -> Vec<CellResult> {
     let mut best: Vec<Option<CellResult>> = configs.iter().map(|_| None).collect();
     for rep in 0..reps as usize {
         for k in 0..configs.len() {
             let idx = (k + rep) % configs.len();
-            let (mode, family, incremental, hetero) = configs[idx];
-            let next = run_cell_machine(nodes, depth, mode, rounds, family, incremental, hetero);
+            let (mode, family, incremental, hetero, faulty) = configs[idx];
+            let next = run_cell_faulty(
+                nodes,
+                depth,
+                mode,
+                rounds,
+                family,
+                incremental,
+                hetero,
+                faulty,
+            );
             match &mut best[idx] {
                 Some(b) => {
                     debug_assert_eq!(next.events, b.events, "repeats diverged");
@@ -389,21 +461,41 @@ pub fn run_grid(smoke: bool, mut progress: impl FnMut(&CellResult)) -> Vec<CellR
     let axis = backfill_axis_cells(smoke);
     let mut out = Vec::new();
     for (nodes, depth) in grid(smoke) {
-        let mut configs: Vec<(SchedIndex, BackfillFamily, SchedIncremental, bool)> =
+        let mut configs: Vec<(SchedIndex, BackfillFamily, SchedIncremental, bool, bool)> =
             modes_for(nodes, depth)
                 .into_iter()
-                .map(|mode| (mode, BackfillFamily::easy(1), SchedIncremental::On, false))
+                .map(|mode| {
+                    (
+                        mode,
+                        BackfillFamily::easy(1),
+                        SchedIncremental::On,
+                        false,
+                        false,
+                    )
+                })
                 .collect();
         if axis.contains(&(nodes, depth)) {
-            configs.extend(
-                backfill_axis_families()
-                    .into_iter()
-                    .map(|family| (SchedIndex::Arena, family, SchedIncremental::On, false)),
-            );
+            configs.extend(backfill_axis_families().into_iter().map(|family| {
+                (
+                    SchedIndex::Arena,
+                    family,
+                    SchedIncremental::On,
+                    false,
+                    false,
+                )
+            }));
             configs.extend(
                 [BackfillFamily::easy(1), BackfillFamily::Conservative]
                     .into_iter()
-                    .map(|family| (SchedIndex::Arena, family, SchedIncremental::Off, false)),
+                    .map(|family| {
+                        (
+                            SchedIndex::Arena,
+                            family,
+                            SchedIncremental::Off,
+                            false,
+                            false,
+                        )
+                    }),
             );
             // The machine axis: the same arena EASY-1 churn on the
             // three-class cluster — the "per-class bookkeeping does not
@@ -417,6 +509,20 @@ pub fn run_grid(smoke: bool, mut progress: impl FnMut(&CellResult)) -> Vec<CellR
                     SchedIndex::Arena,
                     BackfillFamily::easy(1),
                     SchedIncremental::On,
+                    true,
+                    false,
+                ),
+            );
+            // The fault axis: the same arena EASY-1 churn under periodic
+            // node failure and repair — adjacent to the calm twin for
+            // the same back-to-back-measurement reason.
+            configs.insert(
+                2,
+                (
+                    SchedIndex::Arena,
+                    BackfillFamily::easy(1),
+                    SchedIncremental::On,
+                    false,
                     true,
                 ),
             );
@@ -458,7 +564,7 @@ pub fn render_run(cells: &[CellResult], smoke: bool, label: &str) -> String {
         let _ = write!(
             out,
             "    {{\"nodes\": {}, \"queue_depth\": {}, \"mode\": \"{}\", \"backfill\": \"{}\", \
-             \"incremental\": \"{}\", \"machine\": \"{}\", \"rounds\": {}, \
+             \"incremental\": \"{}\", \"machine\": \"{}\", \"faults\": \"{}\", \"rounds\": {}, \
              \"events\": {}, \"jobs_started\": {}, \"peak_queue_depth\": {}, \
              \"passes_run\": {}, \"passes_elided\": {}, \
              \"elapsed_s\": {}, \"events_per_sec\": {}, \"jobs_per_sec\": {}}}",
@@ -468,6 +574,7 @@ pub fn render_run(cells: &[CellResult], smoke: bool, label: &str) -> String {
             c.backfill,
             c.incremental,
             c.machine,
+            c.faults,
             c.rounds,
             c.events,
             c.jobs_started,
@@ -544,6 +651,19 @@ pub fn render_run(cells: &[CellResult], smoke: bool, label: &str) -> String {
             json_f64(axis.4),
         );
     }
+    if let Some(axis) = fault_headline(cells) {
+        let _ = write!(
+            out,
+            ",\n  \"fault_axis\": {{\"nodes\": {}, \"queue_depth\": {}, \
+             \"calm_events_per_sec\": {}, \"faulty_events_per_sec\": {}, \
+             \"faulty_vs_calm\": {}}}",
+            axis.0,
+            axis.1,
+            json_f64(axis.2),
+            json_f64(axis.3),
+            json_f64(axis.4),
+        );
+    }
     out.push_str("\n}");
     out
 }
@@ -566,6 +686,7 @@ fn headline(cells: &[CellResult]) -> (u32, u32, f64, f64, f64) {
             && c.backfill == "easy1"
             && c.incremental == "on"
             && c.machine == "uniform"
+            && c.faults == "off"
     }) else {
         return (0, 0, 0.0, 0.0, 0.0);
     };
@@ -573,6 +694,7 @@ fn headline(cells: &[CellResult]) -> (u32, u32, f64, f64, f64) {
         c.mode == "indexed"
             && c.incremental == "on"
             && c.machine == "uniform"
+            && c.faults == "off"
             && c.nodes == arena.nodes
             && c.queue_depth == arena.queue_depth
     });
@@ -608,12 +730,14 @@ fn backfill_headline(cells: &[CellResult]) -> Option<(u32, u32, f64, f64, f64)> 
             && c.backfill == "conservative"
             && c.incremental == "on"
             && c.machine == "uniform"
+            && c.faults == "off"
     })?;
     let easy1 = cells.iter().rev().find(|c| {
         c.mode == "arena"
             && c.backfill == "easy1"
             && c.incremental == "on"
             && c.machine == "uniform"
+            && c.faults == "off"
             && c.nodes == cons.nodes
             && c.queue_depth == cons.queue_depth
     })?;
@@ -653,6 +777,7 @@ fn incremental_headline(cells: &[CellResult]) -> Option<IncrementalAxis> {
                 && c.backfill == backfill
                 && c.incremental == "off"
                 && c.machine == "uniform"
+                && c.faults == "off"
         })
     };
     let easy_off = off("easy1")?;
@@ -663,6 +788,7 @@ fn incremental_headline(cells: &[CellResult]) -> Option<IncrementalAxis> {
                 && c.backfill == backfill
                 && c.incremental == "on"
                 && c.machine == "uniform"
+                && c.faults == "off"
                 && c.nodes == easy_off.nodes
                 && c.queue_depth == easy_off.queue_depth
         })
@@ -690,12 +816,14 @@ fn hetero_headline(cells: &[CellResult]) -> Option<(u32, u32, f64, f64, f64)> {
             && c.backfill == "easy1"
             && c.incremental == "on"
             && c.machine == "hetero3"
+            && c.faults == "off"
     })?;
     let uniform = cells.iter().rev().find(|c| {
         c.mode == "arena"
             && c.backfill == "easy1"
             && c.incremental == "on"
             && c.machine == "uniform"
+            && c.faults == "off"
             && c.nodes == hetero.nodes
             && c.queue_depth == hetero.queue_depth
     })?;
@@ -705,6 +833,36 @@ fn hetero_headline(cells: &[CellResult]) -> Option<(u32, u32, f64, f64, f64)> {
         uniform.events_per_sec(),
         hetero.events_per_sec(),
         ratio(hetero.events_per_sec(), uniform.events_per_sec()),
+    ))
+}
+
+/// `(nodes, depth, calm ev/s, faulty ev/s, ratio)` of the last
+/// fault-axis cell — the "failure handling does not collapse the hot
+/// path" gate reads the ratio (gated at ≥ 0.7 by `repro`). `None` when
+/// the run measured no faulty cell.
+fn fault_headline(cells: &[CellResult]) -> Option<(u32, u32, f64, f64, f64)> {
+    let faulty = cells.iter().rev().find(|c| {
+        c.mode == "arena"
+            && c.backfill == "easy1"
+            && c.incremental == "on"
+            && c.machine == "uniform"
+            && c.faults == "on"
+    })?;
+    let calm = cells.iter().rev().find(|c| {
+        c.mode == "arena"
+            && c.backfill == "easy1"
+            && c.incremental == "on"
+            && c.machine == "uniform"
+            && c.faults == "off"
+            && c.nodes == faulty.nodes
+            && c.queue_depth == faulty.queue_depth
+    })?;
+    Some((
+        faulty.nodes,
+        faulty.queue_depth,
+        calm.events_per_sec(),
+        faulty.events_per_sec(),
+        ratio(faulty.events_per_sec(), calm.events_per_sec()),
     ))
 }
 
@@ -781,6 +939,17 @@ pub fn hetero_ratio(doc: &str) -> Option<f64> {
         .and_then(|v| v.trim().parse::<f64>().ok())
 }
 
+/// Extracts the **last** run's `fault_axis.faulty_vs_calm` ratio — the
+/// fault-injection acceptance gate (kill-and-requeue plus repair churn
+/// must keep the arena path within 0.7x of the calm cell). `None` when
+/// no run carried the fault axis (every pre-fault document).
+pub fn fault_ratio(doc: &str) -> Option<f64> {
+    let (_, rest) = doc.rsplit_once("\"faulty_vs_calm\": ")?;
+    rest.split(['}', ','])
+        .next()
+        .and_then(|v| v.trim().parse::<f64>().ok())
+}
+
 /// Extracts the **last** run's `incremental_axis.elision_rate` — the
 /// fraction of headline-cell passes the memos answered in O(1). `None`
 /// for pre-incremental documents.
@@ -809,6 +978,9 @@ pub struct TrajectoryCell {
     /// Machine axis (`"uniform"` / `"hetero3"`); pre-hetero cells carry
     /// the `"uniform"` default.
     pub machine: String,
+    /// Fault axis (`"off"` / `"on"`); pre-fault cells carry the `"off"`
+    /// default.
+    pub faults: String,
     pub events: u64,
     /// Wall-clock seconds, repaired from `events / events_per_sec` when
     /// the stored value is the lossy v1 zero.
@@ -878,6 +1050,7 @@ pub fn trajectory_cells(fragment: &str) -> Vec<TrajectoryCell> {
             backfill: cell_value(cell, "backfill").unwrap_or("easy1").to_string(),
             incremental: cell_value(cell, "incremental").unwrap_or("on").to_string(),
             machine: cell_value(cell, "machine").unwrap_or("uniform").to_string(),
+            faults: cell_value(cell, "faults").unwrap_or("off").to_string(),
             events,
             elapsed_s,
             events_per_sec: eps,
@@ -907,6 +1080,7 @@ pub fn run_cell_lookup(
                 && c.backfill == backfill
                 && c.incremental == incremental
                 && c.machine == "uniform"
+                && c.faults == "off"
         })
 }
 
@@ -964,6 +1138,13 @@ pub fn validate_bench_json(doc: &str) -> Result<(), String> {
         let ratio = hetero_ratio(doc).ok_or("hetero_vs_uniform is not a number")?;
         if !ratio.is_finite() || ratio < 0.0 {
             return Err(format!("hetero_vs_uniform {ratio} out of range"));
+        }
+    }
+    // And the fault axis (pre-fault runs lack it).
+    if doc.contains("\"fault_axis\"") {
+        let ratio = fault_ratio(doc).ok_or("faulty_vs_calm is not a number")?;
+        if !ratio.is_finite() || ratio < 0.0 {
+            return Err(format!("faulty_vs_calm {ratio} out of range"));
         }
     }
     Ok(())
@@ -1146,9 +1327,11 @@ mod tests {
         assert!(!doc.contains("\"backfill_axis\""));
         assert!(!doc.contains("\"incremental_axis\""));
         assert!(!doc.contains("\"hetero_axis\""));
+        assert!(!doc.contains("\"fault_axis\""));
         assert_eq!(backfill_ratio(&doc), None);
         assert_eq!(elision_rate(&doc), None);
         assert_eq!(hetero_ratio(&doc), None);
+        assert_eq!(fault_ratio(&doc), None);
         validate_bench_json(&doc).unwrap();
     }
 
@@ -1245,6 +1428,69 @@ mod tests {
         // Cross-run lookup stays pinned to the uniform twin.
         let cell = run_cell_lookup(&doc, "hetero", 16, 20, "arena", "easy1", "on").unwrap();
         assert_eq!(cell.machine, "uniform");
+    }
+
+    #[test]
+    fn fault_axis_lands_in_the_rendered_run() {
+        let mut cells = tiny_cells();
+        cells.push(run_cell_faulty(
+            16,
+            20,
+            SchedIndex::Arena,
+            50,
+            BackfillFamily::easy(1),
+            SchedIncremental::On,
+            false,
+            true,
+        ));
+        let doc = append_run(None, &render_run(&cells, true, "faults")).unwrap();
+        validate_bench_json(&doc).unwrap();
+        assert!(doc.contains("\"faults\": \"on\""));
+        assert!(doc.contains("\"fault_axis\""));
+        let ratio = fault_ratio(&doc).expect("fault-axis ratio present");
+        assert!(ratio.is_finite() && ratio > 0.0);
+        // The headline still reads the calm cells, and the parser carries
+        // the fault column through (defaulting old cells to "off").
+        assert!(headline_speedup(&doc).is_some());
+        let parsed = trajectory_cells(run_fragment(&doc, "faults").unwrap());
+        assert!(parsed.iter().any(|c| c.faults == "on"));
+        assert!(parsed.iter().any(|c| c.faults == "off"));
+        // Cross-run lookup stays pinned to the calm twin.
+        let cell = run_cell_lookup(&doc, "faults", 16, 20, "arena", "easy1", "on").unwrap();
+        assert_eq!(cell.faults, "off");
+    }
+
+    #[test]
+    fn faulty_churn_requeues_and_survives() {
+        // Enough rounds for several failure/repair cycles on the tiny
+        // cell; the run must keep starting jobs and stay deterministic.
+        let a = run_cell_faulty(
+            16,
+            20,
+            SchedIndex::Arena,
+            50,
+            BackfillFamily::easy(1),
+            SchedIncremental::On,
+            false,
+            true,
+        );
+        assert_eq!(a.faults, "on");
+        assert!(a.events > 0 && a.jobs_started > 0);
+        let b = run_cell_faulty(
+            16,
+            20,
+            SchedIndex::Arena,
+            50,
+            BackfillFamily::easy(1),
+            SchedIncremental::On,
+            false,
+            true,
+        );
+        assert_eq!(a.events, b.events, "faulty churn nondeterministic");
+        assert_eq!(a.jobs_started, b.jobs_started);
+        // The injection actually changes the schedule vs the calm twin.
+        let calm = run_cell(16, 20, SchedIndex::Arena, 50);
+        assert_ne!(a.events, calm.events, "faults were a no-op");
     }
 
     #[test]

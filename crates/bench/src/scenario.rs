@@ -11,7 +11,7 @@
 //! diurnal sine arrivals) and SWF trace replay (the bundled
 //! [`TINY_SWF`] fixture, so scenarios need no filesystem access).
 
-use dmr_core::{BackfillFamily, ExperimentConfig, MachineMix, PolicyKind, ScheduleMode};
+use dmr_core::{BackfillFamily, ExperimentConfig, FaultLoad, MachineMix, PolicyKind, ScheduleMode};
 use dmr_workload::{Capped, SwfMapping, SwfTrace, WorkloadKind, WorkloadSource};
 
 /// The bundled SWF trace fixture, embedded at compile time (the same
@@ -123,6 +123,14 @@ pub struct Scenario {
     /// (the historical single-class machine) leaves the scenario name
     /// unchanged, so the pre-heterogeneity grid keys identical CSV rows.
     pub mix: MachineMix,
+    /// Node-failure load the cell runs under. `None` (the historical
+    /// fault-free machine) leaves the scenario name unchanged, like
+    /// [`MachineMix::Uniform`].
+    pub faults: FaultLoad,
+    /// Periodic checkpoint interval in seconds (`None` restarts failed
+    /// jobs from scratch). Only meaningful — and only named — on faulty
+    /// cells.
+    pub ckpt_s: Option<u32>,
 }
 
 impl Scenario {
@@ -149,6 +157,13 @@ impl Scenario {
             name.push('-');
             name.push_str(self.mix.name());
         }
+        if !self.faults.is_none() {
+            name.push('-');
+            name.push_str(self.faults.name());
+            if let Some(s) = self.ckpt_s {
+                name.push_str(&format!("-ckpt{s}"));
+            }
+        }
         name
     }
 
@@ -164,6 +179,10 @@ impl Scenario {
         cfg.nodes = self.nodes;
         cfg.mode = self.mode;
         cfg.machine_mix = self.mix;
+        cfg = cfg.with_faults(self.faults);
+        if let Some(s) = self.ckpt_s {
+            cfg = cfg.with_ckpt_interval(f64::from(s));
+        }
         self.backfill.apply(cfg)
     }
 
@@ -229,16 +248,47 @@ pub fn hetero_axis(jobs: u32) -> Vec<Scenario> {
             mode: ScheduleMode::Asynchronous,
             backfill: BackfillSel::Easy1,
             mix: MachineMix::Hetero3,
+            faults: FaultLoad::None,
+            ckpt_s: None,
+        })
+        .collect()
+}
+
+/// The fault-injection cells of the grid: the preliminary Feitelson mix
+/// under each non-trivial [`FaultLoad`], with and without periodic
+/// checkpointing. Small on purpose, like [`hetero_axis`] — these cells
+/// exist so every sweep exercises node failure, requeue/restart and the
+/// lost-work accounting end to end, and so the recovery benefit of
+/// checkpointing is visible as a goodput delta inside one CSV.
+pub fn fault_axis(jobs: u32) -> Vec<Scenario> {
+    [FaultLoad::Rare, FaultLoad::Harsh]
+        .into_iter()
+        .flat_map(|faults| {
+            [None, Some(600u32)]
+                .into_iter()
+                .map(move |ckpt_s| Scenario {
+                    workload: WorkloadSel::Synthetic(WorkloadKind::FsPreliminary),
+                    jobs,
+                    nodes: 20,
+                    policy: PolicyKind::Algorithm1,
+                    mode: ScheduleMode::Asynchronous,
+                    backfill: BackfillSel::Easy1,
+                    mix: MachineMix::Uniform,
+                    faults,
+                    ckpt_s,
+                })
         })
         .collect()
 }
 
 /// The full scenario grid: every workload source × every policy × (sync,
 /// async) × every backfill selection on the uniform machine, plus the
-/// heterogeneous three-class cells from [`hetero_axis`].
+/// heterogeneous three-class cells from [`hetero_axis`] and the
+/// fault-injection cells from [`fault_axis`].
 pub fn registry() -> Vec<Scenario> {
     let mut out = grid(&workload_axis(50));
     out.extend(hetero_axis(50));
+    out.extend(fault_axis(50));
     out
 }
 
@@ -249,6 +299,7 @@ pub fn registry() -> Vec<Scenario> {
 pub fn smoke_registry() -> Vec<Scenario> {
     let mut out = grid(&workload_axis(10).map(|(w, jobs, nodes)| (w, jobs.min(10), nodes)));
     out.extend(hetero_axis(10));
+    out.extend(fault_axis(10));
     out
 }
 
@@ -266,6 +317,8 @@ fn grid(workloads: &[(WorkloadSel, u32, u32)]) -> Vec<Scenario> {
                         mode,
                         backfill,
                         mix: MachineMix::Uniform,
+                        faults: FaultLoad::None,
+                        ckpt_s: None,
                     });
                 }
             }
@@ -283,8 +336,8 @@ mod tests {
         let reg = registry();
         assert_eq!(
             reg.len(),
-            162,
-            "5 workloads x 4 policies x 2 modes x 4 backfills + 2 hetero cells"
+            166,
+            "5 workloads x 4 policies x 2 modes x 4 backfills + 2 hetero + 4 fault cells"
         );
         for policy in all_policies() {
             assert!(reg.iter().any(|s| s.policy == policy));
@@ -311,8 +364,8 @@ mod tests {
         let smoke = smoke_registry();
         assert_eq!(
             smoke.len(),
-            162,
-            "5 workloads x 4 policies x 2 modes x 4 backfills + 2 hetero cells"
+            166,
+            "5 workloads x 4 policies x 2 modes x 4 backfills + 2 hetero + 4 fault cells"
         );
         assert!(smoke.iter().all(|s| s.jobs <= 10));
         for name in ["fs", "real", "burst", "diurnal", "swf-tiny"] {
@@ -333,6 +386,8 @@ mod tests {
             mode: ScheduleMode::Synchronous,
             backfill: BackfillSel::Off,
             mix: MachineMix::Uniform,
+            faults: FaultLoad::None,
+            ckpt_s: None,
         };
         assert!(!base.config().backfill);
         assert!(base.name().ends_with("-off"));
@@ -380,6 +435,30 @@ mod tests {
         // Uniform cells keep their historical (suffix-free) names.
         let uniform = &registry()[0];
         assert!(!uniform.name().contains("uniform"));
+    }
+
+    #[test]
+    fn fault_cells_carry_load_and_checkpoint_into_the_config() {
+        let cells = fault_axis(10);
+        assert_eq!(cells.len(), 4, "rare/harsh x scratch/ckpt600");
+        for sc in &cells {
+            assert!(!sc.config().faults.is_none());
+            assert!(sc.name().contains("-rare") || sc.name().contains("-harsh"));
+        }
+        let ckpt = cells
+            .iter()
+            .find(|s| s.faults == FaultLoad::Harsh && s.ckpt_s.is_some())
+            .expect("checkpointed harsh cell");
+        assert_eq!(ckpt.config().ckpt_interval_s, Some(600.0));
+        assert!(ckpt.name().ends_with("-harsh-ckpt600"), "{}", ckpt.name());
+        let scratch = cells
+            .iter()
+            .find(|s| s.faults == FaultLoad::Rare && s.ckpt_s.is_none())
+            .expect("scratch rare cell");
+        assert_eq!(scratch.config().ckpt_interval_s, None);
+        assert!(scratch.name().ends_with("-rare"), "{}", scratch.name());
+        // Fault-free cells keep their historical (suffix-free) names.
+        assert!(!registry()[0].name().contains("none"));
     }
 
     #[test]

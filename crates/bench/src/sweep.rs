@@ -30,6 +30,8 @@ pub struct SweepCell {
     /// Machine-class composition the cluster was built from (uniform /
     /// single-class / hetero3).
     pub machine_mix: &'static str,
+    /// Fault load the cell ran under (none / rare / harsh).
+    pub faults: &'static str,
     pub seed: u64,
     pub nodes: u32,
     pub summary: WorkloadSummary,
@@ -44,7 +46,8 @@ impl SweepCell {
          utilization,avg_wait_s,avg_exec_s,avg_completion_s,\
          p50_wait_s,p95_wait_s,p99_wait_s,p50_exec_s,p95_exec_s,p99_exec_s,\
          p50_compl_s,p95_compl_s,p99_compl_s,reconfigurations,events,past_schedules,\
-         machine_mix,energy_j,avg_watts";
+         machine_mix,energy_j,avg_watts,\
+         faults,failures,requeues,lost_work_s,goodput_ratio,restart_p95_s";
 
     /// One CSV row. Fixed-precision formatting keeps the byte stream
     /// deterministic across runs and thread counts; free-form labels are
@@ -57,7 +60,7 @@ impl SweepCell {
         format!(
             "{},{},{},{},{},{},{},{},{:.3},{:.6},{:.3},{:.3},{:.3},\
              {:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{},{},{},\
-             {},{:.3},{:.3}",
+             {},{:.3},{:.3},{},{},{},{:.3},{:.6},{:.3}",
             escape_field(&self.scenario),
             escape_field(self.workload),
             escape_field(&self.policy),
@@ -86,6 +89,12 @@ impl SweepCell {
             self.machine_mix,
             s.energy_to_solution_j,
             s.avg_watts,
+            self.faults,
+            s.failures,
+            s.requeues,
+            s.lost_work_s,
+            s.goodput_ratio,
+            s.restart_p95_s,
         )
     }
 }
@@ -138,6 +147,7 @@ fn run_cell(sc: &Scenario, seed: u64) -> SweepCell {
         },
         backfill: sc.backfill.name(),
         machine_mix: sc.mix.name(),
+        faults: sc.faults.name(),
         seed,
         nodes: sc.nodes,
         summary: result.summary,
@@ -218,7 +228,7 @@ mod tests {
 
     #[test]
     fn sweep_reports_machine_mix_and_energy() {
-        assert!(SweepCell::CSV_HEADER.ends_with("machine_mix,energy_j,avg_watts"));
+        assert!(SweepCell::CSV_HEADER.contains("machine_mix,energy_j,avg_watts"));
         let cells = run_sweep(&crate::scenario::hetero_axis(10), &[1], 2);
         assert_eq!(cells.len(), 2);
         for cell in &cells {
@@ -254,6 +264,37 @@ mod tests {
             energy("energy-aware"),
             energy("algorithm1")
         );
+    }
+
+    #[test]
+    fn fault_cells_report_failures_and_goodput() {
+        assert!(SweepCell::CSV_HEADER
+            .ends_with("faults,failures,requeues,lost_work_s,goodput_ratio,restart_p95_s"));
+        let cells = run_sweep(&crate::scenario::fault_axis(10), &[crate::SEED], 2);
+        assert_eq!(cells.len(), 4);
+        for cell in &cells {
+            assert_ne!(cell.faults, "none");
+            // Every submitted job still completes — failures requeue,
+            // they don't drop work.
+            assert_eq!(cell.summary.jobs, 10, "{} lost jobs", cell.scenario);
+            assert!(cell.summary.goodput_ratio > 0.0 && cell.summary.goodput_ratio <= 1.0);
+            // Only busy-node failures requeue, so requeues never exceed
+            // failures.
+            assert!(cell.summary.requeues <= cell.summary.failures);
+        }
+        // The harsh load actually bites on at least one cell.
+        assert!(
+            cells
+                .iter()
+                .filter(|c| c.faults == "harsh")
+                .any(|c| c.summary.failures > 0),
+            "harsh cells saw no failures"
+        );
+        // Fault-free cells keep the identity goodput.
+        let calm = run_sweep(&smoke_registry()[..1], &[crate::SEED], 1);
+        assert_eq!(calm[0].faults, "none");
+        assert_eq!(calm[0].summary.goodput_ratio, 1.0);
+        assert_eq!(calm[0].summary.lost_work_s, 0.0);
     }
 
     #[test]

@@ -131,8 +131,9 @@ pub fn run_with_checkpoint_restart(
 }
 
 /// Restart path: rebuild this rank's blocks under `dist` from the old
-/// generation's images (reading every image that overlaps).
-fn restore_block(
+/// generation's images (reading every image that overlaps). Shared with
+/// the failure-driven [`crate::recovery`] path.
+pub(crate) fn restore_block(
     store: &dyn CheckpointStore,
     job: &str,
     dist: &BlockDist,

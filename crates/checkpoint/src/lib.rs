@@ -19,10 +19,19 @@
 //!   with a *full universe teardown and relaunch* between phases — the
 //!   cost structure the DMR path avoids.
 
+//!
+//! The failure-driven counterpart lives in [`recovery`]:
+//! [`recovery::run_with_recovery`] kills a job incarnation at scripted
+//! iterations and relaunches it from the latest periodic image — the
+//! requeue/restart protocol the simulation driver models, run over real
+//! rank state.
+
 pub mod cr;
 pub mod image;
+pub mod recovery;
 pub mod store;
 
 pub use cr::{run_with_checkpoint_restart, CrSchedule};
 pub use image::CheckpointImage;
+pub use recovery::{run_with_recovery, RecoveryOutcome};
 pub use store::{CheckpointStore, DirStore, MemStore};

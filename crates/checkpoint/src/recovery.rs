@@ -1,0 +1,269 @@
+//! Failure-driven checkpoint/restart: the recovery half of the fault
+//! story, exercised against the real image store.
+//!
+//! [`crate::cr`] reconfigures through *planned* checkpoint/restart; this
+//! module handles *unplanned* teardown — a node loss kills the job
+//! incarnation mid-step, the scheduler requeues it, and the new
+//! incarnation resumes from the most recent periodic image (or from
+//! scratch if the failure struck before the first image landed). The
+//! work between the last image and the failure instant is lost, which is
+//! exactly the `lost_work` the simulation driver charges per failure;
+//! here the same protocol runs over real rank state so the numerics can
+//! be checked against a failure-free reference.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use dmr_apps::malleable::MalleableApp;
+use dmr_mpi::Universe;
+use dmr_runtime::dist::BlockDist;
+
+use crate::cr::restore_block;
+use crate::image::CheckpointImage;
+use crate::store::CheckpointStore;
+
+/// What a failure-recovery run produces.
+#[derive(Clone, Debug)]
+pub struct RecoveryOutcome {
+    /// Full (gathered) state vectors at completion — must equal the
+    /// failure-free reference bit for bit.
+    pub final_state: Vec<Vec<f64>>,
+    /// Process count at completion.
+    pub final_procs: usize,
+    /// Number of incarnations killed and relaunched.
+    pub restarts: u32,
+    /// Iterations recomputed because they ran after the last image.
+    pub lost_steps: u32,
+}
+
+/// The store key of the periodic image taken at global step `step`.
+fn image_key(job: &str, step: u32) -> String {
+    format!("{job}#s{step}")
+}
+
+/// Runs `app` on `procs` ranks with a periodic image every `ckpt_every`
+/// iterations, killing the job at each scripted global step in `fail_at`
+/// and relaunching it from the latest image in `store`.
+///
+/// A failure at step `f` strikes *during* that iteration: every step
+/// after the last image boundary is lost and recomputed by the next
+/// incarnation. Each scripted failure fires exactly once (the fault
+/// process moves on even though the step is re-executed), so the run
+/// always terminates — even when `ckpt_every` exceeds the gap between
+/// failures. Failures at or beyond `app.steps()` never strike.
+pub fn run_with_recovery(
+    app: Arc<dyn MalleableApp>,
+    procs: usize,
+    ckpt_every: u32,
+    fail_at: &[u32],
+    store: Arc<dyn CheckpointStore>,
+    job: &str,
+) -> RecoveryOutcome {
+    assert!(procs > 0, "need at least one rank");
+    assert!(ckpt_every > 0, "checkpoint interval must be positive");
+    let total = app.steps();
+    let mut fails: Vec<u32> = fail_at.iter().copied().filter(|&f| f < total).collect();
+    fails.sort_unstable();
+    let mut fails = fails.into_iter();
+    let mut next_fail = fails.next();
+
+    let mut resume = 0u32; // the step the current incarnation starts at
+    let mut restarts = 0u32;
+    let mut lost_steps = 0u32;
+    let mut saved: Vec<u32> = Vec::new(); // boundaries with live images
+    let outcome: Arc<Mutex<Option<RecoveryOutcome>>> = Arc::new(Mutex::new(None));
+
+    loop {
+        let die = next_fail;
+        // The incarnation completes steps `resume..run_until`; a doomed
+        // one is interrupted during step `die` itself.
+        let run_until = die.unwrap_or(total);
+        let is_final = die.is_none();
+        {
+            let app = Arc::clone(&app);
+            let store = Arc::clone(&store);
+            let outcome = Arc::clone(&outcome);
+            let read_key = (resume > 0).then(|| image_key(job, resume));
+            let job = job.to_string();
+            Universe::run(procs, move |mut comm| {
+                let me = comm.rank();
+                let dist = BlockDist::new(app.n(), comm.size());
+                let mut state: Vec<Vec<f64>> = match &read_key {
+                    Some(key) => restore_block(&*store, key, &dist, me, app.vectors()),
+                    None => app.init(&dist, me),
+                };
+                for t in resume..run_until {
+                    app.step(&mut comm, &dist, &mut state, t);
+                    // Periodic image at the step boundary: rank state is
+                    // consistent here, and a boundary at `total` would
+                    // image a finished job for nothing.
+                    let boundary = t + 1;
+                    if boundary % ckpt_every == 0 && boundary < total {
+                        let image = CheckpointImage {
+                            step: boundary,
+                            procs: comm.size() as u32,
+                            vectors: state.clone(),
+                        };
+                        store
+                            .save(&image_key(&job, boundary), me, image.encode())
+                            .expect("checkpoint write");
+                    }
+                }
+                if is_final {
+                    let mut full = Vec::with_capacity(app.vectors());
+                    for v in &state {
+                        full.push(comm.allgather(v).expect("final gather"));
+                    }
+                    if me == 0 {
+                        *outcome.lock() = Some(RecoveryOutcome {
+                            final_state: full,
+                            final_procs: comm.size(),
+                            restarts: 0,
+                            lost_steps: 0,
+                        });
+                    }
+                }
+            });
+        }
+        // Boundaries this incarnation persisted before dying (or
+        // finishing): the multiples of `ckpt_every` in (resume, run_until],
+        // mirroring the in-closure save condition.
+        let mut b = (resume / ckpt_every + 1) * ckpt_every;
+        while b <= run_until && b < total {
+            saved.push(b);
+            b += ckpt_every;
+        }
+        let Some(f) = die else {
+            break;
+        };
+        // Resume from the newest image at or before the failure; work
+        // since then is recomputed.
+        let new_resume = saved.iter().copied().filter(|&m| m <= f).max().unwrap_or(0);
+        lost_steps += f - new_resume;
+        restarts += 1;
+        resume = new_resume;
+        next_fail = fails.next();
+        // Images older than the resume point can never be read again.
+        saved.retain(|&m| {
+            if m < new_resume {
+                store.clear(&image_key(job, m));
+                false
+            } else {
+                true
+            }
+        });
+    }
+    // The job is done: every remaining image is stale.
+    for m in saved {
+        store.clear(&image_key(job, m));
+    }
+    let mut out = outcome
+        .lock()
+        .take()
+        .expect("final incarnation stored a result");
+    out.restarts = restarts;
+    out.lost_steps = lost_steps;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemStore;
+    use dmr_apps::cg::{cg_sequential, CgApp};
+    use dmr_apps::jacobi::{jacobi_sequential, JacobiApp};
+
+    #[test]
+    fn no_failures_matches_sequential() {
+        let (n, iters) = (40, 24);
+        let store = Arc::new(MemStore::new());
+        let out = run_with_recovery(
+            Arc::new(JacobiApp::new(n, iters)),
+            4,
+            6,
+            &[],
+            Arc::clone(&store) as Arc<dyn CheckpointStore>,
+            "calm",
+        );
+        assert_eq!(out.final_state[0], jacobi_sequential(n, iters));
+        assert_eq!(out.restarts, 0);
+        assert_eq!(out.lost_steps, 0);
+        // Periodic images were taken and then cleared at completion.
+        assert!(store.ranks(&image_key("calm", 6)).is_empty());
+        assert!(store.ranks(&image_key("calm", 12)).is_empty());
+    }
+
+    #[test]
+    fn failures_restart_from_images_and_match_reference() {
+        let (n, iters) = (40, 24);
+        let out = run_with_recovery(
+            Arc::new(JacobiApp::new(n, iters)),
+            3,
+            4,
+            &[5, 13],
+            Arc::new(MemStore::new()),
+            "stormy",
+        );
+        assert_eq!(out.final_state[0], jacobi_sequential(n, iters));
+        assert_eq!(out.restarts, 2);
+        // Failure at 5 resumes from the image at 4 (1 step lost); failure
+        // at 13 resumes from the image at 12 (1 step lost).
+        assert_eq!(out.lost_steps, 2);
+        assert_eq!(out.final_procs, 3);
+    }
+
+    #[test]
+    fn early_failure_restarts_from_scratch() {
+        let (n, iters) = (48, 30);
+        let out = run_with_recovery(
+            Arc::new(CgApp::new(n, iters)),
+            4,
+            10,
+            &[2],
+            Arc::new(MemStore::new()),
+            "scratch",
+        );
+        let (x_ref, _) = cg_sequential(n, iters);
+        for (a, b) in out.final_state[0].iter().zip(&x_ref) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        // No image had landed yet: the whole prefix is recomputed.
+        assert_eq!(out.restarts, 1);
+        assert_eq!(out.lost_steps, 2);
+    }
+
+    #[test]
+    fn repeated_failures_inside_one_interval_still_terminate() {
+        // Three failures all before the first image boundary: each fires
+        // once, so the fourth incarnation finally gets past step 7.
+        let (n, iters) = (20, 10);
+        let out = run_with_recovery(
+            Arc::new(JacobiApp::new(n, iters)),
+            2,
+            8,
+            &[7, 7, 7],
+            Arc::new(MemStore::new()),
+            "relentless",
+        );
+        assert_eq!(out.final_state[0], jacobi_sequential(n, iters));
+        assert_eq!(out.restarts, 3);
+        assert_eq!(out.lost_steps, 21, "three scratch restarts at step 7");
+    }
+
+    #[test]
+    fn failures_past_the_end_never_strike() {
+        let (n, iters) = (20, 8);
+        let out = run_with_recovery(
+            Arc::new(JacobiApp::new(n, iters)),
+            2,
+            4,
+            &[8, 100],
+            Arc::new(MemStore::new()),
+            "overshoot",
+        );
+        assert_eq!(out.final_state[0], jacobi_sequential(n, iters));
+        assert_eq!(out.restarts, 0);
+        assert_eq!(out.lost_steps, 0);
+    }
+}

@@ -48,6 +48,20 @@ impl std::fmt::Display for AllocError {
 
 impl std::error::Error for AllocError {}
 
+/// What [`Cluster::fail_node`] found at the failing node.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FailOutcome {
+    /// The node was free; it moved to the unavailable pool.
+    Idle,
+    /// The node was serving this owner's allocation. It stays owned (the
+    /// scheduler decides the job's fate) and will return *unavailable*,
+    /// not free, when released — the PR 5 drained-while-allocated path.
+    Busy(u64),
+    /// The node was not `Up` (already down, drained, or powered off);
+    /// nothing changed.
+    Skipped,
+}
+
 /// The cluster: a set of nodes, each either free or owned by exactly one
 /// owner tag.
 ///
@@ -214,6 +228,11 @@ impl Cluster {
     /// Owner of a node, if allocated.
     pub fn owner_of(&self, node: NodeId) -> Option<u64> {
         self.owner.get(node.index()).copied().flatten()
+    }
+
+    /// Administrative/power state of a node.
+    pub fn node_state(&self, node: NodeId) -> NodeState {
+        self.states[node.index()]
     }
 
     /// Nodes held by `owner` (sorted ascending), empty if none.
@@ -573,6 +592,44 @@ impl Cluster {
             }
             _ => {}
         }
+    }
+
+    /// An injected failure takes `node` down. Free nodes move to the
+    /// unavailable pool immediately; allocated nodes keep their owner
+    /// (the returned [`FailOutcome::Busy`] tag tells the scheduler whose
+    /// job lost hardware) and rejoin the unavailable pool only when
+    /// released, via the same drained-while-allocated path as
+    /// administrative drains. Nodes that are not `Up` are skipped — the
+    /// fault process draws victims over the whole id range, so a failure
+    /// landing on an already-down or powered-off node is a no-op.
+    ///
+    /// Either way a down node draws *idle* watts in the
+    /// [`crate::PowerMeter`] (it is neither busy nor off) until repaired.
+    pub fn fail_node(&mut self, node: NodeId) -> FailOutcome {
+        if self.states[node.index()] != NodeState::Up {
+            return FailOutcome::Skipped;
+        }
+        let owner = self.owner[node.index()];
+        self.set_state(node, NodeState::Down);
+        match owner {
+            Some(o) => FailOutcome::Busy(o),
+            None => FailOutcome::Idle,
+        }
+    }
+
+    /// Repairs a previously failed (`Down`) node back to `Up`, returning
+    /// whether it became placeable. Repairs targeting nodes that are not
+    /// `Down` (never failed, re-failed events, administratively retired)
+    /// are no-ops that return `false`; an owned `Down` node (possible
+    /// only in the window before the scheduler reacts to the failure)
+    /// comes back `Up` but not placeable.
+    pub fn repair_node(&mut self, node: NodeId) -> bool {
+        if self.states[node.index()] != NodeState::Down {
+            return false;
+        }
+        let unowned = self.owner[node.index()].is_none();
+        self.set_state(node, NodeState::Up);
+        unowned
     }
 
     /// Internal-consistency check used by tests and debug assertions.
@@ -1016,6 +1073,70 @@ mod tests {
         assert_eq!(c.free_nodes(), 3);
         c.check_invariants().unwrap();
         assert_eq!(c.wake_all(), 0);
+    }
+
+    #[test]
+    fn fail_free_node_goes_unavailable_and_repair_restores() {
+        let mut c = Cluster::new(4, 16);
+        assert_eq!(c.fail_node(NodeId(2)), FailOutcome::Idle);
+        assert_eq!(c.free_nodes(), 3);
+        c.check_invariants().unwrap();
+        // Failing a non-Up node is a no-op.
+        assert_eq!(c.fail_node(NodeId(2)), FailOutcome::Skipped);
+        // Repairing a node that never failed is a no-op.
+        assert!(!c.repair_node(NodeId(0)));
+        assert_eq!(c.free_nodes(), 3);
+        assert!(c.repair_node(NodeId(2)));
+        assert_eq!(c.free_nodes(), 4);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn fail_allocated_node_returns_unavailable_until_repaired() {
+        let mut c = Cluster::new(4, 16);
+        c.allocate(2, 9).unwrap();
+        assert_eq!(c.fail_node(NodeId(1)), FailOutcome::Busy(9));
+        // Still owned: the scheduler decides what happens to the job.
+        assert_eq!(c.owner_of(NodeId(1)), Some(9));
+        assert_eq!(c.allocated_nodes(), 2);
+        c.check_invariants().unwrap();
+        // Released nodes route Down ids to the unavailable pool.
+        c.release_all(9).unwrap();
+        assert_eq!(c.free_nodes(), 3);
+        assert_eq!(c.allocated_nodes(), 0);
+        let got = c.allocate(3, 10).unwrap();
+        assert_eq!(got, vec![NodeId(0), NodeId(2), NodeId(3)]);
+        c.check_invariants().unwrap();
+        assert!(c.repair_node(NodeId(1)));
+        assert_eq!(c.free_nodes(), 1);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn fail_skips_powered_off_nodes() {
+        let mut c = Cluster::new(4, 16);
+        c.power_down(1); // n3
+        assert_eq!(c.fail_node(NodeId(3)), FailOutcome::Skipped);
+        assert!(!c.repair_node(NodeId(3)));
+        assert_eq!(c.off_nodes(), 1);
+        c.check_invariants().unwrap();
+        assert_eq!(c.wake_all(), 1);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn repair_of_still_owned_down_node_is_not_placeable() {
+        let mut c = Cluster::new(3, 16);
+        c.allocate(2, 5).unwrap();
+        assert_eq!(c.fail_node(NodeId(0)), FailOutcome::Busy(5));
+        // Repair lands before the scheduler killed the job: node is Up
+        // again but still owned, so not placeable.
+        assert!(!c.repair_node(NodeId(0)));
+        assert_eq!(c.free_nodes(), 1);
+        c.check_invariants().unwrap();
+        c.release_all(5).unwrap();
+        assert_eq!(c.free_nodes(), 3);
+        c.check_invariants().unwrap();
     }
 
     #[test]

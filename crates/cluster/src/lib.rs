@@ -20,14 +20,16 @@
 pub mod classes;
 pub mod cluster;
 pub mod disk;
+pub mod faults;
 pub mod freeset;
 pub mod network;
 pub mod node;
 pub mod power;
 
 pub use classes::{ClassConstraint, ClassId, ClassTable, MachineClass, MAX_CLASSES};
-pub use cluster::{AllocError, Cluster};
+pub use cluster::{AllocError, Cluster, FailOutcome};
 pub use disk::DiskModel;
+pub use faults::{FaultEvent, FaultLoad, FaultProcess, FaultRates, FaultSource, FaultTrace};
 pub use freeset::FreeSet;
 pub use network::NetworkModel;
 pub use node::{NodeId, NodeState};

@@ -1,6 +1,6 @@
 //! Experiment configuration.
 
-use dmr_cluster::{ClassTable, MachineClass, NetworkModel};
+use dmr_cluster::{ClassTable, FaultLoad, MachineClass, NetworkModel};
 use dmr_slurm::{BackfillFamily, PolicyKind, SchedIncremental, SchedIndex};
 
 /// Machine-class layout of the simulated cluster — a `Copy` selector in
@@ -201,6 +201,21 @@ pub struct ExperimentConfig {
     /// capacity returns. Only consulted when the policy powers nodes
     /// down (see [`dmr_slurm::EnergyAware`]).
     pub wake_latency_s: f64,
+    /// Injected faultload preset ([`FaultLoad::None`] — the default — is
+    /// the zero-fault oracle, bit-identical to pre-fault-injection
+    /// behaviour; `Rare`/`Harsh` run seeded per-class MTBF/MTTR
+    /// processes). Scripted [`dmr_cluster::FaultTrace`]s are injected
+    /// through `run_experiment_with_faults`, not the config (the config
+    /// stays `Copy`).
+    pub faults: FaultLoad,
+    /// Seed of the fault process (independent of workload seeds so the
+    /// same faultload can be replayed over different workloads).
+    pub fault_seed: u64,
+    /// Checkpoint interval for failure recovery, seconds. `None` restarts
+    /// a killed job from scratch; `Some(p)` models periodic images every
+    /// `p` seconds of execution — a requeued job loses only the work
+    /// since its last image.
+    pub ckpt_interval_s: Option<f64>,
     /// Incremental scheduling across passes: `On` (the default) keeps
     /// fruitless-pass memos, the persistent pending order and the retained
     /// backfill plans alive between instants and elides passes whose
@@ -234,6 +249,9 @@ impl ExperimentConfig {
             hole_guard: true,
             wake_latency_s: 30.0,
             sched_index: SchedIndex::Arena,
+            faults: FaultLoad::None,
+            fault_seed: 0xFA17,
+            ckpt_interval_s: None,
             sched_incremental: SchedIncremental::On,
         }
     }
@@ -343,6 +361,27 @@ impl ExperimentConfig {
         self
     }
 
+    /// Selects the injected faultload preset (`--faults` on the CLI).
+    /// [`FaultLoad::None`] keeps the zero-fault oracle behaviour.
+    pub fn with_faults(mut self, faults: FaultLoad) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Seeds the fault process independently of the workload.
+    pub fn with_fault_seed(mut self, seed: u64) -> Self {
+        self.fault_seed = seed;
+        self
+    }
+
+    /// Enables periodic checkpoint images every `seconds` of execution:
+    /// a job killed by a node failure requeues and repeats only the work
+    /// since its last image instead of restarting from scratch.
+    pub fn with_ckpt_interval(mut self, seconds: f64) -> Self {
+        self.ckpt_interval_s = Some(seconds);
+        self
+    }
+
     /// Runs the scheduler on the pre-index scan reference
     /// ([`SchedIndex::ScanReference`]). Scheduling decisions are
     /// bit-identical to the default indexed path — this exists so
@@ -429,6 +468,18 @@ mod tests {
         assert!(!c.hole_guard);
         let c = ExperimentConfig::preliminary().with_wake_latency(5.0);
         assert_eq!(c.wake_latency_s, 5.0);
+        assert_eq!(
+            ExperimentConfig::preliminary().faults,
+            FaultLoad::None,
+            "zero-fault is the oracle default"
+        );
+        assert_eq!(ExperimentConfig::preliminary().ckpt_interval_s, None);
+        let c = ExperimentConfig::preliminary().with_faults(FaultLoad::Harsh);
+        assert_eq!(c.faults, FaultLoad::Harsh);
+        let c = ExperimentConfig::preliminary().with_fault_seed(99);
+        assert_eq!(c.fault_seed, 99);
+        let c = ExperimentConfig::preliminary().with_ckpt_interval(600.0);
+        assert_eq!(c.ckpt_interval_s, Some(600.0));
     }
 
     #[test]

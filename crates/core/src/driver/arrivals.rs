@@ -114,7 +114,16 @@ impl Driver<'_, '_> {
                 None => {
                     let idx = self.spec_of[st.id];
                     let procs = st.nodes.len() as u32;
-                    self.running.insert(st.id, RunState::new(idx, procs, now));
+                    let mut rs = RunState::new(idx, procs, now);
+                    // A requeued incarnation resumes from its checkpoint
+                    // image (zero steps when restarting from scratch) and
+                    // closes the failure-to-restart latency window.
+                    if let Some(info) = self.requeued.get(st.id) {
+                        rs.steps_done = info.resume_steps;
+                        rs.ckpt_steps = info.resume_steps;
+                        self.restart_lat.push(now.since(info.failed_at).as_micros());
+                    }
+                    self.running.insert(st.id, rs);
                     self.begin_segment(st.id, now);
                 }
             }
@@ -138,7 +147,22 @@ impl Driver<'_, '_> {
         // event loops.
         let step = sim.step_time(rs.procs).max(Span(1));
         let k = if !self.is_flexible(idx) {
-            remaining
+            match self.cfg.ckpt_interval_s {
+                // Periodic checkpointing cuts the monolithic rigid
+                // segment at image instants so `on_segment_done` has
+                // boundaries to take images at. The cut only regroups
+                // steps — total compute time is the same integer-µs sum —
+                // so summaries are unchanged when no failure lands. With
+                // no fault source armed there is nothing an image could
+                // ever be restored from, so the segment stays monolithic
+                // and the interval knob is bit-invisible (`events`
+                // included) — the zero-fault oracle.
+                Some(interval_s) if self.faults_armed() => {
+                    let per = step.as_secs_f64();
+                    ((interval_s / per).ceil().max(1.0) as u32).min(remaining)
+                }
+                _ => remaining,
+            }
         } else {
             match self.inhibitor_period(idx) {
                 Some(period) if now < rs.next_check_at => {
@@ -161,15 +185,27 @@ impl Driver<'_, '_> {
             let us = step.as_micros() as u128 * k as u128 * num as u128 / den as u128;
             Span(us.clamp(1, u64::MAX as u128) as u64)
         };
-        self.engine
+        let ev = self
+            .engine
             .schedule_at(now + duration, Ev::SegmentDone { job, steps: k });
+        self.running.get_mut(job).expect("running").inflight = Some(ev);
     }
 
     pub(crate) fn on_segment_done(&mut self, job: JobId, steps: u32, now: SimTime) {
         let Some(rs) = self.running.get_mut(job) else {
             return;
         };
+        rs.inflight = None;
         rs.steps_done += steps;
+        // Periodic checkpointing: step boundaries are where rank state is
+        // consistent, so images are taken here once the configured
+        // interval has elapsed since the last one.
+        if let Some(interval_s) = self.cfg.ckpt_interval_s {
+            if now.since(rs.last_ckpt_at).as_secs_f64() >= interval_s {
+                rs.last_ckpt_at = now;
+                rs.ckpt_steps = rs.steps_done;
+            }
+        }
         let idx = rs.spec_idx;
         if rs.steps_done >= self.jobs[idx].spec.steps {
             self.complete_job(job, now);

@@ -1,9 +1,10 @@
 //! The event vocabulary and central dispatch.
 //!
-//! Everything that happens in an experiment is one of the five [`Ev`]
+//! Everything that happens in an experiment is one of the [`Ev`]
 //! variants; [`Driver::handle`] fans each out to the submodule that owns
 //! the corresponding phase of the job lifecycle.
 
+use dmr_cluster::NodeId;
 use dmr_sim::{SimTime, Span};
 use dmr_slurm::JobId;
 
@@ -25,6 +26,16 @@ pub(crate) enum Ev {
     /// Powered-down (S5) nodes finish waking: capacity returns. Scheduled
     /// one wake-up latency after demand arrived while nodes were off.
     NodeWake,
+    /// An injected fault takes `node` down (faultload; see
+    /// [`dmr_cluster::FaultSource`]). A running owner is killed and
+    /// requeued.
+    NodeFail { node: NodeId },
+    /// An injected repair brings `node` back; it may accept work again.
+    NodeRepair { node: NodeId },
+    /// Backoff expired after an injected resize-negotiation failure:
+    /// mark `job` eligible to retry expanding to `to` at its next
+    /// reconfiguring point.
+    ResizeRetry { job: JobId, to: u32 },
 }
 
 impl Driver<'_, '_> {
@@ -36,6 +47,9 @@ impl Driver<'_, '_> {
             Ev::RjTimeout { rj } => self.on_rj_timeout(rj, now),
             Ev::BackfillTick => self.on_backfill_tick(now),
             Ev::NodeWake => self.on_node_wake(now),
+            Ev::NodeFail { node } => self.on_node_fail(node, now),
+            Ev::NodeRepair { node } => self.on_node_repair(node, now),
+            Ev::ResizeRetry { job, to } => self.on_resize_retry(job, to, now),
         }
     }
 
@@ -65,11 +79,23 @@ impl Driver<'_, '_> {
 
     /// The periodic backfill thread: runs a full EASY pass, then re-arms
     /// itself while there is still work in the system.
+    ///
+    /// A pending queue alone does not justify re-arming: if nothing is
+    /// running, no arrival is in flight, and no other event is pending
+    /// (no repair, wake, or resize retry), the feasible set can never
+    /// change again — the pass that just ran started everything that can
+    /// ever start. Ticking on would spin virtual time forever; this
+    /// arises under fault scripts that down nodes without repairing
+    /// them, leaving a requeued job larger than the surviving cluster.
     pub(crate) fn on_backfill_tick(&mut self, now: SimTime) {
         let starts = self.slurm.backfill_pass(now);
         self.wire_starts(starts, now);
         self.maybe_power_down(now);
-        if self.arrivals_pending || self.slurm.pending_count() > 0 || !self.running.is_empty() {
+        let work_left =
+            self.arrivals_pending || self.slurm.pending_count() > 0 || !self.running.is_empty();
+        let progress_possible =
+            self.arrivals_pending || !self.running.is_empty() || self.engine.pending() > 0;
+        if work_left && progress_possible {
             self.engine.schedule_in(
                 Span::from_secs_f64(self.cfg.backfill_interval_s),
                 Ev::BackfillTick,

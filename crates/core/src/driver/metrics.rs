@@ -48,9 +48,17 @@ impl Driver<'_, '_> {
         let seq = self.jobs.seq(idx);
         if let Some(rec) = self.slurm.job(job) {
             if let Some(start) = rec.start_time {
+                // A requeued job reports against its *original*
+                // submission — waiting time spans the lost incarnations
+                // and the requeue wait — and carries the
+                // reconfigurations its dead incarnations performed.
+                let (submit, prior_reconfigs) = match self.requeued.remove(job) {
+                    Some(info) => (info.orig_submit, info.prior_reconfigs),
+                    None => (rec.submit_time, 0),
+                };
                 self.sink.on_job(
                     seq,
-                    JobOutcome::new(rec.submit_time, start, now, rec.reconfigurations),
+                    JobOutcome::new(submit, start, now, rec.reconfigurations + prior_reconfigs),
                 );
             }
         }
@@ -72,6 +80,14 @@ impl Driver<'_, '_> {
             events: self.engine.processed(),
             past_schedules: self.engine.past_schedules(),
             power: crate::result::PowerStats::from_meter(&self.power),
+            faults: crate::result::FaultStats::collect(
+                self.failures,
+                self.requeues,
+                self.resize_faults,
+                self.resize_retries,
+                self.lost_work,
+                &mut self.restart_lat,
+            ),
         }
     }
 }

@@ -20,19 +20,23 @@
 //! * `reconfig` — the DMR check points and the expansion protocol
 //!   (synchronous and asynchronous variants, resizer-job timeout);
 //! * `shrink` — the ACK-style shrink workflow (drain, release, boost);
+//! * `failure` — injected node failures, kill-and-requeue recovery, and
+//!   the resize-retry backoff schedule;
 //! * `metrics` — evolution-series sampling and final summary assembly.
 
 pub(crate) mod arrivals;
 pub(crate) mod events;
+pub(crate) mod failure;
 pub(crate) mod metrics;
 pub(crate) mod reconfig;
 pub(crate) mod shrink;
 
-use dmr_cluster::{Cluster, PowerMeter};
+use dmr_cluster::{Cluster, FaultSource, FaultTrace, PowerMeter};
 use dmr_metrics::{MetricsSink, OnlineAccumulator, SeriesRecorder, StepSeries, WorkloadSummary};
 use dmr_sim::{Engine, EventId, QueueKind, SimTime, Span, CLASS_EARLY};
 use dmr_slurm::{JobId, ResizeAction, SchedIndex, Slurm, SlurmConfig};
 use dmr_workload::WorkloadSource;
+use rand::{rngs::StdRng, SeedableRng};
 
 use crate::config::{ExperimentConfig, Telemetry};
 use crate::model::SimJob;
@@ -59,6 +63,26 @@ pub(crate) struct RunState {
     pub(crate) pending_shrink: Option<u32>,
     /// Outstanding queued resizer job and its timeout event.
     pub(crate) waiting_rj: Option<(JobId, EventId)>,
+    /// The in-flight `SegmentDone` / `ReconfigDone` event for this job.
+    /// Exactly one is pending whenever the job is computing or
+    /// reconfiguring; a node failure cancels it so the dead incarnation
+    /// can never fire a stale completion.
+    pub(crate) inflight: Option<EventId>,
+    /// When this incarnation started computing (scratch-restart baseline
+    /// for lost-work accounting).
+    pub(crate) started_at: SimTime,
+    /// Instant of the last checkpoint image (= `started_at` until the
+    /// first image; a requeued incarnation starts "holding" the image it
+    /// resumed from).
+    pub(crate) last_ckpt_at: SimTime,
+    /// Steps covered by the last checkpoint image.
+    pub(crate) ckpt_steps: u32,
+    /// An expansion retry (after injected-failure backoff) is eligible:
+    /// target process count to attempt at the next reconfiguring point.
+    pub(crate) retry_expand: Option<u32>,
+    /// Injected-failure retry attempts consumed for the current target
+    /// (bounds the exponential backoff schedule).
+    pub(crate) retry_attempt: u32,
 }
 
 impl RunState {
@@ -73,8 +97,33 @@ impl RunState {
             pending_expand: None,
             pending_shrink: None,
             waiting_rj: None,
+            inflight: None,
+            started_at: now,
+            last_ckpt_at: now,
+            ckpt_steps: 0,
+            retry_expand: None,
+            retry_attempt: 0,
         }
     }
+}
+
+/// Recovery bookkeeping for a job that was killed by a node failure and
+/// resubmitted, keyed by the *new* incarnation's id. Carried until the
+/// job completes so accounting spans every incarnation.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct RequeueInfo {
+    /// Submission instant of the first incarnation — the completion
+    /// outcome is reported against it, so waiting time includes the lost
+    /// run and the requeue wait.
+    pub(crate) orig_submit: SimTime,
+    /// When the failure killed the previous incarnation (time-to-restart
+    /// is measured from here to the restart).
+    pub(crate) failed_at: SimTime,
+    /// Steps already safe in the last checkpoint image (zero when
+    /// restarting from scratch); the new incarnation resumes here.
+    pub(crate) resume_steps: u32,
+    /// Reconfigurations accumulated by the dead incarnations.
+    pub(crate) prior_reconfigs: u32,
 }
 
 /// Slab of the active jobs' specs, addressed by the slot index the
@@ -261,11 +310,55 @@ pub(crate) struct Driver<'a, 's> {
     pub(crate) prev_off: Vec<u32>,
     /// An [`Ev::NodeWake`] is already scheduled (wake requests coalesce).
     pub(crate) wake_pending: bool,
+    /// Faultload event stream; [`FaultSource::None`] under the zero-fault
+    /// configuration (nothing is ever pulled or scheduled).
+    pub(crate) faults: FaultSource,
+    /// A fault event is already scheduled in the engine (the driver keeps
+    /// exactly one in flight, like arrivals).
+    pub(crate) fault_pending: bool,
+    /// Bernoulli source for injected resize-negotiation failures. `None`
+    /// under [`dmr_cluster::FaultLoad::None`], so zero-fault runs never
+    /// construct or draw from it.
+    pub(crate) proto_rng: Option<StdRng>,
+    /// Per-negotiation injected-failure probability (0.0 when inactive).
+    pub(crate) resize_fail_p: f64,
+    /// Recovery bookkeeping for requeued jobs, keyed by the live
+    /// incarnation's id.
+    pub(crate) requeued: JobMap<RequeueInfo>,
+    /// Fault events that hit the cluster (idle or busy nodes).
+    pub(crate) failures: u64,
+    /// Running jobs killed and resubmitted after losing a node.
+    pub(crate) requeues: u64,
+    /// Resize negotiations failed by injection.
+    pub(crate) resize_faults: u64,
+    /// Backoff retries scheduled after injected negotiation failures.
+    pub(crate) resize_retries: u64,
+    /// Compute time destroyed by failures (work since the last image).
+    pub(crate) lost_work: Span,
+    /// Failure-to-restart latencies (µs), one per successful restart.
+    pub(crate) restart_lat: Vec<u64>,
 }
 
 /// Runs one workload under one configuration.
 pub fn run_experiment(cfg: &ExperimentConfig, jobs: &[SimJob]) -> ExperimentResult {
-    run_feed(cfg, JobFeed::Materialized(jobs.iter().cloned()))
+    run_feed(cfg, JobFeed::Materialized(jobs.iter().cloned()), None)
+}
+
+/// Runs one workload with a *scripted* faultload: `trace` replaces
+/// whatever [`ExperimentConfig::faults`] preset the configuration names
+/// (the injected resize-failure probability still follows the preset).
+/// Deterministic by construction — the trace is replayed verbatim — so
+/// regression tests can pin an exact incident.
+pub fn run_experiment_with_faults(
+    cfg: &ExperimentConfig,
+    jobs: &[SimJob],
+    trace: FaultTrace,
+) -> ExperimentResult {
+    run_feed(
+        cfg,
+        JobFeed::Materialized(jobs.iter().cloned()),
+        Some(trace),
+    )
 }
 
 /// Runs one streamed workload under one configuration.
@@ -288,7 +381,19 @@ pub fn run_experiment_streaming(
     cfg: &ExperimentConfig,
     source: &mut dyn WorkloadSource,
 ) -> ExperimentResult {
-    run_feed(cfg, JobFeed::Streaming(source))
+    run_feed(cfg, JobFeed::Streaming(source), None)
+}
+
+/// [`run_experiment_streaming`] with a *scripted* faultload — the
+/// streaming counterpart of [`run_experiment_with_faults`], so `repro
+/// --trace --faults trace:incident.txt` can replay an exact recorded
+/// incident over an SWF trace in O(1) arrival memory.
+pub fn run_experiment_streaming_with_faults(
+    cfg: &ExperimentConfig,
+    source: &mut dyn WorkloadSource,
+    trace: FaultTrace,
+) -> ExperimentResult {
+    run_feed(cfg, JobFeed::Streaming(source), Some(trace))
 }
 
 /// Runs one streamed workload, feeding telemetry to a caller-supplied
@@ -305,18 +410,38 @@ pub fn run_experiment_with_sink(
 
 /// Drives `feed` under the telemetry mode `cfg` selects and assembles
 /// the [`ExperimentResult`].
-fn run_feed(cfg: &ExperimentConfig, feed: JobFeed<'_>) -> ExperimentResult {
-    // Both telemetry branches patch the meter scalars into the summary
-    // identically, so `Online` stays bit-identical to `Full`.
+fn run_feed(
+    cfg: &ExperimentConfig,
+    feed: JobFeed<'_>,
+    trace: Option<FaultTrace>,
+) -> ExperimentResult {
+    // Both telemetry branches patch the driver-side scalars into the
+    // summary identically, so `Online` stays bit-identical to `Full`.
     let patch = |summary: &mut WorkloadSummary, stats: &RunStats| {
         summary.energy_to_solution_j = stats.power.energy_j;
         summary.avg_watts = stats.power.avg_watts;
         summary.class_utilization = stats.power.class_utilization().to_vec();
+        summary.failures = stats.faults.failures;
+        summary.requeues = stats.faults.requeues;
+        summary.lost_work_s = stats.faults.lost_work_s;
+        summary.restart_p95_s = stats.faults.restart_p95_s;
+        // Useful compute over total compute destroyed-or-delivered; an
+        // exact 1.0 whenever nothing was lost.
+        let exec = summary.avg_execution_s * summary.jobs as f64;
+        summary.goodput_ratio = if exec > 0.0 {
+            exec / (exec + stats.faults.lost_work_s)
+        } else {
+            1.0
+        };
     };
     match cfg.telemetry {
         Telemetry::Full => {
             let mut recorder = SeriesRecorder::new();
-            let stats = Driver::new(*cfg, feed, &mut recorder).run();
+            let mut driver = Driver::new(*cfg, feed, &mut recorder);
+            if let Some(t) = trace {
+                driver = driver.with_fault_trace(t);
+            }
+            let stats = driver.run();
             let (allocation, running, completed, outcomes) = recorder.into_parts();
             let mut summary = WorkloadSummary::compute(&outcomes, &allocation, cfg.nodes);
             patch(&mut summary, &stats);
@@ -333,7 +458,11 @@ fn run_feed(cfg: &ExperimentConfig, feed: JobFeed<'_>) -> ExperimentResult {
         }
         Telemetry::Online => {
             let mut acc = OnlineAccumulator::new();
-            let stats = Driver::new(*cfg, feed, &mut acc).run();
+            let mut driver = Driver::new(*cfg, feed, &mut acc);
+            if let Some(t) = trace {
+                driver = driver.with_fault_trace(t);
+            }
+            let stats = driver.run();
             let mut summary = acc.summary(cfg.nodes);
             patch(&mut summary, &stats);
             ExperimentResult {
@@ -389,6 +518,14 @@ impl<'a, 's> Driver<'a, 's> {
             SchedIndex::Arena => QueueKind::TimerWheel,
             _ => QueueKind::BinaryHeap,
         };
+        // Faultload plumbing: under `FaultLoad::None` the source is inert
+        // and the protocol RNG is never even constructed — the zero-fault
+        // path performs zero RNG work, keeping it bit-identical to a
+        // build without fault injection.
+        let faults = FaultSource::from_load(cfg.faults, cluster.table(), cfg.fault_seed);
+        let proto_rng =
+            (!cfg.faults.is_none()).then(|| StdRng::seed_from_u64(cfg.fault_seed ^ 0x5EED_F417));
+        let resize_fail_p = cfg.faults.resize_fail_p();
         Driver {
             cfg,
             jobs: SpecSlab::default(),
@@ -408,7 +545,25 @@ impl<'a, 's> Driver<'a, 's> {
             prev_busy: vec![0; classes],
             prev_off: vec![0; classes],
             wake_pending: false,
+            faults,
+            fault_pending: false,
+            proto_rng,
+            resize_fail_p,
+            requeued: JobMap::default(),
+            failures: 0,
+            requeues: 0,
+            resize_faults: 0,
+            resize_retries: 0,
+            lost_work: Span::ZERO,
+            restart_lat: Vec::new(),
         }
+    }
+
+    /// Replaces the configured faultload with a scripted trace (the
+    /// regression-test / incident-replay path).
+    fn with_fault_trace(mut self, trace: FaultTrace) -> Self {
+        self.faults = FaultSource::from_trace(trace);
+        self
     }
 
     fn run(mut self) -> RunStats {
@@ -421,6 +576,8 @@ impl<'a, 's> Driver<'a, 's> {
                 Ev::BackfillTick,
             );
         }
+        // Faults follow the same one-in-flight discipline as arrivals.
+        self.schedule_next_fault(SimTime::ZERO);
         let mut last_now = SimTime::ZERO;
         loop {
             // Flush any deferred scheduling pass — unless the very next
@@ -775,6 +932,118 @@ mod tests {
             assert_eq!(r.summary.jobs, 20, "{kind:?}");
             assert_eq!(r.past_schedules, 0, "{kind:?}");
         }
+    }
+
+    #[test]
+    fn scripted_node_failure_requeues_and_completes() {
+        use dmr_cluster::FaultTrace;
+        // One rigid 4-node job, 2 steps of 30 s. Failing one of its nodes
+        // at t = 25 s kills the incarnation; the requeued job restarts
+        // from scratch and still completes.
+        let mut job = fs_job(0, 0.0, 4, 2, 30.0);
+        job.spec.flexible = false;
+        let trace = FaultTrace::parse("25 fail 0\n200 repair 0\n").unwrap();
+        let clean = run_experiment(&cfg().as_fixed(), &[job.clone()]);
+        let faulty = run_experiment_with_faults(&cfg().as_fixed(), &[job], trace);
+        assert_eq!(faulty.summary.jobs, 1, "the requeued job completes");
+        assert_eq!(faulty.summary.failures, 1);
+        assert_eq!(faulty.summary.requeues, 1);
+        // 25 s of scratch-restart work destroyed.
+        assert!((faulty.summary.lost_work_s - 25.0).abs() < 1e-6);
+        assert!(faulty.summary.goodput_ratio < 1.0);
+        // The cluster had spare capacity and the requeue is boosted, so
+        // the restart is immediate — zero failure-to-restart latency.
+        assert_eq!(faulty.summary.restart_p95_s, 0.0);
+        assert!(
+            faulty.summary.makespan_s > clean.summary.makespan_s,
+            "the failure must cost wall-clock time: {} vs {}",
+            faulty.summary.makespan_s,
+            clean.summary.makespan_s
+        );
+        // Outcome accounting spans incarnations: waiting is measured from
+        // the original submission.
+        assert!(faulty.outcomes[0].waiting_s() >= 25.0);
+    }
+
+    #[test]
+    fn checkpoint_interval_bounds_lost_work() {
+        use dmr_cluster::FaultTrace;
+        // 12 steps of 10 s; the failure lands at t = 115 s. From scratch
+        // the whole 115 s is lost; with a 30 s checkpoint interval the
+        // last image is at most ~40 s old.
+        let mut job = fs_job(0, 0.0, 4, 12, 10.0);
+        job.spec.flexible = false;
+        let trace = || FaultTrace::parse("115 fail 1\n400 repair 1\n").unwrap();
+        let base = cfg().as_fixed();
+        let scratch = run_experiment_with_faults(&base, &[job.clone()], trace());
+        let ckpt = run_experiment_with_faults(&base.with_ckpt_interval(30.0), &[job], trace());
+        assert!((scratch.summary.lost_work_s - 115.0).abs() < 1e-6);
+        assert!(
+            ckpt.summary.lost_work_s < 50.0,
+            "periodic images bound lost work: {}",
+            ckpt.summary.lost_work_s
+        );
+        assert!(ckpt.summary.goodput_ratio > scratch.summary.goodput_ratio);
+        assert!(
+            ckpt.summary.makespan_s < scratch.summary.makespan_s,
+            "resuming from the image finishes earlier: {} vs {}",
+            ckpt.summary.makespan_s,
+            scratch.summary.makespan_s
+        );
+    }
+
+    #[test]
+    fn zero_fault_knobs_are_inert() {
+        use dmr_cluster::FaultLoad;
+        // Under FaultLoad::None the seed and checkpoint interval must not
+        // perturb a run in any way — the fault machinery does zero work.
+        let jobs: Vec<SimJob> = (0..10)
+            .map(|i| fs_job(i, i as f64 * 5.0, 2 + i % 5, 4, 15.0))
+            .collect();
+        let a = run_experiment(&cfg(), &jobs);
+        let b = run_experiment(&cfg().with_fault_seed(0xDEAD_BEEF), &jobs);
+        let c = run_experiment(&cfg().with_ckpt_interval(60.0), &jobs);
+        // The rigid path is the one the interval knob could perturb (it
+        // cuts monolithic segments at image boundaries when armed): the
+        // cut must not happen — `events` included — with no fault source.
+        let fa = run_experiment(&cfg().as_fixed(), &jobs);
+        let fc = run_experiment(&cfg().as_fixed().with_ckpt_interval(60.0), &jobs);
+        assert_eq!(fa.events, fc.events);
+        assert_eq!(fa.end_time, fc.end_time);
+        assert_eq!(fa.summary.makespan_s, fc.summary.makespan_s);
+        for r in [&b, &c] {
+            assert_eq!(a.summary.makespan_s, r.summary.makespan_s);
+            assert_eq!(a.summary.avg_waiting_s, r.summary.avg_waiting_s);
+            assert_eq!(a.summary.reconfigurations, r.summary.reconfigurations);
+            assert_eq!(a.events, r.events);
+            assert_eq!(a.end_time, r.end_time);
+        }
+        assert_eq!(a.summary.failures, 0);
+        assert_eq!(a.summary.requeues, 0);
+        assert_eq!(a.summary.goodput_ratio, 1.0);
+        assert_eq!(a.summary.lost_work_s, 0.0);
+        let _ = FaultLoad::None;
+    }
+
+    #[test]
+    fn harsh_faultload_is_deterministic_and_completes() {
+        use dmr_cluster::FaultLoad;
+        let jobs: Vec<SimJob> = (0..20)
+            .map(|i| fs_job(i, i as f64 * 40.0, 2 + i % 6, 20, 30.0))
+            .collect();
+        let fcfg = cfg().with_faults(FaultLoad::Harsh);
+        let a = run_experiment(&fcfg, &jobs);
+        let b = run_experiment(&fcfg, &jobs);
+        assert_eq!(a.summary.jobs, 20, "every job survives recovery");
+        assert_eq!(a.summary.makespan_s, b.summary.makespan_s);
+        assert_eq!(a.summary.failures, b.summary.failures);
+        assert_eq!(a.summary.requeues, b.summary.requeues);
+        assert_eq!(a.summary.lost_work_s, b.summary.lost_work_s);
+        assert_eq!(a.events, b.events);
+        assert!(a.summary.failures > 0, "harsh load injects failures");
+        // A different seed moves the failures.
+        let c = run_experiment(&fcfg.with_fault_seed(99), &jobs);
+        assert_eq!(c.summary.jobs, 20);
     }
 
     #[test]

@@ -60,6 +60,13 @@ impl Driver<'_, '_> {
             (rs.spec_idx, rs.procs)
         };
         let data = self.jobs[idx].spec.data_bytes;
+        // Injected spawn-path failure (faultload): the negotiation dies
+        // before the protocol runs; the job degrades gracefully to its
+        // old size and a backoff retry is scheduled. Classified as
+        // [`DmrError::is_injected`], never as a structural failure.
+        if self.inject_resize_failure(job, to, now) {
+            return false;
+        }
         match self
             .slurm
             .expand_protocol(job, to, now)
@@ -68,10 +75,12 @@ impl Driver<'_, '_> {
             Ok(_) => {
                 let cost = self.cfg.network.spawn_time(to)
                     + self.cfg.network.redistribution_time(data, procs, to);
+                let ev = self
+                    .engine
+                    .schedule_at(now + pause + cost, Ev::ReconfigDone { job });
                 let rs = self.running.get_mut(job).expect("running");
                 rs.pending_expand = Some(to);
-                self.engine
-                    .schedule_at(now + pause + cost, Ev::ReconfigDone { job });
+                rs.inflight = Some(ev);
                 true
             }
             Err(e) => {
@@ -100,7 +109,18 @@ impl Driver<'_, '_> {
         let idx = self.running[job].spec_idx;
         self.arm_inhibitor(job, idx, now);
         let pause = Span::from_secs_f64(self.cfg.check_overhead_s);
-        match self.slurm.decide_resize(job, now) {
+        // An expansion retry whose backoff expired takes precedence over
+        // a fresh policy consultation (the decision was already made; the
+        // injected failure merely delayed it).
+        let action = match self
+            .running
+            .get_mut(job)
+            .and_then(|rs| rs.retry_expand.take())
+        {
+            Some(to) => ResizeAction::Expand { to },
+            None => self.slurm.decide_resize(job, now),
+        };
+        match action {
             ResizeAction::NoAction => self.pause_then_continue(job, now, pause),
             ResizeAction::Expand { to } => {
                 if !self.try_expand(job, to, now, pause, false) {
@@ -117,7 +137,7 @@ impl Driver<'_, '_> {
     /// boundary, then plan the next one. The communication overhead hides
     /// behind computation, but decisions can be stale (§VIII-C).
     fn check_async(&mut self, job: JobId, now: SimTime) {
-        let (idx, procs, granted, planned, waiting) = {
+        let (idx, procs, granted, planned, waiting, retry) = {
             let rs = self.running.get_mut(job).expect("running");
             (
                 rs.spec_idx,
@@ -125,6 +145,7 @@ impl Driver<'_, '_> {
                 rs.granted_expand.take(),
                 rs.planned.take(),
                 rs.waiting_rj.is_some(),
+                rs.retry_expand.take(),
             )
         };
         self.arm_inhibitor(job, idx, now);
@@ -136,12 +157,14 @@ impl Driver<'_, '_> {
             // now.
             let cost = self.cfg.network.spawn_time(newp)
                 + self.cfg.network.redistribution_time(data, procs, newp);
+            let ev = self
+                .engine
+                .schedule_at(now + cost, Ev::ReconfigDone { job });
             let rs = self.running.get_mut(job).expect("running");
             rs.pending_expand = Some(newp);
-            self.engine
-                .schedule_at(now + cost, Ev::ReconfigDone { job });
+            rs.inflight = Some(ev);
             applying = true;
-        } else if let Some(plan) = planned {
+        } else if let Some(plan) = planned.or(retry.map(|to| ResizeAction::Expand { to })) {
             match plan {
                 ResizeAction::Expand { to } if to > procs => {
                     applying = self.try_expand(job, to, now, Span::ZERO, true);
@@ -171,8 +194,10 @@ impl Driver<'_, '_> {
         if pause.is_zero() {
             self.begin_segment(job, now);
         } else {
-            self.engine
+            let ev = self
+                .engine
                 .schedule_at(now + pause, Ev::ReconfigDone { job });
+            self.running.get_mut(job).expect("running").inflight = Some(ev);
         }
     }
 
@@ -182,10 +207,14 @@ impl Driver<'_, '_> {
         let Some(rs) = self.running.get_mut(job) else {
             return;
         };
+        rs.inflight = None;
         if let Some(to) = rs.pending_shrink.take() {
             self.finish_shrink(job, to, now);
         } else if let Some(to) = rs.pending_expand.take() {
             rs.procs = to;
+            // A completed expansion refills the injected-failure retry
+            // budget for any future target.
+            rs.retry_attempt = 0;
             self.update_estimate(job, now);
             self.begin_segment(job, now);
         } else {

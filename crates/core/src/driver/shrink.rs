@@ -25,10 +25,12 @@ impl Driver<'_, '_> {
         };
         let data = self.jobs[idx].spec.data_bytes;
         let cost = self.cfg.network.redistribution_time(data, procs, to);
+        let ev = self
+            .engine
+            .schedule_at(now + pause + cost, Ev::ReconfigDone { job });
         let rs = self.running.get_mut(job).expect("running");
         rs.pending_shrink = Some(to);
-        self.engine
-            .schedule_at(now + pause + cost, Ev::ReconfigDone { job });
+        rs.inflight = Some(ev);
     }
 
     /// The drain finished: release nodes, adopt the smaller process set,

@@ -24,6 +24,20 @@ pub enum DmrError {
     Mpi(MpiError),
     /// The Slurm expansion protocol failed or deferred.
     Expand(ExpandError),
+    /// A fault-injection layer deliberately killed the operation — not a
+    /// structural failure of the protocol or the request. Injected
+    /// failures are always worth retrying (with backoff); structural
+    /// ones only when [`DmrError::is_transient`] says so.
+    Injected(InjectedFault),
+}
+
+/// What the fault-injection layer killed (see [`DmrError::Injected`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum InjectedFault {
+    /// The `MPI_Comm_spawn` leg of a resize negotiation.
+    Spawn,
+    /// A compute node went down mid-run.
+    Node,
 }
 
 impl DmrError {
@@ -43,13 +57,30 @@ impl DmrError {
 
     /// Whether retrying the same operation later could succeed without
     /// any other intervention (resources were busy, not invalid).
+    /// Injected failures are transient by definition — the fault, not
+    /// the request, was the problem.
     pub fn is_transient(&self) -> bool {
         matches!(
             self,
             DmrError::Alloc(AllocError::Insufficient { .. })
                 | DmrError::Alloc(AllocError::NodeBusy(_))
                 | DmrError::Expand(ExpandError::Queued { .. })
+                | DmrError::Injected(_)
         )
+    }
+
+    /// Whether this failure was manufactured by the fault-injection
+    /// layer (as opposed to a structural failure of the request or the
+    /// protocol). Recovery code branches here: injected failures retry
+    /// under backoff, structural ones surface.
+    pub fn is_injected(&self) -> bool {
+        matches!(self, DmrError::Injected(_))
+    }
+
+    /// Shorthand for the injected spawn-path failure a killed resize
+    /// negotiation reports.
+    pub fn injected_spawn() -> Self {
+        DmrError::Injected(InjectedFault::Spawn)
     }
 }
 
@@ -59,6 +90,12 @@ impl std::fmt::Display for DmrError {
             DmrError::Alloc(e) => write!(f, "cluster allocation: {e}"),
             DmrError::Mpi(e) => write!(f, "mpi: {e}"),
             DmrError::Expand(e) => write!(f, "expansion protocol: {e}"),
+            DmrError::Injected(InjectedFault::Spawn) => {
+                write!(f, "injected fault: spawn path killed")
+            }
+            DmrError::Injected(InjectedFault::Node) => {
+                write!(f, "injected fault: node down")
+            }
         }
     }
 }
@@ -69,6 +106,7 @@ impl std::error::Error for DmrError {
             DmrError::Alloc(e) => Some(e),
             DmrError::Mpi(e) => Some(e),
             DmrError::Expand(e) => Some(e),
+            DmrError::Injected(_) => None,
         }
     }
 }
@@ -119,6 +157,21 @@ mod tests {
         let e: DmrError = ExpandError::NotRunning(JobId(1)).into();
         assert_eq!(e.queued_resizer(), None);
         assert!(!e.is_transient());
+    }
+
+    #[test]
+    fn injected_faults_classify_as_injected_and_transient() {
+        let e = DmrError::injected_spawn();
+        assert!(e.is_injected());
+        assert!(e.is_transient(), "injected failures are retryable");
+        assert!(e.to_string().contains("injected"));
+        let n = DmrError::Injected(InjectedFault::Node);
+        assert!(n.is_injected());
+        // Structural failures are never "injected".
+        let s: DmrError = ExpandError::InvalidTarget { current: 4, to: 2 }.into();
+        assert!(!s.is_injected());
+        let q: DmrError = ExpandError::Queued { resizer: JobId(3) }.into();
+        assert!(!q.is_injected() && q.is_transient());
     }
 
     #[test]

@@ -35,12 +35,14 @@ pub mod model;
 pub mod result;
 
 pub use config::{ExperimentConfig, MachineMix, ScheduleMode, Telemetry};
+pub use dmr_cluster::{FaultLoad, FaultTrace};
 pub use dmr_metrics::MetricsSink;
 pub use dmr_slurm::{BackfillFamily, PolicyKind, SchedIndex};
 pub use dmr_workload::{WorkloadKind, WorkloadSource};
 pub use driver::{
-    compare_fixed_flexible, run_experiment, run_experiment_streaming, run_experiment_with_sink,
+    compare_fixed_flexible, run_experiment, run_experiment_streaming,
+    run_experiment_streaming_with_faults, run_experiment_with_faults, run_experiment_with_sink,
 };
-pub use error::DmrError;
+pub use error::{DmrError, InjectedFault};
 pub use model::{curve_for, SimJob, SpeedupCurve};
-pub use result::{ExperimentResult, PowerStats, RunStats};
+pub use result::{ExperimentResult, FaultStats, PowerStats, RunStats};

@@ -58,6 +58,9 @@ pub struct RunStats {
     pub past_schedules: u64,
     /// Energy accounting from the driver's [`dmr_cluster::PowerMeter`].
     pub power: PowerStats,
+    /// Fault-injection and recovery accounting (all zeros, ratio fields
+    /// included, under [`dmr_cluster::FaultLoad::None`]).
+    pub faults: FaultStats,
 }
 
 /// `Copy` snapshot of a finished run's [`dmr_cluster::PowerMeter`]: the
@@ -94,5 +97,58 @@ impl PowerStats {
     /// The per-class utilization as a slice of the live classes.
     pub fn class_utilization(&self) -> &[f64] {
         &self.class_util[..self.classes]
+    }
+}
+
+/// `Copy` snapshot of a run's fault-injection and recovery accounting —
+/// the scalars behind the summary's `failures` / `requeues` /
+/// `lost_work_s` / `goodput_ratio` / `restart_p95_s` columns.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultStats {
+    /// Injected fault events that hit an `Up` node (idle or busy).
+    pub failures: u64,
+    /// Running jobs killed by a node failure and resubmitted.
+    pub requeues: u64,
+    /// Resize negotiations killed by injection.
+    pub resize_faults: u64,
+    /// Backoff retries scheduled after injected negotiation failures.
+    pub resize_retries: u64,
+    /// Compute time destroyed by failures (time since the last
+    /// checkpoint image, per kill), seconds.
+    pub lost_work_s: f64,
+    /// P95 of failure-to-restart latency across requeues, seconds
+    /// (0 when nothing was requeued).
+    pub restart_p95_s: f64,
+}
+
+impl FaultStats {
+    /// Folds the driver's raw counters into the `Copy` form. `restarts`
+    /// holds one failure-to-restart latency (µs) per restarted
+    /// incarnation; it is sorted in place to take the P95.
+    pub fn collect(
+        failures: u64,
+        requeues: u64,
+        resize_faults: u64,
+        resize_retries: u64,
+        lost_work: dmr_sim::Span,
+        restarts: &mut [u64],
+    ) -> Self {
+        restarts.sort_unstable();
+        let restart_p95_s = match restarts.len() {
+            0 => 0.0,
+            n => {
+                // Nearest-rank on the sorted latencies.
+                let rank = ((n as f64) * 0.95).ceil() as usize;
+                dmr_sim::Span(restarts[rank.clamp(1, n) - 1]).as_secs_f64()
+            }
+        };
+        FaultStats {
+            failures,
+            requeues,
+            resize_faults,
+            resize_retries,
+            lost_work_s: lost_work.as_secs_f64(),
+            restart_p95_s,
+        }
     }
 }

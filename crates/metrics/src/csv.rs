@@ -117,6 +117,11 @@ mod tests {
             energy_to_solution_j: 0.0,
             avg_watts: 0.0,
             class_utilization: Vec::new(),
+            failures: 0,
+            requeues: 0,
+            lost_work_s: 0.0,
+            goodput_ratio: 1.0,
+            restart_p95_s: 0.0,
         }
     }
 

@@ -81,6 +81,20 @@ pub struct WorkloadSummary {
     /// table order (empty when no meter ran; one entry on uniform
     /// clusters).
     pub class_utilization: Vec<f64>,
+    /// Injected fault events that hit an `Up` node — patched in by the
+    /// driver, zero under the zero-fault load (or when parsed from a
+    /// pre-fault CSV).
+    pub failures: u64,
+    /// Running jobs killed by a node failure and resubmitted.
+    pub requeues: u64,
+    /// Compute time destroyed by failures (work since the last
+    /// checkpoint image, summed over kills), seconds.
+    pub lost_work_s: f64,
+    /// Useful compute over useful-plus-lost compute: an exact `1.0`
+    /// whenever nothing was lost (including every zero-fault run).
+    pub goodput_ratio: f64,
+    /// P95 failure-to-restart latency across requeued jobs, seconds.
+    pub restart_p95_s: f64,
 }
 
 /// The order-independent ingredients of a [`WorkloadSummary`].
@@ -158,6 +172,11 @@ impl SummaryInputs {
                 energy_to_solution_j: 0.0,
                 avg_watts: 0.0,
                 class_utilization: Vec::new(),
+                failures: 0,
+                requeues: 0,
+                lost_work_s: 0.0,
+                goodput_ratio: 1.0,
+                restart_p95_s: 0.0,
             };
         }
         // "First submission to last completion" — not `last_end - 0`,
@@ -185,6 +204,11 @@ impl SummaryInputs {
             energy_to_solution_j: 0.0,
             avg_watts: 0.0,
             class_utilization: Vec::new(),
+            failures: 0,
+            requeues: 0,
+            lost_work_s: 0.0,
+            goodput_ratio: 1.0,
+            restart_p95_s: 0.0,
         }
     }
 }

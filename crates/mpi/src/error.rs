@@ -4,7 +4,7 @@ use std::fmt;
 
 /// Communication failures. In this substrate they occur only when a peer
 /// rank has exited (its mailbox is gone) — the moral equivalent of an MPI
-/// abort.
+/// abort — or when a fault injector deliberately kills a spawn.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum MpiError {
     /// The destination rank's mailbox no longer exists.
@@ -16,6 +16,11 @@ pub enum MpiError {
     },
     /// A rank id outside the communicator was used.
     InvalidRank { rank: usize, size: usize },
+    /// A [`crate::spawn::SpawnFaults`] injector killed the spawn before
+    /// any child resources were allocated. Collective: every rank of the
+    /// spawning communicator observes the same verdict, so the parent set
+    /// stays internally consistent and can continue at its old size.
+    SpawnInjected { comm: u64 },
 }
 
 impl fmt::Display for MpiError {
@@ -29,6 +34,9 @@ impl fmt::Display for MpiError {
             }
             MpiError::InvalidRank { rank, size } => {
                 write!(f, "rank {rank} outside communicator of size {size}")
+            }
+            MpiError::SpawnInjected { comm } => {
+                write!(f, "injected spawn failure on comm {comm}")
             }
         }
     }

@@ -35,4 +35,5 @@ pub mod universe;
 pub use comm::{Comm, InterComm, RecvRequest, Status, ANY_SOURCE, ANY_TAG};
 pub use datatype::MpiData;
 pub use error::MpiError;
+pub use spawn::{SpawnEntry, SpawnFaults};
 pub use universe::Universe;

@@ -7,6 +7,7 @@
 //! an [`InterComm`] to the children, and each child's [`Comm::parent`]
 //! returns the mirror image.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::comm::{Comm, InterComm};
@@ -14,6 +15,66 @@ use crate::comm::{Comm, InterComm};
 /// The child entry point: receives the child-world communicator (whose
 /// [`Comm::parent`] is connected to the spawning group).
 pub type SpawnEntry = Arc<dyn Fn(Comm) + Send + Sync>;
+
+/// SplitMix64: a tiny, stateless bit mixer — enough randomness to decide
+/// fault verdicts without pulling a PRNG crate into the MPI substrate.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic spawn-fault injector for [`Comm::spawn_faulty`].
+///
+/// Each call to [`SpawnFaults::should_fail`] advances a shared counter
+/// and mixes it with the seed, so a given `(seed, probability)` pair
+/// produces the same fail/pass sequence on every run — regardless of
+/// thread interleaving elsewhere, because only the spawn root draws.
+#[derive(Debug)]
+pub struct SpawnFaults {
+    seed: u64,
+    fail_p: f64,
+    calls: AtomicU64,
+}
+
+impl SpawnFaults {
+    /// An injector that kills each spawn independently with probability
+    /// `fail_p` (clamped to `[0, 1]`), deterministically per `seed`.
+    pub fn new(seed: u64, fail_p: f64) -> Self {
+        Self {
+            seed,
+            fail_p: fail_p.clamp(0.0, 1.0),
+            calls: AtomicU64::new(0),
+        }
+    }
+
+    /// An injector that never fires (useful as a test control).
+    pub fn never() -> Self {
+        Self::new(0, 0.0)
+    }
+
+    /// An injector that kills every spawn.
+    pub fn always() -> Self {
+        Self::new(0, 1.0)
+    }
+
+    /// Draws the next verdict. Only the spawn root should call this —
+    /// non-root ranks learn the verdict through the collective broadcast
+    /// — so the counter sequence is single-threaded and reproducible.
+    pub fn should_fail(&self) -> bool {
+        let draw = self.calls.fetch_add(1, Ordering::Relaxed);
+        let z = splitmix64(self.seed ^ draw.wrapping_mul(0xD605_0BB5_9DF4_4EB5));
+        // Top 53 bits → uniform f64 in [0, 1).
+        let u = (z >> 11) as f64 / (1u64 << 53) as f64;
+        u < self.fail_p
+    }
+
+    /// How many verdicts have been drawn so far.
+    pub fn draws(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+}
 
 impl Comm {
     /// Collectively spawns `n` new ranks running `entry` and returns the
@@ -24,6 +85,40 @@ impl Comm {
     /// by the [`crate::universe::Universe`] at teardown.
     pub fn spawn(&mut self, n: usize, entry: SpawnEntry) -> Result<InterComm, crate::MpiError> {
         assert!(n > 0, "cannot spawn an empty process set");
+        self.spawn_inner(n, entry)
+    }
+
+    /// [`Comm::spawn`] with a fault-injection hook: before any child
+    /// resource is allocated, rank 0 draws a verdict from `faults` and
+    /// broadcasts it, so either every rank gets the inter-communicator or
+    /// every rank gets [`crate::MpiError::SpawnInjected`] — the collective
+    /// stays consistent and the parent set can degrade gracefully to its
+    /// current size.
+    ///
+    /// All ranks must pass the same `faults.is_some()`; with `None` this
+    /// is exactly `spawn` (no extra broadcast, no verdict drawn).
+    pub fn spawn_faulty(
+        &mut self,
+        n: usize,
+        entry: SpawnEntry,
+        faults: Option<&SpawnFaults>,
+    ) -> Result<InterComm, crate::MpiError> {
+        assert!(n > 0, "cannot spawn an empty process set");
+        if let Some(faults) = faults {
+            let mut verdict: Vec<u64> = if self.rank == 0 {
+                vec![u64::from(faults.should_fail())]
+            } else {
+                Vec::new()
+            };
+            self.bcast(&mut verdict, 0)?;
+            if verdict[0] != 0 {
+                return Err(crate::MpiError::SpawnInjected { comm: self.comm_id });
+            }
+        }
+        self.spawn_inner(n, entry)
+    }
+
+    fn spawn_inner(&mut self, n: usize, entry: SpawnEntry) -> Result<InterComm, crate::MpiError> {
         // Root allocates three communicator id spaces: the child world,
         // and the two directional sides of the inter-communicator.
         let mut ids: Vec<u64> = if self.rank == 0 {
@@ -77,5 +172,98 @@ impl Comm {
             self.size(),
             n,
         ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::Universe;
+    use crate::MpiError;
+
+    #[test]
+    fn faults_are_deterministic_per_seed() {
+        let a = SpawnFaults::new(0xFA17, 0.5);
+        let b = SpawnFaults::new(0xFA17, 0.5);
+        let seq_a: Vec<bool> = (0..64).map(|_| a.should_fail()).collect();
+        let seq_b: Vec<bool> = (0..64).map(|_| b.should_fail()).collect();
+        assert_eq!(seq_a, seq_b);
+        assert_eq!(a.draws(), 64);
+        // A fair injector actually mixes verdicts over 64 draws.
+        assert!(seq_a.iter().any(|&v| v) && seq_a.iter().any(|&v| !v));
+        let c = SpawnFaults::new(0xBEEF, 0.5);
+        let seq_c: Vec<bool> = (0..64).map(|_| c.should_fail()).collect();
+        assert_ne!(seq_a, seq_c, "different seeds draw different sequences");
+    }
+
+    #[test]
+    fn never_and_always_are_exact() {
+        let never = SpawnFaults::never();
+        assert!((0..50).all(|_| !never.should_fail()));
+        let always = SpawnFaults::always();
+        assert!((0..50).all(|_| always.should_fail()));
+        // Out-of-range probabilities clamp instead of misbehaving.
+        assert!(!SpawnFaults::new(1, -3.0).should_fail());
+        assert!(SpawnFaults::new(1, 7.0).should_fail());
+    }
+
+    #[test]
+    fn injected_spawn_fails_on_every_rank_and_set_survives() {
+        let faults = Arc::new(SpawnFaults::always());
+        let got = Universe::run(3, move |mut comm| {
+            let entry: SpawnEntry = Arc::new(|_child| {});
+            let res = comm.spawn_faulty(2, entry, Some(&faults));
+            assert!(
+                matches!(res, Err(MpiError::SpawnInjected { .. })),
+                "injector kills the spawn"
+            );
+            // The verdict was collective and no child resources were
+            // allocated: the parent set is intact and can still talk.
+            let mut probe = if comm.rank() == 0 { vec![9u64] } else { vec![] };
+            comm.bcast(&mut probe, 0).unwrap();
+            probe[0]
+        });
+        assert_eq!(got, vec![9, 9, 9]);
+    }
+
+    #[test]
+    fn quiet_injector_lets_spawn_through() {
+        let faults = Arc::new(SpawnFaults::never());
+        let worker_faults = Arc::clone(&faults);
+        let got = Universe::run(2, move |mut comm| {
+            let entry: SpawnEntry = Arc::new(|mut child: Comm| {
+                let me = child.rank();
+                let p = child.parent().unwrap();
+                if me == 0 {
+                    p.send(&[11u64], 0, 1).unwrap();
+                }
+            });
+            let mut inter = comm
+                .spawn_faulty(1, entry, Some(&worker_faults))
+                .expect("probability-zero injector never fires");
+            if comm.rank() == 0 {
+                let (d, _) = inter.recv::<u64>(Some(0), Some(1)).unwrap();
+                d[0]
+            } else {
+                0
+            }
+        });
+        assert_eq!(got[0], 11);
+        // Only the root draws a verdict — one spawn, one draw.
+        assert_eq!(faults.draws(), 1);
+    }
+
+    #[test]
+    fn spawn_faulty_without_injector_is_plain_spawn() {
+        let got = Universe::run(1, |mut comm| {
+            let entry: SpawnEntry = Arc::new(|mut child: Comm| {
+                let p = child.parent().unwrap();
+                p.send(&[5u64], 0, 2).unwrap();
+            });
+            let mut inter = comm.spawn_faulty(1, entry, None).unwrap();
+            let (d, _) = inter.recv::<u64>(Some(0), Some(2)).unwrap();
+            d[0]
+        });
+        assert_eq!(got, vec![5]);
     }
 }

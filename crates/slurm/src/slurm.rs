@@ -4,7 +4,7 @@
 use std::cell::RefCell;
 use std::sync::Arc;
 
-use dmr_cluster::{ClassConstraint, Cluster, NodeId};
+use dmr_cluster::{ClassConstraint, Cluster, FailOutcome, NodeId};
 use dmr_sim::{SimTime, Span};
 
 use crate::arena::JobArena;
@@ -555,6 +555,65 @@ impl Slurm {
             self.incr_capacity_freed();
         }
         woke
+    }
+
+    /// An injected failure takes `node` down (see
+    /// [`Cluster::fail_node`]). Any non-skipped failure is a capacity
+    /// mutation no elision proof covers — an elided pass must never mask
+    /// a failure — so every cross-pass memo drops, exactly as for
+    /// [`Slurm::power_down_idle`]. The caller inspects the outcome: a
+    /// [`FailOutcome::Busy`] victim owner needs [`Slurm::requeue_failed`].
+    pub fn fail_node(&mut self, node: NodeId) -> FailOutcome {
+        let outcome = self.cluster.fail_node(node);
+        if outcome != FailOutcome::Skipped {
+            self.incr_clear();
+        }
+        outcome
+    }
+
+    /// A failed node comes back up (see [`Cluster::repair_node`]),
+    /// returning whether capacity actually grew. A repair that restores
+    /// placeable capacity runs the same watermark invalidation as a
+    /// completion.
+    pub fn repair_node(&mut self, node: NodeId) -> bool {
+        let placeable = self.cluster.repair_node(node);
+        if placeable {
+            self.incr_capacity_freed();
+        }
+        placeable
+    }
+
+    /// Kill-and-requeue after a node failure: the running victim is
+    /// cancelled — its nodes release through the drained-while-allocated
+    /// path, parking the failed node in the unavailable pool — and an
+    /// equivalent request is resubmitted at the victim's current size
+    /// with a fresh `seq` and maximum priority. The boosted resubmission
+    /// preserves `seq`-based ordering determinism while putting the
+    /// victim first in line for the next free slot. Returns the new job
+    /// id, or `None` if `id` is not a running non-resizer job.
+    pub fn requeue_failed(&mut self, id: JobId, now: SimTime) -> Option<JobId> {
+        let job = self.jobs.get(id)?;
+        if job.state != JobState::Running || job.is_resizer() {
+            return None;
+        }
+        let req = JobRequest {
+            name: job.name.clone(),
+            nodes: job.requested_nodes,
+            time_limit: job.time_limit,
+            expected_runtime: Some(job.expected_runtime),
+            dependency: None,
+            base_priority: job.base_priority,
+            resize: job.resize,
+            constraint: job.constraint,
+        };
+        // The kill shares the cancellation path: stale completion events
+        // are tombstoned by the caller, pending resizers of the victim
+        // are orphaned (and reaped as dead candidates), and the queue
+        // cache / incremental memos invalidate.
+        self.cancel(id, now);
+        let new = self.submit(req, now);
+        self.boost(new);
+        Some(new)
     }
 
     pub fn job(&self, id: JobId) -> Option<&Job> {
@@ -2198,6 +2257,33 @@ impl Slurm {
                 "constrained-pending count {} != scanned {constrained}",
                 self.pending_index.constrained()
             ));
+        }
+        // Failed-node accounting: a node that stopped accepting work
+        // while allocated (injected failure or administrative drain) may
+        // only be owned by a job the scheduler still considers running —
+        // a kill that released the rest of an allocation but leaked the
+        // down node would show up here.
+        for c in 0..self.cluster.table().num_classes() {
+            let (start, end) = self.cluster.table().range(c);
+            for n in start..end {
+                let node = NodeId(n);
+                if self.cluster.node_state(node).accepts_new_work() {
+                    continue;
+                }
+                let Some(owner) = self.cluster.owner_of(node) else {
+                    continue;
+                };
+                let owner = JobId(owner);
+                let state_ok = self
+                    .jobs
+                    .get(owner)
+                    .is_some_and(|j| j.state == JobState::Running);
+                if !state_ok {
+                    return Err(format!(
+                        "node n{n} owned by {owner:?}, which is not a running job"
+                    ));
+                }
+            }
         }
         let running: Vec<&Job> = self
             .jobs

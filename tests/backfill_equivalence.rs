@@ -58,6 +58,7 @@ fn csv_row(kind: WorkloadKind, cfg: &ExperimentConfig, seed: u64, r: &Experiment
         mode: "sync",
         backfill: "easy1-vs-legacy",
         machine_mix: cfg.machine_mix.name(),
+        faults: cfg.faults.name(),
         seed,
         nodes: cfg.nodes,
         summary: r.summary.clone(),

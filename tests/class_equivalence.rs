@@ -78,6 +78,7 @@ fn csv_row(cfg: &ExperimentConfig, r: &ExperimentResult) -> String {
         mode: "grid",
         backfill: cfg.backfill_family.label(),
         machine_mix: "oracle",
+        faults: cfg.faults.name(),
         seed: dmr_bench::SEED,
         nodes: cfg.nodes,
         summary: r.summary.clone(),

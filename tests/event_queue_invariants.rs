@@ -204,3 +204,47 @@ proptest! {
         prop_assert!(wheel.is_empty() && heap.is_empty());
     }
 }
+
+/// Regression for the kill-and-requeue stale-event path: when a node
+/// failure kills a running job, the driver cancels the dead
+/// incarnation's pending completion *and* the timeout of any resizer it
+/// was waiting on, then schedules the requeued incarnation's events.
+/// Neither tombstone may ever fire, cancel a second time, or disturb
+/// the surviving events — on either backend.
+#[test]
+fn killed_jobs_stale_events_never_fire() {
+    for kind in KINDS {
+        let mut q: EventQueue<&'static str> = EventQueue::with_kind(kind);
+        // The doomed incarnation: a completion far out and a resize
+        // timeout before it; an unrelated job's completion in between.
+        let completion = q.push(SimTime(900), "victim-completion");
+        let resize = q.push(SimTime(300), "victim-resize-timeout");
+        let other = q.push(SimTime(500), "other-completion");
+        // The failure lands at t=100: cancel both victim events.
+        assert_eq!(q.cancel(completion), Some("victim-completion"), "{kind:?}");
+        assert_eq!(q.cancel(resize), Some("victim-resize-timeout"), "{kind:?}");
+        // Double-cancel is inert; the tombstoned keys stay dead.
+        assert!(q.cancel(completion).is_none(), "{kind:?}");
+        assert!(q.cancel(resize).is_none(), "{kind:?}");
+        // The requeued incarnation schedules a fresh completion.
+        let requeued = q.push(SimTime(1200), "requeue-completion");
+        // Only live events pop, in time order — no stale firing.
+        assert_eq!(
+            q.pop(),
+            Some((SimTime(500), "other-completion")),
+            "{kind:?}"
+        );
+        assert_eq!(
+            q.pop(),
+            Some((SimTime(1200), "requeue-completion")),
+            "{kind:?}"
+        );
+        assert_eq!(q.pop(), None, "{kind:?}");
+        // Cancelling an already-popped key is a no-op that cannot
+        // resurrect or corrupt anything.
+        assert!(q.cancel(requeued).is_none(), "{kind:?}");
+        assert!(q.cancel(other).is_none(), "{kind:?}");
+        assert!(q.is_empty(), "{kind:?}");
+        assert_eq!(q.heap_len(), 0, "{kind:?} retains tombstones after drain");
+    }
+}

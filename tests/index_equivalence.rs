@@ -52,6 +52,7 @@ fn csv_row(kind: WorkloadKind, cfg: &ExperimentConfig, seed: u64, r: &Experiment
         mode: "sync",
         backfill: cfg.backfill_family.label(),
         machine_mix: cfg.machine_mix.name(),
+        faults: cfg.faults.name(),
         seed,
         nodes: cfg.nodes,
         summary: r.summary.clone(),
@@ -195,6 +196,7 @@ fn smoke_registry_sweep_rows_are_byte_identical_across_hot_paths() {
                 mode: "grid",
                 backfill: sc.backfill.name(),
                 machine_mix: sc.mix.name(),
+                faults: sc.faults.name(),
                 seed,
                 nodes: sc.nodes,
                 summary: r.summary,
